@@ -1,0 +1,75 @@
+// Extension experiment (the paper's §II-A observation that runtime DVFS
+// "can be used in conjunction with our proposed approach"): pair the
+// statically chosen Pareto configuration with a just-in-time slack
+// DVFS policy and measure the additional energy saving.
+//
+// Inter-node slack comes from process-level load imbalance (a
+// boundary-handling rank 0) plus OS jitter; the SlackStepPolicy lowers
+// non-critical nodes' frequency only when the predicted cost fits inside
+// the observed slack, bounding the slowdown.
+
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace hepex;
+
+namespace {
+
+void run_case(const hw::MachineSpec& machine, const char* prog_name,
+              double node_imbalance, const hw::ClusterConfig& cfg,
+              util::Table& table) {
+  auto program =
+      workload::program_by_name(prog_name, workload::InputClass::kA);
+  program.compute.node_imbalance = node_imbalance;
+
+  trace::SimOptions fixed;
+  trace::SimOptions dvfs;
+  dvfs.dvfs_policy = hw::slack_step_policy();
+
+  const auto a = trace::simulate(machine, program, cfg, fixed);
+  const auto b = trace::simulate(machine, program, cfg, dvfs);
+
+  table.add_row(
+      {prog_name, util::fmt(node_imbalance, 2),
+       util::fmt_config(cfg.nodes, cfg.cores, cfg.f_hz / 1e9),
+       util::fmt(a.slack_fraction.mean(), 3),
+       bench::cell_time(a.time_s), bench::cell_time(b.time_s),
+       util::fmt((b.time_s / a.time_s - 1.0) * 100.0, 1),
+       bench::cell_energy_kj(a.energy.total()),
+       bench::cell_energy_kj(b.energy.total()),
+       util::fmt((1.0 - b.energy.total() / a.energy.total()) * 100.0, 1),
+       util::fmt(b.avg_frequency_hz / 1e9, 2)});
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Extension — inter-node slack DVFS on top of static configurations",
+      "runtime DVFS composes with the model's Pareto configurations "
+      "(SecII-A); energy drops with bounded slowdown on imbalanced runs "
+      "and is a no-op on balanced ones");
+
+  util::Table t({"Prog", "Imbal", "(n,c,f)", "Slack", "T fix [s]",
+                 "T dvfs [s]", "dT [%]", "E fix [kJ]", "E dvfs [kJ]",
+                 "saved [%]", "f_avg [GHz]"});
+
+  const auto xeon = hw::xeon_cluster();
+  const auto arm = hw::arm_cluster();
+  // Balanced baseline: the policy must not hurt.
+  run_case(xeon, "BT", 0.0, {8, 8, 1.8e9}, t);
+  // Increasing imbalance: increasing reclaimable slack.
+  run_case(xeon, "CP", 0.10, {8, 8, 1.8e9}, t);
+  run_case(xeon, "CP", 0.15, {8, 8, 1.8e9}, t);
+  run_case(xeon, "CP", 0.25, {8, 8, 1.8e9}, t);
+  run_case(xeon, "LU", 0.15, {8, 4, 1.8e9}, t);
+  run_case(arm, "CP", 0.15, {8, 4, 1.4e9}, t);
+  run_case(arm, "LB", 0.15, {8, 4, 1.4e9}, t);
+
+  std::printf("%s\n", t.to_text().c_str());
+  std::printf("=> the policy only downshifts when slack covers the cost, so "
+              "dT stays within a few percent while imbalanced runs save "
+              "energy; balanced runs are untouched.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Extension experiment (the authors' ICPP'14 heterogeneous-cluster line
+// of work): overlay the Xeon and ARM frontiers for each program and find
+// the crossover deadline where the energy-optimal machine flips.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+
+using namespace hepex;
+
+int main() {
+  bench::banner(
+      "Extension — cross-machine frontier: Xeon vs ARM per program",
+      "the fast Xeon cluster wins tight deadlines; the low-power ARM "
+      "cluster wins relaxed deadlines; a crossover deadline separates "
+      "the regimes");
+
+  const auto xeon = hw::xeon_cluster();
+  const auto arm = hw::arm_cluster();
+
+  util::Table t({"Prog", "Xeon best E [kJ]", "ARM best E [kJ]",
+                 "crossover deadline [s]", "tight-deadline winner",
+                 "relaxed-deadline winner"});
+
+  for (const char* name : {"LU", "SP", "BT", "CP", "LB"}) {
+    core::Advisor ax(xeon, workload::program_by_name(
+                               name, workload::InputClass::kA),
+                     bench::standard_options());
+    core::Advisor aa(arm, workload::program_by_name(
+                              name, workload::InputClass::kA),
+                     bench::standard_options());
+    pareto::MachineCandidate cx{"Xeon", ax.explore()};
+    pareto::MachineCandidate ca{"ARM", aa.explore()};
+
+    const auto cross = pareto::crossover_deadline(cx, ca);
+    const std::vector<pareto::MachineCandidate> both{cx, ca};
+
+    double e_best_x = 1e300, e_best_a = 1e300;
+    for (const auto& p : cx.points) e_best_x = std::min(e_best_x, p.energy_j);
+    for (const auto& p : ca.points) e_best_a = std::min(e_best_a, p.energy_j);
+
+    std::string tight = "-", relaxed = "-";
+    if (cross) {
+      if (const auto r = pareto::best_for_deadline(both, *cross * 0.5)) {
+        tight = r->machine;
+      }
+      if (const auto r = pareto::best_for_deadline(both, *cross * 4.0)) {
+        relaxed = r->machine;
+      }
+    } else {
+      // One machine dominates at every deadline.
+      if (const auto r = pareto::best_for_deadline(both, 1e9)) {
+        tight = relaxed = r->machine;
+      }
+    }
+    t.add_row({name, bench::cell_energy_kj(e_best_x),
+               bench::cell_energy_kj(e_best_a),
+               cross ? util::fmt(*cross, 1) : std::string("none"), tight,
+               relaxed});
+  }
+  std::printf("%s\n", t.to_text().c_str());
+
+  // The combined frontier for one program in full.
+  core::Advisor ax(xeon, workload::make_lb(workload::InputClass::kA),
+                   bench::standard_options());
+  core::Advisor aa(arm, workload::make_lb(workload::InputClass::kA),
+                   bench::standard_options());
+  const auto combined = pareto::combined_frontier(
+      {pareto::MachineCandidate{"Xeon", ax.explore()},
+       pareto::MachineCandidate{"ARM", aa.explore()}});
+  util::Table f({"machine", "(n,c,f)", "time [s]", "energy [kJ]"});
+  for (const auto& lp : combined) {
+    f.add_row({lp.machine,
+               util::fmt_config(lp.point.config.nodes, lp.point.config.cores,
+                                lp.point.config.f_hz / 1e9),
+               bench::cell_time(lp.point.time_s),
+               bench::cell_energy_kj(lp.point.energy_j)});
+  }
+  std::printf("Combined LB frontier (%zu points):\n%s\n", combined.size(),
+              f.to_text().c_str());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Reproduces Figure 10: UCR, execution time and energy of all five
+// programs on the Xeon cluster across 27 configurations
+// (n in {1,4,8} x c in {1,4,8} x f in {1.2,1.5,1.8} GHz).
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+
+using namespace hepex;
+
+int main() {
+  bench::banner(
+      "Figure 10 — UCR and time-energy performance on the Xeon cluster",
+      "BT has the highest UCR (~0.96 peak); UCR drops as n, c or f grow; "
+      "high UCR does NOT imply low time or low energy");
+
+  const auto machine = hw::xeon_cluster();
+  std::vector<hw::ClusterConfig> cfgs;
+  for (int n : {1, 4, 8}) {
+    for (int c : {1, 4, 8}) {
+      for (double f : machine.node.dvfs.frequencies_hz) {
+        cfgs.push_back({n, c, f});
+      }
+    }
+  }
+
+  const std::vector<std::string> names{"LU", "SP", "BT", "CP", "LB"};
+  std::map<std::string, std::vector<model::Prediction>> by_program;
+  for (const auto& name : names) {
+    const auto ch = bench::characterize_program(machine, name);
+    const auto target = model::target_of(
+        workload::program_by_name(name, workload::InputClass::kA));
+    for (const auto& cfg : cfgs) {
+      by_program[name].push_back(model::predict(ch, target, cfg));
+    }
+  }
+
+  for (const char* metric : {"UCR", "Time[s]", "Energy[kJ]"}) {
+    std::vector<std::string> headers{"(n,c,f)"};
+    for (const auto& n : names) headers.push_back(n);
+    util::Table t(headers);
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+      std::vector<std::string> row{util::fmt_config(
+          cfgs[i].nodes, cfgs[i].cores, cfgs[i].f_hz / 1e9)};
+      for (const auto& name : names) {
+        const auto& p = by_program[name][i];
+        if (std::string(metric) == "UCR") {
+          row.push_back(bench::cell_ucr(p.ucr));
+        } else if (std::string(metric) == "Time[s]") {
+          row.push_back(bench::cell_time(p.time_s));
+        } else {
+          row.push_back(bench::cell_energy_kj(p.energy_j));
+        }
+      }
+      t.add_row(row);
+    }
+    std::printf("%s per configuration:\n%s\n", metric, t.to_text().c_str());
+  }
+
+  // Headline numbers.
+  double bt_peak = 0.0;
+  for (const auto& p : by_program["BT"]) bt_peak = std::max(bt_peak, p.ucr);
+  std::printf("Peak BT UCR on Xeon: %.2f (paper: 0.96)\n", bt_peak);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces Figure 8: the time-energy plane of ALL 216 configurations
+// (n in {1..256}, c in 1..8, f in {1.2,1.5,1.8} GHz) for SP on the Xeon
+// cluster, the Pareto-optimal subset, and UCR annotations.
+
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace hepex;
+
+int main() {
+  bench::banner(
+      "Figure 8 — Xeon cluster executing SP: 216 configs + Pareto frontier",
+      "a Pareto frontier exists; relaxed deadlines use FEWER nodes and "
+      "LESS energy; UCR spans ~0.9 at (1,1,1.2) down to ~0.05 at "
+      "(256,8,1.8); frontier configs do not all use max cores/frequency");
+
+  core::Advisor advisor(hw::xeon_cluster(),
+                        workload::make_sp(workload::InputClass::kA),
+                        bench::standard_options());
+
+  const auto& all = advisor.explore();
+  std::printf("All configurations evaluated: %zu\n\n", all.size());
+
+  // The scatter (CSV for plotting), then the frontier as a table.
+  util::Table scatter({"n", "c", "f[GHz]", "time[s]", "energy[kJ]", "ucr"});
+  for (const auto& p : all) {
+    scatter.add_row({std::to_string(p.config.nodes),
+                     std::to_string(p.config.cores),
+                     util::fmt(p.config.f_hz / 1e9, 1),
+                     bench::cell_time(p.time_s),
+                     bench::cell_energy_kj(p.energy_j),
+                     bench::cell_ucr(p.ucr)});
+  }
+  std::printf("Scatter data (CSV, plot time vs energy):\n%s\n",
+              scatter.to_csv().c_str());
+  bench::maybe_write_artifact("fig8_xeon_sp.csv", scatter.to_csv());
+  bench::maybe_write_artifact(
+      "fig8_xeon_sp.gnuplot",
+      "set datafile separator ','\n"
+      "set logscale x\n"
+      "set xlabel 'Execution Time [s]'\n"
+      "set ylabel 'Energy [kJ]'\n"
+      "plot 'fig8_xeon_sp.csv' using 4:5 skip 1 with points title 'All configurations'\n");
+
+  const auto frontier = advisor.frontier();
+  util::Table t({"(n,c,f)", "Time [s]", "Energy [kJ]", "UCR"});
+  for (const auto& p : frontier) {
+    t.add_row({util::fmt_config(p.config.nodes, p.config.cores,
+                                p.config.f_hz / 1e9),
+               bench::cell_time(p.time_s), bench::cell_energy_kj(p.energy_j),
+               bench::cell_ucr(p.ucr)});
+  }
+  std::printf("Pareto-optimal configurations (%zu of %zu):\n%s\n",
+              frontier.size(), all.size(), t.to_text().c_str());
+
+  std::printf("UCR range on the frontier: %.2f (fastest end) to %.2f "
+              "(frugal end); best possible UCR %.2f at (1,1,1.2).\n",
+              frontier.front().ucr, frontier.back().ucr,
+              advisor.predict({1, 1, 1.2e9}).ucr);
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Library microbenchmarks (google-benchmark): throughput of the
+// discrete-event engine, the model evaluation, frontier extraction and
+// the full characterization pass. Not a paper artefact — these guard the
+// library's own performance.
+
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+using namespace hepex;
+
+namespace {
+
+const model::Characterization& cached_ch() {
+  static const model::Characterization ch =
+      bench::characterize_program(hw::xeon_cluster(), "SP");
+  return ch;
+}
+
+void BM_SimulateSmall(benchmark::State& state) {
+  const auto machine = hw::xeon_cluster();
+  const auto program =
+      workload::program_by_name("SP", workload::InputClass::kS);
+  const hw::ClusterConfig cfg{static_cast<int>(state.range(0)), 4, 1.8e9};
+  trace::SimOptions opt;
+  for (auto _ : state) {
+    opt.seed++;
+    benchmark::DoNotOptimize(trace::simulate(machine, program, cfg, opt));
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 5000.0,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateSmall)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_Predict(benchmark::State& state) {
+  const auto& ch = cached_ch();
+  const auto target =
+      model::target_of(workload::make_sp(workload::InputClass::kA));
+  const hw::ClusterConfig cfg{static_cast<int>(state.range(0)), 8, 1.8e9};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::predict(ch, target, cfg));
+  }
+}
+BENCHMARK(BM_Predict)->Arg(1)->Arg(8)->Arg(256);
+
+void BM_SweepModelSpace(benchmark::State& state) {
+  const auto& ch = cached_ch();
+  const auto target =
+      model::target_of(workload::make_sp(workload::InputClass::kA));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pareto::sweep_model_space(ch, target));
+  }
+  state.counters["configs/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 216.0,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SweepModelSpace);
+
+void BM_ParetoFrontier(benchmark::State& state) {
+  const auto& ch = cached_ch();
+  const auto target =
+      model::target_of(workload::make_sp(workload::InputClass::kA));
+  const auto points = pareto::sweep_model_space(ch, target);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pareto::pareto_frontier(points));
+  }
+}
+BENCHMARK(BM_ParetoFrontier);
+
+void BM_Characterize(benchmark::State& state) {
+  const auto machine = hw::arm_cluster();
+  const auto program = workload::make_bt(workload::InputClass::kA);
+  model::CharacterizationOptions o;
+  o.baseline_class = workload::InputClass::kS;
+  o.sim.chunks_per_iteration = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::characterize(machine, program, o));
+  }
+}
+BENCHMARK(BM_Characterize);
+
+void BM_NetPipeSweep(benchmark::State& state) {
+  const auto machine = hw::arm_cluster();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::netpipe_sweep(machine, 1.4e9));
+  }
+}
+BENCHMARK(BM_NetPipeSweep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

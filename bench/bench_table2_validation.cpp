@@ -1,0 +1,65 @@
+// Reproduces Table 2: full cluster validation — mean and standard
+// deviation of the |error| between prediction and direct measurement for
+// execution time and energy, five programs on both clusters, over the
+// complete validation grids (96 Xeon + 80 ARM configurations each).
+
+#include <cstdio>
+#include <string>
+
+#include "common.hpp"
+
+using namespace hepex;
+
+int main() {
+  bench::banner(
+      "Table 2 — cluster validation results (full grid)",
+      "mean errors 1-8% (time) and 1-15% (energy), std devs 2-14%; "
+      "all within 'reasonable bounds of less than 15%'");
+
+  struct RowSpec {
+    const char* domain;
+    const char* suite;
+    const char* program;
+  };
+  const RowSpec rows[] = {
+      {"3D Navier-Stokes Equation Solver", "NPB3.3-MZ", "LU"},
+      {"3D Navier-Stokes Equation Solver", "NPB3.3-MZ", "SP"},
+      {"3D Navier-Stokes Equation Solver", "NPB3.3-MZ", "BT"},
+      {"Electronic-structure Calculations", "Quantum Espresso (v5.1)", "CP"},
+      {"Computational Fluid Dynamics", "OpenLB (olb-0.8r0)", "LB"},
+  };
+
+  const auto xeon = hw::xeon_cluster();
+  const auto arm = hw::arm_cluster();
+  const auto xeon_grid = core::validation_grid(xeon, true);
+  const auto arm_grid = core::validation_grid(arm, true);
+  std::printf("Validation grids: %zu Xeon configurations, %zu ARM "
+              "configurations (paper: 96 and 80)\n\n",
+              xeon_grid.size(), arm_grid.size());
+
+  util::Table t({"Program", "Suite",
+                 "T err Xeon mean/sd [%]", "T err ARM mean/sd [%]",
+                 "E err Xeon mean/sd [%]", "E err ARM mean/sd [%]"});
+  for (const auto& spec : rows) {
+    const auto program =
+        workload::program_by_name(spec.program, workload::InputClass::kA);
+    const auto xr =
+        core::validate(xeon, program, xeon_grid, bench::standard_options());
+    const auto ar =
+        core::validate(arm, program, arm_grid, bench::standard_options());
+    t.add_row({spec.program, spec.suite,
+               util::fmt(xr.time_error.mean(), 0) + " / " +
+                   util::fmt(xr.time_error.stddev(), 0),
+               util::fmt(ar.time_error.mean(), 0) + " / " +
+                   util::fmt(ar.time_error.stddev(), 0),
+               util::fmt(xr.energy_error.mean(), 0) + " / " +
+                   util::fmt(xr.energy_error.stddev(), 0),
+               util::fmt(ar.energy_error.mean(), 0) + " / " +
+                   util::fmt(ar.energy_error.stddev(), 0)});
+  }
+  std::printf("%s\n", t.to_text().c_str());
+  std::printf("(Paper Table 2 for comparison: LU 4/5 3/2 5/8 6/6, "
+              "SP 6/9 4/3 2/10 4/5, BT 8/7 4/6 8/7 5/6,\n"
+              " CP 1/10 5/12 1/14 7/12, LB 6/8 4/8 15/12 7/9.)\n");
+  return 0;
+}

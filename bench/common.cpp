@@ -1,0 +1,51 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace hepex::bench {
+
+void banner(const std::string& artefact, const std::string& paper_claim) {
+  std::printf("================================================================\n");
+  std::printf("HEPEX reproduction: %s\n", artefact.c_str());
+  std::printf("Paper reports: %s\n", paper_claim.c_str());
+  std::printf("================================================================\n\n");
+}
+
+model::CharacterizationOptions standard_options() {
+  model::CharacterizationOptions o;
+  o.baseline_class = workload::InputClass::kW;
+  return o;
+}
+
+model::Characterization characterize_program(const hw::MachineSpec& machine,
+                                             const std::string& program_name) {
+  const auto program =
+      workload::program_by_name(program_name, workload::InputClass::kA);
+  return model::characterize(machine, program, standard_options());
+}
+
+void maybe_write_artifact(const std::string& filename,
+                          const std::string& content) {
+  const char* dir = std::getenv("HEPEX_RESULTS_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string path = std::string(dir) + "/" + filename;
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "warning: cannot write artifact %s\n", path.c_str());
+    return;
+  }
+  os << content;
+  std::printf("(artifact written: %s)\n", path.c_str());
+}
+
+std::string cell_time(double seconds) { return util::fmt(seconds, 1); }
+
+std::string cell_energy_kj(double joules) {
+  return util::fmt(joules / 1e3, 2);
+}
+
+std::string cell_ucr(double ucr) { return util::fmt(ucr, 2); }
+
+}  // namespace hepex::bench

@@ -1,0 +1,35 @@
+#pragma once
+/// \file common.hpp
+/// \brief Shared scaffolding for the reproduction benches.
+
+#include <string>
+
+#include "core/hepex.hpp"
+
+namespace hepex::bench {
+
+/// Print the standard bench banner: which paper artefact this binary
+/// regenerates and what the paper reports for it.
+void banner(const std::string& artefact, const std::string& paper_claim);
+
+/// Characterization options used by all benches: class-W baseline, the
+/// default measurement fidelity.
+model::CharacterizationOptions standard_options();
+
+/// Characterize `program_name` at class A on `machine` with the standard
+/// options (convenience used by most benches).
+model::Characterization characterize_program(const hw::MachineSpec& machine,
+                                             const std::string& program_name);
+
+/// Write `content` to $HEPEX_RESULTS_DIR/`filename` when the environment
+/// variable is set (no-op otherwise). Used by the figure benches to drop
+/// plot-ready CSV/gnuplot artifacts next to the console output.
+void maybe_write_artifact(const std::string& filename,
+                          const std::string& content);
+
+/// Format seconds / joules / UCR for table cells.
+std::string cell_time(double seconds);
+std::string cell_energy_kj(double joules);
+std::string cell_ucr(double ucr);
+
+}  // namespace hepex::bench

@@ -1,0 +1,54 @@
+// Application-developer workflow (§V-B): for a fixed total core budget,
+// compare every l (processes) x tau (threads) split of a hybrid program
+// and pick the time- or energy-optimal one. The paper's point: the best
+// split is not obvious — it depends on the program's communication
+// pattern and the machine's contention behaviour.
+//
+//   $ ./examples/app_tuning
+
+#include <cstdio>
+
+#include "core/hepex.hpp"
+
+using namespace hepex;
+
+namespace {
+
+void tune(const hw::MachineSpec& machine, const char* prog_name,
+          int total_cores) {
+  core::Advisor advisor(
+      machine, workload::program_by_name(prog_name, workload::InputClass::kA));
+  const double f = machine.node.dvfs.f_max();
+  std::printf("--- %s on %s with %d cores total (f=%.1f GHz) ---\n",
+              prog_name, machine.name.c_str(), total_cores, f / 1e9);
+  util::Table t({"l x tau", "time [s]", "energy [kJ]", "UCR"});
+  const auto splits = advisor.split_alternatives(total_cores, f);
+  const pareto::ConfigPoint* best_time = &splits.front();
+  const pareto::ConfigPoint* best_energy = &splits.front();
+  for (const auto& s : splits) {
+    t.add_row({std::to_string(s.config.nodes) + " x " +
+                   std::to_string(s.config.cores),
+               util::fmt(s.time_s, 1), util::fmt(s.energy_j / 1e3, 2),
+               util::fmt(s.ucr, 2)});
+    if (s.time_s < best_time->time_s) best_time = &s;
+    if (s.energy_j < best_energy->energy_j) best_energy = &s;
+  }
+  std::printf("%s", t.to_text().c_str());
+  std::printf("fastest split: %d x %d; most frugal split: %d x %d\n\n",
+              best_time->config.nodes, best_time->config.cores,
+              best_energy->config.nodes, best_energy->config.cores);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Choosing l (MPI processes) x tau (OpenMP threads) ==\n\n");
+
+  // Memory-bound SP prefers spreading across nodes (less controller
+  // contention); the all-to-all CP prefers fewer, fatter processes
+  // (less switch traffic). Same core count, opposite answers.
+  tune(hw::xeon_cluster(), "SP", 16);
+  tune(hw::xeon_cluster(), "CP", 16);
+  tune(hw::arm_cluster(), "LB", 8);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Combining the static model with runtime DVFS (§II-A of the paper):
+// pick a Pareto-optimal (n, c, f) with the Advisor, then run it under a
+// just-in-time slack policy that downclocks nodes idling at the
+// iteration barrier. The static choice sets the operating envelope; the
+// dynamic policy harvests what load imbalance leaves on the table.
+//
+//   $ ./examples/dvfs_runtime
+
+#include <cstdio>
+#include <vector>
+
+#include "core/hepex.hpp"
+
+using namespace hepex;
+
+int main() {
+  const auto machine = hw::xeon_cluster();
+
+  // An imbalanced CP variant: rank 0 handles boundary work and carries
+  // 20% more load than its peers.
+  auto program = workload::make_cp(workload::InputClass::kA);
+  program.compute.node_imbalance = 0.20;
+
+  // Static step: the model picks the cheapest configuration for a tight
+  // deadline (2% above the fastest possible run) — the regime where the
+  // machine runs hot and imbalance slack is worth reclaiming. Only the
+  // physically installed nodes qualify, since we execute the choice.
+  core::Advisor advisor(machine, program);
+  std::vector<pareto::ConfigPoint> physical;
+  for (const auto& p : advisor.explore()) {
+    if (p.config.nodes <= machine.nodes_available) physical.push_back(p);
+  }
+  const auto frontier = pareto::pareto_frontier(physical);
+  const double deadline = frontier.front().time_s * 1.02;
+  const auto rec = pareto::min_energy_within_deadline(physical, deadline);
+  if (!rec) {
+    std::printf("no configuration meets the deadline\n");
+    return 1;
+  }
+  const hw::ClusterConfig cfg = rec->config;
+  std::printf("static choice for a %.1f s deadline: %s (predicted %.1f s, "
+              "%.2f kJ)\n\n",
+              deadline,
+              util::fmt_config(cfg.nodes, cfg.cores, cfg.f_hz / 1e9).c_str(),
+              rec->time_s, rec->energy_j / 1e3);
+
+  // Dynamic step: execute with and without the slack policy.
+  trace::SimOptions fixed;
+  trace::SimOptions dvfs;
+  dvfs.dvfs_policy = hw::slack_step_policy();
+
+  const auto a = trace::simulate(machine, program, cfg, fixed);
+  const auto b = trace::simulate(machine, program, cfg, dvfs);
+
+  util::Table t({"run", "time [s]", "energy [kJ]", "mean slack",
+                 "mean f [GHz]"});
+  t.add_row({"fixed frequency", util::fmt(a.time_s, 1),
+             util::fmt(a.energy.total() / 1e3, 2),
+             util::fmt(a.slack_fraction.mean(), 3),
+             util::fmt(a.avg_frequency_hz / 1e9, 2)});
+  t.add_row({"slack DVFS", util::fmt(b.time_s, 1),
+             util::fmt(b.energy.total() / 1e3, 2),
+             util::fmt(b.slack_fraction.mean(), 3),
+             util::fmt(b.avg_frequency_hz / 1e9, 2)});
+  std::printf("%s\n", t.to_text().c_str());
+
+  std::printf("slack DVFS saves %.1f%% energy at %.1f%% slowdown — on top "
+              "of the statically optimal configuration.\n",
+              (1.0 - b.energy.total() / a.energy.total()) * 100.0,
+              (b.time_s / a.time_s - 1.0) * 100.0);
+  return 0;
+}

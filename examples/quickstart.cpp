@@ -1,0 +1,61 @@
+// Quickstart: find an energy-efficient (n, c, f) configuration for a
+// hybrid MPI+OpenMP program with a deadline and with an energy budget.
+//
+//   $ ./examples/quickstart
+//
+// The Advisor characterizes the program once (baseline runs on one node,
+// a 2-node communication probe, a NetPIPE sweep and power
+// micro-benchmarks), then answers configuration questions instantly.
+
+#include <cstdio>
+
+#include "core/hepex.hpp"
+
+using namespace hepex;
+
+int main() {
+  // 1. Pick a machine and a program. Presets reproduce the paper's
+  //    Table 3 clusters and its five validation programs.
+  core::Advisor advisor(hw::xeon_cluster(),
+                        workload::make_sp(workload::InputClass::kA));
+
+  // 2. The time-energy Pareto frontier over all 216 configurations.
+  std::printf("Pareto frontier for SP (class A) on the Xeon cluster:\n");
+  util::Table t({"(n,c,f)", "time [s]", "energy [kJ]", "UCR"});
+  for (const auto& p : advisor.frontier()) {
+    t.add_row({util::fmt_config(p.config.nodes, p.config.cores,
+                                p.config.f_hz / 1e9),
+               util::fmt(p.time_s, 1), util::fmt(p.energy_j / 1e3, 2),
+               util::fmt(p.ucr, 2)});
+  }
+  std::printf("%s\n", t.to_text().c_str());
+
+  // 3. "I need the run to finish within 60 seconds — what costs least?"
+  if (const auto rec = advisor.for_deadline(60.0)) {
+    std::printf("Deadline 60 s  -> run on %s: predicted %.1f s, %.2f kJ "
+                "(slack %.1f s)\n",
+                util::fmt_config(rec->point.config.nodes,
+                                 rec->point.config.cores,
+                                 rec->point.config.f_hz / 1e9)
+                    .c_str(),
+                rec->point.time_s, rec->point.energy_j / 1e3, rec->slack);
+  }
+
+  // 4. "I have 5 kJ of energy — how fast can I finish?"
+  if (const auto rec = advisor.for_budget(5e3)) {
+    std::printf("Budget 5 kJ    -> run on %s: predicted %.1f s, %.2f kJ\n",
+                util::fmt_config(rec->point.config.nodes,
+                                 rec->point.config.cores,
+                                 rec->point.config.f_hz / 1e9)
+                    .c_str(),
+                rec->point.time_s, rec->point.energy_j / 1e3);
+  }
+
+  // 5. Any single configuration can be inspected in detail.
+  const auto p = advisor.predict({4, 8, 1.8e9});
+  std::printf("\n(4,8,1.8) breakdown: T=%.1fs = CPU %.1f + mem %.1f + "
+              "net wait %.1f + net serve %.1f;  UCR %.2f\n",
+              p.time_s, p.t_cpu_s, p.t_mem_s, p.t_w_net_s, p.t_s_net_s,
+              p.ucr);
+  return 0;
+}

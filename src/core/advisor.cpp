@@ -1,0 +1,103 @@
+#include "core/advisor.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hepex::core {
+
+Advisor::Advisor(hw::MachineSpec machine, workload::ProgramSpec program,
+                 model::CharacterizationOptions options)
+    : machine_(std::move(machine)),
+      program_(std::move(program)),
+      options_(options) {}
+
+Advisor::Advisor(hw::MachineSpec machine, workload::ProgramSpec program,
+                 model::CharacterizationOptions options,
+                 model::Characterization prebuilt)
+    : machine_(std::move(machine)),
+      program_(std::move(program)),
+      options_(options),
+      ch_(std::move(prebuilt)) {}
+
+const model::Characterization& Advisor::characterization() {
+  if (!ch_) ch_ = model::characterize(machine_, program_, options_);
+  return *ch_;
+}
+
+model::Prediction Advisor::predict(const hw::ClusterConfig& config) {
+  return model::predict(characterization(), model::target_of(program_),
+                        config);
+}
+
+const std::vector<pareto::ConfigPoint>& Advisor::explore() {
+  if (!space_) {
+    space_ = pareto::sweep_model_space(characterization(),
+                                       model::target_of(program_));
+  }
+  return *space_;
+}
+
+std::vector<pareto::ConfigPoint> Advisor::frontier() {
+  return pareto::pareto_frontier(explore());
+}
+
+pareto::ConfigPoint Advisor::knee() {
+  return pareto::knee_point(frontier());
+}
+
+std::optional<Recommendation> Advisor::for_deadline(double deadline_s) {
+  const auto best = pareto::min_energy_within_deadline(explore(), deadline_s);
+  if (!best) return std::nullopt;
+  return Recommendation{*best, deadline_s, deadline_s - best->time_s};
+}
+
+std::optional<Recommendation> Advisor::for_budget(double budget_j) {
+  const auto best = pareto::min_time_within_budget(explore(), budget_j);
+  if (!best) return std::nullopt;
+  return Recommendation{*best, budget_j, budget_j - best->energy_j};
+}
+
+std::vector<pareto::ConfigPoint> Advisor::split_alternatives(int total_cores,
+                                                             double f_hz) {
+  HEPEX_REQUIRE(total_cores >= 1, "need at least one core");
+  std::vector<hw::ClusterConfig> cfgs;
+  for (int tau = 1; tau <= machine_.node.cores; ++tau) {
+    if (total_cores % tau != 0) continue;
+    const int l = total_cores / tau;
+    cfgs.push_back(hw::ClusterConfig{l, tau, f_hz});
+  }
+  HEPEX_REQUIRE(!cfgs.empty(),
+                "no l x tau split fits this machine's nodes");
+  return pareto::sweep_model(characterization(), model::target_of(program_),
+                             cfgs);
+}
+
+pareto::ConfigPoint Advisor::throttle_concurrency(int nodes, double f_hz) {
+  HEPEX_REQUIRE(nodes >= 1, "need at least one node");
+  std::vector<hw::ClusterConfig> cfgs;
+  for (int c = 1; c <= machine_.node.cores; ++c) {
+    cfgs.push_back(hw::ClusterConfig{nodes, c, f_hz});
+  }
+  const auto points = pareto::sweep_model(
+      characterization(), model::target_of(program_), cfgs);
+  const pareto::ConfigPoint* best = &points.front();
+  for (const auto& p : points) {
+    if (p.energy_j < best->energy_j) best = &p;
+  }
+  return *best;
+}
+
+Advisor Advisor::with_memory_bandwidth(double factor) {
+  model::Characterization scaled =
+      model::with_memory_bandwidth_scaled(characterization(), factor);
+  return Advisor(scaled.machine, program_, options_, std::move(scaled));
+}
+
+Advisor Advisor::with_network_bandwidth(double factor) {
+  model::Characterization scaled =
+      model::with_network_bandwidth_scaled(characterization(), factor);
+  return Advisor(scaled.machine, program_, options_, std::move(scaled));
+}
+
+}  // namespace hepex::core

@@ -1,0 +1,106 @@
+#pragma once
+/// \file advisor.hpp
+/// \brief One-stop public API: from a program and a machine to
+///        energy-efficient execution configurations.
+///
+/// `Advisor` packages the paper's whole workflow (Fig. 2):
+///
+/// ```
+///   hepex::core::Advisor advisor(hw::xeon_cluster(),
+///                                workload::make_sp());
+///   auto rec = advisor.for_deadline(60.0);   // seconds
+///   // rec->config is the (n, c, f) that meets the deadline with
+///   // minimum energy; rec->ucr says how balanced the execution is.
+/// ```
+///
+/// The first query triggers the measurement-driven characterization
+/// (baseline runs, communication probe, NetPIPE, power micro-benchmarks)
+/// and caches it; every later query is a cheap model evaluation.
+
+#include <optional>
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "model/characterization.hpp"
+#include "model/predictor.hpp"
+#include "model/whatif.hpp"
+#include "pareto/frontier.hpp"
+#include "workload/program.hpp"
+
+namespace hepex::core {
+
+/// A recommended execution configuration with its predicted cost.
+struct Recommendation {
+  pareto::ConfigPoint point;   ///< configuration + predicted time/energy/UCR
+  double constraint = 0.0;     ///< the deadline [s] or budget [J] asked for
+  double slack = 0.0;          ///< distance to the constraint (>= 0)
+};
+
+/// Facade over characterization, prediction and Pareto analysis for one
+/// (machine, program) pair.
+class Advisor {
+ public:
+  /// \param machine  target homogeneous cluster
+  /// \param program  hybrid program (its input class and iteration count
+  ///                 define the prediction target)
+  /// \param options  characterization controls (baseline class, seeds)
+  Advisor(hw::MachineSpec machine, workload::ProgramSpec program,
+          model::CharacterizationOptions options = {});
+
+  /// The characterized model inputs (runs the measurement pass once).
+  const model::Characterization& characterization();
+
+  /// Model prediction at one configuration.
+  model::Prediction predict(const hw::ClusterConfig& config);
+
+  /// Evaluate the machine's full model configuration space (cached).
+  const std::vector<pareto::ConfigPoint>& explore();
+
+  /// Time-energy Pareto frontier over the full space, ascending time.
+  std::vector<pareto::ConfigPoint> frontier();
+
+  /// The frontier's knee — the best time-energy trade-off when neither a
+  /// deadline nor a budget is given.
+  pareto::ConfigPoint knee();
+
+  /// Minimum-energy configuration meeting an execution-time deadline.
+  std::optional<Recommendation> for_deadline(double deadline_s);
+
+  /// Minimum-time configuration within an energy budget.
+  std::optional<Recommendation> for_budget(double budget_j);
+
+  /// Application-developer view (§V-B): all ways to split a fixed total
+  /// core count into l processes x tau threads at frequency `f_hz`,
+  /// evaluated by the model. Splits use n = l nodes, c = tau cores.
+  std::vector<pareto::ConfigPoint> split_alternatives(int total_cores,
+                                                      double f_hz);
+
+  /// Dynamic-concurrency-throttling analogue (the paper's §II-A): for a
+  /// fixed node count and frequency, the thread count tau <= c_max that
+  /// minimizes predicted energy. Using fewer threads than cores pays off
+  /// exactly when shared-memory contention dominates — the effect DCT
+  /// exploits at runtime.
+  pareto::ConfigPoint throttle_concurrency(int nodes, double f_hz);
+
+  /// System-designer what-ifs: a new Advisor whose characterization
+  /// reflects the scaled component (the original is unchanged).
+  Advisor with_memory_bandwidth(double factor);
+  Advisor with_network_bandwidth(double factor);
+
+  /// The machine and program this advisor serves.
+  const hw::MachineSpec& machine() const { return machine_; }
+  const workload::ProgramSpec& program() const { return program_; }
+
+ private:
+  Advisor(hw::MachineSpec machine, workload::ProgramSpec program,
+          model::CharacterizationOptions options,
+          model::Characterization prebuilt);
+
+  hw::MachineSpec machine_;
+  workload::ProgramSpec program_;
+  model::CharacterizationOptions options_;
+  std::optional<model::Characterization> ch_;
+  std::optional<std::vector<pareto::ConfigPoint>> space_;
+};
+
+}  // namespace hepex::core

@@ -1,0 +1,123 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "pareto/metrics.hpp"
+#include "util/table.hpp"
+
+namespace hepex::core {
+namespace {
+
+std::string cfg_str(const hw::ClusterConfig& c) {
+  return util::fmt_config(c.nodes, c.cores, c.f_hz / 1e9);
+}
+
+}  // namespace
+
+std::string markdown_report(Advisor& advisor, const ReportOptions& options) {
+  std::ostringstream os;
+  const auto& ch = advisor.characterization();
+  const auto& machine = advisor.machine();
+  const auto& program = advisor.program();
+
+  os << "# HEPEX analysis: " << program.name << " (class "
+     << workload::to_string(program.input) << ") on " << machine.name
+     << "\n\n";
+
+  os << "## Program\n\n"
+     << "- suite: " << program.suite << " (" << program.language << ")\n"
+     << "- domain: " << program.domain << "\n"
+     << "- iterations S: " << program.iterations << "\n"
+     << "- communication pattern: " << workload::to_string(ch.pattern)
+     << ", eta = " << util::fmt(ch.comm.eta, 1)
+     << " msg/process/iter at n = " << ch.comm.n_probe
+     << ", nu = " << util::fmt(ch.comm.nu / 1e3, 1) << " kB\n\n";
+
+  os << "## Machine characterization\n\n"
+     << "- achievable network throughput B: "
+     << util::fmt(ch.network.achievable_bps / 1e6, 1) << " Mbps (link "
+     << util::fmt(machine.network.link_bits_per_s / 1e6, 0) << " Mbps)\n"
+     << "- per-message software latency at f_max: "
+     << util::fmt(ch.msg_software_s_at_fmax * 1e6, 1) << " us\n"
+     << "- P_sys,idle: " << util::fmt(ch.power.sys_idle_w, 1) << " W; "
+     << "P_core,act(f_max): "
+     << util::fmt(ch.power.core_active_w.back(), 2) << " W; "
+     << "P_core,stall(f_max): "
+     << util::fmt(ch.power.core_stall_w.back(), 2) << " W\n\n";
+
+  const auto frontier = advisor.frontier();
+  os << "## Time-energy Pareto frontier (" << frontier.size() << " of "
+     << advisor.explore().size() << " configurations)\n\n";
+  util::Table t({"(n,c,f)", "time [s]", "energy [kJ]", "UCR"});
+  std::size_t rows = 0;
+  for (const auto& p : frontier) {
+    if (options.max_frontier_rows > 0 && rows++ >= options.max_frontier_rows) {
+      break;
+    }
+    t.add_row({cfg_str(p.config), util::fmt(p.time_s, 1),
+               util::fmt(p.energy_j / 1e3, 2), util::fmt(p.ucr, 2)});
+  }
+  os << t.to_text();
+  if (options.max_frontier_rows > 0 &&
+      frontier.size() > options.max_frontier_rows) {
+    os << "(" << frontier.size() - options.max_frontier_rows
+       << " more rows truncated)\n";
+  }
+  os << "\n";
+
+  os << "## Recommendations\n\n";
+  const auto knee = pareto::knee_point(frontier);
+  os << "- best trade-off (frontier knee): " << cfg_str(knee.config) << ": "
+     << util::fmt(knee.time_s, 1) << " s, "
+     << util::fmt(knee.energy_j / 1e3, 2) << " kJ (UCR "
+     << util::fmt(knee.ucr, 2) << ")\n";
+  const double t_min = frontier.front().time_s;
+  const double t_max = frontier.back().time_s;
+  for (double factor : {1.2, 3.0, 10.0}) {
+    const double deadline = std::min(t_max, t_min * factor);
+    if (const auto rec = advisor.for_deadline(deadline)) {
+      os << "- deadline " << util::fmt(deadline, 1) << " s -> "
+         << cfg_str(rec->point.config) << ": "
+         << util::fmt(rec->point.time_s, 1) << " s, "
+         << util::fmt(rec->point.energy_j / 1e3, 2) << " kJ (UCR "
+         << util::fmt(rec->point.ucr, 2) << ")\n";
+    }
+  }
+  os << "\n";
+
+  os << "## Balance analysis (UCR)\n\n";
+  const double best_ucr =
+      advisor.predict({1, 1, machine.node.dvfs.f_min()}).ucr;
+  os << "- best possible UCR (1,1,f_min): " << util::fmt(best_ucr, 2) << "\n"
+     << "- frontier UCR range: " << util::fmt(frontier.front().ucr, 2)
+     << " (fast end) to " << util::fmt(frontier.back().ucr, 2)
+     << " (frugal end)\n";
+  const auto fast_pred = advisor.predict(frontier.front().config);
+  const auto shares = pareto::time_shares(fast_pred);
+  os << "- fastest frontier point " << cfg_str(frontier.front().config)
+     << " spends " << util::fmt(100 * shares.cpu, 0) << "% computing, "
+     << util::fmt(100 * shares.memory, 0) << "% on memory contention, "
+     << util::fmt(100 * (shares.net_wait + shares.net_serve), 0)
+     << "% on the network\n\n";
+
+  if (options.include_whatif) {
+    os << "## What-if: component upgrades at the fastest frontier point\n\n";
+    const auto base = fast_pred;
+    Advisor mem2 = advisor.with_memory_bandwidth(2.0);
+    Advisor net2 = advisor.with_network_bandwidth(2.0);
+    const auto m2 = mem2.predict(frontier.front().config);
+    const auto n2 = net2.predict(frontier.front().config);
+    util::Table w({"scenario", "time [s]", "energy [kJ]", "UCR"});
+    w.add_row({"stock", util::fmt(base.time_s, 1),
+               util::fmt(base.energy_j / 1e3, 2), util::fmt(base.ucr, 2)});
+    w.add_row({"2x memory bandwidth", util::fmt(m2.time_s, 1),
+               util::fmt(m2.energy_j / 1e3, 2), util::fmt(m2.ucr, 2)});
+    w.add_row({"2x network bandwidth", util::fmt(n2.time_s, 1),
+               util::fmt(n2.energy_j / 1e3, 2), util::fmt(n2.ucr, 2)});
+    os << w.to_text() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hepex::core

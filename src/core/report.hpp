@@ -1,0 +1,29 @@
+#pragma once
+/// \file report.hpp
+/// \brief Human-readable analysis reports.
+///
+/// `markdown_report` renders everything the paper's workflow produces for
+/// one (machine, program) pair — characterization summary, the Pareto
+/// frontier, deadline/budget recommendations and the UCR balance analysis
+/// — as a self-contained markdown document a team can attach to a ticket
+/// or commit next to their job scripts.
+
+#include <string>
+
+#include "core/advisor.hpp"
+
+namespace hepex::core {
+
+/// Options for report rendering.
+struct ReportOptions {
+  /// Truncate the frontier table beyond this many rows (0 = no limit).
+  std::size_t max_frontier_rows = 24;
+  /// Include the memory/network what-if section.
+  bool include_whatif = true;
+};
+
+/// Render a full markdown analysis for the advisor's machine/program.
+/// Triggers characterization and exploration if not yet cached.
+std::string markdown_report(Advisor& advisor, const ReportOptions& options = {});
+
+}  // namespace hepex::core

@@ -1,0 +1,62 @@
+#include "core/validation.hpp"
+
+#include "model/predictor.hpp"
+#include "trace/execution_engine.hpp"
+#include "trace/power_meter.hpp"
+#include "util/error.hpp"
+
+namespace hepex::core {
+
+ValidationReport validate(const hw::MachineSpec& machine,
+                          const workload::ProgramSpec& program,
+                          const std::vector<hw::ClusterConfig>& configs,
+                          const model::CharacterizationOptions& options) {
+  HEPEX_REQUIRE(!configs.empty(), "validation needs at least one config");
+
+  const model::Characterization ch =
+      model::characterize(machine, program, options);
+  const model::TargetInfo target = model::target_of(program);
+  trace::PowerMeter meter(machine, options.meter_seed);
+
+  ValidationReport report;
+  report.rows.reserve(configs.size());
+  trace::SimOptions sim_opt = options.sim;
+
+  for (const auto& cfg : configs) {
+    // "Direct measurement": a fresh seed per configuration, as separate
+    // physical runs would have independent OS noise.
+    sim_opt.seed = options.sim.seed + 0x9E37u * (report.rows.size() + 1);
+    const trace::Measurement meas =
+        trace::simulate(machine, program, cfg, sim_opt);
+    const trace::MeterReading reading = meter.read(meas);
+    const model::Prediction pred = model::predict(ch, target, cfg);
+
+    ValidationRow row;
+    row.config = cfg;
+    row.measured_time_s = reading.time_s;
+    row.predicted_time_s = pred.time_s;
+    row.measured_energy_j = reading.energy_j;
+    row.predicted_energy_j = pred.energy_j;
+    row.time_error_pct =
+        util::absolute_percentage_error(pred.time_s, reading.time_s);
+    row.energy_error_pct =
+        util::absolute_percentage_error(pred.energy_j, reading.energy_j);
+    row.measured_ucr = meas.ucr();
+    row.predicted_ucr = pred.ucr;
+
+    report.time_error.add(row.time_error_pct);
+    report.energy_error.add(row.energy_error_pct);
+    report.rows.push_back(row);
+  }
+  return report;
+}
+
+std::vector<hw::ClusterConfig> validation_grid(const hw::MachineSpec& machine,
+                                               bool include_single_node) {
+  std::vector<int> nodes;
+  if (include_single_node) nodes.push_back(1);
+  for (int n = 2; n <= machine.nodes_available; n *= 2) nodes.push_back(n);
+  return hw::enumerate_configs(machine, nodes);
+}
+
+}  // namespace hepex::core

@@ -1,0 +1,55 @@
+#pragma once
+/// \file validation.hpp
+/// \brief Model-vs-measurement validation harness (the paper's §IV).
+///
+/// For each configuration: run the program on the simulated cluster
+/// ("direct measurement" through the `time` command and the WattsUp
+/// meter), evaluate the analytical model, and report the percentage
+/// errors. Aggregating over a configuration sweep yields the paper's
+/// Table 2 (mean and standard deviation of the error per program and
+/// cluster).
+
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "model/characterization.hpp"
+#include "util/statistics.hpp"
+#include "workload/program.hpp"
+
+namespace hepex::core {
+
+/// Measured-vs-predicted numbers for one configuration.
+struct ValidationRow {
+  hw::ClusterConfig config;
+  double measured_time_s = 0.0;
+  double predicted_time_s = 0.0;
+  double measured_energy_j = 0.0;
+  double predicted_energy_j = 0.0;
+  double time_error_pct = 0.0;    ///< |pred - meas| / meas * 100
+  double energy_error_pct = 0.0;
+  double measured_ucr = 0.0;
+  double predicted_ucr = 0.0;
+};
+
+/// A full validation sweep for one (machine, program) pair.
+struct ValidationReport {
+  std::vector<ValidationRow> rows;
+  util::Summary time_error;    ///< absolute % errors across rows
+  util::Summary energy_error;
+};
+
+/// Validate `program` on `machine` over `configs`. The characterization
+/// is built once (from the baseline class in `options`); each config is
+/// then simulated and metered, and compared against the model.
+ValidationReport validate(const hw::MachineSpec& machine,
+                          const workload::ProgramSpec& program,
+                          const std::vector<hw::ClusterConfig>& configs,
+                          const model::CharacterizationOptions& options = {});
+
+/// The paper's validation grid: n in {2,4,8} (plus optionally 1),
+/// c over all cores, f over all DVFS points — 96 Xeon / 80 ARM configs
+/// when `include_single_node` is false.
+std::vector<hw::ClusterConfig> validation_grid(const hw::MachineSpec& machine,
+                                               bool include_single_node);
+
+}  // namespace hepex::core

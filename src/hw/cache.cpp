@@ -1,0 +1,40 @@
+#include "hw/cache.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hepex::hw {
+
+double CacheSpec::effective_bytes_per_core(int active_cores) const {
+  HEPEX_REQUIRE(active_cores >= 1, "need at least one active core");
+  const double shared = (l2_shared_bytes + l3_shared_bytes) /
+                        static_cast<double>(active_cores);
+  return l1_per_core_bytes + shared;
+}
+
+double CacheSpec::step(double working_set, double capacity) const {
+  HEPEX_REQUIRE(working_set >= 0.0, "working set must be non-negative");
+  HEPEX_ASSERT(capacity > 0.0, "cache capacity must be positive");
+  HEPEX_ASSERT(knee > 1.0, "knee must exceed 1");
+  if (working_set <= capacity) return cold_miss_fraction;
+  const double ratio = working_set / capacity;
+  const double ramp = std::min(1.0, (ratio - 1.0) / (knee - 1.0));
+  return cold_miss_fraction + (1.0 - cold_miss_fraction) * ramp;
+}
+
+double CacheSpec::dram_fraction(double working_set_bytes,
+                                int active_cores) const {
+  return step(working_set_bytes, effective_bytes_per_core(active_cores));
+}
+
+double CacheSpec::dram_fraction_shared(double process_ws,
+                                       int active_cores) const {
+  HEPEX_REQUIRE(active_cores >= 1, "need at least one active core");
+  const double capacity =
+      l1_per_core_bytes * static_cast<double>(active_cores) +
+      l2_shared_bytes + l3_shared_bytes;
+  return step(process_ws, capacity);
+}
+
+}  // namespace hepex::hw

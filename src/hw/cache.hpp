@@ -1,0 +1,57 @@
+#pragma once
+/// \file cache.hpp
+/// \brief Working-set cache model: how much program traffic reaches DRAM.
+///
+/// HEPEX does not simulate individual cache lines. Instead the hierarchy
+/// maps a working set onto a *DRAM multiplier* in [cold, 1]: the share of
+/// a traffic component that misses all cache levels. The multiplier is a
+/// smooth step — `cold` while the set fits, ramping to 1 once the set
+/// exceeds `knee` times the effective capacity. Iterative sweeps over a
+/// grid larger than cache get no inter-iteration reuse, so their traffic
+/// is compulsory (multiplier 1) regardless of the exact size; only sets
+/// near the capacity boundary sit on the ramp.
+///
+/// Two capacity views matter for a hybrid program:
+///  - the process's full grid footprint, shared by all its threads
+///    (use `dram_fraction_shared`), and
+///  - a per-thread reuse window (solver blocks, FFT tiles) competing for a
+///    per-thread share of the shared levels (use `dram_fraction`).
+/// The second view is what separates the paper's two machines: BT's block
+/// window fits a Xeon core's L3 share but dwarfs the ARM Cortex-A9's L2,
+/// which is why BT's useful computation ratio is ~0.96 on Xeon but only
+/// ~0.5 on ARM (§V-B).
+
+namespace hepex::hw {
+
+/// Capacities of a three-level hierarchy (bytes). `l3_bytes == 0` means no
+/// L3 (the ARM preset).
+struct CacheSpec {
+  double l1_per_core_bytes = 32e3;
+  double l2_shared_bytes = 2e6;
+  double l3_shared_bytes = 20e6;
+  /// Residual miss fraction even when the working set fits in cache
+  /// (cold misses, coherence traffic).
+  double cold_miss_fraction = 0.02;
+  /// Working sets beyond `knee * capacity` are fully compulsory
+  /// (multiplier 1); the ramp between capacity and the knee is linear.
+  double knee = 2.0;
+
+  /// Effective cache capacity available to one of `active_cores` cores
+  /// (private L1 plus an even share of the shared levels).
+  double effective_bytes_per_core(int active_cores) const;
+
+  /// DRAM multiplier for a *per-thread* working set of
+  /// `working_set_bytes` with `active_cores` threads sharing the node.
+  /// Monotonic in both arguments; in [cold, 1].
+  double dram_fraction(double working_set_bytes, int active_cores) const;
+
+  /// DRAM multiplier for one process's *shared* footprint of
+  /// `process_ws` bytes: the shared levels see the union of the threads'
+  /// slices, so capacity is `active_cores * L1 + L2 + L3`.
+  double dram_fraction_shared(double process_ws, int active_cores) const;
+
+ private:
+  double step(double working_set, double capacity) const;
+};
+
+}  // namespace hepex::hw

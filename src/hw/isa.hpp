@@ -1,0 +1,54 @@
+#pragma once
+/// \file isa.hpp
+/// \brief Instruction-set / micro-architecture descriptors.
+///
+/// The paper validates on two ISAs with very different pipeline behaviour:
+/// a wide out-of-order x86-64 Xeon and a narrow, partially out-of-order
+/// ARMv7 Cortex-A9. The descriptor captures the three effects HEPEX needs:
+/// how instructions translate into work cycles (`w`), how many non-memory
+/// pipeline stalls they drag along (`b`, §III-C), and how much of a DRAM
+/// access the core can hide beneath independent work (the inter/intra-node
+/// *overlap* the paper models).
+
+#include <string>
+
+namespace hepex::hw {
+
+/// Micro-architecture family.
+enum class IsaFamily { kX86_64, kArmV7A };
+
+/// Per-ISA pipeline parameters.
+struct Isa {
+  IsaFamily family = IsaFamily::kX86_64;
+  std::string name;
+
+  /// Cycles per instruction for stall-free work. Superscalar OOO cores
+  /// retire multiple instructions per cycle (cpi < 1).
+  double work_cpi = 0.5;
+
+  /// Non-memory stall cycles per work cycle (branch mispredictions,
+  /// dependency bubbles — the paper's `b`). Programs additionally scale
+  /// this with their own stall factor.
+  double pipeline_stall_per_work_cycle = 0.15;
+
+  /// Fraction of a DRAM access's *service* time hidden beneath independent
+  /// instructions (out-of-order execution + prefetching). Queueing delay
+  /// behind other cores can never be hidden.
+  double memory_overlap = 0.5;
+
+  /// Outstanding-miss depth: DRAM latency pipelines across this many
+  /// concurrent misses, so the per-miss latency cost is latency / mlp.
+  double memory_level_parallelism = 4.0;
+
+  /// Cycles of software overhead to post/complete one MPI message
+  /// (TCP stack + MPI envelope processing). Time cost is cycles / f.
+  double message_software_cycles = 50e3;
+};
+
+/// Intel Xeon E5-2603-like pipeline (Table 3, left column).
+Isa isa_x86_64_xeon();
+
+/// ARM Cortex-A9-like pipeline (Table 3, right column).
+Isa isa_armv7_cortex_a9();
+
+}  // namespace hepex::hw

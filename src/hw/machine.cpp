@@ -1,0 +1,42 @@
+#include "hw/machine.hpp"
+
+#include "util/error.hpp"
+
+namespace hepex::hw {
+
+void validate_config(const MachineSpec& m, const ClusterConfig& cfg,
+                     bool require_physical) {
+  HEPEX_REQUIRE(cfg.nodes >= 1, "configuration needs at least one node");
+  HEPEX_REQUIRE(cfg.cores >= 1 && cfg.cores <= m.node.cores,
+                "core count outside node capability");
+  HEPEX_REQUIRE(m.node.dvfs.supports(cfg.f_hz),
+                "frequency is not a DVFS operating point of this machine");
+  if (require_physical) {
+    HEPEX_REQUIRE(cfg.nodes <= m.nodes_available,
+                  "not enough physical nodes for direct measurement");
+  }
+}
+
+std::vector<ClusterConfig> enumerate_configs(
+    const MachineSpec& m, const std::vector<int>& node_counts) {
+  std::vector<ClusterConfig> out;
+  out.reserve(node_counts.size() * static_cast<std::size_t>(m.node.cores) *
+              m.node.dvfs.frequencies_hz.size());
+  for (int n : node_counts) {
+    HEPEX_REQUIRE(n >= 1, "node counts must be positive");
+    for (int c = 1; c <= m.node.cores; ++c) {
+      for (double f : m.node.dvfs.frequencies_hz) {
+        out.push_back(ClusterConfig{n, c, f});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ClusterConfig> model_config_space(const MachineSpec& m) {
+  HEPEX_REQUIRE(!m.model_node_counts.empty(),
+                "machine has no model node counts defined");
+  return enumerate_configs(m, m.model_node_counts);
+}
+
+}  // namespace hepex::hw

@@ -1,0 +1,72 @@
+#pragma once
+/// \file machine.hpp
+/// \brief Node and cluster descriptions plus execution configurations.
+///
+/// A `MachineSpec` is everything HEPEX knows about a homogeneous cluster:
+/// the node (cores, ISA, caches, memory, power, DVFS points) and the
+/// interconnect. A `ClusterConfig` is the paper's `(n, c, f)` tuple — the
+/// decision variable of the whole approach.
+
+#include <string>
+#include <vector>
+
+#include "hw/cache.hpp"
+#include "hw/isa.hpp"
+#include "hw/memory.hpp"
+#include "hw/network.hpp"
+#include "hw/power.hpp"
+
+namespace hepex::hw {
+
+/// One homogeneous multicore node.
+struct NodeSpec {
+  int cores = 8;       ///< c_max
+  Isa isa;             ///< pipeline behaviour
+  DvfsRange dvfs;      ///< operating points and voltage range
+  CacheSpec cache;     ///< hierarchy capacities
+  MemorySpec memory;   ///< controller bandwidth/latency
+  PowerSpec power;     ///< power parameters
+};
+
+/// A homogeneous cluster of `NodeSpec` nodes behind one switch.
+struct MachineSpec {
+  std::string name;
+  NodeSpec node;
+  NetworkSpec network;
+  /// Nodes physically available for "direct measurement" (simulation).
+  int nodes_available = 8;
+  /// Node counts spanned when the *model* explores the configuration
+  /// space (the paper explores up to 256 Xeon / 20 ARM nodes).
+  std::vector<int> model_node_counts;
+};
+
+/// The paper's (n, c, f) execution configuration.
+struct ClusterConfig {
+  int nodes = 1;        ///< n — also the number of logical processes l
+  int cores = 1;        ///< c — also the threads per process tau
+  double f_hz = 1.2e9;  ///< operating core clock frequency
+
+  bool operator==(const ClusterConfig&) const = default;
+};
+
+/// Total cores across the cluster for a configuration.
+inline int total_cores(const ClusterConfig& cfg) {
+  return cfg.nodes * cfg.cores;
+}
+
+/// Validate that `cfg` is executable on `m` when `require_physical` demands
+/// n <= nodes_available (measurement) as opposed to the model space.
+/// Throws std::invalid_argument otherwise.
+void validate_config(const MachineSpec& m, const ClusterConfig& cfg,
+                     bool require_physical);
+
+/// Enumerate every (n, c, f): n from `node_counts`, c in [1, cores],
+/// f over all DVFS points.
+std::vector<ClusterConfig> enumerate_configs(
+    const MachineSpec& m, const std::vector<int>& node_counts);
+
+/// The machine's full model configuration space
+/// (model_node_counts x cores x DVFS points).
+std::vector<ClusterConfig> model_config_space(const MachineSpec& m);
+
+}  // namespace hepex::hw

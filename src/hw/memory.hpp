@@ -1,0 +1,33 @@
+#pragma once
+/// \file memory.hpp
+/// \brief Node memory-subsystem parameters.
+///
+/// Each node has one memory controller shared by its cores (UMA, as in the
+/// paper's validation systems). In the simulator the controller is an FCFS
+/// `sim::Resource`; a request for `bytes` occupies it for
+/// `latency + bytes / bandwidth` seconds. Waiting behind other cores'
+/// requests is the physical origin of the paper's `T_w,mem`.
+
+#include "util/error.hpp"
+
+namespace hepex::hw {
+
+/// Memory controller parameters.
+struct MemorySpec {
+  /// Sustained DRAM bandwidth [bytes/s].
+  double bandwidth_bytes_per_s = 12e9;
+  /// Fixed access latency per request batch [s].
+  double latency_s = 65e-9;
+  /// Installed capacity [bytes] (documentation; demand checking).
+  double capacity_bytes = 8e9;
+  /// Cache-line / DRAM burst size [bytes]; one miss moves one line.
+  double line_bytes = 64.0;
+
+  /// Service time for a batched request of `bytes`.
+  double service_time(double bytes) const {
+    HEPEX_REQUIRE(bytes >= 0.0, "bytes must be non-negative");
+    return latency_s + bytes / bandwidth_bytes_per_s;
+  }
+};
+
+}  // namespace hepex::hw

@@ -1,0 +1,56 @@
+#pragma once
+/// \file network.hpp
+/// \brief Ethernet interconnect parameters.
+///
+/// Nodes communicate through a single store-and-forward switch — the
+/// paper's M/G/1 server (Eq. 5). A message of `payload` bytes occupies the
+/// switch for `switch_latency + wire_bytes(payload) / link_rate` seconds,
+/// where `wire_bytes` inflates the payload by per-frame protocol headers.
+/// The header overhead is why a 100 Mbps link tops out near 90 Mbps of MPI
+/// goodput (Fig. 3); the per-message *software* cost lives with the CPU
+/// (`Isa::message_software_cycles`), not here.
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hepex::hw {
+
+/// Switch/link parameters.
+struct NetworkSpec {
+  /// Raw link rate [bits/s].
+  double link_bits_per_s = 1e9;
+  /// Store-and-forward + propagation latency per message [s].
+  double switch_latency_s = 10e-6;
+  /// Ethernet/IP/TCP header bytes per MTU-sized frame.
+  double header_bytes_per_frame = 78.0;
+  /// Payload bytes per frame (MTU minus headers).
+  double payload_bytes_per_frame = 1448.0;
+
+  /// Bytes on the wire for a `payload`-byte message (headers included).
+  /// At least one frame even for zero-byte control messages.
+  double wire_bytes(double payload) const;
+
+  /// Link rate in payload bytes per second for an MTU-sized stream —
+  /// the asymptotic goodput a NetPIPE sweep approaches.
+  double peak_goodput_bytes_per_s() const {
+    const double eff = payload_bytes_per_frame /
+                       (payload_bytes_per_frame + header_bytes_per_frame);
+    return link_bits_per_s / 8.0 * eff;
+  }
+
+  /// Time a message of `payload` bytes occupies the switch.
+  double wire_time(double payload) const {
+    return switch_latency_s + wire_bytes(payload) / (link_bits_per_s / 8.0);
+  }
+};
+
+inline double NetworkSpec::wire_bytes(double payload) const {
+  HEPEX_REQUIRE(payload >= 0.0, "payload must be non-negative");
+  const double frames =
+      std::max(1.0, std::ceil(payload / payload_bytes_per_frame));
+  return payload + frames * header_bytes_per_frame;
+}
+
+}  // namespace hepex::hw

@@ -1,0 +1,36 @@
+#include "hw/power.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hepex::hw {
+
+double DvfsRange::voltage_at(double f_hz) const {
+  HEPEX_REQUIRE(!frequencies_hz.empty(), "DVFS range has no operating points");
+  const double lo = f_min();
+  const double hi = f_max();
+  const double f = std::clamp(f_hz, lo, hi);
+  if (hi <= lo) return v_max;
+  return v_min + (v_max - v_min) * (f - lo) / (hi - lo);
+}
+
+bool DvfsRange::supports(double f_hz) const {
+  for (double f : frequencies_hz) {
+    if (std::abs(f - f_hz) < 1e3) return true;
+  }
+  return false;
+}
+
+double CorePowerCurve::active_at(double f_hz, const DvfsRange& dvfs) const {
+  HEPEX_REQUIRE(f_hz > 0.0, "frequency must be positive");
+  const double v = dvfs.voltage_at(f_hz);
+  return active_coeff * f_hz * v * v;
+}
+
+double CorePowerCurve::stall_at(double f_hz, const DvfsRange& dvfs) const {
+  return stall_fraction * active_at(f_hz, dvfs);
+}
+
+}  // namespace hepex::hw

@@ -1,0 +1,57 @@
+#pragma once
+/// \file power.hpp
+/// \brief Node power model (the paper's Table 1 "Power Parameters").
+///
+/// A core draws `active` power while executing work cycles and `stall`
+/// power while stalled on memory (clock still toggling, pipeline idle).
+/// Both scale as P = C · f · V(f)^2 with voltage rising linearly across
+/// the DVFS range — the classic dynamic-power relation that gives modern
+/// processors their wide dynamic range (§III-E-3). Memory and NIC draw
+/// fixed active power while busy; everything else is the constant
+/// `P_sys,idle` drawn for the whole run (Eq. 12).
+
+#include <vector>
+
+namespace hepex::hw {
+
+/// Dynamic frequency/voltage operating range of a core.
+struct DvfsRange {
+  std::vector<double> frequencies_hz;  ///< discrete operating points, ascending
+  double v_min = 0.9;                  ///< core voltage at frequencies_hz.front()
+  double v_max = 1.05;                 ///< core voltage at frequencies_hz.back()
+
+  /// Lowest operating point.
+  double f_min() const { return frequencies_hz.front(); }
+  /// Highest operating point.
+  double f_max() const { return frequencies_hz.back(); }
+  /// Linear voltage interpolation at frequency `f_hz` (clamped to range).
+  double voltage_at(double f_hz) const;
+  /// True when `f_hz` matches one of the discrete points (1 kHz tolerance).
+  bool supports(double f_hz) const;
+};
+
+/// Per-core power curve: P = coeff · f · V(f)^2.
+struct CorePowerCurve {
+  /// Dynamic-power coefficient for active (work) cycles [W / (Hz·V^2)].
+  double active_coeff = 3.0e-9;
+  /// Stall power as a fraction of active power at the same frequency.
+  double stall_fraction = 0.45;
+
+  /// Power of one active core at `f_hz`.
+  double active_at(double f_hz, const DvfsRange& dvfs) const;
+  /// Power of one memory-stalled core at `f_hz`.
+  double stall_at(double f_hz, const DvfsRange& dvfs) const;
+};
+
+/// Complete node power description.
+struct PowerSpec {
+  CorePowerCurve core;
+  double mem_active_w = 8.0;  ///< memory subsystem while servicing requests
+  double net_active_w = 3.0;  ///< NIC while transmitting/receiving
+  double sys_idle_w = 55.0;   ///< whole-node floor, drawn for the full run
+  /// 1-sigma calibration error of an external wall-power meter reading
+  /// this node (the paper reports ~2 W for Xeon, ~0.4 W for ARM, §IV-C).
+  double meter_offset_sigma_w = 2.0;
+};
+
+}  // namespace hepex::hw

@@ -1,0 +1,147 @@
+#include "hw/presets.hpp"
+
+#include "util/units.hpp"
+
+namespace hepex::hw {
+
+using namespace hepex::units;
+
+Isa isa_x86_64_xeon() {
+  Isa isa;
+  isa.family = IsaFamily::kX86_64;
+  isa.name = "x86_64 (Xeon E5-2603)";
+  isa.work_cpi = 0.55;
+  isa.pipeline_stall_per_work_cycle = 0.15;
+  isa.memory_overlap = 0.80;
+  isa.memory_level_parallelism = 4.0;
+  isa.message_software_cycles = 55e3;
+  return isa;
+}
+
+Isa isa_armv7_cortex_a9() {
+  Isa isa;
+  isa.family = IsaFamily::kArmV7A;
+  isa.name = "ARMv7-A (Cortex-A9)";
+  isa.work_cpi = 1.15;
+  isa.pipeline_stall_per_work_cycle = 0.45;
+  isa.memory_overlap = 0.15;
+  isa.memory_level_parallelism = 1.5;
+  isa.message_software_cycles = 110e3;
+  return isa;
+}
+
+MachineSpec xeon_cluster() {
+  MachineSpec m;
+  m.name = "Intel Xeon E5-2603";
+
+  m.node.cores = 8;
+  m.node.isa = isa_x86_64_xeon();
+  m.node.dvfs.frequencies_hz = {1.2 * GHz, 1.5 * GHz, 1.8 * GHz};
+  m.node.dvfs.v_min = 0.90;
+  m.node.dvfs.v_max = 1.05;
+
+  m.node.cache.l1_per_core_bytes = 32 * KB;
+  m.node.cache.l2_shared_bytes = 2 * MB;
+  m.node.cache.l3_shared_bytes = 20 * MB;
+  m.node.cache.cold_miss_fraction = 0.02;
+
+  m.node.memory.bandwidth_bytes_per_s = 12 * GB;
+  m.node.memory.latency_s = 65 * ns;
+  m.node.memory.capacity_bytes = 8 * GB;
+  m.node.memory.line_bytes = 64.0;
+
+  // Calibrated so one active core at 1.8 GHz draws ~6 W and a fully loaded
+  // node lands near 115 W — consistent with a dual E5-2603 server.
+  m.node.power.core.active_coeff = 6.0 / (1.8e9 * 1.05 * 1.05);
+  m.node.power.core.stall_fraction = 0.45;
+  m.node.power.mem_active_w = 8.0;
+  m.node.power.net_active_w = 3.0;
+  m.node.power.sys_idle_w = 55.0;
+  m.node.power.meter_offset_sigma_w = 2.0;
+
+  m.network.link_bits_per_s = 1 * Gbps;
+  m.network.switch_latency_s = 10 * us;
+
+  m.nodes_available = 8;
+  m.model_node_counts = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+  return m;
+}
+
+MachineSpec arm_cluster() {
+  MachineSpec m;
+  m.name = "ARM Cortex-A9";
+
+  m.node.cores = 4;
+  m.node.isa = isa_armv7_cortex_a9();
+  m.node.dvfs.frequencies_hz = {0.2 * GHz, 0.5 * GHz, 0.8 * GHz, 1.1 * GHz,
+                                1.4 * GHz};
+  m.node.dvfs.v_min = 0.90;
+  m.node.dvfs.v_max = 1.25;
+
+  m.node.cache.l1_per_core_bytes = 32 * KB;
+  m.node.cache.l2_shared_bytes = 1 * MB;
+  m.node.cache.l3_shared_bytes = 0.0;
+  m.node.cache.cold_miss_fraction = 0.04;
+
+  m.node.memory.bandwidth_bytes_per_s = 1.3 * GB;
+  m.node.memory.latency_s = 110 * ns;
+  m.node.memory.capacity_bytes = 1 * GB;
+  m.node.memory.line_bytes = 32.0;
+
+  // One active core at 1.4 GHz draws ~0.8 W; full node ~6 W.
+  m.node.power.core.active_coeff = 0.8 / (1.4e9 * 1.25 * 1.25);
+  m.node.power.core.stall_fraction = 0.40;
+  m.node.power.mem_active_w = 0.4;
+  m.node.power.net_active_w = 0.3;
+  m.node.power.sys_idle_w = 2.5;
+  m.node.power.meter_offset_sigma_w = 0.4;
+
+  m.network.link_bits_per_s = 100 * Mbps;
+  m.network.switch_latency_s = 30 * us;
+
+  m.nodes_available = 8;
+  m.model_node_counts = {1,  2,  3,  4,  5,  6,  7,  8,  9,  10,
+                         11, 12, 13, 14, 15, 16, 17, 18, 19, 20};
+  return m;
+}
+
+MachineSpec modern_x86_cluster() {
+  MachineSpec m;
+  m.name = "Modern x86 (16-core, 10 GbE)";
+
+  m.node.cores = 16;
+  m.node.isa = isa_x86_64_xeon();
+  m.node.isa.name = "x86_64 (modern)";
+  m.node.isa.memory_level_parallelism = 8.0;
+  m.node.isa.message_software_cycles = 40e3;
+  m.node.dvfs.frequencies_hz = {2.0 * GHz, 2.4 * GHz, 2.8 * GHz, 3.2 * GHz};
+  m.node.dvfs.v_min = 0.85;
+  m.node.dvfs.v_max = 1.10;
+
+  m.node.cache.l1_per_core_bytes = 48 * KB;
+  m.node.cache.l2_shared_bytes = 16 * MB;   // 1 MB per core, private L2s
+  m.node.cache.l3_shared_bytes = 64 * MB;
+  m.node.cache.cold_miss_fraction = 0.02;
+
+  m.node.memory.bandwidth_bytes_per_s = 80 * GB;
+  m.node.memory.latency_s = 80 * ns;
+  m.node.memory.capacity_bytes = 128 * GB;
+  m.node.memory.line_bytes = 64.0;
+
+  // ~8 W per active core at 3.2 GHz; ~220 W fully loaded node.
+  m.node.power.core.active_coeff = 8.0 / (3.2e9 * 1.10 * 1.10);
+  m.node.power.core.stall_fraction = 0.40;
+  m.node.power.mem_active_w = 15.0;
+  m.node.power.net_active_w = 8.0;
+  m.node.power.sys_idle_w = 90.0;
+  m.node.power.meter_offset_sigma_w = 2.0;
+
+  m.network.link_bits_per_s = 10 * Gbps;
+  m.network.switch_latency_s = 2 * us;
+
+  m.nodes_available = 8;
+  m.model_node_counts = {1, 2, 4, 8, 16, 32, 64};
+  return m;
+}
+
+}  // namespace hepex::hw

@@ -1,0 +1,42 @@
+#pragma once
+/// \file presets.hpp
+/// \brief The two validation clusters of the paper's Table 3.
+///
+/// |                | Intel Xeon E5-2603 | ARM Cortex-A9 |
+/// |----------------|--------------------|---------------|
+/// | ISA            | x86_64             | ARMv7-A       |
+/// | Nodes          | 8                  | 8             |
+/// | Cores/node     | 8                  | 4             |
+/// | Clock          | 1.2–1.8 GHz        | 0.2–1.4 GHz   |
+/// | L1d            | 32 kB/core         | 32 kB/core    |
+/// | L2             | 2 MB/node          | 1 MB/node     |
+/// | L3             | 20 MB/node         | —             |
+/// | Memory         | 8 GB DDR3          | 1 GB LP-DDR2  |
+/// | I/O bandwidth  | 1 Gbps             | 100 Mbps      |
+///
+/// Power parameters are calibrated to the dynamic ranges the paper reports
+/// (§IV-C: power-characterisation variability of ~2 W per Xeon node and
+/// ~0.4 W per ARM node, total node power in the tens of watts vs a few
+/// watts respectively).
+
+#include "hw/machine.hpp"
+
+namespace hepex::hw {
+
+/// 8-node dual-socket Intel Xeon E5-2603 cluster, 1 Gbps Ethernet.
+/// Model configuration space: n in {1,2,4,...,256}, c in 1..8,
+/// f in {1.2, 1.5, 1.8} GHz — the 216-point space of Fig. 8.
+MachineSpec xeon_cluster();
+
+/// 8-node ARM Cortex-A9 cluster, 100 Mbps Ethernet.
+/// Model configuration space: n in 1..20, c in 1..4,
+/// f in {0.2, 0.5, 0.8, 1.1, 1.4} GHz — the 400-point space of Fig. 9.
+MachineSpec arm_cluster();
+
+/// Extension preset: a modern 16-core x86 cluster with 10 GbE and a
+/// large L3 — not part of the paper's validation, but a realistic
+/// "would the conclusions still hold on current hardware?" target for
+/// what-if studies and the heterogeneous comparisons.
+MachineSpec modern_x86_cluster();
+
+}  // namespace hepex::hw

@@ -1,0 +1,64 @@
+#include "model/naive.hpp"
+
+#include <algorithm>
+
+#include "model/bounds.hpp"
+#include "util/error.hpp"
+
+namespace hepex::model {
+
+Prediction naive_predict(const hw::MachineSpec& machine,
+                         const workload::ProgramSpec& program,
+                         const hw::ClusterConfig& cfg) {
+  hw::validate_config(machine, cfg, /*require_physical=*/false);
+
+  Prediction out;
+  out.config = cfg;
+  const double total_cores = hw::total_cores(cfg);
+  const auto& isa = machine.node.isa;
+
+  // Compute: nominal CPI, Amdahl-corrected parallel section.
+  const double instr =
+      program.compute.instructions_per_iter * program.iterations;
+  const double cycles = instr * isa.work_cpi;
+  const double speedup = amdahl_speedup(program.compute.serial_fraction,
+                                        static_cast<int>(total_cores));
+  out.t_cpu_s = cycles / cfg.f_hz / speedup;
+
+  // Memory: every byte the program touches at peak bandwidth, shared by
+  // the node's cores but with no queueing and no cache filtering.
+  const double bytes = instr * (program.compute.bytes_per_instruction +
+                                program.compute.reuse_bytes_per_instruction);
+  out.t_mem_s =
+      bytes / (machine.node.memory.bandwidth_bytes_per_s * cfg.nodes);
+
+  // Network: total payload at the raw link rate, fully parallel across...
+  // the single switch (the naive model does not know the switch is
+  // shared, so it divides by nothing).
+  if (cfg.nodes >= 2) {
+    const workload::CommShape shape = program.comm_shape(cfg.nodes);
+    const double volume =
+        shape.bytes_total() * program.iterations;  // per process
+    out.t_s_net_s = volume / (machine.network.link_bits_per_s / 8.0);
+    out.t_w_net_s = 0.0;  // no queueing in first-principles formulae
+  }
+
+  out.time_s = out.t_cpu_s + out.t_mem_s + out.t_w_net_s + out.t_s_net_s;
+  out.ucr = out.time_s > 0.0 ? out.t_cpu_s / out.time_s : 0.0;
+
+  // Energy: nameplate powers over the respective times.
+  const auto& pw = machine.node.power;
+  const auto& dvfs = machine.node.dvfs;
+  auto& e = out.energy_parts;
+  e.cpu_active_j = pw.core.active_at(cfg.f_hz, dvfs) * out.t_cpu_s *
+                   total_cores;
+  e.cpu_stall_j =
+      pw.core.stall_at(cfg.f_hz, dvfs) * out.t_mem_s * total_cores;
+  e.mem_j = pw.mem_active_w * out.t_mem_s * cfg.nodes;
+  e.net_j = pw.net_active_w * (out.t_s_net_s + out.t_w_net_s) * cfg.nodes;
+  e.idle_j = pw.sys_idle_w * out.time_s * cfg.nodes;
+  out.energy_j = e.total();
+  return out;
+}
+
+}  // namespace hepex::model

@@ -1,0 +1,38 @@
+#pragma once
+/// \file naive.hpp
+/// \brief First-principles baseline predictor (no measurements).
+///
+/// The paper's related work (§II-A) contrasts its measurement-driven
+/// model with "simple and fundamental formulae that describe the
+/// interplay between program parallelism, speedup and energy consumption"
+/// (Cho & Melhem; Hill & Marty; Woo & Lee) and claims the measured-input
+/// approach "is more accurate". This module implements that comparison
+/// baseline so the claim can be quantified (`bench_ext_naive_vs_model`):
+///
+/// The naive model uses only datasheet machine numbers and the program's
+/// algorithmic parameters — no baseline runs, no probes:
+///  - compute: instructions x nominal CPI / (n c f), Amdahl-corrected;
+///  - memory: all program traffic at peak DRAM bandwidth, no caches, no
+///    queueing;
+///  - network: total message volume at the raw link rate, no protocol
+///    overhead, no contention;
+///  - energy: nameplate powers over those times.
+///
+/// Everything the measurement-driven model gets right — cache filtering,
+/// contention queueing, protocol efficiency, software overheads, real
+/// power draw — is missing here, which is exactly the point.
+
+#include "hw/machine.hpp"
+#include "model/predictor.hpp"
+#include "workload/program.hpp"
+
+namespace hepex::model {
+
+/// Evaluate the first-principles model for `program` on `machine` at
+/// `config`. Returns the same Prediction structure as `predict()` so the
+/// two can be compared side by side.
+Prediction naive_predict(const hw::MachineSpec& machine,
+                         const workload::ProgramSpec& program,
+                         const hw::ClusterConfig& config);
+
+}  // namespace hepex::model

@@ -1,0 +1,126 @@
+#include "model/predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/equations.hpp"
+#include "util/error.hpp"
+
+namespace hepex::model {
+
+TargetInfo target_of(const workload::ProgramSpec& program) {
+  return TargetInfo{program.input, program.iterations};
+}
+
+CommScaling comm_scaling(workload::CommPattern pattern, int n, int n_probe) {
+  HEPEX_REQUIRE(n >= 2, "communication exists only for n >= 2");
+  HEPEX_REQUIRE(n_probe >= 2, "probe needs >= 2 processes");
+  const double nn = static_cast<double>(n);
+  const double np = static_cast<double>(n_probe);
+  CommScaling s;
+  switch (pattern) {
+    case workload::CommPattern::kHalo3D:
+      s.message_ratio = 1.0;  // always 6 faces per round
+      s.volume_ratio = std::pow(np / nn, 2.0 / 3.0);
+      break;
+    case workload::CommPattern::kWavefront:
+      s.message_ratio = 1.0;
+      s.volume_ratio = std::sqrt(np / nn);
+      break;
+    case workload::CommPattern::kAllToAll:
+      s.message_ratio = (nn - 1.0) / (np - 1.0);
+      s.volume_ratio = (np * np) / (nn * nn);
+      break;
+    case workload::CommPattern::kRing:
+      s.message_ratio = 1.0;
+      s.volume_ratio = 1.0;
+      break;
+  }
+  return s;
+}
+
+Prediction predict(const Characterization& ch, const TargetInfo& target,
+                   const hw::ClusterConfig& cfg) {
+  namespace eq = equations;
+  hw::validate_config(ch.machine, cfg, /*require_physical=*/false);
+  HEPEX_REQUIRE(target.iterations >= 1, "target needs >= 1 iteration");
+
+  Prediction out;
+  out.config = cfg;
+
+  // --- scaling factor S/S_s, generalized to input classes whose grid
+  // size also grows (input sizes are public program parameters).
+  const double target_cells =
+      std::pow(static_cast<double>(workload::grid_dimension(target.input)),
+               3.0);
+  const double sigma =
+      eq::scaling_sigma(target_cells, target.iterations, ch.baseline_cells,
+                        ch.baseline_iterations);
+
+  const BaselinePoint& base = ch.at(cfg.cores, cfg.f_hz);
+  const double f = cfg.f_hz;
+
+  // --- time model (Eqs. 2-4, 7)
+  out.t_cpu_s = eq::t_cpu_s(base.work_cycles * sigma,
+                            base.nonmem_stalls * sigma, cfg.nodes,
+                            cfg.cores, f);
+  out.t_mem_s =
+      eq::t_mem_s(base.mem_stalls * sigma, cfg.nodes, cfg.cores, f);
+
+  // --- network model (Eqs. 5-6)
+  const int s_iters = target.iterations;
+  if (cfg.nodes >= 2) {
+    const CommScaling sc =
+        comm_scaling(ch.pattern, cfg.nodes, ch.comm.n_probe);
+    // The probe ran on the *baseline* input; message volume grows with
+    // the input — with the domain surface (cells^(2/3)) for
+    // decomposition exchanges, with the full volume for transposes.
+    // Message *counts* are input-size independent.
+    const double cell_ratio = target_cells / ch.baseline_cells;
+    const double nu_input_scale =
+        ch.pattern == workload::CommPattern::kAllToAll
+            ? cell_ratio
+            : std::pow(cell_ratio, 2.0 / 3.0);
+    const double eta_it = ch.comm.eta * sc.message_ratio;
+    const double nu = ch.comm.nu * sc.volume_ratio * nu_input_scale;
+
+    const double b_bytes = ch.network.achievable_bps / 8.0;
+    const double sw = ch.msg_software_s_at_fmax *
+                      (ch.machine.node.dvfs.f_max() / f);
+    const double serve_it = eq::t_serve_net_it_s(
+        base.utilization, out.t_cpu_s / s_iters, eta_it, nu, b_bytes, sw);
+
+    const double y = nu / b_bytes;
+    const double cv = ch.comm.size_cv;
+    const double y2 = y * y * (1.0 + cv * cv);
+    const double wait_it =
+        eq::t_wait_net_it_s(cfg.nodes, eta_it, serve_it, y, y2);
+
+    out.t_s_net_s = serve_it * s_iters;
+    out.t_w_net_s = wait_it * s_iters;
+  }
+
+  out.time_s = out.t_cpu_s + out.t_mem_s + out.t_w_net_s + out.t_s_net_s;
+  out.ucr = eq::ucr(out.t_cpu_s, out.time_s);
+
+  // --- energy model (Eqs. 8-12)
+  const std::size_t fi = ch.frequency_index(f);
+  auto& e = out.energy_parts;
+  e.cpu_active_j = 0.0;
+  e.cpu_stall_j = 0.0;
+  const double e_cpu =
+      eq::e_cpu_j(ch.power.core_active_w[fi], ch.power.core_stall_w[fi],
+                  out.t_cpu_s, out.t_mem_s, cfg.nodes, cfg.cores);
+  // Split for reporting (the sum is what Eq. 9 defines).
+  e.cpu_active_j = ch.power.core_active_w[fi] * out.t_cpu_s * cfg.cores *
+                   cfg.nodes;
+  e.cpu_stall_j = e_cpu - e.cpu_active_j;
+  e.mem_j = eq::e_mem_j(ch.power.mem_active_w, out.t_mem_s, cfg.nodes);
+  e.net_j = eq::e_net_j(ch.power.net_active_w,
+                        out.t_w_net_s + out.t_s_net_s, cfg.nodes);
+  e.idle_j = eq::e_idle_j(ch.power.sys_idle_w, out.time_s, cfg.nodes);
+  out.energy_j = e.total();
+  return out;
+}
+
+}  // namespace hepex::model

@@ -1,0 +1,70 @@
+#pragma once
+/// \file predictor.hpp
+/// \brief The analytical time-energy model (the paper's §III-C and §III-D).
+///
+/// Given a characterization (measured baseline counters, communication
+/// profile, network sweep, power parameters) the predictor evaluates, for
+/// any configuration (n, c, f):
+///
+///   T = T_CPU + T_w,net + T_s,net + T_w,mem + T_s,mem          (Eq. 1)
+///   T_CPU = (w + b) / (n c f),  w = w_s S/S_s,  b = b_s S/S_s  (Eq. 2-4)
+///   T_w,net from an M/G/1 switch queue                          (Eq. 5)
+///   T_s,net = max((1-U) T_CPU, eta nu / B) + messaging software (Eq. 6)
+///   T_w,mem + T_s,mem = m / f,  m = m_s S/S_s                   (Eq. 7)
+///   E = (E_CPU + E_mem + E_net + E_idle) n                      (Eq. 8-12)
+///
+/// The network term is solved as a fixed point: message arrival rate
+/// lambda depends on the iteration duration, which depends on the waiting
+/// time — the closed-system feedback that keeps the M/G/1 queue stable at
+/// any n.
+
+#include "hw/machine.hpp"
+#include "model/characterization.hpp"
+#include "trace/measurement.hpp"
+#include "workload/input_class.hpp"
+
+namespace hepex::model {
+
+/// Public metadata of the target program P — the only program knowledge
+/// the model uses besides the measured baseline (input sizes and
+/// iteration counts are user-visible parameters, not measurements).
+struct TargetInfo {
+  workload::InputClass input = workload::InputClass::kA;
+  int iterations = 0;  ///< S
+};
+
+/// Extract the target metadata from a program spec.
+TargetInfo target_of(const workload::ProgramSpec& program);
+
+/// Model output for one configuration.
+struct Prediction {
+  hw::ClusterConfig config;
+  double time_s = 0.0;     ///< T
+  double energy_j = 0.0;   ///< E
+  double ucr = 0.0;        ///< T_CPU / T (Eq. 13)
+
+  // Time breakdown (Eq. 1).
+  double t_cpu_s = 0.0;    ///< T_CPU
+  double t_mem_s = 0.0;    ///< T_w,mem + T_s,mem
+  double t_w_net_s = 0.0;  ///< T_w,net
+  double t_s_net_s = 0.0;  ///< T_s,net
+
+  // Energy breakdown (Eq. 8), whole cluster.
+  trace::EnergyBreakdown energy_parts;
+};
+
+/// Scaling of communication shape from the probe's process count to n,
+/// derived from the decomposition pattern (the paper infers this from
+/// l and tau). Ratios are relative to a probe at `n_probe` processes.
+struct CommScaling {
+  double message_ratio = 1.0;  ///< eta(n) / eta(n_probe)
+  double volume_ratio = 1.0;   ///< nu(n) / nu(n_probe)
+};
+CommScaling comm_scaling(workload::CommPattern pattern, int n, int n_probe);
+
+/// Evaluate the model at one configuration. Throws std::invalid_argument
+/// when the configuration is outside the machine's (model) capability.
+Prediction predict(const Characterization& ch, const TargetInfo& target,
+                   const hw::ClusterConfig& config);
+
+}  // namespace hepex::model

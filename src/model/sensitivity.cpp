@@ -1,0 +1,135 @@
+#include "model/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hepex::model {
+
+std::string to_string(Input input) {
+  switch (input) {
+    case Input::kWorkCycles: return "work cycles (w_s, b_s)";
+    case Input::kMemStalls: return "memory stalls (m_s)";
+    case Input::kNetBandwidth: return "network bandwidth (B)";
+    case Input::kMessageVolume: return "message volume (nu)";
+    case Input::kCorePower: return "core power (P_act, P_stall)";
+    case Input::kIdlePower: return "idle power (P_sys,idle)";
+  }
+  HEPEX_ASSERT(false, "unhandled input");
+  return {};
+}
+
+std::vector<Input> all_inputs() {
+  return {Input::kWorkCycles,  Input::kMemStalls,  Input::kNetBandwidth,
+          Input::kMessageVolume, Input::kCorePower, Input::kIdlePower};
+}
+
+Characterization perturbed(const Characterization& ch, Input input,
+                           double factor) {
+  HEPEX_REQUIRE(factor > 0.0, "perturbation factor must be positive");
+  Characterization out = ch;
+  switch (input) {
+    case Input::kWorkCycles:
+      for (auto& row : out.baseline) {
+        for (auto& pt : row) {
+          pt.work_cycles *= factor;
+          pt.nonmem_stalls *= factor;
+        }
+      }
+      break;
+    case Input::kMemStalls:
+      for (auto& row : out.baseline) {
+        for (auto& pt : row) pt.mem_stalls *= factor;
+      }
+      break;
+    case Input::kNetBandwidth:
+      out.network.achievable_bps *= factor;
+      break;
+    case Input::kMessageVolume:
+      out.comm.nu *= factor;
+      break;
+    case Input::kCorePower:
+      for (auto& p : out.power.core_active_w) p *= factor;
+      for (auto& p : out.power.core_stall_w) p *= factor;
+      break;
+    case Input::kIdlePower:
+      out.power.sys_idle_w *= factor;
+      break;
+  }
+  return out;
+}
+
+const Sensitivity& SensitivityReport::dominant_for_time() const {
+  HEPEX_REQUIRE(!inputs.empty(), "report has no inputs");
+  const Sensitivity* best = &inputs.front();
+  for (const auto& s : inputs) {
+    if (std::abs(s.time_elasticity) > std::abs(best->time_elasticity)) {
+      best = &s;
+    }
+  }
+  return *best;
+}
+
+const Sensitivity& SensitivityReport::dominant_for_energy() const {
+  HEPEX_REQUIRE(!inputs.empty(), "report has no inputs");
+  const Sensitivity* best = &inputs.front();
+  for (const auto& s : inputs) {
+    if (std::abs(s.energy_elasticity) > std::abs(best->energy_elasticity)) {
+      best = &s;
+    }
+  }
+  return *best;
+}
+
+SensitivityReport sensitivity(const Characterization& ch,
+                              const TargetInfo& target,
+                              const hw::ClusterConfig& config, double delta) {
+  HEPEX_REQUIRE(delta > 0.0 && delta < 0.5, "delta must be in (0, 0.5)");
+  SensitivityReport report;
+  report.config = config;
+  report.nominal = predict(ch, target, config);
+
+  for (Input input : all_inputs()) {
+    const Prediction up =
+        predict(perturbed(ch, input, 1.0 + delta), target, config);
+    const Prediction down =
+        predict(perturbed(ch, input, 1.0 - delta), target, config);
+    Sensitivity s;
+    s.input = input;
+    // Central difference of ln(T) w.r.t. ln(input).
+    s.time_elasticity =
+        std::log(up.time_s / down.time_s) / std::log((1.0 + delta) /
+                                                     (1.0 - delta));
+    s.energy_elasticity =
+        std::log(up.energy_j / down.energy_j) /
+        std::log((1.0 + delta) / (1.0 - delta));
+    report.inputs.push_back(s);
+  }
+  return report;
+}
+
+PredictionInterval prediction_interval(const Characterization& ch,
+                                       const TargetInfo& target,
+                                       const hw::ClusterConfig& config,
+                                       double uncertainty) {
+  HEPEX_REQUIRE(uncertainty > 0.0 && uncertainty < 1.0,
+                "uncertainty must be in (0, 1)");
+  PredictionInterval out;
+  out.nominal = predict(ch, target, config);
+  out.time_lo_s = out.time_hi_s = out.nominal.time_s;
+  out.energy_lo_j = out.energy_hi_j = out.nominal.energy_j;
+  for (Input input : all_inputs()) {
+    for (double factor : {1.0 - uncertainty, 1.0 + uncertainty}) {
+      const Prediction p = predict(perturbed(ch, input, factor), target,
+                                   config);
+      out.time_lo_s = std::min(out.time_lo_s, p.time_s);
+      out.time_hi_s = std::max(out.time_hi_s, p.time_s);
+      out.energy_lo_j = std::min(out.energy_lo_j, p.energy_j);
+      out.energy_hi_j = std::max(out.energy_hi_j, p.energy_j);
+    }
+  }
+  return out;
+}
+
+}  // namespace hepex::model

@@ -1,0 +1,83 @@
+#pragma once
+/// \file sensitivity.hpp
+/// \brief Sensitivity of predictions to characterization uncertainty.
+///
+/// The paper's §IV-C attributes model error to three measured-input
+/// uncertainties: run-to-run counter irregularity, synchronisation
+/// effects, and power-characterization error. This module quantifies the
+/// forward direction: perturb each class of characterized input by its
+/// uncertainty and report how much the predicted time/energy move. Users
+/// get error bars on predictions and learn *which* measurement to repeat
+/// when a prediction matters.
+
+#include <string>
+#include <vector>
+
+#include "model/characterization.hpp"
+#include "model/predictor.hpp"
+
+namespace hepex::model {
+
+/// One parameter class that can be perturbed.
+enum class Input {
+  kWorkCycles,     ///< w_s, b_s (counter irregularity)
+  kMemStalls,      ///< m_s (contention measurement)
+  kNetBandwidth,   ///< B (NetPIPE plateau)
+  kMessageVolume,  ///< nu (mpiP profile)
+  kCorePower,      ///< P_core,act and P_core,stall
+  kIdlePower,      ///< P_sys,idle
+};
+
+/// Human-readable name of a perturbable input.
+std::string to_string(Input input);
+
+/// All perturbable inputs.
+std::vector<Input> all_inputs();
+
+/// Return a copy of `ch` with one input class scaled by `factor`.
+Characterization perturbed(const Characterization& ch, Input input,
+                           double factor);
+
+/// Sensitivity of one prediction to one input.
+struct Sensitivity {
+  Input input;
+  /// d(lnT) / d(ln input): relative time change per relative input change,
+  /// estimated by central differences at +-delta.
+  double time_elasticity = 0.0;
+  /// d(lnE) / d(ln input).
+  double energy_elasticity = 0.0;
+};
+
+/// Full sensitivity report for one configuration.
+struct SensitivityReport {
+  hw::ClusterConfig config;
+  Prediction nominal;
+  std::vector<Sensitivity> inputs;  ///< one entry per perturbable input
+
+  /// The input with the largest |time elasticity|.
+  const Sensitivity& dominant_for_time() const;
+  /// The input with the largest |energy elasticity|.
+  const Sensitivity& dominant_for_energy() const;
+};
+
+/// Compute elasticities of T and E at `config` w.r.t. every input class,
+/// using central differences with relative step `delta` (default 5%).
+SensitivityReport sensitivity(const Characterization& ch,
+                              const TargetInfo& target,
+                              const hw::ClusterConfig& config,
+                              double delta = 0.05);
+
+/// Prediction interval: evaluate the prediction with every input at
+/// +-`uncertainty` (one-at-a-time) and return the min/max envelope of
+/// time and energy.
+struct PredictionInterval {
+  Prediction nominal;
+  double time_lo_s = 0.0, time_hi_s = 0.0;
+  double energy_lo_j = 0.0, energy_hi_j = 0.0;
+};
+PredictionInterval prediction_interval(const Characterization& ch,
+                                       const TargetInfo& target,
+                                       const hw::ClusterConfig& config,
+                                       double uncertainty = 0.10);
+
+}  // namespace hepex::model

@@ -1,0 +1,325 @@
+#include "model/serialize.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hepex::model {
+namespace {
+
+constexpr const char* kHeader = "hepex-characterization v1";
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return {};
+  const auto e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<double> parse_doubles(const std::string& s) {
+  std::vector<double> out;
+  std::istringstream is(s);
+  double v;
+  while (is >> v) out.push_back(v);
+  return out;
+}
+
+std::string isa_family_name(hw::IsaFamily f) {
+  return f == hw::IsaFamily::kX86_64 ? "x86_64" : "armv7a";
+}
+
+hw::IsaFamily isa_family_from(const std::string& s) {
+  if (s == "x86_64") return hw::IsaFamily::kX86_64;
+  if (s == "armv7a") return hw::IsaFamily::kArmV7A;
+  throw std::invalid_argument("hepex: unknown ISA family '" + s + "'");
+}
+
+}  // namespace
+
+void save_characterization(const Characterization& ch, std::ostream& os) {
+  os << kHeader << "\n";
+  auto kv = [&](const std::string& key, const std::string& value) {
+    os << key << " = " << value << "\n";
+  };
+  auto kvd = [&](const std::string& key, double value) {
+    kv(key, num(value));
+  };
+
+  const auto& m = ch.machine;
+  kv("machine.name", m.name);
+  kv("machine.nodes_available", std::to_string(m.nodes_available));
+  {
+    std::ostringstream nn;
+    for (int n : m.model_node_counts) nn << n << ' ';
+    kv("machine.model_node_counts", trim(nn.str()));
+  }
+  kv("node.cores", std::to_string(m.node.cores));
+
+  kv("isa.family", isa_family_name(m.node.isa.family));
+  kv("isa.name", m.node.isa.name);
+  kvd("isa.work_cpi", m.node.isa.work_cpi);
+  kvd("isa.pipeline_stall_per_work_cycle",
+      m.node.isa.pipeline_stall_per_work_cycle);
+  kvd("isa.memory_overlap", m.node.isa.memory_overlap);
+  kvd("isa.memory_level_parallelism", m.node.isa.memory_level_parallelism);
+  kvd("isa.message_software_cycles", m.node.isa.message_software_cycles);
+
+  {
+    std::ostringstream fs;
+    for (double f : m.node.dvfs.frequencies_hz) fs << num(f) << ' ';
+    kv("dvfs.frequencies_hz", trim(fs.str()));
+  }
+  kvd("dvfs.v_min", m.node.dvfs.v_min);
+  kvd("dvfs.v_max", m.node.dvfs.v_max);
+
+  kvd("cache.l1_per_core_bytes", m.node.cache.l1_per_core_bytes);
+  kvd("cache.l2_shared_bytes", m.node.cache.l2_shared_bytes);
+  kvd("cache.l3_shared_bytes", m.node.cache.l3_shared_bytes);
+  kvd("cache.cold_miss_fraction", m.node.cache.cold_miss_fraction);
+  kvd("cache.knee", m.node.cache.knee);
+
+  kvd("memory.bandwidth_bytes_per_s", m.node.memory.bandwidth_bytes_per_s);
+  kvd("memory.latency_s", m.node.memory.latency_s);
+  kvd("memory.capacity_bytes", m.node.memory.capacity_bytes);
+  kvd("memory.line_bytes", m.node.memory.line_bytes);
+
+  kvd("network.link_bits_per_s", m.network.link_bits_per_s);
+  kvd("network.switch_latency_s", m.network.switch_latency_s);
+  kvd("network.header_bytes_per_frame", m.network.header_bytes_per_frame);
+  kvd("network.payload_bytes_per_frame", m.network.payload_bytes_per_frame);
+
+  kvd("power.core.active_coeff", m.node.power.core.active_coeff);
+  kvd("power.core.stall_fraction", m.node.power.core.stall_fraction);
+  kvd("power.mem_active_w", m.node.power.mem_active_w);
+  kvd("power.net_active_w", m.node.power.net_active_w);
+  kvd("power.sys_idle_w", m.node.power.sys_idle_w);
+  kvd("power.meter_offset_sigma_w", m.node.power.meter_offset_sigma_w);
+
+  kv("program", ch.program_name);
+  kv("baseline.class", workload::to_string(ch.baseline_class));
+  kv("baseline.iterations", std::to_string(ch.baseline_iterations));
+  kvd("baseline.cells", ch.baseline_cells);
+
+  kv("comm.n_probe", std::to_string(ch.comm.n_probe));
+  kvd("comm.eta", ch.comm.eta);
+  kvd("comm.nu", ch.comm.nu);
+  kvd("comm.size_cv", ch.comm.size_cv);
+  kv("comm.pattern", workload::to_string(ch.pattern));
+
+  kvd("netchar.achievable_bps", ch.network.achievable_bps);
+  kvd("netchar.base_latency_s", ch.network.base_latency_s);
+  kvd("msg_software_s_at_fmax", ch.msg_software_s_at_fmax);
+
+  kvd("charpower.sys_idle_w", ch.power.sys_idle_w);
+  kvd("charpower.mem_active_w", ch.power.mem_active_w);
+  kvd("charpower.net_active_w", ch.power.net_active_w);
+  {
+    std::ostringstream a, s;
+    for (double v : ch.power.core_active_w) a << num(v) << ' ';
+    for (double v : ch.power.core_stall_w) s << num(v) << ' ';
+    kv("charpower.core_active_w", trim(a.str()));
+    kv("charpower.core_stall_w", trim(s.str()));
+  }
+
+  // Baseline counter table: one row per (c, frequency index).
+  os << "baseline-table\n";
+  os << "# c f_index work_cycles nonmem_stalls mem_stalls utilization "
+        "instructions\n";
+  for (std::size_t c = 0; c < ch.baseline.size(); ++c) {
+    for (std::size_t fi = 0; fi < ch.baseline[c].size(); ++fi) {
+      const auto& pt = ch.baseline[c][fi];
+      os << (c + 1) << ' ' << fi << ' ' << num(pt.work_cycles) << ' '
+         << num(pt.nonmem_stalls) << ' ' << num(pt.mem_stalls) << ' '
+         << num(pt.utilization) << ' ' << num(pt.instructions) << "\n";
+    }
+  }
+  os << "end\n";
+}
+
+void save_characterization_file(const Characterization& ch,
+                                const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("hepex: cannot open '" + path + "' for writing");
+  }
+  save_characterization(ch, os);
+  if (!os) {
+    throw std::runtime_error("hepex: write to '" + path + "' failed");
+  }
+}
+
+Characterization load_characterization(std::istream& is) {
+  std::string line;
+  int lineno = 0;
+  auto fail = [&](const std::string& why) {
+    throw std::invalid_argument("hepex: characterization parse error at line " +
+                                std::to_string(lineno) + ": " + why);
+  };
+
+  if (!std::getline(is, line) || trim(line) != kHeader) {
+    lineno = 1;
+    fail("missing header '" + std::string(kHeader) + "'");
+  }
+  lineno = 1;
+
+  std::map<std::string, std::string> kv;
+  bool in_table = false;
+  struct RawRow {
+    int c;
+    int fi;
+    BaselinePoint pt;
+  };
+  std::vector<RawRow> rows;
+
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    if (t == "baseline-table") {
+      in_table = true;
+      continue;
+    }
+    if (t == "end") break;
+    if (in_table) {
+      std::istringstream row(t);
+      RawRow r{};
+      if (!(row >> r.c >> r.fi >> r.pt.work_cycles >> r.pt.nonmem_stalls >>
+            r.pt.mem_stalls >> r.pt.utilization >> r.pt.instructions)) {
+        fail("malformed baseline row '" + t + "'");
+      }
+      rows.push_back(r);
+      continue;
+    }
+    const auto eq = t.find('=');
+    if (eq == std::string::npos) fail("expected 'key = value', got '" + t + "'");
+    kv[trim(t.substr(0, eq))] = trim(t.substr(eq + 1));
+  }
+
+  auto get = [&](const std::string& key) -> const std::string& {
+    const auto it = kv.find(key);
+    if (it == kv.end()) fail("missing key '" + key + "'");
+    return it->second;
+  };
+  auto getd = [&](const std::string& key) { return std::stod(get(key)); };
+  auto geti = [&](const std::string& key) { return std::stoi(get(key)); };
+
+  Characterization ch;
+  auto& m = ch.machine;
+  m.name = get("machine.name");
+  m.nodes_available = geti("machine.nodes_available");
+  for (double v : parse_doubles(get("machine.model_node_counts"))) {
+    m.model_node_counts.push_back(static_cast<int>(v));
+  }
+  m.node.cores = geti("node.cores");
+
+  m.node.isa.family = isa_family_from(get("isa.family"));
+  m.node.isa.name = get("isa.name");
+  m.node.isa.work_cpi = getd("isa.work_cpi");
+  m.node.isa.pipeline_stall_per_work_cycle =
+      getd("isa.pipeline_stall_per_work_cycle");
+  m.node.isa.memory_overlap = getd("isa.memory_overlap");
+  m.node.isa.memory_level_parallelism = getd("isa.memory_level_parallelism");
+  m.node.isa.message_software_cycles = getd("isa.message_software_cycles");
+
+  m.node.dvfs.frequencies_hz = parse_doubles(get("dvfs.frequencies_hz"));
+  if (m.node.dvfs.frequencies_hz.empty()) fail("empty DVFS frequency list");
+  m.node.dvfs.v_min = getd("dvfs.v_min");
+  m.node.dvfs.v_max = getd("dvfs.v_max");
+
+  m.node.cache.l1_per_core_bytes = getd("cache.l1_per_core_bytes");
+  m.node.cache.l2_shared_bytes = getd("cache.l2_shared_bytes");
+  m.node.cache.l3_shared_bytes = getd("cache.l3_shared_bytes");
+  m.node.cache.cold_miss_fraction = getd("cache.cold_miss_fraction");
+  m.node.cache.knee = getd("cache.knee");
+
+  m.node.memory.bandwidth_bytes_per_s = getd("memory.bandwidth_bytes_per_s");
+  m.node.memory.latency_s = getd("memory.latency_s");
+  m.node.memory.capacity_bytes = getd("memory.capacity_bytes");
+  m.node.memory.line_bytes = getd("memory.line_bytes");
+
+  m.network.link_bits_per_s = getd("network.link_bits_per_s");
+  m.network.switch_latency_s = getd("network.switch_latency_s");
+  m.network.header_bytes_per_frame = getd("network.header_bytes_per_frame");
+  m.network.payload_bytes_per_frame = getd("network.payload_bytes_per_frame");
+
+  m.node.power.core.active_coeff = getd("power.core.active_coeff");
+  m.node.power.core.stall_fraction = getd("power.core.stall_fraction");
+  m.node.power.mem_active_w = getd("power.mem_active_w");
+  m.node.power.net_active_w = getd("power.net_active_w");
+  m.node.power.sys_idle_w = getd("power.sys_idle_w");
+  m.node.power.meter_offset_sigma_w = getd("power.meter_offset_sigma_w");
+
+  ch.program_name = get("program");
+  ch.baseline_class = workload::input_class_from_string(get("baseline.class"));
+  ch.baseline_iterations = geti("baseline.iterations");
+  ch.baseline_cells = getd("baseline.cells");
+
+  ch.comm.n_probe = geti("comm.n_probe");
+  ch.comm.eta = getd("comm.eta");
+  ch.comm.nu = getd("comm.nu");
+  ch.comm.size_cv = getd("comm.size_cv");
+  {
+    const std::string p = get("comm.pattern");
+    using workload::CommPattern;
+    if (p == "halo-3d") ch.pattern = CommPattern::kHalo3D;
+    else if (p == "wavefront") ch.pattern = CommPattern::kWavefront;
+    else if (p == "all-to-all") ch.pattern = CommPattern::kAllToAll;
+    else if (p == "ring") ch.pattern = CommPattern::kRing;
+    else fail("unknown comm pattern '" + p + "'");
+  }
+
+  ch.network.achievable_bps = getd("netchar.achievable_bps");
+  ch.network.base_latency_s = getd("netchar.base_latency_s");
+  ch.msg_software_s_at_fmax = getd("msg_software_s_at_fmax");
+
+  ch.power.sys_idle_w = getd("charpower.sys_idle_w");
+  ch.power.mem_active_w = getd("charpower.mem_active_w");
+  ch.power.net_active_w = getd("charpower.net_active_w");
+  ch.power.core_active_w = parse_doubles(get("charpower.core_active_w"));
+  ch.power.core_stall_w = parse_doubles(get("charpower.core_stall_w"));
+  if (ch.power.core_active_w.size() != m.node.dvfs.frequencies_hz.size() ||
+      ch.power.core_stall_w.size() != m.node.dvfs.frequencies_hz.size()) {
+    fail("power vectors do not match the DVFS frequency count");
+  }
+
+  ch.baseline.assign(static_cast<std::size_t>(m.node.cores),
+                     std::vector<BaselinePoint>(
+                         m.node.dvfs.frequencies_hz.size()));
+  std::size_t filled = 0;
+  for (const auto& r : rows) {
+    if (r.c < 1 || r.c > m.node.cores || r.fi < 0 ||
+        static_cast<std::size_t>(r.fi) >=
+            m.node.dvfs.frequencies_hz.size()) {
+      fail("baseline row (c=" + std::to_string(r.c) +
+           ", fi=" + std::to_string(r.fi) + ") out of range");
+    }
+    ch.baseline[static_cast<std::size_t>(r.c - 1)]
+               [static_cast<std::size_t>(r.fi)] = r.pt;
+    ++filled;
+  }
+  if (filled != static_cast<std::size_t>(m.node.cores) *
+                    m.node.dvfs.frequencies_hz.size()) {
+    fail("baseline table incomplete: " + std::to_string(filled) + " rows");
+  }
+  return ch;
+}
+
+Characterization load_characterization_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("hepex: cannot open '" + path + "' for reading");
+  }
+  return load_characterization(is);
+}
+
+}  // namespace hepex::model

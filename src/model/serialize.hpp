@@ -1,0 +1,39 @@
+#pragma once
+/// \file serialize.hpp
+/// \brief Persist and reload characterizations.
+///
+/// A characterization pass is the expensive part of the workflow (it runs
+/// baseline executions across every (c, f) plus the network and power
+/// micro-benchmarks). On a real testbed it takes hours, so HEPEX can save
+/// the result to a plain-text file and reload it in later sessions —
+/// model evaluation then needs no cluster access at all.
+///
+/// The format is a line-oriented `key = value` / table layout designed to
+/// be diff-able and hand-editable (so a user can, e.g., paste counters
+/// measured with perf on real hardware). Round-tripping is exact for all
+/// quantities the model consumes; the embedded machine description covers
+/// the fields prediction needs.
+
+#include <iosfwd>
+#include <string>
+
+#include "model/characterization.hpp"
+
+namespace hepex::model {
+
+/// Serialize to the HEPEX characterization text format.
+void save_characterization(const Characterization& ch, std::ostream& os);
+
+/// Convenience: write to `path`; throws std::runtime_error on I/O error.
+void save_characterization_file(const Characterization& ch,
+                                const std::string& path);
+
+/// Parse a characterization previously written by save_characterization.
+/// Throws std::invalid_argument on malformed input (with a line number).
+Characterization load_characterization(std::istream& is);
+
+/// Convenience: read from `path`; throws std::runtime_error when the file
+/// cannot be opened.
+Characterization load_characterization_file(const std::string& path);
+
+}  // namespace hepex::model

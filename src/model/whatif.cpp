@@ -1,0 +1,40 @@
+#include "model/whatif.hpp"
+
+#include "util/error.hpp"
+
+namespace hepex::model {
+
+Characterization with_memory_bandwidth_scaled(const Characterization& ch,
+                                              double factor) {
+  HEPEX_REQUIRE(factor > 0.0, "bandwidth factor must be positive");
+  Characterization out = ch;
+  for (auto& row : out.baseline) {
+    for (auto& pt : row) pt.mem_stalls /= factor;
+  }
+  // Keep the machine description consistent for downstream reports.
+  out.machine.node.memory.bandwidth_bytes_per_s *= factor;
+  return out;
+}
+
+Characterization with_network_bandwidth_scaled(const Characterization& ch,
+                                               double factor) {
+  HEPEX_REQUIRE(factor > 0.0, "bandwidth factor must be positive");
+  Characterization out = ch;
+  out.network.achievable_bps *= factor;
+  for (auto& pt : out.network.points) {
+    pt.throughput_bps *= factor;
+  }
+  out.machine.network.link_bits_per_s *= factor;
+  return out;
+}
+
+Characterization with_idle_power_scaled(const Characterization& ch,
+                                        double factor) {
+  HEPEX_REQUIRE(factor > 0.0, "power factor must be positive");
+  Characterization out = ch;
+  out.power.sys_idle_w *= factor;
+  out.machine.node.power.sys_idle_w *= factor;
+  return out;
+}
+
+}  // namespace hepex::model

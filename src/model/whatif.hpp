@@ -1,0 +1,35 @@
+#pragma once
+/// \file whatif.hpp
+/// \brief What-if analysis on characterized parameters (the paper's §V-B).
+///
+/// The model is parametric, so a system designer can ask how changing a
+/// hardware component would move time, energy and UCR *without building
+/// the machine*. The paper's example: doubling the memory bandwidth
+/// halves the shared-memory contention stalls, lifting SP's UCR on the
+/// Xeon configuration (1,8,1.8 GHz) from 0.67 to 0.81 and trimming both
+/// time and energy — further optimizing the Pareto frontier.
+///
+/// Each transform returns a modified *copy* of the characterization; the
+/// original measurement data is never mutated.
+
+#include "model/characterization.hpp"
+
+namespace hepex::model {
+
+/// Scale the memory bandwidth by `factor` (> 0): memory-contention stall
+/// cycles scale by 1/factor in every baseline cell, as the paper argues.
+Characterization with_memory_bandwidth_scaled(const Characterization& ch,
+                                              double factor);
+
+/// Scale the network bandwidth by `factor` (> 0): the achievable
+/// throughput B and the per-point sweep move together; per-message
+/// software cost is unchanged (it is CPU-bound).
+Characterization with_network_bandwidth_scaled(const Characterization& ch,
+                                               double factor);
+
+/// Scale the idle (platform) power by `factor` (> 0) — e.g. evaluating a
+/// more energy-proportional chassis.
+Characterization with_idle_power_scaled(const Characterization& ch,
+                                        double factor);
+
+}  // namespace hepex::model

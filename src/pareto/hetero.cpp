@@ -1,0 +1,104 @@
+#include "pareto/hetero.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace hepex::pareto {
+
+std::vector<LabeledPoint> combined_frontier(
+    const std::vector<MachineCandidate>& candidates) {
+  HEPEX_REQUIRE(!candidates.empty(), "need at least one machine");
+  std::vector<LabeledPoint> all;
+  for (const auto& c : candidates) {
+    for (const auto& p : c.points) all.push_back(LabeledPoint{c.name, p});
+  }
+  std::sort(all.begin(), all.end(),
+            [](const LabeledPoint& a, const LabeledPoint& b) {
+              if (a.point.time_s != b.point.time_s) {
+                return a.point.time_s < b.point.time_s;
+              }
+              return a.point.energy_j < b.point.energy_j;
+            });
+  std::vector<LabeledPoint> frontier;
+  double best_energy = std::numeric_limits<double>::infinity();
+  double last_time = -1.0;
+  for (auto& lp : all) {
+    if (lp.point.energy_j < best_energy) {
+      if (!frontier.empty() && lp.point.time_s == last_time) continue;
+      best_energy = lp.point.energy_j;
+      last_time = lp.point.time_s;
+      frontier.push_back(std::move(lp));
+    }
+  }
+  return frontier;
+}
+
+std::optional<LabeledPoint> best_for_deadline(
+    const std::vector<MachineCandidate>& candidates, double deadline_s) {
+  HEPEX_REQUIRE(deadline_s > 0.0, "deadline must be positive");
+  std::optional<LabeledPoint> best;
+  for (const auto& c : candidates) {
+    const auto r = min_energy_within_deadline(c.points, deadline_s);
+    if (!r) continue;
+    if (!best || r->energy_j < best->point.energy_j) {
+      best = LabeledPoint{c.name, *r};
+    }
+  }
+  return best;
+}
+
+std::optional<LabeledPoint> best_for_budget(
+    const std::vector<MachineCandidate>& candidates, double budget_j) {
+  HEPEX_REQUIRE(budget_j > 0.0, "budget must be positive");
+  std::optional<LabeledPoint> best;
+  for (const auto& c : candidates) {
+    const auto r = min_time_within_budget(c.points, budget_j);
+    if (!r) continue;
+    if (!best || r->time_s < best->point.time_s) {
+      best = LabeledPoint{c.name, *r};
+    }
+  }
+  return best;
+}
+
+std::optional<double> crossover_deadline(const MachineCandidate& a,
+                                         const MachineCandidate& b) {
+  HEPEX_REQUIRE(!a.points.empty() && !b.points.empty(),
+                "machines need evaluated points");
+  double t_min = std::numeric_limits<double>::infinity();
+  double t_max = 0.0;
+  for (const auto* c : {&a, &b}) {
+    for (const auto& p : c->points) {
+      t_min = std::min(t_min, p.time_s);
+      t_max = std::max(t_max, p.time_s);
+    }
+  }
+  // Probe deadlines log-uniformly; record who wins at each.
+  auto winner = [&](double deadline) -> int {
+    const auto ra = min_energy_within_deadline(a.points, deadline);
+    const auto rb = min_energy_within_deadline(b.points, deadline);
+    if (ra && (!rb || ra->energy_j <= rb->energy_j)) return 0;
+    if (rb) return 1;
+    return -1;  // neither feasible
+  };
+  constexpr int kProbes = 200;
+  int prev = -1;
+  double prev_deadline = 0.0;
+  for (int i = 0; i <= kProbes; ++i) {
+    const double d = t_min * std::pow(t_max / t_min,
+                                      static_cast<double>(i) / kProbes);
+    const int w = winner(d);
+    if (w < 0) continue;
+    if (prev >= 0 && w != prev) {
+      return 0.5 * (prev_deadline + d);
+    }
+    prev = w;
+    prev_deadline = d;
+  }
+  return std::nullopt;
+}
+
+}  // namespace hepex::pareto

@@ -1,0 +1,32 @@
+#include "pareto/metrics.hpp"
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace hepex::pareto {
+
+double ucr(const model::Prediction& p) {
+  HEPEX_REQUIRE(p.time_s > 0.0, "prediction has zero time");
+  return p.t_cpu_s / p.time_s;
+}
+
+double ucr(const trace::Measurement& m) { return m.ucr(); }
+
+double ccr(const model::Prediction& p) {
+  const double other = p.time_s - p.t_cpu_s;
+  if (other <= 0.0) return std::numeric_limits<double>::infinity();
+  return p.t_cpu_s / other;
+}
+
+TimeShares time_shares(const model::Prediction& p) {
+  HEPEX_REQUIRE(p.time_s > 0.0, "prediction has zero time");
+  TimeShares s;
+  s.cpu = p.t_cpu_s / p.time_s;
+  s.memory = p.t_mem_s / p.time_s;
+  s.net_wait = p.t_w_net_s / p.time_s;
+  s.net_serve = p.t_s_net_s / p.time_s;
+  return s;
+}
+
+}  // namespace hepex::pareto

@@ -1,0 +1,42 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Useful Computation Ratio and related execution-efficiency metrics.
+///
+/// The paper's §V-B introduces UCR = T_useful / T (Eq. 13): the fraction
+/// of wall time a configuration spends on useful (possibly overlapped)
+/// computation rather than memory contention, network contention or
+/// other data dependencies. Unlike the classic computation-to-
+/// communication ratio (CCR), UCR is normalized to [0, 1], which makes it
+/// comparable across configurations — its key property.
+///
+/// UCR reads system balance, not efficiency: the paper shows Pareto-
+/// optimal configurations often have *low* UCR, so a high UCR must not be
+/// used to pick configurations (see `bench_fig10_ucr_xeon`).
+
+#include "model/predictor.hpp"
+#include "trace/measurement.hpp"
+
+namespace hepex::pareto {
+
+/// UCR of a model prediction: T_CPU / T. Always in (0, 1].
+double ucr(const model::Prediction& p);
+
+/// UCR of a direct measurement (simulated run).
+double ucr(const trace::Measurement& m);
+
+/// Classic computation-to-communication ratio: T_CPU / (T - T_CPU).
+/// Unbounded above — the reason the paper replaces it with UCR.
+/// Returns +inf when the run has no non-compute time.
+double ccr(const model::Prediction& p);
+
+/// Decomposition of where a predicted execution's wall time goes,
+/// normalized to fractions of T (sums to 1).
+struct TimeShares {
+  double cpu = 0.0;       ///< useful computation (incl. overlap)
+  double memory = 0.0;    ///< shared-memory contention + service
+  double net_wait = 0.0;  ///< network queueing
+  double net_serve = 0.0; ///< non-overlapped network service
+};
+TimeShares time_shares(const model::Prediction& p);
+
+}  // namespace hepex::pareto

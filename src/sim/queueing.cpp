@@ -1,0 +1,67 @@
+#include "sim/queueing.hpp"
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace hepex::sim::queueing {
+
+double offered_load(double lambda, double mean_service) {
+  HEPEX_REQUIRE(lambda >= 0.0, "arrival rate must be non-negative");
+  HEPEX_REQUIRE(mean_service >= 0.0, "service time must be non-negative");
+  return lambda * mean_service;
+}
+
+double mg1_mean_wait(double lambda, double mean_service,
+                     double second_moment) {
+  HEPEX_REQUIRE(second_moment >= 0.0, "second moment must be non-negative");
+  const double rho = offered_load(lambda, mean_service);
+  if (rho >= 1.0) return std::numeric_limits<double>::infinity();
+  return lambda * second_moment / (2.0 * (1.0 - rho));
+}
+
+double mm1_mean_wait(double lambda, double mean_service) {
+  return mg1_mean_wait(lambda, mean_service,
+                       exponential_second_moment(mean_service));
+}
+
+double md1_mean_wait(double lambda, double mean_service) {
+  return mg1_mean_wait(lambda, mean_service,
+                       deterministic_second_moment(mean_service));
+}
+
+double erlang_c(int servers, double offered_erlangs) {
+  HEPEX_REQUIRE(servers >= 1, "need at least one server");
+  HEPEX_REQUIRE(offered_erlangs >= 0.0, "offered load must be non-negative");
+  if (offered_erlangs >= static_cast<double>(servers)) return 1.0;
+  if (offered_erlangs == 0.0) return 0.0;
+  // Iterative Erlang-B, then convert to Erlang-C — numerically stable
+  // for large server counts.
+  double b = 1.0;
+  for (int k = 1; k <= servers; ++k) {
+    b = offered_erlangs * b / (static_cast<double>(k) + offered_erlangs * b);
+  }
+  const double rho = offered_erlangs / static_cast<double>(servers);
+  return b / (1.0 - rho + rho * b);
+}
+
+double mmc_mean_wait(int servers, double lambda, double mean_service) {
+  HEPEX_REQUIRE(servers >= 1, "need at least one server");
+  const double offered = offered_load(lambda, mean_service);
+  if (offered >= static_cast<double>(servers)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (lambda == 0.0) return 0.0;
+  const double pw = erlang_c(servers, offered);
+  return pw * mean_service / (static_cast<double>(servers) - offered);
+}
+
+double deterministic_second_moment(double mean_service) {
+  return mean_service * mean_service;
+}
+
+double exponential_second_moment(double mean_service) {
+  return 2.0 * mean_service * mean_service;
+}
+
+}  // namespace hepex::sim::queueing

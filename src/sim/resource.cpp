@@ -1,0 +1,64 @@
+#include "sim/resource.hpp"
+
+#include "util/error.hpp"
+
+namespace hepex::sim {
+
+Resource::Resource(Simulator& sim, std::string name, int servers)
+    : sim_(sim), name_(std::move(name)), servers_(servers) {
+  HEPEX_REQUIRE(servers >= 1, "resource needs at least one server");
+}
+
+void Resource::request(double service_time, Completion on_complete) {
+  HEPEX_REQUIRE(service_time >= 0.0, "service time must be non-negative");
+  Job job{service_time, sim_.now(), std::move(on_complete)};
+  if (busy_ < servers_) {
+    wait_stats_.add(0.0);
+    start(std::move(job), 0.0);
+  } else {
+    waiting_.push_back(std::move(job));
+  }
+}
+
+void Resource::start(Job job, double waited) {
+  ++busy_;
+  busy_time_ += job.service_time;
+  service_stats_.add(job.service_time);
+  // Completion event: free the server, dispatch the next waiter, then run
+  // the caller's continuation.
+  sim_.schedule(job.service_time,
+                [this, waited, cb = std::move(job.on_complete)]() {
+    --busy_;
+    ++completed_;
+    if (!waiting_.empty()) {
+      Job next = std::move(waiting_.front());
+      waiting_.pop_front();
+      const double w = sim_.now() - next.arrival;
+      wait_stats_.add(w);
+      start(std::move(next), w);
+    }
+    if (cb) cb(waited);
+  });
+}
+
+double Resource::utilization() const {
+  const double elapsed = sim_.now();
+  if (elapsed <= 0.0) return 0.0;
+  return busy_time_ / (static_cast<double>(servers_) * elapsed);
+}
+
+Barrier::Barrier(int count, Release on_release)
+    : count_(count), on_release_(std::move(on_release)) {
+  HEPEX_REQUIRE(count >= 1, "barrier needs at least one party");
+}
+
+void Barrier::arrive() {
+  HEPEX_ASSERT(arrived_ < count_, "barrier overflow: too many arrivals");
+  if (++arrived_ == count_) {
+    arrived_ = 0;
+    ++rounds_;
+    if (on_release_) on_release_();
+  }
+}
+
+}  // namespace hepex::sim

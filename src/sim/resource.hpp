@@ -1,0 +1,105 @@
+#pragma once
+/// \file resource.hpp
+/// \brief FCFS queueing resources for the cluster simulator.
+///
+/// A `Resource` is a k-server first-come-first-served station (k = 1 gives
+/// the single-server queue the paper models analytically with M/G/1). The
+/// memory controller of each node and the Ethernet switch are Resources;
+/// contention — the paper's `T_w,mem` and `T_w,net` — emerges from queueing
+/// rather than from a formula, which is what makes model validation against
+/// the simulator meaningful.
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "util/statistics.hpp"
+
+namespace hepex::sim {
+
+/// A k-server FCFS queueing station with busy-time and waiting accounting.
+class Resource {
+ public:
+  /// Invoked when service completes; receives the time the job spent
+  /// waiting in queue before service started.
+  using Completion = std::function<void(double waited)>;
+
+  /// \param sim      owning simulator (must outlive the resource)
+  /// \param name     diagnostic name
+  /// \param servers  number of parallel servers (>= 1)
+  Resource(Simulator& sim, std::string name, int servers = 1);
+
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  /// Submit a job needing `service_time` seconds of one server; calls
+  /// `on_complete` when service finishes.
+  void request(double service_time, Completion on_complete);
+
+  /// Station name.
+  const std::string& name() const { return name_; }
+  /// Number of servers.
+  int servers() const { return servers_; }
+  /// Jobs currently waiting (not in service).
+  std::size_t queue_length() const { return waiting_.size(); }
+  /// Jobs currently in service.
+  int in_service() const { return busy_; }
+  /// Total server-seconds of completed-or-started service.
+  double busy_time() const { return busy_time_; }
+  /// Mean utilization over [0, now]: busy_time / (servers * elapsed).
+  double utilization() const;
+  /// Per-job waiting time statistics (time in queue, excluding service).
+  const util::Summary& wait_stats() const { return wait_stats_; }
+  /// Per-job service time statistics.
+  const util::Summary& service_stats() const { return service_stats_; }
+  /// Jobs fully serviced.
+  std::size_t completed() const { return completed_; }
+
+ private:
+  struct Job {
+    double service_time;
+    double arrival;
+    Completion on_complete;
+  };
+
+  void start(Job job, double waited);
+
+  Simulator& sim_;
+  std::string name_;
+  int servers_;
+  int busy_ = 0;
+  double busy_time_ = 0.0;
+  std::size_t completed_ = 0;
+  std::deque<Job> waiting_;
+  util::Summary wait_stats_;
+  util::Summary service_stats_;
+};
+
+/// Barrier: releases a callback when `count` parties have arrived, then
+/// resets for the next round. Models the per-iteration synchronisation of
+/// a hybrid program's threads/processes.
+class Barrier {
+ public:
+  using Release = std::function<void()>;
+
+  /// \param count      parties per round (>= 1)
+  /// \param on_release invoked each time all parties have arrived
+  Barrier(int count, Release on_release);
+
+  /// Signal that one party reached the barrier.
+  void arrive();
+
+  /// Parties arrived in the current round.
+  int arrived() const { return arrived_; }
+  /// Completed rounds.
+  int rounds() const { return rounds_; }
+
+ private:
+  int count_;
+  int arrived_ = 0;
+  int rounds_ = 0;
+  Release on_release_;
+};
+
+}  // namespace hepex::sim

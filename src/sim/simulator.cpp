@@ -1,0 +1,43 @@
+#include "sim/simulator.hpp"
+
+#include "util/error.hpp"
+
+namespace hepex::sim {
+
+void Simulator::schedule(double delay, Action fn) {
+  HEPEX_REQUIRE(delay >= 0.0, "cannot schedule events in the past");
+  calendar_.push(Event{now_ + delay, seq_++, std::move(fn)});
+}
+
+void Simulator::schedule_at(double t, Action fn) {
+  HEPEX_REQUIRE(t >= now_, "cannot schedule events before the current time");
+  calendar_.push(Event{t, seq_++, std::move(fn)});
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t processed = 0;
+  while (!calendar_.empty() && processed < max_events) {
+    // Move the action out before popping so it may schedule new events.
+    Event ev = std::move(const_cast<Event&>(calendar_.top()));
+    calendar_.pop();
+    now_ = ev.time;
+    ev.action();
+    ++processed;
+  }
+  return processed;
+}
+
+std::size_t Simulator::run_until(double t_end) {
+  std::size_t processed = 0;
+  while (!calendar_.empty() && calendar_.top().time <= t_end) {
+    Event ev = std::move(const_cast<Event&>(calendar_.top()));
+    calendar_.pop();
+    now_ = ev.time;
+    ev.action();
+    ++processed;
+  }
+  if (now_ < t_end) now_ = t_end;
+  return processed;
+}
+
+}  // namespace hepex::sim

@@ -1,0 +1,63 @@
+#pragma once
+/// \file simulator.hpp
+/// \brief Minimal discrete-event simulation kernel.
+///
+/// The cluster substitute (see DESIGN.md) is built on this engine: hardware
+/// components schedule events on a shared virtual clock. Events with equal
+/// timestamps fire in FIFO scheduling order, which keeps runs deterministic.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace hepex::sim {
+
+/// Discrete-event simulator: a virtual clock plus an event calendar.
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current virtual time in seconds.
+  double now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` seconds from now (delay >= 0).
+  void schedule(double delay, Action fn);
+
+  /// Schedule `fn` at absolute virtual time `t` (t >= now()).
+  void schedule_at(double t, Action fn);
+
+  /// Process events until the calendar drains or `max_events` is hit.
+  /// Returns the number of events processed.
+  std::size_t run(std::size_t max_events = static_cast<std::size_t>(-1));
+
+  /// Process events with timestamp <= t_end; the clock stops at t_end if
+  /// the calendar still has later events. Returns events processed.
+  std::size_t run_until(double t_end);
+
+  /// True when no events remain.
+  bool empty() const { return calendar_.empty(); }
+
+  /// Number of events scheduled over the simulator's lifetime.
+  std::uint64_t total_scheduled() const { return seq_; }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> calendar_;
+};
+
+}  // namespace hepex::sim

@@ -1,0 +1,433 @@
+#include "trace/execution_engine.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "hw/dvfs_policy.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hepex::trace {
+namespace {
+
+using hw::ClusterConfig;
+using hw::MachineSpec;
+using workload::ProgramSpec;
+
+/// Mutable state of one simulated run. Lives on the stack of simulate();
+/// event callbacks capture a pointer to it, and the event calendar drains
+/// before simulate() returns, so the pointer never dangles.
+struct Run {
+  const MachineSpec& machine;
+  const ProgramSpec& program;
+  const ClusterConfig cfg;
+  const SimOptions& opt;
+
+  sim::Simulator sim;
+  util::Rng rng;
+
+  std::vector<std::unique_ptr<sim::Resource>> mem;    // one per node
+  std::vector<std::unique_ptr<sim::Resource>> stack;  // per-node MPI/TCP stack
+  std::unique_ptr<sim::Resource> net;                 // the shared switch
+
+  // Per-thread execution state, reset each iteration.
+  struct Thread {
+    int process = 0;          // owning node / MPI rank
+    int chunks_left = 0;
+    double compute_chunk_s = 0.0;
+    double mem_service_chunk_s = 0.0;
+    double credit_s = 0.0;    // DRAM service hideable under the next chunk
+  };
+  std::vector<Thread> threads;
+
+  // Per-node runtime frequency (DVFS policies may change it between
+  // iterations; constant within one iteration).
+  std::vector<double> f_node;
+  hw::DvfsPolicy* policy = nullptr;
+
+  // Iteration bookkeeping.
+  int iteration = 0;
+  double iteration_start_s = 0.0;
+  int threads_running = 0;
+  std::vector<int> proc_threads_left;  // per process, threads still computing
+  int procs_comm_pending = 0;          // processes still in their MPI phase
+  int msgs_in_flight = 0;              // messages not yet received+processed
+  std::vector<double> node_busy_until; // last time each node did any work
+
+  // Per-iteration, per-node CPU accounting (folded into energy with the
+  // node's frequency at every iteration boundary).
+  std::vector<double> iter_act_s;    // compute incl. overlapped portion
+  std::vector<double> iter_stall_s;  // memory stalls after overlap credit
+  std::vector<double> iter_comm_s;   // messaging-stack CPU seconds
+
+  // Accumulated observables.
+  HardwareCounters counters;
+  MessageProfile messages;
+  double active_full_s = 0.0;
+  double stall_net_s = 0.0;
+  double comm_sw_s = 0.0;
+  double net_busy_s = 0.0;
+  double e_cpu_active_j = 0.0;
+  double e_cpu_stall_j = 0.0;
+  util::Summary slack_fraction;
+  util::Summary iteration_s;
+  util::Summary drain_s;
+  double f_weighted_sum = 0.0;  // sum over (node, iteration) of f
+  int f_samples = 0;
+
+  Run(const MachineSpec& m, const ProgramSpec& p, const ClusterConfig& c,
+      const SimOptions& o)
+      : machine(m), program(p), cfg(c), opt(o), rng(o.seed) {
+    for (int i = 0; i < cfg.nodes; ++i) {
+      mem.push_back(std::make_unique<sim::Resource>(
+          sim, "mem" + std::to_string(i), 1));
+      stack.push_back(std::make_unique<sim::Resource>(
+          sim, "stack" + std::to_string(i), 1));
+    }
+    net = std::make_unique<sim::Resource>(sim, "switch", 1);
+    threads.resize(static_cast<std::size_t>(cfg.nodes) * cfg.cores);
+    for (int p_id = 0; p_id < cfg.nodes; ++p_id) {
+      for (int t = 0; t < cfg.cores; ++t) {
+        threads[static_cast<std::size_t>(p_id) * cfg.cores + t].process = p_id;
+      }
+    }
+    const auto nodes = static_cast<std::size_t>(cfg.nodes);
+    proc_threads_left.assign(nodes, 0);
+    f_node.assign(nodes, cfg.f_hz);
+    node_busy_until.assign(nodes, 0.0);
+    iter_act_s.assign(nodes, 0.0);
+    iter_stall_s.assign(nodes, 0.0);
+    iter_comm_s.assign(nodes, 0.0);
+    policy = opt.dvfs_policy.get();
+  }
+
+  const hw::Isa& isa() const { return machine.node.isa; }
+  double f_of(int node) const {
+    return f_node[static_cast<std::size_t>(node)];
+  }
+  void touch(int node) {
+    node_busy_until[static_cast<std::size_t>(node)] = sim.now();
+  }
+
+  // ---- per-iteration setup ------------------------------------------------
+
+  void begin_iteration() {
+    const auto& comp = program.compute;
+    const double cpi = isa().work_cpi * comp.cpi_factor;
+    const double stall_rate =
+        isa().pipeline_stall_per_work_cycle * comp.stall_factor;
+
+    iteration_start_s = sim.now();
+
+    // Process-level split of the iteration's instructions. Process 0
+    // (the boundary/IO rank) may carry extra load: that asymmetry is the
+    // inter-node slack a DVFS policy reclaims.
+    const double per_process_mean = comp.instructions_per_iter / cfg.nodes;
+
+    // Streaming traffic is gated by the process's shared footprint;
+    // reusable traffic by the per-thread window against a thread's share
+    // of the hierarchy.
+    const double stream_mult = machine.node.cache.dram_fraction_shared(
+        program.working_set_per_process(cfg.nodes), cfg.cores);
+    const double reuse_mult = machine.node.cache.dram_fraction(
+        comp.reuse_window_bytes, cfg.cores);
+    const double dram_bytes_per_instr =
+        comp.bytes_per_instruction * stream_mult +
+        comp.reuse_bytes_per_instruction * reuse_mult;
+    const auto& ms = machine.node.memory;
+
+    const double sync_cycles = program.sync.cycles(hw::total_cores(cfg));
+    const int K = std::max(1, opt.chunks_per_iteration);
+
+    threads_running = static_cast<int>(threads.size());
+    std::fill(proc_threads_left.begin(), proc_threads_left.end(), cfg.cores);
+    procs_comm_pending = cfg.nodes;
+    msgs_in_flight = 0;
+
+    for (std::size_t i = 0; i < threads.size(); ++i) {
+      Thread& t = threads[i];
+      const int lane = static_cast<int>(i) % cfg.cores;
+      const double f = f_of(t.process);
+
+      double node_factor = 1.0;
+      if (cfg.nodes > 1 && comp.node_imbalance > 0.0) {
+        node_factor = (t.process == 0)
+                          ? 1.0 + comp.node_imbalance
+                          : 1.0 - comp.node_imbalance / (cfg.nodes - 1);
+      }
+      const double per_process = per_process_mean * node_factor;
+      const double serial = per_process * comp.serial_fraction;
+      const double parallel = per_process - serial;
+
+      double imb = 1.0;
+      if (cfg.cores > 1) {
+        imb = (lane == 0) ? 1.0 + comp.imbalance
+                          : 1.0 - comp.imbalance / (cfg.cores - 1);
+      }
+      double instr = parallel / cfg.cores * imb;
+      if (lane == 0) instr += serial;
+
+      const double jitter =
+          opt.jitter_cv > 0.0 ? rng.lognormal_mean(1.0, opt.jitter_cv) : 1.0;
+      const double w = instr * cpi * jitter + sync_cycles;
+      const double b = instr * cpi * jitter * stall_rate;
+
+      counters.instructions += instr + sync_cycles / cpi;
+      counters.work_cycles += w;
+      counters.nonmem_stall_cycles += b;
+
+      const double dram_bytes = instr * dram_bytes_per_instr;
+      const double misses = dram_bytes / ms.line_bytes;
+      const double service = dram_bytes / ms.bandwidth_bytes_per_s +
+                             misses * ms.latency_s /
+                                 isa().memory_level_parallelism;
+
+      t.chunks_left = K;
+      t.compute_chunk_s = (w + b) / K / f;
+      t.mem_service_chunk_s = service / K;
+      t.credit_s = 0.0;
+
+      const double full = (w + b) / f;
+      active_full_s += full;
+      iter_act_s[static_cast<std::size_t>(t.process)] += full;
+      sim.schedule(0.0, [this, i] { thread_step(i); });
+    }
+  }
+
+  // ---- compute phase ------------------------------------------------------
+
+  void thread_step(std::size_t tid) {
+    Thread& t = threads[tid];
+    if (t.chunks_left == 0) {
+      thread_done(t.process);
+      return;
+    }
+    --t.chunks_left;
+
+    // Apply overlap credit: part of the previous DRAM service executed
+    // this chunk's instructions already.
+    const double used = std::min(t.credit_s, t.compute_chunk_s);
+    t.credit_s = 0.0;
+    stall_net_s -= used;
+    iter_stall_s[static_cast<std::size_t>(t.process)] -= used;
+    counters.mem_stall_cycles -= used * f_of(t.process);
+    const double eff_compute = t.compute_chunk_s - used;
+
+    sim.schedule(eff_compute, [this, tid] {
+      Thread& th = threads[tid];
+      touch(th.process);
+      if (th.mem_service_chunk_s <= 0.0) {
+        thread_step(tid);
+        return;
+      }
+      const double service = th.mem_service_chunk_s;
+      mem[static_cast<std::size_t>(th.process)]->request(
+          service, [this, tid, service](double waited) {
+            Thread& th2 = threads[tid];
+            const double stall = waited + service;
+            stall_net_s += stall;
+            iter_stall_s[static_cast<std::size_t>(th2.process)] += stall;
+            counters.mem_stall_cycles += stall * f_of(th2.process);
+            th2.credit_s = isa().memory_overlap * service;
+            touch(th2.process);
+            thread_step(tid);
+          });
+    });
+  }
+
+  void thread_done(int process) {
+    --threads_running;
+    touch(process);
+    if (--proc_threads_left[static_cast<std::size_t>(process)] == 0) {
+      start_comm(process);
+    }
+  }
+
+  // ---- communication phase ------------------------------------------------
+
+  void start_comm(int process) {
+    const workload::CommShape shape = program.comm_shape(cfg.nodes);
+    if (shape.messages == 0) {
+      process_comm_done();
+      return;
+    }
+    msgs_in_flight += shape.messages;
+    send_next(process, 0, shape);
+  }
+
+  void send_next(int process, int idx, workload::CommShape shape) {
+    if (idx == shape.messages) {
+      process_comm_done();
+      return;
+    }
+    // Per-message CPU cost of the MPI/TCP stack on the sending core.
+    const double sw_s = isa().message_software_cycles / f_of(process);
+    comm_sw_s += sw_s;
+    iter_comm_s[static_cast<std::size_t>(process)] += sw_s;
+    counters.comm_software_cycles += isa().message_software_cycles;
+
+    const double size = std::max(
+        1.0, rng.lognormal_mean(shape.bytes_per_msg, program.comm.size_cv));
+    messages.messages += 1.0;
+    messages.bytes += size;
+    messages.per_msg_bytes.add(size);
+
+    const int dest =
+        cfg.nodes > 1 ? (process + 1 + idx % (cfg.nodes - 1)) % cfg.nodes
+                      : process;
+
+    // Send-side stack processing serializes with this node's receive
+    // processing on the messaging context.
+    stack[static_cast<std::size_t>(process)]->request(
+        sw_s, [this, process, idx, shape, size, dest](double) {
+          touch(process);
+          const double wire = machine.network.wire_time(size);
+          net_busy_s += wire;
+          net->request(wire, [this, dest](double /*waited*/) {
+            message_delivered(dest);
+          });
+          // The send is buffered: the core moves to the next message
+          // while the wire transfer proceeds.
+          send_next(process, idx + 1, shape);
+        });
+  }
+
+  void message_delivered(int dest) {
+    // Receive-side stack processing serializes on the destination node's
+    // interrupt-handling core (one message at a time) — for many-small-
+    // message programs this is a genuine bottleneck. It happens while
+    // the node is otherwise waiting at the barrier, so it does not move
+    // the node's busy horizon, but its cost burns CPU energy and delays
+    // the global barrier.
+    const double sw_s = isa().message_software_cycles / f_of(dest);
+    comm_sw_s += sw_s;
+    iter_comm_s[static_cast<std::size_t>(dest)] += sw_s;
+    counters.comm_software_cycles += isa().message_software_cycles;
+    stack[static_cast<std::size_t>(dest)]->request(sw_s, [this](double) {
+      if (--msgs_in_flight == 0) maybe_end_iteration();
+    });
+  }
+
+  void process_comm_done() {
+    --procs_comm_pending;
+    maybe_end_iteration();
+  }
+
+  void maybe_end_iteration() {
+    if (threads_running != 0 || procs_comm_pending != 0 ||
+        msgs_in_flight != 0) {
+      return;
+    }
+    end_iteration();
+    ++iteration;
+    if (iteration < program.iterations) {
+      begin_iteration();
+    }
+  }
+
+  /// Fold this iteration's per-node CPU time into energy at the node's
+  /// frequency, observe barrier slack, and let the DVFS policy choose
+  /// next-iteration frequencies.
+  void end_iteration() {
+    const auto& pw = machine.node.power;
+    const auto& dvfs = machine.node.dvfs;
+    const double barrier_at = sim.now();
+    const double iter_len = std::max(1e-12, barrier_at - iteration_start_s);
+    // Reclaimable slack is measured against the *laggard* node, not the
+    // barrier: the message-drain tail after every node finished injecting
+    // is shared, and slowing down cannot reclaim it.
+    double laggard_busy = iteration_start_s;
+    for (double b : node_busy_until) laggard_busy = std::max(laggard_busy, b);
+    iteration_s.add(iter_len);
+    drain_s.add(std::max(0.0, barrier_at - laggard_busy));
+
+    for (int node = 0; node < cfg.nodes; ++node) {
+      const auto ni = static_cast<std::size_t>(node);
+      const double f = f_node[ni];
+      e_cpu_active_j +=
+          pw.core.active_at(f, dvfs) * (iter_act_s[ni] + iter_comm_s[ni]);
+      e_cpu_stall_j += pw.core.stall_at(f, dvfs) * iter_stall_s[ni];
+      iter_act_s[ni] = iter_stall_s[ni] = iter_comm_s[ni] = 0.0;
+
+      hw::SlackObservation obs;
+      obs.node = node;
+      obs.iteration = iteration;
+      obs.f_current_hz = f;
+      obs.f_configured_hz = cfg.f_hz;
+      obs.busy_until_s = node_busy_until[ni];
+      obs.barrier_at_s = barrier_at;
+      obs.busy_fraction = std::clamp(
+          (node_busy_until[ni] - iteration_start_s) / iter_len, 0.0, 1.0);
+      obs.slack_fraction = std::clamp(
+          (laggard_busy - node_busy_until[ni]) / iter_len, 0.0, 1.0);
+      slack_fraction.add(obs.slack_fraction);
+      f_weighted_sum += f;
+      ++f_samples;
+
+      if (policy != nullptr) {
+        const double next = policy->next_frequency(obs, dvfs);
+        HEPEX_REQUIRE(dvfs.supports(next),
+                      "DVFS policy returned a non-operating-point frequency");
+        f_node[ni] = next;
+      }
+    }
+  }
+
+  // ---- wrap-up --------------------------------------------------------------
+
+  Measurement finalize() {
+    Measurement out;
+    out.config = cfg;
+    out.time_s = sim.now();
+    out.counters = counters;
+    out.messages = messages;
+
+    const double busy = active_full_s + stall_net_s + comm_sw_s;
+    out.counters.cpu_busy_seconds = busy;
+    out.cpu_utilization =
+        busy / (static_cast<double>(hw::total_cores(cfg)) * out.time_s);
+
+    for (const auto& m : mem) out.mem_busy_s += m->busy_time();
+    out.net_busy_s = net_busy_s;
+
+    const auto& pw = machine.node.power;
+    out.energy.cpu_active_j = e_cpu_active_j;
+    out.energy.cpu_stall_j = e_cpu_stall_j;
+    out.energy.mem_j = pw.mem_active_w * out.mem_busy_s;
+    out.energy.net_j = pw.net_active_w * out.net_busy_s;
+    out.energy.idle_j = pw.sys_idle_w * out.time_s * cfg.nodes;
+
+    // Average wall-clock compute per core: equals (w+b)/(n c f) when the
+    // frequency stays fixed, and generalises to DVFS runs.
+    out.t_cpu_s =
+        active_full_s / static_cast<double>(hw::total_cores(cfg));
+    out.slack_fraction = slack_fraction;
+    out.iteration_s = iteration_s;
+    out.drain_s = drain_s;
+    out.avg_frequency_hz =
+        f_samples > 0 ? f_weighted_sum / f_samples : cfg.f_hz;
+    return out;
+  }
+};
+
+}  // namespace
+
+Measurement simulate(const MachineSpec& machine, const ProgramSpec& program,
+                     const ClusterConfig& config, const SimOptions& options) {
+  hw::validate_config(machine, config, /*require_physical=*/true);
+  HEPEX_REQUIRE(program.iterations >= 1, "program needs >= 1 iteration");
+  HEPEX_REQUIRE(options.chunks_per_iteration >= 1,
+                "need >= 1 chunk per iteration");
+
+  Run run(machine, program, config, options);
+  run.begin_iteration();
+  run.sim.run();
+  HEPEX_ASSERT(run.iteration == program.iterations,
+               "simulation ended before all iterations completed");
+  return run.finalize();
+}
+
+}  // namespace hepex::trace

@@ -1,0 +1,52 @@
+#pragma once
+/// \file execution_engine.hpp
+/// \brief Discrete-event execution of a hybrid program on a simulated cluster.
+///
+/// This is HEPEX's substitute for the paper's physical testbed. It runs a
+/// `workload::ProgramSpec` on a `hw::MachineSpec` at one `(n, c, f)`
+/// configuration and produces the observables the paper measures: wall
+/// time, per-component energy, hardware counters and an mpiP-style message
+/// profile.
+///
+/// Mechanisms simulated (each one a source of model-vs-measurement error
+/// the paper discusses in §IV-C):
+///  - per-node FCFS memory controller — intra-node contention (T_w,mem)
+///  - single shared switch — inter-node network contention (T_w,net)
+///  - out-of-order overlap of DRAM service with subsequent compute
+///  - serial fraction, thread load imbalance, per-iteration barriers
+///  - synchronisation work growing with total core count (LB's pathology)
+///  - seeded log-normal OS jitter on every compute phase
+
+#include <cstdint>
+#include <memory>
+
+#include "hw/dvfs_policy.hpp"
+#include "hw/machine.hpp"
+#include "trace/measurement.hpp"
+#include "workload/program.hpp"
+
+namespace hepex::trace {
+
+/// Tunables of the simulated execution.
+struct SimOptions {
+  /// Compute/memory interleave granularity per thread per iteration.
+  /// More chunks -> finer-grained contention, more events.
+  int chunks_per_iteration = 12;
+  /// Coefficient of variation of the per-phase OS jitter (0 disables).
+  double jitter_cv = 0.03;
+  /// RNG seed; identical seeds give bit-identical measurements.
+  std::uint64_t seed = 42;
+  /// Optional per-node runtime frequency governor consulted at every
+  /// iteration boundary; null keeps the configured frequency.
+  std::shared_ptr<hw::DvfsPolicy> dvfs_policy;
+};
+
+/// Execute `program` on `machine` at `config` and return the measurement.
+/// Throws std::invalid_argument for configurations the machine cannot run
+/// physically (n > nodes_available, unsupported c or f).
+Measurement simulate(const hw::MachineSpec& machine,
+                     const workload::ProgramSpec& program,
+                     const hw::ClusterConfig& config,
+                     const SimOptions& options = {});
+
+}  // namespace hepex::trace

@@ -1,0 +1,83 @@
+#pragma once
+/// \file measurement.hpp
+/// \brief Results of one "direct measurement" — a simulated execution.
+///
+/// A `Measurement` is what the paper obtains from `time`, a WattsUp meter,
+/// hardware performance counters and mpiP for one run of a hybrid program
+/// on one `(n, c, f)` configuration. The analytical model is only allowed
+/// to look at these observables (for baseline configurations), never at
+/// the simulator's internal ground truth — that separation keeps the
+/// validation non-circular.
+
+#include "hw/machine.hpp"
+#include "util/statistics.hpp"
+
+namespace hepex::trace {
+
+/// Hardware-performance-counter totals, summed over all cores.
+/// Mirrors the paper's Table 1 baseline symbols (I, w, b, m, U).
+struct HardwareCounters {
+  double instructions = 0.0;        ///< retired instructions (incl. sync work)
+  double work_cycles = 0.0;         ///< w: busy compute cycles
+  double nonmem_stall_cycles = 0.0; ///< b: pipeline (non-memory) stalls
+  double mem_stall_cycles = 0.0;    ///< m: memory-related stalls (wait+service)
+  double comm_software_cycles = 0.0;///< cycles spent in the MPI/TCP stack
+  double cpu_busy_seconds = 0.0;    ///< total core-busy wall time (all cores)
+};
+
+/// Per-component energy, one run, whole cluster [J].
+struct EnergyBreakdown {
+  double cpu_active_j = 0.0;  ///< cores executing work cycles
+  double cpu_stall_j = 0.0;   ///< cores stalled on memory
+  double mem_j = 0.0;         ///< memory controllers while busy
+  double net_j = 0.0;         ///< NICs while transmitting
+  double idle_j = 0.0;        ///< P_sys,idle * T * n
+
+  double total() const {
+    return cpu_active_j + cpu_stall_j + mem_j + net_j + idle_j;
+  }
+};
+
+/// What an mpiP-style profiler reports: message count and volume.
+struct MessageProfile {
+  double messages = 0.0;        ///< total messages sent (whole run)
+  double bytes = 0.0;           ///< total payload bytes sent
+  util::Summary per_msg_bytes;  ///< per-message size distribution
+
+  /// Mean volume per message (the paper's nu); 0 when no messages.
+  double bytes_per_message() const {
+    return messages > 0.0 ? bytes / messages : 0.0;
+  }
+};
+
+/// One complete simulated execution.
+struct Measurement {
+  hw::ClusterConfig config;
+  double time_s = 0.0;          ///< wall-clock execution time T
+  EnergyBreakdown energy;       ///< exact integrated energy
+  HardwareCounters counters;    ///< cluster-wide counter totals
+  MessageProfile messages;      ///< mpiP-style communication profile
+  double cpu_utilization = 0.0; ///< U: busy core-seconds / (n*c*T)
+  double mem_busy_s = 0.0;      ///< controller busy seconds, all nodes
+  double net_busy_s = 0.0;      ///< NIC busy seconds, all nodes
+  double t_cpu_s = 0.0;         ///< (w+b)/(n*c*f): the paper's T_CPU
+
+  /// Barrier slack per (node, iteration): fraction of the iteration a
+  /// node spent waiting for the others. The signal DVFS policies act on.
+  util::Summary slack_fraction;
+  /// Wall duration of each iteration (count == S). The coefficient of
+  /// variation exposes OS jitter and contention irregularity.
+  util::Summary iteration_s;
+  /// Message-drain tail per iteration: time between the laggard node
+  /// finishing its own work and the global barrier releasing — the
+  /// network-bound share of each iteration.
+  util::Summary drain_s;
+  /// Mean operating frequency across nodes and iterations (equals the
+  /// configured f unless a DVFS policy intervened).
+  double avg_frequency_hz = 0.0;
+
+  /// Ground-truth useful computation ratio of this run (Eq. 13).
+  double ucr() const { return time_s > 0.0 ? t_cpu_s / time_s : 0.0; }
+};
+
+}  // namespace hepex::trace

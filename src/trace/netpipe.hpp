@@ -1,0 +1,40 @@
+#pragma once
+/// \file netpipe.hpp
+/// \brief NetPIPE-style network characterization (the paper's §III-E-2).
+///
+/// Measures the latency and achievable MPI-over-TCP throughput of the
+/// cluster's interconnect with a ping-pong sweep over message sizes —
+/// the experiment behind Fig. 3, where a 100 Mbps link saturates near
+/// 90 Mbps because of protocol headers and the messaging software stack.
+
+#include <vector>
+
+#include "hw/machine.hpp"
+
+namespace hepex::trace {
+
+/// One row of the NetPIPE sweep.
+struct NetPipePoint {
+  double message_bytes = 0.0;
+  double latency_s = 0.0;         ///< one-way message latency
+  double throughput_bps = 0.0;    ///< goodput in bits/s
+};
+
+/// Result of a network characterization run.
+struct NetworkCharacterization {
+  std::vector<NetPipePoint> points;
+  /// Achievable throughput B used by the model (Eq. 6): the plateau of
+  /// the sweep, i.e. the best observed goodput.
+  double achievable_bps = 0.0;
+  /// Per-message fixed latency (software + switch) at the smallest size.
+  double base_latency_s = 0.0;
+};
+
+/// Run a ping-pong sweep on `machine` between two nodes at frequency
+/// `f_hz` (use the node's f_max for the canonical characterization).
+/// Message sizes sweep powers of two from 1 byte to `max_bytes`.
+NetworkCharacterization netpipe_sweep(const hw::MachineSpec& machine,
+                                      double f_hz,
+                                      double max_bytes = 16.0 * 1024 * 1024);
+
+}  // namespace hepex::trace

@@ -1,0 +1,35 @@
+#include "trace/power_meter.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hepex::trace {
+
+PowerMeter::PowerMeter(const hw::MachineSpec& machine, std::uint64_t seed)
+    : machine_(machine), rng_(seed) {}
+
+MeterReading PowerMeter::read(const Measurement& m) {
+  HEPEX_REQUIRE(m.time_s > 0.0, "cannot meter a zero-length run");
+  MeterReading r;
+  r.time_s = m.time_s;
+
+  // Per-reading calibration offset, one draw per node.
+  double offset_w = 0.0;
+  for (int i = 0; i < m.config.nodes; ++i) {
+    offset_w += rng_.normal(0.0, machine_.node.power.meter_offset_sigma_w);
+  }
+
+  // 1 Hz sampling: the meter accumulates whole-second samples, so the
+  // fractional tail of the run is truncated or rounded up.
+  const double mean_power = m.energy.total() / m.time_s + offset_w;
+  const double sampled_s = std::max(1.0, std::round(m.time_s));
+  r.energy_j = mean_power * sampled_s;
+  return r;
+}
+
+MeterReading PowerMeter::read_exact(const Measurement& m) {
+  return MeterReading{m.time_s, m.energy.total()};
+}
+
+}  // namespace hepex::trace

@@ -1,0 +1,39 @@
+#include "trace/profiler.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hepex::trace {
+
+CommProfile profile_messages(const hw::MachineSpec& machine,
+                             const workload::ProgramSpec& program,
+                             int n_probe, int probe_iterations) {
+  HEPEX_REQUIRE(n_probe >= 2, "communication probe needs >= 2 processes");
+  HEPEX_REQUIRE(n_probe <= machine.nodes_available,
+                "probe exceeds physical node count");
+  HEPEX_REQUIRE(probe_iterations >= 1, "probe needs >= 1 iteration");
+
+  workload::ProgramSpec probe = program;
+  probe.iterations = std::min(program.iterations, probe_iterations);
+
+  hw::ClusterConfig cfg;
+  cfg.nodes = n_probe;
+  cfg.cores = 1;
+  cfg.f_hz = machine.node.dvfs.f_max();
+
+  SimOptions opt;
+  opt.chunks_per_iteration = 4;  // coarse: only the messages matter here
+  const Measurement m = simulate(machine, probe, cfg, opt);
+
+  CommProfile out;
+  out.n_probe = n_probe;
+  out.eta = m.messages.messages /
+            (static_cast<double>(n_probe) * probe.iterations);
+  out.nu = m.messages.bytes_per_message();
+  const double mean = m.messages.per_msg_bytes.mean();
+  out.size_cv = mean > 0.0 ? m.messages.per_msg_bytes.stddev() / mean : 0.0;
+  return out;
+}
+
+}  // namespace hepex::trace

@@ -1,0 +1,33 @@
+#pragma once
+/// \file profiler.hpp
+/// \brief mpiP-style lightweight message profiling (the paper's §III-E-1).
+///
+/// The paper measures the program's communication characteristics — the
+/// number of messages η and the volume per message ν — with the mpiP
+/// profiler on a small run, then infers the values for other process
+/// counts from the decomposition. `profile_messages` is that probe: a
+/// short truncated execution on a small number of nodes.
+
+#include "hw/machine.hpp"
+#include "trace/execution_engine.hpp"
+#include "workload/program.hpp"
+
+namespace hepex::trace {
+
+/// Communication profile of one probe run.
+struct CommProfile {
+  int n_probe = 2;       ///< processes used in the probe
+  double eta = 0.0;      ///< messages per process per iteration
+  double nu = 0.0;       ///< mean bytes per message
+  double size_cv = 0.0;  ///< coefficient of variation of message sizes
+};
+
+/// Profile `program`'s communication by running `probe_iterations` of it
+/// on `n_probe` nodes (one core, highest frequency — communication shape
+/// does not depend on c or f). Requires n_probe >= 2 and within the
+/// machine's physical node count.
+CommProfile profile_messages(const hw::MachineSpec& machine,
+                             const workload::ProgramSpec& program,
+                             int n_probe = 2, int probe_iterations = 3);
+
+}  // namespace hepex::trace

@@ -1,0 +1,86 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hepex::util {
+
+CliArgs CliArgs::parse(int argc, const char* const* argv) {
+  CliArgs out;
+  int i = 1;
+  if (i < argc && std::string(argv[i]).rfind("--", 0) != 0) {
+    out.command_ = argv[i];
+    ++i;
+  }
+  for (; i < argc; ++i) {
+    const std::string tok = argv[i];
+    HEPEX_REQUIRE(tok.rfind("--", 0) == 0,
+                  "unexpected positional argument '" + tok + "'");
+    const std::string name = tok.substr(2);
+    HEPEX_REQUIRE(!name.empty(), "empty flag name");
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      out.flags_[name] = argv[i + 1];
+      ++i;
+    } else {
+      out.flags_[name] = "";
+    }
+  }
+  return out;
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::optional<std::string> CliArgs::get(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return std::nullopt;
+  return it->second;
+}
+
+std::string CliArgs::get_or(const std::string& name,
+                            const std::string& fallback) const {
+  const auto v = get(name);
+  return v ? *v : fallback;
+}
+
+double CliArgs::get_double_or(const std::string& name,
+                              double fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double d = std::stod(*v, &pos);
+    HEPEX_REQUIRE(pos == v->size(), "trailing characters in number");
+    return d;
+  } catch (const std::invalid_argument&) {
+    throw std::invalid_argument("hepex: flag --" + name +
+                                " expects a number, got '" + *v + "'");
+  }
+}
+
+int CliArgs::get_int_or(const std::string& name, int fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  try {
+    std::size_t pos = 0;
+    const int d = std::stoi(*v, &pos);
+    HEPEX_REQUIRE(pos == v->size(), "trailing characters in integer");
+    return d;
+  } catch (const std::invalid_argument&) {
+    throw std::invalid_argument("hepex: flag --" + name +
+                                " expects an integer, got '" + *v + "'");
+  }
+}
+
+void CliArgs::require_known(const std::vector<std::string>& known) const {
+  for (const auto& [name, value] : flags_) {
+    (void)value;
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      throw std::invalid_argument("hepex: unknown flag --" + name);
+    }
+  }
+}
+
+}  // namespace hepex::util

@@ -1,0 +1,51 @@
+#pragma once
+/// \file cli.hpp
+/// \brief Tiny command-line argument parser for the HEPEX tools.
+///
+/// Grammar: `tool <command> [--flag value]... [--switch]...`.
+/// Values never start with "--"; unknown flags are the caller's job to
+/// reject via `require_known`.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hepex::util {
+
+/// Parsed command line.
+class CliArgs {
+ public:
+  /// Parse argv (argv[0] is skipped). Throws std::invalid_argument when a
+  /// flag is missing its value.
+  static CliArgs parse(int argc, const char* const* argv);
+
+  /// The first positional token (the sub-command); empty when absent.
+  const std::string& command() const { return command_; }
+
+  /// True when `--name` appeared (with or without value).
+  bool has(const std::string& name) const;
+
+  /// The value of `--name`; nullopt when absent or valueless.
+  std::optional<std::string> get(const std::string& name) const;
+
+  /// The value of `--name` or `fallback` when absent.
+  std::string get_or(const std::string& name,
+                     const std::string& fallback) const;
+
+  /// The value of `--name` parsed as double; `fallback` when absent.
+  /// Throws std::invalid_argument when present but unparsable.
+  double get_double_or(const std::string& name, double fallback) const;
+
+  /// The value of `--name` parsed as int; `fallback` when absent.
+  int get_int_or(const std::string& name, int fallback) const;
+
+  /// Throw std::invalid_argument when any parsed flag is not in `known`.
+  void require_known(const std::vector<std::string>& known) const;
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> flags_;  // valueless flags map to ""
+};
+
+}  // namespace hepex::util

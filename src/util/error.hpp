@@ -1,0 +1,33 @@
+#pragma once
+/// \file error.hpp
+/// \brief Precondition checking for the HEPEX public API.
+///
+/// Following the C++ Core Guidelines (I.6 "Prefer Expects() for
+/// preconditions"), every public entry point validates its arguments and
+/// throws `std::invalid_argument` with a message naming the violated
+/// condition. Internal logic errors throw `std::logic_error`.
+
+#include <stdexcept>
+#include <string>
+
+namespace hepex {
+
+/// Throw `std::invalid_argument` when a caller-supplied precondition fails.
+#define HEPEX_REQUIRE(cond, msg)                                    \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      throw std::invalid_argument(std::string("hepex: ") + (msg) + \
+                                  " [violated: " #cond "]");       \
+    }                                                               \
+  } while (0)
+
+/// Throw `std::logic_error` for internal invariant violations.
+#define HEPEX_ASSERT(cond, msg)                                 \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      throw std::logic_error(std::string("hepex bug: ") + (msg) + \
+                             " [violated: " #cond "]");         \
+    }                                                           \
+  } while (0)
+
+}  // namespace hepex

@@ -1,0 +1,37 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hepex::util {
+
+double Rng::normal(double mean, double stddev) {
+  // Box–Muller transform; discard the second variate for simplicity.
+  double u1 = uniform01();
+  double u2 = uniform01();
+  // Guard the log against u1 == 0.
+  while (u1 <= 0.0) u1 = uniform01();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::lognormal_mean(double mean, double cv) {
+  HEPEX_REQUIRE(mean > 0.0, "lognormal mean must be positive");
+  HEPEX_REQUIRE(cv >= 0.0, "lognormal cv must be non-negative");
+  if (cv == 0.0) return mean;
+  // For lognormal with parameters (mu, sigma):
+  //   E[X] = exp(mu + sigma^2/2),  CV^2 = exp(sigma^2) - 1.
+  const double sigma2 = std::log(1.0 + cv * cv);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return std::exp(normal(mu, std::sqrt(sigma2)));
+}
+
+double Rng::exponential(double mean) {
+  HEPEX_REQUIRE(mean > 0.0, "exponential mean must be positive");
+  double u = uniform01();
+  while (u <= 0.0) u = uniform01();
+  return -mean * std::log(u);
+}
+
+}  // namespace hepex::util

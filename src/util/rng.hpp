@@ -1,0 +1,93 @@
+#pragma once
+/// \file rng.hpp
+/// \brief Deterministic random number generation for reproducible experiments.
+///
+/// All stochastic behaviour in HEPEX (OS jitter, message-size dispersion,
+/// power-meter calibration noise) flows through `Rng`, a xoshiro256**
+/// engine seeded via SplitMix64. Two runs with the same seed produce
+/// bit-identical results, which the test suite relies on.
+
+#include <cstdint>
+#include <limits>
+
+namespace hepex::util {
+
+/// SplitMix64 — used to expand a single 64-bit seed into engine state.
+/// Reference: Sebastiano Vigna, http://prng.di.unimi.it/splitmix64.c
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — fast, high-quality 64-bit PRNG.
+/// Satisfies `std::uniform_random_bit_generator` so it can drive the
+/// standard `<random>` distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Construct from a single seed; state is expanded with SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B9u) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Standard normal via Box–Muller (no cached spare: keeps state minimal).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Log-normal such that the *mean* of the distribution is `mean` and the
+  /// coefficient of variation is `cv`. Handy for multiplicative OS jitter:
+  /// `lognormal_mean(1.0, 0.03)` yields a factor with mean 1 and ~3% spread.
+  double lognormal_mean(double mean, double cv);
+
+  /// Exponential with the given mean (mean > 0).
+  double exponential(double mean);
+
+  /// Derive an independent child generator (for per-run streams).
+  Rng fork() { return Rng((*this)()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace hepex::util

@@ -1,0 +1,67 @@
+#include "util/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hepex::util {
+
+void Summary::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double Summary::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+void Summary::merge(const Summary& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n_total = na + nb;
+  mean_ += delta * nb / n_total;
+  m2_ += other.m2_ + delta * delta * na * nb / n_total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double absolute_percentage_error(double predicted, double measured) {
+  HEPEX_REQUIRE(measured != 0.0, "measured value must be nonzero");
+  return std::abs(predicted - measured) / std::abs(measured) * 100.0;
+}
+
+double signed_percentage_error(double predicted, double measured) {
+  HEPEX_REQUIRE(measured != 0.0, "measured value must be nonzero");
+  return (predicted - measured) / std::abs(measured) * 100.0;
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  HEPEX_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs.front();
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+}  // namespace hepex::util

@@ -1,0 +1,57 @@
+#pragma once
+/// \file units.hpp
+/// \brief Unit constants and conversion helpers used throughout HEPEX.
+///
+/// HEPEX stores all physical quantities as `double` in SI base units:
+/// seconds, hertz, bytes, bits-per-second, watts, joules. The constants
+/// below make call sites read like the paper's notation, e.g.
+/// `1.8 * units::GHz` or `100 * units::Mbps`.
+
+namespace hepex::units {
+
+// --- frequency [Hz] ---
+inline constexpr double kHz = 1e3;
+inline constexpr double MHz = 1e6;
+inline constexpr double GHz = 1e9;
+
+// --- time [s] ---
+inline constexpr double ns = 1e-9;
+inline constexpr double us = 1e-6;
+inline constexpr double ms = 1e-3;
+inline constexpr double minute = 60.0;
+inline constexpr double hour = 3600.0;
+
+// --- data size [bytes] ---
+inline constexpr double KiB = 1024.0;
+inline constexpr double MiB = 1024.0 * 1024.0;
+inline constexpr double GiB = 1024.0 * 1024.0 * 1024.0;
+inline constexpr double KB = 1e3;
+inline constexpr double MB = 1e6;
+inline constexpr double GB = 1e9;
+
+// --- bandwidth [bits/s and bytes/s] ---
+inline constexpr double Kbps = 1e3;
+inline constexpr double Mbps = 1e6;
+inline constexpr double Gbps = 1e9;
+/// Convert a link rate in bits/s to bytes/s.
+constexpr double bits_to_bytes(double bits_per_s) { return bits_per_s / 8.0; }
+
+// --- energy [J] ---
+inline constexpr double J = 1.0;
+inline constexpr double kJ = 1e3;
+
+// --- power [W] ---
+inline constexpr double W = 1.0;
+inline constexpr double mW = 1e-3;
+
+/// Convert cycles at frequency `f_hz` into seconds.
+constexpr double cycles_to_seconds(double cycles, double f_hz) {
+  return cycles / f_hz;
+}
+
+/// Convert seconds at frequency `f_hz` into cycles.
+constexpr double seconds_to_cycles(double seconds, double f_hz) {
+  return seconds * f_hz;
+}
+
+}  // namespace hepex::units

@@ -1,0 +1,53 @@
+#include "workload/comm_pattern.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hepex::workload {
+
+std::string to_string(CommPattern p) {
+  switch (p) {
+    case CommPattern::kHalo3D: return "halo-3d";
+    case CommPattern::kWavefront: return "wavefront";
+    case CommPattern::kAllToAll: return "all-to-all";
+    case CommPattern::kRing: return "ring";
+  }
+  HEPEX_ASSERT(false, "unhandled comm pattern");
+  return {};
+}
+
+CommShape CommSpec::shape(int n) const {
+  HEPEX_REQUIRE(n >= 1, "need at least one process");
+  if (n == 1) return CommShape{0, 0.0};
+  switch (pattern) {
+    case CommPattern::kHalo3D: {
+      // Subdomain faces shrink with n^(2/3); 6 neighbours per round.
+      const double per_face = base_bytes / std::pow(static_cast<double>(n), 2.0 / 3.0);
+      return CommShape{6 * rounds, per_face};
+    }
+    case CommPattern::kWavefront: {
+      // Pencil decomposition: faces shrink with sqrt(n); each round sends
+      // two pencil strips (downstream sweeps in both directions).
+      const double per_msg =
+          base_bytes / (std::sqrt(static_cast<double>(n)) *
+                        static_cast<double>(rounds));
+      return CommShape{2 * rounds, per_msg};
+    }
+    case CommPattern::kAllToAll: {
+      // Personalised all-to-all of a base_bytes-sized global array: each
+      // process holds base/n and scatters it evenly to n-1 peers.
+      const double per_msg =
+          base_bytes / (static_cast<double>(n) * static_cast<double>(n));
+      return CommShape{(n - 1) * rounds, per_msg};
+    }
+    case CommPattern::kRing: {
+      // 1D slabs: two full faces regardless of n.
+      return CommShape{2 * rounds, base_bytes};
+    }
+  }
+  HEPEX_ASSERT(false, "unhandled comm pattern");
+  return {};
+}
+
+}  // namespace hepex::workload

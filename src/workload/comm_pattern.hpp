@@ -1,0 +1,55 @@
+#pragma once
+/// \file comm_pattern.hpp
+/// \brief Inter-process (MPI) communication patterns.
+///
+/// A hybrid program's communication phase (Listing 1 of the paper) is
+/// characterised by the number of messages per process per iteration (η)
+/// and the volume per message (ν). Both depend on the decomposition:
+///
+/// - `kHalo3D`     — 3D domain decomposition, 6 face exchanges per round;
+///                   per-message bytes shrink as n^(2/3) (BT, SP).
+/// - `kWavefront`  — pipelined 2D pencil sweeps with many small messages
+///                   (LU's SSOR solver).
+/// - `kAllToAll`   — transpose-style personalised all-to-all; total volume
+///                   stays ~constant while messages grow as n-1 per
+///                   process, which floods the switch at scale (CP's FFT).
+/// - `kRing`       — 1D slab decomposition, 2 neighbours, per-message
+///                   volume *independent of n* so total traffic grows
+///                   linearly with n (LB's halo).
+
+#include <string>
+
+namespace hepex::workload {
+
+/// Decomposition / exchange pattern of the MPI phase.
+enum class CommPattern { kHalo3D, kWavefront, kAllToAll, kRing };
+
+/// Pattern name for reports.
+std::string to_string(CommPattern p);
+
+/// Per-iteration communication demands of one logical process.
+struct CommShape {
+  int messages = 0;          ///< η: messages sent per process per iteration
+  double bytes_per_msg = 0;  ///< ν: mean payload per message [bytes]
+
+  /// Total payload sent by one process per iteration.
+  double bytes_total() const { return messages * bytes_per_msg; }
+};
+
+/// Static description of a program's communication phase.
+struct CommSpec {
+  CommPattern pattern = CommPattern::kHalo3D;
+  /// Pattern base volume [bytes]: face data (halo/wavefront/ring, scales
+  /// with N^2) or full transpose volume (all-to-all, scales with N^3).
+  double base_bytes = 0.0;
+  /// Exchange rounds per iteration.
+  int rounds = 1;
+  /// Coefficient of variation of individual message sizes (the simulator
+  /// disperses sizes; the model's M/G/1 needs the second moment).
+  double size_cv = 0.2;
+
+  /// η and ν for a run on n processes. n == 1 has no MPI phase.
+  CommShape shape(int n) const;
+};
+
+}  // namespace hepex::workload

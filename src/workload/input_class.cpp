@@ -1,0 +1,52 @@
+#include "workload/input_class.hpp"
+
+#include "util/error.hpp"
+
+namespace hepex::workload {
+
+int grid_dimension(InputClass cls) {
+  switch (cls) {
+    case InputClass::kS: return 12;
+    case InputClass::kW: return 40;
+    case InputClass::kA: return 64;
+    case InputClass::kB: return 102;
+    case InputClass::kC: return 162;
+  }
+  HEPEX_ASSERT(false, "unhandled input class");
+  return 0;
+}
+
+int iteration_count(InputClass cls) {
+  switch (cls) {
+    case InputClass::kS: return 20;
+    case InputClass::kW: return 40;
+    case InputClass::kA: return 60;
+    case InputClass::kB: return 80;
+    case InputClass::kC: return 100;
+  }
+  HEPEX_ASSERT(false, "unhandled input class");
+  return 0;
+}
+
+std::string to_string(InputClass cls) {
+  switch (cls) {
+    case InputClass::kS: return "S";
+    case InputClass::kW: return "W";
+    case InputClass::kA: return "A";
+    case InputClass::kB: return "B";
+    case InputClass::kC: return "C";
+  }
+  HEPEX_ASSERT(false, "unhandled input class");
+  return {};
+}
+
+InputClass input_class_from_string(const std::string& s) {
+  if (s == "S") return InputClass::kS;
+  if (s == "W") return InputClass::kW;
+  if (s == "A") return InputClass::kA;
+  if (s == "B") return InputClass::kB;
+  if (s == "C") return InputClass::kC;
+  throw std::invalid_argument("hepex: unknown input class '" + s + "'");
+}
+
+}  // namespace hepex::workload

@@ -1,0 +1,30 @@
+#pragma once
+/// \file input_class.hpp
+/// \brief NPB-style input classes.
+///
+/// The paper's model is *measurement-driven*: architectural artefacts are
+/// measured with a baseline execution of a **smaller** input `P_s` and
+/// scaled linearly to the target input `P` (Eq. 4 / Eq. 7). Input classes
+/// follow the NAS Parallel Benchmarks convention: S < W < A < B < C, each
+/// step growing the grid dimension and the iteration count.
+
+#include <string>
+
+namespace hepex::workload {
+
+/// NPB-style problem-size class.
+enum class InputClass { kS, kW, kA, kB, kC };
+
+/// Linear grid dimension N for a class (cubic N^3 domains).
+int grid_dimension(InputClass cls);
+
+/// Iteration count S for a class.
+int iteration_count(InputClass cls);
+
+/// Human-readable class letter ("S", "W", "A", "B", "C").
+std::string to_string(InputClass cls);
+
+/// Parse a class letter; throws std::invalid_argument on unknown input.
+InputClass input_class_from_string(const std::string& s);
+
+}  // namespace hepex::workload

@@ -1,0 +1,39 @@
+#include "workload/program.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hepex::workload {
+
+double ProgramSpec::working_set_per_process(int n) const {
+  HEPEX_REQUIRE(n >= 1, "need at least one process");
+  // Ghost/halo layers keep the split slightly super-linear; 5% per split
+  // is a typical stencil overhead.
+  const double ghost = 1.0 + 0.05 * (n > 1 ? 1.0 : 0.0);
+  return compute.working_set_bytes / static_cast<double>(n) * ghost;
+}
+
+double ProgramSpec::working_set_per_thread(int n, int c) const {
+  HEPEX_REQUIRE(c >= 1, "need at least one thread");
+  return working_set_per_process(n) / static_cast<double>(c);
+}
+
+ProgramSpec with_input_class(const ProgramSpec& program, InputClass cls) {
+  const double n_old = grid_dimension(program.input);
+  const double n_new = grid_dimension(cls);
+  const double volume_ratio = std::pow(n_new / n_old, 3.0);
+  const double surface_ratio = std::pow(n_new / n_old, 2.0);
+
+  ProgramSpec out = program;
+  out.input = cls;
+  out.iterations = iteration_count(cls);
+  out.compute.instructions_per_iter *= volume_ratio;
+  out.compute.working_set_bytes *= volume_ratio;
+  out.comm.base_bytes *= program.comm.pattern == CommPattern::kAllToAll
+                             ? volume_ratio
+                             : surface_ratio;
+  return out;
+}
+
+}  // namespace hepex::workload

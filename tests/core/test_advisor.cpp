@@ -1,0 +1,176 @@
+// End-to-end tests for the Advisor facade — the library's headline API.
+
+#include "core/advisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "hw/presets.hpp"
+#include "workload/programs.hpp"
+
+namespace hepex::core {
+namespace {
+
+using workload::InputClass;
+
+model::CharacterizationOptions fast_options() {
+  model::CharacterizationOptions o;
+  o.baseline_class = InputClass::kW;
+  o.sim.chunks_per_iteration = 8;
+  return o;
+}
+
+Advisor make_advisor() {
+  return Advisor(hw::xeon_cluster(), workload::make_sp(InputClass::kA),
+                 fast_options());
+}
+
+TEST(Advisor, ExploreCoversTheModelSpace) {
+  Advisor a = make_advisor();
+  EXPECT_EQ(a.explore().size(), 216u);  // Fig. 8's configuration count
+  for (const auto& p : a.explore()) {
+    EXPECT_GT(p.time_s, 0.0);
+    EXPECT_GT(p.energy_j, 0.0);
+    EXPECT_GT(p.ucr, 0.0);
+    EXPECT_LE(p.ucr, 1.0);
+  }
+}
+
+TEST(Advisor, FrontierIsNonEmptyAndNonDominated) {
+  Advisor a = make_advisor();
+  const auto frontier = a.frontier();
+  ASSERT_FALSE(frontier.empty());
+  ASSERT_LT(frontier.size(), a.explore().size());
+  for (const auto& f : frontier) {
+    for (const auto& p : a.explore()) {
+      EXPECT_FALSE(pareto::dominates(p, f));
+    }
+  }
+}
+
+TEST(Advisor, DeadlineRecommendationIsFeasibleAndMinimal) {
+  Advisor a = make_advisor();
+  const auto frontier = a.frontier();
+  const double deadline =
+      0.5 * (frontier.front().time_s + frontier.back().time_s);
+  const auto rec = a.for_deadline(deadline);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_LE(rec->point.time_s, deadline);
+  EXPECT_GE(rec->slack, 0.0);
+  for (const auto& p : a.explore()) {
+    if (p.time_s <= deadline) {
+      EXPECT_LE(rec->point.energy_j, p.energy_j);
+    }
+  }
+}
+
+TEST(Advisor, ImpossibleDeadlineReturnsNothing) {
+  Advisor a = make_advisor();
+  EXPECT_FALSE(a.for_deadline(1e-6).has_value());
+}
+
+TEST(Advisor, BudgetRecommendationIsFeasibleAndMinimal) {
+  Advisor a = make_advisor();
+  const auto frontier = a.frontier();
+  const double budget =
+      0.5 * (frontier.front().energy_j + frontier.back().energy_j);
+  const auto rec = a.for_budget(budget);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_LE(rec->point.energy_j, budget);
+  for (const auto& p : a.explore()) {
+    if (p.energy_j <= budget) {
+      EXPECT_LE(rec->point.time_s, p.time_s);
+    }
+  }
+}
+
+TEST(Advisor, TighterDeadlineNeverUsesLessEnergy) {
+  // The Pareto trade-off: relaxing the deadline can only save energy.
+  Advisor a = make_advisor();
+  const auto frontier = a.frontier();
+  const double t_min = frontier.front().time_s;
+  const double t_max = frontier.back().time_s;
+  double prev_energy = 1e300;
+  for (int i = 0; i <= 10; ++i) {
+    const double deadline = t_min + (t_max - t_min) * i / 10.0;
+    const auto rec = a.for_deadline(deadline);
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_LE(rec->point.energy_j, prev_energy);
+    prev_energy = rec->point.energy_j;
+  }
+}
+
+TEST(Advisor, SplitAlternativesPartitionTotalCores) {
+  Advisor a = make_advisor();
+  const auto splits = a.split_alternatives(16, 1.8e9);
+  ASSERT_FALSE(splits.empty());
+  for (const auto& s : splits) {
+    EXPECT_EQ(s.config.nodes * s.config.cores, 16);
+  }
+  EXPECT_THROW(a.split_alternatives(0, 1.8e9), std::invalid_argument);
+}
+
+TEST(Advisor, SplitChoiceMatters) {
+  // The paper's point: choosing l and tau for a fixed core budget is
+  // non-obvious — alternatives differ meaningfully in time and energy.
+  Advisor a = make_advisor();
+  const auto splits = a.split_alternatives(8, 1.8e9);
+  ASSERT_GE(splits.size(), 3u);
+  double t_min = 1e300, t_max = 0.0;
+  for (const auto& s : splits) {
+    t_min = std::min(t_min, s.time_s);
+    t_max = std::max(t_max, s.time_s);
+  }
+  EXPECT_GT(t_max / t_min, 1.05);
+}
+
+TEST(Advisor, ThrottleConcurrencyPicksMinimumEnergyThreadCount) {
+  Advisor a = make_advisor();
+  const auto best = a.throttle_concurrency(1, 1.8e9);
+  EXPECT_EQ(best.config.nodes, 1);
+  EXPECT_GE(best.config.cores, 1);
+  EXPECT_LE(best.config.cores, 8);
+  // Optimality among all thread counts at the same (n, f).
+  for (int c = 1; c <= 8; ++c) {
+    EXPECT_LE(best.energy_j, a.predict({1, c, 1.8e9}).energy_j + 1e-9);
+  }
+  EXPECT_THROW(a.throttle_concurrency(0, 1.8e9), std::invalid_argument);
+}
+
+TEST(Advisor, KneeLiesOnTheFrontier) {
+  Advisor a = make_advisor();
+  const auto knee = a.knee();
+  bool member = false;
+  for (const auto& p : a.frontier()) {
+    member |= (p.config == knee.config);
+  }
+  EXPECT_TRUE(member);
+  // The knee is strictly inside the time range of a multi-point frontier.
+  const auto frontier = a.frontier();
+  ASSERT_GT(frontier.size(), 2u);
+  EXPECT_LE(knee.time_s, frontier.back().time_s);
+  EXPECT_GE(knee.time_s, frontier.front().time_s);
+}
+
+TEST(Advisor, MemoryBandwidthWhatIfImprovesSp) {
+  // §V-B: doubled memory bandwidth lifts SP's UCR at (1,8,1.8 GHz) and
+  // moves the Pareto point to both lower time and lower energy.
+  Advisor a = make_advisor();
+  const hw::ClusterConfig cfg{1, 8, 1.8e9};
+  const auto before = a.predict(cfg);
+  Advisor improved = a.with_memory_bandwidth(2.0);
+  const auto after = improved.predict(cfg);
+  EXPECT_GT(after.ucr, before.ucr + 0.05);
+  EXPECT_LT(after.time_s, before.time_s);
+  EXPECT_LT(after.energy_j, before.energy_j);
+}
+
+TEST(Advisor, AccessorsExposeInputs) {
+  Advisor a = make_advisor();
+  EXPECT_EQ(a.machine().name, "Intel Xeon E5-2603");
+  EXPECT_EQ(a.program().name, "SP");
+}
+
+}  // namespace
+}  // namespace hepex::core

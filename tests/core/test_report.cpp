@@ -1,0 +1,63 @@
+// Tests for the markdown report generator.
+
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/presets.hpp"
+#include "workload/programs.hpp"
+
+namespace hepex::core {
+namespace {
+
+Advisor make_advisor() {
+  model::CharacterizationOptions o;
+  o.baseline_class = workload::InputClass::kW;
+  o.sim.chunks_per_iteration = 8;
+  return Advisor(hw::xeon_cluster(),
+                 workload::make_sp(workload::InputClass::kA), o);
+}
+
+TEST(Report, ContainsAllSections) {
+  Advisor a = make_advisor();
+  const std::string md = markdown_report(a);
+  for (const char* needle :
+       {"# HEPEX analysis: SP", "## Program", "## Machine characterization",
+        "## Time-energy Pareto frontier", "## Recommendations",
+        "## Balance analysis (UCR)", "## What-if"}) {
+    EXPECT_NE(md.find(needle), std::string::npos) << "missing: " << needle;
+  }
+}
+
+TEST(Report, MentionsMachineAndPattern) {
+  Advisor a = make_advisor();
+  const std::string md = markdown_report(a);
+  EXPECT_NE(md.find("Intel Xeon E5-2603"), std::string::npos);
+  EXPECT_NE(md.find("halo-3d"), std::string::npos);
+}
+
+TEST(Report, FrontierTruncationIsAnnounced) {
+  Advisor a = make_advisor();
+  ReportOptions opt;
+  opt.max_frontier_rows = 2;
+  const std::string md = markdown_report(a, opt);
+  EXPECT_NE(md.find("more rows truncated"), std::string::npos);
+}
+
+TEST(Report, WhatIfSectionCanBeDisabled) {
+  Advisor a = make_advisor();
+  ReportOptions opt;
+  opt.include_whatif = false;
+  const std::string md = markdown_report(a, opt);
+  EXPECT_EQ(md.find("## What-if"), std::string::npos);
+}
+
+TEST(Report, RecommendationsMeetTheirDeadlines) {
+  Advisor a = make_advisor();
+  const std::string md = markdown_report(a);
+  // At least one recommendation line is present.
+  EXPECT_NE(md.find("- deadline"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hepex::core

@@ -1,0 +1,115 @@
+// Tests for the working-set cache model.
+
+#include "hw/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "hw/presets.hpp"
+
+namespace hepex::hw {
+namespace {
+
+CacheSpec xeon_cache() { return xeon_cluster().node.cache; }
+CacheSpec arm_cache() { return arm_cluster().node.cache; }
+
+TEST(Cache, EffectiveCapacitySharesL2L3) {
+  CacheSpec c;
+  c.l1_per_core_bytes = 32e3;
+  c.l2_shared_bytes = 2e6;
+  c.l3_shared_bytes = 20e6;
+  EXPECT_DOUBLE_EQ(c.effective_bytes_per_core(1), 32e3 + 22e6);
+  EXPECT_DOUBLE_EQ(c.effective_bytes_per_core(8), 32e3 + 22e6 / 8.0);
+  EXPECT_THROW(c.effective_bytes_per_core(0), std::invalid_argument);
+}
+
+TEST(Cache, FittingWorkingSetPaysOnlyColdMisses) {
+  const CacheSpec c = xeon_cache();
+  EXPECT_DOUBLE_EQ(c.dram_fraction(1e6, 1), c.cold_miss_fraction);
+  EXPECT_DOUBLE_EQ(c.dram_fraction_shared(10e6, 4), c.cold_miss_fraction);
+}
+
+TEST(Cache, HugeWorkingSetIsFullyCompulsory) {
+  const CacheSpec c = xeon_cache();
+  EXPECT_DOUBLE_EQ(c.dram_fraction(10e9, 1), 1.0);
+  EXPECT_DOUBLE_EQ(c.dram_fraction_shared(10e9, 8), 1.0);
+}
+
+TEST(Cache, RampIsLinearBetweenCapacityAndKnee) {
+  CacheSpec c;
+  c.l1_per_core_bytes = 0.0;
+  c.l2_shared_bytes = 10e6;
+  c.l3_shared_bytes = 0.0;
+  c.cold_miss_fraction = 0.0;
+  c.knee = 2.0;
+  // Halfway between capacity (10 MB) and the knee (20 MB): 50% miss.
+  EXPECT_NEAR(c.dram_fraction_shared(15e6, 1), 0.5, 1e-12);
+  EXPECT_NEAR(c.dram_fraction_shared(20e6, 1), 1.0, 1e-12);
+}
+
+TEST(Cache, NegativeWorkingSetThrows) {
+  const CacheSpec c = xeon_cache();
+  EXPECT_THROW(c.dram_fraction(-1.0, 1), std::invalid_argument);
+  EXPECT_THROW(c.dram_fraction_shared(-1.0, 1), std::invalid_argument);
+}
+
+TEST(Cache, SharedViewGrowsWithCores) {
+  // More threads add L1 capacity to the shared-footprint view.
+  const CacheSpec c = xeon_cache();
+  const double ws = 23e6;  // just above 1-thread capacity
+  EXPECT_GE(c.dram_fraction_shared(ws, 1), c.dram_fraction_shared(ws, 8));
+}
+
+TEST(Cache, PerCoreViewShrinksWithCores) {
+  // More threads shrink each thread's share of L2/L3.
+  const CacheSpec c = xeon_cache();
+  const double window = 2.5e6;
+  EXPECT_LE(c.dram_fraction(window, 1), c.dram_fraction(window, 8) + 1e-12);
+}
+
+TEST(Cache, ArmLacksL3) {
+  const CacheSpec c = arm_cache();
+  EXPECT_EQ(c.l3_shared_bytes, 0.0);
+  EXPECT_LT(c.effective_bytes_per_core(1),
+            xeon_cache().effective_bytes_per_core(1));
+}
+
+TEST(Cache, ReuseWindowSeparatesTheTwoMachines) {
+  // The mechanism behind the paper's BT UCR contrast: a ~2.5 MB per-thread
+  // reuse window fits every Xeon configuration but no ARM configuration.
+  const double window = 2.5e6;
+  const CacheSpec xeon = xeon_cache();
+  const CacheSpec arm = arm_cache();
+  for (int c = 1; c <= 8; ++c) {
+    EXPECT_DOUBLE_EQ(xeon.dram_fraction(window, c), xeon.cold_miss_fraction)
+        << "Xeon window should fit at c=" << c;
+  }
+  for (int c = 1; c <= 4; ++c) {
+    EXPECT_GT(arm.dram_fraction(window, c), 0.5)
+        << "ARM window should miss at c=" << c;
+  }
+}
+
+/// Monotonicity property: the DRAM fraction never decreases as the
+/// working set grows, for any thread count.
+class CacheMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CacheMonotoneTest, MonotoneInWorkingSet) {
+  const int cores = GetParam();
+  const CacheSpec c = xeon_cache();
+  double prev = 0.0;
+  for (double ws = 1e5; ws < 1e9; ws *= 1.5) {
+    const double frac = c.dram_fraction_shared(ws, cores);
+    EXPECT_GE(frac, prev);
+    EXPECT_GE(frac, c.cold_miss_fraction);
+    EXPECT_LE(frac, 1.0);
+    prev = frac;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CoreSweep, CacheMonotoneTest,
+                         ::testing::Values(1, 2, 3, 4, 6, 8));
+
+}  // namespace
+}  // namespace hepex::hw

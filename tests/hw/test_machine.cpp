@@ -1,0 +1,108 @@
+// Tests for machine descriptions, configuration validation and the
+// configuration-space enumeration (Figs. 8 and 9 space sizes).
+
+#include "hw/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "hw/presets.hpp"
+#include "util/units.hpp"
+
+namespace hepex::hw {
+namespace {
+
+using namespace hepex::units;
+
+TEST(Presets, XeonMatchesTable3) {
+  const MachineSpec m = xeon_cluster();
+  EXPECT_EQ(m.node.cores, 8);
+  EXPECT_EQ(m.nodes_available, 8);
+  EXPECT_EQ(m.node.isa.family, IsaFamily::kX86_64);
+  EXPECT_EQ(m.node.dvfs.frequencies_hz.size(), 3u);
+  EXPECT_DOUBLE_EQ(m.node.cache.l1_per_core_bytes, 32 * KB);
+  EXPECT_DOUBLE_EQ(m.node.cache.l2_shared_bytes, 2 * MB);
+  EXPECT_DOUBLE_EQ(m.node.cache.l3_shared_bytes, 20 * MB);
+  EXPECT_DOUBLE_EQ(m.node.memory.capacity_bytes, 8 * GB);
+  EXPECT_DOUBLE_EQ(m.network.link_bits_per_s, 1 * Gbps);
+}
+
+TEST(Presets, ArmMatchesTable3) {
+  const MachineSpec m = arm_cluster();
+  EXPECT_EQ(m.node.cores, 4);
+  EXPECT_EQ(m.nodes_available, 8);
+  EXPECT_EQ(m.node.isa.family, IsaFamily::kArmV7A);
+  EXPECT_EQ(m.node.dvfs.frequencies_hz.size(), 5u);
+  EXPECT_DOUBLE_EQ(m.node.cache.l2_shared_bytes, 1 * MB);
+  EXPECT_DOUBLE_EQ(m.node.cache.l3_shared_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(m.node.memory.capacity_bytes, 1 * GB);
+  EXPECT_DOUBLE_EQ(m.network.link_bits_per_s, 100 * Mbps);
+}
+
+TEST(Presets, ArmIsSlowerButFrugal) {
+  const MachineSpec xeon = xeon_cluster();
+  const MachineSpec arm = arm_cluster();
+  EXPECT_GT(xeon.node.memory.bandwidth_bytes_per_s,
+            5 * arm.node.memory.bandwidth_bytes_per_s);
+  EXPECT_GT(xeon.node.power.sys_idle_w, 10 * arm.node.power.sys_idle_w);
+}
+
+TEST(Config, TotalCores) {
+  EXPECT_EQ(total_cores(ClusterConfig{4, 8, 1.2 * GHz}), 32);
+  EXPECT_EQ(total_cores(ClusterConfig{1, 1, 1.2 * GHz}), 1);
+}
+
+TEST(Config, ValidationRejectsBadConfigs) {
+  const MachineSpec m = xeon_cluster();
+  EXPECT_THROW(validate_config(m, {0, 1, 1.2 * GHz}, false),
+               std::invalid_argument);
+  EXPECT_THROW(validate_config(m, {1, 0, 1.2 * GHz}, false),
+               std::invalid_argument);
+  EXPECT_THROW(validate_config(m, {1, 9, 1.2 * GHz}, false),
+               std::invalid_argument);
+  EXPECT_THROW(validate_config(m, {1, 1, 1.0 * GHz}, false),
+               std::invalid_argument);
+}
+
+TEST(Config, PhysicalValidationLimitsNodes) {
+  const MachineSpec m = xeon_cluster();
+  // 256 nodes are fine for the model space but not for measurement.
+  EXPECT_NO_THROW(validate_config(m, {256, 8, 1.8 * GHz}, false));
+  EXPECT_THROW(validate_config(m, {256, 8, 1.8 * GHz}, true),
+               std::invalid_argument);
+  EXPECT_NO_THROW(validate_config(m, {8, 8, 1.8 * GHz}, true));
+}
+
+TEST(ConfigSpace, XeonModelSpaceIs216) {
+  // Fig. 8: n in {1,2,...,256} (9 values) x c in 1..8 x 3 frequencies.
+  EXPECT_EQ(model_config_space(xeon_cluster()).size(), 216u);
+}
+
+TEST(ConfigSpace, ArmModelSpaceIs400) {
+  // Fig. 9: n in 1..20 x c in 1..4 x 5 frequencies.
+  EXPECT_EQ(model_config_space(arm_cluster()).size(), 400u);
+}
+
+TEST(ConfigSpace, EnumerationCoversAllTuples) {
+  const MachineSpec m = arm_cluster();
+  const auto cfgs = enumerate_configs(m, {1, 3});
+  EXPECT_EQ(cfgs.size(), 2u * 4u * 5u);
+  // Every config valid for the model.
+  for (const auto& cfg : cfgs) {
+    EXPECT_NO_THROW(validate_config(m, cfg, false));
+  }
+}
+
+TEST(ConfigSpace, RejectsNonPositiveNodeCounts) {
+  EXPECT_THROW(enumerate_configs(xeon_cluster(), {0}), std::invalid_argument);
+}
+
+TEST(ConfigSpace, EmptyModelSpaceThrows) {
+  MachineSpec m = xeon_cluster();
+  m.model_node_counts.clear();
+  EXPECT_THROW(model_config_space(m), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hepex::hw

@@ -1,0 +1,124 @@
+// Tests for the DVFS range and core power curves.
+
+#include "hw/power.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "hw/presets.hpp"
+#include "util/units.hpp"
+
+namespace hepex::hw {
+namespace {
+
+using namespace hepex::units;
+
+DvfsRange xeon_dvfs() { return xeon_cluster().node.dvfs; }
+DvfsRange arm_dvfs() { return arm_cluster().node.dvfs; }
+
+TEST(Dvfs, BoundsMatchPresets) {
+  EXPECT_DOUBLE_EQ(xeon_dvfs().f_min(), 1.2 * GHz);
+  EXPECT_DOUBLE_EQ(xeon_dvfs().f_max(), 1.8 * GHz);
+  EXPECT_DOUBLE_EQ(arm_dvfs().f_min(), 0.2 * GHz);
+  EXPECT_DOUBLE_EQ(arm_dvfs().f_max(), 1.4 * GHz);
+}
+
+TEST(Dvfs, SupportsExactOperatingPointsOnly) {
+  const DvfsRange d = xeon_dvfs();
+  EXPECT_TRUE(d.supports(1.2 * GHz));
+  EXPECT_TRUE(d.supports(1.5 * GHz));
+  EXPECT_TRUE(d.supports(1.8 * GHz));
+  EXPECT_FALSE(d.supports(1.35 * GHz));
+  EXPECT_FALSE(d.supports(2.0 * GHz));
+}
+
+TEST(Dvfs, VoltageInterpolatesLinearly) {
+  DvfsRange d;
+  d.frequencies_hz = {1.0 * GHz, 2.0 * GHz};
+  d.v_min = 0.8;
+  d.v_max = 1.2;
+  EXPECT_DOUBLE_EQ(d.voltage_at(1.0 * GHz), 0.8);
+  EXPECT_DOUBLE_EQ(d.voltage_at(1.5 * GHz), 1.0);
+  EXPECT_DOUBLE_EQ(d.voltage_at(2.0 * GHz), 1.2);
+  // Clamped outside the range.
+  EXPECT_DOUBLE_EQ(d.voltage_at(0.5 * GHz), 0.8);
+  EXPECT_DOUBLE_EQ(d.voltage_at(3.0 * GHz), 1.2);
+}
+
+TEST(Dvfs, EmptyRangeThrows) {
+  DvfsRange d;
+  EXPECT_THROW(d.voltage_at(1.0 * GHz), std::invalid_argument);
+}
+
+TEST(PowerCurve, ActivePowerGrowsSuperlinearlyWithFrequency) {
+  // P = C f V(f)^2 with V rising in f: doubling f more than doubles P.
+  const DvfsRange d = arm_dvfs();
+  const CorePowerCurve curve = arm_cluster().node.power.core;
+  const double p_low = curve.active_at(0.2 * GHz, d);
+  const double p_high = curve.active_at(1.4 * GHz, d);
+  EXPECT_GT(p_high, p_low * (1.4 / 0.2));
+}
+
+TEST(PowerCurve, StallIsFixedFractionOfActive) {
+  const DvfsRange d = xeon_dvfs();
+  const CorePowerCurve curve = xeon_cluster().node.power.core;
+  for (double f : d.frequencies_hz) {
+    EXPECT_NEAR(curve.stall_at(f, d),
+                curve.stall_fraction * curve.active_at(f, d), 1e-12);
+  }
+}
+
+TEST(PowerCurve, NonPositiveFrequencyThrows) {
+  const DvfsRange d = xeon_dvfs();
+  const CorePowerCurve curve = xeon_cluster().node.power.core;
+  EXPECT_THROW(curve.active_at(0.0, d), std::invalid_argument);
+  EXPECT_THROW(curve.active_at(-1.0, d), std::invalid_argument);
+}
+
+TEST(PowerPresets, CalibratedMagnitudes) {
+  // The calibration anchors documented in presets.cpp.
+  const auto xeon = xeon_cluster();
+  EXPECT_NEAR(
+      xeon.node.power.core.active_at(1.8 * GHz, xeon.node.dvfs), 6.0, 0.01);
+  const auto arm = arm_cluster();
+  EXPECT_NEAR(arm.node.power.core.active_at(1.4 * GHz, arm.node.dvfs), 0.8,
+              0.01);
+  // Full-load node power: Xeon ~115 W, ARM ~6 W (both idle-dominated).
+  const double xeon_full =
+      xeon.node.power.sys_idle_w +
+      8 * xeon.node.power.core.active_at(1.8 * GHz, xeon.node.dvfs) +
+      xeon.node.power.mem_active_w + xeon.node.power.net_active_w;
+  EXPECT_GT(xeon_full, 100.0);
+  EXPECT_LT(xeon_full, 130.0);
+  const double arm_full =
+      arm.node.power.sys_idle_w +
+      4 * arm.node.power.core.active_at(1.4 * GHz, arm.node.dvfs) +
+      arm.node.power.mem_active_w + arm.node.power.net_active_w;
+  EXPECT_GT(arm_full, 5.0);
+  EXPECT_LT(arm_full, 8.0);
+}
+
+/// Power must be monotone across each machine's operating points.
+class PowerMonotoneTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(PowerMonotoneTest, ActiveAndStallIncreaseWithF) {
+  const MachineSpec m = GetParam() ? xeon_cluster() : arm_cluster();
+  const auto& d = m.node.dvfs;
+  double prev_act = 0.0, prev_stall = 0.0;
+  for (double f : d.frequencies_hz) {
+    const double act = m.node.power.core.active_at(f, d);
+    const double stall = m.node.power.core.stall_at(f, d);
+    EXPECT_GT(act, prev_act);
+    EXPECT_GT(stall, prev_stall);
+    EXPECT_LT(stall, act);
+    prev_act = act;
+    prev_stall = stall;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, PowerMonotoneTest,
+                         ::testing::Values(true, false));
+
+}  // namespace
+}  // namespace hepex::hw

@@ -1,0 +1,128 @@
+// Tests for the measurement-driven characterization pass (§III-E).
+
+#include "model/characterization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "hw/presets.hpp"
+#include "workload/programs.hpp"
+
+namespace hepex::model {
+namespace {
+
+using workload::InputClass;
+
+CharacterizationOptions fast_options() {
+  CharacterizationOptions o;
+  o.baseline_class = InputClass::kS;
+  o.sim.chunks_per_iteration = 4;
+  return o;
+}
+
+TEST(Characterization, BaselineCoversEveryCoreFrequencyCell) {
+  const auto m = hw::arm_cluster();
+  const auto ch =
+      characterize(m, workload::make_bt(InputClass::kW), fast_options());
+  ASSERT_EQ(ch.baseline.size(), 4u);
+  for (const auto& row : ch.baseline) {
+    ASSERT_EQ(row.size(), 5u);
+    for (const auto& pt : row) {
+      EXPECT_GT(pt.work_cycles, 0.0);
+      EXPECT_GT(pt.nonmem_stalls, 0.0);
+      EXPECT_GT(pt.mem_stalls, 0.0);
+      EXPECT_GT(pt.instructions, 0.0);
+      EXPECT_GT(pt.utilization, 0.5);
+      EXPECT_LE(pt.utilization, 1.05);
+    }
+  }
+}
+
+TEST(Characterization, BaselineMustBeSmallerThanTarget) {
+  const auto m = hw::xeon_cluster();
+  CharacterizationOptions o = fast_options();
+  o.baseline_class = InputClass::kA;
+  EXPECT_THROW(characterize(m, workload::make_bt(InputClass::kA), o),
+               std::invalid_argument);
+  o.baseline_class = InputClass::kB;
+  EXPECT_THROW(characterize(m, workload::make_bt(InputClass::kA), o),
+               std::invalid_argument);
+}
+
+TEST(Characterization, FrequencyIndexLookup) {
+  const auto ch = characterize(hw::xeon_cluster(),
+                               workload::make_lu(InputClass::kW),
+                               fast_options());
+  EXPECT_EQ(ch.frequency_index(1.2e9), 0u);
+  EXPECT_EQ(ch.frequency_index(1.8e9), 2u);
+  EXPECT_THROW(ch.frequency_index(2.0e9), std::invalid_argument);
+  EXPECT_THROW(ch.at(0, 1.2e9), std::invalid_argument);
+  EXPECT_THROW(ch.at(9, 1.2e9), std::invalid_argument);
+}
+
+TEST(Characterization, ExactPowerMatchesGroundTruth) {
+  const auto m = hw::arm_cluster();
+  CharacterizationOptions o = fast_options();
+  o.exact_power = true;
+  const auto ch = characterize(m, workload::make_sp(InputClass::kW), o);
+  for (std::size_t fi = 0; fi < m.node.dvfs.frequencies_hz.size(); ++fi) {
+    const double f = m.node.dvfs.frequencies_hz[fi];
+    EXPECT_NEAR(ch.power.core_active_w[fi],
+                m.node.power.core.active_at(f, m.node.dvfs), 1e-9);
+    EXPECT_NEAR(ch.power.core_stall_w[fi],
+                m.node.power.core.stall_at(f, m.node.dvfs), 1e-9);
+  }
+  EXPECT_NEAR(ch.power.sys_idle_w, m.node.power.sys_idle_w, 1e-9);
+}
+
+TEST(Characterization, NoisyPowerIsCloseToGroundTruth) {
+  // The averaged micro-benchmarks keep the parameter error well below
+  // the per-reading meter sigma.
+  const auto m = hw::arm_cluster();
+  const auto ch =
+      characterize(m, workload::make_sp(InputClass::kW), fast_options());
+  const double sigma = m.node.power.meter_offset_sigma_w;
+  for (std::size_t fi = 0; fi < m.node.dvfs.frequencies_hz.size(); ++fi) {
+    const double f = m.node.dvfs.frequencies_hz[fi];
+    EXPECT_NEAR(ch.power.core_active_w[fi],
+                m.node.power.core.active_at(f, m.node.dvfs), sigma / 2.0);
+    EXPECT_NEAR(ch.power.core_stall_w[fi],
+                m.node.power.core.stall_at(f, m.node.dvfs), sigma / 2.0);
+  }
+}
+
+TEST(Characterization, MemStallsGrowWithCores) {
+  // Intra-node contention: the baseline must show more memory stalls per
+  // instruction as cores contend for the controller (this is what makes
+  // measuring every (c, f) worthwhile).
+  const auto m = hw::arm_cluster();
+  const auto ch =
+      characterize(m, workload::make_lb(InputClass::kW), fast_options());
+  const double f = m.node.dvfs.f_max();
+  const auto& one = ch.at(1, f);
+  const auto& four = ch.at(4, f);
+  EXPECT_GT(four.mem_stalls / four.instructions,
+            one.mem_stalls / one.instructions);
+}
+
+TEST(Characterization, MessageSoftwareExtractedFromNetPipe) {
+  const auto m = hw::xeon_cluster();
+  const auto ch =
+      characterize(m, workload::make_bt(InputClass::kW), fast_options());
+  const double true_sw = m.node.isa.message_software_cycles / 1.8e9;
+  EXPECT_NEAR(ch.msg_software_s_at_fmax, true_sw, 0.5 * true_sw);
+}
+
+TEST(Characterization, CommProfileAndPatternRecorded) {
+  const auto m = hw::xeon_cluster();
+  const auto ch =
+      characterize(m, workload::make_cp(InputClass::kW), fast_options());
+  EXPECT_EQ(ch.pattern, workload::CommPattern::kAllToAll);
+  EXPECT_GT(ch.comm.eta, 0.0);
+  EXPECT_GT(ch.comm.nu, 0.0);
+  EXPECT_EQ(ch.comm.n_probe, 2);
+}
+
+}  // namespace
+}  // namespace hepex::model

@@ -1,0 +1,110 @@
+// Per-equation unit tests for the paper's closed forms (§III-C/D).
+
+#include "model/equations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/queueing.hpp"
+
+namespace hepex::model::equations {
+namespace {
+
+TEST(Eq2TCpu, HandComputedValue) {
+  // 1.2e12 total cycles on 4 nodes x 2 cores at 1.5 GHz: 100 s.
+  EXPECT_NEAR(t_cpu_s(1.0e12, 0.2e12, 4, 2, 1.5e9), 100.0, 1e-9);
+}
+
+TEST(Eq2TCpu, PerfectScalingInEachVariable) {
+  const double base = t_cpu_s(1e12, 0.0, 1, 1, 1e9);
+  EXPECT_NEAR(t_cpu_s(1e12, 0.0, 2, 1, 1e9), base / 2.0, 1e-12);
+  EXPECT_NEAR(t_cpu_s(1e12, 0.0, 1, 4, 1e9), base / 4.0, 1e-12);
+  EXPECT_NEAR(t_cpu_s(1e12, 0.0, 1, 1, 2e9), base / 2.0, 1e-12);
+}
+
+TEST(Eq2TCpu, RejectsBadInputs) {
+  EXPECT_THROW(t_cpu_s(-1.0, 0.0, 1, 1, 1e9), std::invalid_argument);
+  EXPECT_THROW(t_cpu_s(1.0, 0.0, 0, 1, 1e9), std::invalid_argument);
+  EXPECT_THROW(t_cpu_s(1.0, 0.0, 1, 1, 0.0), std::invalid_argument);
+}
+
+TEST(Eq4Sigma, IterationAndCellRatios) {
+  // Pure iteration scaling (the paper's S/S_s):
+  EXPECT_DOUBLE_EQ(scaling_sigma(1000.0, 60, 1000.0, 40), 1.5);
+  // Grid growth folds in multiplicatively:
+  EXPECT_DOUBLE_EQ(scaling_sigma(8000.0, 40, 1000.0, 40), 8.0);
+  EXPECT_THROW(scaling_sigma(0.0, 1, 1.0, 1), std::invalid_argument);
+}
+
+TEST(Eq7TMem, MatchesDivision) {
+  EXPECT_NEAR(t_mem_s(3.6e11, 2, 3, 2e9), 30.0, 1e-9);
+  EXPECT_THROW(t_mem_s(-1.0, 1, 1, 1e9), std::invalid_argument);
+}
+
+TEST(Eq6Serve, TakesTheMaxOfCpuAndWireSides) {
+  // CPU side dominates: (1 - 0.5) * 10 = 5 > 1 * 1e6/1e9 ~ 0.001.
+  EXPECT_NEAR(t_serve_net_it_s(0.5, 10.0, 1.0, 1e6, 1e9, 0.0), 5.0, 1e-9);
+  // Wire side dominates: eta*nu/B = 10 * 1e7 / 1e8 = 1 > 0.01.
+  EXPECT_NEAR(t_serve_net_it_s(0.999, 10.0, 10.0, 1e7, 1e8, 0.0), 1.0,
+              1e-9);
+}
+
+TEST(Eq6Serve, AddsPerMessageSoftware) {
+  const double base = t_serve_net_it_s(1.0, 0.0, 4.0, 0.0, 1e9, 0.0);
+  const double with_sw = t_serve_net_it_s(1.0, 0.0, 4.0, 0.0, 1e9, 1e-3);
+  EXPECT_NEAR(with_sw - base, 5.0e-3, 1e-12);  // (eta + 1) * sw
+}
+
+TEST(Eq5Wait, SingleNodeOrNoMessagesIsZero) {
+  EXPECT_DOUBLE_EQ(t_wait_net_it_s(1, 5.0, 1.0, 1e-3, 1e-6), 0.0);
+  EXPECT_DOUBLE_EQ(t_wait_net_it_s(8, 0.0, 1.0, 1e-3, 1e-6), 0.0);
+}
+
+TEST(Eq5Wait, SolvesTheClosedSystemFixedPoint) {
+  // At the returned window, lambda = n*eta/(serve + wait) must give an
+  // M/G/1 wait consistent with the solution.
+  const int n = 8;
+  const double eta = 12.0;
+  const double y = 0.91e-3;
+  const double y2 = y * y * 1.04;
+  const double serve = 11.3e-3;
+  const double wait = t_wait_net_it_s(n, eta, serve, y, y2);
+  EXPECT_GT(wait, 0.0);
+  const double t_comm = serve + wait;
+  const double lambda = n * eta / t_comm;
+  const double w_msg = sim::queueing::mg1_mean_wait(lambda, y, y2);
+  EXPECT_NEAR(eta * w_msg, wait, 1e-6 * wait + 1e-12);
+  // Stability: the window exceeds the full-serialization floor.
+  EXPECT_GT(t_comm, n * eta * y);
+}
+
+TEST(Eq5Wait, GrowsWithNodeCount) {
+  const double y = 1e-3;
+  const double y2 = y * y;
+  const double serve = 5e-3;
+  double prev = 0.0;
+  for (int n = 2; n <= 64; n *= 2) {
+    const double w = t_wait_net_it_s(n, 6.0, serve, y, y2);
+    EXPECT_GT(w, prev);
+    prev = w;
+  }
+}
+
+TEST(Eq9To12Energy, HandComputedValues) {
+  // Eq. 9: (5 W * 10 s + 2 W * 4 s) * 3 cores * 2 nodes = 348 J.
+  EXPECT_NEAR(e_cpu_j(5.0, 2.0, 10.0, 4.0, 2, 3), 348.0, 1e-9);
+  EXPECT_NEAR(e_mem_j(8.0, 4.0, 2), 64.0, 1e-12);
+  EXPECT_NEAR(e_net_j(3.0, 2.0, 4), 24.0, 1e-12);
+  EXPECT_NEAR(e_idle_j(55.0, 100.0, 8), 44000.0, 1e-9);
+  EXPECT_THROW(e_cpu_j(-1.0, 0.0, 1.0, 1.0, 1, 1), std::invalid_argument);
+}
+
+TEST(Eq13Ucr, RatioAndGuards) {
+  EXPECT_DOUBLE_EQ(ucr(2.0, 8.0), 0.25);
+  EXPECT_DOUBLE_EQ(ucr(8.0, 8.0), 1.0);
+  EXPECT_THROW(ucr(1.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hepex::model::equations

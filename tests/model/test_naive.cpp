@@ -1,0 +1,77 @@
+// Tests for the first-principles baseline predictor and the paper's
+// accuracy claim against it (§II-A).
+
+#include "model/naive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "hw/presets.hpp"
+#include "model/characterization.hpp"
+#include "trace/execution_engine.hpp"
+#include "util/statistics.hpp"
+#include "workload/programs.hpp"
+
+namespace hepex::model {
+namespace {
+
+using workload::InputClass;
+
+TEST(Naive, ProducesFinitePositivePredictions) {
+  const auto m = hw::xeon_cluster();
+  const auto p = workload::make_sp(InputClass::kA);
+  const auto pred = naive_predict(m, p, {4, 8, 1.8e9});
+  EXPECT_GT(pred.time_s, 0.0);
+  EXPECT_GT(pred.energy_j, 0.0);
+  EXPECT_GT(pred.ucr, 0.0);
+  EXPECT_LE(pred.ucr, 1.0);
+  EXPECT_THROW(naive_predict(m, p, {1, 99, 1.8e9}), std::invalid_argument);
+}
+
+TEST(Naive, SingleNodeHasNoNetworkTerm) {
+  const auto m = hw::xeon_cluster();
+  const auto p = workload::make_cp(InputClass::kA);
+  const auto pred = naive_predict(m, p, {1, 8, 1.8e9});
+  EXPECT_EQ(pred.t_s_net_s, 0.0);
+  EXPECT_EQ(pred.t_w_net_s, 0.0);
+}
+
+TEST(Naive, NeverModelsQueueing) {
+  // The defining omission: no waiting terms anywhere.
+  const auto m = hw::arm_cluster();
+  const auto p = workload::make_lb(InputClass::kA);
+  const auto pred = naive_predict(m, p, {8, 4, 1.4e9});
+  EXPECT_EQ(pred.t_w_net_s, 0.0);
+}
+
+TEST(Naive, MeasurementDrivenModelIsMoreAccurate) {
+  // The §II-A claim as a test: on a small sweep, the measurement-driven
+  // model's mean time error beats the first-principles baseline by at
+  // least 2x for a contention-heavy program.
+  const auto m = hw::xeon_cluster();
+  const auto program = workload::make_sp(InputClass::kA);
+  CharacterizationOptions o;
+  o.baseline_class = InputClass::kW;
+  o.sim.chunks_per_iteration = 8;
+  const auto ch = characterize(m, program, o);
+  const auto target = target_of(program);
+
+  util::Summary model_err, naive_err;
+  trace::SimOptions sim_opt;
+  for (const hw::ClusterConfig cfg :
+       {hw::ClusterConfig{1, 8, 1.8e9}, hw::ClusterConfig{4, 8, 1.8e9},
+        hw::ClusterConfig{8, 8, 1.8e9}, hw::ClusterConfig{1, 1, 1.2e9}}) {
+    const auto meas = trace::simulate(m, program, cfg, sim_opt);
+    model_err.add(util::absolute_percentage_error(
+        predict(ch, target, cfg).time_s, meas.time_s));
+    naive_err.add(util::absolute_percentage_error(
+        naive_predict(m, program, cfg).time_s, meas.time_s));
+  }
+  EXPECT_LT(model_err.mean() * 2.0, naive_err.mean())
+      << "model " << model_err.mean() << "% vs naive " << naive_err.mean()
+      << "%";
+}
+
+}  // namespace
+}  // namespace hepex::model

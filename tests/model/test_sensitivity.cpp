@@ -1,0 +1,136 @@
+// Tests for the sensitivity / prediction-interval analysis.
+
+#include "model/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "hw/presets.hpp"
+#include "workload/programs.hpp"
+
+namespace hepex::model {
+namespace {
+
+using workload::InputClass;
+
+const Characterization& ch() {
+  static const Characterization c = [] {
+    CharacterizationOptions o;
+    o.baseline_class = InputClass::kW;
+    o.sim.chunks_per_iteration = 8;
+    return characterize(hw::xeon_cluster(), workload::make_sp(InputClass::kA),
+                        o);
+  }();
+  return c;
+}
+
+TargetInfo target() { return target_of(workload::make_sp(InputClass::kA)); }
+
+TEST(Sensitivity, PerturbationScalesTheRightThing) {
+  const auto up = perturbed(ch(), Input::kMemStalls, 2.0);
+  EXPECT_DOUBLE_EQ(up.baseline[0][0].mem_stalls,
+                   2.0 * ch().baseline[0][0].mem_stalls);
+  EXPECT_DOUBLE_EQ(up.baseline[0][0].work_cycles,
+                   ch().baseline[0][0].work_cycles);  // untouched
+  const auto net = perturbed(ch(), Input::kNetBandwidth, 0.5);
+  EXPECT_DOUBLE_EQ(net.network.achievable_bps,
+                   0.5 * ch().network.achievable_bps);
+  EXPECT_THROW(perturbed(ch(), Input::kIdlePower, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Sensitivity, ElasticitiesHavePhysicalSigns) {
+  const auto rep = sensitivity(ch(), target(), {8, 8, 1.8e9});
+  for (const auto& s : rep.inputs) {
+    switch (s.input) {
+      case Input::kWorkCycles:
+      case Input::kMemStalls:
+      case Input::kMessageVolume:
+        EXPECT_GE(s.time_elasticity, 0.0) << to_string(s.input);
+        break;
+      case Input::kNetBandwidth:
+        EXPECT_LE(s.time_elasticity, 0.0) << to_string(s.input);
+        break;
+      case Input::kCorePower:
+      case Input::kIdlePower:
+        // Power perturbations never move time, only energy.
+        EXPECT_NEAR(s.time_elasticity, 0.0, 1e-9) << to_string(s.input);
+        EXPECT_GT(s.energy_elasticity, 0.0) << to_string(s.input);
+        break;
+    }
+  }
+}
+
+TEST(Sensitivity, ElasticitiesSumLikeATimeBudget) {
+  // T is (approximately) first-order homogeneous in (w+b, m, nu/B
+  // effects): the work/mem/net elasticities of time sum to ~1.
+  const auto rep = sensitivity(ch(), target(), {4, 8, 1.8e9});
+  double sum = 0.0;
+  for (const auto& s : rep.inputs) {
+    if (s.input == Input::kWorkCycles || s.input == Input::kMemStalls) {
+      sum += s.time_elasticity;
+    }
+    if (s.input == Input::kNetBandwidth) sum -= s.time_elasticity;
+  }
+  EXPECT_GT(sum, 0.7);
+  EXPECT_LT(sum, 1.3);
+}
+
+TEST(Sensitivity, DominantInputMatchesTheBottleneck) {
+  auto elasticity_of = [](const SensitivityReport& rep, Input input) {
+    for (const auto& s : rep.inputs) {
+      if (s.input == input) return s.time_elasticity;
+    }
+    ADD_FAILURE() << "input missing";
+    return 0.0;
+  };
+  // Memory-stall sensitivity grows strongly with contention: eight
+  // cores at f_max versus a single slow core.
+  const auto intra = sensitivity(ch(), target(), {1, 8, 1.8e9});
+  const auto solo = sensitivity(ch(), target(), {1, 1, 1.2e9});
+  EXPECT_GT(elasticity_of(intra, Input::kMemStalls),
+            3.0 * elasticity_of(solo, Input::kMemStalls));
+  // A single slow core is compute bound: w_s dominates outright.
+  EXPECT_EQ(solo.dominant_for_time().input, Input::kWorkCycles);
+  // Energy on an idle-heavy platform is dominated by idle power or the
+  // time-shaping inputs, never by message volume at single-node configs.
+  EXPECT_NE(solo.dominant_for_energy().input, Input::kMessageVolume);
+}
+
+TEST(Sensitivity, RejectsBadDelta) {
+  EXPECT_THROW(sensitivity(ch(), target(), {1, 1, 1.2e9}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(sensitivity(ch(), target(), {1, 1, 1.2e9}, 0.6),
+               std::invalid_argument);
+}
+
+TEST(PredictionInterval, BracketsTheNominal) {
+  const auto pi = prediction_interval(ch(), target(), {4, 4, 1.5e9}, 0.10);
+  EXPECT_LE(pi.time_lo_s, pi.nominal.time_s);
+  EXPECT_GE(pi.time_hi_s, pi.nominal.time_s);
+  EXPECT_LE(pi.energy_lo_j, pi.nominal.energy_j);
+  EXPECT_GE(pi.energy_hi_j, pi.nominal.energy_j);
+  // A 10% input uncertainty cannot blow up into more than ~20% output.
+  EXPECT_LT(pi.time_hi_s / pi.time_lo_s, 1.4);
+}
+
+TEST(PredictionInterval, WiderUncertaintyWiderInterval) {
+  const auto narrow = prediction_interval(ch(), target(), {4, 4, 1.5e9}, 0.05);
+  const auto wide = prediction_interval(ch(), target(), {4, 4, 1.5e9}, 0.20);
+  EXPECT_GT(wide.time_hi_s - wide.time_lo_s,
+            narrow.time_hi_s - narrow.time_lo_s);
+  EXPECT_THROW(prediction_interval(ch(), target(), {1, 1, 1.2e9}, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Sensitivity, InputNamesAreStable) {
+  for (Input i : all_inputs()) {
+    EXPECT_FALSE(to_string(i).empty());
+  }
+  EXPECT_EQ(all_inputs().size(), 6u);
+}
+
+}  // namespace
+}  // namespace hepex::model

@@ -1,0 +1,152 @@
+// Tests for characterization persistence (save/load round trip).
+
+#include "model/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "hw/presets.hpp"
+#include "model/predictor.hpp"
+#include "workload/programs.hpp"
+
+namespace hepex::model {
+namespace {
+
+using workload::InputClass;
+
+const Characterization& sample_ch() {
+  static const Characterization ch = [] {
+    CharacterizationOptions o;
+    o.baseline_class = InputClass::kW;
+    o.sim.chunks_per_iteration = 8;
+    return characterize(hw::arm_cluster(), workload::make_cp(InputClass::kA),
+                        o);
+  }();
+  return ch;
+}
+
+TEST(Serialize, RoundTripPreservesEveryModelInput) {
+  std::stringstream ss;
+  save_characterization(sample_ch(), ss);
+  const Characterization loaded = load_characterization(ss);
+
+  const auto& a = sample_ch();
+  EXPECT_EQ(loaded.machine.name, a.machine.name);
+  EXPECT_EQ(loaded.machine.node.cores, a.machine.node.cores);
+  EXPECT_EQ(loaded.machine.model_node_counts, a.machine.model_node_counts);
+  EXPECT_EQ(loaded.machine.node.dvfs.frequencies_hz,
+            a.machine.node.dvfs.frequencies_hz);
+  EXPECT_EQ(loaded.program_name, a.program_name);
+  EXPECT_EQ(loaded.baseline_class, a.baseline_class);
+  EXPECT_EQ(loaded.baseline_iterations, a.baseline_iterations);
+  EXPECT_DOUBLE_EQ(loaded.baseline_cells, a.baseline_cells);
+  EXPECT_EQ(loaded.pattern, a.pattern);
+  EXPECT_DOUBLE_EQ(loaded.comm.eta, a.comm.eta);
+  EXPECT_DOUBLE_EQ(loaded.comm.nu, a.comm.nu);
+  EXPECT_DOUBLE_EQ(loaded.network.achievable_bps, a.network.achievable_bps);
+  EXPECT_DOUBLE_EQ(loaded.msg_software_s_at_fmax, a.msg_software_s_at_fmax);
+  EXPECT_EQ(loaded.power.core_active_w, a.power.core_active_w);
+  EXPECT_EQ(loaded.power.core_stall_w, a.power.core_stall_w);
+  ASSERT_EQ(loaded.baseline.size(), a.baseline.size());
+  for (std::size_t c = 0; c < a.baseline.size(); ++c) {
+    for (std::size_t f = 0; f < a.baseline[c].size(); ++f) {
+      EXPECT_DOUBLE_EQ(loaded.baseline[c][f].work_cycles,
+                       a.baseline[c][f].work_cycles);
+      EXPECT_DOUBLE_EQ(loaded.baseline[c][f].mem_stalls,
+                       a.baseline[c][f].mem_stalls);
+      EXPECT_DOUBLE_EQ(loaded.baseline[c][f].utilization,
+                       a.baseline[c][f].utilization);
+    }
+  }
+}
+
+TEST(Serialize, LoadedCharacterizationPredictsIdentically) {
+  std::stringstream ss;
+  save_characterization(sample_ch(), ss);
+  const Characterization loaded = load_characterization(ss);
+
+  const TargetInfo t = target_of(workload::make_cp(InputClass::kA));
+  for (const hw::ClusterConfig cfg :
+       {hw::ClusterConfig{1, 1, 0.2e9}, hw::ClusterConfig{8, 4, 1.4e9},
+        hw::ClusterConfig{20, 3, 0.8e9}}) {
+    const Prediction p1 = predict(sample_ch(), t, cfg);
+    const Prediction p2 = predict(loaded, t, cfg);
+    EXPECT_DOUBLE_EQ(p1.time_s, p2.time_s);
+    EXPECT_DOUBLE_EQ(p1.energy_j, p2.energy_j);
+    EXPECT_DOUBLE_EQ(p1.ucr, p2.ucr);
+  }
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/hepex_ch_test.txt";
+  save_characterization_file(sample_ch(), path);
+  const Characterization loaded = load_characterization_file(path);
+  EXPECT_EQ(loaded.program_name, sample_ch().program_name);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, UnopenableFileThrows) {
+  EXPECT_THROW(load_characterization_file("/nonexistent/dir/x.txt"),
+               std::runtime_error);
+  EXPECT_THROW(
+      save_characterization_file(sample_ch(), "/nonexistent/dir/x.txt"),
+      std::runtime_error);
+}
+
+TEST(Serialize, MissingHeaderRejected) {
+  std::stringstream ss("not a characterization\n");
+  EXPECT_THROW(load_characterization(ss), std::invalid_argument);
+}
+
+TEST(Serialize, MissingKeyRejected) {
+  std::stringstream out;
+  save_characterization(sample_ch(), out);
+  std::string text = out.str();
+  // Drop the program line.
+  const auto pos = text.find("program = ");
+  ASSERT_NE(pos, std::string::npos);
+  text.erase(pos, text.find('\n', pos) - pos + 1);
+  std::stringstream in(text);
+  EXPECT_THROW(load_characterization(in), std::invalid_argument);
+}
+
+TEST(Serialize, MalformedTableRowRejected) {
+  std::stringstream out;
+  save_characterization(sample_ch(), out);
+  std::string text = out.str();
+  const auto pos = text.find("baseline-table\n");
+  ASSERT_NE(pos, std::string::npos);
+  text.insert(pos + std::string("baseline-table\n").size(),
+              "1 zero bad row\n");
+  std::stringstream in(text);
+  EXPECT_THROW(load_characterization(in), std::invalid_argument);
+}
+
+TEST(Serialize, IncompleteTableRejected) {
+  std::stringstream out;
+  save_characterization(sample_ch(), out);
+  std::string text = out.str();
+  // Remove the last data row (the line before "end").
+  const auto end_pos = text.rfind("end\n");
+  ASSERT_NE(end_pos, std::string::npos);
+  const auto prev_nl = text.rfind('\n', end_pos - 2);
+  text.erase(prev_nl + 1, end_pos - prev_nl - 1);
+  std::stringstream in(text);
+  EXPECT_THROW(load_characterization(in), std::invalid_argument);
+}
+
+TEST(Serialize, CommentsAndBlankLinesIgnored) {
+  std::stringstream out;
+  save_characterization(sample_ch(), out);
+  std::string text = out.str();
+  const auto pos = text.find('\n') + 1;
+  text.insert(pos, "# a comment\n\n   \n");
+  std::stringstream in(text);
+  EXPECT_NO_THROW(load_characterization(in));
+}
+
+}  // namespace
+}  // namespace hepex::model

@@ -1,0 +1,105 @@
+// Tests for the what-if transforms (§V-B of the paper).
+
+#include "model/whatif.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "hw/presets.hpp"
+#include "model/predictor.hpp"
+#include "workload/programs.hpp"
+
+namespace hepex::model {
+namespace {
+
+using workload::InputClass;
+
+const Characterization& base_ch() {
+  static const Characterization ch = [] {
+    CharacterizationOptions o;
+    o.baseline_class = InputClass::kW;
+    o.sim.chunks_per_iteration = 8;
+    return characterize(hw::xeon_cluster(), workload::make_sp(InputClass::kA),
+                        o);
+  }();
+  return ch;
+}
+
+TEST(WhatIf, RejectsNonPositiveFactors) {
+  EXPECT_THROW(with_memory_bandwidth_scaled(base_ch(), 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(with_network_bandwidth_scaled(base_ch(), -2.0),
+               std::invalid_argument);
+  EXPECT_THROW(with_idle_power_scaled(base_ch(), 0.0), std::invalid_argument);
+}
+
+TEST(WhatIf, DoubleMemoryBandwidthHalvesStalls) {
+  const Characterization doubled =
+      with_memory_bandwidth_scaled(base_ch(), 2.0);
+  for (std::size_t c = 0; c < base_ch().baseline.size(); ++c) {
+    for (std::size_t f = 0; f < base_ch().baseline[c].size(); ++f) {
+      EXPECT_DOUBLE_EQ(doubled.baseline[c][f].mem_stalls,
+                       base_ch().baseline[c][f].mem_stalls / 2.0);
+      // Other counters untouched.
+      EXPECT_DOUBLE_EQ(doubled.baseline[c][f].work_cycles,
+                       base_ch().baseline[c][f].work_cycles);
+    }
+  }
+  EXPECT_DOUBLE_EQ(doubled.machine.node.memory.bandwidth_bytes_per_s,
+                   2.0 * base_ch().machine.node.memory.bandwidth_bytes_per_s);
+}
+
+TEST(WhatIf, OriginalIsNeverMutated) {
+  const double before = base_ch().baseline[0][0].mem_stalls;
+  (void)with_memory_bandwidth_scaled(base_ch(), 4.0);
+  (void)with_network_bandwidth_scaled(base_ch(), 4.0);
+  (void)with_idle_power_scaled(base_ch(), 0.5);
+  EXPECT_DOUBLE_EQ(base_ch().baseline[0][0].mem_stalls, before);
+}
+
+TEST(WhatIf, MemoryBandwidthImprovesTimeEnergyAndUcr) {
+  // The paper's §V-B example: doubling memory bandwidth on Xeon
+  // (1,8,1.8) improves SP's UCR, time and energy together.
+  const TargetInfo t = target_of(workload::make_sp(InputClass::kA));
+  const hw::ClusterConfig cfg{1, 8, 1.8e9};
+  const Prediction before = predict(base_ch(), t, cfg);
+  const Prediction after =
+      predict(with_memory_bandwidth_scaled(base_ch(), 2.0), t, cfg);
+  EXPECT_LT(after.time_s, before.time_s);
+  EXPECT_LT(after.energy_j, before.energy_j);
+  EXPECT_GT(after.ucr, before.ucr);
+}
+
+TEST(WhatIf, NetworkBandwidthHelpsCommBoundConfigs) {
+  const TargetInfo t = target_of(workload::make_sp(InputClass::kA));
+  const hw::ClusterConfig cfg{8, 8, 1.8e9};
+  const Prediction before = predict(base_ch(), t, cfg);
+  const Prediction after =
+      predict(with_network_bandwidth_scaled(base_ch(), 2.0), t, cfg);
+  EXPECT_LT(after.t_s_net_s + after.t_w_net_s,
+            before.t_s_net_s + before.t_w_net_s);
+  EXPECT_LT(after.time_s, before.time_s);
+  // Single-node configs are unaffected.
+  const hw::ClusterConfig solo{1, 4, 1.8e9};
+  EXPECT_DOUBLE_EQ(predict(base_ch(), t, solo).time_s,
+                   predict(with_network_bandwidth_scaled(base_ch(), 2.0), t,
+                           solo)
+                       .time_s);
+}
+
+TEST(WhatIf, IdlePowerScalesIdleEnergyOnly) {
+  const TargetInfo t = target_of(workload::make_sp(InputClass::kA));
+  const hw::ClusterConfig cfg{2, 4, 1.5e9};
+  const Prediction before = predict(base_ch(), t, cfg);
+  const Prediction after =
+      predict(with_idle_power_scaled(base_ch(), 0.5), t, cfg);
+  EXPECT_DOUBLE_EQ(after.time_s, before.time_s);
+  EXPECT_NEAR(after.energy_parts.idle_j, before.energy_parts.idle_j / 2.0,
+              1e-9);
+  EXPECT_DOUBLE_EQ(after.energy_parts.cpu_active_j,
+                   before.energy_parts.cpu_active_j);
+}
+
+}  // namespace
+}  // namespace hepex::model

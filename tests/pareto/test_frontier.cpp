@@ -1,0 +1,202 @@
+// Tests for Pareto-frontier extraction and deadline/budget queries.
+
+#include "pareto/frontier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace hepex::pareto {
+namespace {
+
+ConfigPoint pt(double t, double e) {
+  ConfigPoint p;
+  p.time_s = t;
+  p.energy_j = e;
+  return p;
+}
+
+TEST(Dominates, StrictAndWeakCases) {
+  EXPECT_TRUE(dominates(pt(1, 1), pt(2, 2)));
+  EXPECT_TRUE(dominates(pt(1, 2), pt(2, 2)));   // equal energy, faster
+  EXPECT_TRUE(dominates(pt(2, 1), pt(2, 2)));   // equal time, cheaper
+  EXPECT_FALSE(dominates(pt(2, 2), pt(2, 2)));  // identical: no domination
+  EXPECT_FALSE(dominates(pt(1, 3), pt(2, 2)));  // trade-off
+  EXPECT_FALSE(dominates(pt(3, 1), pt(2, 2)));
+}
+
+TEST(Frontier, EmptyInput) {
+  EXPECT_TRUE(pareto_frontier({}).empty());
+}
+
+TEST(Frontier, SinglePoint) {
+  const auto f = pareto_frontier({pt(1, 1)});
+  ASSERT_EQ(f.size(), 1u);
+}
+
+TEST(Frontier, KnownSmallCase) {
+  // (1,10) (2,5) (3,7) (4,1): (3,7) is dominated by (2,5).
+  const auto f = pareto_frontier({pt(3, 7), pt(1, 10), pt(4, 1), pt(2, 5)});
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0].time_s, 1.0);
+  EXPECT_EQ(f[1].time_s, 2.0);
+  EXPECT_EQ(f[2].time_s, 4.0);
+}
+
+TEST(Frontier, DuplicatePointsKeepOneRepresentative) {
+  const auto f = pareto_frontier({pt(1, 1), pt(1, 1), pt(1, 1)});
+  EXPECT_EQ(f.size(), 1u);
+}
+
+TEST(Frontier, SortedByTimeAndDecreasingEnergy) {
+  util::Rng rng(5);
+  std::vector<ConfigPoint> pts;
+  for (int i = 0; i < 500; ++i) {
+    pts.push_back(pt(rng.uniform(1.0, 100.0), rng.uniform(1.0, 100.0)));
+  }
+  const auto f = pareto_frontier(pts);
+  ASSERT_FALSE(f.empty());
+  for (std::size_t i = 1; i < f.size(); ++i) {
+    EXPECT_GT(f[i].time_s, f[i - 1].time_s);
+    EXPECT_LT(f[i].energy_j, f[i - 1].energy_j);
+  }
+}
+
+/// Property: no frontier point is dominated by ANY point of the input,
+/// and every non-frontier point is dominated by some frontier point.
+class FrontierPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(FrontierPropertyTest, FrontierIsExactlyTheNonDominatedSet) {
+  util::Rng rng(GetParam());
+  std::vector<ConfigPoint> pts;
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back(pt(rng.uniform(1.0, 50.0), rng.uniform(1.0, 50.0)));
+  }
+  const auto frontier = pareto_frontier(pts);
+
+  auto on_frontier = [&](const ConfigPoint& p) {
+    for (const auto& f : frontier) {
+      if (f.time_s == p.time_s && f.energy_j == p.energy_j) return true;
+    }
+    return false;
+  };
+
+  for (const auto& f : frontier) {
+    for (const auto& p : pts) {
+      EXPECT_FALSE(dominates(p, f))
+          << "frontier point (" << f.time_s << "," << f.energy_j
+          << ") dominated by (" << p.time_s << "," << p.energy_j << ")";
+    }
+  }
+  for (const auto& p : pts) {
+    if (on_frontier(p)) continue;
+    bool dominated = false;
+    for (const auto& f : frontier) dominated |= dominates(f, p);
+    EXPECT_TRUE(dominated) << "non-frontier point not dominated";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrontierPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+
+TEST(KneePoint, EmptyThrows) {
+  EXPECT_THROW(knee_point({}), std::invalid_argument);
+}
+
+TEST(KneePoint, TrivialFrontiers) {
+  const std::vector<ConfigPoint> one{pt(1, 1)};
+  EXPECT_EQ(knee_point(one).time_s, 1.0);
+  const std::vector<ConfigPoint> two{pt(1, 10), pt(5, 2)};
+  EXPECT_EQ(knee_point(two).time_s, 1.0);
+}
+
+TEST(KneePoint, FindsTheObviousElbow) {
+  // An L-shaped frontier: the corner point is the knee.
+  const std::vector<ConfigPoint> frontier{
+      pt(1, 100), pt(2, 50), pt(3, 10), pt(30, 9), pt(60, 8)};
+  EXPECT_EQ(knee_point(frontier).time_s, 3.0);
+}
+
+TEST(KneePoint, StraightLineHasNoPreference) {
+  // On a straight trade-off every interior point is equally (un)kneed;
+  // the result must still be a frontier member.
+  const std::vector<ConfigPoint> frontier{pt(1, 4), pt(2, 3), pt(3, 2),
+                                          pt(4, 1)};
+  const auto k = knee_point(frontier);
+  bool member = false;
+  for (const auto& p : frontier) {
+    member |= (p.time_s == k.time_s && p.energy_j == k.energy_j);
+  }
+  EXPECT_TRUE(member);
+}
+
+TEST(KneePoint, ScaleInvariant) {
+  std::vector<ConfigPoint> a{pt(1, 100), pt(2, 50), pt(3, 10), pt(30, 9),
+                             pt(60, 8)};
+  std::vector<ConfigPoint> b;
+  for (const auto& p : a) b.push_back(pt(p.time_s * 1e3, p.energy_j * 1e-3));
+  EXPECT_DOUBLE_EQ(knee_point(b).time_s, knee_point(a).time_s * 1e3);
+}
+
+TEST(Queries, DeadlinePicksMinimumEnergyAmongFeasible) {
+  const std::vector<ConfigPoint> pts{pt(1, 10), pt(2, 5), pt(3, 2),
+                                     pt(10, 1)};
+  const auto r = min_energy_within_deadline(pts, 3.0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->energy_j, 2.0);
+  EXPECT_EQ(r->time_s, 3.0);
+}
+
+TEST(Queries, DeadlineInfeasibleReturnsNullopt) {
+  EXPECT_FALSE(min_energy_within_deadline({pt(5, 1)}, 3.0).has_value());
+}
+
+TEST(Queries, BudgetPicksMinimumTimeAmongFeasible) {
+  const std::vector<ConfigPoint> pts{pt(1, 10), pt(2, 5), pt(3, 2),
+                                     pt(10, 1)};
+  const auto r = min_time_within_budget(pts, 5.0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->time_s, 2.0);
+}
+
+TEST(Queries, BudgetInfeasibleReturnsNullopt) {
+  EXPECT_FALSE(min_time_within_budget({pt(1, 10)}, 5.0).has_value());
+}
+
+TEST(Queries, NonPositiveConstraintsThrow) {
+  EXPECT_THROW(min_energy_within_deadline({}, 0.0), std::invalid_argument);
+  EXPECT_THROW(min_time_within_budget({}, -1.0), std::invalid_argument);
+}
+
+/// Property: the deadline query always returns a point on the Pareto
+/// frontier (optimal answers are never dominated).
+class QueryConsistencyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(QueryConsistencyTest, AnswersLieOnTheFrontier) {
+  util::Rng rng(GetParam() * 7919);
+  std::vector<ConfigPoint> pts;
+  for (int i = 0; i < 300; ++i) {
+    pts.push_back(pt(rng.uniform(1.0, 40.0), rng.uniform(1.0, 40.0)));
+  }
+  const auto frontier = pareto_frontier(pts);
+  for (double deadline : {5.0, 10.0, 20.0, 39.0}) {
+    const auto r = min_energy_within_deadline(pts, deadline);
+    if (!r) continue;
+    bool on_front = false;
+    for (const auto& f : frontier) {
+      on_front |= (f.time_s == r->time_s && f.energy_j == r->energy_j);
+    }
+    EXPECT_TRUE(on_front) << "deadline answer off the frontier";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryConsistencyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace hepex::pareto

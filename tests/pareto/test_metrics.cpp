@@ -1,0 +1,74 @@
+// Tests for UCR, CCR and time-share metrics (Eqs. 13-14).
+
+#include "pareto/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hepex::pareto {
+namespace {
+
+model::Prediction make_pred(double cpu, double mem, double tw, double ts) {
+  model::Prediction p;
+  p.t_cpu_s = cpu;
+  p.t_mem_s = mem;
+  p.t_w_net_s = tw;
+  p.t_s_net_s = ts;
+  p.time_s = cpu + mem + tw + ts;
+  p.ucr = p.t_cpu_s / p.time_s;
+  return p;
+}
+
+TEST(Ucr, IsTcpuOverTotal) {
+  const auto p = make_pred(6.0, 2.0, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(ucr(p), 0.6);
+}
+
+TEST(Ucr, PureComputeIsOne) {
+  const auto p = make_pred(10.0, 0.0, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(ucr(p), 1.0);
+}
+
+TEST(Ucr, ZeroTimeThrows) {
+  model::Prediction p;
+  EXPECT_THROW(ucr(p), std::invalid_argument);
+}
+
+TEST(Ucr, OfMeasurement) {
+  trace::Measurement m;
+  m.time_s = 10.0;
+  m.t_cpu_s = 4.0;
+  EXPECT_DOUBLE_EQ(ucr(m), 0.4);
+}
+
+TEST(Ccr, RelatesToUcr) {
+  // CCR = UCR / (1 - UCR) for the same run.
+  const auto p = make_pred(6.0, 2.0, 1.0, 1.0);
+  EXPECT_NEAR(ccr(p), ucr(p) / (1.0 - ucr(p)), 1e-12);
+}
+
+TEST(Ccr, UnboundedForPureCompute) {
+  // The paper's argument for UCR: CCR is not normalized.
+  const auto p = make_pred(10.0, 0.0, 0.0, 0.0);
+  EXPECT_TRUE(std::isinf(ccr(p)));
+}
+
+TEST(TimeShares, SumToOne) {
+  const auto p = make_pred(5.0, 3.0, 1.5, 0.5);
+  const TimeShares s = time_shares(p);
+  EXPECT_NEAR(s.cpu + s.memory + s.net_wait + s.net_serve, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.cpu, 0.5);
+  EXPECT_DOUBLE_EQ(s.memory, 0.3);
+  EXPECT_DOUBLE_EQ(s.net_wait, 0.15);
+  EXPECT_DOUBLE_EQ(s.net_serve, 0.05);
+}
+
+TEST(TimeShares, ZeroTimeThrows) {
+  model::Prediction p;
+  EXPECT_THROW(time_shares(p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hepex::pareto

@@ -1,0 +1,95 @@
+// Tests for the Erlang-C / M/M/c helpers, including a convergence check
+// of the event-driven multi-server Resource against theory.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/queueing.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace hepex::sim::queueing {
+namespace {
+
+TEST(ErlangC, BoundaryCases) {
+  EXPECT_DOUBLE_EQ(erlang_c(1, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(erlang_c(4, 4.0), 1.0);   // saturated
+  EXPECT_DOUBLE_EQ(erlang_c(4, 10.0), 1.0);  // overloaded
+  EXPECT_THROW(erlang_c(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(erlang_c(2, -1.0), std::invalid_argument);
+}
+
+TEST(ErlangC, SingleServerEqualsRho) {
+  // For M/M/1, P(wait) = rho.
+  for (double rho : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    EXPECT_NEAR(erlang_c(1, rho), rho, 1e-12);
+  }
+}
+
+TEST(ErlangC, KnownTextbookValue) {
+  // Classic call-centre example: c = 10, offered = 8 Erlangs.
+  EXPECT_NEAR(erlang_c(10, 8.0), 0.409, 0.005);
+}
+
+TEST(ErlangC, MoreServersWaitLess) {
+  for (int c = 2; c <= 16; c *= 2) {
+    EXPECT_LT(erlang_c(c, 1.5), erlang_c(c - 1, 1.5));
+  }
+}
+
+TEST(Mmc, ReducesToMm1) {
+  const double lambda = 0.6;
+  const double s = 1.0;
+  EXPECT_NEAR(mmc_mean_wait(1, lambda, s), mm1_mean_wait(lambda, s), 1e-12);
+}
+
+TEST(Mmc, UnstableIsInfinite) {
+  EXPECT_TRUE(std::isinf(mmc_mean_wait(2, 3.0, 1.0)));
+}
+
+TEST(Mmc, ZeroArrivalsNoWait) {
+  EXPECT_DOUBLE_EQ(mmc_mean_wait(4, 0.0, 1.0), 0.0);
+}
+
+TEST(Mmc, PoolingBeatsPartitioning) {
+  // One pooled c-server queue waits less than each of c separate M/M/1
+  // queues at the same per-server load — the reason a shared switch
+  // fabric behaves better than dedicated half-speed links.
+  const double per_server_lambda = 0.8;
+  const double s = 1.0;
+  EXPECT_LT(mmc_mean_wait(4, 4 * per_server_lambda, s),
+            mm1_mean_wait(per_server_lambda, s));
+}
+
+/// The event-driven multi-server Resource must converge to Erlang-C.
+class MmcConvergenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MmcConvergenceTest, MeanWaitMatchesTheory) {
+  const int servers = GetParam();
+  const double mean_service = 1.0;
+  const double rho = 0.7;
+  const double lambda = rho * servers / mean_service;
+
+  Simulator sim;
+  Resource r(sim, "pool", servers);
+  util::Rng rng(4242 + static_cast<std::uint64_t>(servers));
+  double t = 0.0;
+  for (int i = 0; i < 60000; ++i) {
+    t += rng.exponential(1.0 / lambda);
+    const double service = rng.exponential(mean_service);
+    sim.schedule_at(t, [&r, service] { r.request(service, {}); });
+  }
+  sim.run();
+  const double expected = mmc_mean_wait(servers, lambda, mean_service);
+  EXPECT_NEAR(r.wait_stats().mean(), expected, 0.12 * expected + 0.01)
+      << "servers=" << servers;
+}
+
+INSTANTIATE_TEST_SUITE_P(ServerSweep, MmcConvergenceTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace hepex::sim::queueing

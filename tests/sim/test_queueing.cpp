@@ -1,0 +1,76 @@
+// Tests for the closed-form queueing helpers (Pollaczek-Khinchine et al.).
+
+#include "sim/queueing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hepex::sim::queueing {
+namespace {
+
+TEST(Queueing, OfferedLoad) {
+  EXPECT_DOUBLE_EQ(offered_load(2.0, 0.25), 0.5);
+  EXPECT_DOUBLE_EQ(offered_load(0.0, 1.0), 0.0);
+  EXPECT_THROW(offered_load(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(offered_load(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(Queueing, SecondMoments) {
+  EXPECT_DOUBLE_EQ(deterministic_second_moment(2.0), 4.0);
+  EXPECT_DOUBLE_EQ(exponential_second_moment(2.0), 8.0);
+}
+
+TEST(Queueing, Mm1KnownValue) {
+  // rho = 0.5, E[S] = 1: W = rho/(1-rho) * E[S] = 1.
+  EXPECT_NEAR(mm1_mean_wait(0.5, 1.0), 1.0, 1e-12);
+}
+
+TEST(Queueing, Md1IsHalfOfMm1) {
+  // Deterministic service halves the PK waiting time.
+  const double lambda = 0.6;
+  const double s = 1.0;
+  EXPECT_NEAR(md1_mean_wait(lambda, s), 0.5 * mm1_mean_wait(lambda, s),
+              1e-12);
+}
+
+TEST(Queueing, Mg1MatchesManualPk) {
+  const double lambda = 0.4;
+  const double es = 1.5;
+  const double es2 = 4.0;
+  const double rho = lambda * es;
+  const double expected = lambda * es2 / (2.0 * (1.0 - rho));
+  EXPECT_NEAR(mg1_mean_wait(lambda, es, es2), expected, 1e-12);
+}
+
+TEST(Queueing, UnstableQueueIsInfinite) {
+  EXPECT_TRUE(std::isinf(mm1_mean_wait(1.0, 1.0)));
+  EXPECT_TRUE(std::isinf(mm1_mean_wait(2.0, 1.0)));
+}
+
+TEST(Queueing, ZeroArrivalsNoWait) {
+  EXPECT_DOUBLE_EQ(mm1_mean_wait(0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(md1_mean_wait(0.0, 1.0), 0.0);
+}
+
+TEST(Queueing, NegativeSecondMomentThrows) {
+  EXPECT_THROW(mg1_mean_wait(0.5, 1.0, -1.0), std::invalid_argument);
+}
+
+/// Waiting time must grow monotonically (and convexly) with load.
+class PkMonotoneTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PkMonotoneTest, WaitGrowsWithLoad) {
+  const double rho = GetParam();
+  const double s = 1.0;
+  EXPECT_LT(mm1_mean_wait(rho, s), mm1_mean_wait(rho + 0.05, s));
+  EXPECT_LT(md1_mean_wait(rho, s), md1_mean_wait(rho + 0.05, s));
+}
+
+INSTANTIATE_TEST_SUITE_P(RhoSweep, PkMonotoneTest,
+                         ::testing::Values(0.05, 0.15, 0.3, 0.45, 0.6, 0.75,
+                                           0.9));
+
+}  // namespace
+}  // namespace hepex::sim::queueing

@@ -1,0 +1,124 @@
+// Tests for the discrete-event kernel: ordering, clock, determinism.
+
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace hepex::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZeroAndEmpty) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0.0);
+  EXPECT_TRUE(sim.empty());
+  EXPECT_EQ(sim.run(), 0u);
+}
+
+TEST(Simulator, EventsFireInTimestampOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, EqualTimestampsAreFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, HandlersMayScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  // A chain of events, each scheduling the next.
+  std::function<void()> step = [&] {
+    ++fired;
+    if (fired < 5) sim.schedule(1.0, step);
+  };
+  sim.schedule(0.0, step);
+  EXPECT_EQ(sim.run(), 5u);
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.now(), 4.0);
+}
+
+TEST(Simulator, NegativeDelayThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, ScheduleAtBeforeNowThrows) {
+  Simulator sim;
+  sim.schedule(5.0, [] {});
+  sim.run();
+  EXPECT_EQ(sim.now(), 5.0);
+  EXPECT_THROW(sim.schedule_at(4.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.schedule_at(7.5, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 7.5);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] { ++fired; });
+  sim.schedule(2.0, [&] { ++fired; });
+  sim.schedule(10.0, [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(5.0), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 5.0);  // clock advances to the boundary
+  EXPECT_FALSE(sim.empty());
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilIncludesEventsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(5.0, [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(5.0), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, MaxEventsLimitsProcessing) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) sim.schedule(i, [&] { ++fired; });
+  EXPECT_EQ(sim.run(4), 4u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_FALSE(sim.empty());
+}
+
+TEST(Simulator, TotalScheduledCounts) {
+  Simulator sim;
+  sim.schedule(1.0, [] {});
+  sim.schedule(2.0, [] {});
+  EXPECT_EQ(sim.total_scheduled(), 2u);
+}
+
+TEST(Simulator, ZeroDelayFiresAtCurrentTime) {
+  Simulator sim;
+  sim.schedule(2.0, [&] {
+    sim.schedule(0.0, [&] { EXPECT_EQ(sim.now(), 2.0); });
+  });
+  sim.run();
+  EXPECT_EQ(sim.now(), 2.0);
+}
+
+}  // namespace
+}  // namespace hepex::sim

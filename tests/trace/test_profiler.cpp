@@ -1,0 +1,64 @@
+// Tests for the mpiP-style communication profiler.
+
+#include "trace/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "hw/presets.hpp"
+#include "workload/programs.hpp"
+
+namespace hepex::trace {
+namespace {
+
+using workload::InputClass;
+
+TEST(Profiler, RejectsBadProbes) {
+  const auto m = hw::xeon_cluster();
+  const auto p = workload::make_bt(InputClass::kS);
+  EXPECT_THROW(profile_messages(m, p, 1), std::invalid_argument);
+  EXPECT_THROW(profile_messages(m, p, 16), std::invalid_argument);
+  EXPECT_THROW(profile_messages(m, p, 2, 0), std::invalid_argument);
+}
+
+TEST(Profiler, ProbeIsShort) {
+  // Profiling must not require a full run — 3 iterations suffice.
+  const auto m = hw::arm_cluster();
+  const auto p = workload::make_lu(InputClass::kS);
+  const CommProfile prof = profile_messages(m, p, 2, 3);
+  EXPECT_EQ(prof.n_probe, 2);
+  EXPECT_GT(prof.eta, 0.0);
+}
+
+/// The profiled eta and nu must match each program's decomposition at the
+/// probe size — this is what the model scales from.
+class ProfilerShapeTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ProfilerShapeTest, EtaNuMatchTheDecomposition) {
+  const auto m = hw::xeon_cluster();
+  const auto p = workload::program_by_name(GetParam(), InputClass::kS);
+  const CommProfile prof = profile_messages(m, p, 2);
+  const workload::CommShape shape = p.comm_shape(2);
+  EXPECT_DOUBLE_EQ(prof.eta, static_cast<double>(shape.messages));
+  EXPECT_NEAR(prof.nu, shape.bytes_per_msg, 0.1 * shape.bytes_per_msg);
+  // Dispersion close to the spec's cv.
+  EXPECT_NEAR(prof.size_cv, p.comm.size_cv, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, ProfilerShapeTest,
+                         ::testing::Values("BT", "LU", "SP", "CP", "LB"));
+
+TEST(Profiler, LargerProbeSeesPatternScaling) {
+  const auto m = hw::xeon_cluster();
+  const auto p = workload::make_cp(InputClass::kS);  // all-to-all
+  const CommProfile p2 = profile_messages(m, p, 2);
+  const CommProfile p4 = profile_messages(m, p, 4);
+  // eta grows as n-1 for all-to-all.
+  EXPECT_NEAR(p4.eta / p2.eta, 3.0, 1e-9);
+  // nu shrinks as 1/n^2.
+  EXPECT_NEAR(p2.nu / p4.nu, 4.0, 0.5);
+}
+
+}  // namespace
+}  // namespace hepex::trace

@@ -1,0 +1,79 @@
+// Tests for the command-line argument parser.
+
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace hepex::util {
+namespace {
+
+CliArgs parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "tool");
+  return CliArgs::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, EmptyCommandLine) {
+  const auto a = parse({});
+  EXPECT_TRUE(a.command().empty());
+  EXPECT_FALSE(a.has("anything"));
+}
+
+TEST(Cli, CommandAndFlags) {
+  const auto a = parse({"frontier", "--machine", "xeon", "--program", "SP"});
+  EXPECT_EQ(a.command(), "frontier");
+  EXPECT_EQ(a.get_or("machine", ""), "xeon");
+  EXPECT_EQ(a.get_or("program", ""), "SP");
+}
+
+TEST(Cli, ValuelessSwitch) {
+  const auto a = parse({"run", "--verbose", "--n", "4"});
+  EXPECT_TRUE(a.has("verbose"));
+  EXPECT_FALSE(a.get("verbose").has_value());
+  EXPECT_EQ(a.get_int_or("n", 0), 4);
+}
+
+TEST(Cli, TrailingSwitch) {
+  const auto a = parse({"run", "--fast"});
+  EXPECT_TRUE(a.has("fast"));
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const auto a = parse({"run"});
+  EXPECT_EQ(a.get_or("machine", "arm"), "arm");
+  EXPECT_EQ(a.get_int_or("n", 7), 7);
+  EXPECT_DOUBLE_EQ(a.get_double_or("f", 1.5), 1.5);
+}
+
+TEST(Cli, NumericParsing) {
+  const auto a = parse({"run", "--f", "1.8", "--n", "16"});
+  EXPECT_DOUBLE_EQ(a.get_double_or("f", 0.0), 1.8);
+  EXPECT_EQ(a.get_int_or("n", 0), 16);
+}
+
+TEST(Cli, BadNumbersThrow) {
+  const auto a = parse({"run", "--f", "fast", "--n", "4x"});
+  EXPECT_THROW(a.get_double_or("f", 0.0), std::invalid_argument);
+  EXPECT_THROW(a.get_int_or("n", 0), std::invalid_argument);
+}
+
+TEST(Cli, UnexpectedPositionalThrows) {
+  EXPECT_THROW(parse({"run", "extra"}), std::invalid_argument);
+}
+
+TEST(Cli, RequireKnownAcceptsAndRejects) {
+  const auto a = parse({"run", "--machine", "arm", "--n", "2"});
+  EXPECT_NO_THROW(a.require_known({"machine", "n", "c"}));
+  EXPECT_THROW(a.require_known({"machine"}), std::invalid_argument);
+}
+
+TEST(Cli, NegativeNumbersAreValues) {
+  // "-3" does not start with "--" so it is a value, not a flag.
+  const auto a = parse({"run", "--offset", "-3"});
+  EXPECT_EQ(a.get_int_or("offset", 0), -3);
+}
+
+}  // namespace
+}  // namespace hepex::util

@@ -1,0 +1,108 @@
+// Tests for the communication-pattern shapes (eta, nu as functions of n).
+
+#include "workload/comm_pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hepex::workload {
+namespace {
+
+CommSpec spec(CommPattern p, double base = 1e6, int rounds = 2) {
+  CommSpec s;
+  s.pattern = p;
+  s.base_bytes = base;
+  s.rounds = rounds;
+  return s;
+}
+
+TEST(CommPattern, SingleProcessHasNoMessages) {
+  for (CommPattern p : {CommPattern::kHalo3D, CommPattern::kWavefront,
+                        CommPattern::kAllToAll, CommPattern::kRing}) {
+    const CommShape sh = spec(p).shape(1);
+    EXPECT_EQ(sh.messages, 0);
+    EXPECT_EQ(sh.bytes_total(), 0.0);
+  }
+}
+
+TEST(CommPattern, ZeroOrNegativeProcessCountThrows) {
+  EXPECT_THROW(spec(CommPattern::kHalo3D).shape(0), std::invalid_argument);
+  EXPECT_THROW(spec(CommPattern::kRing).shape(-2), std::invalid_argument);
+}
+
+TEST(CommPattern, HaloHasSixMessagesPerRound) {
+  const CommShape sh = spec(CommPattern::kHalo3D, 1e6, 3).shape(8);
+  EXPECT_EQ(sh.messages, 18);
+}
+
+TEST(CommPattern, HaloVolumeShrinksAsNTwoThirds) {
+  const CommSpec s = spec(CommPattern::kHalo3D);
+  const double v2 = s.shape(2).bytes_per_msg;
+  const double v16 = s.shape(16).bytes_per_msg;
+  EXPECT_NEAR(v2 / v16, std::pow(8.0, 2.0 / 3.0), 1e-9);
+}
+
+TEST(CommPattern, WavefrontVolumeShrinksAsSqrtN) {
+  const CommSpec s = spec(CommPattern::kWavefront);
+  EXPECT_NEAR(s.shape(4).bytes_per_msg / s.shape(16).bytes_per_msg, 2.0,
+              1e-9);
+}
+
+TEST(CommPattern, AllToAllMessagesGrowWithN) {
+  const CommSpec s = spec(CommPattern::kAllToAll, 1e6, 1);
+  EXPECT_EQ(s.shape(2).messages, 1);
+  EXPECT_EQ(s.shape(8).messages, 7);
+  EXPECT_EQ(s.shape(20).messages, 19);
+}
+
+TEST(CommPattern, AllToAllTotalClusterVolumeIsNearlyConstant) {
+  // total = n * eta * nu = base * rounds * (n-1)/n -> base * rounds.
+  const CommSpec s = spec(CommPattern::kAllToAll, 1e6, 1);
+  for (int n : {2, 4, 8, 16}) {
+    const CommShape sh = s.shape(n);
+    const double cluster_total = n * sh.bytes_total();
+    EXPECT_NEAR(cluster_total, 1e6 * (n - 1.0) / n, 1.0);
+  }
+}
+
+TEST(CommPattern, RingVolumePerMessageIsIndependentOfN) {
+  const CommSpec s = spec(CommPattern::kRing, 5e5, 1);
+  EXPECT_DOUBLE_EQ(s.shape(2).bytes_per_msg, 5e5);
+  EXPECT_DOUBLE_EQ(s.shape(20).bytes_per_msg, 5e5);
+  // Which means total cluster traffic grows linearly with n (LB's curse).
+  EXPECT_DOUBLE_EQ(20 * s.shape(20).bytes_total(),
+                   10.0 * (2 * s.shape(2).bytes_total()));
+}
+
+TEST(CommPattern, NamesAreStable) {
+  EXPECT_EQ(to_string(CommPattern::kHalo3D), "halo-3d");
+  EXPECT_EQ(to_string(CommPattern::kWavefront), "wavefront");
+  EXPECT_EQ(to_string(CommPattern::kAllToAll), "all-to-all");
+  EXPECT_EQ(to_string(CommPattern::kRing), "ring");
+}
+
+/// Per-process volume must never grow with n for any pattern — adding
+/// nodes cannot increase one process's communication burden.
+class PatternVolumeTest : public ::testing::TestWithParam<CommPattern> {};
+
+TEST_P(PatternVolumeTest, PerProcessVolumeNonIncreasing) {
+  const CommSpec s = spec(GetParam());
+  double prev = s.shape(2).bytes_total();
+  for (int n = 3; n <= 32; ++n) {
+    const double cur = s.shape(n).bytes_total();
+    EXPECT_LE(cur, prev * 1.0 + 1e-9) << "pattern " << to_string(GetParam())
+                                      << " at n=" << n;
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatterns, PatternVolumeTest,
+                         ::testing::Values(CommPattern::kHalo3D,
+                                           CommPattern::kWavefront,
+                                           CommPattern::kAllToAll,
+                                           CommPattern::kRing));
+
+}  // namespace
+}  // namespace hepex::workload

@@ -1,0 +1,78 @@
+// Tests for the extension programs MG, FT, CG and the extended suite.
+
+#include "workload/programs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "core/validation.hpp"
+#include "hw/presets.hpp"
+
+namespace hepex::workload {
+namespace {
+
+TEST(ExtendedPrograms, SuiteContainsEight) {
+  const auto progs = extended_programs();
+  ASSERT_EQ(progs.size(), 8u);
+  std::set<std::string> names;
+  for (const auto& p : progs) names.insert(p.name);
+  for (const char* n : {"LU", "SP", "BT", "CP", "LB", "MG", "FT", "CG"}) {
+    EXPECT_TRUE(names.count(n)) << "missing " << n;
+  }
+}
+
+TEST(ExtendedPrograms, PaperSuiteIsUnchanged) {
+  // The paper's validation set stays exactly the published five.
+  EXPECT_EQ(all_programs().size(), 5u);
+}
+
+TEST(ExtendedPrograms, LookupWorks) {
+  EXPECT_EQ(program_by_name("MG").name, "MG");
+  EXPECT_EQ(program_by_name("FT").comm.pattern, CommPattern::kAllToAll);
+  EXPECT_EQ(program_by_name("CG").comm.pattern, CommPattern::kHalo3D);
+}
+
+TEST(ExtendedPrograms, DistinctDemandSignatures) {
+  const auto mg = make_mg();
+  const auto ft = make_ft();
+  const auto cg = make_cg();
+  // MG exchanges at every level: more comm rounds than FT's single
+  // transpose.
+  EXPECT_GT(mg.comm.rounds, ft.comm.rounds);
+  // CG sends the most (tiny) messages per iteration at 8 processes.
+  EXPECT_GT(cg.comm_shape(8).messages, mg.comm_shape(8).messages);
+  EXPECT_LT(cg.comm_shape(8).bytes_per_msg, mg.comm_shape(8).bytes_per_msg);
+  // FT is the most compute-dense of the three.
+  EXPECT_GT(ft.compute.instructions_per_iter,
+            mg.compute.instructions_per_iter);
+  // CG is the most stall-prone (irregular gathers).
+  EXPECT_GT(cg.compute.stall_factor, ft.compute.stall_factor);
+}
+
+/// The model must hold up on the extension programs too: the approach is
+/// workload-generic, not tuned to the published five.
+class ExtendedAcceptanceTest : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(ExtendedAcceptanceTest, ValidatesWithinPaperBounds) {
+  model::CharacterizationOptions o;
+  o.baseline_class = InputClass::kW;
+  o.sim.chunks_per_iteration = 8;
+  for (const auto& machine : {hw::xeon_cluster(), hw::arm_cluster()}) {
+    const auto program = program_by_name(GetParam(), InputClass::kA);
+    const auto report = core::validate(
+        machine, program, hw::enumerate_configs(machine, {2, 4}), o);
+    EXPECT_LT(report.time_error.mean(), 15.0)
+        << GetParam() << " on " << machine.name;
+    EXPECT_LT(report.energy_error.mean(), 15.0)
+        << GetParam() << " on " << machine.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MgFtCg, ExtendedAcceptanceTest,
+                         ::testing::Values("MG", "FT", "CG"));
+
+}  // namespace
+}  // namespace hepex::workload

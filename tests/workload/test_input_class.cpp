@@ -1,0 +1,44 @@
+// Tests for NPB-style input classes.
+
+#include "workload/input_class.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hepex::workload {
+namespace {
+
+TEST(InputClass, GridAndIterationsGrowWithClass) {
+  const InputClass order[] = {InputClass::kS, InputClass::kW, InputClass::kA,
+                              InputClass::kB, InputClass::kC};
+  for (int i = 1; i < 5; ++i) {
+    EXPECT_GT(grid_dimension(order[i]), grid_dimension(order[i - 1]));
+    EXPECT_GE(iteration_count(order[i]), iteration_count(order[i - 1]));
+  }
+}
+
+TEST(InputClass, RoundTripsThroughStrings) {
+  for (InputClass cls : {InputClass::kS, InputClass::kW, InputClass::kA,
+                         InputClass::kB, InputClass::kC}) {
+    EXPECT_EQ(input_class_from_string(to_string(cls)), cls);
+  }
+}
+
+TEST(InputClass, UnknownStringThrows) {
+  EXPECT_THROW(input_class_from_string("D"), std::invalid_argument);
+  EXPECT_THROW(input_class_from_string(""), std::invalid_argument);
+  EXPECT_THROW(input_class_from_string("a"), std::invalid_argument);
+}
+
+TEST(InputClass, ClassCIsRoughlyFourTimesClassBByVolume) {
+  // Fig. 7 describes class C as "four times larger" than the baseline.
+  const double b = std::pow(grid_dimension(InputClass::kB), 3);
+  const double c = std::pow(grid_dimension(InputClass::kC), 3);
+  EXPECT_GT(c / b, 3.0);
+  EXPECT_LT(c / b, 5.0);
+}
+
+}  // namespace
+}  // namespace hepex::workload

@@ -1,0 +1,313 @@
+// hepex — command-line front end to the HEPEX library.
+//
+// Usage:
+//   hepex frontier    --machine xeon|arm --program SP [--class A]
+//   hepex recommend   --machine xeon --program SP --deadline 60
+//   hepex recommend   --machine xeon --program SP --budget 5000
+//   hepex simulate    --machine xeon --program SP --n 4 --c 8 --f 1.8
+//   hepex validate    --machine arm  --program CP [--class A]
+//   hepex netchar     --machine arm
+//   hepex report      --machine xeon --program SP
+//   hepex whatif      --machine xeon --program SP --membw 2 --n 1 --c 8 --f 1.8
+//   hepex characterize --machine xeon --program SP --out ch.txt
+//   hepex predict     --from ch.txt --n 8 --c 8 --f 1.8 [--class A] [--iters 60]
+//
+// Exit codes: 0 success, 2 usage error.
+
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "core/hepex.hpp"
+#include "core/report.hpp"
+#include "util/cli.hpp"
+
+using namespace hepex;
+
+namespace {
+
+hw::MachineSpec machine_by_name(const std::string& name) {
+  if (name == "xeon") return hw::xeon_cluster();
+  if (name == "arm") return hw::arm_cluster();
+  if (name == "modern") return hw::modern_x86_cluster();
+  throw std::invalid_argument("hepex: unknown machine '" + name +
+                              "' (use xeon, arm or modern)");
+}
+
+workload::ProgramSpec program_from(const util::CliArgs& args) {
+  const auto cls = workload::input_class_from_string(args.get_or("class", "A"));
+  return workload::program_by_name(args.get_or("program", "SP"), cls);
+}
+
+hw::ClusterConfig config_from(const util::CliArgs& args,
+                              const hw::MachineSpec& m) {
+  hw::ClusterConfig cfg;
+  cfg.nodes = args.get_int_or("n", 1);
+  cfg.cores = args.get_int_or("c", m.node.cores);
+  cfg.f_hz = args.get_double_or("f", m.node.dvfs.f_max() / 1e9) * 1e9;
+  return cfg;
+}
+
+void print_points(const std::vector<pareto::ConfigPoint>& points) {
+  util::Table t({"(n,c,f)", "time [s]", "energy [kJ]", "UCR"});
+  for (const auto& p : points) {
+    t.add_row({util::fmt_config(p.config.nodes, p.config.cores,
+                                p.config.f_hz / 1e9),
+               util::fmt(p.time_s, 2), util::fmt(p.energy_j / 1e3, 3),
+               util::fmt(p.ucr, 2)});
+  }
+  std::printf("%s", t.to_text().c_str());
+}
+
+int cmd_frontier(const util::CliArgs& args) {
+  core::Advisor advisor(machine_by_name(args.get_or("machine", "xeon")),
+                        program_from(args));
+  print_points(advisor.frontier());
+  return 0;
+}
+
+int cmd_recommend(const util::CliArgs& args) {
+  core::Advisor advisor(machine_by_name(args.get_or("machine", "xeon")),
+                        program_from(args));
+  if (args.has("deadline")) {
+    const double deadline = args.get_double_or("deadline", 0.0);
+    if (const auto rec = advisor.for_deadline(deadline)) {
+      std::printf("deadline %.1f s -> %s: %.2f s, %.3f kJ, UCR %.2f "
+                  "(slack %.1f s)\n",
+                  deadline,
+                  util::fmt_config(rec->point.config.nodes,
+                                   rec->point.config.cores,
+                                   rec->point.config.f_hz / 1e9)
+                      .c_str(),
+                  rec->point.time_s, rec->point.energy_j / 1e3,
+                  rec->point.ucr, rec->slack);
+      return 0;
+    }
+    std::printf("no configuration meets a %.1f s deadline\n", deadline);
+    return 1;
+  }
+  if (args.has("budget")) {
+    const double budget = args.get_double_or("budget", 0.0);
+    if (const auto rec = advisor.for_budget(budget)) {
+      std::printf("budget %.0f J -> %s: %.2f s, %.3f kJ, UCR %.2f\n", budget,
+                  util::fmt_config(rec->point.config.nodes,
+                                   rec->point.config.cores,
+                                   rec->point.config.f_hz / 1e9)
+                      .c_str(),
+                  rec->point.time_s, rec->point.energy_j / 1e3,
+                  rec->point.ucr);
+      return 0;
+    }
+    std::printf("no configuration fits a %.0f J budget\n", budget);
+    return 1;
+  }
+  throw std::invalid_argument("hepex: recommend needs --deadline or --budget");
+}
+
+int cmd_simulate(const util::CliArgs& args) {
+  const auto m = machine_by_name(args.get_or("machine", "xeon"));
+  const auto p = program_from(args);
+  const auto cfg = config_from(args, m);
+  const auto meas = trace::simulate(m, p, cfg);
+  std::printf("measured %s on %s at %s:\n", p.name.c_str(), m.name.c_str(),
+              util::fmt_config(cfg.nodes, cfg.cores, cfg.f_hz / 1e9).c_str());
+  std::printf("  time   : %.2f s\n", meas.time_s);
+  std::printf("  energy : %.3f kJ (cpu %.2f + mem %.2f + net %.2f + idle "
+              "%.2f)\n",
+              meas.energy.total() / 1e3,
+              (meas.energy.cpu_active_j + meas.energy.cpu_stall_j) / 1e3,
+              meas.energy.mem_j / 1e3, meas.energy.net_j / 1e3,
+              meas.energy.idle_j / 1e3);
+  std::printf("  UCR    : %.2f   utilization: %.2f\n", meas.ucr(),
+              meas.cpu_utilization);
+  return 0;
+}
+
+int cmd_validate(const util::CliArgs& args) {
+  const auto m = machine_by_name(args.get_or("machine", "xeon"));
+  const auto p = program_from(args);
+  const auto grid = core::validation_grid(m, true);
+  const auto report = core::validate(m, p, grid);
+  std::printf("%s on %s over %zu configurations:\n", p.name.c_str(),
+              m.name.c_str(), report.rows.size());
+  std::printf("  time error  : mean %.1f%%  sd %.1f%%  max %.1f%%\n",
+              report.time_error.mean(), report.time_error.stddev(),
+              report.time_error.max());
+  std::printf("  energy error: mean %.1f%%  sd %.1f%%  max %.1f%%\n",
+              report.energy_error.mean(), report.energy_error.stddev(),
+              report.energy_error.max());
+  return 0;
+}
+
+int cmd_netchar(const util::CliArgs& args) {
+  const auto m = machine_by_name(args.get_or("machine", "arm"));
+  const auto sweep = trace::netpipe_sweep(m, m.node.dvfs.f_max());
+  util::Table t({"size [B]", "latency [us]", "throughput [Mbps]"});
+  for (const auto& pt : sweep.points) {
+    t.add_row({util::fmt(pt.message_bytes, 0),
+               util::fmt(pt.latency_s * 1e6, 1),
+               util::fmt(pt.throughput_bps / 1e6, 2)});
+  }
+  std::printf("%sachievable: %.1f Mbps\n", t.to_text().c_str(),
+              sweep.achievable_bps / 1e6);
+  return 0;
+}
+
+int cmd_report(const util::CliArgs& args) {
+  core::Advisor advisor(machine_by_name(args.get_or("machine", "xeon")),
+                        program_from(args));
+  std::printf("%s", core::markdown_report(advisor).c_str());
+  return 0;
+}
+
+int cmd_whatif(const util::CliArgs& args) {
+  const auto m = machine_by_name(args.get_or("machine", "xeon"));
+  core::Advisor advisor(m, program_from(args));
+  const auto cfg = config_from(args, m);
+  const auto before = advisor.predict(cfg);
+  std::printf("stock          : %.2f s, %.3f kJ, UCR %.2f\n", before.time_s,
+              before.energy_j / 1e3, before.ucr);
+  if (args.has("membw")) {
+    const double k = args.get_double_or("membw", 2.0);
+    auto upgraded = advisor.with_memory_bandwidth(k);
+    const auto after = upgraded.predict(cfg);
+    std::printf("%.1fx memory bw : %.2f s, %.3f kJ, UCR %.2f\n", k,
+                after.time_s, after.energy_j / 1e3, after.ucr);
+  }
+  if (args.has("netbw")) {
+    const double k = args.get_double_or("netbw", 2.0);
+    auto upgraded = advisor.with_network_bandwidth(k);
+    const auto after = upgraded.predict(cfg);
+    std::printf("%.1fx network bw: %.2f s, %.3f kJ, UCR %.2f\n", k,
+                after.time_s, after.energy_j / 1e3, after.ucr);
+  }
+  return 0;
+}
+
+int cmd_programs(const util::CliArgs&) {
+  util::Table t({"name", "suite", "language", "pattern", "domain"});
+  for (const auto& p :
+       workload::extended_programs(workload::InputClass::kA)) {
+    t.add_row({p.name, p.suite, p.language,
+               workload::to_string(p.comm.pattern), p.domain});
+  }
+  std::printf("%s", t.to_text().c_str());
+  std::printf("(LU..LB are the paper's validation set; MG, FT, CG are "
+              "extensions.)\n");
+  return 0;
+}
+
+int cmd_machines(const util::CliArgs&) {
+  util::Table t({"key", "name", "cores/node", "f range [GHz]", "memory BW",
+                 "network"});
+  struct Entry {
+    const char* key;
+    hw::MachineSpec m;
+  };
+  const Entry entries[] = {{"xeon", hw::xeon_cluster()},
+                           {"arm", hw::arm_cluster()},
+                           {"modern", hw::modern_x86_cluster()}};
+  for (const auto& e : entries) {
+    t.add_row({e.key, e.m.name, std::to_string(e.m.node.cores),
+               util::fmt(e.m.node.dvfs.f_min() / 1e9, 1) + "-" +
+                   util::fmt(e.m.node.dvfs.f_max() / 1e9, 1),
+               util::fmt(e.m.node.memory.bandwidth_bytes_per_s / 1e9, 1) +
+                   " GB/s",
+               util::fmt(e.m.network.link_bits_per_s / 1e9, 1) + " Gbps"});
+  }
+  std::printf("%s", t.to_text().c_str());
+  std::printf("(xeon and arm are the paper's Table 3 clusters; modern is "
+              "an extension preset)\n");
+  return 0;
+}
+
+int cmd_sensitivity(const util::CliArgs& args) {
+  const auto m = machine_by_name(args.get_or("machine", "xeon"));
+  const auto p = program_from(args);
+  const auto cfg = config_from(args, m);
+  const auto ch = model::characterize(m, p);
+  const auto rep = model::sensitivity(ch, model::target_of(p), cfg);
+  std::printf("%s at %s: T = %.1f s, E = %.2f kJ\n", p.name.c_str(),
+              util::fmt_config(cfg.nodes, cfg.cores, cfg.f_hz / 1e9).c_str(),
+              rep.nominal.time_s, rep.nominal.energy_j / 1e3);
+  util::Table t({"input", "dlnT/dln(x)", "dlnE/dln(x)"});
+  for (const auto& s : rep.inputs) {
+    t.add_row({model::to_string(s.input), util::fmt(s.time_elasticity, 3),
+               util::fmt(s.energy_elasticity, 3)});
+  }
+  std::printf("%s", t.to_text().c_str());
+  const auto pi = model::prediction_interval(ch, model::target_of(p), cfg,
+                                             0.10);
+  std::printf("10%% input uncertainty: T in [%.1f, %.1f] s, E in "
+              "[%.2f, %.2f] kJ\n",
+              pi.time_lo_s, pi.time_hi_s, pi.energy_lo_j / 1e3,
+              pi.energy_hi_j / 1e3);
+  return 0;
+}
+
+int cmd_characterize(const util::CliArgs& args) {
+  const auto m = machine_by_name(args.get_or("machine", "xeon"));
+  const auto p = program_from(args);
+  const auto ch = model::characterize(m, p);
+  const std::string out = args.get_or("out", "characterization.txt");
+  model::save_characterization_file(ch, out);
+  std::printf("characterized %s on %s -> %s\n", p.name.c_str(),
+              m.name.c_str(), out.c_str());
+  return 0;
+}
+
+int cmd_predict(const util::CliArgs& args) {
+  const auto path = args.get("from");
+  if (!path) throw std::invalid_argument("hepex: predict needs --from FILE");
+  const auto ch = model::load_characterization_file(*path);
+  const auto cfg = config_from(args, ch.machine);
+  model::TargetInfo target;
+  target.input = workload::input_class_from_string(args.get_or("class", "A"));
+  target.iterations =
+      args.get_int_or("iters", workload::iteration_count(target.input));
+  const auto pred = model::predict(ch, target, cfg);
+  std::printf("%s at %s: %.2f s, %.3f kJ, UCR %.2f "
+              "(cpu %.2f + mem %.2f + net %.2f s)\n",
+              ch.program_name.c_str(),
+              util::fmt_config(cfg.nodes, cfg.cores, cfg.f_hz / 1e9).c_str(),
+              pred.time_s, pred.energy_j / 1e3, pred.ucr, pred.t_cpu_s,
+              pred.t_mem_s, pred.t_w_net_s + pred.t_s_net_s);
+  return 0;
+}
+
+int usage() {
+  std::printf(
+      "hepex — energy-efficient execution of hybrid parallel programs\n"
+      "commands: frontier | recommend | simulate | validate | netchar |\n"
+      "          report | whatif | characterize | predict | sensitivity |\n"
+      "          programs | machines\n"
+      "common flags: --machine xeon|arm  --program BT|LU|SP|CP|LB  "
+      "--class S|W|A|B|C\n"
+      "see the README for per-command flags.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const auto args = util::CliArgs::parse(argc, argv);
+    const std::string& cmd = args.command();
+    if (cmd == "frontier") return cmd_frontier(args);
+    if (cmd == "recommend") return cmd_recommend(args);
+    if (cmd == "simulate") return cmd_simulate(args);
+    if (cmd == "validate") return cmd_validate(args);
+    if (cmd == "netchar") return cmd_netchar(args);
+    if (cmd == "report") return cmd_report(args);
+    if (cmd == "whatif") return cmd_whatif(args);
+    if (cmd == "characterize") return cmd_characterize(args);
+    if (cmd == "predict") return cmd_predict(args);
+    if (cmd == "programs") return cmd_programs(args);
+    if (cmd == "machines") return cmd_machines(args);
+    if (cmd == "sensitivity") return cmd_sensitivity(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
