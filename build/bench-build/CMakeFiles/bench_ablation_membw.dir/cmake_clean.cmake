@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_membw"
+  "../bench/bench_ablation_membw.pdb"
+  "CMakeFiles/bench_ablation_membw.dir/bench_ablation_membw.cpp.o"
+  "CMakeFiles/bench_ablation_membw.dir/bench_ablation_membw.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_membw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_dvfs_slack"
+  "../bench/bench_ext_dvfs_slack.pdb"
+  "CMakeFiles/bench_ext_dvfs_slack.dir/bench_ext_dvfs_slack.cpp.o"
+  "CMakeFiles/bench_ext_dvfs_slack.dir/bench_ext_dvfs_slack.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_dvfs_slack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_energy_proportionality"
+  "../bench/bench_ext_energy_proportionality.pdb"
+  "CMakeFiles/bench_ext_energy_proportionality.dir/bench_ext_energy_proportionality.cpp.o"
+  "CMakeFiles/bench_ext_energy_proportionality.dir/bench_ext_energy_proportionality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_energy_proportionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

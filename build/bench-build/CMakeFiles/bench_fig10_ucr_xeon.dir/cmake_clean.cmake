@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_ucr_xeon"
+  "../bench/bench_fig10_ucr_xeon.pdb"
+  "CMakeFiles/bench_fig10_ucr_xeon.dir/bench_fig10_ucr_xeon.cpp.o"
+  "CMakeFiles/bench_fig10_ucr_xeon.dir/bench_fig10_ucr_xeon.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_ucr_xeon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

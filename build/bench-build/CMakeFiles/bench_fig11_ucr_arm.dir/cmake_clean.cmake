@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_ucr_arm"
+  "../bench/bench_fig11_ucr_arm.pdb"
+  "CMakeFiles/bench_fig11_ucr_arm.dir/bench_fig11_ucr_arm.cpp.o"
+  "CMakeFiles/bench_fig11_ucr_arm.dir/bench_fig11_ucr_arm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_ucr_arm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

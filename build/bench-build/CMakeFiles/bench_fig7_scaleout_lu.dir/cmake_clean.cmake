@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_scaleout_lu"
+  "../bench/bench_fig7_scaleout_lu.pdb"
+  "CMakeFiles/bench_fig7_scaleout_lu.dir/bench_fig7_scaleout_lu.cpp.o"
+  "CMakeFiles/bench_fig7_scaleout_lu.dir/bench_fig7_scaleout_lu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_scaleout_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

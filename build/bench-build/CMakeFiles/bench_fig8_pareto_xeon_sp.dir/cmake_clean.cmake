@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_pareto_xeon_sp"
+  "../bench/bench_fig8_pareto_xeon_sp.pdb"
+  "CMakeFiles/bench_fig8_pareto_xeon_sp.dir/bench_fig8_pareto_xeon_sp.cpp.o"
+  "CMakeFiles/bench_fig8_pareto_xeon_sp.dir/bench_fig8_pareto_xeon_sp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_pareto_xeon_sp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

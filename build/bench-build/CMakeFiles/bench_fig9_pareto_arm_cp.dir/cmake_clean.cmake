@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_pareto_arm_cp"
+  "../bench/bench_fig9_pareto_arm_cp.pdb"
+  "CMakeFiles/bench_fig9_pareto_arm_cp.dir/bench_fig9_pareto_arm_cp.cpp.o"
+  "CMakeFiles/bench_fig9_pareto_arm_cp.dir/bench_fig9_pareto_arm_cp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_pareto_arm_cp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepex_bench_common.dir/common.cpp.o"
+  "CMakeFiles/hepex_bench_common.dir/common.cpp.o.d"
+  "libhepex_bench_common.a"
+  "libhepex_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepex_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

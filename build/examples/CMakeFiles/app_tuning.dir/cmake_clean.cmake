@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_tuning.dir/app_tuning.cpp.o"
+  "CMakeFiles/app_tuning.dir/app_tuning.cpp.o.d"
+  "app_tuning"
+  "app_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

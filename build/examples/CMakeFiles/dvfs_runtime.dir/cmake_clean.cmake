@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvfs_runtime.dir/dvfs_runtime.cpp.o"
+  "CMakeFiles/dvfs_runtime.dir/dvfs_runtime.cpp.o.d"
+  "dvfs_runtime"
+  "dvfs_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvfs_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepex_core.dir/advisor.cpp.o"
+  "CMakeFiles/hepex_core.dir/advisor.cpp.o.d"
+  "CMakeFiles/hepex_core.dir/report.cpp.o"
+  "CMakeFiles/hepex_core.dir/report.cpp.o.d"
+  "CMakeFiles/hepex_core.dir/validation.cpp.o"
+  "CMakeFiles/hepex_core.dir/validation.cpp.o.d"
+  "libhepex_core.a"
+  "libhepex_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepex_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

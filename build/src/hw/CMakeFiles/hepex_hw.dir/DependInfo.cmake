@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cache.cpp" "src/hw/CMakeFiles/hepex_hw.dir/cache.cpp.o" "gcc" "src/hw/CMakeFiles/hepex_hw.dir/cache.cpp.o.d"
+  "/root/repo/src/hw/dvfs_policy.cpp" "src/hw/CMakeFiles/hepex_hw.dir/dvfs_policy.cpp.o" "gcc" "src/hw/CMakeFiles/hepex_hw.dir/dvfs_policy.cpp.o.d"
+  "/root/repo/src/hw/machine.cpp" "src/hw/CMakeFiles/hepex_hw.dir/machine.cpp.o" "gcc" "src/hw/CMakeFiles/hepex_hw.dir/machine.cpp.o.d"
+  "/root/repo/src/hw/power.cpp" "src/hw/CMakeFiles/hepex_hw.dir/power.cpp.o" "gcc" "src/hw/CMakeFiles/hepex_hw.dir/power.cpp.o.d"
+  "/root/repo/src/hw/presets.cpp" "src/hw/CMakeFiles/hepex_hw.dir/presets.cpp.o" "gcc" "src/hw/CMakeFiles/hepex_hw.dir/presets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hepex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

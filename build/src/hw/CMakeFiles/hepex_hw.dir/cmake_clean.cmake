@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepex_hw.dir/cache.cpp.o"
+  "CMakeFiles/hepex_hw.dir/cache.cpp.o.d"
+  "CMakeFiles/hepex_hw.dir/dvfs_policy.cpp.o"
+  "CMakeFiles/hepex_hw.dir/dvfs_policy.cpp.o.d"
+  "CMakeFiles/hepex_hw.dir/machine.cpp.o"
+  "CMakeFiles/hepex_hw.dir/machine.cpp.o.d"
+  "CMakeFiles/hepex_hw.dir/power.cpp.o"
+  "CMakeFiles/hepex_hw.dir/power.cpp.o.d"
+  "CMakeFiles/hepex_hw.dir/presets.cpp.o"
+  "CMakeFiles/hepex_hw.dir/presets.cpp.o.d"
+  "libhepex_hw.a"
+  "libhepex_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepex_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/bounds.cpp" "src/model/CMakeFiles/hepex_model.dir/bounds.cpp.o" "gcc" "src/model/CMakeFiles/hepex_model.dir/bounds.cpp.o.d"
+  "/root/repo/src/model/characterization.cpp" "src/model/CMakeFiles/hepex_model.dir/characterization.cpp.o" "gcc" "src/model/CMakeFiles/hepex_model.dir/characterization.cpp.o.d"
+  "/root/repo/src/model/equations.cpp" "src/model/CMakeFiles/hepex_model.dir/equations.cpp.o" "gcc" "src/model/CMakeFiles/hepex_model.dir/equations.cpp.o.d"
+  "/root/repo/src/model/naive.cpp" "src/model/CMakeFiles/hepex_model.dir/naive.cpp.o" "gcc" "src/model/CMakeFiles/hepex_model.dir/naive.cpp.o.d"
+  "/root/repo/src/model/predictor.cpp" "src/model/CMakeFiles/hepex_model.dir/predictor.cpp.o" "gcc" "src/model/CMakeFiles/hepex_model.dir/predictor.cpp.o.d"
+  "/root/repo/src/model/sensitivity.cpp" "src/model/CMakeFiles/hepex_model.dir/sensitivity.cpp.o" "gcc" "src/model/CMakeFiles/hepex_model.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/model/serialize.cpp" "src/model/CMakeFiles/hepex_model.dir/serialize.cpp.o" "gcc" "src/model/CMakeFiles/hepex_model.dir/serialize.cpp.o.d"
+  "/root/repo/src/model/whatif.cpp" "src/model/CMakeFiles/hepex_model.dir/whatif.cpp.o" "gcc" "src/model/CMakeFiles/hepex_model.dir/whatif.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hepex_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hepex_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hepex_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hepex_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hepex_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepex_model.dir/bounds.cpp.o"
+  "CMakeFiles/hepex_model.dir/bounds.cpp.o.d"
+  "CMakeFiles/hepex_model.dir/characterization.cpp.o"
+  "CMakeFiles/hepex_model.dir/characterization.cpp.o.d"
+  "CMakeFiles/hepex_model.dir/equations.cpp.o"
+  "CMakeFiles/hepex_model.dir/equations.cpp.o.d"
+  "CMakeFiles/hepex_model.dir/naive.cpp.o"
+  "CMakeFiles/hepex_model.dir/naive.cpp.o.d"
+  "CMakeFiles/hepex_model.dir/predictor.cpp.o"
+  "CMakeFiles/hepex_model.dir/predictor.cpp.o.d"
+  "CMakeFiles/hepex_model.dir/sensitivity.cpp.o"
+  "CMakeFiles/hepex_model.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/hepex_model.dir/serialize.cpp.o"
+  "CMakeFiles/hepex_model.dir/serialize.cpp.o.d"
+  "CMakeFiles/hepex_model.dir/whatif.cpp.o"
+  "CMakeFiles/hepex_model.dir/whatif.cpp.o.d"
+  "libhepex_model.a"
+  "libhepex_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepex_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepex_pareto.dir/frontier.cpp.o"
+  "CMakeFiles/hepex_pareto.dir/frontier.cpp.o.d"
+  "CMakeFiles/hepex_pareto.dir/hetero.cpp.o"
+  "CMakeFiles/hepex_pareto.dir/hetero.cpp.o.d"
+  "CMakeFiles/hepex_pareto.dir/metrics.cpp.o"
+  "CMakeFiles/hepex_pareto.dir/metrics.cpp.o.d"
+  "libhepex_pareto.a"
+  "libhepex_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepex_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepex_sim.dir/queueing.cpp.o"
+  "CMakeFiles/hepex_sim.dir/queueing.cpp.o.d"
+  "CMakeFiles/hepex_sim.dir/resource.cpp.o"
+  "CMakeFiles/hepex_sim.dir/resource.cpp.o.d"
+  "CMakeFiles/hepex_sim.dir/simulator.cpp.o"
+  "CMakeFiles/hepex_sim.dir/simulator.cpp.o.d"
+  "libhepex_sim.a"
+  "libhepex_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepex_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/execution_engine.cpp" "src/trace/CMakeFiles/hepex_trace.dir/execution_engine.cpp.o" "gcc" "src/trace/CMakeFiles/hepex_trace.dir/execution_engine.cpp.o.d"
+  "/root/repo/src/trace/netpipe.cpp" "src/trace/CMakeFiles/hepex_trace.dir/netpipe.cpp.o" "gcc" "src/trace/CMakeFiles/hepex_trace.dir/netpipe.cpp.o.d"
+  "/root/repo/src/trace/power_meter.cpp" "src/trace/CMakeFiles/hepex_trace.dir/power_meter.cpp.o" "gcc" "src/trace/CMakeFiles/hepex_trace.dir/power_meter.cpp.o.d"
+  "/root/repo/src/trace/profiler.cpp" "src/trace/CMakeFiles/hepex_trace.dir/profiler.cpp.o" "gcc" "src/trace/CMakeFiles/hepex_trace.dir/profiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hepex_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hepex_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hepex_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hepex_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

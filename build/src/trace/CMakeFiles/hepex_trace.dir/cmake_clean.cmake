@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepex_trace.dir/execution_engine.cpp.o"
+  "CMakeFiles/hepex_trace.dir/execution_engine.cpp.o.d"
+  "CMakeFiles/hepex_trace.dir/netpipe.cpp.o"
+  "CMakeFiles/hepex_trace.dir/netpipe.cpp.o.d"
+  "CMakeFiles/hepex_trace.dir/power_meter.cpp.o"
+  "CMakeFiles/hepex_trace.dir/power_meter.cpp.o.d"
+  "CMakeFiles/hepex_trace.dir/profiler.cpp.o"
+  "CMakeFiles/hepex_trace.dir/profiler.cpp.o.d"
+  "libhepex_trace.a"
+  "libhepex_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepex_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

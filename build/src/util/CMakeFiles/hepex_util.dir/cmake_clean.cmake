@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepex_util.dir/cli.cpp.o"
+  "CMakeFiles/hepex_util.dir/cli.cpp.o.d"
+  "CMakeFiles/hepex_util.dir/rng.cpp.o"
+  "CMakeFiles/hepex_util.dir/rng.cpp.o.d"
+  "CMakeFiles/hepex_util.dir/statistics.cpp.o"
+  "CMakeFiles/hepex_util.dir/statistics.cpp.o.d"
+  "CMakeFiles/hepex_util.dir/table.cpp.o"
+  "CMakeFiles/hepex_util.dir/table.cpp.o.d"
+  "libhepex_util.a"
+  "libhepex_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepex_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/comm_pattern.cpp" "src/workload/CMakeFiles/hepex_workload.dir/comm_pattern.cpp.o" "gcc" "src/workload/CMakeFiles/hepex_workload.dir/comm_pattern.cpp.o.d"
+  "/root/repo/src/workload/input_class.cpp" "src/workload/CMakeFiles/hepex_workload.dir/input_class.cpp.o" "gcc" "src/workload/CMakeFiles/hepex_workload.dir/input_class.cpp.o.d"
+  "/root/repo/src/workload/program.cpp" "src/workload/CMakeFiles/hepex_workload.dir/program.cpp.o" "gcc" "src/workload/CMakeFiles/hepex_workload.dir/program.cpp.o.d"
+  "/root/repo/src/workload/programs.cpp" "src/workload/CMakeFiles/hepex_workload.dir/programs.cpp.o" "gcc" "src/workload/CMakeFiles/hepex_workload.dir/programs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hepex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepex_workload.dir/comm_pattern.cpp.o"
+  "CMakeFiles/hepex_workload.dir/comm_pattern.cpp.o.d"
+  "CMakeFiles/hepex_workload.dir/input_class.cpp.o"
+  "CMakeFiles/hepex_workload.dir/input_class.cpp.o.d"
+  "CMakeFiles/hepex_workload.dir/program.cpp.o"
+  "CMakeFiles/hepex_workload.dir/program.cpp.o.d"
+  "CMakeFiles/hepex_workload.dir/programs.cpp.o"
+  "CMakeFiles/hepex_workload.dir/programs.cpp.o.d"
+  "libhepex_workload.a"
+  "libhepex_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepex_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

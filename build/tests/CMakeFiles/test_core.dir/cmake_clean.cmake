@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_advisor.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_advisor.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_report.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_report.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_ucr_crosscheck.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_ucr_crosscheck.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_validation.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_validation.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

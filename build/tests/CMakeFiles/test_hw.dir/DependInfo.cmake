@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hw/test_cache.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_cache.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_cache.cpp.o.d"
+  "/root/repo/tests/hw/test_dvfs_policy.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_dvfs_policy.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_dvfs_policy.cpp.o.d"
+  "/root/repo/tests/hw/test_machine.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_machine.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_machine.cpp.o.d"
+  "/root/repo/tests/hw/test_modern_preset.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_modern_preset.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_modern_preset.cpp.o.d"
+  "/root/repo/tests/hw/test_network.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_network.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_network.cpp.o.d"
+  "/root/repo/tests/hw/test_power.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_power.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_power.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hepex_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pareto/CMakeFiles/hepex_pareto.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/hepex_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hepex_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hepex_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hepex_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hepex_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hepex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

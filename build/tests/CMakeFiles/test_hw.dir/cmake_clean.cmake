@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw.dir/hw/test_cache.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_cache.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_dvfs_policy.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_dvfs_policy.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_machine.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_machine.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_modern_preset.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_modern_preset.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_network.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_network.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_power.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_power.cpp.o.d"
+  "test_hw"
+  "test_hw.pdb"
+  "test_hw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

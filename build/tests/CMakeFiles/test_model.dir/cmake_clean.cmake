@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model.dir/model/test_bounds.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_bounds.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_characterization.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_characterization.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_equations.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_equations.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_naive.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_naive.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_predictor.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_predictor.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_sensitivity.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_sensitivity.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_serialize.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_serialize.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_whatif.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_whatif.cpp.o.d"
+  "test_model"
+  "test_model.pdb"
+  "test_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pareto.dir/pareto/test_frontier.cpp.o"
+  "CMakeFiles/test_pareto.dir/pareto/test_frontier.cpp.o.d"
+  "CMakeFiles/test_pareto.dir/pareto/test_hetero.cpp.o"
+  "CMakeFiles/test_pareto.dir/pareto/test_hetero.cpp.o.d"
+  "CMakeFiles/test_pareto.dir/pareto/test_metrics.cpp.o"
+  "CMakeFiles/test_pareto.dir/pareto/test_metrics.cpp.o.d"
+  "test_pareto"
+  "test_pareto.pdb"
+  "test_pareto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace.dir/trace/test_engine.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_engine.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_engine_grid.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_engine_grid.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_netpipe.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_netpipe.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_power_meter.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_power_meter.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_profiler.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_profiler.cpp.o.d"
+  "test_trace"
+  "test_trace.pdb"
+  "test_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

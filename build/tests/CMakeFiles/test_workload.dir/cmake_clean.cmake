@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload.dir/workload/test_comm_pattern.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_comm_pattern.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_extended_programs.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_extended_programs.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_input_class.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_input_class.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_programs.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_programs.cpp.o.d"
+  "test_workload"
+  "test_workload.pdb"
+  "test_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepex.dir/hepex_cli.cpp.o"
+  "CMakeFiles/hepex.dir/hepex_cli.cpp.o.d"
+  "hepex"
+  "hepex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
