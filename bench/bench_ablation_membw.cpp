@@ -11,7 +11,8 @@
 
 using namespace hepex;
 
-int main() {
+int main(int argc, char** argv) {
+  hepex::bench::ProfileSession profile(argc, argv);
   bench::banner(
       "Ablation (SecV-B) — what-if component upgrades vs UCR / time / energy",
       "2x memory bandwidth: SP on Xeon (1,8,1.8) UCR 0.67 -> 0.81, "

@@ -44,7 +44,8 @@ void run_case(const hw::MachineSpec& machine, const char* prog_name,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hepex::bench::ProfileSession profile(argc, argv);
   bench::banner(
       "Extension — inter-node slack DVFS on top of static configurations",
       "runtime DVFS composes with the model's Pareto configurations "

@@ -15,7 +15,8 @@
 
 using namespace hepex;
 
-int main() {
+int main(int argc, char** argv) {
+  hepex::bench::ProfileSession profile(argc, argv);
   bench::banner(
       "Extension — energy proportionality vs the Pareto frontier",
       "idle power dominates both validation clusters; the frugal end of "

@@ -11,7 +11,8 @@
 
 using namespace hepex;
 
-int main() {
+int main(int argc, char** argv) {
+  hepex::bench::ProfileSession profile(argc, argv);
   bench::banner(
       "Extension — cross-machine frontier: Xeon vs ARM per program",
       "the fast Xeon cluster wins tight deadlines; the low-power ARM "

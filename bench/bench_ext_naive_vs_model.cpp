@@ -13,7 +13,8 @@
 
 using namespace hepex;
 
-int main() {
+int main(int argc, char** argv) {
+  hepex::bench::ProfileSession profile(argc, argv);
   bench::banner(
       "Extension — measurement-driven model vs first-principles baseline",
       "SecII-A: 'this work uses measurements to derive inputs to the "

@@ -13,7 +13,8 @@
 
 using namespace hepex;
 
-int main() {
+int main(int argc, char** argv) {
+  hepex::bench::ProfileSession profile(argc, argv);
   bench::banner(
       "Extension — sensitivity of predictions to characterized inputs",
       "SecIV-C in the forward direction: error bars on predictions and "

@@ -12,7 +12,8 @@
 
 using namespace hepex;
 
-int main() {
+int main(int argc, char** argv) {
+  hepex::bench::ProfileSession profile(argc, argv);
   bench::banner(
       "Figure 10 — UCR and time-energy performance on the Xeon cluster",
       "BT has the highest UCR (~0.96 peak); UCR drops as n, c or f grow; "

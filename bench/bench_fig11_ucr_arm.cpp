@@ -12,7 +12,8 @@
 
 using namespace hepex;
 
-int main() {
+int main(int argc, char** argv) {
+  hepex::bench::ProfileSession profile(argc, argv);
   bench::banner(
       "Figure 11 — UCR and time-energy performance on the ARM cluster",
       "ARM UCR is far below Xeon for the same programs (BT ~0.5 vs 0.96): "

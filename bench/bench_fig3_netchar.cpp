@@ -7,7 +7,8 @@
 
 using namespace hepex;
 
-int main() {
+int main(int argc, char** argv) {
+  hepex::bench::ProfileSession profile(argc, argv);
   bench::banner(
       "Figure 3 — network characterization (NetPIPE, 100 Mbps link)",
       "max achievable throughput ~90 Mbps on a 100 Mbps Ethernet link due "

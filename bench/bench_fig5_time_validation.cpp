@@ -39,7 +39,8 @@ void run_panel(const hw::MachineSpec& machine, const std::string& prog_name,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hepex::bench::ProfileSession profile(argc, argv);
   bench::banner(
       "Figure 5 — execution time validation (measured vs predicted)",
       "predictions follow measured trends across all (n,c); worst-case "

@@ -44,7 +44,8 @@ void run_panel(const hw::MachineSpec& machine, const std::string& prog_name,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hepex::bench::ProfileSession profile(argc, argv);
   bench::banner(
       "Figure 6 — energy validation (measured vs predicted)",
       "predicted energy follows measured trends; LB is underestimated at "

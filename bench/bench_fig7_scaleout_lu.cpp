@@ -9,7 +9,8 @@
 
 using namespace hepex;
 
-int main() {
+int main(int argc, char** argv) {
+  hepex::bench::ProfileSession profile(argc, argv);
   bench::banner(
       "Figure 7 — scale-out program LU, class C on Xeon",
       "model scaled from a 4x-smaller baseline still tracks both time and "

@@ -8,7 +8,8 @@
 
 using namespace hepex;
 
-int main() {
+int main(int argc, char** argv) {
+  hepex::bench::ProfileSession profile(argc, argv);
   bench::banner(
       "Figure 8 — Xeon cluster executing SP: 216 configs + Pareto frontier",
       "a Pareto frontier exists; relaxed deadlines use FEWER nodes and "

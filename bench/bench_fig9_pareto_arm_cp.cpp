@@ -8,7 +8,8 @@
 
 using namespace hepex;
 
-int main() {
+int main(int argc, char** argv) {
+  hepex::bench::ProfileSession profile(argc, argv);
   bench::banner(
       "Figure 9 — ARM cluster executing CP: 400 configs + Pareto frontier",
       "frontier spans UCR ~0.48 at (1,1,0.2) to ~0.10 at (20,4,1.4); "

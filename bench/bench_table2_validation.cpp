@@ -10,7 +10,8 @@
 
 using namespace hepex;
 
-int main() {
+int main(int argc, char** argv) {
+  hepex::bench::ProfileSession profile(argc, argv);
   bench::banner(
       "Table 2 — cluster validation results (full grid)",
       "mean errors 1-8% (time) and 1-15% (energy), std devs 2-14%; "

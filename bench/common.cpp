@@ -2,9 +2,29 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 
+#include "obs/profiler.hpp"
+
 namespace hepex::bench {
+
+ProfileSession::ProfileSession(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--profile") == 0) {
+      enabled_ = true;
+      break;
+    }
+  }
+  if (enabled_) obs::Profiler::instance().set_enabled(true);
+}
+
+ProfileSession::~ProfileSession() {
+  if (!enabled_) return;
+  const std::string report = obs::Profiler::instance().report();
+  std::fprintf(stderr, "\nhost-time profile:\n%s",
+               report.empty() ? "(no timers fired)\n" : report.c_str());
+}
 
 void banner(const std::string& artefact, const std::string& paper_claim) {
   std::printf("================================================================\n");

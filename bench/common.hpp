@@ -8,6 +8,24 @@
 
 namespace hepex::bench {
 
+/// Scans argv for `--profile`; when present, enables the obs::Profiler
+/// for the process and prints the scoped-timer report (where host time
+/// went: characterization, model evaluation, frontier extraction) to
+/// stderr at destruction. Construct first thing in a bench's main().
+class ProfileSession {
+ public:
+  ProfileSession(int argc, const char* const* argv);
+  ~ProfileSession();
+
+  ProfileSession(const ProfileSession&) = delete;
+  ProfileSession& operator=(const ProfileSession&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+ private:
+  bool enabled_ = false;
+};
+
 /// Print the standard bench banner: which paper artefact this binary
 /// regenerates and what the paper reports for it.
 void banner(const std::string& artefact, const std::string& paper_claim);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/log.hpp"
+#include "obs/profiler.hpp"
 #include "util/error.hpp"
 
 namespace hepex::core {
@@ -21,7 +23,12 @@ Advisor::Advisor(hw::MachineSpec machine, workload::ProgramSpec program,
       ch_(std::move(prebuilt)) {}
 
 const model::Characterization& Advisor::characterization() {
-  if (!ch_) ch_ = model::characterize(machine_, program_, options_);
+  if (!ch_) {
+    HEPEX_PROFILE_SCOPE("advisor.characterization");
+    HEPEX_LOG_INFO("advisor", "characterizing",
+                   {{"machine", machine_.name}, {"program", program_.name}});
+    ch_ = model::characterize(machine_, program_, options_);
+  }
   return *ch_;
 }
 
@@ -32,8 +39,11 @@ model::Prediction Advisor::predict(const hw::ClusterConfig& config) {
 
 const std::vector<pareto::ConfigPoint>& Advisor::explore() {
   if (!space_) {
+    HEPEX_PROFILE_SCOPE("advisor.explore");
     space_ = pareto::sweep_model_space(characterization(),
                                        model::target_of(program_));
+    HEPEX_LOG_DEBUG("advisor", "explored configuration space",
+                    {{"points", space_->size()}});
   }
   return *space_;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/log.hpp"
 #include "util/error.hpp"
 
 namespace hepex::hw {
@@ -35,10 +36,21 @@ double SlackStepPolicy::next_frequency(const SlackObservation& obs,
     // 1/f (memory stalls actually do not, so this is conservative).
     const double cost =
         obs.busy_fraction * (fs[idx] / fs[idx - 1] - 1.0);
-    if (cost <= margin_ * obs.slack_fraction) return fs[idx - 1];
+    if (cost <= margin_ * obs.slack_fraction) {
+      HEPEX_LOG_DEBUG("dvfs", "step down",
+                      {{"node", obs.node},
+                       {"slack", obs.slack_fraction},
+                       {"cost", cost},
+                       {"to_ghz", fs[idx - 1] / 1e9}});
+      return fs[idx - 1];
+    }
   }
   if (obs.slack_fraction < up_threshold_ && idx + 1 < fs.size() &&
       fs[idx + 1] <= obs.f_configured_hz + 1e3) {
+    HEPEX_LOG_DEBUG("dvfs", "step up",
+                    {{"node", obs.node},
+                     {"slack", obs.slack_fraction},
+                     {"to_ghz", fs[idx + 1] / 1e9}});
     return fs[idx + 1];
   }
   return fs[idx];

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/profiler.hpp"
 #include "util/error.hpp"
 #include "workload/programs.hpp"
 #include "util/rng.hpp"
@@ -81,6 +82,7 @@ PowerCharacterization characterize_power(const hw::MachineSpec& m,
 Characterization characterize(const hw::MachineSpec& machine,
                               const workload::ProgramSpec& program,
                               const CharacterizationOptions& options) {
+  HEPEX_PROFILE_SCOPE("model.characterize");
   HEPEX_REQUIRE(options.baseline_class < program.input,
                 "baseline input class must be smaller than the target");
 

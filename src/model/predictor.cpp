@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "model/equations.hpp"
+#include "obs/profiler.hpp"
 #include "util/error.hpp"
 
 namespace hepex::model {
@@ -41,6 +42,7 @@ CommScaling comm_scaling(workload::CommPattern pattern, int n, int n_probe) {
 
 Prediction predict(const Characterization& ch, const TargetInfo& target,
                    const hw::ClusterConfig& cfg) {
+  HEPEX_PROFILE_SCOPE("model.predict");
   namespace eq = equations;
   hw::validate_config(ch.machine, cfg, /*require_physical=*/false);
   HEPEX_REQUIRE(target.iterations >= 1, "target needs >= 1 iteration");

@@ -1,0 +1,122 @@
+#include "obs/log.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace hepex::obs {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+Log::Sink g_sink;  // empty -> stderr
+
+/// logfmt values need quoting when they contain spaces, quotes or '='.
+bool needs_quoting(std::string_view v) {
+  if (v.empty()) return true;
+  for (char c : v) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\\' || c == '\n' ||
+        c == '\t') {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string quote(std::string_view v) {
+  std::string out;
+  out.reserve(v.size() + 2);
+  out.push_back('"');
+  for (char c : v) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string render_string(std::string_view v) {
+  return needs_quoting(v) ? quote(v) : std::string(v);
+}
+
+std::string render_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kOff: return "off";
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kTrace: return "trace";
+  }
+  return "?";
+}
+
+LogLevel log_level_from_string(const std::string& name) {
+  for (LogLevel l : {LogLevel::kOff, LogLevel::kError, LogLevel::kWarn,
+                     LogLevel::kInfo, LogLevel::kDebug, LogLevel::kTrace}) {
+    if (name == to_string(l)) return l;
+  }
+  throw std::invalid_argument(
+      "unknown log level '" + name +
+      "' (use off, error, warn, info, debug or trace)");
+}
+
+LogField::LogField(std::string_view k, std::string_view v)
+    : key(k), value(render_string(v)) {}
+LogField::LogField(std::string_view k, const char* v)
+    : LogField(k, std::string_view(v)) {}
+LogField::LogField(std::string_view k, const std::string& v)
+    : LogField(k, std::string_view(v)) {}
+LogField::LogField(std::string_view k, double v)
+    : key(k), value(render_double(v)) {}
+LogField::LogField(std::string_view k, int v)
+    : key(k), value(std::to_string(v)) {}
+LogField::LogField(std::string_view k, std::int64_t v)
+    : key(k), value(std::to_string(v)) {}
+LogField::LogField(std::string_view k, std::uint64_t v)
+    : key(k), value(std::to_string(v)) {}
+LogField::LogField(std::string_view k, bool v)
+    : key(k), value(v ? "true" : "false") {}
+
+void Log::set_level(LogLevel level) { g_level = level; }
+
+LogLevel Log::level() { return g_level; }
+
+void Log::set_sink(Sink sink) { g_sink = std::move(sink); }
+
+void Log::emit(LogLevel level, std::string_view component,
+               std::string_view message,
+               std::initializer_list<LogField> fields) {
+  std::string line;
+  line.reserve(64);
+  line += "level=";
+  line += to_string(level);
+  line += " comp=";
+  line += render_string(component);
+  line += " msg=";
+  line += quote(message);
+  for (const LogField& f : fields) {
+    line.push_back(' ');
+    line += f.key;
+    line.push_back('=');
+    line += f.value;
+  }
+  if (g_sink) {
+    g_sink(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+}  // namespace hepex::obs

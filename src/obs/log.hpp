@@ -1,0 +1,120 @@
+#pragma once
+/// \file log.hpp
+/// \brief Leveled structured logging for the HEPEX stack.
+///
+/// Design goals (see docs/observability.md):
+///  - *structured*: every record is `level=<l> comp=<c> msg="..." k=v ...`
+///    (logfmt), so grep/awk pipelines and log shippers can parse it without
+///    regex heroics;
+///  - *leveled*: a runtime level gate (`Log::set_level`) plus a
+///    compile-time ceiling (`HEPEX_LOG_MAX_LEVEL`) — statements above the
+///    ceiling are discarded by `if constexpr` and cost literally nothing,
+///    which is what lets debug logging live inside the simulator's event
+///    callbacks;
+///  - *testable*: the sink is replaceable (`Log::set_sink`), default
+///    stderr.
+///
+/// Use the macros, not `Log::emit`, so both gates apply:
+///
+/// ```
+///   HEPEX_LOG_DEBUG("engine", "dvfs transition",
+///                   {{"node", node}, {"f_ghz", f / 1e9}});
+/// ```
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+
+namespace hepex::obs {
+
+/// Severity levels, most severe first. `kOff` disables everything.
+enum class LogLevel : int {
+  kOff = 0,
+  kError = 1,
+  kWarn = 2,
+  kInfo = 3,
+  kDebug = 4,
+  kTrace = 5,
+};
+
+/// Lower-case level name ("error", "warn", ...).
+const char* to_string(LogLevel level);
+
+/// Parse "off|error|warn|info|debug|trace" (case-sensitive).
+/// Throws std::invalid_argument for anything else.
+LogLevel log_level_from_string(const std::string& name);
+
+/// One key=value pair of a structured record. Values are rendered at
+/// construction; the macros guarantee construction only happens when the
+/// record is actually emitted.
+struct LogField {
+  LogField(std::string_view key, std::string_view value);
+  LogField(std::string_view key, const char* value);
+  LogField(std::string_view key, const std::string& value);
+  LogField(std::string_view key, double value);
+  LogField(std::string_view key, int value);
+  LogField(std::string_view key, std::int64_t value);
+  LogField(std::string_view key, std::uint64_t value);
+  LogField(std::string_view key, bool value);
+
+  std::string key;
+  std::string value;  ///< already rendered (strings are quoted if needed)
+};
+
+/// Process-wide logger front end. All members are static: HEPEX is
+/// single-threaded per process and log configuration is global by nature.
+class Log {
+ public:
+  using Sink = std::function<void(std::string_view line)>;
+
+  /// Runtime level gate; records above `level` are dropped.
+  static void set_level(LogLevel level);
+  static LogLevel level();
+
+  /// True when a record at `l` passes the runtime gate.
+  static bool enabled(LogLevel l) {
+    return static_cast<int>(l) <= static_cast<int>(level()) &&
+           l != LogLevel::kOff;
+  }
+
+  /// Replace the output sink (empty restores the stderr default).
+  /// The sink receives one complete, newline-free record per call.
+  static void set_sink(Sink sink);
+
+  /// Format and emit one record. Prefer the HEPEX_LOG_* macros.
+  static void emit(LogLevel level, std::string_view component,
+                   std::string_view message,
+                   std::initializer_list<LogField> fields = {});
+};
+
+}  // namespace hepex::obs
+
+/// Compile-time ceiling: statements with a level above it compile to
+/// nothing. 0=off 1=error 2=warn 3=info 4=debug 5=trace.
+#ifndef HEPEX_LOG_MAX_LEVEL
+#define HEPEX_LOG_MAX_LEVEL 4
+#endif
+
+#define HEPEX_LOG_AT(level_, component_, ...)                                \
+  do {                                                                       \
+    if constexpr (static_cast<int>(::hepex::obs::LogLevel::level_) <=        \
+                  HEPEX_LOG_MAX_LEVEL) {                                     \
+      if (::hepex::obs::Log::enabled(::hepex::obs::LogLevel::level_)) {      \
+        ::hepex::obs::Log::emit(::hepex::obs::LogLevel::level_, component_,  \
+                                __VA_ARGS__);                                \
+      }                                                                      \
+    }                                                                        \
+  } while (0)
+
+#define HEPEX_LOG_ERROR(component_, ...) \
+  HEPEX_LOG_AT(kError, component_, __VA_ARGS__)
+#define HEPEX_LOG_WARN(component_, ...) \
+  HEPEX_LOG_AT(kWarn, component_, __VA_ARGS__)
+#define HEPEX_LOG_INFO(component_, ...) \
+  HEPEX_LOG_AT(kInfo, component_, __VA_ARGS__)
+#define HEPEX_LOG_DEBUG(component_, ...) \
+  HEPEX_LOG_AT(kDebug, component_, __VA_ARGS__)
+#define HEPEX_LOG_TRACE(component_, ...) \
+  HEPEX_LOG_AT(kTrace, component_, __VA_ARGS__)

@@ -1,0 +1,55 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+
+#include "util/table.hpp"
+
+namespace hepex::obs {
+
+Profiler& Profiler::instance() {
+  static Profiler p;
+  return p;
+}
+
+void Profiler::record(const char* name, double seconds) {
+  Cell& c = cells_[name];
+  c.calls += 1;
+  c.total_s += seconds;
+  c.max_s = std::max(c.max_s, seconds);
+}
+
+std::vector<Profiler::Entry> Profiler::entries() const {
+  std::vector<Entry> out;
+  out.reserve(cells_.size());
+  for (const auto& [name, c] : cells_) {
+    out.push_back(Entry{name, c.calls, c.total_s, c.max_s});
+  }
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    return a.total_s > b.total_s;
+  });
+  return out;
+}
+
+std::string Profiler::report() const {
+  const auto rows = entries();
+  if (rows.empty()) return "";
+  double grand_total = 0.0;
+  for (const auto& e : rows) grand_total += e.total_s;
+
+  util::Table t({"timer", "calls", "total [ms]", "mean [us]", "max [us]",
+                 "share [%]"});
+  for (const auto& e : rows) {
+    const double mean_us =
+        e.calls > 0 ? e.total_s / static_cast<double>(e.calls) * 1e6 : 0.0;
+    const double share =
+        grand_total > 0.0 ? e.total_s / grand_total * 100.0 : 0.0;
+    t.add_row({e.name, std::to_string(e.calls), util::fmt(e.total_s * 1e3, 2),
+               util::fmt(mean_us, 1), util::fmt(e.max_s * 1e6, 1),
+               util::fmt(share, 1)});
+  }
+  return t.to_text();
+}
+
+void Profiler::reset() { cells_.clear(); }
+
+}  // namespace hepex::obs

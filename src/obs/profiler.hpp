@@ -1,0 +1,96 @@
+#pragma once
+/// \file profiler.hpp
+/// \brief Scoped host-time profiling for HEPEX's own hot paths.
+///
+/// Everything else in `hepex::obs` observes *virtual* time inside the
+/// simulated cluster; this observes *host* time spent in the library —
+/// characterization, model evaluation, frontier extraction — so BENCH
+/// runs and the CLI can attribute where a slow invocation went.
+///
+/// Usage: drop `HEPEX_PROFILE_SCOPE("model.predict");` at the top of a
+/// function. Disabled (the default) a scope costs one branch on a bool;
+/// no clock is read, nothing allocates. Enable with
+/// `Profiler::instance().set_enabled(true)` (the CLI's `--profile` flag
+/// and `bench::ProfileSession` do this), then print
+/// `Profiler::instance().report()`.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hepex::obs {
+
+/// Process-wide accumulator of named timer totals.
+class Profiler {
+ public:
+  static Profiler& instance();
+
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  /// Fold one sample into the named timer.
+  void record(const char* name, double seconds);
+
+  struct Entry {
+    std::string name;
+    std::uint64_t calls = 0;
+    double total_s = 0.0;
+    double max_s = 0.0;
+  };
+
+  /// Snapshot sorted by descending total time.
+  std::vector<Entry> entries() const;
+
+  /// Human-readable table: timer, calls, total, mean, share of the
+  /// profiled total. Empty string when nothing was recorded.
+  std::string report() const;
+
+  /// Drop all samples (keeps the enabled flag).
+  void reset();
+
+ private:
+  struct Cell {
+    std::uint64_t calls = 0;
+    double total_s = 0.0;
+    double max_s = 0.0;
+  };
+
+  bool enabled_ = false;
+  std::map<std::string, Cell> cells_;
+};
+
+/// RAII timer; reads the clock only when the profiler is enabled at
+/// construction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* name) {
+    if (Profiler::instance().enabled()) {
+      name_ = name;
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~ScopedTimer() {
+    if (name_ != nullptr) {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      Profiler::instance().record(
+          name_, std::chrono::duration<double>(elapsed).count());
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace hepex::obs
+
+#define HEPEX_PROFILE_CONCAT_IMPL(a, b) a##b
+#define HEPEX_PROFILE_CONCAT(a, b) HEPEX_PROFILE_CONCAT_IMPL(a, b)
+/// Time the enclosing scope under `name_` (a string literal).
+#define HEPEX_PROFILE_SCOPE(name_)               \
+  ::hepex::obs::ScopedTimer HEPEX_PROFILE_CONCAT( \
+      hepex_profile_scope_, __LINE__)(name_)

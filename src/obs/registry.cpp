@@ -1,0 +1,150 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace hepex::obs {
+namespace {
+
+/// Shortest representation that round-trips a double through text.
+std::string json_number(double v) {
+  char buf[64];
+  for (int precision : {15, 16, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == v) break;
+  }
+  return buf;
+}
+
+std::string json_string(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof(esc), "\\u%04x", c);
+          out += esc;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      counts_(bounds_.size() + 1, 0) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument(
+        "histogram bucket bounds must be strictly ascending");
+  }
+}
+
+void Histogram::observe(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())] += 1;
+  ++count_;
+  sum_ += x;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+Counter& Registry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& Registry::gauge(const std::string& name) { return gauges_[name]; }
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> upper_bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Histogram(std::move(upper_bounds)))
+      .first->second;
+}
+
+const Counter* Registry::find_counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? &it->second : nullptr;
+}
+
+const Gauge* Registry::find_gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it != gauges_.end() ? &it->second : nullptr;
+}
+
+const Histogram* Registry::find_histogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it != histograms_.end() ? &it->second : nullptr;
+}
+
+void Registry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+std::string Registry::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n" : ",\n";
+    out += "    " + json_string(name) + ": " + std::to_string(c.value());
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n" : ",\n";
+    out += "    " + json_string(name) + ": " + json_number(g.value());
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n" : ",\n";
+    out += "    " + json_string(name) + ": {\"count\": " +
+           std::to_string(h.count()) + ", \"sum\": " + json_number(h.sum());
+    if (h.count() > 0) {
+      out += ", \"min\": " + json_number(h.min()) +
+             ", \"max\": " + json_number(h.max());
+    } else {
+      out += ", \"min\": null, \"max\": null";
+    }
+    out += ", \"buckets\": [";
+    const auto& counts = h.bucket_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "{\"le\": ";
+      out += i < h.bounds().size() ? json_number(h.bounds()[i])
+                                   : std::string("\"+Inf\"");
+      out += ", \"count\": " + std::to_string(counts[i]) + "}";
+    }
+    out += "]}";
+    first = false;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace hepex::obs

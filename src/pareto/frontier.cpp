@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/profiler.hpp"
 #include "util/error.hpp"
 
 namespace hepex::pareto {
@@ -13,6 +14,7 @@ bool dominates(const ConfigPoint& a, const ConfigPoint& b) {
 }
 
 std::vector<ConfigPoint> pareto_frontier(std::vector<ConfigPoint> points) {
+  HEPEX_PROFILE_SCOPE("pareto.frontier");
   // Sort by time, breaking ties by energy; then a single pass keeps the
   // points whose energy strictly improves on everything faster.
   std::sort(points.begin(), points.end(),
@@ -65,6 +67,7 @@ std::optional<ConfigPoint> min_time_within_budget(
 std::vector<ConfigPoint> sweep_model(const model::Characterization& ch,
                                      const model::TargetInfo& target,
                                      const std::vector<hw::ClusterConfig>& cfgs) {
+  HEPEX_PROFILE_SCOPE("pareto.sweep_model");
   std::vector<ConfigPoint> out;
   out.reserve(cfgs.size());
   for (const auto& cfg : cfgs) {

@@ -11,7 +11,9 @@ Resource::Resource(Simulator& sim, std::string name, int servers)
 
 void Resource::request(double service_time, Completion on_complete) {
   HEPEX_REQUIRE(service_time >= 0.0, "service time must be non-negative");
-  Job job{service_time, sim_.now(), std::move(on_complete)};
+  const std::size_t depth =
+      waiting_.size() + static_cast<std::size_t>(busy_);
+  Job job{service_time, sim_.now(), depth, std::move(on_complete)};
   if (busy_ < servers_) {
     wait_stats_.add(0.0);
     start(std::move(job), 0.0);
@@ -26,8 +28,15 @@ void Resource::start(Job job, double waited) {
   service_stats_.add(job.service_time);
   // Completion event: free the server, dispatch the next waiter, then run
   // the caller's continuation.
-  sim_.schedule(job.service_time,
-                [this, waited, cb = std::move(job.on_complete)]() {
+  const double service = job.service_time;
+  const double arrival = job.arrival;
+  // Capture the absolute start now: reconstructing it later as
+  // finish - service loses ~0.1 us to cancellation at minute-scale
+  // timestamps, enough to make adjacent trace spans appear to overlap.
+  const double started = sim_.now();
+  const std::size_t depth = job.depth_at_arrival;
+  sim_.schedule(service, [this, waited, service, arrival, started, depth,
+                          cb = std::move(job.on_complete)]() {
     --busy_;
     ++completed_;
     if (!waiting_.empty()) {
@@ -36,6 +45,16 @@ void Resource::start(Job job, double waited) {
       const double w = sim_.now() - next.arrival;
       wait_stats_.add(w);
       start(std::move(next), w);
+    }
+    if (observer_) {
+      JobObservation obs;
+      obs.arrival_s = arrival;
+      obs.finish_s = sim_.now();
+      obs.start_s = started;
+      obs.service_s = service;
+      obs.waited_s = waited;
+      obs.depth_at_arrival = depth;
+      observer_(*this, obs);
     }
     if (cb) cb(waited);
   });

@@ -25,6 +25,26 @@ class Resource {
   /// waiting in queue before service started.
   using Completion = std::function<void(double waited)>;
 
+  /// Everything an observer needs to reconstruct one job's life cycle:
+  /// queue interval `[arrival_s, start_s]`, service interval
+  /// `[start_s, finish_s]`, and the backlog it arrived behind.
+  struct JobObservation {
+    double arrival_s = 0.0;  ///< when request() was called
+    double start_s = 0.0;    ///< when a server picked the job up
+    double finish_s = 0.0;   ///< when service completed (== now())
+    double service_s = 0.0;  ///< requested service time
+    double waited_s = 0.0;   ///< start_s - arrival_s
+    /// Jobs in service or queued ahead at arrival (excluding this one).
+    std::size_t depth_at_arrival = 0;
+  };
+
+  /// Called once per job, at service completion, before the job's own
+  /// completion callback. Observation must be passive: the observer must
+  /// not submit new requests from inside the callback. Used by
+  /// `hepex::obs` to export per-resource timeline spans and queue-depth
+  /// histograms without perturbing the simulation.
+  using Observer = std::function<void(const Resource&, const JobObservation&)>;
+
   /// \param sim      owning simulator (must outlive the resource)
   /// \param name     diagnostic name
   /// \param servers  number of parallel servers (>= 1)
@@ -36,6 +56,9 @@ class Resource {
   /// Submit a job needing `service_time` seconds of one server; calls
   /// `on_complete` when service finishes.
   void request(double service_time, Completion on_complete);
+
+  /// Attach (or clear, with an empty function) the per-job observer.
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
 
   /// Station name.
   const std::string& name() const { return name_; }
@@ -60,6 +83,7 @@ class Resource {
   struct Job {
     double service_time;
     double arrival;
+    std::size_t depth_at_arrival;
     Completion on_complete;
   };
 
@@ -74,6 +98,7 @@ class Resource {
   std::deque<Job> waiting_;
   util::Summary wait_stats_;
   util::Summary service_stats_;
+  Observer observer_;
 };
 
 /// Barrier: releases a callback when `count` parties have arrived, then

@@ -23,6 +23,7 @@ std::size_t Simulator::run(std::size_t max_events) {
     now_ = ev.time;
     ev.action();
     ++processed;
+    ++processed_;
   }
   return processed;
 }
@@ -35,6 +36,7 @@ std::size_t Simulator::run_until(double t_end) {
     now_ = ev.time;
     ev.action();
     ++processed;
+    ++processed_;
   }
   if (now_ < t_end) now_ = t_end;
   return processed;

@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <queue>
 #include <vector>
 
@@ -30,7 +31,8 @@ class Simulator {
 
   /// Process events until the calendar drains or `max_events` is hit.
   /// Returns the number of events processed.
-  std::size_t run(std::size_t max_events = static_cast<std::size_t>(-1));
+  std::size_t run(
+      std::size_t max_events = std::numeric_limits<std::size_t>::max());
 
   /// Process events with timestamp <= t_end; the clock stops at t_end if
   /// the calendar still has later events. Returns events processed.
@@ -41,6 +43,11 @@ class Simulator {
 
   /// Number of events scheduled over the simulator's lifetime.
   std::uint64_t total_scheduled() const { return seq_; }
+
+  /// Number of events processed over the simulator's lifetime (across
+  /// all run()/run_until() calls). Feeds the obs::Registry's
+  /// `sim.events_processed` counter.
+  std::uint64_t total_processed() const { return processed_; }
 
  private:
   struct Event {
@@ -57,6 +64,7 @@ class Simulator {
 
   double now_ = 0.0;
   std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> calendar_;
 };
 

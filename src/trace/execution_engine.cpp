@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "hw/dvfs_policy.hpp"
+#include "obs/log.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace_sink.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
 #include "util/error.hpp"
@@ -16,6 +20,16 @@ namespace {
 using hw::ClusterConfig;
 using hw::MachineSpec;
 using workload::ProgramSpec;
+
+// Trace-lane layout (docs/observability.md): within a node's pid, tids
+// 0..cores-1 are the compute lanes; the node's shared components get
+// fixed high tids so they never collide with a core index.
+constexpr int kMemLane = 100;      // memory-controller service
+constexpr int kStackLane = 101;    // MPI/TCP stack processing
+constexpr int kBarrierLane = 102;  // barrier waits + DVFS markers
+// A pseudo-process (pid = nodes) carries cluster-wide lanes.
+constexpr int kSwitchLane = 0;     // store-and-forward wire transfers
+constexpr int kIterationLane = 1;  // iteration phase spans
 
 /// Mutable state of one simulated run. Lives on the stack of simulate();
 /// event callbacks capture a pointer to it, and the event calendar drains
@@ -78,6 +92,15 @@ struct Run {
   double f_weighted_sum = 0.0;  // sum over (node, iteration) of f
   int f_samples = 0;
 
+  // Observability hooks (all null on the default, zero-overhead path).
+  obs::TraceSink* sink = nullptr;
+  obs::Registry* reg = nullptr;
+  obs::Histogram* h_mem_depth = nullptr;
+  obs::Histogram* h_mem_wait = nullptr;
+  obs::Histogram* h_barrier_wait = nullptr;
+  obs::Histogram* h_msg_bytes = nullptr;
+  obs::Counter* c_dvfs = nullptr;
+
   Run(const MachineSpec& m, const ProgramSpec& p, const ClusterConfig& c,
       const SimOptions& o)
       : machine(m), program(p), cfg(c), opt(o), rng(o.seed) {
@@ -102,6 +125,9 @@ struct Run {
     iter_stall_s.assign(nodes, 0.0);
     iter_comm_s.assign(nodes, 0.0);
     policy = opt.dvfs_policy.get();
+    sink = opt.trace;
+    reg = opt.metrics;
+    if (sink != nullptr || reg != nullptr) attach_observability();
   }
 
   const hw::Isa& isa() const { return machine.node.isa; }
@@ -110,6 +136,76 @@ struct Run {
   }
   void touch(int node) {
     node_busy_until[static_cast<std::size_t>(node)] = sim.now();
+  }
+  int lane_of(std::size_t tid) const {
+    return static_cast<int>(tid) % cfg.cores;
+  }
+  int cluster_pid() const { return cfg.nodes; }
+
+  // ---- observability wiring ----------------------------------------------
+
+  /// Name the timeline tracks, create the metric instruments, and attach
+  /// passive observers to the queueing resources. Nothing here (or in any
+  /// other obs hook) schedules events or consumes randomness, so the
+  /// simulated execution is bit-identical with or without it.
+  void attach_observability() {
+    if (sink != nullptr) {
+      for (int i = 0; i < cfg.nodes; ++i) {
+        sink->set_process_name(i, "node" + std::to_string(i));
+        for (int t = 0; t < cfg.cores; ++t) {
+          sink->set_thread_name(i, t, "core" + std::to_string(t));
+        }
+        sink->set_thread_name(i, kMemLane, "memctl");
+        sink->set_thread_name(i, kStackLane, "netstack");
+        sink->set_thread_name(i, kBarrierLane, "barrier");
+        sink->counter(i, "f [GHz]", 0.0, cfg.f_hz / 1e9);
+      }
+      sink->set_process_name(cluster_pid(), "cluster");
+      sink->set_thread_name(cluster_pid(), kSwitchLane, "switch");
+      sink->set_thread_name(cluster_pid(), kIterationLane, "iterations");
+    }
+    if (reg != nullptr) {
+      h_mem_depth = &reg->histogram(
+          "mem.queue_depth", {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+      h_mem_wait = &reg->histogram(
+          "mem.wait_s", {0.0, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0});
+      h_barrier_wait = &reg->histogram(
+          "barrier.wait_s", {0.0, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0});
+      h_msg_bytes = &reg->histogram(
+          "net.msg_bytes",
+          {64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0});
+      c_dvfs = &reg->counter("dvfs.transitions");
+    }
+    for (int i = 0; i < cfg.nodes; ++i) {
+      mem[static_cast<std::size_t>(i)]->set_observer(
+          [this, i](const sim::Resource&,
+                    const sim::Resource::JobObservation& jo) {
+            if (sink != nullptr) {
+              sink->complete(i, kMemLane, "dram service", "mem", jo.start_s,
+                             jo.service_s);
+            }
+            if (h_mem_depth != nullptr) {
+              h_mem_depth->observe(
+                  static_cast<double>(jo.depth_at_arrival));
+            }
+            if (h_mem_wait != nullptr) h_mem_wait->observe(jo.waited_s);
+          });
+      if (sink != nullptr) {
+        stack[static_cast<std::size_t>(i)]->set_observer(
+            [this, i](const sim::Resource&,
+                      const sim::Resource::JobObservation& jo) {
+              sink->complete(i, kStackLane, "msg stack", "net", jo.start_s,
+                             jo.service_s);
+            });
+      }
+    }
+    if (sink != nullptr) {
+      net->set_observer([this](const sim::Resource&,
+                               const sim::Resource::JobObservation& jo) {
+        sink->complete(cluster_pid(), kSwitchLane, "wire", "net", jo.start_s,
+                       jo.service_s);
+      });
+    }
   }
 
   // ---- per-iteration setup ------------------------------------------------
@@ -216,9 +312,13 @@ struct Run {
     counters.mem_stall_cycles -= used * f_of(t.process);
     const double eff_compute = t.compute_chunk_s - used;
 
-    sim.schedule(eff_compute, [this, tid] {
+    sim.schedule(eff_compute, [this, tid, eff_compute] {
       Thread& th = threads[tid];
       touch(th.process);
+      if (sink != nullptr && eff_compute > 0.0) {
+        sink->complete_end(th.process, lane_of(tid), "compute", "cpu",
+                           sim.now(), eff_compute);
+      }
       if (th.mem_service_chunk_s <= 0.0) {
         thread_step(tid);
         return;
@@ -233,6 +333,12 @@ struct Run {
             counters.mem_stall_cycles += stall * f_of(th2.process);
             th2.credit_s = isa().memory_overlap * service;
             touch(th2.process);
+            if (sink != nullptr) {
+              // The core-side view of the same interval the memctl lane
+              // shows: queueing delay plus DRAM service.
+              sink->complete_end(th2.process, lane_of(tid), "mem stall",
+                                 "mem", sim.now(), stall);
+            }
             thread_step(tid);
           });
     });
@@ -274,6 +380,7 @@ struct Run {
     messages.messages += 1.0;
     messages.bytes += size;
     messages.per_msg_bytes.add(size);
+    if (h_msg_bytes != nullptr) h_msg_bytes->observe(size);
 
     const int dest =
         cfg.nodes > 1 ? (process + 1 + idx % (cfg.nodes - 1)) % cfg.nodes
@@ -344,6 +451,12 @@ struct Run {
     iteration_s.add(iter_len);
     drain_s.add(std::max(0.0, barrier_at - laggard_busy));
 
+    if (sink != nullptr) {
+      sink->complete(cluster_pid(), kIterationLane,
+                     "iter " + std::to_string(iteration), "phase",
+                     iteration_start_s, iter_len);
+    }
+
     for (int node = 0; node < cfg.nodes; ++node) {
       const auto ni = static_cast<std::size_t>(node);
       const double f = f_node[ni];
@@ -367,10 +480,31 @@ struct Run {
       f_weighted_sum += f;
       ++f_samples;
 
+      const double wait = barrier_at - node_busy_until[ni];
+      if (wait > 0.0) {
+        if (sink != nullptr) {
+          sink->complete(node, kBarrierLane, "barrier wait", "sync",
+                         node_busy_until[ni], wait);
+        }
+        if (h_barrier_wait != nullptr) h_barrier_wait->observe(wait);
+      }
+
       if (policy != nullptr) {
         const double next = policy->next_frequency(obs, dvfs);
         HEPEX_REQUIRE(dvfs.supports(next),
                       "DVFS policy returned a non-operating-point frequency");
+        if (next != f) {
+          if (sink != nullptr) {
+            sink->instant(node, kBarrierLane, "dvfs", "dvfs", barrier_at);
+            sink->counter(node, "f [GHz]", barrier_at, next / 1e9);
+          }
+          if (c_dvfs != nullptr) c_dvfs->inc();
+          HEPEX_LOG_DEBUG("engine", "dvfs transition",
+                          {{"node", node},
+                           {"iter", iteration},
+                           {"from_ghz", f / 1e9},
+                           {"to_ghz", next / 1e9}});
+        }
         f_node[ni] = next;
       }
     }
@@ -409,6 +543,28 @@ struct Run {
     out.drain_s = drain_s;
     out.avg_frequency_hz =
         f_samples > 0 ? f_weighted_sum / f_samples : cfg.f_hz;
+
+    if (reg != nullptr) {
+      reg->counter("sim.events_processed").add(sim.total_processed());
+      reg->counter("sim.events_scheduled").add(sim.total_scheduled());
+      reg->counter("engine.iterations")
+          .add(static_cast<std::uint64_t>(iteration));
+      reg->counter("net.messages")
+          .add(static_cast<std::uint64_t>(messages.messages));
+      reg->counter("net.bytes")
+          .add(static_cast<std::uint64_t>(messages.bytes));
+      reg->gauge("sim.virtual_time_s").set(out.time_s);
+      reg->gauge("sim.events_per_virtual_s")
+          .set(out.time_s > 0.0
+                   ? static_cast<double>(sim.total_processed()) / out.time_s
+                   : 0.0);
+      reg->gauge("net.utilization").set(net->utilization());
+      double mem_util = 0.0;
+      for (const auto& m : mem) mem_util += m->utilization();
+      reg->gauge("mem.utilization_mean").set(mem_util / cfg.nodes);
+      reg->gauge("cpu.utilization").set(out.cpu_utilization);
+      reg->gauge("engine.avg_frequency_ghz").set(out.avg_frequency_hz / 1e9);
+    }
     return out;
   }
 };
@@ -422,12 +578,24 @@ Measurement simulate(const MachineSpec& machine, const ProgramSpec& program,
   HEPEX_REQUIRE(options.chunks_per_iteration >= 1,
                 "need >= 1 chunk per iteration");
 
+  HEPEX_LOG_INFO("engine", "simulate",
+                 {{"machine", machine.name},
+                  {"program", program.name},
+                  {"n", config.nodes},
+                  {"c", config.cores},
+                  {"f_ghz", config.f_hz / 1e9},
+                  {"traced", options.trace != nullptr}});
   Run run(machine, program, config, options);
   run.begin_iteration();
-  run.sim.run();
+  const std::size_t events = run.sim.run();
   HEPEX_ASSERT(run.iteration == program.iterations,
                "simulation ended before all iterations completed");
-  return run.finalize();
+  Measurement out = run.finalize();
+  HEPEX_LOG_DEBUG("engine", "simulate done",
+                  {{"time_s", out.time_s},
+                   {"energy_j", out.energy.total()},
+                   {"events", events}});
+  return out;
 }
 
 }  // namespace hepex::trace

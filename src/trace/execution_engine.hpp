@@ -25,6 +25,11 @@
 #include "trace/measurement.hpp"
 #include "workload/program.hpp"
 
+namespace hepex::obs {
+class Registry;
+class TraceSink;
+}  // namespace hepex::obs
+
 namespace hepex::trace {
 
 /// Tunables of the simulated execution.
@@ -39,6 +44,20 @@ struct SimOptions {
   /// Optional per-node runtime frequency governor consulted at every
   /// iteration boundary; null keeps the configured frequency.
   std::shared_ptr<hw::DvfsPolicy> dvfs_policy;
+
+  /// Optional timeline exporter (non-owning, may be null). When set, the
+  /// engine records compute bursts, memory-controller queue/service
+  /// intervals, per-message stack and wire spans, barrier waits and DVFS
+  /// transitions as Chrome-trace spans with pid = node, tid = lane (see
+  /// docs/observability.md). Attaching a sink is guaranteed not to
+  /// perturb the run: the default null path allocates nothing and the
+  /// resulting Measurement is bit-identical either way.
+  obs::TraceSink* trace = nullptr;
+  /// Optional metrics registry (non-owning, may be null). Populated with
+  /// the catalogue in docs/observability.md: event counts, queue-depth
+  /// and barrier-wait histograms, switch/memory utilization, message
+  /// totals. Same zero-perturbation guarantee as `trace`.
+  obs::Registry* metrics = nullptr;
 };
 
 /// Execute `program` on `machine` at `config` and return the measurement.

@@ -19,6 +19,12 @@ CliArgs CliArgs::parse(int argc, const char* const* argv) {
                   "unexpected positional argument '" + tok + "'");
     const std::string name = tok.substr(2);
     HEPEX_REQUIRE(!name.empty(), "empty flag name");
+    // `--flag=value` binds inline and never consumes the next token.
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      HEPEX_REQUIRE(eq > 0, "empty flag name");
+      out.flags_[name.substr(0, eq)] = name.substr(eq + 1);
+      continue;
+    }
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       out.flags_[name] = argv[i + 1];
       ++i;

@@ -2,9 +2,9 @@
 /// \file cli.hpp
 /// \brief Tiny command-line argument parser for the HEPEX tools.
 ///
-/// Grammar: `tool <command> [--flag value]... [--switch]...`.
-/// Values never start with "--"; unknown flags are the caller's job to
-/// reject via `require_known`.
+/// Grammar: `tool <command> [--flag value]... [--flag=value]...
+/// [--switch]...`. Values never start with "--"; unknown flags are the
+/// caller's job to reject via `require_known`.
 
 #include <map>
 #include <optional>

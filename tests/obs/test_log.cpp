@@ -1,0 +1,115 @@
+#include "obs/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hepex {
+namespace {
+
+/// Captures records and restores the stderr sink + warn default on exit so
+/// tests cannot leak configuration into each other.
+class LogCapture {
+ public:
+  LogCapture() {
+    obs::Log::set_sink(
+        [this](std::string_view line) { lines_.emplace_back(line); });
+  }
+  ~LogCapture() {
+    obs::Log::set_sink({});
+    obs::Log::set_level(obs::LogLevel::kWarn);
+  }
+  const std::vector<std::string>& lines() const { return lines_; }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+TEST(Log, LevelNamesRoundTrip) {
+  using obs::LogLevel;
+  for (const auto l : {LogLevel::kOff, LogLevel::kError, LogLevel::kWarn,
+                       LogLevel::kInfo, LogLevel::kDebug, LogLevel::kTrace}) {
+    EXPECT_EQ(obs::log_level_from_string(obs::to_string(l)), l);
+  }
+  EXPECT_THROW(obs::log_level_from_string("verbose"), std::invalid_argument);
+  EXPECT_THROW(obs::log_level_from_string(""), std::invalid_argument);
+}
+
+TEST(Log, RuntimeLevelGates) {
+  LogCapture cap;
+  obs::Log::set_level(obs::LogLevel::kWarn);
+  HEPEX_LOG_ERROR("t", "e");
+  HEPEX_LOG_WARN("t", "w");
+  HEPEX_LOG_INFO("t", "i");   // above warn: dropped
+  HEPEX_LOG_DEBUG("t", "d");  // above warn: dropped
+  ASSERT_EQ(cap.lines().size(), 2u);
+  EXPECT_EQ(cap.lines()[0], "level=error comp=t msg=\"e\"");
+  EXPECT_EQ(cap.lines()[1], "level=warn comp=t msg=\"w\"");
+}
+
+TEST(Log, OffDropsEverything) {
+  LogCapture cap;
+  obs::Log::set_level(obs::LogLevel::kOff);
+  HEPEX_LOG_ERROR("t", "even errors");
+  EXPECT_TRUE(cap.lines().empty());
+  EXPECT_FALSE(obs::Log::enabled(obs::LogLevel::kError));
+}
+
+TEST(Log, FieldsRenderAsLogfmt) {
+  LogCapture cap;
+  obs::Log::set_level(obs::LogLevel::kInfo);
+  HEPEX_LOG_INFO("engine", "simulate",
+                 {{"machine", "Intel Xeon"},
+                  {"n", 4},
+                  {"f_ghz", 1.8},
+                  {"events", std::uint64_t{17341}},
+                  {"traced", true}});
+  ASSERT_EQ(cap.lines().size(), 1u);
+  const std::string& line = cap.lines()[0];
+  EXPECT_NE(line.find("level=info comp=engine msg=\"simulate\""),
+            std::string::npos);
+  // Values with spaces are quoted; bare scalars are not.
+  EXPECT_NE(line.find("machine=\"Intel Xeon\""), std::string::npos);
+  EXPECT_NE(line.find("n=4"), std::string::npos);
+  EXPECT_NE(line.find("f_ghz=1.8"), std::string::npos);
+  EXPECT_NE(line.find("events=17341"), std::string::npos);
+  EXPECT_NE(line.find("traced=true"), std::string::npos);
+}
+
+TEST(Log, QuotesAndEscapesAwkwardValues) {
+  LogCapture cap;
+  obs::Log::set_level(obs::LogLevel::kInfo);
+  HEPEX_LOG_INFO("t", "he said \"hi\"", {{"path", "a b\"c\""}});
+  ASSERT_EQ(cap.lines().size(), 1u);
+  EXPECT_EQ(cap.lines()[0],
+            "level=info comp=t msg=\"he said \\\"hi\\\"\" "
+            "path=\"a b\\\"c\\\"\"");
+}
+
+TEST(Log, FieldsNotEvaluatedWhenGated) {
+  LogCapture cap;
+  obs::Log::set_level(obs::LogLevel::kError);
+  int evaluations = 0;
+  const auto expensive = [&evaluations]() {
+    ++evaluations;
+    return std::string("value");
+  };
+  HEPEX_LOG_DEBUG("t", "dropped", {{"k", expensive()}});
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_TRUE(cap.lines().empty());
+}
+
+TEST(Log, SetLevelIsObservable) {
+  obs::Log::set_level(obs::LogLevel::kTrace);
+  EXPECT_EQ(obs::Log::level(), obs::LogLevel::kTrace);
+  EXPECT_TRUE(obs::Log::enabled(obs::LogLevel::kTrace));
+  obs::Log::set_level(obs::LogLevel::kWarn);
+  EXPECT_EQ(obs::Log::level(), obs::LogLevel::kWarn);
+  EXPECT_FALSE(obs::Log::enabled(obs::LogLevel::kInfo));
+}
+
+}  // namespace
+}  // namespace hepex

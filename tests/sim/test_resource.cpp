@@ -96,6 +96,43 @@ TEST(Resource, UtilizationIsBusyFraction) {
   EXPECT_NEAR(r.utilization(), 0.5, 1e-12);
 }
 
+TEST(Resource, ObserverSeesFullJobLifecycle) {
+  Simulator sim;
+  Resource r(sim, "mem");
+  std::vector<Resource::JobObservation> seen;
+  r.set_observer([&](const Resource& res, const Resource::JobObservation& obs) {
+    EXPECT_EQ(&res, &r);
+    seen.push_back(obs);
+  });
+  r.request(2.0, {});
+  r.request(1.0, {});  // queues behind the first: depth 1 at arrival
+  sim.run();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_DOUBLE_EQ(seen[0].arrival_s, 0.0);
+  EXPECT_DOUBLE_EQ(seen[0].start_s, 0.0);
+  EXPECT_DOUBLE_EQ(seen[0].finish_s, 2.0);
+  EXPECT_DOUBLE_EQ(seen[0].service_s, 2.0);
+  EXPECT_DOUBLE_EQ(seen[0].waited_s, 0.0);
+  EXPECT_EQ(seen[0].depth_at_arrival, 0u);
+  EXPECT_DOUBLE_EQ(seen[1].arrival_s, 0.0);
+  EXPECT_DOUBLE_EQ(seen[1].start_s, 2.0);
+  EXPECT_DOUBLE_EQ(seen[1].finish_s, 3.0);
+  EXPECT_DOUBLE_EQ(seen[1].waited_s, 2.0);
+  EXPECT_EQ(seen[1].depth_at_arrival, 1u);
+}
+
+TEST(Resource, ObserverFiresBeforeCompletionCallback) {
+  Simulator sim;
+  Resource r(sim, "mem");
+  std::vector<int> order;
+  r.set_observer([&](const Resource&, const Resource::JobObservation&) {
+    order.push_back(0);
+  });
+  r.request(1.0, [&](double) { order.push_back(1); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
 TEST(Resource, ZeroServiceJobCompletes) {
   Simulator sim;
   Resource r(sim, "mem");

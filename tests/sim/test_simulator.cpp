@@ -111,6 +111,34 @@ TEST(Simulator, TotalScheduledCounts) {
   EXPECT_EQ(sim.total_scheduled(), 2u);
 }
 
+TEST(Simulator, TotalProcessedAccumulatesAcrossRuns) {
+  Simulator sim;
+  EXPECT_EQ(sim.total_processed(), 0u);
+  for (int i = 0; i < 6; ++i) sim.schedule(i, [] {});
+  EXPECT_EQ(sim.run(2), 2u);
+  EXPECT_EQ(sim.total_processed(), 2u);
+  EXPECT_EQ(sim.run_until(3.0), 2u);
+  EXPECT_EQ(sim.total_processed(), 4u);
+  sim.run();
+  EXPECT_EQ(sim.total_processed(), 6u);
+  EXPECT_EQ(sim.total_processed(), sim.total_scheduled());
+}
+
+TEST(Simulator, DefaultRunIsUnbounded) {
+  // The default max_events is numeric_limits<size_t>::max(), not a magic
+  // sentinel — everything queued drains in one call.
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> step = [&] {
+    ++fired;
+    if (fired < 1000) sim.schedule(0.5, step);
+  };
+  sim.schedule(0.0, step);
+  EXPECT_EQ(sim.run(), 1000u);
+  EXPECT_EQ(fired, 1000);
+  EXPECT_TRUE(sim.empty());
+}
+
 TEST(Simulator, ZeroDelayFiresAtCurrentTime) {
   Simulator sim;
   sim.schedule(2.0, [&] {

@@ -75,5 +75,36 @@ TEST(Cli, NegativeNumbersAreValues) {
   EXPECT_EQ(a.get_int_or("offset", 0), -3);
 }
 
+TEST(Cli, InlineFlagValueSyntax) {
+  const auto a = parse({"run", "--trace=out.json", "--machine=xeon"});
+  EXPECT_EQ(a.get_or("trace", ""), "out.json");
+  EXPECT_EQ(a.get_or("machine", ""), "xeon");
+}
+
+TEST(Cli, InlineValueMayContainEquals) {
+  // Only the first '=' splits; the rest belongs to the value.
+  const auto a = parse({"run", "--filter=key=value"});
+  EXPECT_EQ(a.get_or("filter", ""), "key=value");
+}
+
+TEST(Cli, EmptyInlineValueActsAsValuelessSwitch) {
+  // "--out=" stores an empty value, which get() treats — consistently
+  // with the spaced syntax — as a present-but-valueless switch.
+  const auto a = parse({"run", "--out="});
+  EXPECT_TRUE(a.has("out"));
+  EXPECT_FALSE(a.get("out").has_value());
+  EXPECT_EQ(a.get_or("out", "missing"), "missing");
+}
+
+TEST(Cli, InlineSyntaxRejectsEmptyName) {
+  EXPECT_THROW(parse({"run", "--=value"}), std::invalid_argument);
+}
+
+TEST(Cli, InlineAndSpacedSyntaxMix) {
+  const auto a = parse({"run", "--n", "4", "--f=1.8"});
+  EXPECT_EQ(a.get_int_or("n", 0), 4);
+  EXPECT_DOUBLE_EQ(a.get_double_or("f", 0.0), 1.8);
+}
+
 }  // namespace
 }  // namespace hepex::util

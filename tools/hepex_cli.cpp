@@ -12,6 +12,15 @@
 //   hepex characterize --machine xeon --program SP --out ch.txt
 //   hepex predict     --from ch.txt --n 8 --c 8 --f 1.8 [--class A] [--iters 60]
 //
+// Observability flags (any command; see docs/observability.md):
+//   --log-level off|error|warn|info|debug|trace   structured logs on stderr
+//   --profile                                     host-time report on exit
+// simulate additionally accepts:
+//   --trace=out.json      Chrome/Perfetto timeline of the simulated run
+//   --metrics=out.json    metrics-registry snapshot
+// Running `hepex --trace=out.json` with no command simulates the
+// quickstart workload (SP on the Xeon cluster) and traces it.
+//
 // Exit codes: 0 success, 2 usage error.
 
 #include <cstdio>
@@ -20,6 +29,10 @@
 
 #include "core/hepex.hpp"
 #include "core/report.hpp"
+#include "obs/log.hpp"
+#include "obs/profiler.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace_sink.hpp"
 #include "util/cli.hpp"
 
 using namespace hepex;
@@ -108,7 +121,40 @@ int cmd_simulate(const util::CliArgs& args) {
   const auto m = machine_by_name(args.get_or("machine", "xeon"));
   const auto p = program_from(args);
   const auto cfg = config_from(args, m);
-  const auto meas = trace::simulate(m, p, cfg);
+
+  obs::TraceSink sink;
+  obs::Registry registry;
+  const auto trace_path = args.get("trace");
+  const auto metrics_path = args.get("metrics");
+  trace::SimOptions opt;
+  if (trace_path) opt.trace = &sink;
+  if (metrics_path) opt.metrics = &registry;
+
+  const auto meas = trace::simulate(m, p, cfg, opt);
+
+  if (trace_path) {
+    if (!sink.write_file(*trace_path)) {
+      std::fprintf(stderr, "error: cannot write trace to %s\n",
+                   trace_path->c_str());
+      return 2;
+    }
+    std::printf("trace written: %s (%zu events; open in ui.perfetto.dev "
+                "or chrome://tracing)\n",
+                trace_path->c_str(), sink.size());
+  }
+  if (metrics_path) {
+    std::FILE* f = std::fopen(metrics_path->c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                   metrics_path->c_str());
+      return 2;
+    }
+    const std::string json = registry.to_json();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("metrics written: %s\n", metrics_path->c_str());
+  }
+
   std::printf("measured %s on %s at %s:\n", p.name.c_str(), m.name.c_str(),
               util::fmt_config(cfg.nodes, cfg.cores, cfg.f_hz / 1e9).c_str());
   std::printf("  time   : %.2f s\n", meas.time_s);
@@ -283,8 +329,31 @@ int usage() {
       "          programs | machines\n"
       "common flags: --machine xeon|arm  --program BT|LU|SP|CP|LB  "
       "--class S|W|A|B|C\n"
-      "see the README for per-command flags.\n");
+      "observability: --log-level LEVEL  --profile\n"
+      "               simulate: --trace=FILE --metrics=FILE\n"
+      "see the README and docs/observability.md for per-command flags.\n");
   return 2;
+}
+
+int dispatch(const util::CliArgs& args) {
+  const std::string& cmd = args.command();
+  if (cmd.empty() && (args.has("trace") || args.has("metrics"))) {
+    // Bare `hepex --trace=out.json`: trace the quickstart workload.
+    return cmd_simulate(args);
+  }
+  if (cmd == "frontier") return cmd_frontier(args);
+  if (cmd == "recommend") return cmd_recommend(args);
+  if (cmd == "simulate") return cmd_simulate(args);
+  if (cmd == "validate") return cmd_validate(args);
+  if (cmd == "netchar") return cmd_netchar(args);
+  if (cmd == "report") return cmd_report(args);
+  if (cmd == "whatif") return cmd_whatif(args);
+  if (cmd == "characterize") return cmd_characterize(args);
+  if (cmd == "predict") return cmd_predict(args);
+  if (cmd == "programs") return cmd_programs(args);
+  if (cmd == "machines") return cmd_machines(args);
+  if (cmd == "sensitivity") return cmd_sensitivity(args);
+  return usage();
 }
 
 }  // namespace
@@ -292,20 +361,19 @@ int usage() {
 int main(int argc, char** argv) {
   try {
     const auto args = util::CliArgs::parse(argc, argv);
-    const std::string& cmd = args.command();
-    if (cmd == "frontier") return cmd_frontier(args);
-    if (cmd == "recommend") return cmd_recommend(args);
-    if (cmd == "simulate") return cmd_simulate(args);
-    if (cmd == "validate") return cmd_validate(args);
-    if (cmd == "netchar") return cmd_netchar(args);
-    if (cmd == "report") return cmd_report(args);
-    if (cmd == "whatif") return cmd_whatif(args);
-    if (cmd == "characterize") return cmd_characterize(args);
-    if (cmd == "predict") return cmd_predict(args);
-    if (cmd == "programs") return cmd_programs(args);
-    if (cmd == "machines") return cmd_machines(args);
-    if (cmd == "sensitivity") return cmd_sensitivity(args);
-    return usage();
+    if (const auto level = args.get("log-level")) {
+      obs::Log::set_level(obs::log_level_from_string(*level));
+    }
+    if (args.has("profile")) {
+      obs::Profiler::instance().set_enabled(true);
+    }
+    const int rc = dispatch(args);
+    if (obs::Profiler::instance().enabled()) {
+      const std::string report = obs::Profiler::instance().report();
+      std::fprintf(stderr, "\nhost-time profile:\n%s",
+                   report.empty() ? "(no timers fired)\n" : report.c_str());
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
