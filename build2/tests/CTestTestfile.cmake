@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build2/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/tests/test_util[1]_include.cmake")
+include("/root/repo/build2/tests/test_obs[1]_include.cmake")
+include("/root/repo/build2/tests/test_sim[1]_include.cmake")
+include("/root/repo/build2/tests/test_hw[1]_include.cmake")
+include("/root/repo/build2/tests/test_workload[1]_include.cmake")
+include("/root/repo/build2/tests/test_trace[1]_include.cmake")
+include("/root/repo/build2/tests/test_model[1]_include.cmake")
+include("/root/repo/build2/tests/test_pareto[1]_include.cmake")
+include("/root/repo/build2/tests/test_core[1]_include.cmake")
