@@ -68,6 +68,42 @@ std::optional<Recommendation> Advisor::for_budget(double budget_j) {
   return Recommendation{*best, budget_j, budget_j - best->energy_j};
 }
 
+std::vector<pareto::ConfigPoint> Advisor::explore_resilient(
+    const model::ResilienceSpec& spec) {
+  spec.validate();
+  HEPEX_PROFILE_SCOPE("advisor.explore_resilient");
+  std::vector<pareto::ConfigPoint> out;
+  for (const auto& base : explore()) {
+    const auto adjusted = model::apply_resilience(
+        predict(base.config), machine_.node.power, spec);
+    if (!adjusted) continue;  // no forward progress at this failure rate
+    out.push_back(pareto::ConfigPoint{adjusted->config, adjusted->time_s,
+                                      adjusted->energy_j, adjusted->ucr});
+  }
+  HEPEX_LOG_DEBUG("advisor", "resilient space",
+                  {{"feasible", out.size()},
+                   {"total", explore().size()},
+                   {"node_mtbf_s", spec.node_mtbf_s}});
+  return out;
+}
+
+std::vector<pareto::ConfigPoint> Advisor::resilient_frontier(
+    const model::ResilienceSpec& spec) {
+  return pareto::pareto_frontier(explore_resilient(spec));
+}
+
+pareto::ConfigPoint Advisor::recommend_resilient(
+    const model::ResilienceSpec& spec) {
+  const auto points = explore_resilient(spec);
+  HEPEX_REQUIRE(!points.empty(),
+                "no configuration makes progress at this failure rate");
+  const pareto::ConfigPoint* best = &points.front();
+  for (const auto& p : points) {
+    if (p.energy_j < best->energy_j) best = &p;
+  }
+  return *best;
+}
+
 std::vector<pareto::ConfigPoint> Advisor::split_alternatives(int total_cores,
                                                              double f_hz) {
   HEPEX_REQUIRE(total_cores >= 1, "need at least one core");

@@ -23,6 +23,7 @@
 #include "hw/machine.hpp"
 #include "model/characterization.hpp"
 #include "model/predictor.hpp"
+#include "model/resilience.hpp"
 #include "model/whatif.hpp"
 #include "pareto/frontier.hpp"
 #include "workload/program.hpp"
@@ -68,6 +69,23 @@ class Advisor {
 
   /// Minimum-time configuration within an energy budget.
   std::optional<Recommendation> for_budget(double budget_j);
+
+  /// The configuration space with the expected fault overhead of `spec`
+  /// folded in (Young/Daly closed form, see model/resilience.hpp).
+  /// Configurations that cannot make forward progress at the failure
+  /// rate are dropped. Each call re-ranks the cached fault-free space.
+  std::vector<pareto::ConfigPoint> explore_resilient(
+      const model::ResilienceSpec& spec);
+
+  /// Time-energy Pareto frontier under a failure rate. Comparing it to
+  /// `frontier()` shows how resilience re-ranks configurations: wide,
+  /// slow, low-frequency runs fall off the frontier first.
+  std::vector<pareto::ConfigPoint> resilient_frontier(
+      const model::ResilienceSpec& spec);
+
+  /// Minimum-expected-energy configuration under a failure rate. Throws
+  /// std::invalid_argument when no configuration makes progress.
+  pareto::ConfigPoint recommend_resilient(const model::ResilienceSpec& spec);
 
   /// Application-developer view (§V-B): all ways to split a fixed total
   /// core count into l processes x tau threads at frequency `f_hz`,

@@ -1,0 +1,93 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace hepex::fault {
+namespace {
+
+bool active(double start_s, double duration_s, double t) {
+  return t >= start_s && t < start_s + duration_s;
+}
+
+}  // namespace
+
+Injector::Injector(const Plan& plan, int nodes)
+    : plan_(plan), nodes_(nodes), rng_(plan.seed) {
+  plan.validate(nodes);
+}
+
+double Injector::compute_slowdown(int node, double t) const {
+  double slow = 1.0;
+  for (const auto& s : plan_.stragglers) {
+    if (s.node == node && active(s.start_s, s.duration_s, t)) {
+      slow *= s.slowdown;
+    }
+  }
+  return slow;
+}
+
+double Injector::f_cap_hz(int node, double t) const {
+  double cap = std::numeric_limits<double>::infinity();
+  for (const auto& th : plan_.throttles) {
+    if (th.node == node && active(th.start_s, th.duration_s, t)) {
+      cap = std::min(cap, th.f_cap_hz);
+    }
+  }
+  return cap;
+}
+
+double Injector::jitter_cv(double base_cv, double t) const {
+  double cv = base_cv;
+  for (const auto& j : plan_.jitter_storms) {
+    if (active(j.start_s, j.duration_s, t)) cv = std::max(cv, j.jitter_cv);
+  }
+  return cv;
+}
+
+double Injector::wire_time(const hw::NetworkSpec& net, double payload_bytes,
+                           double t) const {
+  double latency = net.switch_latency_s;
+  double rate = net.link_bits_per_s / 8.0;
+  for (const auto& d : plan_.net_degradations) {
+    if (active(d.start_s, d.duration_s, t)) {
+      latency *= d.latency_mult;
+      rate *= d.bandwidth_mult;
+    }
+  }
+  return latency + net.wire_bytes(payload_bytes) / rate;
+}
+
+bool Injector::drops_possible(double t) const {
+  for (const auto& d : plan_.net_degradations) {
+    if (d.drop_prob > 0.0 && active(d.start_s, d.duration_s, t)) return true;
+  }
+  return false;
+}
+
+bool Injector::drop_message(double t) {
+  if (!drops_possible(t)) return false;
+  // Independent drops compose: the message survives only when every
+  // active lossy window lets it through.
+  double survive = 1.0;
+  for (const auto& d : plan_.net_degradations) {
+    if (d.drop_prob > 0.0 && active(d.start_s, d.duration_s, t)) {
+      survive *= 1.0 - d.drop_prob;
+    }
+  }
+  return rng_.uniform01() >= survive;
+}
+
+double Injector::next_failure_gap() {
+  HEPEX_REQUIRE(plan_.random_failures.node_mtbf_s > 0.0,
+                "random failures are not enabled in this plan");
+  return rng_.exponential(plan_.random_failures.node_mtbf_s / nodes_);
+}
+
+int Injector::pick_victim() {
+  return static_cast<int>(rng_() % static_cast<std::uint64_t>(nodes_));
+}
+
+}  // namespace hepex::fault

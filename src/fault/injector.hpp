@@ -1,0 +1,80 @@
+#pragma once
+/// \file injector.hpp
+/// \brief Runtime oracle the execution engine consults under a fault plan.
+///
+/// An `Injector` answers two kinds of questions about a validated
+/// `fault::Plan`:
+///
+///  - *pure, time-indexed queries* — "how slow is node 3's compute at
+///    t = 12 s?", "what frequency cap applies?", "what does this wire
+///    transfer cost under the active degradation windows?" — which never
+///    touch mutable state; and
+///  - *stochastic draws* — message-drop decisions, Poisson failure gaps,
+///    crash-victim choice — which consume the plan's private RNG stream
+///    (`Plan::seed`), kept separate from the workload's
+///    `SimOptions::seed` so an attached plan never perturbs the
+///    program's own jitter/message-size randomness.
+///
+/// The draw order is fully determined by the (deterministic) event
+/// schedule, so identical `(seed, Plan)` pairs replay bit-identically.
+
+#include <cstdint>
+
+#include "fault/plan.hpp"
+#include "hw/network.hpp"
+#include "util/rng.hpp"
+
+namespace hepex::fault {
+
+class Injector {
+ public:
+  /// \param plan   validated plan; must outlive the injector
+  /// \param nodes  node count of the run (for victim choice)
+  Injector(const Plan& plan, int nodes);
+
+  // ---- pure time-indexed queries -----------------------------------------
+
+  /// Product of active straggler slowdowns for `node` at time `t` (>= 1).
+  double compute_slowdown(int node, double t) const;
+
+  /// Tightest active frequency cap for `node` at `t`; +infinity when the
+  /// node is unthrottled.
+  double f_cap_hz(int node, double t) const;
+
+  /// Effective jitter cv at `t`: the base cv raised to the strongest
+  /// active storm.
+  double jitter_cv(double base_cv, double t) const;
+
+  /// Wire occupancy of a `payload_bytes` message at `t` with every active
+  /// degradation window applied (latency multiplied, bandwidth divided).
+  double wire_time(const hw::NetworkSpec& net, double payload_bytes,
+                   double t) const;
+
+  /// True when any degradation window with nonzero drop probability is
+  /// active at `t` (used to avoid RNG draws on clean wires).
+  bool drops_possible(double t) const;
+
+  bool has_crash_sources() const { return plan_.has_crash_sources(); }
+  const Plan& plan() const { return plan_; }
+
+  // ---- stochastic draws (consume the plan RNG) ---------------------------
+
+  /// Decide whether the transfer completing at `t` is dropped. Consumes
+  /// one draw only when `drops_possible(t)`.
+  bool drop_message(double t);
+
+  /// Next inter-failure gap of the cluster-wide Poisson process:
+  /// exponential with mean `node_mtbf_s / nodes`. Requires random
+  /// failures to be enabled.
+  double next_failure_gap();
+
+  /// Uniformly chosen crash victim in [0, nodes).
+  int pick_victim();
+
+ private:
+  const Plan& plan_;
+  int nodes_;
+  util::Rng rng_;
+};
+
+}  // namespace hepex::fault

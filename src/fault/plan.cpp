@@ -1,0 +1,88 @@
+#include "fault/plan.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hepex::fault {
+namespace {
+
+bool finite_nonneg(double x) { return std::isfinite(x) && x >= 0.0; }
+
+void validate_window(double start_s, double duration_s) {
+  HEPEX_REQUIRE(finite_nonneg(start_s), "fault window start must be finite and >= 0");
+  HEPEX_REQUIRE(finite_nonneg(duration_s),
+                "fault window duration must be finite and >= 0");
+}
+
+void validate_node(int node, int nodes) {
+  HEPEX_REQUIRE(node >= 0 && node < nodes,
+                "fault targets a node outside the configuration");
+}
+
+}  // namespace
+
+bool Plan::empty() const {
+  return crashes.empty() && random_failures.node_mtbf_s <= 0.0 &&
+         stragglers.empty() && throttles.empty() && net_degradations.empty() &&
+         jitter_storms.empty();
+}
+
+bool Plan::has_crash_sources() const {
+  return !crashes.empty() || random_failures.node_mtbf_s > 0.0;
+}
+
+void Plan::validate(int nodes) const {
+  HEPEX_REQUIRE(nodes >= 1, "plan validation needs a positive node count");
+  for (const auto& c : crashes) {
+    validate_node(c.node, nodes);
+    HEPEX_REQUIRE(finite_nonneg(c.at_s), "crash time must be finite and >= 0");
+  }
+  HEPEX_REQUIRE(std::isfinite(random_failures.node_mtbf_s) &&
+                    random_failures.node_mtbf_s >= 0.0,
+                "node MTBF must be finite and >= 0");
+  for (const auto& s : stragglers) {
+    validate_node(s.node, nodes);
+    validate_window(s.start_s, s.duration_s);
+    HEPEX_REQUIRE(std::isfinite(s.slowdown) && s.slowdown >= 1.0,
+                  "straggler slowdown must be finite and >= 1");
+  }
+  for (const auto& t : throttles) {
+    validate_node(t.node, nodes);
+    validate_window(t.start_s, t.duration_s);
+    HEPEX_REQUIRE(std::isfinite(t.f_cap_hz) && t.f_cap_hz > 0.0,
+                  "throttle frequency cap must be finite and positive");
+  }
+  for (const auto& d : net_degradations) {
+    validate_window(d.start_s, d.duration_s);
+    HEPEX_REQUIRE(std::isfinite(d.latency_mult) && d.latency_mult >= 1.0,
+                  "latency multiplier must be finite and >= 1");
+    HEPEX_REQUIRE(std::isfinite(d.bandwidth_mult) && d.bandwidth_mult > 0.0 &&
+                      d.bandwidth_mult <= 1.0,
+                  "bandwidth multiplier must be in (0, 1]");
+    HEPEX_REQUIRE(std::isfinite(d.drop_prob) && d.drop_prob >= 0.0 &&
+                      d.drop_prob < 1.0,
+                  "drop probability must be in [0, 1)");
+  }
+  for (const auto& j : jitter_storms) {
+    validate_window(j.start_s, j.duration_s);
+    HEPEX_REQUIRE(finite_nonneg(j.jitter_cv),
+                  "storm jitter cv must be finite and >= 0");
+  }
+  HEPEX_REQUIRE(std::isfinite(recovery.barrier_timeout_s) &&
+                    recovery.barrier_timeout_s > 0.0,
+                "barrier timeout must be finite and positive");
+  HEPEX_REQUIRE(finite_nonneg(recovery.checkpoint_interval_s),
+                "checkpoint interval must be finite and >= 0");
+  HEPEX_REQUIRE(finite_nonneg(recovery.checkpoint_write_s),
+                "checkpoint write cost must be finite and >= 0");
+  HEPEX_REQUIRE(finite_nonneg(recovery.restart_s),
+                "restart cost must be finite and >= 0");
+  HEPEX_REQUIRE(recovery.spare_nodes >= 0, "spare node count must be >= 0");
+  HEPEX_REQUIRE(std::isfinite(retransmit_timeout_s) &&
+                    retransmit_timeout_s > 0.0,
+                "retransmit timeout must be finite and positive");
+  HEPEX_REQUIRE(max_retransmits >= 1, "need at least one retransmit attempt");
+}
+
+}  // namespace hepex::fault

@@ -1,0 +1,133 @@
+#pragma once
+/// \file plan.hpp
+/// \brief Fault taxonomy and injection plans (see docs/faults.md).
+///
+/// A `Plan` is a declarative, seeded description of everything that goes
+/// wrong during one simulated run: fail-stop node crashes (scheduled or
+/// drawn from a Poisson process), transient core stragglers, thermal DVFS
+/// throttle windows, network degradation (latency/bandwidth multipliers
+/// and message drops with retransmission) and OS-jitter storms — plus the
+/// recovery policy the run uses when a node dies. Plans are plain data:
+/// the execution engine consults a `fault::Injector` built from the plan,
+/// and identical `(SimOptions::seed, Plan)` pairs yield bit-identical
+/// `Measurement`s (tested, with and without observability sinks).
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace hepex::fault {
+
+/// Fail-stop crash of one node at a fixed virtual time. The failure is
+/// detected at the next barrier timeout, after which the recovery policy
+/// takes over.
+struct NodeCrash {
+  int node = 0;      ///< node index in [0, n)
+  double at_s = 0.0; ///< virtual crash time [s]
+};
+
+/// Poisson fail-stop process: the cluster loses a uniformly chosen node
+/// with exponential inter-arrival times of mean `node_mtbf_s / n`.
+/// Replacement nodes inherit the failure rate.
+struct RandomFailures {
+  double node_mtbf_s = 0.0;  ///< per-node mean time between failures; 0 = off
+};
+
+/// Transient straggler: compute on `node` runs `slowdown`x slower while
+/// the window is active (co-runner interference, a failing fan, a sick
+/// core). Overlapping windows multiply.
+struct Straggler {
+  int node = 0;
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  double slowdown = 1.5;  ///< >= 1
+};
+
+/// Thermal throttle: the node's operating frequency is capped to the
+/// highest DVFS point <= `f_cap_hz` (or the lowest point when even that
+/// is above the cap) while the window is active.
+struct Throttle {
+  int node = 0;
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  double f_cap_hz = 0.0;
+};
+
+/// Network degradation window: switch latency is multiplied by
+/// `latency_mult` (>= 1), link bandwidth by `bandwidth_mult` (in (0, 1])
+/// and each wire transfer completing inside the window is dropped with
+/// probability `drop_prob`, triggering exponential-backoff retransmission.
+/// Overlapping windows compose multiplicatively.
+struct NetworkDegradation {
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  double latency_mult = 1.0;
+  double bandwidth_mult = 1.0;
+  double drop_prob = 0.0;  ///< in [0, 1)
+};
+
+/// OS-jitter storm: the per-phase jitter coefficient of variation is
+/// raised to at least `jitter_cv` while the window is active.
+struct JitterStorm {
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  double jitter_cv = 0.2;
+};
+
+/// What the run does when a crashed node is detected.
+enum class RecoveryMode {
+  kAbort,             ///< stop the run and report what was measured
+  kCheckpointRestart  ///< coordinated checkpoints + spare-node restart
+};
+
+/// Recovery policy and its coordinated-checkpoint cost model.
+struct RecoverySpec {
+  RecoveryMode mode = RecoveryMode::kCheckpointRestart;
+  /// Barrier timeout: how long an iteration may hang before the run
+  /// checks for dead nodes (failure-detection latency).
+  double barrier_timeout_s = 30.0;
+  /// Minimum virtual time between coordinated checkpoints (taken at
+  /// iteration barriers); 0 disables checkpointing.
+  double checkpoint_interval_s = 60.0;
+  /// Wall time all nodes spend writing one coordinated checkpoint.
+  double checkpoint_write_s = 1.0;
+  /// Downtime to provision a spare and restart from the last checkpoint.
+  double restart_s = 5.0;
+  /// Spare nodes available for replacement; recovery aborts when
+  /// exhausted.
+  int spare_nodes = std::numeric_limits<int>::max();
+};
+
+/// A complete, seeded fault-injection plan for one run.
+struct Plan {
+  /// Seed of the plan's private RNG stream (failure times, victim choice,
+  /// message drops). Independent from `SimOptions::seed` so attaching a
+  /// plan never perturbs the workload's own randomness.
+  std::uint64_t seed = 0xFA171ull;
+
+  std::vector<NodeCrash> crashes;
+  RandomFailures random_failures;
+  std::vector<Straggler> stragglers;
+  std::vector<Throttle> throttles;
+  std::vector<NetworkDegradation> net_degradations;
+  std::vector<JitterStorm> jitter_storms;
+  RecoverySpec recovery;
+
+  /// Base sender timeout before a dropped message is retransmitted;
+  /// attempt k waits `retransmit_timeout_s * 2^k`.
+  double retransmit_timeout_s = 1e-3;
+  /// Retransmission attempts before the engine delivers the message
+  /// anyway (keeps adversarial drop rates from hanging the run).
+  int max_retransmits = 16;
+
+  /// True when the plan injects nothing (no fault event sources).
+  bool empty() const;
+  /// True when the plan can kill nodes (fixed crashes or random failures).
+  bool has_crash_sources() const;
+  /// Validate every field for a run on `nodes` nodes (finite times,
+  /// node indices in range, probabilities in [0, 1), multipliers sane).
+  /// Throws std::invalid_argument on the first violation.
+  void validate(int nodes) const;
+};
+
+}  // namespace hepex::fault

@@ -1,11 +1,82 @@
 #include "hw/machine.hpp"
 
+#include <cmath>
+
 #include "util/error.hpp"
 
 namespace hepex::hw {
 
+namespace {
+bool finite_nonneg(double x) { return std::isfinite(x) && x >= 0.0; }
+bool finite_pos(double x) { return std::isfinite(x) && x > 0.0; }
+}  // namespace
+
+void validate_machine(const MachineSpec& m) {
+  HEPEX_REQUIRE(m.node.cores >= 1, "node needs at least one core");
+  HEPEX_REQUIRE(m.nodes_available >= 1,
+                "machine needs at least one physical node");
+  const auto& dvfs = m.node.dvfs;
+  HEPEX_REQUIRE(!dvfs.frequencies_hz.empty(),
+                "DVFS range needs at least one operating point");
+  double prev = 0.0;
+  for (double f : dvfs.frequencies_hz) {
+    HEPEX_REQUIRE(finite_pos(f),
+                  "DVFS operating points must be finite and positive");
+    HEPEX_REQUIRE(f > prev, "DVFS operating points must be ascending");
+    prev = f;
+  }
+  HEPEX_REQUIRE(finite_pos(dvfs.v_min) && finite_pos(dvfs.v_max) &&
+                    dvfs.v_max >= dvfs.v_min,
+                "DVFS voltage range must be finite, positive and ordered");
+  const auto& isa = m.node.isa;
+  HEPEX_REQUIRE(finite_pos(isa.work_cpi), "work CPI must be positive");
+  HEPEX_REQUIRE(finite_nonneg(isa.pipeline_stall_per_work_cycle),
+                "pipeline stall rate must be finite and >= 0");
+  HEPEX_REQUIRE(std::isfinite(isa.memory_overlap) &&
+                    isa.memory_overlap >= 0.0 && isa.memory_overlap <= 1.0,
+                "memory overlap must be in [0, 1]");
+  HEPEX_REQUIRE(std::isfinite(isa.memory_level_parallelism) &&
+                    isa.memory_level_parallelism >= 1.0,
+                "memory-level parallelism must be >= 1");
+  HEPEX_REQUIRE(finite_nonneg(isa.message_software_cycles),
+                "message software cycles must be finite and >= 0");
+  const auto& mem = m.node.memory;
+  HEPEX_REQUIRE(finite_pos(mem.bandwidth_bytes_per_s),
+                "memory bandwidth must be finite and positive");
+  HEPEX_REQUIRE(finite_nonneg(mem.latency_s),
+                "memory latency must be finite and >= 0");
+  HEPEX_REQUIRE(finite_pos(mem.line_bytes),
+                "cache-line size must be finite and positive");
+  const auto& pw = m.node.power;
+  HEPEX_REQUIRE(finite_pos(pw.core.active_coeff),
+                "core power coefficient must be finite and positive");
+  HEPEX_REQUIRE(std::isfinite(pw.core.stall_fraction) &&
+                    pw.core.stall_fraction >= 0.0 &&
+                    pw.core.stall_fraction <= 1.0,
+                "stall power fraction must be in [0, 1]");
+  HEPEX_REQUIRE(finite_nonneg(pw.mem_active_w),
+                "memory power must be finite and >= 0");
+  HEPEX_REQUIRE(finite_nonneg(pw.net_active_w),
+                "NIC power must be finite and >= 0");
+  HEPEX_REQUIRE(finite_nonneg(pw.sys_idle_w),
+                "idle power must be finite and >= 0");
+  const auto& net = m.network;
+  HEPEX_REQUIRE(finite_pos(net.link_bits_per_s),
+                "link rate must be finite and positive");
+  HEPEX_REQUIRE(finite_nonneg(net.switch_latency_s),
+                "switch latency must be finite and >= 0");
+  HEPEX_REQUIRE(finite_pos(net.payload_bytes_per_frame),
+                "frame payload must be finite and positive");
+  HEPEX_REQUIRE(finite_nonneg(net.header_bytes_per_frame),
+                "frame header must be finite and >= 0");
+  for (int n : m.model_node_counts) {
+    HEPEX_REQUIRE(n >= 1, "model node counts must be positive");
+  }
+}
+
 void validate_config(const MachineSpec& m, const ClusterConfig& cfg,
                      bool require_physical) {
+  validate_machine(m);
   HEPEX_REQUIRE(cfg.nodes >= 1, "configuration needs at least one node");
   HEPEX_REQUIRE(cfg.cores >= 1 && cfg.cores <= m.node.cores,
                 "core count outside node capability");

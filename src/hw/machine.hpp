@@ -54,9 +54,17 @@ inline int total_cores(const ClusterConfig& cfg) {
   return cfg.nodes * cfg.cores;
 }
 
+/// Validate a machine description: every physical parameter must be
+/// finite and in range (positive core counts and DVFS points, ascending
+/// frequencies, non-negative power draws, positive bandwidths). Throws
+/// std::invalid_argument on the first violation. `validate_config` calls
+/// this, so a hand-built spec with a NaN parameter fails fast at the
+/// simulate/predict entry points instead of corrupting results.
+void validate_machine(const MachineSpec& m);
+
 /// Validate that `cfg` is executable on `m` when `require_physical` demands
 /// n <= nodes_available (measurement) as opposed to the model space.
-/// Throws std::invalid_argument otherwise.
+/// Throws std::invalid_argument otherwise (also for an invalid machine).
 void validate_config(const MachineSpec& m, const ClusterConfig& cfg,
                      bool require_physical);
 

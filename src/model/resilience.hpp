@@ -1,0 +1,89 @@
+#pragma once
+/// \file resilience.hpp
+/// \brief Closed-form expected fault overhead (Young/Daly) on predictions.
+///
+/// The execution engine *measures* the cost of crashes and recoveries
+/// (docs/faults.md); this header lets the Advisor *predict* it without
+/// simulating. Under a Poisson fail-stop process with per-node MTBF
+/// `theta`, a run on `n` nodes sees cluster MTBF `M = theta / n`. With
+/// coordinated checkpoints of cost `delta` taken every `tau` seconds and
+/// restart downtime `R`, the first-order expected wall time of a
+/// `T`-second fault-free run is
+///
+///   T_exp = T (1 + delta / tau) / (1 - (R + (tau + delta)/2) / M)
+///
+/// which is minimized near Young's optimal interval tau* = sqrt(2 delta M)
+/// (Young 1974; Daly 2006 refines the same fixed point). The denominator
+/// hitting zero means a failure is expected before a checkpoint interval
+/// completes — the configuration cannot make progress at this failure
+/// rate. Because the cluster MTBF shrinks with `n` while the fault-free
+/// runtime shrinks too, the expected overhead *re-ranks* the time-energy
+/// plane: the energy-optimal configuration under failures generally uses
+/// fewer nodes (or a higher frequency) than the fault-free optimum.
+///
+/// The energy attribution mirrors the engine exactly (checkpoints write
+/// at memory power on every node, rework re-runs at the run's average
+/// dynamic CPU power, downtime and the extra wall time draw the idle
+/// floor), so advisor recommendations are comparable to simulated
+/// measurements — bench_ext_fault_overhead checks they agree.
+
+#include <optional>
+
+#include "hw/power.hpp"
+#include "model/predictor.hpp"
+
+namespace hepex::model {
+
+/// Failure process and checkpoint cost model the advisor plans against.
+/// Matches the engine's `fault::RecoverySpec` cost parameters.
+struct ResilienceSpec {
+  /// Per-node mean time between failures [s]; 0 disables the analysis.
+  double node_mtbf_s = 0.0;
+  /// Wall time all nodes spend writing one coordinated checkpoint.
+  double checkpoint_write_s = 1.0;
+  /// Downtime to provision a spare and restart from the last checkpoint.
+  double restart_s = 5.0;
+  /// Checkpoint interval; 0 picks Young's optimum sqrt(2 delta M).
+  double checkpoint_interval_s = 0.0;
+
+  bool enabled() const { return node_mtbf_s > 0.0; }
+  /// Throws std::invalid_argument on non-finite or negative parameters.
+  void validate() const;
+};
+
+/// Expected-overhead decomposition for one configuration.
+struct FaultOverhead {
+  double interval_s = 0.0;           ///< checkpoint interval used (tau)
+  double expected_time_s = 0.0;      ///< T_exp
+  double t_fault_s = 0.0;            ///< T_exp - T
+  double expected_failures = 0.0;    ///< T_exp / M
+  double expected_checkpoints = 0.0; ///< T / tau
+  double e_fault_j = 0.0;            ///< checkpoint + rework energy
+  double e_idle_extra_j = 0.0;       ///< idle floor over the extension
+};
+
+/// Young's optimal checkpoint interval sqrt(2 delta M) for a cluster of
+/// `nodes` nodes with per-node MTBF `node_mtbf_s` and checkpoint cost
+/// `checkpoint_write_s`. Requires positive inputs.
+double young_daly_interval_s(double checkpoint_write_s, double node_mtbf_s,
+                             int nodes);
+
+/// Expected fault overhead of a fault-free run of `time_s` seconds on
+/// `nodes` nodes whose fault-free energy breakdown is `energy`. Returns
+/// nullopt when the failure rate makes the configuration infeasible
+/// (expected waste per interval >= cluster MTBF). Validates `spec`.
+std::optional<FaultOverhead> expected_fault_overhead(
+    double time_s, int nodes, const trace::EnergyBreakdown& energy,
+    const hw::PowerSpec& power, const ResilienceSpec& spec);
+
+/// A prediction with the expected fault overhead folded in: `time_s`
+/// becomes T_exp, `energy_parts.fault_j` carries checkpoint + rework
+/// energy, `energy_parts.idle_j` grows by the extension's idle floor and
+/// `ucr` is re-derived. Returns nullopt when the configuration is
+/// infeasible under `spec`; returns `p` unchanged when the spec is
+/// disabled.
+std::optional<Prediction> apply_resilience(const Prediction& p,
+                                           const hw::PowerSpec& power,
+                                           const ResilienceSpec& spec);
+
+}  // namespace hepex::model

@@ -1,15 +1,19 @@
 #include "sim/simulator.hpp"
 
+#include <cmath>
+
 #include "util/error.hpp"
 
 namespace hepex::sim {
 
 void Simulator::schedule(double delay, Action fn) {
+  HEPEX_REQUIRE(std::isfinite(delay), "event delay must be finite");
   HEPEX_REQUIRE(delay >= 0.0, "cannot schedule events in the past");
   calendar_.push(Event{now_ + delay, seq_++, std::move(fn)});
 }
 
 void Simulator::schedule_at(double t, Action fn) {
+  HEPEX_REQUIRE(std::isfinite(t), "event time must be finite");
   HEPEX_REQUIRE(t >= now_, "cannot schedule events before the current time");
   calendar_.push(Event{t, seq_++, std::move(fn)});
 }
@@ -29,7 +33,11 @@ std::size_t Simulator::run(std::size_t max_events) {
 }
 
 std::size_t Simulator::run_until(double t_end) {
+  HEPEX_REQUIRE(std::isfinite(t_end), "t_end must be finite");
   std::size_t processed = 0;
+  // The condition re-reads calendar_.top() after every action, so an
+  // event scheduled at exactly t_end from within a fired action still
+  // runs in this call (see the header's boundary guarantee).
   while (!calendar_.empty() && calendar_.top().time <= t_end) {
     Event ev = std::move(const_cast<Event&>(calendar_.top()));
     calendar_.pop();

@@ -36,6 +36,12 @@ class Simulator {
 
   /// Process events with timestamp <= t_end; the clock stops at t_end if
   /// the calendar still has later events. Returns events processed.
+  ///
+  /// Boundary guarantee: an event scheduled *at exactly* `t_end` runs in
+  /// this call even when it was scheduled by another event fired during
+  /// this call — the loop re-examines the calendar after every action, so
+  /// late arrivals at the boundary are not deferred to the next call
+  /// (pinned by Simulator.RunUntilRunsBoundaryEventsScheduledMidCall).
   std::size_t run_until(double t_end);
 
   /// True when no events remain.

@@ -1,10 +1,14 @@
 #include "trace/execution_engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
 #include "hw/dvfs_policy.hpp"
 #include "obs/log.hpp"
 #include "obs/registry.hpp"
@@ -58,9 +62,25 @@ struct Run {
   std::vector<Thread> threads;
 
   // Per-node runtime frequency (DVFS policies may change it between
-  // iterations; constant within one iteration).
+  // iterations; constant within one iteration). `f_base` is the
+  // configured/policy-chosen frequency; `f_node` is what actually runs
+  // (equal to f_base unless a thermal throttle window caps it).
   std::vector<double> f_node;
+  std::vector<double> f_base;
   hw::DvfsPolicy* policy = nullptr;
+
+  // ---- fault-injection state (inert when `inj` is null) ----
+  fault::Injector* inj = nullptr;
+  std::vector<char> node_dead;   // fail-stopped nodes awaiting recovery
+  int epoch = 0;                 // bumped on recovery; stale events no-op
+  bool aborted = false;
+  int spares_left = 0;
+  double last_checkpoint_s = 0.0;
+  double finish_s = 0.0;         // completion/abort time (excludes stray
+                                 // post-run fault events in the calendar)
+  double t_fault_s = 0.0;
+  double e_fault_j = 0.0;
+  FaultStats fstats;
 
   // Iteration bookkeeping.
   int iteration = 0;
@@ -120,6 +140,7 @@ struct Run {
     const auto nodes = static_cast<std::size_t>(cfg.nodes);
     proc_threads_left.assign(nodes, 0);
     f_node.assign(nodes, cfg.f_hz);
+    f_base.assign(nodes, cfg.f_hz);
     node_busy_until.assign(nodes, 0.0);
     iter_act_s.assign(nodes, 0.0);
     iter_stall_s.assign(nodes, 0.0);
@@ -141,6 +162,189 @@ struct Run {
     return static_cast<int>(tid) % cfg.cores;
   }
   int cluster_pid() const { return cfg.nodes; }
+  bool is_dead(int node) const {
+    return inj != nullptr && node_dead[static_cast<std::size_t>(node)] != 0;
+  }
+  bool any_dead() const {
+    for (char d : node_dead) {
+      if (d != 0) return true;
+    }
+    return false;
+  }
+  bool done() const { return iteration >= program.iterations; }
+
+  // ---- fault wiring ------------------------------------------------------
+
+  /// Register the plan's crash sources on the calendar. Must run before
+  /// the first begin_iteration().
+  void attach_faults(fault::Injector* injector) {
+    inj = injector;
+    node_dead.assign(static_cast<std::size_t>(cfg.nodes), 0);
+    spares_left = inj->plan().recovery.spare_nodes;
+    for (const auto& c : inj->plan().crashes) {
+      sim.schedule_at(c.at_s, [this, node = c.node] { node_crash(node); });
+    }
+    if (inj->plan().random_failures.node_mtbf_s > 0.0) schedule_next_failure();
+  }
+
+  void schedule_next_failure() {
+    sim.schedule(inj->next_failure_gap(), [this] {
+      if (aborted || done()) return;
+      node_crash(inj->pick_victim());
+      schedule_next_failure();
+    });
+  }
+
+  /// Fail-stop: the node goes silent. Its pending contributions to the
+  /// iteration barrier never arrive; the barrier-timeout watchdog armed
+  /// by begin_iteration() notices and triggers recovery.
+  void node_crash(int node) {
+    if (aborted || done() || node_dead[static_cast<std::size_t>(node)]) return;
+    node_dead[static_cast<std::size_t>(node)] = 1;
+    ++fstats.crashes;
+    if (sink != nullptr) {
+      sink->instant(node, kBarrierLane, "node crash", "fault", sim.now());
+    }
+    HEPEX_LOG_WARN("engine", "node crash",
+                   {{"node", node}, {"t", sim.now()}, {"iter", iteration}});
+  }
+
+  void arm_watchdog() {
+    sim.schedule(inj->plan().recovery.barrier_timeout_s,
+                 [this, e = epoch, it = iteration] { watchdog_fire(e, it); });
+  }
+
+  void watchdog_fire(int e, int it) {
+    if (aborted || e != epoch || it != iteration || done()) return;
+    if (!any_dead()) {
+      // The iteration is slow, not dead — keep watching.
+      arm_watchdog();
+      return;
+    }
+    recover_or_abort();
+  }
+
+  void abort_run() {
+    aborted = true;
+    ++epoch;
+    finish_s = sim.now();
+    if (sink != nullptr) {
+      sink->instant(cluster_pid(), kIterationLane, "abort", "fault",
+                    sim.now());
+    }
+    HEPEX_LOG_WARN("engine", "run aborted",
+                   {{"t", sim.now()}, {"iterations_done", iteration}});
+  }
+
+  /// Checkpoint/restart recovery, as a coordinated-checkpoint cost model:
+  /// the crashed node is replaced by a spare, the iterations completed
+  /// since the last checkpoint are charged again as rework (time at the
+  /// run's average dynamic CPU power), the restart downtime is idle, and
+  /// the hung iteration re-executes for real.
+  void recover_or_abort() {
+    const auto& rec = inj->plan().recovery;
+    int dead = 0;
+    for (char d : node_dead) dead += d;
+    // 100k recoveries means the failure rate outpaces progress; abort
+    // rather than simulate forever.
+    if (rec.mode == fault::RecoveryMode::kAbort || spares_left < dead ||
+        fstats.recoveries >= 100000) {
+      abort_run();
+      return;
+    }
+    ++epoch;  // strand every event of the abandoned attempt
+    spares_left -= dead;
+    fstats.spares_used += dead;
+    ++fstats.recoveries;
+    std::fill(node_dead.begin(), node_dead.end(), char{0});
+
+    const double detect = sim.now();
+    const double rework = std::max(0.0, iteration_start_s - last_checkpoint_s);
+    const double downtime = rec.restart_s;
+    t_fault_s += rework + downtime;
+    fstats.rework_s += rework;
+    fstats.downtime_s += downtime;
+    const double p_dyn =
+        detect > 0.0 ? (e_cpu_active_j + e_cpu_stall_j) / detect : 0.0;
+    e_fault_j += rework * p_dyn;
+
+    if (sink != nullptr) {
+      sink->complete(cluster_pid(), kIterationLane, "recovery", "fault",
+                     detect, downtime + rework);
+    }
+    HEPEX_LOG_WARN("engine", "checkpoint restart",
+                   {{"t", detect},
+                    {"iter", iteration},
+                    {"rework_s", rework},
+                    {"downtime_s", downtime}});
+    const double resume_at = detect + downtime + rework;
+    last_checkpoint_s = resume_at;
+    sim.schedule_at(resume_at, [this, e = epoch] {
+      if (aborted || e != epoch) return;
+      begin_iteration();  // redo the hung iteration from checkpoint state
+    });
+  }
+
+  /// Coordinated checkpoint at an iteration barrier when the interval
+  /// elapsed. Returns true when it scheduled the next iteration itself.
+  bool take_checkpoint() {
+    const auto& rec = inj->plan().recovery;
+    if (rec.mode != fault::RecoveryMode::kCheckpointRestart ||
+        rec.checkpoint_interval_s <= 0.0 || !inj->has_crash_sources()) {
+      return false;
+    }
+    if (sim.now() - last_checkpoint_s < rec.checkpoint_interval_s) {
+      return false;
+    }
+    const double w = rec.checkpoint_write_s;
+    ++fstats.checkpoints;
+    fstats.checkpoint_s += w;
+    t_fault_s += w;
+    e_fault_j += cfg.nodes * machine.node.power.mem_active_w * w;
+    last_checkpoint_s = sim.now() + w;
+    if (sink != nullptr) {
+      sink->complete(cluster_pid(), kIterationLane, "checkpoint", "fault",
+                     sim.now(), w);
+    }
+    sim.schedule(w, [this, e = epoch] {
+      if (aborted || e != epoch) return;
+      begin_iteration();
+    });
+    return true;
+  }
+
+  /// Highest DVFS operating point not above `cap` (the lowest point when
+  /// even that exceeds the cap — a core cannot clock below f_min).
+  double throttle_point(double cap) const {
+    const auto& fs = machine.node.dvfs.frequencies_hz;
+    double best = fs.front();
+    for (double f : fs) {
+      if (f <= cap) best = f;  // ascending: last match is the highest
+    }
+    return best;
+  }
+
+  /// Apply active thermal-throttle windows on top of the policy-chosen
+  /// frequencies for the iteration that starts now.
+  void apply_thermal_caps() {
+    bool any = false;
+    for (int node = 0; node < cfg.nodes; ++node) {
+      const auto ni = static_cast<std::size_t>(node);
+      const double cap = inj->f_cap_hz(node, sim.now());
+      double f = f_base[ni];
+      if (cap < f) {
+        f = throttle_point(cap);
+        any = true;
+      }
+      if (f != f_node[ni] && sink != nullptr) {
+        sink->instant(node, kBarrierLane, "thermal throttle", "fault",
+                      sim.now());
+        sink->counter(node, "f [GHz]", sim.now(), f / 1e9);
+      }
+      f_node[ni] = f;
+    }
+    if (any) ++fstats.throttled_iterations;
+  }
 
   // ---- observability wiring ----------------------------------------------
 
@@ -211,6 +415,7 @@ struct Run {
   // ---- per-iteration setup ------------------------------------------------
 
   void begin_iteration() {
+    if (inj != nullptr) apply_thermal_caps();
     const auto& comp = program.compute;
     const double cpi = isa().work_cpi * comp.cpi_factor;
     const double stall_rate =
@@ -266,8 +471,10 @@ struct Run {
       double instr = parallel / cfg.cores * imb;
       if (lane == 0) instr += serial;
 
-      const double jitter =
-          opt.jitter_cv > 0.0 ? rng.lognormal_mean(1.0, opt.jitter_cv) : 1.0;
+      const double cv = inj != nullptr
+                            ? inj->jitter_cv(opt.jitter_cv, sim.now())
+                            : opt.jitter_cv;
+      const double jitter = cv > 0.0 ? rng.lognormal_mean(1.0, cv) : 1.0;
       const double w = instr * cpi * jitter + sync_cycles;
       const double b = instr * cpi * jitter * stall_rate;
 
@@ -289,14 +496,23 @@ struct Run {
       const double full = (w + b) / f;
       active_full_s += full;
       iter_act_s[static_cast<std::size_t>(t.process)] += full;
-      sim.schedule(0.0, [this, i] { thread_step(i); });
+      sim.schedule(0.0, [this, i, e = epoch] {
+        if (aborted || e != epoch) return;
+        thread_step(i);
+      });
     }
+
+    // Failure detection: a watchdog re-arms every barrier_timeout_s until
+    // this iteration's barrier releases (the epoch/iteration captures make
+    // stale watchdogs no-ops).
+    if (inj != nullptr && inj->has_crash_sources()) arm_watchdog();
   }
 
   // ---- compute phase ------------------------------------------------------
 
   void thread_step(std::size_t tid) {
     Thread& t = threads[tid];
+    if (aborted || is_dead(t.process)) return;  // the node went silent
     if (t.chunks_left == 0) {
       thread_done(t.process);
       return;
@@ -310,10 +526,24 @@ struct Run {
     stall_net_s -= used;
     iter_stall_s[static_cast<std::size_t>(t.process)] -= used;
     counters.mem_stall_cycles -= used * f_of(t.process);
-    const double eff_compute = t.compute_chunk_s - used;
+    double eff_compute = t.compute_chunk_s - used;
+    if (inj != nullptr) {
+      // Straggler windows stretch the chunk; the extra wall time burns
+      // active-core power and is attributed to E_fault.
+      const double slow = inj->compute_slowdown(t.process, sim.now());
+      if (slow > 1.0) {
+        const double extra = eff_compute * (slow - 1.0);
+        eff_compute += extra;
+        fstats.straggler_s += extra;
+        e_fault_j += extra * machine.node.power.core.active_at(
+                                 f_of(t.process), machine.node.dvfs);
+      }
+    }
 
-    sim.schedule(eff_compute, [this, tid, eff_compute] {
+    sim.schedule(eff_compute, [this, tid, eff_compute, e = epoch] {
+      if (aborted || e != epoch) return;
       Thread& th = threads[tid];
+      if (is_dead(th.process)) return;
       touch(th.process);
       if (sink != nullptr && eff_compute > 0.0) {
         sink->complete_end(th.process, lane_of(tid), "compute", "cpu",
@@ -325,8 +555,10 @@ struct Run {
       }
       const double service = th.mem_service_chunk_s;
       mem[static_cast<std::size_t>(th.process)]->request(
-          service, [this, tid, service](double waited) {
+          service, [this, tid, service, e2 = epoch](double waited) {
+            if (aborted || e2 != epoch) return;
             Thread& th2 = threads[tid];
+            if (is_dead(th2.process)) return;
             const double stall = waited + service;
             stall_net_s += stall;
             iter_stall_s[static_cast<std::size_t>(th2.process)] += stall;
@@ -365,6 +597,7 @@ struct Run {
   }
 
   void send_next(int process, int idx, workload::CommShape shape) {
+    if (aborted || is_dead(process)) return;  // sender died mid-phase
     if (idx == shape.messages) {
       process_comm_done();
       return;
@@ -389,20 +622,52 @@ struct Run {
     // Send-side stack processing serializes with this node's receive
     // processing on the messaging context.
     stack[static_cast<std::size_t>(process)]->request(
-        sw_s, [this, process, idx, shape, size, dest](double) {
+        sw_s, [this, process, idx, shape, size, dest, e = epoch](double) {
+          if (aborted || e != epoch) return;
+          if (is_dead(process)) return;
           touch(process);
-          const double wire = machine.network.wire_time(size);
-          net_busy_s += wire;
-          net->request(wire, [this, dest](double /*waited*/) {
-            message_delivered(dest);
-          });
+          transmit(dest, size, /*attempt=*/0);
           // The send is buffered: the core moves to the next message
           // while the wire transfer proceeds.
           send_next(process, idx + 1, shape);
         });
   }
 
+  /// Occupy the wire for one transfer attempt. Under an active network
+  /// degradation window the transfer may be dropped at completion, in
+  /// which case the sender backs off exponentially and retransmits; after
+  /// `max_retransmits` attempts the message is delivered regardless so an
+  /// adversarial drop rate cannot hang the run.
+  void transmit(int dest, double size, int attempt) {
+    const double wire = inj != nullptr
+                            ? inj->wire_time(machine.network, size, sim.now())
+                            : machine.network.wire_time(size);
+    net_busy_s += wire;
+    net->request(wire, [this, dest, size, attempt, e = epoch](double) {
+      if (aborted || e != epoch) return;
+      if (inj != nullptr && attempt < inj->plan().max_retransmits &&
+          inj->drop_message(sim.now())) {
+        ++fstats.messages_dropped;
+        ++fstats.retransmits;
+        if (sink != nullptr) {
+          sink->instant(cluster_pid(), kSwitchLane, "drop+retx", "fault",
+                        sim.now());
+        }
+        const double backoff =
+            inj->plan().retransmit_timeout_s *
+            static_cast<double>(1u << std::min(attempt, 20));
+        sim.schedule(backoff, [this, dest, size, attempt, e2 = epoch] {
+          if (aborted || e2 != epoch) return;
+          transmit(dest, size, attempt + 1);
+        });
+        return;
+      }
+      message_delivered(dest);
+    });
+  }
+
   void message_delivered(int dest) {
+    if (aborted || is_dead(dest)) return;  // receiver died; barrier hangs
     // Receive-side stack processing serializes on the destination node's
     // interrupt-handling core (one message at a time) — for many-small-
     // message programs this is a genuine bottleneck. It happens while
@@ -413,9 +678,11 @@ struct Run {
     comm_sw_s += sw_s;
     iter_comm_s[static_cast<std::size_t>(dest)] += sw_s;
     counters.comm_software_cycles += isa().message_software_cycles;
-    stack[static_cast<std::size_t>(dest)]->request(sw_s, [this](double) {
-      if (--msgs_in_flight == 0) maybe_end_iteration();
-    });
+    stack[static_cast<std::size_t>(dest)]->request(
+        sw_s, [this, e = epoch](double) {
+          if (aborted || e != epoch) return;
+          if (--msgs_in_flight == 0) maybe_end_iteration();
+        });
   }
 
   void process_comm_done() {
@@ -430,9 +697,14 @@ struct Run {
     }
     end_iteration();
     ++iteration;
-    if (iteration < program.iterations) {
-      begin_iteration();
+    if (iteration >= program.iterations) {
+      // Record completion now: stray fault events (failure draws,
+      // watchdogs) may still sit in the calendar and advance sim.now().
+      finish_s = sim.now();
+      return;
     }
+    if (inj != nullptr && take_checkpoint()) return;
+    begin_iteration();
   }
 
   /// Fold this iteration's per-node CPU time into energy at the node's
@@ -505,6 +777,7 @@ struct Run {
                            {"from_ghz", f / 1e9},
                            {"to_ghz", next / 1e9}});
         }
+        f_base[ni] = next;
         f_node[ni] = next;
       }
     }
@@ -515,7 +788,7 @@ struct Run {
   Measurement finalize() {
     Measurement out;
     out.config = cfg;
-    out.time_s = sim.now();
+    out.time_s = finish_s;
     out.counters = counters;
     out.messages = messages;
 
@@ -533,6 +806,10 @@ struct Run {
     out.energy.mem_j = pw.mem_active_w * out.mem_busy_s;
     out.energy.net_j = pw.net_active_w * out.net_busy_s;
     out.energy.idle_j = pw.sys_idle_w * out.time_s * cfg.nodes;
+    out.energy.fault_j = e_fault_j;
+    out.t_fault_s = t_fault_s;
+    out.faults = fstats;
+    out.outcome = aborted ? RunOutcome::kAborted : RunOutcome::kCompleted;
 
     // Average wall-clock compute per core: equals (w+b)/(n c f) when the
     // frequency stays fixed, and generalises to DVFS runs.
@@ -564,6 +841,20 @@ struct Run {
       reg->gauge("mem.utilization_mean").set(mem_util / cfg.nodes);
       reg->gauge("cpu.utilization").set(out.cpu_utilization);
       reg->gauge("engine.avg_frequency_ghz").set(out.avg_frequency_hz / 1e9);
+      if (inj != nullptr) {
+        reg->counter("fault.crashes")
+            .add(static_cast<std::uint64_t>(fstats.crashes));
+        reg->counter("fault.recoveries")
+            .add(static_cast<std::uint64_t>(fstats.recoveries));
+        reg->counter("fault.checkpoints")
+            .add(static_cast<std::uint64_t>(fstats.checkpoints));
+        reg->counter("fault.messages_dropped")
+            .add(static_cast<std::uint64_t>(fstats.messages_dropped));
+        reg->counter("fault.retransmits")
+            .add(static_cast<std::uint64_t>(fstats.retransmits));
+        reg->gauge("fault.t_fault_s").set(t_fault_s);
+        reg->gauge("fault.e_fault_j").set(e_fault_j);
+      }
     }
     return out;
   }
@@ -574,9 +865,11 @@ struct Run {
 Measurement simulate(const MachineSpec& machine, const ProgramSpec& program,
                      const ClusterConfig& config, const SimOptions& options) {
   hw::validate_config(machine, config, /*require_physical=*/true);
-  HEPEX_REQUIRE(program.iterations >= 1, "program needs >= 1 iteration");
+  program.validate();
   HEPEX_REQUIRE(options.chunks_per_iteration >= 1,
                 "need >= 1 chunk per iteration");
+  HEPEX_REQUIRE(std::isfinite(options.jitter_cv) && options.jitter_cv >= 0.0,
+                "jitter_cv must be finite and >= 0");
 
   HEPEX_LOG_INFO("engine", "simulate",
                  {{"machine", machine.name},
@@ -586,9 +879,14 @@ Measurement simulate(const MachineSpec& machine, const ProgramSpec& program,
                   {"f_ghz", config.f_hz / 1e9},
                   {"traced", options.trace != nullptr}});
   Run run(machine, program, config, options);
+  std::optional<fault::Injector> injector;
+  if (options.faults != nullptr && !options.faults->empty()) {
+    injector.emplace(*options.faults, config.nodes);  // validates the plan
+    run.attach_faults(&*injector);
+  }
   run.begin_iteration();
   const std::size_t events = run.sim.run();
-  HEPEX_ASSERT(run.iteration == program.iterations,
+  HEPEX_ASSERT(run.aborted || run.iteration == program.iterations,
                "simulation ended before all iterations completed");
   Measurement out = run.finalize();
   HEPEX_LOG_DEBUG("engine", "simulate done",

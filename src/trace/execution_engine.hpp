@@ -30,6 +30,10 @@ class Registry;
 class TraceSink;
 }  // namespace hepex::obs
 
+namespace hepex::fault {
+struct Plan;
+}  // namespace hepex::fault
+
 namespace hepex::trace {
 
 /// Tunables of the simulated execution.
@@ -58,6 +62,17 @@ struct SimOptions {
   /// and barrier-wait histograms, switch/memory utilization, message
   /// totals. Same zero-perturbation guarantee as `trace`.
   obs::Registry* metrics = nullptr;
+
+  /// Optional fault-injection plan (non-owning, may be null). When set
+  /// and non-empty, the engine runs in degraded mode: scheduled/random
+  /// node crashes with barrier-timeout detection and abort or
+  /// checkpoint/restart recovery, straggler and throttle windows,
+  /// OS-jitter storms, and network degradation with drop + backoff
+  /// retransmission. Recovery time and energy are attributed to the
+  /// Measurement's `t_fault_s` / `energy.fault_j`. The plan carries its
+  /// own RNG seed, so a null or empty plan leaves the run bit-identical
+  /// to today's fault-free path. See docs/faults.md.
+  const fault::Plan* faults = nullptr;
 };
 
 /// Execute `program` on `machine` at `config` and return the measurement.

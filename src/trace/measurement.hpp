@@ -32,9 +32,15 @@ struct EnergyBreakdown {
   double mem_j = 0.0;         ///< memory controllers while busy
   double net_j = 0.0;         ///< NICs while transmitting
   double idle_j = 0.0;        ///< P_sys,idle * T * n
+  /// E_fault: energy attributed to faults and resilience machinery —
+  /// checkpoint writes, redone (rework) computation after a restart and
+  /// straggler-stretched execution. Zero on fault-free runs; the idle
+  /// floor drawn during fault-extended wall time lands in `idle_j`
+  /// because that term integrates over the full run. See docs/faults.md.
+  double fault_j = 0.0;
 
   double total() const {
-    return cpu_active_j + cpu_stall_j + mem_j + net_j + idle_j;
+    return cpu_active_j + cpu_stall_j + mem_j + net_j + idle_j + fault_j;
   }
 };
 
@@ -48,6 +54,29 @@ struct MessageProfile {
   double bytes_per_message() const {
     return messages > 0.0 ? bytes / messages : 0.0;
   }
+};
+
+/// How a simulated run ended.
+enum class RunOutcome {
+  kCompleted = 0,  ///< all S iterations finished
+  kAborted = 1     ///< a node died and the recovery policy was abort
+};
+
+/// Fault/recovery observables of one run. All zero on fault-free runs;
+/// populated by the engine when a `fault::Plan` is attached (see
+/// docs/faults.md for the taxonomy and the attribution rules).
+struct FaultStats {
+  int crashes = 0;               ///< fail-stop node deaths
+  int recoveries = 0;            ///< checkpoint/restart recoveries completed
+  int checkpoints = 0;           ///< coordinated checkpoints written
+  int spares_used = 0;           ///< replacement nodes consumed
+  int messages_dropped = 0;      ///< wire transfers lost to degradation
+  int retransmits = 0;           ///< backoff retransmissions issued
+  int throttled_iterations = 0;  ///< iterations begun under a DVFS cap
+  double straggler_s = 0.0;      ///< extra compute wall-seconds injected
+  double checkpoint_s = 0.0;     ///< wall time writing checkpoints
+  double rework_s = 0.0;         ///< lost progress re-charged on recovery
+  double downtime_s = 0.0;       ///< restart downtime
 };
 
 /// One complete simulated execution.
@@ -73,8 +102,19 @@ struct Measurement {
   /// network-bound share of each iteration.
   util::Summary drain_s;
   /// Mean operating frequency across nodes and iterations (equals the
-  /// configured f unless a DVFS policy intervened).
+  /// configured f unless a DVFS policy or a thermal throttle intervened).
   double avg_frequency_hz = 0.0;
+
+  /// T_fault: wall time attributed to faults and resilience machinery —
+  /// checkpoint writes, restart downtime and rework after recoveries.
+  /// Included in `time_s`; zero on fault-free runs.
+  double t_fault_s = 0.0;
+  /// Fault/recovery event counts and durations (all zero without a plan).
+  FaultStats faults;
+  /// Whether the run completed or was aborted by the recovery policy.
+  RunOutcome outcome = RunOutcome::kCompleted;
+
+  bool completed() const { return outcome == RunOutcome::kCompleted; }
 
   /// Ground-truth useful computation ratio of this run (Eq. 13).
   double ucr() const { return time_s > 0.0 ? t_cpu_s / time_s : 0.0; }

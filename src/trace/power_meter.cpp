@@ -1,13 +1,14 @@
 #include "trace/power_meter.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "util/error.hpp"
 
 namespace hepex::trace {
 
-PowerMeter::PowerMeter(const hw::MachineSpec& machine, std::uint64_t seed)
-    : machine_(machine), rng_(seed) {}
+PowerMeter::PowerMeter(hw::MachineSpec machine, std::uint64_t seed)
+    : machine_(std::move(machine)), rng_(seed) {}
 
 MeterReading PowerMeter::read(const Measurement& m) {
   HEPEX_REQUIRE(m.time_s > 0.0, "cannot meter a zero-length run");

@@ -27,10 +27,11 @@ struct MeterReading {
 /// Simulated WattsUp meter attached to every node of a cluster.
 class PowerMeter {
  public:
-  /// \param machine  the metered cluster (supplies the calibration sigma)
+  /// \param machine  the metered cluster (supplies the calibration sigma);
+  ///                 copied, so temporaries like `hw::xeon_cluster()` are safe
   /// \param seed     meter noise stream; a given meter instance drifts
   ///                 deterministically for reproducible experiments
-  explicit PowerMeter(const hw::MachineSpec& machine, std::uint64_t seed = 7);
+  explicit PowerMeter(hw::MachineSpec machine, std::uint64_t seed = 7);
 
   /// Observe a run: exact energy plus a per-reading calibration offset of
   /// sigma `meter_offset_sigma_w` per node, and 1 Hz sampling quantisation.
@@ -40,7 +41,7 @@ class PowerMeter {
   static MeterReading read_exact(const Measurement& m);
 
  private:
-  const hw::MachineSpec& machine_;
+  hw::MachineSpec machine_;
   util::Rng rng_;
 };
 

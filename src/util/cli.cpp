@@ -22,9 +22,15 @@ CliArgs CliArgs::parse(int argc, const char* const* argv) {
     // `--flag=value` binds inline and never consumes the next token.
     if (const auto eq = name.find('='); eq != std::string::npos) {
       HEPEX_REQUIRE(eq > 0, "empty flag name");
+      HEPEX_REQUIRE(eq + 1 < name.size(),
+                    "flag --" + name.substr(0, eq) +
+                        " has an empty value (drop the '=' for a switch)");
+      HEPEX_REQUIRE(out.flags_.count(name.substr(0, eq)) == 0,
+                    "duplicate flag --" + name.substr(0, eq));
       out.flags_[name.substr(0, eq)] = name.substr(eq + 1);
       continue;
     }
+    HEPEX_REQUIRE(out.flags_.count(name) == 0, "duplicate flag --" + name);
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       out.flags_[name] = argv[i + 1];
       ++i;
@@ -63,6 +69,9 @@ double CliArgs::get_double_or(const std::string& name,
   } catch (const std::invalid_argument&) {
     throw std::invalid_argument("hepex: flag --" + name +
                                 " expects a number, got '" + *v + "'");
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument("hepex: flag --" + name +
+                                " value out of range: '" + *v + "'");
   }
 }
 
@@ -77,6 +86,9 @@ int CliArgs::get_int_or(const std::string& name, int fallback) const {
   } catch (const std::invalid_argument&) {
     throw std::invalid_argument("hepex: flag --" + name +
                                 " expects an integer, got '" + *v + "'");
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument("hepex: flag --" + name +
+                                " value out of range: '" + *v + "'");
   }
 }
 

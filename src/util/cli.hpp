@@ -16,8 +16,9 @@ namespace hepex::util {
 /// Parsed command line.
 class CliArgs {
  public:
-  /// Parse argv (argv[0] is skipped). Throws std::invalid_argument when a
-  /// flag is missing its value.
+  /// Parse argv (argv[0] is skipped). Throws std::invalid_argument on a
+  /// stray positional token, a repeated flag, or an inline `--flag=` with
+  /// an empty value.
   static CliArgs parse(int argc, const char* const* argv);
 
   /// The first positional token (the sub-command); empty when absent.

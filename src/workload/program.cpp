@@ -19,6 +19,49 @@ double ProgramSpec::working_set_per_thread(int n, int c) const {
   return working_set_per_process(n) / static_cast<double>(c);
 }
 
+namespace {
+bool finite_nonneg(double x) { return std::isfinite(x) && x >= 0.0; }
+}  // namespace
+
+void ProgramSpec::validate() const {
+  HEPEX_REQUIRE(iterations >= 1, "program needs >= 1 iteration");
+  HEPEX_REQUIRE(std::isfinite(compute.instructions_per_iter) &&
+                    compute.instructions_per_iter > 0.0,
+                "instructions per iteration must be finite and positive");
+  HEPEX_REQUIRE(std::isfinite(compute.cpi_factor) && compute.cpi_factor > 0.0,
+                "CPI factor must be finite and positive");
+  HEPEX_REQUIRE(finite_nonneg(compute.stall_factor),
+                "stall factor must be finite and >= 0");
+  HEPEX_REQUIRE(finite_nonneg(compute.bytes_per_instruction),
+                "bytes per instruction must be finite and >= 0");
+  HEPEX_REQUIRE(finite_nonneg(compute.reuse_bytes_per_instruction),
+                "reuse bytes per instruction must be finite and >= 0");
+  HEPEX_REQUIRE(finite_nonneg(compute.reuse_window_bytes),
+                "reuse window must be finite and >= 0");
+  HEPEX_REQUIRE(finite_nonneg(compute.working_set_bytes),
+                "working set must be finite and >= 0");
+  HEPEX_REQUIRE(std::isfinite(compute.serial_fraction) &&
+                    compute.serial_fraction >= 0.0 &&
+                    compute.serial_fraction <= 1.0,
+                "serial fraction must be in [0, 1]");
+  HEPEX_REQUIRE(std::isfinite(compute.imbalance) &&
+                    compute.imbalance >= 0.0 && compute.imbalance < 1.0,
+                "thread imbalance must be in [0, 1)");
+  HEPEX_REQUIRE(std::isfinite(compute.node_imbalance) &&
+                    compute.node_imbalance >= 0.0 &&
+                    compute.node_imbalance < 1.0,
+                "node imbalance must be in [0, 1)");
+  HEPEX_REQUIRE(finite_nonneg(comm.base_bytes),
+                "communication base volume must be finite and >= 0");
+  HEPEX_REQUIRE(comm.rounds >= 0, "communication rounds must be >= 0");
+  HEPEX_REQUIRE(finite_nonneg(comm.size_cv),
+                "message-size cv must be finite and >= 0");
+  HEPEX_REQUIRE(finite_nonneg(sync.base_cycles),
+                "sync base cycles must be finite and >= 0");
+  HEPEX_REQUIRE(finite_nonneg(sync.cycles_per_total_core),
+                "sync growth cycles must be finite and >= 0");
+}
+
 ProgramSpec with_input_class(const ProgramSpec& program, InputClass cls) {
   const double n_old = grid_dimension(program.input);
   const double n_new = grid_dimension(cls);

@@ -92,6 +92,13 @@ struct ProgramSpec {
   /// Per-thread slice of the process working set at c threads (used for
   /// the private-cache term of the cache model).
   double working_set_per_thread(int n, int c) const;
+
+  /// Check every demand parameter is finite and in range (iterations >= 1,
+  /// non-negative traffic/working set, serial fraction and imbalances in
+  /// [0, 1), positive CPI factor). The execution engine validates specs on
+  /// entry so a NaN demand fails fast instead of corrupting a simulation.
+  /// Throws std::invalid_argument on the first violation.
+  void validate() const;
 };
 
 /// Rescale a program to another input class: instructions and working set

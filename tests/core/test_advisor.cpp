@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "hw/presets.hpp"
@@ -164,6 +165,77 @@ TEST(Advisor, MemoryBandwidthWhatIfImprovesSp) {
   EXPECT_GT(after.ucr, before.ucr + 0.05);
   EXPECT_LT(after.time_s, before.time_s);
   EXPECT_LT(after.energy_j, before.energy_j);
+}
+
+TEST(Advisor, ResilientExploreFoldsOverheadIntoEveryPoint) {
+  Advisor a = make_advisor();
+  model::ResilienceSpec spec;
+  spec.node_mtbf_s = 86400.0;  // one failure per node-day
+  const auto resilient = a.explore_resilient(spec);
+  ASSERT_FALSE(resilient.empty());
+  ASSERT_LE(resilient.size(), a.explore().size());
+  // Every surviving point costs at least its fault-free counterpart.
+  for (const auto& r : resilient) {
+    for (const auto& p : a.explore()) {
+      if (p.config == r.config) {
+        EXPECT_GE(r.time_s, p.time_s);
+        EXPECT_GE(r.energy_j, p.energy_j);
+      }
+    }
+  }
+}
+
+TEST(Advisor, RecommendResilientIsMinimumExpectedEnergy) {
+  Advisor a = make_advisor();
+  model::ResilienceSpec spec;
+  spec.node_mtbf_s = 86400.0;
+  const auto rec = a.recommend_resilient(spec);
+  for (const auto& p : a.explore_resilient(spec)) {
+    EXPECT_LE(rec.energy_j, p.energy_j + 1e-9);
+  }
+}
+
+TEST(Advisor, HighFailureRateReranksTowardFewerNodes) {
+  // The resilience thesis: as the cluster MTBF shrinks with n, wide
+  // configurations pay more expected rework, so the energy optimum under
+  // an aggressive failure rate uses no more nodes than the fault-free
+  // optimum (and the frontier thins out as points become infeasible).
+  Advisor a = make_advisor();
+  const auto space = a.explore();
+  const auto fault_free_best = *std::min_element(
+      space.begin(), space.end(),
+      [](const auto& x, const auto& y) { return x.energy_j < y.energy_j; });
+
+  model::ResilienceSpec harsh;
+  harsh.node_mtbf_s = 2000.0;
+  harsh.checkpoint_write_s = 5.0;
+  harsh.restart_s = 30.0;
+  const auto rec = a.recommend_resilient(harsh);
+  EXPECT_LE(rec.config.nodes, fault_free_best.config.nodes);
+  // Resilience is never free: the best expected energy exceeds the
+  // fault-free optimum.
+  EXPECT_GT(rec.energy_j, fault_free_best.energy_j);
+}
+
+TEST(Advisor, ResilientFrontierIsNonDominatedWithinTheResilientSpace) {
+  Advisor a = make_advisor();
+  model::ResilienceSpec spec;
+  spec.node_mtbf_s = 86400.0;
+  const auto frontier = a.resilient_frontier(spec);
+  const auto space = a.explore_resilient(spec);
+  ASSERT_FALSE(frontier.empty());
+  for (const auto& f : frontier) {
+    for (const auto& p : space) {
+      EXPECT_FALSE(pareto::dominates(p, f));
+    }
+  }
+}
+
+TEST(Advisor, RecommendResilientThrowsWhenNothingMakesProgress) {
+  Advisor a = make_advisor();
+  model::ResilienceSpec hopeless;
+  hopeless.node_mtbf_s = 1.0;  // a failure every second per node
+  EXPECT_THROW(a.recommend_resilient(hopeless), std::invalid_argument);
 }
 
 TEST(Advisor, AccessorsExposeInputs) {

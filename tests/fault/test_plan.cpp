@@ -1,0 +1,107 @@
+// Validation of fault::Plan — every field is range-checked before a run.
+
+#include "fault/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+namespace hepex::fault {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Plan, DefaultPlanIsEmptyAndValid) {
+  Plan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_FALSE(plan.has_crash_sources());
+  EXPECT_NO_THROW(plan.validate(4));
+}
+
+TEST(Plan, CrashSourcesDetected) {
+  Plan scheduled;
+  scheduled.crashes.push_back(NodeCrash{0, 1.0});
+  EXPECT_FALSE(scheduled.empty());
+  EXPECT_TRUE(scheduled.has_crash_sources());
+
+  Plan random;
+  random.random_failures.node_mtbf_s = 100.0;
+  EXPECT_FALSE(random.empty());
+  EXPECT_TRUE(random.has_crash_sources());
+
+  Plan windows_only;
+  windows_only.stragglers.push_back(Straggler{0, 0.0, 1.0, 2.0});
+  EXPECT_FALSE(windows_only.empty());
+  EXPECT_FALSE(windows_only.has_crash_sources());
+}
+
+TEST(Plan, RejectsOutOfRangeNodes) {
+  Plan plan;
+  plan.crashes.push_back(NodeCrash{4, 1.0});
+  EXPECT_THROW(plan.validate(4), std::invalid_argument);
+  plan.crashes.front().node = -1;
+  EXPECT_THROW(plan.validate(4), std::invalid_argument);
+  plan.crashes.front().node = 3;
+  EXPECT_NO_THROW(plan.validate(4));
+}
+
+TEST(Plan, RejectsNonFiniteTimes) {
+  Plan plan;
+  plan.crashes.push_back(NodeCrash{0, kNaN});
+  EXPECT_THROW(plan.validate(2), std::invalid_argument);
+  plan.crashes.front().at_s = kInf;
+  EXPECT_THROW(plan.validate(2), std::invalid_argument);
+  plan.crashes.front().at_s = -1.0;
+  EXPECT_THROW(plan.validate(2), std::invalid_argument);
+}
+
+TEST(Plan, RejectsBadStraggler) {
+  Plan plan;
+  plan.stragglers.push_back(Straggler{0, 0.0, 1.0, 0.5});  // slowdown < 1
+  EXPECT_THROW(plan.validate(2), std::invalid_argument);
+  plan.stragglers.front().slowdown = kNaN;
+  EXPECT_THROW(plan.validate(2), std::invalid_argument);
+  plan.stragglers.front().slowdown = 1.5;
+  plan.stragglers.front().duration_s = kNaN;
+  EXPECT_THROW(plan.validate(2), std::invalid_argument);
+}
+
+TEST(Plan, RejectsBadNetworkDegradation) {
+  Plan plan;
+  plan.net_degradations.push_back(NetworkDegradation{0.0, 1.0, 1.0, 1.0, 1.0});
+  EXPECT_THROW(plan.validate(2), std::invalid_argument);  // drop_prob == 1
+  plan.net_degradations.front().drop_prob = 0.5;
+  EXPECT_NO_THROW(plan.validate(2));
+  plan.net_degradations.front().bandwidth_mult = 0.0;
+  EXPECT_THROW(plan.validate(2), std::invalid_argument);
+  plan.net_degradations.front().bandwidth_mult = 2.0;
+  EXPECT_THROW(plan.validate(2), std::invalid_argument);
+  plan.net_degradations.front().bandwidth_mult = 0.5;
+  plan.net_degradations.front().latency_mult = 0.5;  // < 1
+  EXPECT_THROW(plan.validate(2), std::invalid_argument);
+}
+
+TEST(Plan, RejectsBadRecoveryAndRetransmit) {
+  Plan plan;
+  plan.recovery.barrier_timeout_s = 0.0;
+  EXPECT_THROW(plan.validate(2), std::invalid_argument);
+  plan.recovery.barrier_timeout_s = 30.0;
+  plan.recovery.spare_nodes = -1;
+  EXPECT_THROW(plan.validate(2), std::invalid_argument);
+  plan.recovery.spare_nodes = 0;
+  plan.retransmit_timeout_s = 0.0;
+  EXPECT_THROW(plan.validate(2), std::invalid_argument);
+  plan.retransmit_timeout_s = 1e-3;
+  plan.max_retransmits = 0;
+  EXPECT_THROW(plan.validate(2), std::invalid_argument);
+}
+
+TEST(Plan, RejectsNonPositiveNodeCount) {
+  Plan plan;
+  EXPECT_THROW(plan.validate(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hepex::fault

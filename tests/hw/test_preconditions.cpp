@@ -1,0 +1,100 @@
+// validate_machine(): every MachineSpec field is range-checked before a
+// spec reaches the engine or the model, so a NaN bandwidth or a
+// descending DVFS table fails fast with an actionable message.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+#include "hw/machine.hpp"
+#include "hw/presets.hpp"
+
+namespace hepex::hw {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+TEST(MachinePreconditions, PresetsAreValid) {
+  EXPECT_NO_THROW(validate_machine(xeon_cluster()));
+  EXPECT_NO_THROW(validate_machine(arm_cluster()));
+}
+
+TEST(MachinePreconditions, RejectsBadCoreAndNodeCounts) {
+  MachineSpec m = xeon_cluster();
+  m.node.cores = 0;
+  EXPECT_THROW(validate_machine(m), std::invalid_argument);
+  m = xeon_cluster();
+  m.nodes_available = 0;
+  EXPECT_THROW(validate_machine(m), std::invalid_argument);
+}
+
+TEST(MachinePreconditions, RejectsBadDvfsTable) {
+  MachineSpec m = xeon_cluster();
+  m.node.dvfs.frequencies_hz.clear();
+  EXPECT_THROW(validate_machine(m), std::invalid_argument);
+
+  m = xeon_cluster();
+  m.node.dvfs.frequencies_hz = {1.2e9, 1.2e9};  // not strictly ascending
+  EXPECT_THROW(validate_machine(m), std::invalid_argument);
+
+  m = xeon_cluster();
+  m.node.dvfs.frequencies_hz = {1.2e9, kNaN};
+  EXPECT_THROW(validate_machine(m), std::invalid_argument);
+
+  m = xeon_cluster();
+  m.node.dvfs.v_max = m.node.dvfs.v_min / 2.0;  // inverted voltage range
+  EXPECT_THROW(validate_machine(m), std::invalid_argument);
+}
+
+TEST(MachinePreconditions, RejectsBadIsa) {
+  MachineSpec m = xeon_cluster();
+  m.node.isa.work_cpi = 0.0;
+  EXPECT_THROW(validate_machine(m), std::invalid_argument);
+  m = xeon_cluster();
+  m.node.isa.memory_overlap = 1.5;
+  EXPECT_THROW(validate_machine(m), std::invalid_argument);
+  m = xeon_cluster();
+  m.node.isa.memory_level_parallelism = 0.5;
+  EXPECT_THROW(validate_machine(m), std::invalid_argument);
+}
+
+TEST(MachinePreconditions, RejectsBadMemoryAndPower) {
+  MachineSpec m = xeon_cluster();
+  m.node.memory.bandwidth_bytes_per_s = kNaN;
+  EXPECT_THROW(validate_machine(m), std::invalid_argument);
+  m = xeon_cluster();
+  m.node.memory.latency_s = -1e-9;
+  EXPECT_THROW(validate_machine(m), std::invalid_argument);
+  m = xeon_cluster();
+  m.node.power.core.active_coeff = 0.0;
+  EXPECT_THROW(validate_machine(m), std::invalid_argument);
+  m = xeon_cluster();
+  m.node.power.core.stall_fraction = -0.1;
+  EXPECT_THROW(validate_machine(m), std::invalid_argument);
+  m = xeon_cluster();
+  m.node.power.sys_idle_w = kNaN;
+  EXPECT_THROW(validate_machine(m), std::invalid_argument);
+}
+
+TEST(MachinePreconditions, RejectsBadNetwork) {
+  MachineSpec m = xeon_cluster();
+  m.network.link_bits_per_s = 0.0;
+  EXPECT_THROW(validate_machine(m), std::invalid_argument);
+  m = xeon_cluster();
+  m.network.switch_latency_s = kNaN;
+  EXPECT_THROW(validate_machine(m), std::invalid_argument);
+  m = xeon_cluster();
+  m.network.payload_bytes_per_frame = 0.0;
+  EXPECT_THROW(validate_machine(m), std::invalid_argument);
+}
+
+TEST(MachinePreconditions, ValidateConfigChecksTheMachineFirst) {
+  MachineSpec m = xeon_cluster();
+  m.node.isa.work_cpi = kNaN;
+  const ClusterConfig cfg{1, 1, m.node.dvfs.frequencies_hz.front()};
+  EXPECT_THROW(validate_config(m, cfg, false), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hepex::hw

@@ -1,0 +1,146 @@
+// Young/Daly expected-overhead model: formula values, monotonicity in the
+// failure rate, infeasibility and the disabled-spec passthrough.
+
+#include "model/resilience.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "hw/presets.hpp"
+
+namespace hepex::model {
+namespace {
+
+hw::PowerSpec test_power() { return hw::xeon_cluster().node.power; }
+
+trace::EnergyBreakdown test_energy(double time_s) {
+  trace::EnergyBreakdown e;
+  e.cpu_active_j = 100.0 * time_s;  // 100 W dynamic
+  e.cpu_stall_j = 20.0 * time_s;
+  e.idle_j = 50.0 * time_s;
+  return e;
+}
+
+TEST(Resilience, YoungDalyIntervalMatchesClosedForm) {
+  // tau* = sqrt(2 delta M), M = theta / n.
+  EXPECT_DOUBLE_EQ(young_daly_interval_s(1.0, 86400.0, 1),
+                   std::sqrt(2.0 * 86400.0));
+  EXPECT_DOUBLE_EQ(young_daly_interval_s(4.0, 86400.0, 16),
+                   std::sqrt(2.0 * 4.0 * 86400.0 / 16.0));
+  EXPECT_THROW(young_daly_interval_s(0.0, 86400.0, 1), std::invalid_argument);
+  EXPECT_THROW(young_daly_interval_s(1.0, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(young_daly_interval_s(1.0, 86400.0, 0), std::invalid_argument);
+}
+
+TEST(Resilience, DisabledSpecIsZeroOverhead) {
+  ResilienceSpec off;  // node_mtbf_s == 0
+  EXPECT_FALSE(off.enabled());
+  const auto oh =
+      expected_fault_overhead(100.0, 4, test_energy(100.0), test_power(), off);
+  ASSERT_TRUE(oh.has_value());
+  EXPECT_EQ(oh->t_fault_s, 0.0);
+  EXPECT_EQ(oh->e_fault_j, 0.0);
+  EXPECT_EQ(oh->expected_failures, 0.0);
+}
+
+TEST(Resilience, ExpectedTimeMatchesFirstOrderFormula) {
+  ResilienceSpec spec;
+  spec.node_mtbf_s = 3600.0;
+  spec.checkpoint_write_s = 2.0;
+  spec.restart_s = 10.0;
+  spec.checkpoint_interval_s = 60.0;  // fixed tau
+  const double T = 500.0;
+  const int n = 4;
+  const auto oh =
+      expected_fault_overhead(T, n, test_energy(T), test_power(), spec);
+  ASSERT_TRUE(oh.has_value());
+
+  const double M = 3600.0 / n;
+  const double waste = 10.0 + (60.0 + 2.0) / 2.0;
+  const double expected = T * (1.0 + 2.0 / 60.0) / (1.0 - waste / M);
+  EXPECT_DOUBLE_EQ(oh->interval_s, 60.0);
+  EXPECT_DOUBLE_EQ(oh->expected_time_s, expected);
+  EXPECT_DOUBLE_EQ(oh->t_fault_s, expected - T);
+  EXPECT_DOUBLE_EQ(oh->expected_failures, expected / M);
+}
+
+TEST(Resilience, OverheadGrowsWithFailureRate) {
+  const double T = 1000.0;
+  double prev = 0.0;
+  for (double mtbf : {1e7, 1e6, 1e5, 3e4}) {
+    ResilienceSpec spec;
+    spec.node_mtbf_s = mtbf;
+    const auto oh =
+        expected_fault_overhead(T, 8, test_energy(T), test_power(), spec);
+    ASSERT_TRUE(oh.has_value()) << "mtbf=" << mtbf;
+    EXPECT_GT(oh->t_fault_s, prev) << "mtbf=" << mtbf;
+    prev = oh->t_fault_s;
+  }
+}
+
+TEST(Resilience, InfeasibleFailureRateReturnsNullopt) {
+  ResilienceSpec spec;
+  spec.node_mtbf_s = 30.0;  // cluster MTBF 30/8 < restart + tau/2
+  spec.restart_s = 5.0;
+  const auto oh =
+      expected_fault_overhead(100.0, 8, test_energy(100.0), test_power(), spec);
+  EXPECT_FALSE(oh.has_value());
+}
+
+TEST(Resilience, IntervalIsClampedToTheWriteCost) {
+  ResilienceSpec spec;
+  spec.node_mtbf_s = 1e6;
+  spec.checkpoint_write_s = 5.0;
+  spec.checkpoint_interval_s = 1.0;  // below the write cost
+  const auto oh =
+      expected_fault_overhead(100.0, 2, test_energy(100.0), test_power(), spec);
+  ASSERT_TRUE(oh.has_value());
+  EXPECT_DOUBLE_EQ(oh->interval_s, 5.0);
+}
+
+TEST(Resilience, SpecValidationRejectsBadInputs) {
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  ResilienceSpec spec;
+  spec.node_mtbf_s = kNaN;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.node_mtbf_s = 100.0;
+  spec.checkpoint_write_s = 0.0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.checkpoint_write_s = 1.0;
+  spec.restart_s = -1.0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(Resilience, ApplyResilienceFoldsOverheadIntoPrediction) {
+  Prediction p;
+  p.config = {4, 8, 1.8e9};
+  p.time_s = 500.0;
+  p.t_cpu_s = 400.0;
+  p.energy_parts = test_energy(500.0);
+  p.energy_j = p.energy_parts.total();
+  p.ucr = p.t_cpu_s / p.time_s;
+
+  ResilienceSpec off;
+  const auto same = apply_resilience(p, test_power(), off);
+  ASSERT_TRUE(same.has_value());
+  EXPECT_EQ(same->time_s, p.time_s);
+  EXPECT_EQ(same->energy_j, p.energy_j);
+
+  ResilienceSpec spec;
+  spec.node_mtbf_s = 86400.0;
+  const auto folded = apply_resilience(p, test_power(), spec);
+  ASSERT_TRUE(folded.has_value());
+  EXPECT_GT(folded->time_s, p.time_s);
+  EXPECT_GT(folded->energy_j, p.energy_j);
+  EXPECT_GT(folded->energy_parts.fault_j, 0.0);
+  EXPECT_LT(folded->ucr, p.ucr);  // same useful work over a longer run
+  // Energy bookkeeping stays consistent: parts sum to the total.
+  EXPECT_NEAR(folded->energy_parts.total(), folded->energy_j,
+              1e-9 * folded->energy_j);
+}
+
+}  // namespace
+}  // namespace hepex::model

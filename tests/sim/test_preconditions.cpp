@@ -1,0 +1,52 @@
+// Input hardening of the discrete-event kernel: non-finite times must be
+// rejected at the door instead of silently corrupting the calendar (a NaN
+// timestamp breaks the priority queue's strict weak ordering).
+
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+namespace hepex::sim {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(SimulatorPreconditions, ScheduleRejectsNonFiniteDelay) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule(kNaN, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule(kInf, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule(-kInf, [] {}), std::invalid_argument);
+  EXPECT_TRUE(sim.empty());  // nothing was enqueued
+}
+
+TEST(SimulatorPreconditions, ScheduleAtRejectsNonFiniteTime) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_at(kNaN, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_at(kInf, [] {}), std::invalid_argument);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(SimulatorPreconditions, RunUntilRejectsNonFiniteBoundary) {
+  Simulator sim;
+  sim.schedule(1.0, [] {});
+  EXPECT_THROW(sim.run_until(kNaN), std::invalid_argument);
+  EXPECT_THROW(sim.run_until(kInf), std::invalid_argument);
+  // The calendar is untouched by the rejected calls.
+  EXPECT_EQ(sim.run(), 1u);
+}
+
+TEST(SimulatorPreconditions, RejectedCallsDoNotAdvanceTheClock) {
+  Simulator sim;
+  sim.schedule(2.0, [] {});
+  sim.run();
+  EXPECT_EQ(sim.now(), 2.0);
+  EXPECT_THROW(sim.schedule(kNaN, [] {}), std::invalid_argument);
+  EXPECT_EQ(sim.now(), 2.0);
+}
+
+}  // namespace
+}  // namespace hepex::sim

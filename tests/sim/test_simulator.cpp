@@ -95,6 +95,24 @@ TEST(Simulator, RunUntilIncludesEventsAtBoundary) {
   EXPECT_EQ(fired, 1);
 }
 
+TEST(Simulator, RunUntilRunsBoundaryEventsScheduledMidCall) {
+  // Pins the header's boundary guarantee: an event scheduled at exactly
+  // t_end *from within a fired action* still runs in this run_until call,
+  // because the loop re-reads the calendar top after every action. The
+  // fault watchdog relies on this — a detection armed for the boundary
+  // instant must not slip to the next drain.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(1.0, [&] {
+    order.push_back(1);
+    sim.schedule_at(5.0, [&] { order.push_back(2); });  // exactly t_end
+  });
+  EXPECT_EQ(sim.run_until(5.0), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), 5.0);
+  EXPECT_TRUE(sim.empty());
+}
+
 TEST(Simulator, MaxEventsLimitsProcessing) {
   Simulator sim;
   int fired = 0;

@@ -1,0 +1,63 @@
+// simulate() entry hardening: malformed SimOptions, programs and machine
+// specs are rejected with std::invalid_argument before any event is
+// scheduled.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+#include "hw/presets.hpp"
+#include "trace/execution_engine.hpp"
+#include "workload/programs.hpp"
+
+namespace hepex::trace {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+TEST(SimulatePreconditions, RejectsNonFiniteJitterCv) {
+  const auto machine = hw::xeon_cluster();
+  const auto program =
+      workload::program_by_name("SP", workload::InputClass::kS);
+  SimOptions opt;
+  opt.jitter_cv = kNaN;
+  EXPECT_THROW(simulate(machine, program, {1, 2, 1.8e9}, opt),
+               std::invalid_argument);
+  opt.jitter_cv = -0.1;
+  EXPECT_THROW(simulate(machine, program, {1, 2, 1.8e9}, opt),
+               std::invalid_argument);
+}
+
+TEST(SimulatePreconditions, RejectsMalformedProgram) {
+  const auto machine = hw::xeon_cluster();
+  auto program = workload::program_by_name("SP", workload::InputClass::kS);
+  program.compute.instructions_per_iter = kNaN;
+  EXPECT_THROW(simulate(machine, program, {1, 2, 1.8e9}, {}),
+               std::invalid_argument);
+  program = workload::program_by_name("SP", workload::InputClass::kS);
+  program.iterations = 0;
+  EXPECT_THROW(simulate(machine, program, {1, 2, 1.8e9}, {}),
+               std::invalid_argument);
+}
+
+TEST(SimulatePreconditions, RejectsMalformedMachine) {
+  auto machine = hw::xeon_cluster();
+  machine.node.memory.bandwidth_bytes_per_s = kNaN;
+  const auto program =
+      workload::program_by_name("SP", workload::InputClass::kS);
+  EXPECT_THROW(simulate(machine, program, {1, 2, 1.8e9}, {}),
+               std::invalid_argument);
+}
+
+TEST(SimulatePreconditions, RejectsUnsupportedConfig) {
+  const auto machine = hw::xeon_cluster();
+  const auto program =
+      workload::program_by_name("SP", workload::InputClass::kS);
+  // 2.0 GHz is not a DVFS point of the Xeon preset.
+  EXPECT_THROW(simulate(machine, program, {1, 2, 2.0e9}, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hepex::trace

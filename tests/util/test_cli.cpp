@@ -87,13 +87,37 @@ TEST(Cli, InlineValueMayContainEquals) {
   EXPECT_EQ(a.get_or("filter", ""), "key=value");
 }
 
-TEST(Cli, EmptyInlineValueActsAsValuelessSwitch) {
-  // "--out=" stores an empty value, which get() treats — consistently
-  // with the spaced syntax — as a present-but-valueless switch.
-  const auto a = parse({"run", "--out="});
-  EXPECT_TRUE(a.has("out"));
-  EXPECT_FALSE(a.get("out").has_value());
-  EXPECT_EQ(a.get_or("out", "missing"), "missing");
+TEST(Cli, EmptyInlineValueIsRejected) {
+  // "--out=" is almost always a typo'd "--out <value>"; the parser
+  // rejects it with a hint instead of silently acting as a switch.
+  try {
+    parse({"run", "--out="});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--out"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("empty value"), std::string::npos);
+  }
+}
+
+TEST(Cli, DuplicateFlagsAreRejected) {
+  EXPECT_THROW(parse({"run", "--n", "4", "--n", "8"}), std::invalid_argument);
+  EXPECT_THROW(parse({"run", "--n=4", "--n=8"}), std::invalid_argument);
+  EXPECT_THROW(parse({"run", "--n", "4", "--n=8"}), std::invalid_argument);
+  try {
+    parse({"run", "--verbose", "--verbose"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate flag --verbose"),
+              std::string::npos);
+  }
+}
+
+TEST(Cli, OutOfRangeNumbersThrowInvalidArgument) {
+  // std::out_of_range from stod/stoi is translated so callers only ever
+  // see std::invalid_argument (one exit path for all usage errors).
+  const auto a = parse({"run", "--f", "1e999", "--n", "99999999999"});
+  EXPECT_THROW(a.get_double_or("f", 0.0), std::invalid_argument);
+  EXPECT_THROW(a.get_int_or("n", 0), std::invalid_argument);
 }
 
 TEST(Cli, InlineSyntaxRejectsEmptyName) {

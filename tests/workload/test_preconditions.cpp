@@ -1,0 +1,99 @@
+// ProgramSpec::validate(): demand parameters are range-checked before a
+// spec reaches the execution engine, so a NaN instruction count or a
+// serial fraction above 1 fails fast instead of corrupting a simulation.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+#include "workload/programs.hpp"
+
+namespace hepex::workload {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+ProgramSpec valid() {
+  return program_by_name("SP", InputClass::kS);
+}
+
+TEST(ProgramPreconditions, FactoryProgramsAreValid) {
+  for (const char* name : {"BT", "SP", "LU", "FT", "CG", "LB"}) {
+    EXPECT_NO_THROW(program_by_name(name, InputClass::kS).validate()) << name;
+  }
+}
+
+TEST(ProgramPreconditions, RejectsBadIterations) {
+  ProgramSpec p = valid();
+  p.iterations = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.iterations = -3;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(ProgramPreconditions, RejectsNonFiniteComputeDemands) {
+  ProgramSpec p = valid();
+  p.compute.instructions_per_iter = kNaN;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = valid();
+  p.compute.instructions_per_iter = 0.0;  // must be > 0
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = valid();
+  p.compute.cpi_factor = kInf;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = valid();
+  p.compute.bytes_per_instruction = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = valid();
+  p.compute.working_set_bytes = kNaN;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(ProgramPreconditions, RejectsOutOfRangeFractions) {
+  ProgramSpec p = valid();
+  p.compute.serial_fraction = 1.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = valid();
+  p.compute.serial_fraction = -0.1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = valid();
+  p.compute.imbalance = 1.0;  // [0, 1): the heaviest thread stays finite
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = valid();
+  p.compute.node_imbalance = kNaN;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(ProgramPreconditions, RejectsBadCommAndSync) {
+  ProgramSpec p = valid();
+  p.comm.base_bytes = kNaN;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = valid();
+  p.comm.rounds = -1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = valid();
+  p.comm.size_cv = -0.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = valid();
+  p.sync.base_cycles = kInf;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = valid();
+  p.sync.cycles_per_total_core = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hepex::workload

@@ -11,6 +11,9 @@
 //   hepex whatif      --machine xeon --program SP --membw 2 --n 1 --c 8 --f 1.8
 //   hepex characterize --machine xeon --program SP --out ch.txt
 //   hepex predict     --from ch.txt --n 8 --c 8 --f 1.8 [--class A] [--iters 60]
+//   hepex faults      --machine xeon --program SP --mtbf 86400
+//   hepex faults      --machine xeon --program SP --n 4 --c 8 --f 1.8
+//                     --mtbf 3600 [--crash-node 1 --crash-at 5] [--mode abort]
 //
 // Observability flags (any command; see docs/observability.md):
 //   --log-level off|error|warn|info|debug|trace   structured logs on stderr
@@ -21,14 +24,18 @@
 // Running `hepex --trace=out.json` with no command simulates the
 // quickstart workload (SP on the Xeon cluster) and traces it.
 //
-// Exit codes: 0 success, 2 usage error.
+// Exit codes: 0 success, 1 runtime failure, 2 usage error.
 
 #include <cstdio>
 #include <exception>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "core/hepex.hpp"
 #include "core/report.hpp"
+#include "fault/plan.hpp"
+#include "model/resilience.hpp"
 #include "obs/log.hpp"
 #include "obs/profiler.hpp"
 #include "obs/registry.hpp"
@@ -38,6 +45,15 @@
 using namespace hepex;
 
 namespace {
+
+/// Reject flags this command does not understand. Observability flags
+/// are accepted everywhere.
+void require_flags(const util::CliArgs& args,
+                   std::vector<std::string> known) {
+  known.push_back("log-level");
+  known.push_back("profile");
+  args.require_known(known);
+}
 
 hw::MachineSpec machine_by_name(const std::string& name) {
   if (name == "xeon") return hw::xeon_cluster();
@@ -73,6 +89,7 @@ void print_points(const std::vector<pareto::ConfigPoint>& points) {
 }
 
 int cmd_frontier(const util::CliArgs& args) {
+  require_flags(args, {"machine", "program", "class"});
   core::Advisor advisor(machine_by_name(args.get_or("machine", "xeon")),
                         program_from(args));
   print_points(advisor.frontier());
@@ -80,6 +97,7 @@ int cmd_frontier(const util::CliArgs& args) {
 }
 
 int cmd_recommend(const util::CliArgs& args) {
+  require_flags(args, {"machine", "program", "class", "deadline", "budget"});
   core::Advisor advisor(machine_by_name(args.get_or("machine", "xeon")),
                         program_from(args));
   if (args.has("deadline")) {
@@ -118,6 +136,8 @@ int cmd_recommend(const util::CliArgs& args) {
 }
 
 int cmd_simulate(const util::CliArgs& args) {
+  require_flags(args, {"machine", "program", "class", "n", "c", "f", "trace",
+                       "metrics"});
   const auto m = machine_by_name(args.get_or("machine", "xeon"));
   const auto p = program_from(args);
   const auto cfg = config_from(args, m);
@@ -170,6 +190,7 @@ int cmd_simulate(const util::CliArgs& args) {
 }
 
 int cmd_validate(const util::CliArgs& args) {
+  require_flags(args, {"machine", "program", "class"});
   const auto m = machine_by_name(args.get_or("machine", "xeon"));
   const auto p = program_from(args);
   const auto grid = core::validation_grid(m, true);
@@ -186,6 +207,7 @@ int cmd_validate(const util::CliArgs& args) {
 }
 
 int cmd_netchar(const util::CliArgs& args) {
+  require_flags(args, {"machine"});
   const auto m = machine_by_name(args.get_or("machine", "arm"));
   const auto sweep = trace::netpipe_sweep(m, m.node.dvfs.f_max());
   util::Table t({"size [B]", "latency [us]", "throughput [Mbps]"});
@@ -200,6 +222,7 @@ int cmd_netchar(const util::CliArgs& args) {
 }
 
 int cmd_report(const util::CliArgs& args) {
+  require_flags(args, {"machine", "program", "class"});
   core::Advisor advisor(machine_by_name(args.get_or("machine", "xeon")),
                         program_from(args));
   std::printf("%s", core::markdown_report(advisor).c_str());
@@ -207,6 +230,8 @@ int cmd_report(const util::CliArgs& args) {
 }
 
 int cmd_whatif(const util::CliArgs& args) {
+  require_flags(args, {"machine", "program", "class", "membw", "netbw", "n",
+                       "c", "f"});
   const auto m = machine_by_name(args.get_or("machine", "xeon"));
   core::Advisor advisor(m, program_from(args));
   const auto cfg = config_from(args, m);
@@ -230,7 +255,8 @@ int cmd_whatif(const util::CliArgs& args) {
   return 0;
 }
 
-int cmd_programs(const util::CliArgs&) {
+int cmd_programs(const util::CliArgs& args) {
+  require_flags(args, {});
   util::Table t({"name", "suite", "language", "pattern", "domain"});
   for (const auto& p :
        workload::extended_programs(workload::InputClass::kA)) {
@@ -243,7 +269,8 @@ int cmd_programs(const util::CliArgs&) {
   return 0;
 }
 
-int cmd_machines(const util::CliArgs&) {
+int cmd_machines(const util::CliArgs& args) {
+  require_flags(args, {});
   util::Table t({"key", "name", "cores/node", "f range [GHz]", "memory BW",
                  "network"});
   struct Entry {
@@ -268,6 +295,7 @@ int cmd_machines(const util::CliArgs&) {
 }
 
 int cmd_sensitivity(const util::CliArgs& args) {
+  require_flags(args, {"machine", "program", "class", "n", "c", "f"});
   const auto m = machine_by_name(args.get_or("machine", "xeon"));
   const auto p = program_from(args);
   const auto cfg = config_from(args, m);
@@ -292,6 +320,7 @@ int cmd_sensitivity(const util::CliArgs& args) {
 }
 
 int cmd_characterize(const util::CliArgs& args) {
+  require_flags(args, {"machine", "program", "class", "out"});
   const auto m = machine_by_name(args.get_or("machine", "xeon"));
   const auto p = program_from(args);
   const auto ch = model::characterize(m, p);
@@ -303,6 +332,7 @@ int cmd_characterize(const util::CliArgs& args) {
 }
 
 int cmd_predict(const util::CliArgs& args) {
+  require_flags(args, {"from", "n", "c", "f", "class", "iters"});
   const auto path = args.get("from");
   if (!path) throw std::invalid_argument("hepex: predict needs --from FILE");
   const auto ch = model::load_characterization_file(*path);
@@ -321,12 +351,120 @@ int cmd_predict(const util::CliArgs& args) {
   return 0;
 }
 
+/// `hepex faults` — resilience-aware advice (docs/faults.md).
+///
+/// Advice mode (no --n): compare the fault-free frontier to the frontier
+/// under a per-node MTBF and recommend the minimum-expected-energy
+/// configuration. Simulate mode (--n given): run one configuration under
+/// a fault plan and report the measured T_fault / E_fault.
+int cmd_faults(const util::CliArgs& args) {
+  require_flags(args, {"machine", "program", "class", "mtbf", "ckpt-write",
+                       "restart-cost", "ckpt-interval", "n", "c", "f", "mode",
+                       "crash-node", "crash-at", "barrier-timeout", "spares",
+                       "fault-seed"});
+  const auto m = machine_by_name(args.get_or("machine", "xeon"));
+  const auto p = program_from(args);
+
+  if (args.has("n")) {
+    const auto cfg = config_from(args, m);
+    fault::Plan plan;
+    plan.seed = static_cast<std::uint64_t>(args.get_int_or("fault-seed", 1));
+    plan.random_failures.node_mtbf_s = args.get_double_or("mtbf", 0.0);
+    if (args.has("crash-node")) {
+      plan.crashes.push_back(
+          fault::NodeCrash{args.get_int_or("crash-node", 0),
+                           args.get_double_or("crash-at", 0.0)});
+    }
+    const std::string mode = args.get_or("mode", "restart");
+    if (mode == "abort") {
+      plan.recovery.mode = fault::RecoveryMode::kAbort;
+    } else if (mode == "restart") {
+      plan.recovery.mode = fault::RecoveryMode::kCheckpointRestart;
+    } else {
+      throw std::invalid_argument("hepex: --mode must be abort or restart");
+    }
+    plan.recovery.checkpoint_write_s = args.get_double_or("ckpt-write", 1.0);
+    plan.recovery.restart_s = args.get_double_or("restart-cost", 5.0);
+    plan.recovery.checkpoint_interval_s =
+        args.get_double_or("ckpt-interval", 60.0);
+    plan.recovery.barrier_timeout_s =
+        args.get_double_or("barrier-timeout", 30.0);
+    plan.recovery.spare_nodes =
+        args.has("spares") ? args.get_int_or("spares", 0)
+                           : plan.recovery.spare_nodes;
+    if (plan.empty()) {
+      throw std::invalid_argument(
+          "hepex: faults simulate mode needs --mtbf or --crash-node");
+    }
+
+    trace::SimOptions opt;
+    opt.faults = &plan;
+    const auto meas = trace::simulate(m, p, cfg, opt);
+    std::printf("simulated %s on %s at %s under faults:\n", p.name.c_str(),
+                m.name.c_str(),
+                util::fmt_config(cfg.nodes, cfg.cores, cfg.f_hz / 1e9)
+                    .c_str());
+    std::printf("  outcome   : %s after %.2f s\n",
+                meas.completed() ? "completed" : "ABORTED", meas.time_s);
+    std::printf("  energy    : %.3f kJ (of which fault %.3f kJ)\n",
+                meas.energy.total() / 1e3, meas.energy.fault_j / 1e3);
+    std::printf("  T_fault   : %.2f s (checkpoints %.2f, rework %.2f, "
+                "downtime %.2f)\n",
+                meas.t_fault_s, meas.faults.checkpoint_s,
+                meas.faults.rework_s, meas.faults.downtime_s);
+    std::printf("  events    : %d crashes, %d recoveries, %d checkpoints, "
+                "%d retransmits\n",
+                meas.faults.crashes, meas.faults.recoveries,
+                meas.faults.checkpoints, meas.faults.retransmits);
+    return meas.completed() ? 0 : 1;
+  }
+
+  model::ResilienceSpec spec;
+  spec.node_mtbf_s = args.get_double_or("mtbf", 0.0);
+  spec.checkpoint_write_s = args.get_double_or("ckpt-write", 1.0);
+  spec.restart_s = args.get_double_or("restart-cost", 5.0);
+  spec.checkpoint_interval_s = args.get_double_or("ckpt-interval", 0.0);
+  if (!spec.enabled()) {
+    throw std::invalid_argument("hepex: faults needs --mtbf SECONDS");
+  }
+
+  core::Advisor advisor(m, p);
+  const auto& space = advisor.explore();
+  const pareto::ConfigPoint* base = &space.front();
+  for (const auto& pt : space) {
+    if (pt.energy_j < base->energy_j) base = &pt;
+  }
+  const auto rec = advisor.recommend_resilient(spec);
+  const auto pred = advisor.predict(rec.config);
+  const auto oh = model::expected_fault_overhead(
+      pred.time_s, rec.config.nodes, pred.energy_parts, m.node.power, spec);
+
+  std::printf("fault-free optimum : %s: %.2f s, %.3f kJ\n",
+              util::fmt_config(base->config.nodes, base->config.cores,
+                               base->config.f_hz / 1e9)
+                  .c_str(),
+              base->time_s, base->energy_j / 1e3);
+  std::printf("MTBF %.0f s/node    : %s: %.2f s, %.3f kJ expected\n",
+              spec.node_mtbf_s,
+              util::fmt_config(rec.config.nodes, rec.config.cores,
+                               rec.config.f_hz / 1e9)
+                  .c_str(),
+              rec.time_s, rec.energy_j / 1e3);
+  if (oh) {
+    std::printf("  checkpoint every %.1f s; ~%.2f failures expected\n",
+                oh->interval_s, oh->expected_failures);
+  }
+  std::printf("resilient frontier:\n");
+  print_points(advisor.resilient_frontier(spec));
+  return 0;
+}
+
 int usage() {
   std::printf(
       "hepex — energy-efficient execution of hybrid parallel programs\n"
       "commands: frontier | recommend | simulate | validate | netchar |\n"
       "          report | whatif | characterize | predict | sensitivity |\n"
-      "          programs | machines\n"
+      "          faults | programs | machines\n"
       "common flags: --machine xeon|arm  --program BT|LU|SP|CP|LB  "
       "--class S|W|A|B|C\n"
       "observability: --log-level LEVEL  --profile\n"
@@ -353,6 +491,7 @@ int dispatch(const util::CliArgs& args) {
   if (cmd == "programs") return cmd_programs(args);
   if (cmd == "machines") return cmd_machines(args);
   if (cmd == "sensitivity") return cmd_sensitivity(args);
+  if (cmd == "faults") return cmd_faults(args);
   return usage();
 }
 
@@ -374,8 +513,12 @@ int main(int argc, char** argv) {
                    report.empty() ? "(no timers fired)\n" : report.c_str());
     }
     return rc;
-  } catch (const std::exception& e) {
+  } catch (const std::invalid_argument& e) {
+    // Usage errors (bad flags, bad values, impossible configurations).
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
 }
