@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   core::Advisor sp(hw::xeon_cluster(),
                    workload::make_sp(workload::InputClass::kA),
                    bench::standard_options());
-  const hw::ClusterConfig cfg{1, 8, 1.8e9};
+  const hw::ClusterConfig cfg{1, 8, q::Hertz{1.8e9}};
   const auto base = sp.predict(cfg);
 
   util::Table t({"Mem BW factor", "Time [s]", "Energy [kJ]", "UCR",
@@ -34,22 +34,23 @@ int main(int argc, char** argv) {
     t.add_row({util::fmt(factor, 1), bench::cell_time(pred.time_s),
                bench::cell_energy_kj(pred.energy_j),
                bench::cell_ucr(pred.ucr),
-               util::fmt(base.time_s - pred.time_s, 1),
-               util::fmt(base.energy_j - pred.energy_j, 0)});
+               util::fmt((base.time_s - pred.time_s).value(), 1),
+               util::fmt((base.energy_j - pred.energy_j).value(), 0)});
   }
   std::printf("SP on Xeon (1,8,1.8 GHz):\n%s\n", t.to_text().c_str());
 
   const auto doubled = sp.with_memory_bandwidth(2.0).predict(cfg);
   std::printf("2x memory bandwidth: UCR %.2f -> %.2f, time -%.1f s, "
               "energy -%.0f J (paper: 0.67 -> 0.81, -7 s, -590 J)\n\n",
-              base.ucr, doubled.ucr, base.time_s - doubled.time_s,
-              base.energy_j - doubled.energy_j);
+              base.ucr, doubled.ucr,
+              (base.time_s - doubled.time_s).value(),
+              (base.energy_j - doubled.energy_j).value());
 
   // --- network bandwidth sweep for CP on ARM (8,4,1.4) ---
   core::Advisor cp(hw::arm_cluster(),
                    workload::make_cp(workload::InputClass::kA),
                    bench::standard_options());
-  const hw::ClusterConfig net_cfg{8, 4, 1.4e9};
+  const hw::ClusterConfig net_cfg{8, 4, q::Hertz{1.4e9}};
   const auto cp_base = cp.predict(net_cfg);
   util::Table nt({"Net BW factor", "Time [s]", "Energy [kJ]", "UCR"});
   for (double factor : {1.0, 2.0, 4.0, 10.0}) {

@@ -32,14 +32,14 @@ void run_case(const hw::MachineSpec& machine, const char* prog_name,
 
   table.add_row(
       {prog_name, util::fmt(node_imbalance, 2),
-       util::fmt_config(cfg.nodes, cfg.cores, cfg.f_hz / 1e9),
+       bench::cell_config(cfg),
        util::fmt(a.slack_fraction.mean(), 3),
        bench::cell_time(a.time_s), bench::cell_time(b.time_s),
        util::fmt((b.time_s / a.time_s - 1.0) * 100.0, 1),
        bench::cell_energy_kj(a.energy.total()),
        bench::cell_energy_kj(b.energy.total()),
        util::fmt((1.0 - b.energy.total() / a.energy.total()) * 100.0, 1),
-       util::fmt(b.avg_frequency_hz / 1e9, 2)});
+       util::fmt(b.avg_frequency_hz.value() / 1e9, 2)});
 }
 
 }  // namespace
@@ -59,14 +59,14 @@ int main(int argc, char** argv) {
   const auto xeon = hw::xeon_cluster();
   const auto arm = hw::arm_cluster();
   // Balanced baseline: the policy must not hurt.
-  run_case(xeon, "BT", 0.0, {8, 8, 1.8e9}, t);
+  run_case(xeon, "BT", 0.0, {8, 8, q::Hertz{1.8e9}}, t);
   // Increasing imbalance: increasing reclaimable slack.
-  run_case(xeon, "CP", 0.10, {8, 8, 1.8e9}, t);
-  run_case(xeon, "CP", 0.15, {8, 8, 1.8e9}, t);
-  run_case(xeon, "CP", 0.25, {8, 8, 1.8e9}, t);
-  run_case(xeon, "LU", 0.15, {8, 4, 1.8e9}, t);
-  run_case(arm, "CP", 0.15, {8, 4, 1.4e9}, t);
-  run_case(arm, "LB", 0.15, {8, 4, 1.4e9}, t);
+  run_case(xeon, "CP", 0.10, {8, 8, q::Hertz{1.8e9}}, t);
+  run_case(xeon, "CP", 0.15, {8, 8, q::Hertz{1.8e9}}, t);
+  run_case(xeon, "CP", 0.25, {8, 8, q::Hertz{1.8e9}}, t);
+  run_case(xeon, "LU", 0.15, {8, 4, q::Hertz{1.8e9}}, t);
+  run_case(arm, "CP", 0.15, {8, 4, q::Hertz{1.4e9}}, t);
+  run_case(arm, "LB", 0.15, {8, 4, q::Hertz{1.4e9}}, t);
 
   std::printf("%s\n", t.to_text().c_str());
   std::printf("=> the policy only downshifts when slack covers the cost, so "

@@ -41,8 +41,7 @@ int main(int argc, char** argv) {
     const auto pred = model::predict(scaled, target, frugal.config);
     const double idle_share = pred.energy_parts.idle_j / pred.energy_j;
     t.add_row({util::fmt(factor, 2), std::to_string(frontier.size()),
-               util::fmt_config(frugal.config.nodes, frugal.config.cores,
-                                frugal.config.f_hz / 1e9),
+               bench::cell_config(frugal.config),
                bench::cell_energy_kj(frugal.energy_j),
                bench::cell_time(frugal.time_s),
                util::fmt(100.0 * idle_share, 0)});

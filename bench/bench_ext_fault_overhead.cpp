@@ -59,7 +59,7 @@ double simulated_mean_energy_j(const hw::MachineSpec& machine,
     opt.faults = &plan;
     const auto m = trace::simulate(machine, program, cfg, opt);
     if (m.completed()) {
-      sum += m.energy.total();
+      sum += m.energy.total().value();
       ++completed;
     }
   }
@@ -83,16 +83,14 @@ int main(int argc, char** argv) {
   const auto& space = advisor.explore();
   const auto& best_ff = min_energy(space);
   std::printf("Fault-free optimum: %s  T=%s s  E=%s kJ\n\n",
-              util::fmt_config(best_ff.config.nodes, best_ff.config.cores,
-                               best_ff.config.f_hz / 1e9)
-                  .c_str(),
+              bench::cell_config(best_ff.config).c_str(),
               bench::cell_time(best_ff.time_s).c_str(),
               bench::cell_energy_kj(best_ff.energy_j).c_str());
 
   // Cost model scaled to the workload: a checkpoint costs ~2% of the
   // fault-free optimum's runtime, a restart ~5%.
-  const double delta = best_ff.time_s * 0.02;
-  const double restart = best_ff.time_s * 0.05;
+  const double delta = best_ff.time_s.value() * 0.02;
+  const double restart = best_ff.time_s.value() * 0.05;
 
   // ---- 1. Frontier shift with the failure rate --------------------------
   std::printf("Frontier re-ranking (E_exp = expected energy under the "
@@ -102,13 +100,12 @@ int main(int argc, char** argv) {
   const auto frontier_ff = advisor.frontier();
   shift.add_row({"inf (fault-free)", std::to_string(space.size()),
                  std::to_string(frontier_ff.size()),
-                 util::fmt_config(best_ff.config.nodes, best_ff.config.cores,
-                                  best_ff.config.f_hz / 1e9),
+                 bench::cell_config(best_ff.config),
                  bench::cell_time(best_ff.time_s),
                  bench::cell_energy_kj(best_ff.energy_j), "0.0"});
   for (const double mtbf_factor : {400.0, 60.0, 8.0}) {
     model::ResilienceSpec spec;
-    spec.node_mtbf_s = best_ff.time_s * mtbf_factor;
+    spec.node_mtbf_s = best_ff.time_s.value() * mtbf_factor;
     spec.checkpoint_write_s = delta;
     spec.restart_s = restart;
     const auto feasible = advisor.explore_resilient(spec);
@@ -117,8 +114,7 @@ int main(int argc, char** argv) {
     shift.add_row(
         {util::fmt(spec.node_mtbf_s, 0), std::to_string(feasible.size()),
          std::to_string(frontier.size()),
-         util::fmt_config(rec.config.nodes, rec.config.cores,
-                          rec.config.f_hz / 1e9),
+         bench::cell_config(rec.config),
          bench::cell_time(rec.time_s), bench::cell_energy_kj(rec.energy_j),
          util::fmt((rec.energy_j / best_ff.energy_j - 1.0) * 100.0, 1)});
   }
@@ -126,7 +122,7 @@ int main(int argc, char** argv) {
 
   // ---- 2. Closed form vs simulated ground truth -------------------------
   model::ResilienceSpec spec;
-  spec.node_mtbf_s = best_ff.time_s * 8.0;
+  spec.node_mtbf_s = best_ff.time_s.value() * 8.0;
   spec.checkpoint_write_s = delta;
   spec.restart_s = restart;
   const auto rec = advisor.recommend_resilient(spec);
@@ -134,7 +130,7 @@ int main(int argc, char** argv) {
   std::printf("Validation at node MTBF = %.0f s (~%.2f expected failures "
               "on the recommended run):\n",
               spec.node_mtbf_s,
-              rec.time_s * rec.config.nodes / spec.node_mtbf_s);
+              rec.time_s.value() * rec.config.nodes / spec.node_mtbf_s);
 
   // Simulate every physically runnable resilient-frontier configuration
   // (plus the fault-free optimum) under a matching random-failure plan.
@@ -159,15 +155,14 @@ int main(int argc, char** argv) {
     const auto oh = model::expected_fault_overhead(
         advisor.predict(p.config).time_s, p.config.nodes,
         advisor.predict(p.config).energy_parts, machine.node.power, spec);
-    const double interval = oh ? oh->interval_s : 0.0;
+    const double interval = oh ? oh->interval_s.value() : 0.0;
     const double e_sim = simulated_mean_energy_j(machine, program, p.config,
                                                  spec, interval, kSeeds);
     if (e_sim <= 0.0) continue;
-    val.add_row({util::fmt_config(p.config.nodes, p.config.cores,
-                                  p.config.f_hz / 1e9),
+    val.add_row({bench::cell_config(p.config),
                  bench::cell_energy_kj(p.energy_j),
                  bench::cell_energy_kj(e_sim),
-                 util::fmt((p.energy_j / e_sim - 1.0) * 100.0, 1)});
+                 util::fmt((p.energy_j.value() / e_sim - 1.0) * 100.0, 1)});
     if (sim_opt_energy == 0.0 || e_sim < sim_opt_energy) {
       sim_opt_energy = e_sim;
       sim_opt_cfg = p.config;
@@ -176,16 +171,12 @@ int main(int argc, char** argv) {
   std::printf("%s\n", val.to_text().c_str());
   bench::maybe_write_artifact("ext_fault_overhead.csv", val.to_csv());
 
-  const double gap = (rec.energy_j / sim_opt_energy - 1.0) * 100.0;
+  const double gap = (rec.energy_j.value() / sim_opt_energy - 1.0) * 100.0;
   std::printf("Advisor recommends %s at %.3f kJ expected; simulated optimum "
               "is %s at %.3f kJ (gap %+.1f%%).\n",
-              util::fmt_config(rec.config.nodes, rec.config.cores,
-                               rec.config.f_hz / 1e9)
-                  .c_str(),
-              rec.energy_j / 1e3,
-              util::fmt_config(sim_opt_cfg.nodes, sim_opt_cfg.cores,
-                               sim_opt_cfg.f_hz / 1e9)
-                  .c_str(),
+              bench::cell_config(rec.config).c_str(),
+              rec.energy_j.value() / 1e3,
+              bench::cell_config(sim_opt_cfg).c_str(),
               sim_opt_energy / 1e3, gap);
   if (std::abs(gap) > 10.0) {
     std::printf("=> FAIL: recommendation is more than 10%% from the "

@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
     const auto cross = pareto::crossover_deadline(cx, ca);
     const std::vector<pareto::MachineCandidate> both{cx, ca};
 
-    double e_best_x = 1e300, e_best_a = 1e300;
+    q::Joules e_best_x{1e300}, e_best_a{1e300};
     for (const auto& p : cx.points) e_best_x = std::min(e_best_x, p.energy_j);
     for (const auto& p : ca.points) e_best_a = std::min(e_best_a, p.energy_j);
 
@@ -53,13 +53,13 @@ int main(int argc, char** argv) {
       }
     } else {
       // One machine dominates at every deadline.
-      if (const auto r = pareto::best_for_deadline(both, 1e9)) {
+      if (const auto r = pareto::best_for_deadline(both, q::Seconds{1e9})) {
         tight = relaxed = r->machine;
       }
     }
     t.add_row({name, bench::cell_energy_kj(e_best_x),
                bench::cell_energy_kj(e_best_a),
-               cross ? util::fmt(*cross, 1) : std::string("none"), tight,
+               cross ? util::fmt(cross->value(), 1) : std::string("none"), tight,
                relaxed});
   }
   std::printf("%s\n", t.to_text().c_str());
@@ -74,9 +74,7 @@ int main(int argc, char** argv) {
        pareto::MachineCandidate{"ARM", aa.explore()}});
   util::Table f({"machine", "(n,c,f)", "time [s]", "energy [kJ]"});
   for (const auto& lp : combined) {
-    f.add_row({lp.machine,
-               util::fmt_config(lp.point.config.nodes, lp.point.config.cores,
-                                lp.point.config.f_hz / 1e9),
+    f.add_row({lp.machine, bench::cell_config(lp.point.config),
                bench::cell_time(lp.point.time_s),
                bench::cell_energy_kj(lp.point.energy_j)});
   }

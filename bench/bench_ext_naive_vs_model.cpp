@@ -40,12 +40,14 @@ int main(int argc, char** argv) {
           const auto meas = trace::simulate(machine, program, cfg, sim_opt);
           const auto good = model::predict(ch, target, cfg);
           const auto naive = model::naive_predict(machine, program, cfg);
-          mt.add(util::absolute_percentage_error(good.time_s, meas.time_s));
-          me.add(util::absolute_percentage_error(good.energy_j,
-                                                 meas.energy.total()));
-          nt.add(util::absolute_percentage_error(naive.time_s, meas.time_s));
-          ne.add(util::absolute_percentage_error(naive.energy_j,
-                                                 meas.energy.total()));
+          mt.add(util::absolute_percentage_error(good.time_s.value(),
+                                                 meas.time_s.value()));
+          me.add(util::absolute_percentage_error(
+              good.energy_j.value(), meas.energy.total().value()));
+          nt.add(util::absolute_percentage_error(naive.time_s.value(),
+                                                 meas.time_s.value()));
+          ne.add(util::absolute_percentage_error(
+              naive.energy_j.value(), meas.energy.total().value()));
         }
       }
       t.add_row({machine.name, name,

@@ -26,16 +26,17 @@ int main(int argc, char** argv) {
       workload::program_by_name("SP", workload::InputClass::kA));
 
   const hw::ClusterConfig configs[] = {
-      {1, 1, 1.2e9},   // compute-bound
-      {1, 8, 1.8e9},   // memory-contention heavy
-      {64, 8, 1.8e9},  // network-saturated
+      {1, 1, q::Hertz{1.2e9}},   // compute-bound
+      {1, 8, q::Hertz{1.8e9}},   // memory-contention heavy
+      {64, 8, q::Hertz{1.8e9}},  // network-saturated
   };
 
   for (const auto& cfg : configs) {
     const auto rep = model::sensitivity(ch, target, cfg);
     std::printf("--- SP at %s: T = %.1f s, E = %.2f kJ ---\n",
-                util::fmt_config(cfg.nodes, cfg.cores, cfg.f_hz / 1e9).c_str(),
-                rep.nominal.time_s, rep.nominal.energy_j / 1e3);
+                bench::cell_config(cfg).c_str(),
+                rep.nominal.time_s.value(),
+                rep.nominal.energy_j.value() / 1e3);
     util::Table t({"input", "dlnT/dln(x)", "dlnE/dln(x)"});
     for (const auto& s : rep.inputs) {
       t.add_row({model::to_string(s.input),
@@ -50,8 +51,8 @@ int main(int argc, char** argv) {
     const auto pi = model::prediction_interval(ch, target, cfg, 0.10);
     std::printf("10%% input uncertainty -> T in [%.1f, %.1f] s, "
                 "E in [%.2f, %.2f] kJ\n\n",
-                pi.time_lo_s, pi.time_hi_s, pi.energy_lo_j / 1e3,
-                pi.energy_hi_j / 1e3);
+                pi.time_lo_s.value(), pi.time_hi_s.value(),
+                pi.energy_lo_j.value() / 1e3, pi.energy_hi_j.value() / 1e3);
   }
 
   std::printf("=> repeat the measurement with the highest elasticity before "

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   std::vector<hw::ClusterConfig> cfgs;
   for (int n : {1, 4, 8}) {
     for (int c : {1, 4, 8}) {
-      for (double f : machine.node.dvfs.frequencies_hz) {
+      for (q::Hertz f : machine.node.dvfs.frequencies_hz) {
         cfgs.push_back({n, c, f});
       }
     }
@@ -45,8 +45,7 @@ int main(int argc, char** argv) {
     for (const auto& n : names) headers.push_back(n);
     util::Table t(headers);
     for (std::size_t i = 0; i < cfgs.size(); ++i) {
-      std::vector<std::string> row{util::fmt_config(
-          cfgs[i].nodes, cfgs[i].cores, cfgs[i].f_hz / 1e9)};
+      std::vector<std::string> row{bench::cell_config(cfgs[i])};
       for (const auto& name : names) {
         const auto& p = by_program[name][i];
         if (std::string(metric) == "UCR") {

@@ -24,7 +24,8 @@ int main(int argc, char** argv) {
   std::vector<hw::ClusterConfig> cfgs;
   for (int n : {1, 4, 8}) {
     for (int c : {1, 2, 4}) {
-      for (double f : {0.2e9, 0.8e9, 1.4e9}) {
+      for (q::Hertz f :
+           {q::Hertz{0.2e9}, q::Hertz{0.8e9}, q::Hertz{1.4e9}}) {
         cfgs.push_back({n, c, f});
       }
     }
@@ -46,14 +47,13 @@ int main(int argc, char** argv) {
     for (const auto& n : names) headers.push_back(n);
     util::Table t(headers);
     for (std::size_t i = 0; i < cfgs.size(); ++i) {
-      std::vector<std::string> row{util::fmt_config(
-          cfgs[i].nodes, cfgs[i].cores, cfgs[i].f_hz / 1e9)};
+      std::vector<std::string> row{bench::cell_config(cfgs[i])};
       for (const auto& name : names) {
         const auto& p = by_program[name][i];
         if (std::string(metric) == "UCR") {
           row.push_back(bench::cell_ucr(p.ucr));
         } else if (std::string(metric) == "Time[min]") {
-          row.push_back(util::fmt(p.time_s / 60.0, 1));
+          row.push_back(util::fmt(p.time_s.value() / 60.0, 1));
         } else {
           row.push_back(bench::cell_energy_kj(p.energy_j));
         }

@@ -20,22 +20,23 @@ int main(int argc, char** argv) {
 
   util::Table table({"Message Size [B]", "Latency [s]", "Throughput [Mbps]"});
   for (const auto& pt : sweep.points) {
-    table.add_row({util::fmt(pt.message_bytes, 0),
-                   util::fmt(pt.latency_s, 6),
-                   util::fmt(pt.throughput_bps / 1e6, 2)});
+    table.add_row({util::fmt(pt.message_bytes.value(), 0),
+                   util::fmt(pt.latency_s.value(), 6),
+                   util::fmt(pt.throughput_bps.value() / 1e6, 2)});
   }
   std::printf("%s\n", table.to_text().c_str());
   std::printf("Achievable throughput B: %.1f Mbps (link: %.0f Mbps)\n",
-              sweep.achievable_bps / 1e6,
-              machine.network.link_bits_per_s / 1e6);
+              sweep.achievable_bps.value() / 1e6,
+              machine.network.link_bits_per_s.value() / 1e6);
   std::printf("Base (1-byte) latency: %.1f us\n\n",
-              sweep.base_latency_s * 1e6);
+              sweep.base_latency_s.value() * 1e6);
 
   // Also characterize the Xeon 1 Gbps link for reference.
   const auto xeon = hw::xeon_cluster();
   const auto xs = trace::netpipe_sweep(xeon, xeon.node.dvfs.f_max());
   std::printf("Xeon 1 Gbps link for comparison: %.0f Mbps achievable, "
               "%.1f us base latency\n",
-              xs.achievable_bps / 1e6, xs.base_latency_s * 1e6);
+              xs.achievable_bps.value() / 1e6,
+              xs.base_latency_s.value() * 1e6);
   return 0;
 }

@@ -17,7 +17,7 @@ void run_panel(const hw::MachineSpec& machine, const std::string& prog_name,
   const auto program =
       workload::program_by_name(prog_name, workload::InputClass::kA);
   std::vector<hw::ClusterConfig> cfgs;
-  const double f = machine.node.dvfs.f_max();
+  const q::Hertz f = machine.node.dvfs.f_max();
   for (int n : {2, 4, 8}) {
     for (int c : cores) cfgs.push_back({n, c, f});
   }
@@ -25,7 +25,7 @@ void run_panel(const hw::MachineSpec& machine, const std::string& prog_name,
       core::validate(machine, program, cfgs, bench::standard_options());
 
   std::printf("--- %s on %s (f = %.1f GHz) ---\n", prog_name.c_str(),
-              machine.name.c_str(), f / 1e9);
+              machine.name.c_str(), f.value() / 1e9);
   util::Table t({"(n,c)", "Measured [s]", "Predicted [s]", "Error [%]"});
   for (const auto& row : report.rows) {
     t.add_row({util::fmt_config(row.config.nodes, row.config.cores),

@@ -18,7 +18,7 @@ void run_panel(const hw::MachineSpec& machine, const std::string& prog_name,
   const auto program =
       workload::program_by_name(prog_name, workload::InputClass::kA);
   std::vector<hw::ClusterConfig> cfgs;
-  const double f = machine.node.dvfs.f_max();
+  const q::Hertz f = machine.node.dvfs.f_max();
   for (int n : {2, 4, 8}) {
     for (int c : cores) cfgs.push_back({n, c, f});
   }
@@ -26,7 +26,7 @@ void run_panel(const hw::MachineSpec& machine, const std::string& prog_name,
       core::validate(machine, program, cfgs, bench::standard_options());
 
   std::printf("--- %s on %s (f = %.1f GHz) ---\n", prog_name.c_str(),
-              machine.name.c_str(), f / 1e9);
+              machine.name.c_str(), f.value() / 1e9);
   util::Table t({"(n,c)", "Measured [kJ]", "Predicted [kJ]", "Error [%]",
                  "Signed [%]"});
   for (const auto& row : report.rows) {
@@ -35,7 +35,8 @@ void run_panel(const hw::MachineSpec& machine, const std::string& prog_name,
                bench::cell_energy_kj(row.predicted_energy_j),
                util::fmt(row.energy_error_pct, 1),
                util::fmt(util::signed_percentage_error(
-                             row.predicted_energy_j, row.measured_energy_j),
+                             row.predicted_energy_j.value(),
+                             row.measured_energy_j.value()),
                          1)});
   }
   std::printf("%s  mean error %.1f%%, max %.1f%%\n\n", t.to_text().c_str(),

@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   options.baseline_class = workload::InputClass::kB;
 
   std::vector<hw::ClusterConfig> cfgs;
-  const double f = machine.node.dvfs.f_max();
+  const q::Hertz f = machine.node.dvfs.f_max();
   for (int n : {1, 2, 4, 8}) {
     for (int c : {1, 2, 4, 8}) cfgs.push_back({n, c, f});
   }

@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
   for (const auto& p : all) {
     scatter.add_row({std::to_string(p.config.nodes),
                      std::to_string(p.config.cores),
-                     util::fmt(p.config.f_hz / 1e9, 1),
+                     util::fmt(p.config.f_hz.value() / 1e9, 1),
                      bench::cell_time(p.time_s),
                      bench::cell_energy_kj(p.energy_j),
                      bench::cell_ucr(p.ucr)});
@@ -47,10 +47,8 @@ int main(int argc, char** argv) {
   const auto frontier = advisor.frontier();
   util::Table t({"(n,c,f)", "Time [s]", "Energy [kJ]", "UCR"});
   for (const auto& p : frontier) {
-    t.add_row({util::fmt_config(p.config.nodes, p.config.cores,
-                                p.config.f_hz / 1e9),
-               bench::cell_time(p.time_s), bench::cell_energy_kj(p.energy_j),
-               bench::cell_ucr(p.ucr)});
+    t.add_row({bench::cell_config(p.config), bench::cell_time(p.time_s),
+               bench::cell_energy_kj(p.energy_j), bench::cell_ucr(p.ucr)});
   }
   std::printf("Pareto-optimal configurations (%zu of %zu):\n%s\n",
               frontier.size(), all.size(), t.to_text().c_str());
@@ -58,6 +56,6 @@ int main(int argc, char** argv) {
   std::printf("UCR range on the frontier: %.2f (fastest end) to %.2f "
               "(frugal end); best possible UCR %.2f at (1,1,1.2).\n",
               frontier.front().ucr, frontier.back().ucr,
-              advisor.predict({1, 1, 1.2e9}).ucr);
+              advisor.predict({1, 1, q::Hertz{1.2e9}}).ucr);
   return 0;
 }

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   for (const auto& p : all) {
     scatter.add_row({std::to_string(p.config.nodes),
                      std::to_string(p.config.cores),
-                     util::fmt(p.config.f_hz / 1e9, 1),
+                     util::fmt(p.config.f_hz.value() / 1e9, 1),
                      bench::cell_time(p.time_s),
                      bench::cell_energy_kj(p.energy_j),
                      bench::cell_ucr(p.ucr)});
@@ -46,10 +46,8 @@ int main(int argc, char** argv) {
   const auto frontier = advisor.frontier();
   util::Table t({"(n,c,f)", "Time [s]", "Energy [kJ]", "UCR"});
   for (const auto& p : frontier) {
-    t.add_row({util::fmt_config(p.config.nodes, p.config.cores,
-                                p.config.f_hz / 1e9),
-               bench::cell_time(p.time_s), bench::cell_energy_kj(p.energy_j),
-               bench::cell_ucr(p.ucr)});
+    t.add_row({bench::cell_config(p.config), bench::cell_time(p.time_s),
+               bench::cell_energy_kj(p.energy_j), bench::cell_ucr(p.ucr)});
   }
   std::printf("Pareto-optimal configurations (%zu of %zu):\n%s\n",
               frontier.size(), all.size(), t.to_text().c_str());
@@ -60,16 +58,15 @@ int main(int argc, char** argv) {
   std::printf("Insight 1 (relaxed deadline -> fewer nodes AND less energy): "
               "fastest frontier point uses n=%d (E=%.1f kJ), most frugal "
               "uses n=%d (E=%.1f kJ)\n",
-              fast_end.config.nodes, fast_end.energy_j / 1e3,
-              frugal_end.config.nodes, frugal_end.energy_j / 1e3);
+              fast_end.config.nodes, fast_end.energy_j.value() / 1e3,
+              frugal_end.config.nodes, frugal_end.energy_j.value() / 1e3);
   std::printf("Insight 3 (frontier points need not max out c and f): ");
   bool found_moderate = false;
   for (const auto& p : frontier) {
-    if (p.config.cores < 4 && p.config.f_hz < 1.4e9 && p.config.nodes > 1) {
+    if (p.config.cores < 4 && p.config.f_hz < q::Hertz{1.4e9} &&
+        p.config.nodes > 1) {
       std::printf("e.g. %s is Pareto-optimal\n",
-                  util::fmt_config(p.config.nodes, p.config.cores,
-                                   p.config.f_hz / 1e9)
-                      .c_str());
+                  bench::cell_config(p.config).c_str());
       found_moderate = true;
       break;
     }

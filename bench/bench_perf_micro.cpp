@@ -21,7 +21,8 @@ void BM_SimulateSmall(benchmark::State& state) {
   const auto machine = hw::xeon_cluster();
   const auto program =
       workload::program_by_name("SP", workload::InputClass::kS);
-  const hw::ClusterConfig cfg{static_cast<int>(state.range(0)), 4, 1.8e9};
+  const hw::ClusterConfig cfg{static_cast<int>(state.range(0)), 4,
+                              q::Hertz{1.8e9}};
   trace::SimOptions opt;
   for (auto _ : state) {
     opt.seed++;
@@ -37,7 +38,8 @@ void BM_Predict(benchmark::State& state) {
   const auto& ch = cached_ch();
   const auto target =
       model::target_of(workload::make_sp(workload::InputClass::kA));
-  const hw::ClusterConfig cfg{static_cast<int>(state.range(0)), 8, 1.8e9};
+  const hw::ClusterConfig cfg{static_cast<int>(state.range(0)), 8,
+                              q::Hertz{1.8e9}};
   for (auto _ : state) {
     benchmark::DoNotOptimize(model::predict(ch, target, cfg));
   }
@@ -83,7 +85,7 @@ BENCHMARK(BM_Characterize);
 void BM_NetPipeSweep(benchmark::State& state) {
   const auto machine = hw::arm_cluster();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(trace::netpipe_sweep(machine, 1.4e9));
+    benchmark::DoNotOptimize(trace::netpipe_sweep(machine, q::Hertz{1.4e9}));
   }
 }
 BENCHMARK(BM_NetPipeSweep);

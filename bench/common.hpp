@@ -49,5 +49,14 @@ void maybe_write_artifact(const std::string& filename,
 std::string cell_time(double seconds);
 std::string cell_energy_kj(double joules);
 std::string cell_ucr(double ucr);
+inline std::string cell_time(q::Seconds t) { return cell_time(t.value()); }
+inline std::string cell_energy_kj(q::Joules e) {
+  return cell_energy_kj(e.value());
+}
+
+/// Format a cluster configuration with the frequency in GHz.
+inline std::string cell_config(const hw::ClusterConfig& c) {
+  return util::fmt_config(c.nodes, c.cores, c.f_hz.value() / 1e9);
+}
 
 }  // namespace hepex::bench

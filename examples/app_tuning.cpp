@@ -18,9 +18,10 @@ void tune(const hw::MachineSpec& machine, const char* prog_name,
           int total_cores) {
   core::Advisor advisor(
       machine, workload::program_by_name(prog_name, workload::InputClass::kA));
-  const double f = machine.node.dvfs.f_max();
+  const q::Hertz f = machine.node.dvfs.f_max();
   std::printf("--- %s on %s with %d cores total (f=%.1f GHz) ---\n",
-              prog_name, machine.name.c_str(), total_cores, f / 1e9);
+              prog_name, machine.name.c_str(), total_cores,
+              f.value() / 1e9);
   util::Table t({"l x tau", "time [s]", "energy [kJ]", "UCR"});
   const auto splits = advisor.split_alternatives(total_cores, f);
   const pareto::ConfigPoint* best_time = &splits.front();
@@ -28,7 +29,8 @@ void tune(const hw::MachineSpec& machine, const char* prog_name,
   for (const auto& s : splits) {
     t.add_row({std::to_string(s.config.nodes) + " x " +
                    std::to_string(s.config.cores),
-               util::fmt(s.time_s, 1), util::fmt(s.energy_j / 1e3, 2),
+               util::fmt(s.time_s.value(), 1),
+               util::fmt(s.energy_j.value() / 1e3, 2),
                util::fmt(s.ucr, 2)});
     if (s.time_s < best_time->time_s) best_time = &s;
     if (s.energy_j < best_energy->energy_j) best_energy = &s;

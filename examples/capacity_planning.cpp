@@ -16,7 +16,8 @@ void report_shares(const char* label, const model::Prediction& p) {
   const pareto::TimeShares s = pareto::time_shares(p);
   std::printf("%-28s T=%7.1fs E=%6.2fkJ UCR=%.2f | cpu %2.0f%% mem %2.0f%% "
               "net-wait %2.0f%% net-serve %2.0f%%\n",
-              label, p.time_s, p.energy_j / 1e3, p.ucr, 100 * s.cpu,
+              label, p.time_s.value(), p.energy_j.value() / 1e3, p.ucr,
+              100 * s.cpu,
               100 * s.memory, 100 * s.net_wait, 100 * s.net_serve);
 }
 
@@ -28,7 +29,7 @@ int main() {
   // SP on the Xeon cluster is memory-contention bound at 8 cores.
   core::Advisor sp(hw::xeon_cluster(),
                    workload::make_sp(workload::InputClass::kA));
-  const hw::ClusterConfig intra{1, 8, 1.8e9};
+  const hw::ClusterConfig intra{1, 8, q::Hertz{1.8e9}};
   std::printf("Where does SP's time go at (1,8,1.8)?\n");
   report_shares("  stock machine", sp.predict(intra));
 
@@ -45,7 +46,7 @@ int main() {
   std::printf("\nWhere does CP's time go at (8,4,1.4) on ARM?\n");
   core::Advisor cp(hw::arm_cluster(),
                    workload::make_cp(workload::InputClass::kA));
-  const hw::ClusterConfig inter{8, 4, 1.4e9};
+  const hw::ClusterConfig inter{8, 4, q::Hertz{1.4e9}};
   report_shares("  stock machine", cp.predict(inter));
   report_shares("  2x memory bandwidth",
                 cp.with_memory_bandwidth(2.0).predict(inter));

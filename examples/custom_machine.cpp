@@ -10,6 +10,7 @@
 
 using namespace hepex;
 using namespace hepex::units;
+using namespace hepex::units::literals;
 
 namespace {
 
@@ -21,7 +22,7 @@ hw::MachineSpec build_machine() {
   m.node.cores = 16;
   m.node.isa = hw::isa_x86_64_xeon();
   m.node.isa.name = "x86_64 (custom)";
-  m.node.dvfs.frequencies_hz = {1.6 * GHz, 2.2 * GHz, 2.8 * GHz};
+  m.node.dvfs.frequencies_hz = {1.6_GHz, 2.2_GHz, 2.8_GHz};
   m.node.dvfs.v_min = 0.85;
   m.node.dvfs.v_max = 1.10;
 
@@ -29,20 +30,20 @@ hw::MachineSpec build_machine() {
   m.node.cache.l2_shared_bytes = 8 * MB;
   m.node.cache.l3_shared_bytes = 32 * MB;
 
-  m.node.memory.bandwidth_bytes_per_s = 40 * GB;
-  m.node.memory.latency_s = 70 * ns;
-  m.node.memory.capacity_bytes = 64 * GB;
-  m.node.memory.line_bytes = 64.0;
+  m.node.memory.bandwidth_bytes_per_s = bytes_per_sec(40 * GB);
+  m.node.memory.latency_s = 70_ns;
+  m.node.memory.capacity_bytes = bytes(64 * GB);
+  m.node.memory.line_bytes = 64_B;
 
   m.node.power.core.active_coeff = 9.0 / (2.8e9 * 1.10 * 1.10);
   m.node.power.core.stall_fraction = 0.40;
-  m.node.power.mem_active_w = 12.0;
-  m.node.power.net_active_w = 6.0;
-  m.node.power.sys_idle_w = 70.0;
-  m.node.power.meter_offset_sigma_w = 2.0;
+  m.node.power.mem_active_w = 12_W;
+  m.node.power.net_active_w = 6_W;
+  m.node.power.sys_idle_w = 70_W;
+  m.node.power.meter_offset_sigma_w = 2_W;
 
-  m.network.link_bits_per_s = 10 * Gbps;
-  m.network.switch_latency_s = 3 * us;
+  m.network.link_bits_per_s = 10_Gbps;
+  m.network.switch_latency_s = 3_us;
 
   m.nodes_available = 8;  // what we can "measure" on
   m.model_node_counts = {1, 2, 4, 8, 16};
@@ -98,14 +99,16 @@ int main() {
   std::printf("Spot validation (model vs simulated measurement):\n");
   util::Table v({"(n,c,f)", "T meas [s]", "T pred [s]", "err [%]"});
   for (const hw::ClusterConfig cfg :
-       {hw::ClusterConfig{1, 1, 1.6e9}, hw::ClusterConfig{2, 16, 2.8e9},
-        hw::ClusterConfig{8, 8, 2.2e9}}) {
+       {hw::ClusterConfig{1, 1, 1.6_GHz}, hw::ClusterConfig{2, 16, 2.8_GHz},
+        hw::ClusterConfig{8, 8, 2.2_GHz}}) {
     const auto meas = trace::simulate(machine, program, cfg);
     const auto pred = model::predict(ch, target, cfg);
-    v.add_row({util::fmt_config(cfg.nodes, cfg.cores, cfg.f_hz / 1e9),
-               util::fmt(meas.time_s, 1), util::fmt(pred.time_s, 1),
-               util::fmt(util::absolute_percentage_error(pred.time_s,
-                                                         meas.time_s),
+    v.add_row({util::fmt_config(cfg.nodes, cfg.cores,
+                                cfg.f_hz.value() / 1e9),
+               util::fmt(meas.time_s.value(), 1),
+               util::fmt(pred.time_s.value(), 1),
+               util::fmt(util::absolute_percentage_error(
+                             pred.time_s.value(), meas.time_s.value()),
                          1)});
   }
   std::printf("%s\n", v.to_text().c_str());
@@ -117,8 +120,9 @@ int main() {
   util::Table t({"(n,c,f)", "time [s]", "energy [kJ]", "UCR"});
   for (const auto& p : advisor.frontier()) {
     t.add_row({util::fmt_config(p.config.nodes, p.config.cores,
-                                p.config.f_hz / 1e9),
-               util::fmt(p.time_s, 1), util::fmt(p.energy_j / 1e3, 2),
+                                p.config.f_hz.value() / 1e9),
+               util::fmt(p.time_s.value(), 1),
+               util::fmt(p.energy_j.value() / 1e3, 2),
                util::fmt(p.ucr, 2)});
   }
   std::printf("%s", t.to_text().c_str());

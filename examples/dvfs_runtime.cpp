@@ -31,7 +31,7 @@ int main() {
     if (p.config.nodes <= machine.nodes_available) physical.push_back(p);
   }
   const auto frontier = pareto::pareto_frontier(physical);
-  const double deadline = frontier.front().time_s * 1.02;
+  const q::Seconds deadline = frontier.front().time_s * 1.02;
   const auto rec = pareto::min_energy_within_deadline(physical, deadline);
   if (!rec) {
     std::printf("no configuration meets the deadline\n");
@@ -40,9 +40,10 @@ int main() {
   const hw::ClusterConfig cfg = rec->config;
   std::printf("static choice for a %.1f s deadline: %s (predicted %.1f s, "
               "%.2f kJ)\n\n",
-              deadline,
-              util::fmt_config(cfg.nodes, cfg.cores, cfg.f_hz / 1e9).c_str(),
-              rec->time_s, rec->energy_j / 1e3);
+              deadline.value(),
+              util::fmt_config(cfg.nodes, cfg.cores, cfg.f_hz.value() / 1e9)
+                  .c_str(),
+              rec->time_s.value(), rec->energy_j.value() / 1e3);
 
   // Dynamic step: execute with and without the slack policy.
   trace::SimOptions fixed;
@@ -54,14 +55,14 @@ int main() {
 
   util::Table t({"run", "time [s]", "energy [kJ]", "mean slack",
                  "mean f [GHz]"});
-  t.add_row({"fixed frequency", util::fmt(a.time_s, 1),
-             util::fmt(a.energy.total() / 1e3, 2),
+  t.add_row({"fixed frequency", util::fmt(a.time_s.value(), 1),
+             util::fmt(a.energy.total().value() / 1e3, 2),
              util::fmt(a.slack_fraction.mean(), 3),
-             util::fmt(a.avg_frequency_hz / 1e9, 2)});
-  t.add_row({"slack DVFS", util::fmt(b.time_s, 1),
-             util::fmt(b.energy.total() / 1e3, 2),
+             util::fmt(a.avg_frequency_hz.value() / 1e9, 2)});
+  t.add_row({"slack DVFS", util::fmt(b.time_s.value(), 1),
+             util::fmt(b.energy.total().value() / 1e3, 2),
              util::fmt(b.slack_fraction.mean(), 3),
-             util::fmt(b.avg_frequency_hz / 1e9, 2)});
+             util::fmt(b.avg_frequency_hz.value() / 1e9, 2)});
   std::printf("%s\n", t.to_text().c_str());
 
   std::printf("slack DVFS saves %.1f%% energy at %.1f%% slowdown — on top "

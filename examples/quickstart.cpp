@@ -12,6 +12,7 @@
 #include "core/hepex.hpp"
 
 using namespace hepex;
+using namespace hepex::units::literals;
 
 int main() {
   // 1. Pick a machine and a program. Presets reproduce the paper's
@@ -24,38 +25,41 @@ int main() {
   util::Table t({"(n,c,f)", "time [s]", "energy [kJ]", "UCR"});
   for (const auto& p : advisor.frontier()) {
     t.add_row({util::fmt_config(p.config.nodes, p.config.cores,
-                                p.config.f_hz / 1e9),
-               util::fmt(p.time_s, 1), util::fmt(p.energy_j / 1e3, 2),
+                                p.config.f_hz.value() / 1e9),
+               util::fmt(p.time_s.value(), 1),
+               util::fmt(p.energy_j.value() / 1e3, 2),
                util::fmt(p.ucr, 2)});
   }
   std::printf("%s\n", t.to_text().c_str());
 
   // 3. "I need the run to finish within 60 seconds — what costs least?"
-  if (const auto rec = advisor.for_deadline(60.0)) {
+  if (const auto rec = advisor.for_deadline(60_s)) {
     std::printf("Deadline 60 s  -> run on %s: predicted %.1f s, %.2f kJ "
                 "(slack %.1f s)\n",
                 util::fmt_config(rec->point.config.nodes,
                                  rec->point.config.cores,
-                                 rec->point.config.f_hz / 1e9)
+                                 rec->point.config.f_hz.value() / 1e9)
                     .c_str(),
-                rec->point.time_s, rec->point.energy_j / 1e3, rec->slack);
+                rec->point.time_s.value(),
+                rec->point.energy_j.value() / 1e3, rec->slack);
   }
 
   // 4. "I have 5 kJ of energy — how fast can I finish?"
-  if (const auto rec = advisor.for_budget(5e3)) {
+  if (const auto rec = advisor.for_budget(5_kJ)) {
     std::printf("Budget 5 kJ    -> run on %s: predicted %.1f s, %.2f kJ\n",
                 util::fmt_config(rec->point.config.nodes,
                                  rec->point.config.cores,
-                                 rec->point.config.f_hz / 1e9)
+                                 rec->point.config.f_hz.value() / 1e9)
                     .c_str(),
-                rec->point.time_s, rec->point.energy_j / 1e3);
+                rec->point.time_s.value(),
+                rec->point.energy_j.value() / 1e3);
   }
 
   // 5. Any single configuration can be inspected in detail.
-  const auto p = advisor.predict({4, 8, 1.8e9});
+  const auto p = advisor.predict({4, 8, 1.8_GHz});
   std::printf("\n(4,8,1.8) breakdown: T=%.1fs = CPU %.1f + mem %.1f + "
               "net wait %.1f + net serve %.1f;  UCR %.2f\n",
-              p.time_s, p.t_cpu_s, p.t_mem_s, p.t_w_net_s, p.t_s_net_s,
-              p.ucr);
+              p.time_s.value(), p.t_cpu_s.value(), p.t_mem_s.value(),
+              p.t_w_net_s.value(), p.t_s_net_s.value(), p.ucr);
   return 0;
 }

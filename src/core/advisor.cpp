@@ -56,16 +56,18 @@ pareto::ConfigPoint Advisor::knee() {
   return pareto::knee_point(frontier());
 }
 
-std::optional<Recommendation> Advisor::for_deadline(double deadline_s) {
+std::optional<Recommendation> Advisor::for_deadline(q::Seconds deadline_s) {
   const auto best = pareto::min_energy_within_deadline(explore(), deadline_s);
   if (!best) return std::nullopt;
-  return Recommendation{*best, deadline_s, deadline_s - best->time_s};
+  return Recommendation{*best, deadline_s.value(),
+                        (deadline_s - best->time_s).value()};
 }
 
-std::optional<Recommendation> Advisor::for_budget(double budget_j) {
+std::optional<Recommendation> Advisor::for_budget(q::Joules budget_j) {
   const auto best = pareto::min_time_within_budget(explore(), budget_j);
   if (!best) return std::nullopt;
-  return Recommendation{*best, budget_j, budget_j - best->energy_j};
+  return Recommendation{*best, budget_j.value(),
+                        (budget_j - best->energy_j).value()};
 }
 
 std::vector<pareto::ConfigPoint> Advisor::explore_resilient(
@@ -105,7 +107,7 @@ pareto::ConfigPoint Advisor::recommend_resilient(
 }
 
 std::vector<pareto::ConfigPoint> Advisor::split_alternatives(int total_cores,
-                                                             double f_hz) {
+                                                             q::Hertz f_hz) {
   HEPEX_REQUIRE(total_cores >= 1, "need at least one core");
   std::vector<hw::ClusterConfig> cfgs;
   for (int tau = 1; tau <= machine_.node.cores; ++tau) {
@@ -119,7 +121,7 @@ std::vector<pareto::ConfigPoint> Advisor::split_alternatives(int total_cores,
                              cfgs);
 }
 
-pareto::ConfigPoint Advisor::throttle_concurrency(int nodes, double f_hz) {
+pareto::ConfigPoint Advisor::throttle_concurrency(int nodes, q::Hertz f_hz) {
   HEPEX_REQUIRE(nodes >= 1, "need at least one node");
   std::vector<hw::ClusterConfig> cfgs;
   for (int c = 1; c <= machine_.node.cores; ++c) {

@@ -8,7 +8,7 @@
 /// ```
 ///   hepex::core::Advisor advisor(hw::xeon_cluster(),
 ///                                workload::make_sp());
-///   auto rec = advisor.for_deadline(60.0);   // seconds
+///   auto rec = advisor.for_deadline(q::Seconds{60.0});
 ///   // rec->config is the (n, c, f) that meets the deadline with
 ///   // minimum energy; rec->ucr says how balanced the execution is.
 /// ```
@@ -26,6 +26,7 @@
 #include "model/resilience.hpp"
 #include "model/whatif.hpp"
 #include "pareto/frontier.hpp"
+#include "util/quantity.hpp"
 #include "workload/program.hpp"
 
 namespace hepex::core {
@@ -33,6 +34,9 @@ namespace hepex::core {
 /// A recommended execution configuration with its predicted cost.
 struct Recommendation {
   pareto::ConfigPoint point;   ///< configuration + predicted time/energy/UCR
+  // `constraint`/`slack` hold either seconds (deadline query) or joules
+  // (budget query); the unit depends on which query produced them, so they
+  // stay raw doubles rather than pretending to one static dimension.
   double constraint = 0.0;     ///< the deadline [s] or budget [J] asked for
   double slack = 0.0;          ///< distance to the constraint (>= 0)
 };
@@ -65,10 +69,10 @@ class Advisor {
   pareto::ConfigPoint knee();
 
   /// Minimum-energy configuration meeting an execution-time deadline.
-  std::optional<Recommendation> for_deadline(double deadline_s);
+  std::optional<Recommendation> for_deadline(q::Seconds deadline_s);
 
   /// Minimum-time configuration within an energy budget.
-  std::optional<Recommendation> for_budget(double budget_j);
+  std::optional<Recommendation> for_budget(q::Joules budget_j);
 
   /// The configuration space with the expected fault overhead of `spec`
   /// folded in (Young/Daly closed form, see model/resilience.hpp).
@@ -91,14 +95,14 @@ class Advisor {
   /// core count into l processes x tau threads at frequency `f_hz`,
   /// evaluated by the model. Splits use n = l nodes, c = tau cores.
   std::vector<pareto::ConfigPoint> split_alternatives(int total_cores,
-                                                      double f_hz);
+                                                      q::Hertz f_hz);
 
   /// Dynamic-concurrency-throttling analogue (the paper's §II-A): for a
   /// fixed node count and frequency, the thread count tau <= c_max that
   /// minimizes predicted energy. Using fewer threads than cores pays off
   /// exactly when shared-memory contention dominates — the effect DCT
   /// exploits at runtime.
-  pareto::ConfigPoint throttle_concurrency(int nodes, double f_hz);
+  pareto::ConfigPoint throttle_concurrency(int nodes, q::Hertz f_hz);
 
   /// System-designer what-ifs: a new Advisor whose characterization
   /// reflects the scaled component (the original is unchanged).

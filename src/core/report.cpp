@@ -10,7 +10,7 @@ namespace hepex::core {
 namespace {
 
 std::string cfg_str(const hw::ClusterConfig& c) {
-  return util::fmt_config(c.nodes, c.cores, c.f_hz / 1e9);
+  return util::fmt_config(c.nodes, c.cores, c.f_hz.value() / 1e9);
 }
 
 }  // namespace
@@ -32,19 +32,19 @@ std::string markdown_report(Advisor& advisor, const ReportOptions& options) {
      << "- communication pattern: " << workload::to_string(ch.pattern)
      << ", eta = " << util::fmt(ch.comm.eta, 1)
      << " msg/process/iter at n = " << ch.comm.n_probe
-     << ", nu = " << util::fmt(ch.comm.nu / 1e3, 1) << " kB\n\n";
+     << ", nu = " << util::fmt(ch.comm.nu.value() / 1e3, 1) << " kB\n\n";
 
   os << "## Machine characterization\n\n"
      << "- achievable network throughput B: "
-     << util::fmt(ch.network.achievable_bps / 1e6, 1) << " Mbps (link "
-     << util::fmt(machine.network.link_bits_per_s / 1e6, 0) << " Mbps)\n"
+     << util::fmt(ch.network.achievable_bps.value() / 1e6, 1) << " Mbps (link "
+     << util::fmt(machine.network.link_bits_per_s.value() / 1e6, 0) << " Mbps)\n"
      << "- per-message software latency at f_max: "
-     << util::fmt(ch.msg_software_s_at_fmax * 1e6, 1) << " us\n"
-     << "- P_sys,idle: " << util::fmt(ch.power.sys_idle_w, 1) << " W; "
+     << util::fmt(ch.msg_software_s_at_fmax.value() * 1e6, 1) << " us\n"
+     << "- P_sys,idle: " << util::fmt(ch.power.sys_idle_w.value(), 1) << " W; "
      << "P_core,act(f_max): "
-     << util::fmt(ch.power.core_active_w.back(), 2) << " W; "
+     << util::fmt(ch.power.core_active_w.back().value(), 2) << " W; "
      << "P_core,stall(f_max): "
-     << util::fmt(ch.power.core_stall_w.back(), 2) << " W\n\n";
+     << util::fmt(ch.power.core_stall_w.back().value(), 2) << " W\n\n";
 
   const auto frontier = advisor.frontier();
   os << "## Time-energy Pareto frontier (" << frontier.size() << " of "
@@ -55,8 +55,8 @@ std::string markdown_report(Advisor& advisor, const ReportOptions& options) {
     if (options.max_frontier_rows > 0 && rows++ >= options.max_frontier_rows) {
       break;
     }
-    t.add_row({cfg_str(p.config), util::fmt(p.time_s, 1),
-               util::fmt(p.energy_j / 1e3, 2), util::fmt(p.ucr, 2)});
+    t.add_row({cfg_str(p.config), util::fmt(p.time_s.value(), 1),
+               util::fmt(p.energy_j.value() / 1e3, 2), util::fmt(p.ucr, 2)});
   }
   os << t.to_text();
   if (options.max_frontier_rows > 0 &&
@@ -69,18 +69,18 @@ std::string markdown_report(Advisor& advisor, const ReportOptions& options) {
   os << "## Recommendations\n\n";
   const auto knee = pareto::knee_point(frontier);
   os << "- best trade-off (frontier knee): " << cfg_str(knee.config) << ": "
-     << util::fmt(knee.time_s, 1) << " s, "
-     << util::fmt(knee.energy_j / 1e3, 2) << " kJ (UCR "
+     << util::fmt(knee.time_s.value(), 1) << " s, "
+     << util::fmt(knee.energy_j.value() / 1e3, 2) << " kJ (UCR "
      << util::fmt(knee.ucr, 2) << ")\n";
-  const double t_min = frontier.front().time_s;
-  const double t_max = frontier.back().time_s;
+  const q::Seconds t_min = frontier.front().time_s;
+  const q::Seconds t_max = frontier.back().time_s;
   for (double factor : {1.2, 3.0, 10.0}) {
-    const double deadline = std::min(t_max, t_min * factor);
+    const q::Seconds deadline = std::min(t_max, t_min * factor);
     if (const auto rec = advisor.for_deadline(deadline)) {
-      os << "- deadline " << util::fmt(deadline, 1) << " s -> "
+      os << "- deadline " << util::fmt(deadline.value(), 1) << " s -> "
          << cfg_str(rec->point.config) << ": "
-         << util::fmt(rec->point.time_s, 1) << " s, "
-         << util::fmt(rec->point.energy_j / 1e3, 2) << " kJ (UCR "
+         << util::fmt(rec->point.time_s.value(), 1) << " s, "
+         << util::fmt(rec->point.energy_j.value() / 1e3, 2) << " kJ (UCR "
          << util::fmt(rec->point.ucr, 2) << ")\n";
     }
   }
@@ -109,12 +109,13 @@ std::string markdown_report(Advisor& advisor, const ReportOptions& options) {
     const auto m2 = mem2.predict(frontier.front().config);
     const auto n2 = net2.predict(frontier.front().config);
     util::Table w({"scenario", "time [s]", "energy [kJ]", "UCR"});
-    w.add_row({"stock", util::fmt(base.time_s, 1),
-               util::fmt(base.energy_j / 1e3, 2), util::fmt(base.ucr, 2)});
-    w.add_row({"2x memory bandwidth", util::fmt(m2.time_s, 1),
-               util::fmt(m2.energy_j / 1e3, 2), util::fmt(m2.ucr, 2)});
-    w.add_row({"2x network bandwidth", util::fmt(n2.time_s, 1),
-               util::fmt(n2.energy_j / 1e3, 2), util::fmt(n2.ucr, 2)});
+    w.add_row({"stock", util::fmt(base.time_s.value(), 1),
+               util::fmt(base.energy_j.value() / 1e3, 2),
+               util::fmt(base.ucr, 2)});
+    w.add_row({"2x memory bandwidth", util::fmt(m2.time_s.value(), 1),
+               util::fmt(m2.energy_j.value() / 1e3, 2), util::fmt(m2.ucr, 2)});
+    w.add_row({"2x network bandwidth", util::fmt(n2.time_s.value(), 1),
+               util::fmt(n2.energy_j.value() / 1e3, 2), util::fmt(n2.ucr, 2)});
     os << w.to_text() << "\n";
   }
   return os.str();

@@ -37,10 +37,10 @@ ValidationReport validate(const hw::MachineSpec& machine,
     row.predicted_time_s = pred.time_s;
     row.measured_energy_j = reading.energy_j;
     row.predicted_energy_j = pred.energy_j;
-    row.time_error_pct =
-        util::absolute_percentage_error(pred.time_s, reading.time_s);
-    row.energy_error_pct =
-        util::absolute_percentage_error(pred.energy_j, reading.energy_j);
+    row.time_error_pct = util::absolute_percentage_error(
+        pred.time_s.value(), reading.time_s.value());
+    row.energy_error_pct = util::absolute_percentage_error(
+        pred.energy_j.value(), reading.energy_j.value());
     row.measured_ucr = meas.ucr();
     row.predicted_ucr = pred.ucr;
 

@@ -13,6 +13,7 @@
 
 #include "hw/machine.hpp"
 #include "model/characterization.hpp"
+#include "util/quantity.hpp"
 #include "util/statistics.hpp"
 #include "workload/program.hpp"
 
@@ -21,10 +22,10 @@ namespace hepex::core {
 /// Measured-vs-predicted numbers for one configuration.
 struct ValidationRow {
   hw::ClusterConfig config;
-  double measured_time_s = 0.0;
-  double predicted_time_s = 0.0;
-  double measured_energy_j = 0.0;
-  double predicted_energy_j = 0.0;
+  q::Seconds measured_time_s{};
+  q::Seconds predicted_time_s{};
+  q::Joules measured_energy_j{};
+  q::Joules predicted_energy_j{};
   double time_error_pct = 0.0;    ///< |pred - meas| / meas * 100
   double energy_error_pct = 0.0;
   double measured_ucr = 0.0;

@@ -8,8 +8,8 @@
 namespace hepex::fault {
 namespace {
 
-bool active(double start_s, double duration_s, double t) {
-  return t >= start_s && t < start_s + duration_s;
+bool active(double start_s, double duration_s, q::Seconds t) {
+  return t.value() >= start_s && t.value() < start_s + duration_s;
 }
 
 }  // namespace
@@ -19,7 +19,7 @@ Injector::Injector(const Plan& plan, int nodes)
   plan.validate(nodes);
 }
 
-double Injector::compute_slowdown(int node, double t) const {
+double Injector::compute_slowdown(int node, q::Seconds t) const {
   double slow = 1.0;
   for (const auto& s : plan_.stragglers) {
     if (s.node == node && active(s.start_s, s.duration_s, t)) {
@@ -29,17 +29,17 @@ double Injector::compute_slowdown(int node, double t) const {
   return slow;
 }
 
-double Injector::f_cap_hz(int node, double t) const {
+q::Hertz Injector::f_cap_hz(int node, q::Seconds t) const {
   double cap = std::numeric_limits<double>::infinity();
   for (const auto& th : plan_.throttles) {
     if (th.node == node && active(th.start_s, th.duration_s, t)) {
       cap = std::min(cap, th.f_cap_hz);
     }
   }
-  return cap;
+  return q::Hertz{cap};
 }
 
-double Injector::jitter_cv(double base_cv, double t) const {
+double Injector::jitter_cv(double base_cv, q::Seconds t) const {
   double cv = base_cv;
   for (const auto& j : plan_.jitter_storms) {
     if (active(j.start_s, j.duration_s, t)) cv = std::max(cv, j.jitter_cv);
@@ -47,27 +47,27 @@ double Injector::jitter_cv(double base_cv, double t) const {
   return cv;
 }
 
-double Injector::wire_time(const hw::NetworkSpec& net, double payload_bytes,
-                           double t) const {
-  double latency = net.switch_latency_s;
-  double rate = net.link_bits_per_s / 8.0;
+q::Seconds Injector::wire_time(const hw::NetworkSpec& net, q::Bytes payload,
+                               q::Seconds t) const {
+  q::Seconds latency = net.switch_latency_s;
+  q::BytesPerSec rate = q::to_bytes_per_sec(net.link_bits_per_s);
   for (const auto& d : plan_.net_degradations) {
     if (active(d.start_s, d.duration_s, t)) {
       latency *= d.latency_mult;
       rate *= d.bandwidth_mult;
     }
   }
-  return latency + net.wire_bytes(payload_bytes) / rate;
+  return latency + net.wire_bytes(payload) / rate;
 }
 
-bool Injector::drops_possible(double t) const {
+bool Injector::drops_possible(q::Seconds t) const {
   for (const auto& d : plan_.net_degradations) {
     if (d.drop_prob > 0.0 && active(d.start_s, d.duration_s, t)) return true;
   }
   return false;
 }
 
-bool Injector::drop_message(double t) {
+bool Injector::drop_message(q::Seconds t) {
   if (!drops_possible(t)) return false;
   // Independent drops compose: the message survives only when every
   // active lossy window lets it through.
@@ -80,10 +80,10 @@ bool Injector::drop_message(double t) {
   return rng_.uniform01() >= survive;
 }
 
-double Injector::next_failure_gap() {
+q::Seconds Injector::next_failure_gap() {
   HEPEX_REQUIRE(plan_.random_failures.node_mtbf_s > 0.0,
                 "random failures are not enabled in this plan");
-  return rng_.exponential(plan_.random_failures.node_mtbf_s / nodes_);
+  return q::Seconds{rng_.exponential(plan_.random_failures.node_mtbf_s / nodes_)};
 }
 
 int Injector::pick_victim() {

@@ -22,6 +22,7 @@
 
 #include "fault/plan.hpp"
 #include "hw/network.hpp"
+#include "util/quantity.hpp"
 #include "util/rng.hpp"
 
 namespace hepex::fault {
@@ -35,24 +36,24 @@ class Injector {
   // ---- pure time-indexed queries -----------------------------------------
 
   /// Product of active straggler slowdowns for `node` at time `t` (>= 1).
-  double compute_slowdown(int node, double t) const;
+  double compute_slowdown(int node, q::Seconds t) const;
 
   /// Tightest active frequency cap for `node` at `t`; +infinity when the
   /// node is unthrottled.
-  double f_cap_hz(int node, double t) const;
+  q::Hertz f_cap_hz(int node, q::Seconds t) const;
 
   /// Effective jitter cv at `t`: the base cv raised to the strongest
   /// active storm.
-  double jitter_cv(double base_cv, double t) const;
+  double jitter_cv(double base_cv, q::Seconds t) const;
 
-  /// Wire occupancy of a `payload_bytes` message at `t` with every active
+  /// Wire occupancy of a `payload` message at `t` with every active
   /// degradation window applied (latency multiplied, bandwidth divided).
-  double wire_time(const hw::NetworkSpec& net, double payload_bytes,
-                   double t) const;
+  q::Seconds wire_time(const hw::NetworkSpec& net, q::Bytes payload,
+                       q::Seconds t) const;
 
   /// True when any degradation window with nonzero drop probability is
   /// active at `t` (used to avoid RNG draws on clean wires).
-  bool drops_possible(double t) const;
+  bool drops_possible(q::Seconds t) const;
 
   bool has_crash_sources() const { return plan_.has_crash_sources(); }
   const Plan& plan() const { return plan_; }
@@ -61,12 +62,12 @@ class Injector {
 
   /// Decide whether the transfer completing at `t` is dropped. Consumes
   /// one draw only when `drops_possible(t)`.
-  bool drop_message(double t);
+  bool drop_message(q::Seconds t);
 
   /// Next inter-failure gap of the cluster-wide Poisson process:
   /// exponential with mean `node_mtbf_s / nodes`. Requires random
   /// failures to be enabled.
-  double next_failure_gap();
+  q::Seconds next_failure_gap();
 
   /// Uniformly chosen crash victim in [0, nodes).
   int pick_victim();

@@ -7,8 +7,8 @@
 
 namespace hepex::hw {
 
-double FixedFrequencyPolicy::next_frequency(const SlackObservation& obs,
-                                            const DvfsRange& range) {
+q::Hertz FixedFrequencyPolicy::next_frequency(const SlackObservation& obs,
+                                              const DvfsRange& range) {
   (void)range;
   return obs.f_current_hz;
 }
@@ -19,14 +19,14 @@ SlackStepPolicy::SlackStepPolicy(double margin, double up_threshold)
   HEPEX_REQUIRE(up_threshold >= 0.0, "up threshold must be non-negative");
 }
 
-double SlackStepPolicy::next_frequency(const SlackObservation& obs,
-                                       const DvfsRange& range) {
+q::Hertz SlackStepPolicy::next_frequency(const SlackObservation& obs,
+                                         const DvfsRange& range) {
   const auto& fs = range.frequencies_hz;
   HEPEX_ASSERT(!fs.empty(), "DVFS range has no operating points");
   // Locate the current operating point.
   std::size_t idx = 0;
   for (std::size_t i = 0; i < fs.size(); ++i) {
-    if (std::abs(fs[i] - obs.f_current_hz) < 1e3) {
+    if (q::abs(fs[i] - obs.f_current_hz) < q::Hertz{1e3}) {
       idx = i;
       break;
     }
@@ -41,16 +41,16 @@ double SlackStepPolicy::next_frequency(const SlackObservation& obs,
                       {{"node", obs.node},
                        {"slack", obs.slack_fraction},
                        {"cost", cost},
-                       {"to_ghz", fs[idx - 1] / 1e9}});
+                       {"to_ghz", fs[idx - 1].value() / 1e9}});
       return fs[idx - 1];
     }
   }
   if (obs.slack_fraction < up_threshold_ && idx + 1 < fs.size() &&
-      fs[idx + 1] <= obs.f_configured_hz + 1e3) {
+      fs[idx + 1] <= obs.f_configured_hz + q::Hertz{1e3}) {
     HEPEX_LOG_DEBUG("dvfs", "step up",
                     {{"node", obs.node},
                      {"slack", obs.slack_fraction},
-                     {"to_ghz", fs[idx + 1] / 1e9}});
+                     {"to_ghz", fs[idx + 1].value() / 1e9}});
     return fs[idx + 1];
   }
   return fs[idx];

@@ -21,10 +21,10 @@ namespace hepex::hw {
 struct SlackObservation {
   int node = 0;                 ///< node index
   int iteration = 0;            ///< iteration that just completed
-  double f_current_hz = 0.0;    ///< node frequency during that iteration
-  double f_configured_hz = 0.0; ///< the statically chosen configuration f
-  double busy_until_s = 0.0;    ///< when this node finished its work
-  double barrier_at_s = 0.0;    ///< when the global barrier released
+  q::Hertz f_current_hz{};      ///< node frequency during that iteration
+  q::Hertz f_configured_hz{};   ///< the statically chosen configuration f
+  q::Seconds busy_until_s{};    ///< when this node finished its work
+  q::Seconds barrier_at_s{};    ///< when the global barrier released
   /// Fraction of the iteration this node spent working.
   double busy_fraction = 0.0;
   /// Fraction of the iteration this node idled behind the laggard node
@@ -39,15 +39,15 @@ class DvfsPolicy {
 
   /// Frequency this node should use for the *next* iteration. Must
   /// return one of `range`'s operating points.
-  virtual double next_frequency(const SlackObservation& obs,
-                                const DvfsRange& range) = 0;
+  virtual q::Hertz next_frequency(const SlackObservation& obs,
+                                  const DvfsRange& range) = 0;
 };
 
 /// Keep the configured frequency forever (the default behaviour).
 class FixedFrequencyPolicy final : public DvfsPolicy {
  public:
-  double next_frequency(const SlackObservation& obs,
-                        const DvfsRange& range) override;
+  q::Hertz next_frequency(const SlackObservation& obs,
+                          const DvfsRange& range) override;
 };
 
 /// Just-in-time slack reclamation (Kappiah et al., SC'05 style): a node
@@ -64,8 +64,8 @@ class SlackStepPolicy final : public DvfsPolicy {
   /// \param up_threshold slack fraction below which to speed up
   explicit SlackStepPolicy(double margin = 0.8, double up_threshold = 0.02);
 
-  double next_frequency(const SlackObservation& obs,
-                        const DvfsRange& range) override;
+  q::Hertz next_frequency(const SlackObservation& obs,
+                          const DvfsRange& range) override;
 
  private:
   double margin_;

@@ -18,9 +18,9 @@ void validate_machine(const MachineSpec& m) {
   const auto& dvfs = m.node.dvfs;
   HEPEX_REQUIRE(!dvfs.frequencies_hz.empty(),
                 "DVFS range needs at least one operating point");
-  double prev = 0.0;
-  for (double f : dvfs.frequencies_hz) {
-    HEPEX_REQUIRE(finite_pos(f),
+  q::Hertz prev{0.0};
+  for (q::Hertz f : dvfs.frequencies_hz) {
+    HEPEX_REQUIRE(finite_pos(f.value()),
                   "DVFS operating points must be finite and positive");
     HEPEX_REQUIRE(f > prev, "DVFS operating points must be ascending");
     prev = f;
@@ -41,11 +41,11 @@ void validate_machine(const MachineSpec& m) {
   HEPEX_REQUIRE(finite_nonneg(isa.message_software_cycles),
                 "message software cycles must be finite and >= 0");
   const auto& mem = m.node.memory;
-  HEPEX_REQUIRE(finite_pos(mem.bandwidth_bytes_per_s),
+  HEPEX_REQUIRE(finite_pos(mem.bandwidth_bytes_per_s.value()),
                 "memory bandwidth must be finite and positive");
-  HEPEX_REQUIRE(finite_nonneg(mem.latency_s),
+  HEPEX_REQUIRE(finite_nonneg(mem.latency_s.value()),
                 "memory latency must be finite and >= 0");
-  HEPEX_REQUIRE(finite_pos(mem.line_bytes),
+  HEPEX_REQUIRE(finite_pos(mem.line_bytes.value()),
                 "cache-line size must be finite and positive");
   const auto& pw = m.node.power;
   HEPEX_REQUIRE(finite_pos(pw.core.active_coeff),
@@ -54,20 +54,20 @@ void validate_machine(const MachineSpec& m) {
                     pw.core.stall_fraction >= 0.0 &&
                     pw.core.stall_fraction <= 1.0,
                 "stall power fraction must be in [0, 1]");
-  HEPEX_REQUIRE(finite_nonneg(pw.mem_active_w),
+  HEPEX_REQUIRE(finite_nonneg(pw.mem_active_w.value()),
                 "memory power must be finite and >= 0");
-  HEPEX_REQUIRE(finite_nonneg(pw.net_active_w),
+  HEPEX_REQUIRE(finite_nonneg(pw.net_active_w.value()),
                 "NIC power must be finite and >= 0");
-  HEPEX_REQUIRE(finite_nonneg(pw.sys_idle_w),
+  HEPEX_REQUIRE(finite_nonneg(pw.sys_idle_w.value()),
                 "idle power must be finite and >= 0");
   const auto& net = m.network;
-  HEPEX_REQUIRE(finite_pos(net.link_bits_per_s),
+  HEPEX_REQUIRE(finite_pos(net.link_bits_per_s.value()),
                 "link rate must be finite and positive");
-  HEPEX_REQUIRE(finite_nonneg(net.switch_latency_s),
+  HEPEX_REQUIRE(finite_nonneg(net.switch_latency_s.value()),
                 "switch latency must be finite and >= 0");
-  HEPEX_REQUIRE(finite_pos(net.payload_bytes_per_frame),
+  HEPEX_REQUIRE(finite_pos(net.payload_bytes_per_frame.value()),
                 "frame payload must be finite and positive");
-  HEPEX_REQUIRE(finite_nonneg(net.header_bytes_per_frame),
+  HEPEX_REQUIRE(finite_nonneg(net.header_bytes_per_frame.value()),
                 "frame header must be finite and >= 0");
   for (int n : m.model_node_counts) {
     HEPEX_REQUIRE(n >= 1, "model node counts must be positive");
@@ -96,7 +96,7 @@ std::vector<ClusterConfig> enumerate_configs(
   for (int n : node_counts) {
     HEPEX_REQUIRE(n >= 1, "node counts must be positive");
     for (int c = 1; c <= m.node.cores; ++c) {
-      for (double f : m.node.dvfs.frequencies_hz) {
+      for (q::Hertz f : m.node.dvfs.frequencies_hz) {
         out.push_back(ClusterConfig{n, c, f});
       }
     }

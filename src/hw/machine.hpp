@@ -15,6 +15,7 @@
 #include "hw/memory.hpp"
 #include "hw/network.hpp"
 #include "hw/power.hpp"
+#include "util/quantity.hpp"
 
 namespace hepex::hw {
 
@@ -42,9 +43,9 @@ struct MachineSpec {
 
 /// The paper's (n, c, f) execution configuration.
 struct ClusterConfig {
-  int nodes = 1;        ///< n — also the number of logical processes l
-  int cores = 1;        ///< c — also the threads per process tau
-  double f_hz = 1.2e9;  ///< operating core clock frequency
+  int nodes = 1;            ///< n — also the number of logical processes l
+  int cores = 1;            ///< c — also the threads per process tau
+  q::Hertz f_hz{1.2e9};     ///< operating core clock frequency
 
   bool operator==(const ClusterConfig&) const = default;
 };

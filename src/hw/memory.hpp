@@ -9,23 +9,24 @@
 /// requests is the physical origin of the paper's `T_w,mem`.
 
 #include "util/error.hpp"
+#include "util/quantity.hpp"
 
 namespace hepex::hw {
 
 /// Memory controller parameters.
 struct MemorySpec {
-  /// Sustained DRAM bandwidth [bytes/s].
-  double bandwidth_bytes_per_s = 12e9;
-  /// Fixed access latency per request batch [s].
-  double latency_s = 65e-9;
+  /// Sustained DRAM bandwidth.
+  q::BytesPerSec bandwidth_bytes_per_s{12e9};
+  /// Fixed access latency per request batch.
+  q::Seconds latency_s{65e-9};
   /// Installed capacity [bytes] (documentation; demand checking).
-  double capacity_bytes = 8e9;
-  /// Cache-line / DRAM burst size [bytes]; one miss moves one line.
-  double line_bytes = 64.0;
+  q::Bytes capacity_bytes{8e9};
+  /// Cache-line / DRAM burst size; one miss moves one line.
+  q::Bytes line_bytes{64.0};
 
   /// Service time for a batched request of `bytes`.
-  double service_time(double bytes) const {
-    HEPEX_REQUIRE(bytes >= 0.0, "bytes must be non-negative");
+  q::Seconds service_time(q::Bytes bytes) const {
+    HEPEX_REQUIRE(bytes.value() >= 0.0, "bytes must be non-negative");
     return latency_s + bytes / bandwidth_bytes_per_s;
   }
 };

@@ -14,40 +14,44 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/quantity.hpp"
 
 namespace hepex::hw {
 
-/// Switch/link parameters.
+/// Switch/link parameters. The link rate is quoted in bits/s as on a data
+/// sheet; every bytes-per-second use goes through `q::to_bytes_per_sec`,
+/// so the ×8 can never be dropped or applied twice.
 struct NetworkSpec {
-  /// Raw link rate [bits/s].
-  double link_bits_per_s = 1e9;
-  /// Store-and-forward + propagation latency per message [s].
-  double switch_latency_s = 10e-6;
+  /// Raw link rate.
+  q::BitsPerSec link_bits_per_s{1e9};
+  /// Store-and-forward + propagation latency per message.
+  q::Seconds switch_latency_s{10e-6};
   /// Ethernet/IP/TCP header bytes per MTU-sized frame.
-  double header_bytes_per_frame = 78.0;
+  q::Bytes header_bytes_per_frame{78.0};
   /// Payload bytes per frame (MTU minus headers).
-  double payload_bytes_per_frame = 1448.0;
+  q::Bytes payload_bytes_per_frame{1448.0};
 
   /// Bytes on the wire for a `payload`-byte message (headers included).
   /// At least one frame even for zero-byte control messages.
-  double wire_bytes(double payload) const;
+  q::Bytes wire_bytes(q::Bytes payload) const;
 
   /// Link rate in payload bytes per second for an MTU-sized stream —
   /// the asymptotic goodput a NetPIPE sweep approaches.
-  double peak_goodput_bytes_per_s() const {
+  q::BytesPerSec peak_goodput_bytes_per_s() const {
     const double eff = payload_bytes_per_frame /
                        (payload_bytes_per_frame + header_bytes_per_frame);
-    return link_bits_per_s / 8.0 * eff;
+    return q::to_bytes_per_sec(link_bits_per_s) * eff;
   }
 
   /// Time a message of `payload` bytes occupies the switch.
-  double wire_time(double payload) const {
-    return switch_latency_s + wire_bytes(payload) / (link_bits_per_s / 8.0);
+  q::Seconds wire_time(q::Bytes payload) const {
+    return switch_latency_s +
+           wire_bytes(payload) / q::to_bytes_per_sec(link_bits_per_s);
   }
 };
 
-inline double NetworkSpec::wire_bytes(double payload) const {
-  HEPEX_REQUIRE(payload >= 0.0, "payload must be non-negative");
+inline q::Bytes NetworkSpec::wire_bytes(q::Bytes payload) const {
+  HEPEX_REQUIRE(payload.value() >= 0.0, "payload must be non-negative");
   const double frames =
       std::max(1.0, std::ceil(payload / payload_bytes_per_frame));
   return payload + frames * header_bytes_per_frame;

@@ -4,32 +4,33 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/units.hpp"
 
 namespace hepex::hw {
 
-double DvfsRange::voltage_at(double f_hz) const {
+double DvfsRange::voltage_at(q::Hertz f_hz) const {
   HEPEX_REQUIRE(!frequencies_hz.empty(), "DVFS range has no operating points");
-  const double lo = f_min();
-  const double hi = f_max();
-  const double f = std::clamp(f_hz, lo, hi);
+  const q::Hertz lo = f_min();
+  const q::Hertz hi = f_max();
+  const q::Hertz f = std::clamp(f_hz, lo, hi);
   if (hi <= lo) return v_max;
-  return v_min + (v_max - v_min) * (f - lo) / (hi - lo);
+  return v_min + (v_max - v_min) * ((f - lo) / (hi - lo));
 }
 
-bool DvfsRange::supports(double f_hz) const {
-  for (double f : frequencies_hz) {
-    if (std::abs(f - f_hz) < 1e3) return true;
+bool DvfsRange::supports(q::Hertz f_hz) const {
+  for (q::Hertz f : frequencies_hz) {
+    if (q::abs(f - f_hz) < units::hertz(1e3)) return true;
   }
   return false;
 }
 
-double CorePowerCurve::active_at(double f_hz, const DvfsRange& dvfs) const {
-  HEPEX_REQUIRE(f_hz > 0.0, "frequency must be positive");
+q::Watts CorePowerCurve::active_at(q::Hertz f_hz, const DvfsRange& dvfs) const {
+  HEPEX_REQUIRE(f_hz.value() > 0.0, "frequency must be positive");
   const double v = dvfs.voltage_at(f_hz);
-  return active_coeff * f_hz * v * v;
+  return q::Watts{active_coeff * f_hz.value() * v * v};
 }
 
-double CorePowerCurve::stall_at(double f_hz, const DvfsRange& dvfs) const {
+q::Watts CorePowerCurve::stall_at(q::Hertz f_hz, const DvfsRange& dvfs) const {
   return stall_fraction * active_at(f_hz, dvfs);
 }
 

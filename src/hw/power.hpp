@@ -12,22 +12,24 @@
 
 #include <vector>
 
+#include "util/quantity.hpp"
+
 namespace hepex::hw {
 
 /// Dynamic frequency/voltage operating range of a core.
 struct DvfsRange {
-  std::vector<double> frequencies_hz;  ///< discrete operating points, ascending
-  double v_min = 0.9;                  ///< core voltage at frequencies_hz.front()
-  double v_max = 1.05;                 ///< core voltage at frequencies_hz.back()
+  std::vector<q::Hertz> frequencies_hz;  ///< discrete points, ascending
+  double v_min = 0.9;                    ///< core voltage at f_min() [V]
+  double v_max = 1.05;                   ///< core voltage at f_max() [V]
 
   /// Lowest operating point.
-  double f_min() const { return frequencies_hz.front(); }
+  q::Hertz f_min() const { return frequencies_hz.front(); }
   /// Highest operating point.
-  double f_max() const { return frequencies_hz.back(); }
-  /// Linear voltage interpolation at frequency `f_hz` (clamped to range).
-  double voltage_at(double f_hz) const;
-  /// True when `f_hz` matches one of the discrete points (1 kHz tolerance).
-  bool supports(double f_hz) const;
+  q::Hertz f_max() const { return frequencies_hz.back(); }
+  /// Linear voltage interpolation at frequency `f` (clamped to range) [V].
+  double voltage_at(q::Hertz f) const;
+  /// True when `f` matches one of the discrete points (1 kHz tolerance).
+  bool supports(q::Hertz f) const;
 };
 
 /// Per-core power curve: P = coeff · f · V(f)^2.
@@ -37,21 +39,21 @@ struct CorePowerCurve {
   /// Stall power as a fraction of active power at the same frequency.
   double stall_fraction = 0.45;
 
-  /// Power of one active core at `f_hz`.
-  double active_at(double f_hz, const DvfsRange& dvfs) const;
-  /// Power of one memory-stalled core at `f_hz`.
-  double stall_at(double f_hz, const DvfsRange& dvfs) const;
+  /// Power of one active core at `f`.
+  q::Watts active_at(q::Hertz f, const DvfsRange& dvfs) const;
+  /// Power of one memory-stalled core at `f`.
+  q::Watts stall_at(q::Hertz f, const DvfsRange& dvfs) const;
 };
 
 /// Complete node power description.
 struct PowerSpec {
   CorePowerCurve core;
-  double mem_active_w = 8.0;  ///< memory subsystem while servicing requests
-  double net_active_w = 3.0;  ///< NIC while transmitting/receiving
-  double sys_idle_w = 55.0;   ///< whole-node floor, drawn for the full run
+  q::Watts mem_active_w{8.0};  ///< memory subsystem while servicing requests
+  q::Watts net_active_w{3.0};  ///< NIC while transmitting/receiving
+  q::Watts sys_idle_w{55.0};   ///< whole-node floor, drawn for the full run
   /// 1-sigma calibration error of an external wall-power meter reading
   /// this node (the paper reports ~2 W for Xeon, ~0.4 W for ARM, §IV-C).
-  double meter_offset_sigma_w = 2.0;
+  q::Watts meter_offset_sigma_w{2.0};
 };
 
 }  // namespace hepex::hw

@@ -5,6 +5,7 @@
 namespace hepex::hw {
 
 using namespace hepex::units;
+using namespace hepex::units::literals;
 
 Isa isa_x86_64_xeon() {
   Isa isa;
@@ -36,7 +37,7 @@ MachineSpec xeon_cluster() {
 
   m.node.cores = 8;
   m.node.isa = isa_x86_64_xeon();
-  m.node.dvfs.frequencies_hz = {1.2 * GHz, 1.5 * GHz, 1.8 * GHz};
+  m.node.dvfs.frequencies_hz = {1.2_GHz, 1.5_GHz, 1.8_GHz};
   m.node.dvfs.v_min = 0.90;
   m.node.dvfs.v_max = 1.05;
 
@@ -45,22 +46,22 @@ MachineSpec xeon_cluster() {
   m.node.cache.l3_shared_bytes = 20 * MB;
   m.node.cache.cold_miss_fraction = 0.02;
 
-  m.node.memory.bandwidth_bytes_per_s = 12 * GB;
-  m.node.memory.latency_s = 65 * ns;
-  m.node.memory.capacity_bytes = 8 * GB;
-  m.node.memory.line_bytes = 64.0;
+  m.node.memory.bandwidth_bytes_per_s = bytes_per_sec(12 * GB);
+  m.node.memory.latency_s = seconds(65 * ns);
+  m.node.memory.capacity_bytes = bytes(8 * GB);
+  m.node.memory.line_bytes = bytes(64.0);
 
   // Calibrated so one active core at 1.8 GHz draws ~6 W and a fully loaded
   // node lands near 115 W — consistent with a dual E5-2603 server.
   m.node.power.core.active_coeff = 6.0 / (1.8e9 * 1.05 * 1.05);
   m.node.power.core.stall_fraction = 0.45;
-  m.node.power.mem_active_w = 8.0;
-  m.node.power.net_active_w = 3.0;
-  m.node.power.sys_idle_w = 55.0;
-  m.node.power.meter_offset_sigma_w = 2.0;
+  m.node.power.mem_active_w = watts(8.0);
+  m.node.power.net_active_w = watts(3.0);
+  m.node.power.sys_idle_w = watts(55.0);
+  m.node.power.meter_offset_sigma_w = watts(2.0);
 
-  m.network.link_bits_per_s = 1 * Gbps;
-  m.network.switch_latency_s = 10 * us;
+  m.network.link_bits_per_s = bits_per_sec(1 * Gbps);
+  m.network.switch_latency_s = seconds(10 * us);
 
   m.nodes_available = 8;
   m.model_node_counts = {1, 2, 4, 8, 16, 32, 64, 128, 256};
@@ -73,8 +74,9 @@ MachineSpec arm_cluster() {
 
   m.node.cores = 4;
   m.node.isa = isa_armv7_cortex_a9();
-  m.node.dvfs.frequencies_hz = {0.2 * GHz, 0.5 * GHz, 0.8 * GHz, 1.1 * GHz,
-                                1.4 * GHz};
+  m.node.dvfs.frequencies_hz = {hertz(0.2 * GHz), hertz(0.5 * GHz),
+                                hertz(0.8 * GHz), hertz(1.1 * GHz),
+                                hertz(1.4 * GHz)};
   m.node.dvfs.v_min = 0.90;
   m.node.dvfs.v_max = 1.25;
 
@@ -83,21 +85,21 @@ MachineSpec arm_cluster() {
   m.node.cache.l3_shared_bytes = 0.0;
   m.node.cache.cold_miss_fraction = 0.04;
 
-  m.node.memory.bandwidth_bytes_per_s = 1.3 * GB;
-  m.node.memory.latency_s = 110 * ns;
-  m.node.memory.capacity_bytes = 1 * GB;
-  m.node.memory.line_bytes = 32.0;
+  m.node.memory.bandwidth_bytes_per_s = bytes_per_sec(1.3 * GB);
+  m.node.memory.latency_s = seconds(110 * ns);
+  m.node.memory.capacity_bytes = bytes(1 * GB);
+  m.node.memory.line_bytes = bytes(32.0);
 
   // One active core at 1.4 GHz draws ~0.8 W; full node ~6 W.
   m.node.power.core.active_coeff = 0.8 / (1.4e9 * 1.25 * 1.25);
   m.node.power.core.stall_fraction = 0.40;
-  m.node.power.mem_active_w = 0.4;
-  m.node.power.net_active_w = 0.3;
-  m.node.power.sys_idle_w = 2.5;
-  m.node.power.meter_offset_sigma_w = 0.4;
+  m.node.power.mem_active_w = watts(0.4);
+  m.node.power.net_active_w = watts(0.3);
+  m.node.power.sys_idle_w = watts(2.5);
+  m.node.power.meter_offset_sigma_w = watts(0.4);
 
-  m.network.link_bits_per_s = 100 * Mbps;
-  m.network.switch_latency_s = 30 * us;
+  m.network.link_bits_per_s = bits_per_sec(100 * Mbps);
+  m.network.switch_latency_s = seconds(30 * us);
 
   m.nodes_available = 8;
   m.model_node_counts = {1,  2,  3,  4,  5,  6,  7,  8,  9,  10,
@@ -114,7 +116,7 @@ MachineSpec modern_x86_cluster() {
   m.node.isa.name = "x86_64 (modern)";
   m.node.isa.memory_level_parallelism = 8.0;
   m.node.isa.message_software_cycles = 40e3;
-  m.node.dvfs.frequencies_hz = {2.0 * GHz, 2.4 * GHz, 2.8 * GHz, 3.2 * GHz};
+  m.node.dvfs.frequencies_hz = {2.0_GHz, 2.4_GHz, 2.8_GHz, 3.2_GHz};
   m.node.dvfs.v_min = 0.85;
   m.node.dvfs.v_max = 1.10;
 
@@ -123,21 +125,21 @@ MachineSpec modern_x86_cluster() {
   m.node.cache.l3_shared_bytes = 64 * MB;
   m.node.cache.cold_miss_fraction = 0.02;
 
-  m.node.memory.bandwidth_bytes_per_s = 80 * GB;
-  m.node.memory.latency_s = 80 * ns;
-  m.node.memory.capacity_bytes = 128 * GB;
-  m.node.memory.line_bytes = 64.0;
+  m.node.memory.bandwidth_bytes_per_s = bytes_per_sec(80 * GB);
+  m.node.memory.latency_s = seconds(80 * ns);
+  m.node.memory.capacity_bytes = bytes(128 * GB);
+  m.node.memory.line_bytes = bytes(64.0);
 
   // ~8 W per active core at 3.2 GHz; ~220 W fully loaded node.
   m.node.power.core.active_coeff = 8.0 / (3.2e9 * 1.10 * 1.10);
   m.node.power.core.stall_fraction = 0.40;
-  m.node.power.mem_active_w = 15.0;
-  m.node.power.net_active_w = 8.0;
-  m.node.power.sys_idle_w = 90.0;
-  m.node.power.meter_offset_sigma_w = 2.0;
+  m.node.power.mem_active_w = watts(15.0);
+  m.node.power.net_active_w = watts(8.0);
+  m.node.power.sys_idle_w = watts(90.0);
+  m.node.power.meter_offset_sigma_w = watts(2.0);
 
-  m.network.link_bits_per_s = 10 * Gbps;
-  m.network.switch_latency_s = 2 * us;
+  m.network.link_bits_per_s = bits_per_sec(10 * Gbps);
+  m.network.switch_latency_s = seconds(2 * us);
 
   m.nodes_available = 8;
   m.model_node_counts = {1, 2, 4, 8, 16, 32, 64};

@@ -39,11 +39,11 @@ double amdahl_energy_ratio(double serial_fraction, int processors,
          parallel_time * p;
 }
 
-double energy_delay_product(const Prediction& p) {
+q::JouleSeconds energy_delay_product(const Prediction& p) {
   return p.energy_j * p.time_s;
 }
 
-double energy_delay_squared(const Prediction& p) {
+q::JouleSecondsSq energy_delay_squared(const Prediction& p) {
   return p.energy_j * p.time_s * p.time_s;
 }
 
@@ -52,9 +52,13 @@ const Prediction& best_by_edp(const std::vector<Prediction>& predictions,
   HEPEX_REQUIRE(!predictions.empty(), "need at least one prediction");
   HEPEX_REQUIRE(exponent >= 0.0, "exponent must be non-negative");
   const Prediction* best = &predictions.front();
-  double best_score = best->energy_j * std::pow(best->time_s, exponent);
+  // The exponent is a runtime value, so the score's dimension is not
+  // expressible as a static type — compare raw J*s^exponent magnitudes.
+  double best_score =
+      best->energy_j.value() * std::pow(best->time_s.value(), exponent);
   for (const auto& p : predictions) {
-    const double score = p.energy_j * std::pow(p.time_s, exponent);
+    const double score =
+        p.energy_j.value() * std::pow(p.time_s.value(), exponent);
     if (score < best_score) {
       best = &p;
       best_score = score;

@@ -29,10 +29,10 @@ double amdahl_energy_ratio(double serial_fraction, int processors,
                            double idle_power_fraction);
 
 /// Energy-delay product E*T [J*s] — lower is better.
-double energy_delay_product(const Prediction& p);
+q::JouleSeconds energy_delay_product(const Prediction& p);
 
 /// Energy-delay-squared product E*T^2 [J*s^2] — favours performance.
-double energy_delay_squared(const Prediction& p);
+q::JouleSecondsSq energy_delay_squared(const Prediction& p);
 
 /// The configuration minimizing a figure of merit over a set of
 /// predictions. `exponent` selects E*T^exponent (0 = min energy,

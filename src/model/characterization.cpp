@@ -10,15 +10,15 @@
 
 namespace hepex::model {
 
-std::size_t Characterization::frequency_index(double f_hz) const {
+std::size_t Characterization::frequency_index(q::Hertz f_hz) const {
   const auto& fs = machine.node.dvfs.frequencies_hz;
   for (std::size_t i = 0; i < fs.size(); ++i) {
-    if (std::abs(fs[i] - f_hz) < 1e3) return i;
+    if (q::abs(fs[i] - f_hz) < q::Hertz{1e3}) return i;
   }
   throw std::invalid_argument("hepex: frequency is not an operating point");
 }
 
-const BaselinePoint& Characterization::at(int c, double f_hz) const {
+const BaselinePoint& Characterization::at(int c, q::Hertz f_hz) const {
   HEPEX_REQUIRE(c >= 1 && c <= machine.node.cores, "core count out of range");
   return baseline[static_cast<std::size_t>(c - 1)][frequency_index(f_hz)];
 }
@@ -35,7 +35,7 @@ PowerCharacterization characterize_power(const hw::MachineSpec& m,
   PowerCharacterization out;
   util::Rng rng(opt.meter_seed ^ 0xB0BACAFEULL);
   const double sigma =
-      opt.exact_power ? 0.0 : m.node.power.meter_offset_sigma_w;
+      opt.exact_power ? 0.0 : m.node.power.meter_offset_sigma_w.value();
   const auto& dvfs = m.node.dvfs;
   const int c = m.node.cores;
 
@@ -43,26 +43,28 @@ PowerCharacterization characterize_power(const hw::MachineSpec& m,
   // a single wall reading carries the full calibration sigma, so the
   // residual parameter error is ~sigma / (c * sqrt(readings)) per core.
   const int reps = std::max(1, opt.power_readings);
-  auto metered = [&](double true_w) {
+  auto metered = [&](q::Watts true_w) {
     double sum = 0.0;
-    for (int r = 0; r < reps; ++r) sum += true_w + rng.normal(0.0, sigma);
-    return sum / reps;
+    for (int r = 0; r < reps; ++r) {
+      sum += true_w.value() + rng.normal(0.0, sigma);
+    }
+    return q::Watts{sum / reps};
   };
 
   // Idle reading: the whole node, nothing running.
   out.sys_idle_w = metered(m.node.power.sys_idle_w);
 
-  for (double f : dvfs.frequencies_hz) {
+  for (q::Hertz f : dvfs.frequencies_hz) {
     // Spin benchmark: c cores executing work cycles; the meter reads
     // idle + c * P_act.
-    const double spin_reading =
+    const q::Watts spin_reading =
         metered(m.node.power.sys_idle_w +
                 c * m.node.power.core.active_at(f, dvfs));
     out.core_active_w.push_back((spin_reading - out.sys_idle_w) / c);
 
     // Pointer-chase benchmark: c cores stalled on memory, controller
     // busy. Subtract the datasheet memory power as the paper does.
-    const double stall_reading =
+    const q::Watts stall_reading =
         metered(m.node.power.sys_idle_w +
                 c * m.node.power.core.stall_at(f, dvfs) +
                 m.node.power.mem_active_w);
@@ -73,7 +75,7 @@ PowerCharacterization characterize_power(const hw::MachineSpec& m,
   // P_mem from the JEDEC datasheet; P_net measured directly at the NIC.
   out.mem_active_w = m.node.power.mem_active_w;
   out.net_active_w = m.node.power.net_active_w +
-                     rng.normal(0.0, 0.1 * sigma);
+                     q::Watts{rng.normal(0.0, 0.1 * sigma)};
   return out;
 }
 

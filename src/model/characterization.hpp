@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "hw/machine.hpp"
+#include "util/quantity.hpp"
 #include "trace/execution_engine.hpp"
 #include "trace/netpipe.hpp"
 #include "trace/profiler.hpp"
@@ -48,11 +49,11 @@ struct BaselinePoint {
 struct PowerCharacterization {
   /// P_core,act and P_core,stall per DVFS operating point (same order as
   /// the machine's frequency list).
-  std::vector<double> core_active_w;
-  std::vector<double> core_stall_w;
-  double mem_active_w = 0.0;  ///< from the memory datasheet
-  double net_active_w = 0.0;  ///< measured directly
-  double sys_idle_w = 0.0;    ///< metered idle system
+  std::vector<q::Watts> core_active_w;
+  std::vector<q::Watts> core_stall_w;
+  q::Watts mem_active_w{};  ///< from the memory datasheet
+  q::Watts net_active_w{};  ///< measured directly
+  q::Watts sys_idle_w{};    ///< metered idle system
 };
 
 /// Options for the characterization pass.
@@ -89,14 +90,14 @@ struct Characterization {
   PowerCharacterization power;               ///< metered power parameters
 
   /// Per-message CPU software latency at f_max, extracted from NetPIPE.
-  double msg_software_s_at_fmax = 0.0;
+  q::Seconds msg_software_s_at_fmax{};
 
   /// Index of frequency `f_hz` in the machine's DVFS list; throws if the
   /// frequency is not an operating point.
-  std::size_t frequency_index(double f_hz) const;
+  std::size_t frequency_index(q::Hertz f_hz) const;
 
   /// Baseline counters at (c, f); throws for out-of-range c.
-  const BaselinePoint& at(int c, double f_hz) const;
+  const BaselinePoint& at(int c, q::Hertz f_hz) const;
 };
 
 /// Run the full characterization pass for `program` on `machine`.

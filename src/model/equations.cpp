@@ -8,14 +8,14 @@
 
 namespace hepex::model::equations {
 
-double t_cpu_s(double work_cycles, double nonmem_stall_cycles, int nodes,
-               int cores, double f_hz) {
+q::Seconds t_cpu_s(double work_cycles, double nonmem_stall_cycles, int nodes,
+                   int cores, q::Hertz f) {
   HEPEX_REQUIRE(work_cycles >= 0.0 && nonmem_stall_cycles >= 0.0,
                 "cycle counts must be non-negative");
   HEPEX_REQUIRE(nodes >= 1 && cores >= 1, "need at least one core");
-  HEPEX_REQUIRE(f_hz > 0.0, "frequency must be positive");
+  HEPEX_REQUIRE(f.value() > 0.0, "frequency must be positive");
   return (work_cycles + nonmem_stall_cycles) /
-         (static_cast<double>(nodes) * cores * f_hz);
+         (static_cast<double>(nodes) * cores * f);
 }
 
 double scaling_sigma(double target_cells, int target_iterations,
@@ -28,76 +28,76 @@ double scaling_sigma(double target_cells, int target_iterations,
          (baseline_cells * baseline_iterations);
 }
 
-double t_mem_s(double mem_stall_cycles, int nodes, int cores, double f_hz) {
+q::Seconds t_mem_s(double mem_stall_cycles, int nodes, int cores, q::Hertz f) {
   HEPEX_REQUIRE(mem_stall_cycles >= 0.0, "stall cycles must be non-negative");
   HEPEX_REQUIRE(nodes >= 1 && cores >= 1, "need at least one core");
-  HEPEX_REQUIRE(f_hz > 0.0, "frequency must be positive");
-  return mem_stall_cycles / (static_cast<double>(nodes) * cores * f_hz);
+  HEPEX_REQUIRE(f.value() > 0.0, "frequency must be positive");
+  return mem_stall_cycles / (static_cast<double>(nodes) * cores * f);
 }
 
-double t_serve_net_it_s(double utilization, double t_cpu_it_s, double eta_it,
-                        double nu_bytes, double bandwidth_bytes_per_s,
-                        double msg_software_s) {
-  HEPEX_REQUIRE(bandwidth_bytes_per_s > 0.0, "bandwidth must be positive");
-  HEPEX_REQUIRE(eta_it >= 0.0 && nu_bytes >= 0.0,
+q::Seconds t_serve_net_it_s(double utilization, q::Seconds t_cpu_it,
+                            double eta_it, q::Bytes nu,
+                            q::BytesPerSec bandwidth, q::Seconds msg_software) {
+  HEPEX_REQUIRE(bandwidth.value() > 0.0, "bandwidth must be positive");
+  HEPEX_REQUIRE(eta_it >= 0.0 && nu.value() >= 0.0,
                 "message characteristics must be non-negative");
-  const double cpu_side = (1.0 - utilization) * t_cpu_it_s;
-  const double wire_side = eta_it * nu_bytes / bandwidth_bytes_per_s;
-  return std::max(cpu_side, wire_side) + (eta_it + 1.0) * msg_software_s;
+  const q::Seconds cpu_side = (1.0 - utilization) * t_cpu_it;
+  const q::Seconds wire_side = eta_it * nu / bandwidth;
+  return std::max(cpu_side, wire_side) + (eta_it + 1.0) * msg_software;
 }
 
-double t_wait_net_it_s(int nodes, double eta_it, double serve_it_s,
-                       double y_s, double y2_s2) {
+q::Seconds t_wait_net_it_s(int nodes, double eta_it, q::Seconds serve_it,
+                           q::Seconds y, q::SecondsSq y2) {
   HEPEX_REQUIRE(nodes >= 1, "need at least one node");
-  if (nodes < 2 || eta_it <= 0.0 || y_s <= 0.0) return 0.0;
+  if (nodes < 2 || eta_it <= 0.0 || y <= q::Seconds{}) return q::Seconds{};
 
   const double n = nodes;
   // g(t) = serve + eta * W(n*eta/t) - t: +inf just above the stability
   // threshold t_min = n*eta*y, negative for large t; bisect to the
   // largest (stable) root.
-  const double t_min = n * eta_it * y_s;
-  auto g = [&](double t) {
-    const double lambda = n * eta_it / t;
-    const double wait = sim::queueing::mg1_mean_wait(lambda, y_s, y2_s2);
-    return serve_it_s + eta_it * wait - t;
+  const q::Seconds t_min = n * eta_it * y;
+  auto g = [&](q::Seconds t) {
+    const q::Hertz lambda = n * eta_it / t;
+    const q::Seconds wait = sim::queueing::mg1_mean_wait(lambda, y, y2);
+    return serve_it + eta_it * wait - t;
   };
-  double lo = t_min * (1.0 + 1e-6);
-  double hi = std::max(serve_it_s, t_min) * 4.0 + t_min;
-  while (g(hi) > 0.0) hi *= 2.0;
+  q::Seconds lo = t_min * (1.0 + 1e-6);
+  q::Seconds hi = std::max(serve_it, t_min) * 4.0 + t_min;
+  while (g(hi) > q::Seconds{}) hi *= 2.0;
   for (int k = 0; k < 100; ++k) {
-    const double mid = 0.5 * (lo + hi);
-    if (g(mid) > 0.0) {
+    const q::Seconds mid = 0.5 * (lo + hi);
+    if (g(mid) > q::Seconds{}) {
       lo = mid;
     } else {
       hi = mid;
     }
   }
-  return std::max(0.0, 0.5 * (lo + hi) - serve_it_s);
+  return std::max(q::Seconds{}, 0.5 * (lo + hi) - serve_it);
 }
 
-double e_cpu_j(double p_active_w, double p_stall_w, double t_cpu_s,
-               double t_mem_s, int nodes, int cores) {
-  HEPEX_REQUIRE(p_active_w >= 0.0 && p_stall_w >= 0.0,
+q::Joules e_cpu_j(q::Watts p_active, q::Watts p_stall, q::Seconds t_cpu,
+                  q::Seconds t_mem, int nodes, int cores) {
+  HEPEX_REQUIRE(p_active.value() >= 0.0 && p_stall.value() >= 0.0,
                 "power must be non-negative");
-  return (p_active_w * t_cpu_s + p_stall_w * t_mem_s) *
-         static_cast<double>(cores) * nodes;
+  return (p_active * t_cpu + p_stall * t_mem) * static_cast<double>(cores) *
+         nodes;
 }
 
-double e_mem_j(double p_mem_w, double t_mem_s, int nodes) {
-  return p_mem_w * t_mem_s * nodes;
+q::Joules e_mem_j(q::Watts p_mem, q::Seconds t_mem, int nodes) {
+  return p_mem * t_mem * nodes;
 }
 
-double e_net_j(double p_net_w, double t_net_s, int nodes) {
-  return p_net_w * t_net_s * nodes;
+q::Joules e_net_j(q::Watts p_net, q::Seconds t_net, int nodes) {
+  return p_net * t_net * nodes;
 }
 
-double e_idle_j(double p_idle_w, double time_s, int nodes) {
-  return p_idle_w * time_s * nodes;
+q::Joules e_idle_j(q::Watts p_idle, q::Seconds time, int nodes) {
+  return p_idle * time * nodes;
 }
 
-double ucr(double t_cpu_s, double total_s) {
-  HEPEX_REQUIRE(total_s > 0.0, "total time must be positive");
-  return t_cpu_s / total_s;
+double ucr(q::Seconds t_cpu, q::Seconds total) {
+  HEPEX_REQUIRE(total > q::Seconds{}, "total time must be positive");
+  return t_cpu / total;
 }
 
 }  // namespace hepex::model::equations

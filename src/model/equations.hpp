@@ -7,14 +7,20 @@
 /// users build custom prediction pipelines (e.g. plugging in counters
 /// measured with perf on real hardware).
 ///
-/// Numbering follows the paper (§III-C/D).
+/// Numbering follows the paper (§III-C/D). Cycle, message and iteration
+/// counts are dimensionless `double`s; everything with a physical unit is
+/// a `hepex::q` quantity, so the classic slips — feeding a link rate in
+/// bits/s where bytes/s is needed, or a GHz value where Hz is expected —
+/// no longer compile.
+
+#include "util/quantity.hpp"
 
 namespace hepex::model::equations {
 
 /// Eq. 2-3: T_CPU = (w + b) / (n c f). `w` and `b` are cluster-total
 /// cycles; n*c cores run in parallel at frequency f.
-double t_cpu_s(double work_cycles, double nonmem_stall_cycles, int nodes,
-               int cores, double f_hz);
+q::Seconds t_cpu_s(double work_cycles, double nonmem_stall_cycles, int nodes,
+                   int cores, q::Hertz f);
 
 /// Eq. 4 / 7 scaling factor, generalized to input classes whose grid also
 /// grows: sigma = (cells_P * S_P) / (cells_Ps * S_Ps).
@@ -23,38 +29,38 @@ double scaling_sigma(double target_cells, int target_iterations,
 
 /// Eq. 7: T_w,mem + T_s,mem = m / (n c f) for cluster-total memory stall
 /// cycles m (the paper's per-configuration m folds the same division).
-double t_mem_s(double mem_stall_cycles, int nodes, int cores, double f_hz);
+q::Seconds t_mem_s(double mem_stall_cycles, int nodes, int cores, q::Hertz f);
 
 /// Eq. 6 service term: max((1 - U) T_CPU_it, eta nu / B) plus the
 /// per-message CPU stack cost ((eta + 1) software traversals).
-double t_serve_net_it_s(double utilization, double t_cpu_it_s, double eta_it,
-                        double nu_bytes, double bandwidth_bytes_per_s,
-                        double msg_software_s);
+q::Seconds t_serve_net_it_s(double utilization, q::Seconds t_cpu_it,
+                            double eta_it, q::Bytes nu,
+                            q::BytesPerSec bandwidth, q::Seconds msg_software);
 
 /// Eq. 5 closed-system solution: the communication window T_comm such
 /// that the M/G/1 wait at arrival rate lambda = n*eta/T_comm plus the
 /// service term reproduces T_comm. Returns the per-iteration *waiting*
 /// time eta * W (T_w,net's per-iteration share).
-/// \param serve_it_s  result of t_serve_net_it_s
-/// \param y_s         mean switch service time per message (nu / B)
-/// \param y2_s2       second moment of the service time
-double t_wait_net_it_s(int nodes, double eta_it, double serve_it_s,
-                       double y_s, double y2_s2);
+/// \param serve_it  result of t_serve_net_it_s
+/// \param y         mean switch service time per message (nu / B)
+/// \param y2        second moment of the service time
+q::Seconds t_wait_net_it_s(int nodes, double eta_it, q::Seconds serve_it,
+                           q::Seconds y, q::SecondsSq y2);
 
 /// Eq. 9 (x n): cluster CPU energy.
-double e_cpu_j(double p_active_w, double p_stall_w, double t_cpu_s,
-               double t_mem_s, int nodes, int cores);
+q::Joules e_cpu_j(q::Watts p_active, q::Watts p_stall, q::Seconds t_cpu,
+                  q::Seconds t_mem, int nodes, int cores);
 
 /// Eq. 10 (x n): cluster memory energy.
-double e_mem_j(double p_mem_w, double t_mem_s, int nodes);
+q::Joules e_mem_j(q::Watts p_mem, q::Seconds t_mem, int nodes);
 
 /// Eq. 11 (x n): cluster network energy.
-double e_net_j(double p_net_w, double t_net_s, int nodes);
+q::Joules e_net_j(q::Watts p_net, q::Seconds t_net, int nodes);
 
 /// Eq. 12 (x n): idle (platform) energy over the whole run.
-double e_idle_j(double p_idle_w, double time_s, int nodes);
+q::Joules e_idle_j(q::Watts p_idle, q::Seconds time, int nodes);
 
 /// Eq. 13: UCR = T_CPU / T.
-double ucr(double t_cpu_s, double total_s);
+double ucr(q::Seconds t_cpu, q::Seconds total);
 
 }  // namespace hepex::model::equations

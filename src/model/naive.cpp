@@ -29,8 +29,8 @@ Prediction naive_predict(const hw::MachineSpec& machine,
   // the node's cores but with no queueing and no cache filtering.
   const double bytes = instr * (program.compute.bytes_per_instruction +
                                 program.compute.reuse_bytes_per_instruction);
-  out.t_mem_s =
-      bytes / (machine.node.memory.bandwidth_bytes_per_s * cfg.nodes);
+  out.t_mem_s = q::Bytes{bytes} /
+                (machine.node.memory.bandwidth_bytes_per_s * cfg.nodes);
 
   // Network: total payload at the raw link rate, fully parallel across...
   // the single switch (the naive model does not know the switch is
@@ -39,12 +39,13 @@ Prediction naive_predict(const hw::MachineSpec& machine,
     const workload::CommShape shape = program.comm_shape(cfg.nodes);
     const double volume =
         shape.bytes_total() * program.iterations;  // per process
-    out.t_s_net_s = volume / (machine.network.link_bits_per_s / 8.0);
-    out.t_w_net_s = 0.0;  // no queueing in first-principles formulae
+    out.t_s_net_s = q::Bytes{volume} /
+                    q::to_bytes_per_sec(machine.network.link_bits_per_s);
+    out.t_w_net_s = q::Seconds{};  // no queueing in first-principles formulae
   }
 
   out.time_s = out.t_cpu_s + out.t_mem_s + out.t_w_net_s + out.t_s_net_s;
-  out.ucr = out.time_s > 0.0 ? out.t_cpu_s / out.time_s : 0.0;
+  out.ucr = out.time_s > q::Seconds{} ? out.t_cpu_s / out.time_s : 0.0;
 
   // Energy: nameplate powers over the respective times.
   const auto& pw = machine.node.power;

@@ -60,7 +60,7 @@ Prediction predict(const Characterization& ch, const TargetInfo& target,
                         ch.baseline_iterations);
 
   const BaselinePoint& base = ch.at(cfg.cores, cfg.f_hz);
-  const double f = cfg.f_hz;
+  const q::Hertz f = cfg.f_hz;
 
   // --- time model (Eqs. 2-4, 7)
   out.t_cpu_s = eq::t_cpu_s(base.work_cycles * sigma,
@@ -84,18 +84,19 @@ Prediction predict(const Characterization& ch, const TargetInfo& target,
             ? cell_ratio
             : std::pow(cell_ratio, 2.0 / 3.0);
     const double eta_it = ch.comm.eta * sc.message_ratio;
-    const double nu = ch.comm.nu * sc.volume_ratio * nu_input_scale;
+    const q::Bytes nu = ch.comm.nu * sc.volume_ratio * nu_input_scale;
 
-    const double b_bytes = ch.network.achievable_bps / 8.0;
-    const double sw = ch.msg_software_s_at_fmax *
-                      (ch.machine.node.dvfs.f_max() / f);
-    const double serve_it = eq::t_serve_net_it_s(
+    const q::BytesPerSec b_bytes =
+        q::to_bytes_per_sec(ch.network.achievable_bps);
+    const q::Seconds sw = ch.msg_software_s_at_fmax *
+                          (ch.machine.node.dvfs.f_max() / f);
+    const q::Seconds serve_it = eq::t_serve_net_it_s(
         base.utilization, out.t_cpu_s / s_iters, eta_it, nu, b_bytes, sw);
 
-    const double y = nu / b_bytes;
+    const q::Seconds y = nu / b_bytes;
     const double cv = ch.comm.size_cv;
-    const double y2 = y * y * (1.0 + cv * cv);
-    const double wait_it =
+    const q::SecondsSq y2 = y * y * (1.0 + cv * cv);
+    const q::Seconds wait_it =
         eq::t_wait_net_it_s(cfg.nodes, eta_it, serve_it, y, y2);
 
     out.t_s_net_s = serve_it * s_iters;
@@ -108,9 +109,9 @@ Prediction predict(const Characterization& ch, const TargetInfo& target,
   // --- energy model (Eqs. 8-12)
   const std::size_t fi = ch.frequency_index(f);
   auto& e = out.energy_parts;
-  e.cpu_active_j = 0.0;
-  e.cpu_stall_j = 0.0;
-  const double e_cpu =
+  e.cpu_active_j = q::Joules{};
+  e.cpu_stall_j = q::Joules{};
+  const q::Joules e_cpu =
       eq::e_cpu_j(ch.power.core_active_w[fi], ch.power.core_stall_w[fi],
                   out.t_cpu_s, out.t_mem_s, cfg.nodes, cfg.cores);
   // Split for reporting (the sum is what Eq. 9 defines).

@@ -21,6 +21,7 @@
 #include "hw/machine.hpp"
 #include "model/characterization.hpp"
 #include "trace/measurement.hpp"
+#include "util/quantity.hpp"
 #include "workload/input_class.hpp"
 
 namespace hepex::model {
@@ -39,15 +40,15 @@ TargetInfo target_of(const workload::ProgramSpec& program);
 /// Model output for one configuration.
 struct Prediction {
   hw::ClusterConfig config;
-  double time_s = 0.0;     ///< T
-  double energy_j = 0.0;   ///< E
+  q::Seconds time_s{};     ///< T
+  q::Joules energy_j{};    ///< E
   double ucr = 0.0;        ///< T_CPU / T (Eq. 13)
 
   // Time breakdown (Eq. 1).
-  double t_cpu_s = 0.0;    ///< T_CPU
-  double t_mem_s = 0.0;    ///< T_w,mem + T_s,mem
-  double t_w_net_s = 0.0;  ///< T_w,net
-  double t_s_net_s = 0.0;  ///< T_s,net
+  q::Seconds t_cpu_s{};    ///< T_CPU
+  q::Seconds t_mem_s{};    ///< T_w,mem + T_s,mem
+  q::Seconds t_w_net_s{};  ///< T_w,net
+  q::Seconds t_s_net_s{};  ///< T_s,net
 
   // Energy breakdown (Eq. 8), whole cluster.
   trace::EnergyBreakdown energy_parts;

@@ -19,43 +19,46 @@ void ResilienceSpec::validate() const {
                 "checkpoint interval must be finite and >= 0");
 }
 
-double young_daly_interval_s(double checkpoint_write_s, double node_mtbf_s,
-                             int nodes) {
+q::Seconds young_daly_interval_s(q::Seconds checkpoint_write_s,
+                                 q::Seconds node_mtbf_s, int nodes) {
   HEPEX_REQUIRE(nodes >= 1, "need at least one node");
-  HEPEX_REQUIRE(std::isfinite(checkpoint_write_s) && checkpoint_write_s > 0.0,
+  HEPEX_REQUIRE(q::isfinite(checkpoint_write_s) &&
+                    checkpoint_write_s > q::Seconds{},
                 "checkpoint write cost must be finite and positive");
-  HEPEX_REQUIRE(std::isfinite(node_mtbf_s) && node_mtbf_s > 0.0,
+  HEPEX_REQUIRE(q::isfinite(node_mtbf_s) && node_mtbf_s > q::Seconds{},
                 "node MTBF must be finite and positive");
-  return std::sqrt(2.0 * checkpoint_write_s * node_mtbf_s / nodes);
+  return q::sqrt(2.0 * checkpoint_write_s * node_mtbf_s / nodes);
 }
 
 std::optional<FaultOverhead> expected_fault_overhead(
-    double time_s, int nodes, const trace::EnergyBreakdown& energy,
+    q::Seconds time_s, int nodes, const trace::EnergyBreakdown& energy,
     const hw::PowerSpec& power, const ResilienceSpec& spec) {
   spec.validate();
-  HEPEX_REQUIRE(std::isfinite(time_s) && time_s > 0.0,
+  HEPEX_REQUIRE(q::isfinite(time_s) && time_s > q::Seconds{},
                 "fault-free time must be finite and positive");
   HEPEX_REQUIRE(nodes >= 1, "need at least one node");
   if (!spec.enabled()) return FaultOverhead{};
 
-  const double delta = spec.checkpoint_write_s;
-  const double M = spec.node_mtbf_s / nodes;  // cluster MTBF
-  double tau = spec.checkpoint_interval_s > 0.0
-                   ? spec.checkpoint_interval_s
-                   : young_daly_interval_s(delta, spec.node_mtbf_s, nodes);
+  const q::Seconds delta{spec.checkpoint_write_s};
+  const q::Seconds M{spec.node_mtbf_s / nodes};  // cluster MTBF
+  q::Seconds tau =
+      spec.checkpoint_interval_s > 0.0
+          ? q::Seconds{spec.checkpoint_interval_s}
+          : young_daly_interval_s(delta, q::Seconds{spec.node_mtbf_s}, nodes);
   // Checkpointing more often than the write cost itself is nonsense; the
   // engine cannot either (checkpoints happen at iteration barriers).
   tau = std::max(tau, delta);
 
   // Expected waste per failure: restart downtime plus, on average, half a
   // checkpoint interval (and half the in-progress write) of lost work.
-  const double waste_per_failure = spec.restart_s + (tau + delta) / 2.0;
+  const q::Seconds waste_per_failure =
+      q::Seconds{spec.restart_s} + (tau + delta) / 2.0;
   if (waste_per_failure >= M) return std::nullopt;  // no forward progress
 
   FaultOverhead out;
   out.interval_s = tau;
   out.expected_checkpoints = time_s / tau;
-  const double t_ckpt = time_s * (1.0 + delta / tau);
+  const q::Seconds t_ckpt = time_s * (1.0 + delta / tau);
   out.expected_time_s = t_ckpt / (1.0 - waste_per_failure / M);
   out.t_fault_s = out.expected_time_s - time_s;
   out.expected_failures = out.expected_time_s / M;
@@ -63,8 +66,8 @@ std::optional<FaultOverhead> expected_fault_overhead(
   // Mirror the engine's attribution: checkpoints write at memory power on
   // every node; rework re-runs at the run's average dynamic CPU power;
   // everything else the extension costs is the idle floor.
-  const double p_dyn = (energy.cpu_active_j + energy.cpu_stall_j) / time_s;
-  const double rework_s =
+  const q::Watts p_dyn = (energy.cpu_active_j + energy.cpu_stall_j) / time_s;
+  const q::Seconds rework_s =
       out.expected_failures * (tau + delta) / 2.0;
   out.e_fault_j =
       out.expected_checkpoints * nodes * power.mem_active_w * delta +
@@ -84,7 +87,7 @@ std::optional<Prediction> apply_resilience(const Prediction& p,
   out.energy_parts.fault_j += oh->e_fault_j;
   out.energy_parts.idle_j += oh->e_idle_extra_j;
   out.energy_j += oh->e_fault_j + oh->e_idle_extra_j;
-  out.ucr = out.time_s > 0.0 ? out.t_cpu_s / out.time_s : 0.0;
+  out.ucr = out.time_s > q::Seconds{} ? out.t_cpu_s / out.time_s : 0.0;
   return out;
 }
 

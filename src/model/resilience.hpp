@@ -53,27 +53,27 @@ struct ResilienceSpec {
 
 /// Expected-overhead decomposition for one configuration.
 struct FaultOverhead {
-  double interval_s = 0.0;           ///< checkpoint interval used (tau)
-  double expected_time_s = 0.0;      ///< T_exp
-  double t_fault_s = 0.0;            ///< T_exp - T
+  q::Seconds interval_s{};           ///< checkpoint interval used (tau)
+  q::Seconds expected_time_s{};      ///< T_exp
+  q::Seconds t_fault_s{};            ///< T_exp - T
   double expected_failures = 0.0;    ///< T_exp / M
   double expected_checkpoints = 0.0; ///< T / tau
-  double e_fault_j = 0.0;            ///< checkpoint + rework energy
-  double e_idle_extra_j = 0.0;       ///< idle floor over the extension
+  q::Joules e_fault_j{};             ///< checkpoint + rework energy
+  q::Joules e_idle_extra_j{};        ///< idle floor over the extension
 };
 
 /// Young's optimal checkpoint interval sqrt(2 delta M) for a cluster of
 /// `nodes` nodes with per-node MTBF `node_mtbf_s` and checkpoint cost
 /// `checkpoint_write_s`. Requires positive inputs.
-double young_daly_interval_s(double checkpoint_write_s, double node_mtbf_s,
-                             int nodes);
+q::Seconds young_daly_interval_s(q::Seconds checkpoint_write_s,
+                                 q::Seconds node_mtbf_s, int nodes);
 
 /// Expected fault overhead of a fault-free run of `time_s` seconds on
 /// `nodes` nodes whose fault-free energy breakdown is `energy`. Returns
 /// nullopt when the failure rate makes the configuration infeasible
 /// (expected waste per interval >= cluster MTBF). Validates `spec`.
 std::optional<FaultOverhead> expected_fault_overhead(
-    double time_s, int nodes, const trace::EnergyBreakdown& energy,
+    q::Seconds time_s, int nodes, const trace::EnergyBreakdown& energy,
     const hw::PowerSpec& power, const ResilienceSpec& spec);
 
 /// A prediction with the expected fault overhead folded in: `time_s`

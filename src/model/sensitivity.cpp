@@ -123,10 +123,10 @@ PredictionInterval prediction_interval(const Characterization& ch,
     for (double factor : {1.0 - uncertainty, 1.0 + uncertainty}) {
       const Prediction p = predict(perturbed(ch, input, factor), target,
                                    config);
-      out.time_lo_s = std::min(out.time_lo_s, p.time_s);
-      out.time_hi_s = std::max(out.time_hi_s, p.time_s);
-      out.energy_lo_j = std::min(out.energy_lo_j, p.energy_j);
-      out.energy_hi_j = std::max(out.energy_hi_j, p.energy_j);
+      out.time_lo_s = q::min(out.time_lo_s, p.time_s);
+      out.time_hi_s = q::max(out.time_hi_s, p.time_s);
+      out.energy_lo_j = q::min(out.energy_lo_j, p.energy_j);
+      out.energy_hi_j = q::max(out.energy_hi_j, p.energy_j);
     }
   }
   return out;

@@ -72,8 +72,8 @@ SensitivityReport sensitivity(const Characterization& ch,
 /// time and energy.
 struct PredictionInterval {
   Prediction nominal;
-  double time_lo_s = 0.0, time_hi_s = 0.0;
-  double energy_lo_j = 0.0, energy_hi_j = 0.0;
+  q::Seconds time_lo_s{}, time_hi_s{};
+  q::Joules energy_lo_j{}, energy_hi_j{};
 };
 PredictionInterval prediction_interval(const Characterization& ch,
                                        const TargetInfo& target,

@@ -76,7 +76,9 @@ void save_characterization(const Characterization& ch, std::ostream& os) {
 
   {
     std::ostringstream fs;
-    for (double f : m.node.dvfs.frequencies_hz) fs << num(f) << ' ';
+    for (q::Hertz f : m.node.dvfs.frequencies_hz) {
+      fs << num(f.value()) << ' ';
+    }
     kv("dvfs.frequencies_hz", trim(fs.str()));
   }
   kvd("dvfs.v_min", m.node.dvfs.v_min);
@@ -88,22 +90,22 @@ void save_characterization(const Characterization& ch, std::ostream& os) {
   kvd("cache.cold_miss_fraction", m.node.cache.cold_miss_fraction);
   kvd("cache.knee", m.node.cache.knee);
 
-  kvd("memory.bandwidth_bytes_per_s", m.node.memory.bandwidth_bytes_per_s);
-  kvd("memory.latency_s", m.node.memory.latency_s);
-  kvd("memory.capacity_bytes", m.node.memory.capacity_bytes);
-  kvd("memory.line_bytes", m.node.memory.line_bytes);
+  kvd("memory.bandwidth_bytes_per_s", m.node.memory.bandwidth_bytes_per_s.value());
+  kvd("memory.latency_s", m.node.memory.latency_s.value());
+  kvd("memory.capacity_bytes", m.node.memory.capacity_bytes.value());
+  kvd("memory.line_bytes", m.node.memory.line_bytes.value());
 
-  kvd("network.link_bits_per_s", m.network.link_bits_per_s);
-  kvd("network.switch_latency_s", m.network.switch_latency_s);
-  kvd("network.header_bytes_per_frame", m.network.header_bytes_per_frame);
-  kvd("network.payload_bytes_per_frame", m.network.payload_bytes_per_frame);
+  kvd("network.link_bits_per_s", m.network.link_bits_per_s.value());
+  kvd("network.switch_latency_s", m.network.switch_latency_s.value());
+  kvd("network.header_bytes_per_frame", m.network.header_bytes_per_frame.value());
+  kvd("network.payload_bytes_per_frame", m.network.payload_bytes_per_frame.value());
 
   kvd("power.core.active_coeff", m.node.power.core.active_coeff);
   kvd("power.core.stall_fraction", m.node.power.core.stall_fraction);
-  kvd("power.mem_active_w", m.node.power.mem_active_w);
-  kvd("power.net_active_w", m.node.power.net_active_w);
-  kvd("power.sys_idle_w", m.node.power.sys_idle_w);
-  kvd("power.meter_offset_sigma_w", m.node.power.meter_offset_sigma_w);
+  kvd("power.mem_active_w", m.node.power.mem_active_w.value());
+  kvd("power.net_active_w", m.node.power.net_active_w.value());
+  kvd("power.sys_idle_w", m.node.power.sys_idle_w.value());
+  kvd("power.meter_offset_sigma_w", m.node.power.meter_offset_sigma_w.value());
 
   kv("program", ch.program_name);
   kv("baseline.class", workload::to_string(ch.baseline_class));
@@ -112,21 +114,21 @@ void save_characterization(const Characterization& ch, std::ostream& os) {
 
   kv("comm.n_probe", std::to_string(ch.comm.n_probe));
   kvd("comm.eta", ch.comm.eta);
-  kvd("comm.nu", ch.comm.nu);
+  kvd("comm.nu", ch.comm.nu.value());
   kvd("comm.size_cv", ch.comm.size_cv);
   kv("comm.pattern", workload::to_string(ch.pattern));
 
-  kvd("netchar.achievable_bps", ch.network.achievable_bps);
-  kvd("netchar.base_latency_s", ch.network.base_latency_s);
-  kvd("msg_software_s_at_fmax", ch.msg_software_s_at_fmax);
+  kvd("netchar.achievable_bps", ch.network.achievable_bps.value());
+  kvd("netchar.base_latency_s", ch.network.base_latency_s.value());
+  kvd("msg_software_s_at_fmax", ch.msg_software_s_at_fmax.value());
 
-  kvd("charpower.sys_idle_w", ch.power.sys_idle_w);
-  kvd("charpower.mem_active_w", ch.power.mem_active_w);
-  kvd("charpower.net_active_w", ch.power.net_active_w);
+  kvd("charpower.sys_idle_w", ch.power.sys_idle_w.value());
+  kvd("charpower.mem_active_w", ch.power.mem_active_w.value());
+  kvd("charpower.net_active_w", ch.power.net_active_w.value());
   {
     std::ostringstream a, s;
-    for (double v : ch.power.core_active_w) a << num(v) << ' ';
-    for (double v : ch.power.core_stall_w) s << num(v) << ' ';
+    for (q::Watts v : ch.power.core_active_w) a << num(v.value()) << ' ';
+    for (q::Watts v : ch.power.core_stall_w) s << num(v.value()) << ' ';
     kv("charpower.core_active_w", trim(a.str()));
     kv("charpower.core_stall_w", trim(s.str()));
   }
@@ -211,6 +213,9 @@ Characterization load_characterization(std::istream& is) {
     return it->second;
   };
   auto getd = [&](const std::string& key) { return std::stod(get(key)); };
+  auto get_s = [&](const std::string& key) { return q::Seconds{getd(key)}; };
+  auto get_w = [&](const std::string& key) { return q::Watts{getd(key)}; };
+  auto get_b = [&](const std::string& key) { return q::Bytes{getd(key)}; };
   auto geti = [&](const std::string& key) { return std::stoi(get(key)); };
 
   Characterization ch;
@@ -231,7 +236,9 @@ Characterization load_characterization(std::istream& is) {
   m.node.isa.memory_level_parallelism = getd("isa.memory_level_parallelism");
   m.node.isa.message_software_cycles = getd("isa.message_software_cycles");
 
-  m.node.dvfs.frequencies_hz = parse_doubles(get("dvfs.frequencies_hz"));
+  for (double v : parse_doubles(get("dvfs.frequencies_hz"))) {
+    m.node.dvfs.frequencies_hz.push_back(q::Hertz{v});
+  }
   if (m.node.dvfs.frequencies_hz.empty()) fail("empty DVFS frequency list");
   m.node.dvfs.v_min = getd("dvfs.v_min");
   m.node.dvfs.v_max = getd("dvfs.v_max");
@@ -242,22 +249,24 @@ Characterization load_characterization(std::istream& is) {
   m.node.cache.cold_miss_fraction = getd("cache.cold_miss_fraction");
   m.node.cache.knee = getd("cache.knee");
 
-  m.node.memory.bandwidth_bytes_per_s = getd("memory.bandwidth_bytes_per_s");
-  m.node.memory.latency_s = getd("memory.latency_s");
-  m.node.memory.capacity_bytes = getd("memory.capacity_bytes");
-  m.node.memory.line_bytes = getd("memory.line_bytes");
+  m.node.memory.bandwidth_bytes_per_s =
+      q::BytesPerSec{getd("memory.bandwidth_bytes_per_s")};
+  m.node.memory.latency_s = get_s("memory.latency_s");
+  m.node.memory.capacity_bytes = get_b("memory.capacity_bytes");
+  m.node.memory.line_bytes = get_b("memory.line_bytes");
 
-  m.network.link_bits_per_s = getd("network.link_bits_per_s");
-  m.network.switch_latency_s = getd("network.switch_latency_s");
-  m.network.header_bytes_per_frame = getd("network.header_bytes_per_frame");
-  m.network.payload_bytes_per_frame = getd("network.payload_bytes_per_frame");
+  m.network.link_bits_per_s =
+      q::BitsPerSec{getd("network.link_bits_per_s")};
+  m.network.switch_latency_s = get_s("network.switch_latency_s");
+  m.network.header_bytes_per_frame = get_b("network.header_bytes_per_frame");
+  m.network.payload_bytes_per_frame = get_b("network.payload_bytes_per_frame");
 
   m.node.power.core.active_coeff = getd("power.core.active_coeff");
   m.node.power.core.stall_fraction = getd("power.core.stall_fraction");
-  m.node.power.mem_active_w = getd("power.mem_active_w");
-  m.node.power.net_active_w = getd("power.net_active_w");
-  m.node.power.sys_idle_w = getd("power.sys_idle_w");
-  m.node.power.meter_offset_sigma_w = getd("power.meter_offset_sigma_w");
+  m.node.power.mem_active_w = get_w("power.mem_active_w");
+  m.node.power.net_active_w = get_w("power.net_active_w");
+  m.node.power.sys_idle_w = get_w("power.sys_idle_w");
+  m.node.power.meter_offset_sigma_w = get_w("power.meter_offset_sigma_w");
 
   ch.program_name = get("program");
   ch.baseline_class = workload::input_class_from_string(get("baseline.class"));
@@ -266,7 +275,7 @@ Characterization load_characterization(std::istream& is) {
 
   ch.comm.n_probe = geti("comm.n_probe");
   ch.comm.eta = getd("comm.eta");
-  ch.comm.nu = getd("comm.nu");
+  ch.comm.nu = get_b("comm.nu");
   ch.comm.size_cv = getd("comm.size_cv");
   {
     const std::string p = get("comm.pattern");
@@ -278,15 +287,19 @@ Characterization load_characterization(std::istream& is) {
     else fail("unknown comm pattern '" + p + "'");
   }
 
-  ch.network.achievable_bps = getd("netchar.achievable_bps");
-  ch.network.base_latency_s = getd("netchar.base_latency_s");
-  ch.msg_software_s_at_fmax = getd("msg_software_s_at_fmax");
+  ch.network.achievable_bps = q::BitsPerSec{getd("netchar.achievable_bps")};
+  ch.network.base_latency_s = get_s("netchar.base_latency_s");
+  ch.msg_software_s_at_fmax = get_s("msg_software_s_at_fmax");
 
-  ch.power.sys_idle_w = getd("charpower.sys_idle_w");
-  ch.power.mem_active_w = getd("charpower.mem_active_w");
-  ch.power.net_active_w = getd("charpower.net_active_w");
-  ch.power.core_active_w = parse_doubles(get("charpower.core_active_w"));
-  ch.power.core_stall_w = parse_doubles(get("charpower.core_stall_w"));
+  ch.power.sys_idle_w = get_w("charpower.sys_idle_w");
+  ch.power.mem_active_w = get_w("charpower.mem_active_w");
+  ch.power.net_active_w = get_w("charpower.net_active_w");
+  for (double v : parse_doubles(get("charpower.core_active_w"))) {
+    ch.power.core_active_w.push_back(q::Watts{v});
+  }
+  for (double v : parse_doubles(get("charpower.core_stall_w"))) {
+    ch.power.core_stall_w.push_back(q::Watts{v});
+  }
   if (ch.power.core_active_w.size() != m.node.dvfs.frequencies_hz.size() ||
       ch.power.core_stall_w.size() != m.node.dvfs.frequencies_hz.size()) {
     fail("power vectors do not match the DVFS frequency count");

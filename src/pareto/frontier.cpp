@@ -23,8 +23,8 @@ std::vector<ConfigPoint> pareto_frontier(std::vector<ConfigPoint> points) {
               return a.energy_j < b.energy_j;
             });
   std::vector<ConfigPoint> frontier;
-  double best_energy = std::numeric_limits<double>::infinity();
-  double last_time = -1.0;
+  q::Joules best_energy{std::numeric_limits<double>::infinity()};
+  q::Seconds last_time{-1.0};
   for (const auto& p : points) {
     if (p.energy_j < best_energy) {
       if (!frontier.empty() && p.time_s == last_time) continue;
@@ -37,8 +37,8 @@ std::vector<ConfigPoint> pareto_frontier(std::vector<ConfigPoint> points) {
 }
 
 std::optional<ConfigPoint> min_energy_within_deadline(
-    const std::vector<ConfigPoint>& points, double deadline_s) {
-  HEPEX_REQUIRE(deadline_s > 0.0, "deadline must be positive");
+    const std::vector<ConfigPoint>& points, q::Seconds deadline_s) {
+  HEPEX_REQUIRE(deadline_s > q::Seconds{}, "deadline must be positive");
   std::optional<ConfigPoint> best;
   for (const auto& p : points) {
     if (p.time_s > deadline_s) continue;
@@ -51,8 +51,8 @@ std::optional<ConfigPoint> min_energy_within_deadline(
 }
 
 std::optional<ConfigPoint> min_time_within_budget(
-    const std::vector<ConfigPoint>& points, double budget_j) {
-  HEPEX_REQUIRE(budget_j > 0.0, "energy budget must be positive");
+    const std::vector<ConfigPoint>& points, q::Joules budget_j) {
+  HEPEX_REQUIRE(budget_j > q::Joules{}, "energy budget must be positive");
   std::optional<ConfigPoint> best;
   for (const auto& p : points) {
     if (p.energy_j > budget_j) continue;
@@ -88,12 +88,12 @@ ConfigPoint knee_point(const std::vector<ConfigPoint>& frontier) {
 
   // Normalize both axes to [0, 1] so the knee is scale-invariant, then
   // maximize the distance to the endpoint chord.
-  const double t0 = frontier.front().time_s;
-  const double t1 = frontier.back().time_s;
-  const double e0 = frontier.front().energy_j;
-  const double e1 = frontier.back().energy_j;
-  const double dt = std::max(1e-300, t1 - t0);
-  const double de = std::max(1e-300, e0 - e1);
+  const q::Seconds t0 = frontier.front().time_s;
+  const q::Seconds t1 = frontier.back().time_s;
+  const q::Joules e0 = frontier.front().energy_j;
+  const q::Joules e1 = frontier.back().energy_j;
+  const q::Seconds dt = std::max(q::Seconds{1e-300}, t1 - t0);
+  const q::Joules de = std::max(q::Joules{1e-300}, e0 - e1);
 
   const ConfigPoint* best = &frontier.front();
   double best_dist = -1.0;

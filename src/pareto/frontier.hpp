@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "hw/machine.hpp"
+#include "util/quantity.hpp"
 #include "model/predictor.hpp"
 
 namespace hepex::pareto {
@@ -20,8 +21,8 @@ namespace hepex::pareto {
 /// One evaluated configuration in the time-energy plane.
 struct ConfigPoint {
   hw::ClusterConfig config;
-  double time_s = 0.0;
-  double energy_j = 0.0;
+  q::Seconds time_s{};
+  q::Joules energy_j{};
   double ucr = 0.0;  ///< useful computation ratio at this configuration
 };
 
@@ -36,12 +37,12 @@ std::vector<ConfigPoint> pareto_frontier(std::vector<ConfigPoint> points);
 /// Minimum-energy configuration meeting `deadline_s`; nullopt when no
 /// configuration is fast enough.
 std::optional<ConfigPoint> min_energy_within_deadline(
-    const std::vector<ConfigPoint>& points, double deadline_s);
+    const std::vector<ConfigPoint>& points, q::Seconds deadline_s);
 
 /// Minimum-time configuration within `budget_j`; nullopt when no
 /// configuration is frugal enough.
 std::optional<ConfigPoint> min_time_within_budget(
-    const std::vector<ConfigPoint>& points, double budget_j);
+    const std::vector<ConfigPoint>& points, q::Joules budget_j);
 
 /// Evaluate the model over a set of configurations.
 std::vector<ConfigPoint> sweep_model(const model::Characterization& ch,

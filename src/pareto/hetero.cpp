@@ -23,8 +23,8 @@ std::vector<LabeledPoint> combined_frontier(
               return a.point.energy_j < b.point.energy_j;
             });
   std::vector<LabeledPoint> frontier;
-  double best_energy = std::numeric_limits<double>::infinity();
-  double last_time = -1.0;
+  q::Joules best_energy{std::numeric_limits<double>::infinity()};
+  q::Seconds last_time{-1.0};
   for (auto& lp : all) {
     if (lp.point.energy_j < best_energy) {
       if (!frontier.empty() && lp.point.time_s == last_time) continue;
@@ -37,8 +37,8 @@ std::vector<LabeledPoint> combined_frontier(
 }
 
 std::optional<LabeledPoint> best_for_deadline(
-    const std::vector<MachineCandidate>& candidates, double deadline_s) {
-  HEPEX_REQUIRE(deadline_s > 0.0, "deadline must be positive");
+    const std::vector<MachineCandidate>& candidates, q::Seconds deadline_s) {
+  HEPEX_REQUIRE(deadline_s > q::Seconds{}, "deadline must be positive");
   std::optional<LabeledPoint> best;
   for (const auto& c : candidates) {
     const auto r = min_energy_within_deadline(c.points, deadline_s);
@@ -51,8 +51,8 @@ std::optional<LabeledPoint> best_for_deadline(
 }
 
 std::optional<LabeledPoint> best_for_budget(
-    const std::vector<MachineCandidate>& candidates, double budget_j) {
-  HEPEX_REQUIRE(budget_j > 0.0, "budget must be positive");
+    const std::vector<MachineCandidate>& candidates, q::Joules budget_j) {
+  HEPEX_REQUIRE(budget_j > q::Joules{}, "budget must be positive");
   std::optional<LabeledPoint> best;
   for (const auto& c : candidates) {
     const auto r = min_time_within_budget(c.points, budget_j);
@@ -64,12 +64,12 @@ std::optional<LabeledPoint> best_for_budget(
   return best;
 }
 
-std::optional<double> crossover_deadline(const MachineCandidate& a,
-                                         const MachineCandidate& b) {
+std::optional<q::Seconds> crossover_deadline(const MachineCandidate& a,
+                                             const MachineCandidate& b) {
   HEPEX_REQUIRE(!a.points.empty() && !b.points.empty(),
                 "machines need evaluated points");
-  double t_min = std::numeric_limits<double>::infinity();
-  double t_max = 0.0;
+  q::Seconds t_min{std::numeric_limits<double>::infinity()};
+  q::Seconds t_max{};
   for (const auto* c : {&a, &b}) {
     for (const auto& p : c->points) {
       t_min = std::min(t_min, p.time_s);
@@ -77,7 +77,7 @@ std::optional<double> crossover_deadline(const MachineCandidate& a,
     }
   }
   // Probe deadlines log-uniformly; record who wins at each.
-  auto winner = [&](double deadline) -> int {
+  auto winner = [&](q::Seconds deadline) -> int {
     const auto ra = min_energy_within_deadline(a.points, deadline);
     const auto rb = min_energy_within_deadline(b.points, deadline);
     if (ra && (!rb || ra->energy_j <= rb->energy_j)) return 0;
@@ -86,10 +86,10 @@ std::optional<double> crossover_deadline(const MachineCandidate& a,
   };
   constexpr int kProbes = 200;
   int prev = -1;
-  double prev_deadline = 0.0;
+  q::Seconds prev_deadline{};
   for (int i = 0; i <= kProbes; ++i) {
-    const double d = t_min * std::pow(t_max / t_min,
-                                      static_cast<double>(i) / kProbes);
+    const q::Seconds d =
+        t_min * std::pow(t_max / t_min, static_cast<double>(i) / kProbes);
     const int w = winner(d);
     if (w < 0) continue;
     if (prev >= 0 && w != prev) {

@@ -40,17 +40,17 @@ std::vector<LabeledPoint> combined_frontier(
 /// Minimum-energy machine+configuration meeting `deadline_s` across all
 /// candidates; nullopt when no machine is fast enough.
 std::optional<LabeledPoint> best_for_deadline(
-    const std::vector<MachineCandidate>& candidates, double deadline_s);
+    const std::vector<MachineCandidate>& candidates, q::Seconds deadline_s);
 
 /// Minimum-time machine+configuration within `budget_j`.
 std::optional<LabeledPoint> best_for_budget(
-    const std::vector<MachineCandidate>& candidates, double budget_j);
+    const std::vector<MachineCandidate>& candidates, q::Joules budget_j);
 
 /// The deadline below which `a` wins (its best feasible energy beats
 /// `b`'s) and above which `b` wins. Returns nullopt when one machine
 /// dominates at every deadline. Deadlines are probed on a logarithmic
 /// grid spanning both frontiers.
-std::optional<double> crossover_deadline(const MachineCandidate& a,
-                                         const MachineCandidate& b);
+std::optional<q::Seconds> crossover_deadline(const MachineCandidate& a,
+                                             const MachineCandidate& b);
 
 }  // namespace hepex::pareto

@@ -7,20 +7,20 @@
 namespace hepex::pareto {
 
 double ucr(const model::Prediction& p) {
-  HEPEX_REQUIRE(p.time_s > 0.0, "prediction has zero time");
+  HEPEX_REQUIRE(p.time_s > q::Seconds{}, "prediction has zero time");
   return p.t_cpu_s / p.time_s;
 }
 
 double ucr(const trace::Measurement& m) { return m.ucr(); }
 
 double ccr(const model::Prediction& p) {
-  const double other = p.time_s - p.t_cpu_s;
-  if (other <= 0.0) return std::numeric_limits<double>::infinity();
+  const q::Seconds other = p.time_s - p.t_cpu_s;
+  if (other <= q::Seconds{}) return std::numeric_limits<double>::infinity();
   return p.t_cpu_s / other;
 }
 
 TimeShares time_shares(const model::Prediction& p) {
-  HEPEX_REQUIRE(p.time_s > 0.0, "prediction has zero time");
+  HEPEX_REQUIRE(p.time_s > q::Seconds{}, "prediction has zero time");
   TimeShares s;
   s.cpu = p.t_cpu_s / p.time_s;
   s.memory = p.t_mem_s / p.time_s;

@@ -6,26 +6,30 @@
 
 namespace hepex::sim::queueing {
 
-double offered_load(double lambda, double mean_service) {
-  HEPEX_REQUIRE(lambda >= 0.0, "arrival rate must be non-negative");
-  HEPEX_REQUIRE(mean_service >= 0.0, "service time must be non-negative");
+double offered_load(q::Hertz lambda, q::Seconds mean_service) {
+  HEPEX_REQUIRE(lambda.value() >= 0.0, "arrival rate must be non-negative");
+  HEPEX_REQUIRE(mean_service.value() >= 0.0,
+                "service time must be non-negative");
   return lambda * mean_service;
 }
 
-double mg1_mean_wait(double lambda, double mean_service,
-                     double second_moment) {
-  HEPEX_REQUIRE(second_moment >= 0.0, "second moment must be non-negative");
+q::Seconds mg1_mean_wait(q::Hertz lambda, q::Seconds mean_service,
+                         q::SecondsSq second_moment) {
+  HEPEX_REQUIRE(second_moment.value() >= 0.0,
+                "second moment must be non-negative");
   const double rho = offered_load(lambda, mean_service);
-  if (rho >= 1.0) return std::numeric_limits<double>::infinity();
+  if (rho >= 1.0) {
+    return q::Seconds{std::numeric_limits<double>::infinity()};
+  }
   return lambda * second_moment / (2.0 * (1.0 - rho));
 }
 
-double mm1_mean_wait(double lambda, double mean_service) {
+q::Seconds mm1_mean_wait(q::Hertz lambda, q::Seconds mean_service) {
   return mg1_mean_wait(lambda, mean_service,
                        exponential_second_moment(mean_service));
 }
 
-double md1_mean_wait(double lambda, double mean_service) {
+q::Seconds md1_mean_wait(q::Hertz lambda, q::Seconds mean_service) {
   return mg1_mean_wait(lambda, mean_service,
                        deterministic_second_moment(mean_service));
 }
@@ -45,22 +49,23 @@ double erlang_c(int servers, double offered_erlangs) {
   return b / (1.0 - rho + rho * b);
 }
 
-double mmc_mean_wait(int servers, double lambda, double mean_service) {
+q::Seconds mmc_mean_wait(int servers, q::Hertz lambda,
+                         q::Seconds mean_service) {
   HEPEX_REQUIRE(servers >= 1, "need at least one server");
   const double offered = offered_load(lambda, mean_service);
   if (offered >= static_cast<double>(servers)) {
-    return std::numeric_limits<double>::infinity();
+    return q::Seconds{std::numeric_limits<double>::infinity()};
   }
-  if (lambda == 0.0) return 0.0;
+  if (lambda.value() == 0.0) return q::Seconds{};
   const double pw = erlang_c(servers, offered);
   return pw * mean_service / (static_cast<double>(servers) - offered);
 }
 
-double deterministic_second_moment(double mean_service) {
+q::SecondsSq deterministic_second_moment(q::Seconds mean_service) {
   return mean_service * mean_service;
 }
 
-double exponential_second_moment(double mean_service) {
+q::SecondsSq exponential_second_moment(q::Seconds mean_service) {
   return 2.0 * mean_service * mean_service;
 }
 

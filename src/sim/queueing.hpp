@@ -6,32 +6,38 @@
 /// (Eq. 5). These helpers implement the Pollaczek–Khinchine mean-wait
 /// formula and the M/M/1 special case; the test suite also uses them as a
 /// theoretical reference to validate the event-driven `Resource` queue.
+/// Rates are `q::Hertz`, service times `q::Seconds` and second moments
+/// `q::SecondsSq`, so transposing lambda and E[S] — dimensionally inverse
+/// quantities — is a compile error rather than a subtly wrong wait.
+
+#include "util/quantity.hpp"
 
 namespace hepex::sim::queueing {
 
 /// Offered load rho = lambda * E[S]. Valid queues require rho < 1.
-double offered_load(double lambda, double mean_service);
+double offered_load(q::Hertz lambda, q::Seconds mean_service);
 
 /// M/G/1 mean waiting time (Pollaczek–Khinchine):
 ///   W = lambda * E[S^2] / (2 * (1 - rho)).
-/// \param lambda           mean arrival rate [1/s]
-/// \param mean_service     E[S] [s]
-/// \param second_moment    E[S^2] [s^2]
+/// \param lambda           mean arrival rate
+/// \param mean_service     E[S]
+/// \param second_moment    E[S^2]
 /// Returns +inf when the queue is unstable (rho >= 1).
-double mg1_mean_wait(double lambda, double mean_service, double second_moment);
+q::Seconds mg1_mean_wait(q::Hertz lambda, q::Seconds mean_service,
+                         q::SecondsSq second_moment);
 
 /// M/M/1 mean waiting time: W = rho * E[S] / (1 - rho).
-double mm1_mean_wait(double lambda, double mean_service);
+q::Seconds mm1_mean_wait(q::Hertz lambda, q::Seconds mean_service);
 
 /// M/D/1 mean waiting time (deterministic service):
 ///   W = rho * E[S] / (2 * (1 - rho)).
-double md1_mean_wait(double lambda, double mean_service);
+q::Seconds md1_mean_wait(q::Hertz lambda, q::Seconds mean_service);
 
 /// Second moment of a deterministic service time: E[S^2] = E[S]^2.
-double deterministic_second_moment(double mean_service);
+q::SecondsSq deterministic_second_moment(q::Seconds mean_service);
 
 /// Second moment of an exponential service time: E[S^2] = 2 E[S]^2.
-double exponential_second_moment(double mean_service);
+q::SecondsSq exponential_second_moment(q::Seconds mean_service);
 
 /// Erlang-C formula: probability that an arrival to an M/M/c queue has
 /// to wait. `offered_erlangs` = lambda * E[S]; requires
@@ -42,6 +48,6 @@ double erlang_c(int servers, double offered_erlangs);
 ///   W = ErlangC / (c * mu - lambda), mu = 1 / E[S].
 /// Returns +inf when unstable. Generalises mm1_mean_wait (c = 1) and
 /// models multi-link switches / multi-channel memory controllers.
-double mmc_mean_wait(int servers, double lambda, double mean_service);
+q::Seconds mmc_mean_wait(int servers, q::Hertz lambda, q::Seconds mean_service);
 
 }  // namespace hepex::sim::queueing

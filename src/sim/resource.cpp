@@ -9,31 +9,31 @@ Resource::Resource(Simulator& sim, std::string name, int servers)
   HEPEX_REQUIRE(servers >= 1, "resource needs at least one server");
 }
 
-void Resource::request(double service_time, Completion on_complete) {
-  HEPEX_REQUIRE(service_time >= 0.0, "service time must be non-negative");
+void Resource::request(SimTime service_time, Completion on_complete) {
+  HEPEX_REQUIRE(service_time >= SimTime{}, "service time must be non-negative");
   const std::size_t depth =
       waiting_.size() + static_cast<std::size_t>(busy_);
   Job job{service_time, sim_.now(), depth, std::move(on_complete)};
   if (busy_ < servers_) {
     wait_stats_.add(0.0);
-    start(std::move(job), 0.0);
+    start(std::move(job), SimTime{});
   } else {
     waiting_.push_back(std::move(job));
   }
 }
 
-void Resource::start(Job job, double waited) {
+void Resource::start(Job job, SimTime waited) {
   ++busy_;
   busy_time_ += job.service_time;
-  service_stats_.add(job.service_time);
+  service_stats_.add(job.service_time.value());
   // Completion event: free the server, dispatch the next waiter, then run
   // the caller's continuation.
-  const double service = job.service_time;
-  const double arrival = job.arrival;
+  const SimTime service = job.service_time;
+  const SimTime arrival = job.arrival;
   // Capture the absolute start now: reconstructing it later as
   // finish - service loses ~0.1 us to cancellation at minute-scale
   // timestamps, enough to make adjacent trace spans appear to overlap.
-  const double started = sim_.now();
+  const SimTime started = sim_.now();
   const std::size_t depth = job.depth_at_arrival;
   sim_.schedule(service, [this, waited, service, arrival, started, depth,
                           cb = std::move(job.on_complete)]() {
@@ -42,8 +42,8 @@ void Resource::start(Job job, double waited) {
     if (!waiting_.empty()) {
       Job next = std::move(waiting_.front());
       waiting_.pop_front();
-      const double w = sim_.now() - next.arrival;
-      wait_stats_.add(w);
+      const SimTime w = sim_.now() - next.arrival;
+      wait_stats_.add(w.value());
       start(std::move(next), w);
     }
     if (observer_) {
@@ -61,8 +61,8 @@ void Resource::start(Job job, double waited) {
 }
 
 double Resource::utilization() const {
-  const double elapsed = sim_.now();
-  if (elapsed <= 0.0) return 0.0;
+  const SimTime elapsed = sim_.now();
+  if (elapsed <= SimTime{}) return 0.0;
   return busy_time_ / (static_cast<double>(servers_) * elapsed);
 }
 

@@ -23,17 +23,17 @@ class Resource {
  public:
   /// Invoked when service completes; receives the time the job spent
   /// waiting in queue before service started.
-  using Completion = std::function<void(double waited)>;
+  using Completion = std::function<void(SimTime waited)>;
 
   /// Everything an observer needs to reconstruct one job's life cycle:
   /// queue interval `[arrival_s, start_s]`, service interval
   /// `[start_s, finish_s]`, and the backlog it arrived behind.
   struct JobObservation {
-    double arrival_s = 0.0;  ///< when request() was called
-    double start_s = 0.0;    ///< when a server picked the job up
-    double finish_s = 0.0;   ///< when service completed (== now())
-    double service_s = 0.0;  ///< requested service time
-    double waited_s = 0.0;   ///< start_s - arrival_s
+    SimTime arrival_s{};     ///< when request() was called
+    SimTime start_s{};       ///< when a server picked the job up
+    SimTime finish_s{};      ///< when service completed (== now())
+    SimTime service_s{};     ///< requested service time
+    SimTime waited_s{};      ///< start_s - arrival_s
     /// Jobs in service or queued ahead at arrival (excluding this one).
     std::size_t depth_at_arrival = 0;
   };
@@ -53,9 +53,9 @@ class Resource {
   Resource(const Resource&) = delete;
   Resource& operator=(const Resource&) = delete;
 
-  /// Submit a job needing `service_time` seconds of one server; calls
+  /// Submit a job needing `service_time` of one server; calls
   /// `on_complete` when service finishes.
-  void request(double service_time, Completion on_complete);
+  void request(SimTime service_time, Completion on_complete);
 
   /// Attach (or clear, with an empty function) the per-job observer.
   void set_observer(Observer observer) { observer_ = std::move(observer); }
@@ -69,7 +69,7 @@ class Resource {
   /// Jobs currently in service.
   int in_service() const { return busy_; }
   /// Total server-seconds of completed-or-started service.
-  double busy_time() const { return busy_time_; }
+  SimTime busy_time() const { return busy_time_; }
   /// Mean utilization over [0, now]: busy_time / (servers * elapsed).
   double utilization() const;
   /// Per-job waiting time statistics (time in queue, excluding service).
@@ -81,19 +81,19 @@ class Resource {
 
  private:
   struct Job {
-    double service_time;
-    double arrival;
+    SimTime service_time;
+    SimTime arrival;
     std::size_t depth_at_arrival;
     Completion on_complete;
   };
 
-  void start(Job job, double waited);
+  void start(Job job, SimTime waited);
 
   Simulator& sim_;
   std::string name_;
   int servers_;
   int busy_ = 0;
-  double busy_time_ = 0.0;
+  SimTime busy_time_{};
   std::size_t completed_ = 0;
   std::deque<Job> waiting_;
   util::Summary wait_stats_;

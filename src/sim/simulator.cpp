@@ -6,14 +6,14 @@
 
 namespace hepex::sim {
 
-void Simulator::schedule(double delay, Action fn) {
-  HEPEX_REQUIRE(std::isfinite(delay), "event delay must be finite");
-  HEPEX_REQUIRE(delay >= 0.0, "cannot schedule events in the past");
+void Simulator::schedule(SimTime delay, Action fn) {
+  HEPEX_REQUIRE(q::isfinite(delay), "event delay must be finite");
+  HEPEX_REQUIRE(delay >= SimTime{}, "cannot schedule events in the past");
   calendar_.push(Event{now_ + delay, seq_++, std::move(fn)});
 }
 
-void Simulator::schedule_at(double t, Action fn) {
-  HEPEX_REQUIRE(std::isfinite(t), "event time must be finite");
+void Simulator::schedule_at(SimTime t, Action fn) {
+  HEPEX_REQUIRE(q::isfinite(t), "event time must be finite");
   HEPEX_REQUIRE(t >= now_, "cannot schedule events before the current time");
   calendar_.push(Event{t, seq_++, std::move(fn)});
 }
@@ -32,8 +32,8 @@ std::size_t Simulator::run(std::size_t max_events) {
   return processed;
 }
 
-std::size_t Simulator::run_until(double t_end) {
-  HEPEX_REQUIRE(std::isfinite(t_end), "t_end must be finite");
+std::size_t Simulator::run_until(SimTime t_end) {
+  HEPEX_REQUIRE(q::isfinite(t_end), "t_end must be finite");
   std::size_t processed = 0;
   // The condition re-reads calendar_.top() after every action, so an
   // event scheduled at exactly t_end from within a fired action still

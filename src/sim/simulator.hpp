@@ -13,21 +13,27 @@
 #include <queue>
 #include <vector>
 
+#include "util/quantity.hpp"
+
 namespace hepex::sim {
+
+/// Virtual time. A strong `q::Seconds`: delays and timestamps cannot be
+/// confused with frequencies, byte counts or plain scalars at compile time.
+using SimTime = q::Seconds;
 
 /// Discrete-event simulator: a virtual clock plus an event calendar.
 class Simulator {
  public:
   using Action = std::function<void()>;
 
-  /// Current virtual time in seconds.
-  double now() const { return now_; }
+  /// Current virtual time.
+  SimTime now() const { return now_; }
 
-  /// Schedule `fn` to run `delay` seconds from now (delay >= 0).
-  void schedule(double delay, Action fn);
+  /// Schedule `fn` to run `delay` after now (delay >= 0).
+  void schedule(SimTime delay, Action fn);
 
   /// Schedule `fn` at absolute virtual time `t` (t >= now()).
-  void schedule_at(double t, Action fn);
+  void schedule_at(SimTime t, Action fn);
 
   /// Process events until the calendar drains or `max_events` is hit.
   /// Returns the number of events processed.
@@ -42,7 +48,7 @@ class Simulator {
   /// this call — the loop re-examines the calendar after every action, so
   /// late arrivals at the boundary are not deferred to the next call
   /// (pinned by Simulator.RunUntilRunsBoundaryEventsScheduledMidCall).
-  std::size_t run_until(double t_end);
+  std::size_t run_until(SimTime t_end);
 
   /// True when no events remain.
   bool empty() const { return calendar_.empty(); }
@@ -57,7 +63,7 @@ class Simulator {
 
  private:
   struct Event {
-    double time;
+    SimTime time;
     std::uint64_t seq;  // tie-break: FIFO among equal timestamps
     Action action;
   };
@@ -68,7 +74,7 @@ class Simulator {
     }
   };
 
-  double now_ = 0.0;
+  SimTime now_{0.0};
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> calendar_;

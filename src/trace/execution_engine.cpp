@@ -55,9 +55,9 @@ struct Run {
   struct Thread {
     int process = 0;          // owning node / MPI rank
     int chunks_left = 0;
-    double compute_chunk_s = 0.0;
-    double mem_service_chunk_s = 0.0;
-    double credit_s = 0.0;    // DRAM service hideable under the next chunk
+    q::Seconds compute_chunk_s{};
+    q::Seconds mem_service_chunk_s{};
+    q::Seconds credit_s{};    // DRAM service hideable under the next chunk
   };
   std::vector<Thread> threads;
 
@@ -65,8 +65,8 @@ struct Run {
   // iterations; constant within one iteration). `f_base` is the
   // configured/policy-chosen frequency; `f_node` is what actually runs
   // (equal to f_base unless a thermal throttle window caps it).
-  std::vector<double> f_node;
-  std::vector<double> f_base;
+  std::vector<q::Hertz> f_node;
+  std::vector<q::Hertz> f_base;
   hw::DvfsPolicy* policy = nullptr;
 
   // ---- fault-injection state (inert when `inj` is null) ----
@@ -75,41 +75,41 @@ struct Run {
   int epoch = 0;                 // bumped on recovery; stale events no-op
   bool aborted = false;
   int spares_left = 0;
-  double last_checkpoint_s = 0.0;
-  double finish_s = 0.0;         // completion/abort time (excludes stray
+  sim::SimTime last_checkpoint_s{};
+  sim::SimTime finish_s{};       // completion/abort time (excludes stray
                                  // post-run fault events in the calendar)
-  double t_fault_s = 0.0;
-  double e_fault_j = 0.0;
+  q::Seconds t_fault_s{};
+  q::Joules e_fault_j{};
   FaultStats fstats;
 
   // Iteration bookkeeping.
   int iteration = 0;
-  double iteration_start_s = 0.0;
+  sim::SimTime iteration_start_s{};
   int threads_running = 0;
   std::vector<int> proc_threads_left;  // per process, threads still computing
   int procs_comm_pending = 0;          // processes still in their MPI phase
   int msgs_in_flight = 0;              // messages not yet received+processed
-  std::vector<double> node_busy_until; // last time each node did any work
+  std::vector<sim::SimTime> node_busy_until;  // last busy time per node
 
   // Per-iteration, per-node CPU accounting (folded into energy with the
   // node's frequency at every iteration boundary).
-  std::vector<double> iter_act_s;    // compute incl. overlapped portion
-  std::vector<double> iter_stall_s;  // memory stalls after overlap credit
-  std::vector<double> iter_comm_s;   // messaging-stack CPU seconds
+  std::vector<q::Seconds> iter_act_s;    // compute incl. overlapped portion
+  std::vector<q::Seconds> iter_stall_s;  // memory stalls after overlap credit
+  std::vector<q::Seconds> iter_comm_s;   // messaging-stack CPU seconds
 
   // Accumulated observables.
   HardwareCounters counters;
   MessageProfile messages;
-  double active_full_s = 0.0;
-  double stall_net_s = 0.0;
-  double comm_sw_s = 0.0;
-  double net_busy_s = 0.0;
-  double e_cpu_active_j = 0.0;
-  double e_cpu_stall_j = 0.0;
+  q::Seconds active_full_s{};
+  q::Seconds stall_net_s{};
+  q::Seconds comm_sw_s{};
+  q::Seconds net_busy_s{};
+  q::Joules e_cpu_active_j{};
+  q::Joules e_cpu_stall_j{};
   util::Summary slack_fraction;
   util::Summary iteration_s;
   util::Summary drain_s;
-  double f_weighted_sum = 0.0;  // sum over (node, iteration) of f
+  q::Hertz f_weighted_sum{};  // sum over (node, iteration) of f
   int f_samples = 0;
 
   // Observability hooks (all null on the default, zero-overhead path).
@@ -141,10 +141,10 @@ struct Run {
     proc_threads_left.assign(nodes, 0);
     f_node.assign(nodes, cfg.f_hz);
     f_base.assign(nodes, cfg.f_hz);
-    node_busy_until.assign(nodes, 0.0);
-    iter_act_s.assign(nodes, 0.0);
-    iter_stall_s.assign(nodes, 0.0);
-    iter_comm_s.assign(nodes, 0.0);
+    node_busy_until.assign(nodes, sim::SimTime{});
+    iter_act_s.assign(nodes, q::Seconds{});
+    iter_stall_s.assign(nodes, q::Seconds{});
+    iter_comm_s.assign(nodes, q::Seconds{});
     policy = opt.dvfs_policy.get();
     sink = opt.trace;
     reg = opt.metrics;
@@ -152,7 +152,7 @@ struct Run {
   }
 
   const hw::Isa& isa() const { return machine.node.isa; }
-  double f_of(int node) const {
+  q::Hertz f_of(int node) const {
     return f_node[static_cast<std::size_t>(node)];
   }
   void touch(int node) {
@@ -182,7 +182,8 @@ struct Run {
     node_dead.assign(static_cast<std::size_t>(cfg.nodes), 0);
     spares_left = inj->plan().recovery.spare_nodes;
     for (const auto& c : inj->plan().crashes) {
-      sim.schedule_at(c.at_s, [this, node = c.node] { node_crash(node); });
+      sim.schedule_at(sim::SimTime{c.at_s},
+                      [this, node = c.node] { node_crash(node); });
     }
     if (inj->plan().random_failures.node_mtbf_s > 0.0) schedule_next_failure();
   }
@@ -203,14 +204,17 @@ struct Run {
     node_dead[static_cast<std::size_t>(node)] = 1;
     ++fstats.crashes;
     if (sink != nullptr) {
-      sink->instant(node, kBarrierLane, "node crash", "fault", sim.now());
+      sink->instant(node, kBarrierLane, "node crash", "fault",
+                    sim.now().value());
     }
     HEPEX_LOG_WARN("engine", "node crash",
-                   {{"node", node}, {"t", sim.now()}, {"iter", iteration}});
+                   {{"node", node},
+                    {"t", sim.now().value()},
+                    {"iter", iteration}});
   }
 
   void arm_watchdog() {
-    sim.schedule(inj->plan().recovery.barrier_timeout_s,
+    sim.schedule(q::Seconds{inj->plan().recovery.barrier_timeout_s},
                  [this, e = epoch, it = iteration] { watchdog_fire(e, it); });
   }
 
@@ -230,10 +234,10 @@ struct Run {
     finish_s = sim.now();
     if (sink != nullptr) {
       sink->instant(cluster_pid(), kIterationLane, "abort", "fault",
-                    sim.now());
+                    sim.now().value());
     }
     HEPEX_LOG_WARN("engine", "run aborted",
-                   {{"t", sim.now()}, {"iterations_done", iteration}});
+                   {{"t", sim.now().value()}, {"iterations_done", iteration}});
   }
 
   /// Checkpoint/restart recovery, as a coordinated-checkpoint cost model:
@@ -258,26 +262,28 @@ struct Run {
     ++fstats.recoveries;
     std::fill(node_dead.begin(), node_dead.end(), char{0});
 
-    const double detect = sim.now();
-    const double rework = std::max(0.0, iteration_start_s - last_checkpoint_s);
-    const double downtime = rec.restart_s;
+    const sim::SimTime detect = sim.now();
+    const q::Seconds rework =
+        std::max(q::Seconds{}, iteration_start_s - last_checkpoint_s);
+    const q::Seconds downtime{rec.restart_s};
     t_fault_s += rework + downtime;
     fstats.rework_s += rework;
     fstats.downtime_s += downtime;
-    const double p_dyn =
-        detect > 0.0 ? (e_cpu_active_j + e_cpu_stall_j) / detect : 0.0;
+    const q::Watts p_dyn = detect > sim::SimTime{}
+                               ? (e_cpu_active_j + e_cpu_stall_j) / detect
+                               : q::Watts{};
     e_fault_j += rework * p_dyn;
 
     if (sink != nullptr) {
       sink->complete(cluster_pid(), kIterationLane, "recovery", "fault",
-                     detect, downtime + rework);
+                     detect.value(), (downtime + rework).value());
     }
     HEPEX_LOG_WARN("engine", "checkpoint restart",
-                   {{"t", detect},
+                   {{"t", detect.value()},
                     {"iter", iteration},
-                    {"rework_s", rework},
-                    {"downtime_s", downtime}});
-    const double resume_at = detect + downtime + rework;
+                    {"rework_s", rework.value()},
+                    {"downtime_s", downtime.value()}});
+    const sim::SimTime resume_at = detect + downtime + rework;
     last_checkpoint_s = resume_at;
     sim.schedule_at(resume_at, [this, e = epoch] {
       if (aborted || e != epoch) return;
@@ -293,10 +299,10 @@ struct Run {
         rec.checkpoint_interval_s <= 0.0 || !inj->has_crash_sources()) {
       return false;
     }
-    if (sim.now() - last_checkpoint_s < rec.checkpoint_interval_s) {
+    if (sim.now() - last_checkpoint_s < q::Seconds{rec.checkpoint_interval_s}) {
       return false;
     }
-    const double w = rec.checkpoint_write_s;
+    const q::Seconds w{rec.checkpoint_write_s};
     ++fstats.checkpoints;
     fstats.checkpoint_s += w;
     t_fault_s += w;
@@ -304,7 +310,7 @@ struct Run {
     last_checkpoint_s = sim.now() + w;
     if (sink != nullptr) {
       sink->complete(cluster_pid(), kIterationLane, "checkpoint", "fault",
-                     sim.now(), w);
+                     sim.now().value(), w.value());
     }
     sim.schedule(w, [this, e = epoch] {
       if (aborted || e != epoch) return;
@@ -315,10 +321,10 @@ struct Run {
 
   /// Highest DVFS operating point not above `cap` (the lowest point when
   /// even that exceeds the cap — a core cannot clock below f_min).
-  double throttle_point(double cap) const {
+  q::Hertz throttle_point(q::Hertz cap) const {
     const auto& fs = machine.node.dvfs.frequencies_hz;
-    double best = fs.front();
-    for (double f : fs) {
+    q::Hertz best = fs.front();
+    for (q::Hertz f : fs) {
       if (f <= cap) best = f;  // ascending: last match is the highest
     }
     return best;
@@ -330,16 +336,16 @@ struct Run {
     bool any = false;
     for (int node = 0; node < cfg.nodes; ++node) {
       const auto ni = static_cast<std::size_t>(node);
-      const double cap = inj->f_cap_hz(node, sim.now());
-      double f = f_base[ni];
+      const q::Hertz cap = inj->f_cap_hz(node, sim.now());
+      q::Hertz f = f_base[ni];
       if (cap < f) {
         f = throttle_point(cap);
         any = true;
       }
       if (f != f_node[ni] && sink != nullptr) {
         sink->instant(node, kBarrierLane, "thermal throttle", "fault",
-                      sim.now());
-        sink->counter(node, "f [GHz]", sim.now(), f / 1e9);
+                      sim.now().value());
+        sink->counter(node, "f [GHz]", sim.now().value(), f.value() / 1e9);
       }
       f_node[ni] = f;
     }
@@ -362,7 +368,7 @@ struct Run {
         sink->set_thread_name(i, kMemLane, "memctl");
         sink->set_thread_name(i, kStackLane, "netstack");
         sink->set_thread_name(i, kBarrierLane, "barrier");
-        sink->counter(i, "f [GHz]", 0.0, cfg.f_hz / 1e9);
+        sink->counter(i, "f [GHz]", 0.0, cfg.f_hz.value() / 1e9);
       }
       sink->set_process_name(cluster_pid(), "cluster");
       sink->set_thread_name(cluster_pid(), kSwitchLane, "switch");
@@ -385,29 +391,31 @@ struct Run {
           [this, i](const sim::Resource&,
                     const sim::Resource::JobObservation& jo) {
             if (sink != nullptr) {
-              sink->complete(i, kMemLane, "dram service", "mem", jo.start_s,
-                             jo.service_s);
+              sink->complete(i, kMemLane, "dram service", "mem",
+                             jo.start_s.value(), jo.service_s.value());
             }
             if (h_mem_depth != nullptr) {
               h_mem_depth->observe(
                   static_cast<double>(jo.depth_at_arrival));
             }
-            if (h_mem_wait != nullptr) h_mem_wait->observe(jo.waited_s);
+            if (h_mem_wait != nullptr) {
+              h_mem_wait->observe(jo.waited_s.value());
+            }
           });
       if (sink != nullptr) {
         stack[static_cast<std::size_t>(i)]->set_observer(
             [this, i](const sim::Resource&,
                       const sim::Resource::JobObservation& jo) {
-              sink->complete(i, kStackLane, "msg stack", "net", jo.start_s,
-                             jo.service_s);
+              sink->complete(i, kStackLane, "msg stack", "net",
+                             jo.start_s.value(), jo.service_s.value());
             });
       }
     }
     if (sink != nullptr) {
       net->set_observer([this](const sim::Resource&,
                                const sim::Resource::JobObservation& jo) {
-        sink->complete(cluster_pid(), kSwitchLane, "wire", "net", jo.start_s,
-                       jo.service_s);
+        sink->complete(cluster_pid(), kSwitchLane, "wire", "net",
+                       jo.start_s.value(), jo.service_s.value());
       });
     }
   }
@@ -451,7 +459,7 @@ struct Run {
     for (std::size_t i = 0; i < threads.size(); ++i) {
       Thread& t = threads[i];
       const int lane = static_cast<int>(i) % cfg.cores;
-      const double f = f_of(t.process);
+      const q::Hertz f = f_of(t.process);
 
       double node_factor = 1.0;
       if (cfg.nodes > 1 && comp.node_imbalance > 0.0) {
@@ -482,21 +490,21 @@ struct Run {
       counters.work_cycles += w;
       counters.nonmem_stall_cycles += b;
 
-      const double dram_bytes = instr * dram_bytes_per_instr;
+      const q::Bytes dram_bytes{instr * dram_bytes_per_instr};
       const double misses = dram_bytes / ms.line_bytes;
-      const double service = dram_bytes / ms.bandwidth_bytes_per_s +
-                             misses * ms.latency_s /
-                                 isa().memory_level_parallelism;
+      const q::Seconds service = dram_bytes / ms.bandwidth_bytes_per_s +
+                                 misses * ms.latency_s /
+                                     isa().memory_level_parallelism;
 
       t.chunks_left = K;
       t.compute_chunk_s = (w + b) / K / f;
       t.mem_service_chunk_s = service / K;
-      t.credit_s = 0.0;
+      t.credit_s = q::Seconds{};
 
-      const double full = (w + b) / f;
+      const q::Seconds full = (w + b) / f;
       active_full_s += full;
       iter_act_s[static_cast<std::size_t>(t.process)] += full;
-      sim.schedule(0.0, [this, i, e = epoch] {
+      sim.schedule(sim::SimTime{}, [this, i, e = epoch] {
         if (aborted || e != epoch) return;
         thread_step(i);
       });
@@ -521,18 +529,18 @@ struct Run {
 
     // Apply overlap credit: part of the previous DRAM service executed
     // this chunk's instructions already.
-    const double used = std::min(t.credit_s, t.compute_chunk_s);
-    t.credit_s = 0.0;
+    const q::Seconds used = std::min(t.credit_s, t.compute_chunk_s);
+    t.credit_s = q::Seconds{};
     stall_net_s -= used;
     iter_stall_s[static_cast<std::size_t>(t.process)] -= used;
     counters.mem_stall_cycles -= used * f_of(t.process);
-    double eff_compute = t.compute_chunk_s - used;
+    q::Seconds eff_compute = t.compute_chunk_s - used;
     if (inj != nullptr) {
       // Straggler windows stretch the chunk; the extra wall time burns
       // active-core power and is attributed to E_fault.
       const double slow = inj->compute_slowdown(t.process, sim.now());
       if (slow > 1.0) {
-        const double extra = eff_compute * (slow - 1.0);
+        const q::Seconds extra = eff_compute * (slow - 1.0);
         eff_compute += extra;
         fstats.straggler_s += extra;
         e_fault_j += extra * machine.node.power.core.active_at(
@@ -545,21 +553,21 @@ struct Run {
       Thread& th = threads[tid];
       if (is_dead(th.process)) return;
       touch(th.process);
-      if (sink != nullptr && eff_compute > 0.0) {
+      if (sink != nullptr && eff_compute > q::Seconds{}) {
         sink->complete_end(th.process, lane_of(tid), "compute", "cpu",
-                           sim.now(), eff_compute);
+                           sim.now().value(), eff_compute.value());
       }
-      if (th.mem_service_chunk_s <= 0.0) {
+      if (th.mem_service_chunk_s <= q::Seconds{}) {
         thread_step(tid);
         return;
       }
-      const double service = th.mem_service_chunk_s;
+      const q::Seconds service = th.mem_service_chunk_s;
       mem[static_cast<std::size_t>(th.process)]->request(
-          service, [this, tid, service, e2 = epoch](double waited) {
+          service, [this, tid, service, e2 = epoch](sim::SimTime waited) {
             if (aborted || e2 != epoch) return;
             Thread& th2 = threads[tid];
             if (is_dead(th2.process)) return;
-            const double stall = waited + service;
+            const q::Seconds stall = waited + service;
             stall_net_s += stall;
             iter_stall_s[static_cast<std::size_t>(th2.process)] += stall;
             counters.mem_stall_cycles += stall * f_of(th2.process);
@@ -569,7 +577,7 @@ struct Run {
               // The core-side view of the same interval the memctl lane
               // shows: queueing delay plus DRAM service.
               sink->complete_end(th2.process, lane_of(tid), "mem stall",
-                                 "mem", sim.now(), stall);
+                                 "mem", sim.now().value(), stall.value());
             }
             thread_step(tid);
           });
@@ -603,7 +611,7 @@ struct Run {
       return;
     }
     // Per-message CPU cost of the MPI/TCP stack on the sending core.
-    const double sw_s = isa().message_software_cycles / f_of(process);
+    const q::Seconds sw_s = isa().message_software_cycles / f_of(process);
     comm_sw_s += sw_s;
     iter_comm_s[static_cast<std::size_t>(process)] += sw_s;
     counters.comm_software_cycles += isa().message_software_cycles;
@@ -611,7 +619,7 @@ struct Run {
     const double size = std::max(
         1.0, rng.lognormal_mean(shape.bytes_per_msg, program.comm.size_cv));
     messages.messages += 1.0;
-    messages.bytes += size;
+    messages.bytes += q::Bytes{size};
     messages.per_msg_bytes.add(size);
     if (h_msg_bytes != nullptr) h_msg_bytes->observe(size);
 
@@ -622,7 +630,8 @@ struct Run {
     // Send-side stack processing serializes with this node's receive
     // processing on the messaging context.
     stack[static_cast<std::size_t>(process)]->request(
-        sw_s, [this, process, idx, shape, size, dest, e = epoch](double) {
+        sw_s,
+        [this, process, idx, shape, size, dest, e = epoch](sim::SimTime) {
           if (aborted || e != epoch) return;
           if (is_dead(process)) return;
           touch(process);
@@ -639,11 +648,12 @@ struct Run {
   /// `max_retransmits` attempts the message is delivered regardless so an
   /// adversarial drop rate cannot hang the run.
   void transmit(int dest, double size, int attempt) {
-    const double wire = inj != nullptr
-                            ? inj->wire_time(machine.network, size, sim.now())
-                            : machine.network.wire_time(size);
+    const q::Seconds wire =
+        inj != nullptr
+            ? inj->wire_time(machine.network, q::Bytes{size}, sim.now())
+            : machine.network.wire_time(q::Bytes{size});
     net_busy_s += wire;
-    net->request(wire, [this, dest, size, attempt, e = epoch](double) {
+    net->request(wire, [this, dest, size, attempt, e = epoch](sim::SimTime) {
       if (aborted || e != epoch) return;
       if (inj != nullptr && attempt < inj->plan().max_retransmits &&
           inj->drop_message(sim.now())) {
@@ -651,10 +661,10 @@ struct Run {
         ++fstats.retransmits;
         if (sink != nullptr) {
           sink->instant(cluster_pid(), kSwitchLane, "drop+retx", "fault",
-                        sim.now());
+                        sim.now().value());
         }
-        const double backoff =
-            inj->plan().retransmit_timeout_s *
+        const q::Seconds backoff =
+            q::Seconds{inj->plan().retransmit_timeout_s} *
             static_cast<double>(1u << std::min(attempt, 20));
         sim.schedule(backoff, [this, dest, size, attempt, e2 = epoch] {
           if (aborted || e2 != epoch) return;
@@ -674,12 +684,12 @@ struct Run {
     // the node is otherwise waiting at the barrier, so it does not move
     // the node's busy horizon, but its cost burns CPU energy and delays
     // the global barrier.
-    const double sw_s = isa().message_software_cycles / f_of(dest);
+    const q::Seconds sw_s = isa().message_software_cycles / f_of(dest);
     comm_sw_s += sw_s;
     iter_comm_s[static_cast<std::size_t>(dest)] += sw_s;
     counters.comm_software_cycles += isa().message_software_cycles;
     stack[static_cast<std::size_t>(dest)]->request(
-        sw_s, [this, e = epoch](double) {
+        sw_s, [this, e = epoch](sim::SimTime) {
           if (aborted || e != epoch) return;
           if (--msgs_in_flight == 0) maybe_end_iteration();
         });
@@ -713,29 +723,32 @@ struct Run {
   void end_iteration() {
     const auto& pw = machine.node.power;
     const auto& dvfs = machine.node.dvfs;
-    const double barrier_at = sim.now();
-    const double iter_len = std::max(1e-12, barrier_at - iteration_start_s);
+    const sim::SimTime barrier_at = sim.now();
+    const q::Seconds iter_len =
+        std::max(q::Seconds{1e-12}, barrier_at - iteration_start_s);
     // Reclaimable slack is measured against the *laggard* node, not the
     // barrier: the message-drain tail after every node finished injecting
     // is shared, and slowing down cannot reclaim it.
-    double laggard_busy = iteration_start_s;
-    for (double b : node_busy_until) laggard_busy = std::max(laggard_busy, b);
-    iteration_s.add(iter_len);
-    drain_s.add(std::max(0.0, barrier_at - laggard_busy));
+    sim::SimTime laggard_busy = iteration_start_s;
+    for (sim::SimTime b : node_busy_until) {
+      laggard_busy = std::max(laggard_busy, b);
+    }
+    iteration_s.add(iter_len.value());
+    drain_s.add(std::max(q::Seconds{}, barrier_at - laggard_busy).value());
 
     if (sink != nullptr) {
       sink->complete(cluster_pid(), kIterationLane,
                      "iter " + std::to_string(iteration), "phase",
-                     iteration_start_s, iter_len);
+                     iteration_start_s.value(), iter_len.value());
     }
 
     for (int node = 0; node < cfg.nodes; ++node) {
       const auto ni = static_cast<std::size_t>(node);
-      const double f = f_node[ni];
+      const q::Hertz f = f_node[ni];
       e_cpu_active_j +=
           pw.core.active_at(f, dvfs) * (iter_act_s[ni] + iter_comm_s[ni]);
       e_cpu_stall_j += pw.core.stall_at(f, dvfs) * iter_stall_s[ni];
-      iter_act_s[ni] = iter_stall_s[ni] = iter_comm_s[ni] = 0.0;
+      iter_act_s[ni] = iter_stall_s[ni] = iter_comm_s[ni] = q::Seconds{};
 
       hw::SlackObservation obs;
       obs.node = node;
@@ -752,30 +765,32 @@ struct Run {
       f_weighted_sum += f;
       ++f_samples;
 
-      const double wait = barrier_at - node_busy_until[ni];
-      if (wait > 0.0) {
+      const q::Seconds wait = barrier_at - node_busy_until[ni];
+      if (wait > q::Seconds{}) {
         if (sink != nullptr) {
           sink->complete(node, kBarrierLane, "barrier wait", "sync",
-                         node_busy_until[ni], wait);
+                         node_busy_until[ni].value(), wait.value());
         }
-        if (h_barrier_wait != nullptr) h_barrier_wait->observe(wait);
+        if (h_barrier_wait != nullptr) h_barrier_wait->observe(wait.value());
       }
 
       if (policy != nullptr) {
-        const double next = policy->next_frequency(obs, dvfs);
+        const q::Hertz next = policy->next_frequency(obs, dvfs);
         HEPEX_REQUIRE(dvfs.supports(next),
                       "DVFS policy returned a non-operating-point frequency");
         if (next != f) {
           if (sink != nullptr) {
-            sink->instant(node, kBarrierLane, "dvfs", "dvfs", barrier_at);
-            sink->counter(node, "f [GHz]", barrier_at, next / 1e9);
+            sink->instant(node, kBarrierLane, "dvfs", "dvfs",
+                          barrier_at.value());
+            sink->counter(node, "f [GHz]", barrier_at.value(),
+                          next.value() / 1e9);
           }
           if (c_dvfs != nullptr) c_dvfs->inc();
           HEPEX_LOG_DEBUG("engine", "dvfs transition",
                           {{"node", node},
                            {"iter", iteration},
-                           {"from_ghz", f / 1e9},
-                           {"to_ghz", next / 1e9}});
+                           {"from_ghz", f.value() / 1e9},
+                           {"to_ghz", next.value() / 1e9}});
         }
         f_base[ni] = next;
         f_node[ni] = next;
@@ -792,7 +807,7 @@ struct Run {
     out.counters = counters;
     out.messages = messages;
 
-    const double busy = active_full_s + stall_net_s + comm_sw_s;
+    const q::Seconds busy = active_full_s + stall_net_s + comm_sw_s;
     out.counters.cpu_busy_seconds = busy;
     out.cpu_utilization =
         busy / (static_cast<double>(hw::total_cores(cfg)) * out.time_s);
@@ -829,18 +844,20 @@ struct Run {
       reg->counter("net.messages")
           .add(static_cast<std::uint64_t>(messages.messages));
       reg->counter("net.bytes")
-          .add(static_cast<std::uint64_t>(messages.bytes));
-      reg->gauge("sim.virtual_time_s").set(out.time_s);
+          .add(static_cast<std::uint64_t>(messages.bytes.value()));
+      reg->gauge("sim.virtual_time_s").set(out.time_s.value());
       reg->gauge("sim.events_per_virtual_s")
-          .set(out.time_s > 0.0
-                   ? static_cast<double>(sim.total_processed()) / out.time_s
+          .set(out.time_s > q::Seconds{}
+                   ? static_cast<double>(sim.total_processed()) /
+                         out.time_s.value()
                    : 0.0);
       reg->gauge("net.utilization").set(net->utilization());
       double mem_util = 0.0;
       for (const auto& m : mem) mem_util += m->utilization();
       reg->gauge("mem.utilization_mean").set(mem_util / cfg.nodes);
       reg->gauge("cpu.utilization").set(out.cpu_utilization);
-      reg->gauge("engine.avg_frequency_ghz").set(out.avg_frequency_hz / 1e9);
+      reg->gauge("engine.avg_frequency_ghz")
+          .set(out.avg_frequency_hz.value() / 1e9);
       if (inj != nullptr) {
         reg->counter("fault.crashes")
             .add(static_cast<std::uint64_t>(fstats.crashes));
@@ -852,8 +869,8 @@ struct Run {
             .add(static_cast<std::uint64_t>(fstats.messages_dropped));
         reg->counter("fault.retransmits")
             .add(static_cast<std::uint64_t>(fstats.retransmits));
-        reg->gauge("fault.t_fault_s").set(t_fault_s);
-        reg->gauge("fault.e_fault_j").set(e_fault_j);
+        reg->gauge("fault.t_fault_s").set(t_fault_s.value());
+        reg->gauge("fault.e_fault_j").set(e_fault_j.value());
       }
     }
     return out;
@@ -876,7 +893,7 @@ Measurement simulate(const MachineSpec& machine, const ProgramSpec& program,
                   {"program", program.name},
                   {"n", config.nodes},
                   {"c", config.cores},
-                  {"f_ghz", config.f_hz / 1e9},
+                  {"f_ghz", config.f_hz.value() / 1e9},
                   {"traced", options.trace != nullptr}});
   Run run(machine, program, config, options);
   std::optional<fault::Injector> injector;
@@ -890,8 +907,8 @@ Measurement simulate(const MachineSpec& machine, const ProgramSpec& program,
                "simulation ended before all iterations completed");
   Measurement out = run.finalize();
   HEPEX_LOG_DEBUG("engine", "simulate done",
-                  {{"time_s", out.time_s},
-                   {"energy_j", out.energy.total()},
+                  {{"time_s", out.time_s.value()},
+                   {"energy_j", out.energy.total().value()},
                    {"events", events}});
   return out;
 }

@@ -10,6 +10,7 @@
 /// validation non-circular.
 
 #include "hw/machine.hpp"
+#include "util/quantity.hpp"
 #include "util/statistics.hpp"
 
 namespace hepex::trace {
@@ -22,24 +23,24 @@ struct HardwareCounters {
   double nonmem_stall_cycles = 0.0; ///< b: pipeline (non-memory) stalls
   double mem_stall_cycles = 0.0;    ///< m: memory-related stalls (wait+service)
   double comm_software_cycles = 0.0;///< cycles spent in the MPI/TCP stack
-  double cpu_busy_seconds = 0.0;    ///< total core-busy wall time (all cores)
+  q::Seconds cpu_busy_seconds{};    ///< total core-busy wall time (all cores)
 };
 
 /// Per-component energy, one run, whole cluster [J].
 struct EnergyBreakdown {
-  double cpu_active_j = 0.0;  ///< cores executing work cycles
-  double cpu_stall_j = 0.0;   ///< cores stalled on memory
-  double mem_j = 0.0;         ///< memory controllers while busy
-  double net_j = 0.0;         ///< NICs while transmitting
-  double idle_j = 0.0;        ///< P_sys,idle * T * n
+  q::Joules cpu_active_j{};   ///< cores executing work cycles
+  q::Joules cpu_stall_j{};    ///< cores stalled on memory
+  q::Joules mem_j{};          ///< memory controllers while busy
+  q::Joules net_j{};          ///< NICs while transmitting
+  q::Joules idle_j{};         ///< P_sys,idle * T * n
   /// E_fault: energy attributed to faults and resilience machinery —
   /// checkpoint writes, redone (rework) computation after a restart and
   /// straggler-stretched execution. Zero on fault-free runs; the idle
   /// floor drawn during fault-extended wall time lands in `idle_j`
   /// because that term integrates over the full run. See docs/faults.md.
-  double fault_j = 0.0;
+  q::Joules fault_j{};
 
-  double total() const {
+  q::Joules total() const {
     return cpu_active_j + cpu_stall_j + mem_j + net_j + idle_j + fault_j;
   }
 };
@@ -47,12 +48,12 @@ struct EnergyBreakdown {
 /// What an mpiP-style profiler reports: message count and volume.
 struct MessageProfile {
   double messages = 0.0;        ///< total messages sent (whole run)
-  double bytes = 0.0;           ///< total payload bytes sent
-  util::Summary per_msg_bytes;  ///< per-message size distribution
+  q::Bytes bytes{};             ///< total payload bytes sent
+  util::Summary per_msg_bytes;  ///< per-message size distribution [bytes]
 
   /// Mean volume per message (the paper's nu); 0 when no messages.
-  double bytes_per_message() const {
-    return messages > 0.0 ? bytes / messages : 0.0;
+  q::Bytes bytes_per_message() const {
+    return messages > 0.0 ? bytes / messages : q::Bytes{};
   }
 };
 
@@ -73,23 +74,23 @@ struct FaultStats {
   int messages_dropped = 0;      ///< wire transfers lost to degradation
   int retransmits = 0;           ///< backoff retransmissions issued
   int throttled_iterations = 0;  ///< iterations begun under a DVFS cap
-  double straggler_s = 0.0;      ///< extra compute wall-seconds injected
-  double checkpoint_s = 0.0;     ///< wall time writing checkpoints
-  double rework_s = 0.0;         ///< lost progress re-charged on recovery
-  double downtime_s = 0.0;       ///< restart downtime
+  q::Seconds straggler_s{};      ///< extra compute wall-seconds injected
+  q::Seconds checkpoint_s{};     ///< wall time writing checkpoints
+  q::Seconds rework_s{};         ///< lost progress re-charged on recovery
+  q::Seconds downtime_s{};       ///< restart downtime
 };
 
 /// One complete simulated execution.
 struct Measurement {
   hw::ClusterConfig config;
-  double time_s = 0.0;          ///< wall-clock execution time T
+  q::Seconds time_s{};          ///< wall-clock execution time T
   EnergyBreakdown energy;       ///< exact integrated energy
   HardwareCounters counters;    ///< cluster-wide counter totals
   MessageProfile messages;      ///< mpiP-style communication profile
   double cpu_utilization = 0.0; ///< U: busy core-seconds / (n*c*T)
-  double mem_busy_s = 0.0;      ///< controller busy seconds, all nodes
-  double net_busy_s = 0.0;      ///< NIC busy seconds, all nodes
-  double t_cpu_s = 0.0;         ///< (w+b)/(n*c*f): the paper's T_CPU
+  q::Seconds mem_busy_s{};      ///< controller busy seconds, all nodes
+  q::Seconds net_busy_s{};      ///< NIC busy seconds, all nodes
+  q::Seconds t_cpu_s{};         ///< (w+b)/(n*c*f): the paper's T_CPU
 
   /// Barrier slack per (node, iteration): fraction of the iteration a
   /// node spent waiting for the others. The signal DVFS policies act on.
@@ -103,12 +104,12 @@ struct Measurement {
   util::Summary drain_s;
   /// Mean operating frequency across nodes and iterations (equals the
   /// configured f unless a DVFS policy or a thermal throttle intervened).
-  double avg_frequency_hz = 0.0;
+  q::Hertz avg_frequency_hz{};
 
   /// T_fault: wall time attributed to faults and resilience machinery —
   /// checkpoint writes, restart downtime and rework after recoveries.
   /// Included in `time_s`; zero on fault-free runs.
-  double t_fault_s = 0.0;
+  q::Seconds t_fault_s{};
   /// Fault/recovery event counts and durations (all zero without a plan).
   FaultStats faults;
   /// Whether the run completed or was aborted by the recovery policy.
@@ -117,7 +118,9 @@ struct Measurement {
   bool completed() const { return outcome == RunOutcome::kCompleted; }
 
   /// Ground-truth useful computation ratio of this run (Eq. 13).
-  double ucr() const { return time_s > 0.0 ? t_cpu_s / time_s : 0.0; }
+  double ucr() const {
+    return time_s > q::Seconds{} ? t_cpu_s / time_s : 0.0;
+  }
 };
 
 }  // namespace hepex::trace

@@ -7,26 +7,27 @@
 namespace hepex::trace {
 
 NetworkCharacterization netpipe_sweep(const hw::MachineSpec& machine,
-                                      double f_hz, double max_bytes) {
+                                      q::Hertz f_hz, q::Bytes max_bytes) {
   HEPEX_REQUIRE(machine.node.dvfs.supports(f_hz),
                 "f_hz must be a DVFS operating point");
-  HEPEX_REQUIRE(max_bytes >= 1.0, "sweep needs at least 1-byte messages");
+  HEPEX_REQUIRE(max_bytes >= q::Bytes{1.0},
+                "sweep needs at least 1-byte messages");
 
   NetworkCharacterization out;
   const auto& net = machine.network;
-  const double sw_s = machine.node.isa.message_software_cycles / f_hz;
+  const q::Seconds sw_s = machine.node.isa.message_software_cycles / f_hz;
 
-  for (double size = 1.0; size <= max_bytes; size *= 2.0) {
+  for (q::Bytes size{1.0}; size <= max_bytes; size *= 2.0) {
     // Ping-pong: send software + wire + receive software, one direction.
     NetPipePoint pt;
     pt.message_bytes = size;
     pt.latency_s = sw_s + net.wire_time(size) + sw_s;
-    pt.throughput_bps = 8.0 * size / pt.latency_s;
+    pt.throughput_bps = q::to_bits_per_sec(size / pt.latency_s);
     out.points.push_back(pt);
   }
 
   out.base_latency_s = out.points.front().latency_s;
-  out.achievable_bps = 0.0;
+  out.achievable_bps = q::BitsPerSec{};
   for (const auto& pt : out.points) {
     out.achievable_bps = std::max(out.achievable_bps, pt.throughput_bps);
   }

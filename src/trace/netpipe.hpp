@@ -10,14 +10,15 @@
 #include <vector>
 
 #include "hw/machine.hpp"
+#include "util/quantity.hpp"
 
 namespace hepex::trace {
 
 /// One row of the NetPIPE sweep.
 struct NetPipePoint {
-  double message_bytes = 0.0;
-  double latency_s = 0.0;         ///< one-way message latency
-  double throughput_bps = 0.0;    ///< goodput in bits/s
+  q::Bytes message_bytes{};
+  q::Seconds latency_s{};          ///< one-way message latency
+  q::BitsPerSec throughput_bps{};  ///< goodput
 };
 
 /// Result of a network characterization run.
@@ -25,16 +26,16 @@ struct NetworkCharacterization {
   std::vector<NetPipePoint> points;
   /// Achievable throughput B used by the model (Eq. 6): the plateau of
   /// the sweep, i.e. the best observed goodput.
-  double achievable_bps = 0.0;
+  q::BitsPerSec achievable_bps{};
   /// Per-message fixed latency (software + switch) at the smallest size.
-  double base_latency_s = 0.0;
+  q::Seconds base_latency_s{};
 };
 
 /// Run a ping-pong sweep on `machine` between two nodes at frequency
 /// `f_hz` (use the node's f_max for the canonical characterization).
 /// Message sizes sweep powers of two from 1 byte to `max_bytes`.
-NetworkCharacterization netpipe_sweep(const hw::MachineSpec& machine,
-                                      double f_hz,
-                                      double max_bytes = 16.0 * 1024 * 1024);
+NetworkCharacterization netpipe_sweep(
+    const hw::MachineSpec& machine, q::Hertz f_hz,
+    q::Bytes max_bytes = q::Bytes{16.0 * 1024 * 1024});
 
 }  // namespace hepex::trace

@@ -14,14 +14,15 @@
 
 #include "hw/machine.hpp"
 #include "trace/measurement.hpp"
+#include "util/quantity.hpp"
 #include "util/rng.hpp"
 
 namespace hepex::trace {
 
 /// One meter observation of a full run.
 struct MeterReading {
-  double time_s = 0.0;    ///< from the `time` command (accurate)
-  double energy_j = 0.0;  ///< wall energy with sampling + calibration error
+  q::Seconds time_s{};    ///< from the `time` command (accurate)
+  q::Joules energy_j{};   ///< wall energy with sampling + calibration error
 };
 
 /// Simulated WattsUp meter attached to every node of a cluster.

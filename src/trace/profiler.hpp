@@ -18,7 +18,7 @@ namespace hepex::trace {
 struct CommProfile {
   int n_probe = 2;       ///< processes used in the probe
   double eta = 0.0;      ///< messages per process per iteration
-  double nu = 0.0;       ///< mean bytes per message
+  q::Bytes nu{};         ///< mean volume per message
   double size_cv = 0.0;  ///< coefficient of variation of message sizes
 };
 

@@ -92,6 +92,91 @@ int CliArgs::get_int_or(const std::string& name, int fallback) const {
   }
 }
 
+namespace {
+
+/// Split "1.8GHz" into magnitude and suffix. Throws when the leading
+/// number is missing or malformed; the (possibly empty) suffix is
+/// returned with surrounding spaces trimmed for the caller to match.
+double split_magnitude(const std::string& text, const char* what,
+                       std::string* suffix) {
+  double mag = 0.0;
+  std::size_t pos = 0;
+  try {
+    mag = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("hepex: expected a ") + what +
+                                ", got '" + text + "'");
+  }
+  while (pos < text.size() && text[pos] == ' ') ++pos;
+  std::size_t end = text.size();
+  while (end > pos && text[end - 1] == ' ') --end;
+  *suffix = text.substr(pos, end - pos);
+  return mag;
+}
+
+[[noreturn]] void bad_suffix(const std::string& text, const char* what,
+                             const char* expected) {
+  throw std::invalid_argument(std::string("hepex: bad ") + what + " '" +
+                              text + "' (use " + expected + ")");
+}
+
+}  // namespace
+
+q::Hertz parse_frequency(const std::string& text) {
+  std::string sfx;
+  const double mag = split_magnitude(text, "frequency", &sfx);
+  if (sfx.empty() || sfx == "GHz") return q::Hertz{mag * 1e9};
+  if (sfx == "MHz") return q::Hertz{mag * 1e6};
+  if (sfx == "kHz") return q::Hertz{mag * 1e3};
+  if (sfx == "Hz") return q::Hertz{mag};
+  bad_suffix(text, "frequency", "Hz, kHz, MHz or GHz; bare numbers are GHz");
+}
+
+q::Seconds parse_duration(const std::string& text) {
+  std::string sfx;
+  const double mag = split_magnitude(text, "duration", &sfx);
+  if (sfx.empty() || sfx == "s") return q::Seconds{mag};
+  if (sfx == "ms") return q::Seconds{mag * 1e-3};
+  if (sfx == "us") return q::Seconds{mag * 1e-6};
+  if (sfx == "ns") return q::Seconds{mag * 1e-9};
+  if (sfx == "min") return q::Seconds{mag * 60.0};
+  if (sfx == "h") return q::Seconds{mag * 3600.0};
+  bad_suffix(text, "duration", "ns, us, ms, s, min or h; bare numbers are s");
+}
+
+q::Bytes parse_size(const std::string& text) {
+  std::string sfx;
+  const double mag = split_magnitude(text, "size", &sfx);
+  if (sfx.empty() || sfx == "B") return q::Bytes{mag};
+  if (sfx == "kB" || sfx == "KB") return q::Bytes{mag * 1e3};
+  if (sfx == "MB") return q::Bytes{mag * 1e6};
+  if (sfx == "GB") return q::Bytes{mag * 1e9};
+  if (sfx == "KiB") return q::Bytes{mag * 1024.0};
+  if (sfx == "MiB") return q::Bytes{mag * 1024.0 * 1024.0};
+  if (sfx == "GiB") return q::Bytes{mag * 1024.0 * 1024.0 * 1024.0};
+  bad_suffix(text, "size", "B, kB, MB, GB, KiB, MiB or GiB; bare is bytes");
+}
+
+q::BitsPerSec parse_bandwidth(const std::string& text) {
+  std::string sfx;
+  const double mag = split_magnitude(text, "bandwidth", &sfx);
+  if (sfx.empty() || sfx == "bit/s" || sfx == "bps") return q::BitsPerSec{mag};
+  if (sfx == "kbit/s" || sfx == "kbps") return q::BitsPerSec{mag * 1e3};
+  if (sfx == "Mbit/s" || sfx == "Mbps") return q::BitsPerSec{mag * 1e6};
+  if (sfx == "Gbit/s" || sfx == "Gbps") return q::BitsPerSec{mag * 1e9};
+  bad_suffix(text, "bandwidth",
+             "bit/s, kbit/s, Mbit/s, Gbit/s (or *bps); bare is bit/s");
+}
+
+q::Joules parse_energy(const std::string& text) {
+  std::string sfx;
+  const double mag = split_magnitude(text, "energy", &sfx);
+  if (sfx.empty() || sfx == "J") return q::Joules{mag};
+  if (sfx == "kJ") return q::Joules{mag * 1e3};
+  if (sfx == "MJ") return q::Joules{mag * 1e6};
+  bad_suffix(text, "energy", "J, kJ or MJ; bare numbers are J");
+}
+
 void CliArgs::require_known(const std::vector<std::string>& known) const {
   for (const auto& [name, value] : flags_) {
     (void)value;

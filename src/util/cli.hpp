@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "util/quantity.hpp"
+
 namespace hepex::util {
 
 /// Parsed command line.
@@ -48,5 +50,31 @@ class CliArgs {
   std::string command_;
   std::map<std::string, std::string> flags_;  // valueless flags map to ""
 };
+
+// --- typed value parsing with unit suffixes ---
+//
+// Flag values carry units, so they parse straight into `hepex::q`
+// quantities; a suffix scales the number into SI base magnitude. All
+// throw std::invalid_argument on garbage. Suffixes are matched after
+// trimming spaces between number and unit ("1.8 GHz" == "1.8GHz").
+
+/// "1.8GHz", "1800MHz", "250kHz", "1.8e9Hz". A bare number is GigaHertz —
+/// the scale DVFS points are quoted in everywhere (paper Table 3, --f).
+q::Hertz parse_frequency(const std::string& text);
+
+/// "250ms", "90s", "5min", "1.5h", "300us". A bare number is seconds.
+q::Seconds parse_duration(const std::string& text);
+
+/// "512B", "64kB", "1.5MB", "2GB" (decimal) or "64KiB", "1MiB", "1GiB"
+/// (binary). A bare number is bytes.
+q::Bytes parse_size(const std::string& text);
+
+/// "100Mbit/s", "1Gbit/s", "56kbit/s" or the short forms "100Mbps",
+/// "1Gbps". A bare number is bits/s. Returning `q::BitsPerSec` (not
+/// bytes/s) keeps the classic x8 slip a compile error downstream.
+q::BitsPerSec parse_bandwidth(const std::string& text);
+
+/// "5000J", "5kJ", "1.2MJ". A bare number is joules.
+q::Joules parse_energy(const std::string& text);
 
 }  // namespace hepex::util

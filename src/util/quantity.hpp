@@ -1,0 +1,211 @@
+#pragma once
+/// \file quantity.hpp
+/// \brief Zero-overhead dimensional quantities (`hepex::q`).
+///
+/// Every physical value HEPEX computes with — seconds, hertz, joules,
+/// watts, bytes, bits/s — used to be a bare `double` whose meaning lived
+/// in a comment. A bits-vs-bytes or Hz-vs-GHz slip then silently corrupts
+/// the T(n,c,f)/E(n,c,f) predictions the whole reproduction rests on.
+/// `Quantity<Dim>` moves that meaning into the type system:
+///
+///   - `Joules / Seconds` *is* `Watts`; `Watts * Seconds` is `Joules`.
+///   - `Seconds + Hertz` does not compile.
+///   - `Bytes / BitsPerSec` is not a `Seconds` — converting a link rate to
+///     bytes requires an explicit `to_bytes_per_sec()`.
+///   - Construction from raw `double` is explicit, so an unlabelled number
+///     cannot sneak into a typed computation.
+///
+/// Dimensionless results (e.g. `Seconds / Seconds`) collapse back to plain
+/// `double`, so ratios, utilizations and percentages stay ordinary numbers.
+///
+/// The wrapper is pinned (static_asserts below) to be trivial, standard
+/// layout and exactly `sizeof(double)`, so it compiles to the same code as
+/// the raw double it replaces. Raw values enter and leave only at the
+/// serialization / CLI / obs boundaries via `.value()` and the explicit
+/// constructor. See docs/units.md for the migration and extension guide.
+
+#include <cmath>
+#include <compare>
+#include <type_traits>
+
+namespace hepex::q {
+
+/// Compile-time exponent vector over HEPEX's base dimensions. Frequency is
+/// time^-1, power is energy·time^-1, bandwidth is (bytes|bits)·time^-1 —
+/// everything the paper's equations need falls out of these four bases.
+/// (Grid cells, cycles, instructions and messages are *counts* and stay
+/// plain `double` by design.)
+template <int TimeE, int EnergyE, int ByteE, int BitE>
+struct Dim {
+  static constexpr int time = TimeE;
+  static constexpr int energy = EnergyE;
+  static constexpr int bytes = ByteE;
+  static constexpr int bits = BitE;
+};
+
+using Dimensionless = Dim<0, 0, 0, 0>;
+
+template <class A, class B>
+using DimMul = Dim<A::time + B::time, A::energy + B::energy,
+                   A::bytes + B::bytes, A::bits + B::bits>;
+template <class A, class B>
+using DimDiv = Dim<A::time - B::time, A::energy - B::energy,
+                   A::bytes - B::bytes, A::bits - B::bits>;
+
+template <class D>
+struct Quantity;
+
+namespace detail {
+
+/// Product/quotient results collapse to `double` when all exponents cancel.
+template <class D>
+struct MakeResult {
+  using type = Quantity<D>;
+  static constexpr type make(double raw) { return type{raw}; }
+};
+template <>
+struct MakeResult<Dimensionless> {
+  using type = double;
+  static constexpr type make(double raw) { return raw; }
+};
+
+}  // namespace detail
+
+/// A `double` tagged with a dimension. Same size, same codegen; arithmetic
+/// that would mix units is a compile error instead of a silent wrong answer.
+template <class D>
+struct Quantity {
+  using dim = D;
+
+  constexpr Quantity() = default;  ///< trivial; `Quantity{}` zero-initializes
+  explicit constexpr Quantity(double raw) : v_(raw) {}
+
+  /// The raw magnitude in SI base units. Boundary use only (serialization,
+  /// printf, obs metrics) — inside the library, stay in the type system.
+  constexpr double value() const { return v_; }
+
+  // --- same-dimension arithmetic ---
+  constexpr Quantity& operator+=(Quantity o) { v_ += o.v_; return *this; }
+  constexpr Quantity& operator-=(Quantity o) { v_ -= o.v_; return *this; }
+  constexpr Quantity& operator*=(double k) { v_ *= k; return *this; }
+  constexpr Quantity& operator/=(double k) { v_ /= k; return *this; }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity{a.v_ + b.v_};
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity{a.v_ - b.v_};
+  }
+  friend constexpr Quantity operator-(Quantity a) { return Quantity{-a.v_}; }
+  friend constexpr Quantity operator+(Quantity a) { return a; }
+
+  // --- dimensionless scaling ---
+  friend constexpr Quantity operator*(Quantity a, double k) {
+    return Quantity{a.v_ * k};
+  }
+  friend constexpr Quantity operator*(double k, Quantity a) {
+    return Quantity{k * a.v_};
+  }
+  friend constexpr Quantity operator/(Quantity a, double k) {
+    return Quantity{a.v_ / k};
+  }
+
+  // --- ordering (same dimension only) ---
+  friend constexpr auto operator<=>(Quantity, Quantity) = default;
+
+ private:
+  double v_;
+};
+
+/// Cross-dimension products and quotients; `Seconds * Hertz` and
+/// `Seconds / Seconds` collapse to plain `double`.
+template <class DA, class DB>
+constexpr typename detail::MakeResult<DimMul<DA, DB>>::type operator*(
+    Quantity<DA> a, Quantity<DB> b) {
+  return detail::MakeResult<DimMul<DA, DB>>::make(a.value() * b.value());
+}
+template <class DA, class DB>
+constexpr typename detail::MakeResult<DimDiv<DA, DB>>::type operator/(
+    Quantity<DA> a, Quantity<DB> b) {
+  return detail::MakeResult<DimDiv<DA, DB>>::make(a.value() / b.value());
+}
+/// `double / Quantity` inverts the dimension (cycles / Hertz -> Seconds).
+template <class D>
+constexpr Quantity<DimDiv<Dimensionless, D>> operator/(double k,
+                                                       Quantity<D> a) {
+  return Quantity<DimDiv<Dimensionless, D>>{k / a.value()};
+}
+
+// --- the dimensions HEPEX speaks ---
+using Seconds = Quantity<Dim<1, 0, 0, 0>>;          ///< time [s]
+using Hertz = Quantity<Dim<-1, 0, 0, 0>>;           ///< frequency [1/s]
+using Joules = Quantity<Dim<0, 1, 0, 0>>;           ///< energy [J]
+using Watts = Quantity<Dim<-1, 1, 0, 0>>;           ///< power [J/s]
+using Bytes = Quantity<Dim<0, 0, 1, 0>>;            ///< data size [B]
+using Bits = Quantity<Dim<0, 0, 0, 1>>;             ///< data size [bit]
+using BytesPerSec = Quantity<Dim<-1, 0, 1, 0>>;     ///< bandwidth [B/s]
+using BitsPerSec = Quantity<Dim<-1, 0, 0, 1>>;      ///< link rate [bit/s]
+using JouleSeconds = Quantity<Dim<1, 1, 0, 0>>;     ///< EDP [J*s]
+using JouleSecondsSq = Quantity<Dim<2, 1, 0, 0>>;   ///< ED^2P [J*s^2]
+using SecondsSq = Quantity<Dim<2, 0, 0, 0>>;        ///< variance-style [s^2]
+
+// --- explicit base conversions (bits <-> bytes never happen implicitly) ---
+inline constexpr double kBitsPerByte = 8.0;
+
+constexpr Bytes to_bytes(Bits b) { return Bytes{b.value() / kBitsPerByte}; }
+constexpr Bits to_bits(Bytes b) { return Bits{b.value() * kBitsPerByte}; }
+constexpr BytesPerSec to_bytes_per_sec(BitsPerSec r) {
+  return BytesPerSec{r.value() / kBitsPerByte};
+}
+constexpr BitsPerSec to_bits_per_sec(BytesPerSec r) {
+  return BitsPerSec{r.value() * kBitsPerByte};
+}
+
+// --- math helpers that respect dimensions ---
+template <class D>
+constexpr Quantity<D> abs(Quantity<D> a) {
+  return a.value() < 0.0 ? Quantity<D>{-a.value()} : a;
+}
+template <class D>
+constexpr Quantity<D> min(Quantity<D> a, Quantity<D> b) {
+  return b < a ? b : a;
+}
+template <class D>
+constexpr Quantity<D> max(Quantity<D> a, Quantity<D> b) {
+  return a < b ? b : a;
+}
+/// Square root halves every exponent; only defined for even dimensions
+/// (e.g. sqrt(s^2) -> s, the Young/Daly interval sqrt(2*delta*M)).
+template <class D>
+  requires(D::time % 2 == 0 && D::energy % 2 == 0 && D::bytes % 2 == 0 &&
+           D::bits % 2 == 0)
+inline Quantity<Dim<D::time / 2, D::energy / 2, D::bytes / 2, D::bits / 2>>
+sqrt(Quantity<D> a) {
+  return Quantity<Dim<D::time / 2, D::energy / 2, D::bytes / 2, D::bits / 2>>{
+      std::sqrt(a.value())};
+}
+template <class D>
+inline bool isfinite(Quantity<D> a) {
+  return std::isfinite(a.value());
+}
+
+// --- zero-overhead pin: a Quantity IS a double to the code generator ---
+static_assert(sizeof(Seconds) == sizeof(double),
+              "Quantity must add no storage to double");
+static_assert(alignof(Seconds) == alignof(double));
+static_assert(std::is_trivial_v<Seconds>,
+              "Quantity must stay trivially default-constructible + copyable");
+static_assert(std::is_trivially_copyable_v<Seconds>);
+static_assert(std::is_standard_layout_v<Seconds>);
+static_assert(std::is_same_v<decltype(Joules{} / Seconds{1.0}), Watts>,
+              "J / s must be W");
+static_assert(std::is_same_v<decltype(Watts{} * Seconds{}), Joules>,
+              "W * s must be J");
+static_assert(std::is_same_v<decltype(Bytes{} / BytesPerSec{1.0}), Seconds>,
+              "B / (B/s) must be s");
+static_assert(std::is_same_v<decltype(Seconds{1.0} / Seconds{1.0}), double>,
+              "same-dimension ratios collapse to double");
+static_assert(std::is_same_v<decltype(1.0 / Seconds{1.0}), Hertz>,
+              "1 / s must be Hz");
+
+}  // namespace hepex::q

@@ -1,11 +1,17 @@
 #pragma once
 /// \file units.hpp
-/// \brief Unit constants and conversion helpers used throughout HEPEX.
+/// \brief Unit constants, typed factories and literal suffixes.
 ///
-/// HEPEX stores all physical quantities as `double` in SI base units:
-/// seconds, hertz, bytes, bits-per-second, watts, joules. The constants
-/// below make call sites read like the paper's notation, e.g.
-/// `1.8 * units::GHz` or `100 * units::Mbps`.
+/// HEPEX computes with the strong quantity types of `hepex::q`
+/// (see util/quantity.hpp): seconds, hertz, joules, watts, bytes,
+/// bits-per-second in SI base magnitudes. The scale constants below make
+/// raw magnitudes read like the paper's notation (`1.8 * units::GHz`), the
+/// typed factories and literals lift them into the type system
+/// (`units::hertz(1.8 * units::GHz)`, `1.8_GHz`), and conversions that
+/// cross a base dimension (bits <-> bytes) are explicit functions so they
+/// can never happen by accident.
+
+#include "util/quantity.hpp"
 
 namespace hepex::units {
 
@@ -33,8 +39,17 @@ inline constexpr double GB = 1e9;
 inline constexpr double Kbps = 1e3;
 inline constexpr double Mbps = 1e6;
 inline constexpr double Gbps = 1e9;
-/// Convert a link rate in bits/s to bytes/s.
-constexpr double bits_to_bytes(double bits_per_s) { return bits_per_s / 8.0; }
+
+/// Convert a link rate in bits/s to bytes/s (raw-magnitude boundary form;
+/// prefer the typed overload below inside the library).
+constexpr double bits_to_bytes(double bits_per_s) {
+  return bits_per_s / q::kBitsPerByte;
+}
+/// Typed link-rate conversion — the only way a `q::BitsPerSec` becomes a
+/// `q::BytesPerSec`.
+constexpr q::BytesPerSec bits_to_bytes(q::BitsPerSec r) {
+  return q::to_bytes_per_sec(r);
+}
 
 // --- energy [J] ---
 inline constexpr double J = 1.0;
@@ -44,14 +59,65 @@ inline constexpr double kJ = 1e3;
 inline constexpr double W = 1.0;
 inline constexpr double mW = 1e-3;
 
-/// Convert cycles at frequency `f_hz` into seconds.
+// --- typed factories (raw SI magnitude -> quantity) ---
+constexpr q::Seconds seconds(double s) { return q::Seconds{s}; }
+constexpr q::Hertz hertz(double hz) { return q::Hertz{hz}; }
+constexpr q::Joules joules(double j) { return q::Joules{j}; }
+constexpr q::Watts watts(double w) { return q::Watts{w}; }
+constexpr q::Bytes bytes(double b) { return q::Bytes{b}; }
+constexpr q::BitsPerSec bits_per_sec(double bps) { return q::BitsPerSec{bps}; }
+constexpr q::BytesPerSec bytes_per_sec(double bps) {
+  return q::BytesPerSec{bps};
+}
+
+/// Convert dimensionless cycle counts at frequency `f` into seconds.
+constexpr q::Seconds cycles_to_seconds(double cycles, q::Hertz f) {
+  return cycles / f;
+}
+/// Convert seconds at frequency `f` into dimensionless cycles.
+constexpr double seconds_to_cycles(q::Seconds s, q::Hertz f) { return s * f; }
+
+/// Raw-magnitude forms kept for serialization/CLI boundaries.
 constexpr double cycles_to_seconds(double cycles, double f_hz) {
   return cycles / f_hz;
 }
-
-/// Convert seconds at frequency `f_hz` into cycles.
 constexpr double seconds_to_cycles(double seconds, double f_hz) {
   return seconds * f_hz;
 }
+
+/// Literal suffixes: `1.8_GHz`, `250_ms`, `64_KiB`, `100_Mbps`, ...
+/// `using namespace hepex::units::literals;` scopes them in.
+namespace literals {
+// NOLINTBEGIN(google-runtime-int) — cooked literal operators take ull.
+#define HEPEX_UNIT_LITERAL(suffix, QType, scale)                    \
+  constexpr QType operator""_##suffix(long double v) {              \
+    return QType{static_cast<double>(v) * (scale)};                 \
+  }                                                                 \
+  constexpr QType operator""_##suffix(unsigned long long v) {       \
+    return QType{static_cast<double>(v) * (scale)};                 \
+  }
+HEPEX_UNIT_LITERAL(s, q::Seconds, 1.0)
+HEPEX_UNIT_LITERAL(ms, q::Seconds, ms)
+HEPEX_UNIT_LITERAL(us, q::Seconds, us)
+HEPEX_UNIT_LITERAL(ns, q::Seconds, ns)
+HEPEX_UNIT_LITERAL(Hz, q::Hertz, 1.0)
+HEPEX_UNIT_LITERAL(kHz, q::Hertz, kHz)
+HEPEX_UNIT_LITERAL(MHz, q::Hertz, MHz)
+HEPEX_UNIT_LITERAL(GHz, q::Hertz, GHz)
+HEPEX_UNIT_LITERAL(J, q::Joules, 1.0)
+HEPEX_UNIT_LITERAL(kJ, q::Joules, kJ)
+HEPEX_UNIT_LITERAL(W, q::Watts, 1.0)
+HEPEX_UNIT_LITERAL(mW, q::Watts, mW)
+HEPEX_UNIT_LITERAL(B, q::Bytes, 1.0)
+HEPEX_UNIT_LITERAL(KiB, q::Bytes, KiB)
+HEPEX_UNIT_LITERAL(MiB, q::Bytes, MiB)
+HEPEX_UNIT_LITERAL(GiB, q::Bytes, GiB)
+HEPEX_UNIT_LITERAL(bps, q::BitsPerSec, 1.0)
+HEPEX_UNIT_LITERAL(Kbps, q::BitsPerSec, Kbps)
+HEPEX_UNIT_LITERAL(Mbps, q::BitsPerSec, Mbps)
+HEPEX_UNIT_LITERAL(Gbps, q::BitsPerSec, Gbps)
+#undef HEPEX_UNIT_LITERAL
+// NOLINTEND(google-runtime-int)
+}  // namespace literals
 
 }  // namespace hepex::units

@@ -1,0 +1,16 @@
+// Compile-fail probe: adding quantities of different dimensions must not
+// build. Without HEPEX_ILLEGAL this TU is the positive control proving
+// the legal same-dimension form compiles.
+#include "util/quantity.hpp"
+
+int main() {
+  const hepex::q::Seconds t{1.0};
+  const hepex::q::Hertz f{1.8e9};
+#ifdef HEPEX_ILLEGAL
+  auto bad = t + f;  // Seconds + Hertz: no such operator+
+  (void)bad;
+#endif
+  const hepex::q::Seconds ok = t + hepex::q::Seconds{0.5};
+  (void)f;
+  return ok.value() > 0.0 ? 0 : 1;
+}

@@ -1,0 +1,13 @@
+// Compile-fail probe: a bit/s link rate never converts to bytes/s by
+// assignment; only the explicit conversion function crosses that base.
+#include "util/quantity.hpp"
+
+int main() {
+  const hepex::q::BitsPerSec link{100e6};
+#ifdef HEPEX_ILLEGAL
+  const hepex::q::BytesPerSec rate = link;  // distinct dimensions
+#else
+  const hepex::q::BytesPerSec rate = hepex::q::to_bytes_per_sec(link);
+#endif
+  return rate.value() > 0.0 ? 0 : 1;
+}

@@ -1,0 +1,15 @@
+// Compile-fail probe: dividing a byte count by a bit/s link rate does NOT
+// yield seconds — the classic 8x wire-time bug. The legal form converts
+// the rate explicitly with to_bytes_per_sec first.
+#include "util/quantity.hpp"
+
+int main() {
+  const hepex::q::Bytes payload{1e6};
+  const hepex::q::BitsPerSec link{100e6};
+#ifdef HEPEX_ILLEGAL
+  const hepex::q::Seconds t = payload / link;  // B / (bit/s) is not time
+#else
+  const hepex::q::Seconds t = payload / hepex::q::to_bytes_per_sec(link);
+#endif
+  return t.value() > 0.0 ? 0 : 1;
+}

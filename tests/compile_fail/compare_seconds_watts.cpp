@@ -1,0 +1,14 @@
+// Compile-fail probe: ordering comparisons only exist within a single
+// dimension; a time can never be "less than" a power.
+#include "util/quantity.hpp"
+
+int main() {
+  const hepex::q::Seconds t{10.0};
+  const hepex::q::Watts p{55.0};
+#ifdef HEPEX_ILLEGAL
+  const bool bad = t < p;  // no operator< across dimensions
+  (void)bad;
+#endif
+  const bool ok = t < hepex::q::Seconds{20.0} && p < hepex::q::Watts{60.0};
+  return ok ? 0 : 1;
+}

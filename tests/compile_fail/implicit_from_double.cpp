@@ -1,0 +1,12 @@
+// Compile-fail probe: the Quantity(double) constructor is explicit, so an
+// unlabelled raw number cannot silently become a typed frequency.
+#include "util/quantity.hpp"
+
+int main() {
+#ifdef HEPEX_ILLEGAL
+  hepex::q::Hertz f = 1.8e9;  // implicit double -> Hertz is forbidden
+#else
+  hepex::q::Hertz f{1.8e9};  // explicit construction is the legal spelling
+#endif
+  return f.value() > 0.0 ? 0 : 1;
+}

@@ -31,8 +31,8 @@ TEST(Advisor, ExploreCoversTheModelSpace) {
   Advisor a = make_advisor();
   EXPECT_EQ(a.explore().size(), 216u);  // Fig. 8's configuration count
   for (const auto& p : a.explore()) {
-    EXPECT_GT(p.time_s, 0.0);
-    EXPECT_GT(p.energy_j, 0.0);
+    EXPECT_GT(p.time_s.value(), 0.0);
+    EXPECT_GT(p.energy_j.value(), 0.0);
     EXPECT_GT(p.ucr, 0.0);
     EXPECT_LE(p.ucr, 1.0);
   }
@@ -53,7 +53,7 @@ TEST(Advisor, FrontierIsNonEmptyAndNonDominated) {
 TEST(Advisor, DeadlineRecommendationIsFeasibleAndMinimal) {
   Advisor a = make_advisor();
   const auto frontier = a.frontier();
-  const double deadline =
+  const q::Seconds deadline =
       0.5 * (frontier.front().time_s + frontier.back().time_s);
   const auto rec = a.for_deadline(deadline);
   ASSERT_TRUE(rec.has_value());
@@ -68,13 +68,13 @@ TEST(Advisor, DeadlineRecommendationIsFeasibleAndMinimal) {
 
 TEST(Advisor, ImpossibleDeadlineReturnsNothing) {
   Advisor a = make_advisor();
-  EXPECT_FALSE(a.for_deadline(1e-6).has_value());
+  EXPECT_FALSE(a.for_deadline(q::Seconds{1e-6}).has_value());
 }
 
 TEST(Advisor, BudgetRecommendationIsFeasibleAndMinimal) {
   Advisor a = make_advisor();
   const auto frontier = a.frontier();
-  const double budget =
+  const q::Joules budget =
       0.5 * (frontier.front().energy_j + frontier.back().energy_j);
   const auto rec = a.for_budget(budget);
   ASSERT_TRUE(rec.has_value());
@@ -90,11 +90,11 @@ TEST(Advisor, TighterDeadlineNeverUsesLessEnergy) {
   // The Pareto trade-off: relaxing the deadline can only save energy.
   Advisor a = make_advisor();
   const auto frontier = a.frontier();
-  const double t_min = frontier.front().time_s;
-  const double t_max = frontier.back().time_s;
-  double prev_energy = 1e300;
+  const q::Seconds t_min = frontier.front().time_s;
+  const q::Seconds t_max = frontier.back().time_s;
+  q::Joules prev_energy{1e300};
   for (int i = 0; i <= 10; ++i) {
-    const double deadline = t_min + (t_max - t_min) * i / 10.0;
+    const q::Seconds deadline = t_min + (t_max - t_min) * (i / 10.0);
     const auto rec = a.for_deadline(deadline);
     ASSERT_TRUE(rec.has_value());
     EXPECT_LE(rec->point.energy_j, prev_energy);
@@ -104,21 +104,22 @@ TEST(Advisor, TighterDeadlineNeverUsesLessEnergy) {
 
 TEST(Advisor, SplitAlternativesPartitionTotalCores) {
   Advisor a = make_advisor();
-  const auto splits = a.split_alternatives(16, 1.8e9);
+  const auto splits = a.split_alternatives(16, q::Hertz{1.8e9});
   ASSERT_FALSE(splits.empty());
   for (const auto& s : splits) {
     EXPECT_EQ(s.config.nodes * s.config.cores, 16);
   }
-  EXPECT_THROW(a.split_alternatives(0, 1.8e9), std::invalid_argument);
+  EXPECT_THROW(a.split_alternatives(0, q::Hertz{1.8e9}),
+               std::invalid_argument);
 }
 
 TEST(Advisor, SplitChoiceMatters) {
   // The paper's point: choosing l and tau for a fixed core budget is
   // non-obvious — alternatives differ meaningfully in time and energy.
   Advisor a = make_advisor();
-  const auto splits = a.split_alternatives(8, 1.8e9);
+  const auto splits = a.split_alternatives(8, q::Hertz{1.8e9});
   ASSERT_GE(splits.size(), 3u);
-  double t_min = 1e300, t_max = 0.0;
+  q::Seconds t_min{1e300}, t_max{};
   for (const auto& s : splits) {
     t_min = std::min(t_min, s.time_s);
     t_max = std::max(t_max, s.time_s);
@@ -128,15 +129,17 @@ TEST(Advisor, SplitChoiceMatters) {
 
 TEST(Advisor, ThrottleConcurrencyPicksMinimumEnergyThreadCount) {
   Advisor a = make_advisor();
-  const auto best = a.throttle_concurrency(1, 1.8e9);
+  const auto best = a.throttle_concurrency(1, q::Hertz{1.8e9});
   EXPECT_EQ(best.config.nodes, 1);
   EXPECT_GE(best.config.cores, 1);
   EXPECT_LE(best.config.cores, 8);
   // Optimality among all thread counts at the same (n, f).
   for (int c = 1; c <= 8; ++c) {
-    EXPECT_LE(best.energy_j, a.predict({1, c, 1.8e9}).energy_j + 1e-9);
+    EXPECT_LE(best.energy_j,
+              a.predict({1, c, q::Hertz{1.8e9}}).energy_j + q::Joules{1e-9});
   }
-  EXPECT_THROW(a.throttle_concurrency(0, 1.8e9), std::invalid_argument);
+  EXPECT_THROW(a.throttle_concurrency(0, q::Hertz{1.8e9}),
+               std::invalid_argument);
 }
 
 TEST(Advisor, KneeLiesOnTheFrontier) {
@@ -158,7 +161,7 @@ TEST(Advisor, MemoryBandwidthWhatIfImprovesSp) {
   // §V-B: doubled memory bandwidth lifts SP's UCR at (1,8,1.8 GHz) and
   // moves the Pareto point to both lower time and lower energy.
   Advisor a = make_advisor();
-  const hw::ClusterConfig cfg{1, 8, 1.8e9};
+  const hw::ClusterConfig cfg{1, 8, q::Hertz{1.8e9}};
   const auto before = a.predict(cfg);
   Advisor improved = a.with_memory_bandwidth(2.0);
   const auto after = improved.predict(cfg);
@@ -191,7 +194,7 @@ TEST(Advisor, RecommendResilientIsMinimumExpectedEnergy) {
   spec.node_mtbf_s = 86400.0;
   const auto rec = a.recommend_resilient(spec);
   for (const auto& p : a.explore_resilient(spec)) {
-    EXPECT_LE(rec.energy_j, p.energy_j + 1e-9);
+    EXPECT_LE(rec.energy_j, p.energy_j + q::Joules{1e-9});
   }
 }
 

@@ -69,8 +69,8 @@ TEST(UcrCrossCheck, XeonBeatsArmForBt) {
   o.sim.chunks_per_iteration = 8;
   const auto bt = workload::make_bt(InputClass::kA);
   const auto xeon = validate(hw::xeon_cluster(), bt,
-                             {{1, 1, 1.2e9}}, o);
-  const auto arm = validate(hw::arm_cluster(), bt, {{1, 1, 0.2e9}}, o);
+                             {{1, 1, q::Hertz{1.2e9}}}, o);
+  const auto arm = validate(hw::arm_cluster(), bt, {{1, 1, q::Hertz{0.2e9}}}, o);
   EXPECT_GT(xeon.rows.front().measured_ucr,
             arm.rows.front().measured_ucr + 0.15);
 }

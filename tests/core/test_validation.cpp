@@ -46,12 +46,12 @@ TEST(Validation, RowsCarryConsistentErrorNumbers) {
                hw::enumerate_configs(m, {2}), fast_options());
   EXPECT_EQ(report.rows.size(), 20u);
   for (const auto& row : report.rows) {
-    EXPECT_GT(row.measured_time_s, 0.0);
-    EXPECT_GT(row.predicted_time_s, 0.0);
-    EXPECT_GT(row.measured_energy_j, 0.0);
-    EXPECT_GT(row.predicted_energy_j, 0.0);
+    EXPECT_GT(row.measured_time_s.value(), 0.0);
+    EXPECT_GT(row.predicted_time_s.value(), 0.0);
+    EXPECT_GT(row.measured_energy_j.value(), 0.0);
+    EXPECT_GT(row.predicted_energy_j.value(), 0.0);
     EXPECT_NEAR(row.time_error_pct,
-                std::abs(row.predicted_time_s - row.measured_time_s) /
+                q::abs(row.predicted_time_s - row.measured_time_s) /
                     row.measured_time_s * 100.0,
                 1e-9);
     EXPECT_GT(row.measured_ucr, 0.0);

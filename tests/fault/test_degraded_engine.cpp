@@ -22,7 +22,7 @@ SimOptions base_options() {
   return opt;
 }
 
-Measurement run(const fault::Plan* plan, hw::ClusterConfig cfg = {2, 4, 1.8e9}) {
+Measurement run(const fault::Plan* plan, hw::ClusterConfig cfg = {2, 4, q::Hertz{1.8e9}}) {
   SimOptions opt = base_options();
   opt.faults = plan;
   return simulate(hw::xeon_cluster(), test_program(), cfg, opt);
@@ -31,9 +31,9 @@ Measurement run(const fault::Plan* plan, hw::ClusterConfig cfg = {2, 4, 1.8e9}) 
 TEST(DegradedEngine, AbortModeStopsTheRunAtDetection) {
   const Measurement clean = run(nullptr);
   fault::Plan plan;
-  plan.crashes.push_back(fault::NodeCrash{0, clean.time_s * 0.3});
+  plan.crashes.push_back(fault::NodeCrash{0, clean.time_s.value() * 0.3});
   plan.recovery.mode = fault::RecoveryMode::kAbort;
-  plan.recovery.barrier_timeout_s = clean.time_s * 0.2;
+  plan.recovery.barrier_timeout_s = clean.time_s.value() * 0.2;
 
   const Measurement m = run(&plan);
   EXPECT_EQ(m.outcome, RunOutcome::kAborted);
@@ -41,21 +41,21 @@ TEST(DegradedEngine, AbortModeStopsTheRunAtDetection) {
   EXPECT_EQ(m.faults.crashes, 1);
   EXPECT_EQ(m.faults.recoveries, 0);
   // Aborted at detection: crash time + at most a couple of timeouts.
-  EXPECT_LT(m.time_s, clean.time_s);
-  EXPECT_GT(m.time_s, clean.time_s * 0.3);
+  EXPECT_LT(m.time_s.value(), clean.time_s.value());
+  EXPECT_GT(m.time_s.value(), clean.time_s.value() * 0.3);
 }
 
 TEST(DegradedEngine, CheckpointRestartCompletesAndAttributesFaultCost) {
   const Measurement clean = run(nullptr);
   fault::Plan plan;
-  plan.crashes.push_back(fault::NodeCrash{1, clean.time_s * 0.4});
-  plan.recovery.barrier_timeout_s = clean.time_s * 0.2;
+  plan.crashes.push_back(fault::NodeCrash{1, clean.time_s.value() * 0.4});
+  plan.recovery.barrier_timeout_s = clean.time_s.value() * 0.2;
   // Interval beyond the run: no checkpoint is ever written, so recovery
   // must redo everything since t = 0 — rework is the crashed iteration's
   // start time.
-  plan.recovery.checkpoint_interval_s = clean.time_s * 10.0;
-  plan.recovery.checkpoint_write_s = clean.time_s * 0.05;
-  plan.recovery.restart_s = clean.time_s * 0.5;
+  plan.recovery.checkpoint_interval_s = clean.time_s.value() * 10.0;
+  plan.recovery.checkpoint_write_s = clean.time_s.value() * 0.05;
+  plan.recovery.restart_s = clean.time_s.value() * 0.5;
 
   const Measurement m = run(&plan);
   EXPECT_EQ(m.outcome, RunOutcome::kCompleted);
@@ -63,41 +63,41 @@ TEST(DegradedEngine, CheckpointRestartCompletesAndAttributesFaultCost) {
   EXPECT_EQ(m.faults.recoveries, 1);
   EXPECT_EQ(m.faults.spares_used, 1);
   EXPECT_EQ(m.faults.checkpoints, 0);
-  EXPECT_GT(m.t_fault_s, 0.0);
-  EXPECT_GT(m.energy.fault_j, 0.0);
-  EXPECT_GT(m.faults.rework_s, 0.0);
-  EXPECT_EQ(m.faults.downtime_s, plan.recovery.restart_s);
+  EXPECT_GT(m.t_fault_s.value(), 0.0);
+  EXPECT_GT(m.energy.fault_j.value(), 0.0);
+  EXPECT_GT(m.faults.rework_s.value(), 0.0);
+  EXPECT_EQ(m.faults.downtime_s.value(), plan.recovery.restart_s);
   // The recovered run costs more wall time and energy than the clean one.
-  EXPECT_GT(m.time_s, clean.time_s);
-  EXPECT_GT(m.energy.total(), clean.energy.total());
+  EXPECT_GT(m.time_s.value(), clean.time_s.value());
+  EXPECT_GT(m.energy.total().value(), clean.energy.total().value());
   // T_fault is included in, and bounded by, the wall time.
-  EXPECT_LT(m.t_fault_s, m.time_s);
+  EXPECT_LT(m.t_fault_s.value(), m.time_s.value());
 }
 
 TEST(DegradedEngine, PeriodicCheckpointsBoundRework) {
   const Measurement clean = run(nullptr);
   fault::Plan plan;
-  plan.crashes.push_back(fault::NodeCrash{1, clean.time_s * 0.6});
-  plan.recovery.barrier_timeout_s = clean.time_s * 0.2;
-  plan.recovery.checkpoint_interval_s = clean.time_s * 0.15;
-  plan.recovery.checkpoint_write_s = clean.time_s * 0.01;
-  plan.recovery.restart_s = clean.time_s * 0.1;
+  plan.crashes.push_back(fault::NodeCrash{1, clean.time_s.value() * 0.6});
+  plan.recovery.barrier_timeout_s = clean.time_s.value() * 0.2;
+  plan.recovery.checkpoint_interval_s = clean.time_s.value() * 0.15;
+  plan.recovery.checkpoint_write_s = clean.time_s.value() * 0.01;
+  plan.recovery.restart_s = clean.time_s.value() * 0.1;
 
   const Measurement m = run(&plan);
   EXPECT_EQ(m.outcome, RunOutcome::kCompleted);
   EXPECT_GE(m.faults.checkpoints, 1);
-  EXPECT_GT(m.faults.checkpoint_s, 0.0);
+  EXPECT_GT(m.faults.checkpoint_s.value(), 0.0);
   // With a checkpoint roughly every 0.15 T, at most ~a quarter of the run
   // has to be redone (interval + one iteration of slop).
-  EXPECT_LT(m.faults.rework_s, clean.time_s * 0.4);
-  EXPECT_GT(m.t_fault_s, 0.0);  // checkpoint writes alone guarantee this
+  EXPECT_LT(m.faults.rework_s.value(), clean.time_s.value() * 0.4);
+  EXPECT_GT(m.t_fault_s.value(), 0.0);  // checkpoint writes alone guarantee this
 }
 
 TEST(DegradedEngine, RestartAbortsWhenSparesExhausted) {
   const Measurement clean = run(nullptr);
   fault::Plan plan;
-  plan.crashes.push_back(fault::NodeCrash{0, clean.time_s * 0.3});
-  plan.recovery.barrier_timeout_s = clean.time_s * 0.2;
+  plan.crashes.push_back(fault::NodeCrash{0, clean.time_s.value() * 0.3});
+  plan.recovery.barrier_timeout_s = clean.time_s.value() * 0.2;
   plan.recovery.spare_nodes = 0;
 
   const Measurement m = run(&plan);
@@ -109,16 +109,16 @@ TEST(DegradedEngine, StragglerStretchesTimeAndChargesFaultEnergy) {
   const Measurement clean = run(nullptr);
   fault::Plan plan;
   plan.stragglers.push_back(
-      fault::Straggler{0, 0.0, clean.time_s * 10.0, 3.0});
+      fault::Straggler{0, 0.0, clean.time_s.value() * 10.0, 3.0});
 
   const Measurement m = run(&plan);
   EXPECT_EQ(m.outcome, RunOutcome::kCompleted);
-  EXPECT_GT(m.time_s, clean.time_s * 1.2);
-  EXPECT_GT(m.faults.straggler_s, 0.0);
+  EXPECT_GT(m.time_s.value(), clean.time_s.value() * 1.2);
+  EXPECT_GT(m.faults.straggler_s.value(), 0.0);
   // Straggler cost is charged to E_fault (extra active cycles) and to
   // `straggler_s`; T_fault stays reserved for recovery machinery.
-  EXPECT_GT(m.energy.fault_j, 0.0);
-  EXPECT_EQ(m.t_fault_s, 0.0);
+  EXPECT_GT(m.energy.fault_j.value(), 0.0);
+  EXPECT_EQ(m.t_fault_s.value(), 0.0);
 }
 
 TEST(DegradedEngine, ThermalThrottleLowersAverageFrequency) {
@@ -126,45 +126,45 @@ TEST(DegradedEngine, ThermalThrottleLowersAverageFrequency) {
   fault::Plan plan;
   // Cap node 0 to the lowest DVFS point for the whole run.
   plan.throttles.push_back(
-      fault::Throttle{0, 0.0, clean.time_s * 10.0, 1.2e9});
+      fault::Throttle{0, 0.0, clean.time_s.value() * 10.0, 1.2e9});
 
   const Measurement m = run(&plan);
   EXPECT_EQ(m.outcome, RunOutcome::kCompleted);
-  EXPECT_LT(m.avg_frequency_hz, clean.avg_frequency_hz);
+  EXPECT_LT(m.avg_frequency_hz.value(), clean.avg_frequency_hz.value());
   EXPECT_GT(m.faults.throttled_iterations, 0);
-  EXPECT_GT(m.time_s, clean.time_s);
+  EXPECT_GT(m.time_s.value(), clean.time_s.value());
 }
 
 TEST(DegradedEngine, NetworkDropsTriggerRetransmission) {
   const Measurement clean = run(nullptr);
   fault::Plan plan;
   plan.net_degradations.push_back(
-      fault::NetworkDegradation{0.0, clean.time_s * 10.0, 1.0, 1.0, 0.3});
+      fault::NetworkDegradation{0.0, clean.time_s.value() * 10.0, 1.0, 1.0, 0.3});
 
   const Measurement m = run(&plan);
   EXPECT_EQ(m.outcome, RunOutcome::kCompleted);
   EXPECT_GT(m.faults.messages_dropped, 0);
   EXPECT_GE(m.faults.retransmits, m.faults.messages_dropped);
-  EXPECT_GT(m.time_s, clean.time_s);
+  EXPECT_GT(m.time_s.value(), clean.time_s.value());
 }
 
 TEST(DegradedEngine, DegradedWireSlowsTheRunWithoutDrops) {
   const Measurement clean = run(nullptr);
   fault::Plan plan;
   plan.net_degradations.push_back(
-      fault::NetworkDegradation{0.0, clean.time_s * 10.0, 4.0, 0.25, 0.0});
+      fault::NetworkDegradation{0.0, clean.time_s.value() * 10.0, 4.0, 0.25, 0.0});
 
   const Measurement m = run(&plan);
   EXPECT_EQ(m.outcome, RunOutcome::kCompleted);
   EXPECT_EQ(m.faults.messages_dropped, 0);
-  EXPECT_GT(m.time_s, clean.time_s);
+  EXPECT_GT(m.time_s.value(), clean.time_s.value());
 }
 
 TEST(DegradedEngine, JitterStormWidensIterationSpread) {
   const Measurement clean = run(nullptr);
   fault::Plan plan;
   plan.jitter_storms.push_back(
-      fault::JitterStorm{0.0, clean.time_s * 10.0, 0.5});
+      fault::JitterStorm{0.0, clean.time_s.value() * 10.0, 0.5});
 
   const Measurement m = run(&plan);
   EXPECT_EQ(m.outcome, RunOutcome::kCompleted);
@@ -185,21 +185,21 @@ TEST(DegradedEngine, InertPlanLeavesMeasurementBitIdentical) {
 
   const Measurement m = run(&plan);
   EXPECT_EQ(m.outcome, RunOutcome::kCompleted);
-  EXPECT_EQ(m.time_s, clean.time_s);
-  EXPECT_EQ(m.energy.total(), clean.energy.total());
-  EXPECT_EQ(m.energy.fault_j, 0.0);
-  EXPECT_EQ(m.t_fault_s, 0.0);
+  EXPECT_EQ(m.time_s.value(), clean.time_s.value());
+  EXPECT_EQ(m.energy.total().value(), clean.energy.total().value());
+  EXPECT_EQ(m.energy.fault_j.value(), 0.0);
+  EXPECT_EQ(m.t_fault_s.value(), 0.0);
   EXPECT_EQ(m.counters.instructions, clean.counters.instructions);
   EXPECT_EQ(m.messages.messages, clean.messages.messages);
-  EXPECT_EQ(m.avg_frequency_hz, clean.avg_frequency_hz);
+  EXPECT_EQ(m.avg_frequency_hz.value(), clean.avg_frequency_hz.value());
 }
 
 TEST(DegradedEngine, EmptyPlanPointerIsIgnored) {
   const Measurement clean = run(nullptr);
   fault::Plan empty;
   const Measurement m = run(&empty);
-  EXPECT_EQ(m.time_s, clean.time_s);
-  EXPECT_EQ(m.energy.total(), clean.energy.total());
+  EXPECT_EQ(m.time_s.value(), clean.time_s.value());
+  EXPECT_EQ(m.energy.total().value(), clean.energy.total().value());
 }
 
 TEST(DegradedEngine, RandomFailuresWithRestartStillComplete) {

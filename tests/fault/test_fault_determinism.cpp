@@ -75,13 +75,13 @@ fault::Plan busy_plan(double horizon_s) {
 Measurement run(const SimOptions& opt) {
   return simulate(hw::xeon_cluster(),
                   workload::program_by_name("SP", workload::InputClass::kS),
-                  {2, 4, 1.8e9}, opt);
+                  {2, 4, q::Hertz{1.8e9}}, opt);
 }
 
 TEST(FaultDeterminism, SameSeedAndPlanReplayBitIdentically) {
   SimOptions bare;
   bare.chunks_per_iteration = 6;
-  const double horizon = run(bare).time_s;
+  const double horizon = run(bare).time_s.value();
 
   const fault::Plan plan = busy_plan(horizon);
   SimOptions opt = bare;
@@ -99,7 +99,7 @@ TEST(FaultDeterminism, SameSeedAndPlanReplayBitIdentically) {
 TEST(FaultDeterminism, ObservabilitySinksDoNotPerturbDegradedRuns) {
   SimOptions bare;
   bare.chunks_per_iteration = 6;
-  const double horizon = run(bare).time_s;
+  const double horizon = run(bare).time_s.value();
 
   const fault::Plan plan = busy_plan(horizon);
   SimOptions opt = bare;
@@ -125,7 +125,7 @@ TEST(FaultDeterminism, PlanSeedChangesOnlyThePlanStream) {
   // drop-only plan give different drop counts but both complete.
   SimOptions bare;
   bare.chunks_per_iteration = 6;
-  const double horizon = run(bare).time_s;
+  const double horizon = run(bare).time_s.value();
 
   fault::Plan p1;
   p1.seed = 1;

@@ -18,20 +18,20 @@ TEST(Injector, StragglerWindowsMultiply) {
   plan.stragglers.push_back(Straggler{0, 10.0, 5.0, 4.0});
   Injector inj(plan, 2);
 
-  EXPECT_DOUBLE_EQ(inj.compute_slowdown(1, 5.0), 1.0);   // before
-  EXPECT_DOUBLE_EQ(inj.compute_slowdown(1, 11.0), 2.0);  // first only
-  EXPECT_DOUBLE_EQ(inj.compute_slowdown(1, 13.0), 6.0);  // overlap
-  EXPECT_DOUBLE_EQ(inj.compute_slowdown(1, 16.0), 3.0);  // second only
-  EXPECT_DOUBLE_EQ(inj.compute_slowdown(1, 17.0), 1.0);  // after
-  EXPECT_DOUBLE_EQ(inj.compute_slowdown(0, 11.0), 4.0);  // per-node
+  EXPECT_DOUBLE_EQ(inj.compute_slowdown(1, q::Seconds{5.0}), 1.0);   // before
+  EXPECT_DOUBLE_EQ(inj.compute_slowdown(1, q::Seconds{11.0}), 2.0);  // first only
+  EXPECT_DOUBLE_EQ(inj.compute_slowdown(1, q::Seconds{13.0}), 6.0);  // overlap
+  EXPECT_DOUBLE_EQ(inj.compute_slowdown(1, q::Seconds{16.0}), 3.0);  // second only
+  EXPECT_DOUBLE_EQ(inj.compute_slowdown(1, q::Seconds{17.0}), 1.0);  // after
+  EXPECT_DOUBLE_EQ(inj.compute_slowdown(0, q::Seconds{11.0}), 4.0);  // per-node
 }
 
 TEST(Injector, WindowEndIsExclusive) {
   Plan plan;
   plan.stragglers.push_back(Straggler{0, 10.0, 5.0, 2.0});
   Injector inj(plan, 1);
-  EXPECT_DOUBLE_EQ(inj.compute_slowdown(0, 10.0), 2.0);  // start inclusive
-  EXPECT_DOUBLE_EQ(inj.compute_slowdown(0, 15.0), 1.0);  // end exclusive
+  EXPECT_DOUBLE_EQ(inj.compute_slowdown(0, q::Seconds{10.0}), 2.0);  // start inclusive
+  EXPECT_DOUBLE_EQ(inj.compute_slowdown(0, q::Seconds{15.0}), 1.0);  // end exclusive
 }
 
 TEST(Injector, ThrottleCapTakesTightestWindow) {
@@ -39,18 +39,18 @@ TEST(Injector, ThrottleCapTakesTightestWindow) {
   plan.throttles.push_back(Throttle{0, 0.0, 10.0, 1.5e9});
   plan.throttles.push_back(Throttle{0, 5.0, 10.0, 1.2e9});
   Injector inj(plan, 1);
-  EXPECT_TRUE(std::isinf(inj.f_cap_hz(0, 20.0)));
-  EXPECT_DOUBLE_EQ(inj.f_cap_hz(0, 2.0), 1.5e9);
-  EXPECT_DOUBLE_EQ(inj.f_cap_hz(0, 7.0), 1.2e9);  // overlap: tightest wins
+  EXPECT_TRUE(std::isinf(inj.f_cap_hz(0, q::Seconds{20.0}).value()));
+  EXPECT_DOUBLE_EQ(inj.f_cap_hz(0, q::Seconds{2.0}).value(), 1.5e9);
+  EXPECT_DOUBLE_EQ(inj.f_cap_hz(0, q::Seconds{7.0}).value(), 1.2e9);  // overlap: tightest wins
 }
 
 TEST(Injector, JitterStormRaisesBaseCv) {
   Plan plan;
   plan.jitter_storms.push_back(JitterStorm{10.0, 5.0, 0.2});
   Injector inj(plan, 1);
-  EXPECT_DOUBLE_EQ(inj.jitter_cv(0.03, 0.0), 0.03);
-  EXPECT_DOUBLE_EQ(inj.jitter_cv(0.03, 12.0), 0.2);
-  EXPECT_DOUBLE_EQ(inj.jitter_cv(0.5, 12.0), 0.5);  // base already stronger
+  EXPECT_DOUBLE_EQ(inj.jitter_cv(0.03, q::Seconds{0.0}), 0.03);
+  EXPECT_DOUBLE_EQ(inj.jitter_cv(0.03, q::Seconds{12.0}), 0.2);
+  EXPECT_DOUBLE_EQ(inj.jitter_cv(0.5, q::Seconds{12.0}), 0.5);  // base already stronger
 }
 
 TEST(Injector, WireTimeAppliesDegradation) {
@@ -59,26 +59,29 @@ TEST(Injector, WireTimeAppliesDegradation) {
   plan.net_degradations.push_back(NetworkDegradation{10.0, 5.0, 2.0, 0.5, 0.0});
   Injector inj(plan, 2);
 
-  EXPECT_DOUBLE_EQ(inj.wire_time(net, 1000.0, 0.0), net.wire_time(1000.0));
-  const double degraded = inj.wire_time(net, 1000.0, 12.0);
-  const double expected = 2.0 * net.switch_latency_s +
-                          net.wire_bytes(1000.0) /
-                              (net.link_bits_per_s / 8.0 * 0.5);
-  EXPECT_DOUBLE_EQ(degraded, expected);
-  EXPECT_GT(degraded, net.wire_time(1000.0));
+  EXPECT_DOUBLE_EQ(inj.wire_time(net, q::Bytes{1000.0}, q::Seconds{}).value(),
+                   net.wire_time(q::Bytes{1000.0}).value());
+  const q::Seconds degraded =
+      inj.wire_time(net, q::Bytes{1000.0}, q::Seconds{12.0});
+  const q::Seconds expected =
+      2.0 * net.switch_latency_s +
+      net.wire_bytes(q::Bytes{1000.0}) /
+          (q::to_bytes_per_sec(net.link_bits_per_s) * 0.5);
+  EXPECT_DOUBLE_EQ(degraded.value(), expected.value());
+  EXPECT_GT(degraded, net.wire_time(q::Bytes{1000.0}));
 }
 
 TEST(Injector, DropsOnlyInsideLossyWindows) {
   Plan plan;
   plan.net_degradations.push_back(NetworkDegradation{10.0, 5.0, 1.0, 1.0, 0.9});
   Injector inj(plan, 2);
-  EXPECT_FALSE(inj.drops_possible(0.0));
-  EXPECT_TRUE(inj.drops_possible(12.0));
+  EXPECT_FALSE(inj.drops_possible(q::Seconds{0.0}));
+  EXPECT_TRUE(inj.drops_possible(q::Seconds{12.0}));
   // Outside the window no RNG is consumed and no message drops.
-  for (int i = 0; i < 100; ++i) EXPECT_FALSE(inj.drop_message(0.0));
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(inj.drop_message(q::Seconds{0.0}));
   // Inside, a 90% drop rate must drop some of 100 messages.
   int dropped = 0;
-  for (int i = 0; i < 100; ++i) dropped += inj.drop_message(12.0) ? 1 : 0;
+  for (int i = 0; i < 100; ++i) dropped += inj.drop_message(q::Seconds{12.0}) ? 1 : 0;
   EXPECT_GT(dropped, 50);
   EXPECT_LT(dropped, 100);
 }
@@ -91,9 +94,9 @@ TEST(Injector, SameSeedSameDraws) {
   Injector a(plan, 4);
   Injector b(plan, 4);
   for (int i = 0; i < 50; ++i) {
-    EXPECT_DOUBLE_EQ(a.next_failure_gap(), b.next_failure_gap());
+    EXPECT_DOUBLE_EQ(a.next_failure_gap().value(), b.next_failure_gap().value());
     EXPECT_EQ(a.pick_victim(), b.pick_victim());
-    EXPECT_EQ(a.drop_message(1.0), b.drop_message(1.0));
+    EXPECT_EQ(a.drop_message(q::Seconds{1.0}), b.drop_message(q::Seconds{1.0}));
   }
 }
 
@@ -105,8 +108,8 @@ TEST(Injector, FailureGapScalesWithClusterSize) {
   double sum_small = 0.0;
   double sum_big = 0.0;
   for (int i = 0; i < 2000; ++i) {
-    sum_small += small.next_failure_gap();
-    sum_big += big.next_failure_gap();
+    sum_small += small.next_failure_gap().value();
+    sum_big += big.next_failure_gap().value();
   }
   // Means: 1000 s vs 10 s; generous bands to keep the test stable.
   EXPECT_GT(sum_small / 2000.0, 500.0);

@@ -15,8 +15,8 @@ namespace {
 
 DvfsRange xeon_range() { return xeon_cluster().node.dvfs; }
 
-SlackObservation obs_at(double f, double busy, double slack,
-                        double f_configured = 1.8e9) {
+SlackObservation obs_at(q::Hertz f, double busy, double slack,
+                        q::Hertz f_configured = q::Hertz{1.8e9}) {
   SlackObservation o;
   o.f_current_hz = f;
   o.f_configured_hz = f_configured;
@@ -28,9 +28,11 @@ SlackObservation obs_at(double f, double busy, double slack,
 TEST(FixedFrequencyPolicy, NeverChanges) {
   FixedFrequencyPolicy p;
   const DvfsRange r = xeon_range();
-  for (double f : r.frequencies_hz) {
-    EXPECT_DOUBLE_EQ(p.next_frequency(obs_at(f, 0.1, 0.9), r), f);
-    EXPECT_DOUBLE_EQ(p.next_frequency(obs_at(f, 0.9, 0.0), r), f);
+  for (q::Hertz f : r.frequencies_hz) {
+    EXPECT_DOUBLE_EQ(p.next_frequency(obs_at(f, 0.1, 0.9), r).value(),
+                     f.value());
+    EXPECT_DOUBLE_EQ(p.next_frequency(obs_at(f, 0.9, 0.0), r).value(),
+                     f.value());
   }
 }
 
@@ -45,39 +47,44 @@ TEST(SlackStepPolicy, StepsDownWhenSlackCoversTheCost) {
   const DvfsRange r = xeon_range();
   // 1.8 -> 1.5 costs busy*(1.8/1.5-1) = 0.2*busy; with busy 0.5 the cost
   // is 0.1, which fits inside 0.8 * slack for slack 0.3.
-  EXPECT_DOUBLE_EQ(p.next_frequency(obs_at(1.8e9, 0.5, 0.3), r), 1.5e9);
+  EXPECT_DOUBLE_EQ(p.next_frequency(obs_at(q::Hertz{1.8e9}, 0.5, 0.3), r).value(),
+                   1.5e9);
 }
 
 TEST(SlackStepPolicy, HoldsWhenSlackIsTooSmallForTheCost) {
   SlackStepPolicy p(0.8, 0.02);
   const DvfsRange r = xeon_range();
   // Cost 0.2*0.9 = 0.18 > 0.8*0.1: stay.
-  EXPECT_DOUBLE_EQ(p.next_frequency(obs_at(1.8e9, 0.9, 0.1), r), 1.8e9);
+  EXPECT_DOUBLE_EQ(p.next_frequency(obs_at(q::Hertz{1.8e9}, 0.9, 0.1), r).value(),
+                   1.8e9);
 }
 
 TEST(SlackStepPolicy, StepsUpOnCriticalPath) {
   SlackStepPolicy p(0.8, 0.02);
   const DvfsRange r = xeon_range();
-  EXPECT_DOUBLE_EQ(p.next_frequency(obs_at(1.2e9, 0.95, 0.0), r), 1.5e9);
+  EXPECT_DOUBLE_EQ(p.next_frequency(obs_at(q::Hertz{1.2e9}, 0.95, 0.0), r).value(),
+                   1.5e9);
   // Already at the top: stays.
-  EXPECT_DOUBLE_EQ(p.next_frequency(obs_at(1.8e9, 0.95, 0.0), r), 1.8e9);
+  EXPECT_DOUBLE_EQ(p.next_frequency(obs_at(q::Hertz{1.8e9}, 0.95, 0.0), r).value(),
+                   1.8e9);
 }
 
 TEST(SlackStepPolicy, NeverExceedsTheConfiguredFrequency) {
   SlackStepPolicy p(0.8, 0.02);
   const DvfsRange r = xeon_range();
   // Configured at 1.5: a critical node at 1.5 must NOT boost to 1.8.
-  EXPECT_DOUBLE_EQ(p.next_frequency(obs_at(1.5e9, 0.95, 0.0, 1.5e9), r),
+  EXPECT_DOUBLE_EQ(p.next_frequency(obs_at(q::Hertz{1.5e9}, 0.95, 0.0, q::Hertz{1.5e9}), r).value(),
                    1.5e9);
   // But a throttled node at 1.2 may return to 1.5.
-  EXPECT_DOUBLE_EQ(p.next_frequency(obs_at(1.2e9, 0.95, 0.0, 1.5e9), r),
+  EXPECT_DOUBLE_EQ(p.next_frequency(obs_at(q::Hertz{1.2e9}, 0.95, 0.0, q::Hertz{1.5e9}), r).value(),
                    1.5e9);
 }
 
 TEST(SlackStepPolicy, CannotStepBelowFmin) {
   SlackStepPolicy p(0.8, 0.02);
   const DvfsRange r = xeon_range();
-  EXPECT_DOUBLE_EQ(p.next_frequency(obs_at(1.2e9, 0.1, 0.9), r), 1.2e9);
+  EXPECT_DOUBLE_EQ(p.next_frequency(obs_at(q::Hertz{1.2e9}, 0.1, 0.9), r).value(),
+                   1.2e9);
 }
 
 // ---- engine integration ----------------------------------------------------
@@ -91,32 +98,32 @@ workload::ProgramSpec imbalanced_cp() {
 TEST(DvfsIntegration, FixedPolicyMatchesNoPolicy) {
   const auto m = xeon_cluster();
   const auto p = imbalanced_cp();
-  const ClusterConfig cfg{4, 4, 1.8e9};
+  const ClusterConfig cfg{4, 4, q::Hertz{1.8e9}};
   trace::SimOptions none, fixed;
   fixed.dvfs_policy = fixed_frequency_policy();
   const auto a = trace::simulate(m, p, cfg, none);
   const auto b = trace::simulate(m, p, cfg, fixed);
-  EXPECT_DOUBLE_EQ(a.time_s, b.time_s);
-  EXPECT_DOUBLE_EQ(a.energy.total(), b.energy.total());
-  EXPECT_DOUBLE_EQ(b.avg_frequency_hz, 1.8e9);
+  EXPECT_DOUBLE_EQ(a.time_s.value(), b.time_s.value());
+  EXPECT_DOUBLE_EQ(a.energy.total().value(), b.energy.total().value());
+  EXPECT_DOUBLE_EQ(b.avg_frequency_hz.value(), 1.8e9);
 }
 
 TEST(DvfsIntegration, SlackPolicyLowersAverageFrequency) {
   const auto m = xeon_cluster();
   const auto p = imbalanced_cp();
-  const ClusterConfig cfg{4, 4, 1.8e9};
+  const ClusterConfig cfg{4, 4, q::Hertz{1.8e9}};
   trace::SimOptions opt;
   opt.dvfs_policy = slack_step_policy();
   const auto meas = trace::simulate(m, p, cfg, opt);
-  EXPECT_LT(meas.avg_frequency_hz, 1.8e9);
-  EXPECT_GE(meas.avg_frequency_hz, 1.2e9);
+  EXPECT_LT(meas.avg_frequency_hz, q::Hertz{1.8e9});
+  EXPECT_GE(meas.avg_frequency_hz, q::Hertz{1.2e9});
 }
 
 TEST(DvfsIntegration, SlackPolicySavesEnergyWithBoundedSlowdown) {
   const auto m = xeon_cluster();
   auto p = workload::make_cp(workload::InputClass::kA);
   p.compute.node_imbalance = 0.15;
-  const ClusterConfig cfg{8, 8, 1.8e9};
+  const ClusterConfig cfg{8, 8, q::Hertz{1.8e9}};
   trace::SimOptions fixed, dvfs;
   dvfs.dvfs_policy = slack_step_policy();
   const auto a = trace::simulate(m, p, cfg, fixed);
@@ -128,7 +135,7 @@ TEST(DvfsIntegration, SlackPolicySavesEnergyWithBoundedSlowdown) {
 TEST(DvfsIntegration, BalancedProgramHasLittleSlack) {
   const auto m = xeon_cluster();
   const auto p = workload::program_by_name("BT", workload::InputClass::kS);
-  const ClusterConfig cfg{4, 2, 1.8e9};
+  const ClusterConfig cfg{4, 2, q::Hertz{1.8e9}};
   const auto meas = trace::simulate(m, p, cfg, {});
   EXPECT_LT(meas.slack_fraction.mean(), 0.08);
 }
@@ -136,7 +143,7 @@ TEST(DvfsIntegration, BalancedProgramHasLittleSlack) {
 TEST(DvfsIntegration, ImbalanceCreatesSlack) {
   const auto m = xeon_cluster();
   const auto p = imbalanced_cp();
-  const ClusterConfig cfg{4, 2, 1.8e9};
+  const ClusterConfig cfg{4, 2, q::Hertz{1.8e9}};
   const auto meas = trace::simulate(m, p, cfg, {});
   EXPECT_GT(meas.slack_fraction.mean(), 0.05);
   EXPECT_LT(meas.slack_fraction.max(), 1.0);
@@ -145,8 +152,8 @@ TEST(DvfsIntegration, ImbalanceCreatesSlack) {
 /// A misbehaving policy returning a non-operating-point must be rejected.
 class RoguePolicy final : public DvfsPolicy {
  public:
-  double next_frequency(const SlackObservation&, const DvfsRange&) override {
-    return 3.33e9;
+  q::Hertz next_frequency(const SlackObservation&, const DvfsRange&) override {
+    return q::Hertz{3.33e9};
   }
 };
 
@@ -155,7 +162,7 @@ TEST(DvfsIntegration, RoguePolicyIsRejected) {
   const auto p = workload::program_by_name("BT", workload::InputClass::kS);
   trace::SimOptions opt;
   opt.dvfs_policy = std::make_shared<RoguePolicy>();
-  EXPECT_THROW(trace::simulate(m, p, {2, 2, 1.8e9}, opt),
+  EXPECT_THROW(trace::simulate(m, p, {2, 2, q::Hertz{1.8e9}}, opt),
                std::invalid_argument);
 }
 

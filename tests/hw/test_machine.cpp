@@ -14,6 +14,7 @@ namespace hepex::hw {
 namespace {
 
 using namespace hepex::units;
+using namespace hepex::units::literals;
 
 TEST(Presets, XeonMatchesTable3) {
   const MachineSpec m = xeon_cluster();
@@ -24,8 +25,8 @@ TEST(Presets, XeonMatchesTable3) {
   EXPECT_DOUBLE_EQ(m.node.cache.l1_per_core_bytes, 32 * KB);
   EXPECT_DOUBLE_EQ(m.node.cache.l2_shared_bytes, 2 * MB);
   EXPECT_DOUBLE_EQ(m.node.cache.l3_shared_bytes, 20 * MB);
-  EXPECT_DOUBLE_EQ(m.node.memory.capacity_bytes, 8 * GB);
-  EXPECT_DOUBLE_EQ(m.network.link_bits_per_s, 1 * Gbps);
+  EXPECT_DOUBLE_EQ(m.node.memory.capacity_bytes.value(), 8 * GB);
+  EXPECT_DOUBLE_EQ(m.network.link_bits_per_s.value(), 1 * Gbps);
 }
 
 TEST(Presets, ArmMatchesTable3) {
@@ -36,8 +37,8 @@ TEST(Presets, ArmMatchesTable3) {
   EXPECT_EQ(m.node.dvfs.frequencies_hz.size(), 5u);
   EXPECT_DOUBLE_EQ(m.node.cache.l2_shared_bytes, 1 * MB);
   EXPECT_DOUBLE_EQ(m.node.cache.l3_shared_bytes, 0.0);
-  EXPECT_DOUBLE_EQ(m.node.memory.capacity_bytes, 1 * GB);
-  EXPECT_DOUBLE_EQ(m.network.link_bits_per_s, 100 * Mbps);
+  EXPECT_DOUBLE_EQ(m.node.memory.capacity_bytes.value(), 1 * GB);
+  EXPECT_DOUBLE_EQ(m.network.link_bits_per_s.value(), 100 * Mbps);
 }
 
 TEST(Presets, ArmIsSlowerButFrugal) {
@@ -49,29 +50,29 @@ TEST(Presets, ArmIsSlowerButFrugal) {
 }
 
 TEST(Config, TotalCores) {
-  EXPECT_EQ(total_cores(ClusterConfig{4, 8, 1.2 * GHz}), 32);
-  EXPECT_EQ(total_cores(ClusterConfig{1, 1, 1.2 * GHz}), 1);
+  EXPECT_EQ(total_cores(ClusterConfig{4, 8, 1.2_GHz}), 32);
+  EXPECT_EQ(total_cores(ClusterConfig{1, 1, 1.2_GHz}), 1);
 }
 
 TEST(Config, ValidationRejectsBadConfigs) {
   const MachineSpec m = xeon_cluster();
-  EXPECT_THROW(validate_config(m, {0, 1, 1.2 * GHz}, false),
+  EXPECT_THROW(validate_config(m, {0, 1, 1.2_GHz}, false),
                std::invalid_argument);
-  EXPECT_THROW(validate_config(m, {1, 0, 1.2 * GHz}, false),
+  EXPECT_THROW(validate_config(m, {1, 0, 1.2_GHz}, false),
                std::invalid_argument);
-  EXPECT_THROW(validate_config(m, {1, 9, 1.2 * GHz}, false),
+  EXPECT_THROW(validate_config(m, {1, 9, 1.2_GHz}, false),
                std::invalid_argument);
-  EXPECT_THROW(validate_config(m, {1, 1, 1.0 * GHz}, false),
+  EXPECT_THROW(validate_config(m, {1, 1, 1.0_GHz}, false),
                std::invalid_argument);
 }
 
 TEST(Config, PhysicalValidationLimitsNodes) {
   const MachineSpec m = xeon_cluster();
   // 256 nodes are fine for the model space but not for measurement.
-  EXPECT_NO_THROW(validate_config(m, {256, 8, 1.8 * GHz}, false));
-  EXPECT_THROW(validate_config(m, {256, 8, 1.8 * GHz}, true),
+  EXPECT_NO_THROW(validate_config(m, {256, 8, 1.8_GHz}, false));
+  EXPECT_THROW(validate_config(m, {256, 8, 1.8_GHz}, true),
                std::invalid_argument);
-  EXPECT_NO_THROW(validate_config(m, {8, 8, 1.8 * GHz}, true));
+  EXPECT_NO_THROW(validate_config(m, {8, 8, 1.8_GHz}, true));
 }
 
 TEST(ConfigSpace, XeonModelSpaceIs216) {

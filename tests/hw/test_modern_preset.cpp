@@ -18,7 +18,7 @@ TEST(ModernPreset, SaneShape) {
             xeon_cluster().node.memory.bandwidth_bytes_per_s);
   EXPECT_GT(m.network.link_bits_per_s,
             xeon_cluster().network.link_bits_per_s);
-  EXPECT_NO_THROW(validate_config(m, {8, 16, 3.2e9}, true));
+  EXPECT_NO_THROW(validate_config(m, {8, 16, q::Hertz{3.2e9}}, true));
 }
 
 TEST(ModernPreset, SwallowsClassAInCache) {
@@ -44,9 +44,9 @@ TEST(ModernPreset, RunsAndDominatesTheOldXeon) {
   const auto new_m = modern_x86_cluster();
   const auto p = workload::make_bt(workload::InputClass::kW);
   const auto t_old =
-      trace::simulate(old_m, p, {4, 8, 1.8e9}).time_s;
+      trace::simulate(old_m, p, {4, 8, q::Hertz{1.8e9}}).time_s;
   const auto t_new =
-      trace::simulate(new_m, p, {4, 8, 3.2e9}).time_s;
+      trace::simulate(new_m, p, {4, 8, q::Hertz{3.2e9}}).time_s;
   EXPECT_LT(t_new, t_old);
 }
 

@@ -14,45 +14,48 @@ namespace hepex::hw {
 namespace {
 
 using namespace hepex::units;
+using namespace hepex::units::literals;
 
 TEST(Network, WireBytesAddsHeaders) {
   NetworkSpec n;
-  n.header_bytes_per_frame = 78.0;
-  n.payload_bytes_per_frame = 1448.0;
+  n.header_bytes_per_frame = q::Bytes{78.0};
+  n.payload_bytes_per_frame = q::Bytes{1448.0};
   // One full frame: payload + one header.
-  EXPECT_DOUBLE_EQ(n.wire_bytes(1448.0), 1448.0 + 78.0);
+  EXPECT_DOUBLE_EQ(n.wire_bytes(q::Bytes{1448.0}).value(), 1448.0 + 78.0);
   // Two frames when one byte over.
-  EXPECT_DOUBLE_EQ(n.wire_bytes(1449.0), 1449.0 + 2 * 78.0);
+  EXPECT_DOUBLE_EQ(n.wire_bytes(q::Bytes{1449.0}).value(),
+                   1449.0 + 2 * 78.0);
 }
 
 TEST(Network, ZeroByteControlMessageStillCostsAFrame) {
   NetworkSpec n;
-  EXPECT_GE(n.wire_bytes(0.0), n.header_bytes_per_frame);
+  EXPECT_GE(n.wire_bytes(q::Bytes{}), n.header_bytes_per_frame);
 }
 
 TEST(Network, NegativePayloadThrows) {
   NetworkSpec n;
-  EXPECT_THROW(n.wire_bytes(-1.0), std::invalid_argument);
+  EXPECT_THROW(n.wire_bytes(q::Bytes{-1.0}), std::invalid_argument);
 }
 
 TEST(Network, GoodputCeilingIsAbout90PercentOfLink) {
   // The paper's Fig. 3: a 100 Mbps link peaks near 90 Mbps of MPI goodput.
   const NetworkSpec arm = arm_cluster().network;
-  const double goodput_mbps = arm.peak_goodput_bytes_per_s() * 8.0 / 1e6;
+  const double goodput_mbps =
+      q::to_bits_per_sec(arm.peak_goodput_bytes_per_s()).value() / 1e6;
   EXPECT_GT(goodput_mbps, 88.0);
   EXPECT_LT(goodput_mbps, 96.0);
 }
 
 TEST(Network, WireTimeHasLatencyFloor) {
   const NetworkSpec n = xeon_cluster().network;
-  EXPECT_GE(n.wire_time(1.0), n.switch_latency_s);
+  EXPECT_GE(n.wire_time(q::Bytes{1.0}), n.switch_latency_s);
 }
 
 TEST(Network, WireTimeMonotoneInSize) {
   const NetworkSpec n = arm_cluster().network;
-  double prev = 0.0;
+  q::Seconds prev{};
   for (double size = 1.0; size <= 16e6; size *= 4.0) {
-    const double t = n.wire_time(size);
+    const q::Seconds t = n.wire_time(q::Bytes{size});
     EXPECT_GT(t, prev);
     prev = t;
   }
@@ -60,15 +63,16 @@ TEST(Network, WireTimeMonotoneInSize) {
 
 TEST(Network, XeonLinkIsTenTimesArm) {
   EXPECT_DOUBLE_EQ(
-      xeon_cluster().network.link_bits_per_s,
-      10.0 * arm_cluster().network.link_bits_per_s);
+      xeon_cluster().network.link_bits_per_s.value(),
+      10.0 * arm_cluster().network.link_bits_per_s.value());
 }
 
 TEST(Network, LargeMessageTimeApproachesGoodputRate) {
   const NetworkSpec n = arm_cluster().network;
-  const double size = 64e6;
-  const double rate = size / n.wire_time(size);
-  EXPECT_NEAR(rate, n.peak_goodput_bytes_per_s(), 0.01 * rate);
+  const q::Bytes size{64e6};
+  const q::BytesPerSec rate = size / n.wire_time(size);
+  EXPECT_NEAR(rate.value(), n.peak_goodput_bytes_per_s().value(),
+              0.01 * rate.value());
 }
 
 }  // namespace

@@ -13,90 +13,92 @@ namespace hepex::hw {
 namespace {
 
 using namespace hepex::units;
+using namespace hepex::units::literals;
 
 DvfsRange xeon_dvfs() { return xeon_cluster().node.dvfs; }
 DvfsRange arm_dvfs() { return arm_cluster().node.dvfs; }
 
 TEST(Dvfs, BoundsMatchPresets) {
-  EXPECT_DOUBLE_EQ(xeon_dvfs().f_min(), 1.2 * GHz);
-  EXPECT_DOUBLE_EQ(xeon_dvfs().f_max(), 1.8 * GHz);
-  EXPECT_DOUBLE_EQ(arm_dvfs().f_min(), 0.2 * GHz);
-  EXPECT_DOUBLE_EQ(arm_dvfs().f_max(), 1.4 * GHz);
+  EXPECT_DOUBLE_EQ(xeon_dvfs().f_min().value(), 1.2 * GHz);
+  EXPECT_DOUBLE_EQ(xeon_dvfs().f_max().value(), 1.8 * GHz);
+  EXPECT_DOUBLE_EQ(arm_dvfs().f_min().value(), 0.2 * GHz);
+  EXPECT_DOUBLE_EQ(arm_dvfs().f_max().value(), 1.4 * GHz);
 }
 
 TEST(Dvfs, SupportsExactOperatingPointsOnly) {
   const DvfsRange d = xeon_dvfs();
-  EXPECT_TRUE(d.supports(1.2 * GHz));
-  EXPECT_TRUE(d.supports(1.5 * GHz));
-  EXPECT_TRUE(d.supports(1.8 * GHz));
-  EXPECT_FALSE(d.supports(1.35 * GHz));
-  EXPECT_FALSE(d.supports(2.0 * GHz));
+  EXPECT_TRUE(d.supports(1.2_GHz));
+  EXPECT_TRUE(d.supports(1.5_GHz));
+  EXPECT_TRUE(d.supports(1.8_GHz));
+  EXPECT_FALSE(d.supports(1.35_GHz));
+  EXPECT_FALSE(d.supports(2.0_GHz));
 }
 
 TEST(Dvfs, VoltageInterpolatesLinearly) {
   DvfsRange d;
-  d.frequencies_hz = {1.0 * GHz, 2.0 * GHz};
+  d.frequencies_hz = {1.0_GHz, 2.0_GHz};
   d.v_min = 0.8;
   d.v_max = 1.2;
-  EXPECT_DOUBLE_EQ(d.voltage_at(1.0 * GHz), 0.8);
-  EXPECT_DOUBLE_EQ(d.voltage_at(1.5 * GHz), 1.0);
-  EXPECT_DOUBLE_EQ(d.voltage_at(2.0 * GHz), 1.2);
+  EXPECT_DOUBLE_EQ(d.voltage_at(1.0_GHz), 0.8);
+  EXPECT_DOUBLE_EQ(d.voltage_at(1.5_GHz), 1.0);
+  EXPECT_DOUBLE_EQ(d.voltage_at(2.0_GHz), 1.2);
   // Clamped outside the range.
-  EXPECT_DOUBLE_EQ(d.voltage_at(0.5 * GHz), 0.8);
-  EXPECT_DOUBLE_EQ(d.voltage_at(3.0 * GHz), 1.2);
+  EXPECT_DOUBLE_EQ(d.voltage_at(0.5_GHz), 0.8);
+  EXPECT_DOUBLE_EQ(d.voltage_at(3.0_GHz), 1.2);
 }
 
 TEST(Dvfs, EmptyRangeThrows) {
   DvfsRange d;
-  EXPECT_THROW(d.voltage_at(1.0 * GHz), std::invalid_argument);
+  EXPECT_THROW(d.voltage_at(1.0_GHz), std::invalid_argument);
 }
 
 TEST(PowerCurve, ActivePowerGrowsSuperlinearlyWithFrequency) {
   // P = C f V(f)^2 with V rising in f: doubling f more than doubles P.
   const DvfsRange d = arm_dvfs();
   const CorePowerCurve curve = arm_cluster().node.power.core;
-  const double p_low = curve.active_at(0.2 * GHz, d);
-  const double p_high = curve.active_at(1.4 * GHz, d);
+  const q::Watts p_low = curve.active_at(0.2_GHz, d);
+  const q::Watts p_high = curve.active_at(1.4_GHz, d);
   EXPECT_GT(p_high, p_low * (1.4 / 0.2));
 }
 
 TEST(PowerCurve, StallIsFixedFractionOfActive) {
   const DvfsRange d = xeon_dvfs();
   const CorePowerCurve curve = xeon_cluster().node.power.core;
-  for (double f : d.frequencies_hz) {
-    EXPECT_NEAR(curve.stall_at(f, d),
-                curve.stall_fraction * curve.active_at(f, d), 1e-12);
+  for (q::Hertz f : d.frequencies_hz) {
+    EXPECT_NEAR(curve.stall_at(f, d).value(),
+                (curve.stall_fraction * curve.active_at(f, d)).value(), 1e-12);
   }
 }
 
 TEST(PowerCurve, NonPositiveFrequencyThrows) {
   const DvfsRange d = xeon_dvfs();
   const CorePowerCurve curve = xeon_cluster().node.power.core;
-  EXPECT_THROW(curve.active_at(0.0, d), std::invalid_argument);
-  EXPECT_THROW(curve.active_at(-1.0, d), std::invalid_argument);
+  EXPECT_THROW(curve.active_at(q::Hertz{}, d), std::invalid_argument);
+  EXPECT_THROW(curve.active_at(q::Hertz{-1.0}, d), std::invalid_argument);
 }
 
 TEST(PowerPresets, CalibratedMagnitudes) {
   // The calibration anchors documented in presets.cpp.
   const auto xeon = xeon_cluster();
   EXPECT_NEAR(
-      xeon.node.power.core.active_at(1.8 * GHz, xeon.node.dvfs), 6.0, 0.01);
+      xeon.node.power.core.active_at(1.8_GHz, xeon.node.dvfs).value(), 6.0,
+      0.01);
   const auto arm = arm_cluster();
-  EXPECT_NEAR(arm.node.power.core.active_at(1.4 * GHz, arm.node.dvfs), 0.8,
-              0.01);
+  EXPECT_NEAR(arm.node.power.core.active_at(1.4_GHz, arm.node.dvfs).value(),
+              0.8, 0.01);
   // Full-load node power: Xeon ~115 W, ARM ~6 W (both idle-dominated).
-  const double xeon_full =
+  const q::Watts xeon_full =
       xeon.node.power.sys_idle_w +
-      8 * xeon.node.power.core.active_at(1.8 * GHz, xeon.node.dvfs) +
+      8 * xeon.node.power.core.active_at(1.8_GHz, xeon.node.dvfs) +
       xeon.node.power.mem_active_w + xeon.node.power.net_active_w;
-  EXPECT_GT(xeon_full, 100.0);
-  EXPECT_LT(xeon_full, 130.0);
-  const double arm_full =
+  EXPECT_GT(xeon_full, 100.0_W);
+  EXPECT_LT(xeon_full, 130.0_W);
+  const q::Watts arm_full =
       arm.node.power.sys_idle_w +
-      4 * arm.node.power.core.active_at(1.4 * GHz, arm.node.dvfs) +
+      4 * arm.node.power.core.active_at(1.4_GHz, arm.node.dvfs) +
       arm.node.power.mem_active_w + arm.node.power.net_active_w;
-  EXPECT_GT(arm_full, 5.0);
-  EXPECT_LT(arm_full, 8.0);
+  EXPECT_GT(arm_full, 5.0_W);
+  EXPECT_LT(arm_full, 8.0_W);
 }
 
 /// Power must be monotone across each machine's operating points.
@@ -105,10 +107,10 @@ class PowerMonotoneTest : public ::testing::TestWithParam<bool> {};
 TEST_P(PowerMonotoneTest, ActiveAndStallIncreaseWithF) {
   const MachineSpec m = GetParam() ? xeon_cluster() : arm_cluster();
   const auto& d = m.node.dvfs;
-  double prev_act = 0.0, prev_stall = 0.0;
-  for (double f : d.frequencies_hz) {
-    const double act = m.node.power.core.active_at(f, d);
-    const double stall = m.node.power.core.stall_at(f, d);
+  q::Watts prev_act{}, prev_stall{};
+  for (q::Hertz f : d.frequencies_hz) {
+    const q::Watts act = m.node.power.core.active_at(f, d);
+    const q::Watts stall = m.node.power.core.stall_at(f, d);
     EXPECT_GT(act, prev_act);
     EXPECT_GT(stall, prev_stall);
     EXPECT_LT(stall, act);

@@ -35,11 +35,11 @@ TEST(MachinePreconditions, RejectsBadDvfsTable) {
   EXPECT_THROW(validate_machine(m), std::invalid_argument);
 
   m = xeon_cluster();
-  m.node.dvfs.frequencies_hz = {1.2e9, 1.2e9};  // not strictly ascending
+  m.node.dvfs.frequencies_hz = {q::Hertz{1.2e9}, q::Hertz{1.2e9}};  // not strictly ascending
   EXPECT_THROW(validate_machine(m), std::invalid_argument);
 
   m = xeon_cluster();
-  m.node.dvfs.frequencies_hz = {1.2e9, kNaN};
+  m.node.dvfs.frequencies_hz = {q::Hertz{1.2e9}, q::Hertz{kNaN}};
   EXPECT_THROW(validate_machine(m), std::invalid_argument);
 
   m = xeon_cluster();
@@ -61,10 +61,10 @@ TEST(MachinePreconditions, RejectsBadIsa) {
 
 TEST(MachinePreconditions, RejectsBadMemoryAndPower) {
   MachineSpec m = xeon_cluster();
-  m.node.memory.bandwidth_bytes_per_s = kNaN;
+  m.node.memory.bandwidth_bytes_per_s = q::BytesPerSec{kNaN};
   EXPECT_THROW(validate_machine(m), std::invalid_argument);
   m = xeon_cluster();
-  m.node.memory.latency_s = -1e-9;
+  m.node.memory.latency_s = q::Seconds{-1e-9};
   EXPECT_THROW(validate_machine(m), std::invalid_argument);
   m = xeon_cluster();
   m.node.power.core.active_coeff = 0.0;
@@ -73,19 +73,19 @@ TEST(MachinePreconditions, RejectsBadMemoryAndPower) {
   m.node.power.core.stall_fraction = -0.1;
   EXPECT_THROW(validate_machine(m), std::invalid_argument);
   m = xeon_cluster();
-  m.node.power.sys_idle_w = kNaN;
+  m.node.power.sys_idle_w = q::Watts{kNaN};
   EXPECT_THROW(validate_machine(m), std::invalid_argument);
 }
 
 TEST(MachinePreconditions, RejectsBadNetwork) {
   MachineSpec m = xeon_cluster();
-  m.network.link_bits_per_s = 0.0;
+  m.network.link_bits_per_s = q::BitsPerSec{};
   EXPECT_THROW(validate_machine(m), std::invalid_argument);
   m = xeon_cluster();
-  m.network.switch_latency_s = kNaN;
+  m.network.switch_latency_s = q::Seconds{kNaN};
   EXPECT_THROW(validate_machine(m), std::invalid_argument);
   m = xeon_cluster();
-  m.network.payload_bytes_per_frame = 0.0;
+  m.network.payload_bytes_per_frame = q::Bytes{};
   EXPECT_THROW(validate_machine(m), std::invalid_argument);
 }
 

@@ -11,8 +11,8 @@ namespace {
 
 Prediction pred(double t, double e) {
   Prediction p;
-  p.time_s = t;
-  p.energy_j = e;
+  p.time_s = q::Seconds{t};
+  p.energy_j = q::Joules{e};
   return p;
 }
 
@@ -66,14 +66,14 @@ TEST(AmdahlEnergy, EnergyGrowsWithSerialFraction) {
 TEST(Edp, ProductsAndRanking) {
   const Prediction a = pred(2.0, 10.0);   // EDP 20, ED2P 40
   const Prediction b = pred(4.0, 4.0);    // EDP 16, ED2P 64
-  EXPECT_DOUBLE_EQ(energy_delay_product(a), 20.0);
-  EXPECT_DOUBLE_EQ(energy_delay_squared(a), 40.0);
+  EXPECT_DOUBLE_EQ(energy_delay_product(a).value(), 20.0);
+  EXPECT_DOUBLE_EQ(energy_delay_squared(a).value(), 40.0);
 
   const std::vector<Prediction> set{a, b};
   // EDP prefers b; ED2P prefers a; pure energy prefers b.
-  EXPECT_DOUBLE_EQ(best_by_edp(set, 1.0).time_s, 4.0);
-  EXPECT_DOUBLE_EQ(best_by_edp(set, 2.0).time_s, 2.0);
-  EXPECT_DOUBLE_EQ(best_by_edp(set, 0.0).time_s, 4.0);
+  EXPECT_DOUBLE_EQ(best_by_edp(set, 1.0).time_s.value(), 4.0);
+  EXPECT_DOUBLE_EQ(best_by_edp(set, 2.0).time_s.value(), 2.0);
+  EXPECT_DOUBLE_EQ(best_by_edp(set, 0.0).time_s.value(), 4.0);
 }
 
 TEST(Edp, EmptySetThrows) {

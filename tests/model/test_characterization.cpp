@@ -54,11 +54,11 @@ TEST(Characterization, FrequencyIndexLookup) {
   const auto ch = characterize(hw::xeon_cluster(),
                                workload::make_lu(InputClass::kW),
                                fast_options());
-  EXPECT_EQ(ch.frequency_index(1.2e9), 0u);
-  EXPECT_EQ(ch.frequency_index(1.8e9), 2u);
-  EXPECT_THROW(ch.frequency_index(2.0e9), std::invalid_argument);
-  EXPECT_THROW(ch.at(0, 1.2e9), std::invalid_argument);
-  EXPECT_THROW(ch.at(9, 1.2e9), std::invalid_argument);
+  EXPECT_EQ(ch.frequency_index(q::Hertz{1.2e9}), 0u);
+  EXPECT_EQ(ch.frequency_index(q::Hertz{1.8e9}), 2u);
+  EXPECT_THROW(ch.frequency_index(q::Hertz{2.0e9}), std::invalid_argument);
+  EXPECT_THROW(ch.at(0, q::Hertz{1.2e9}), std::invalid_argument);
+  EXPECT_THROW(ch.at(9, q::Hertz{1.2e9}), std::invalid_argument);
 }
 
 TEST(Characterization, ExactPowerMatchesGroundTruth) {
@@ -67,13 +67,14 @@ TEST(Characterization, ExactPowerMatchesGroundTruth) {
   o.exact_power = true;
   const auto ch = characterize(m, workload::make_sp(InputClass::kW), o);
   for (std::size_t fi = 0; fi < m.node.dvfs.frequencies_hz.size(); ++fi) {
-    const double f = m.node.dvfs.frequencies_hz[fi];
-    EXPECT_NEAR(ch.power.core_active_w[fi],
-                m.node.power.core.active_at(f, m.node.dvfs), 1e-9);
-    EXPECT_NEAR(ch.power.core_stall_w[fi],
-                m.node.power.core.stall_at(f, m.node.dvfs), 1e-9);
+    const q::Hertz f = m.node.dvfs.frequencies_hz[fi];
+    EXPECT_NEAR(ch.power.core_active_w[fi].value(),
+                m.node.power.core.active_at(f, m.node.dvfs).value(), 1e-9);
+    EXPECT_NEAR(ch.power.core_stall_w[fi].value(),
+                m.node.power.core.stall_at(f, m.node.dvfs).value(), 1e-9);
   }
-  EXPECT_NEAR(ch.power.sys_idle_w, m.node.power.sys_idle_w, 1e-9);
+  EXPECT_NEAR(ch.power.sys_idle_w.value(), m.node.power.sys_idle_w.value(),
+              1e-9);
 }
 
 TEST(Characterization, NoisyPowerIsCloseToGroundTruth) {
@@ -82,13 +83,15 @@ TEST(Characterization, NoisyPowerIsCloseToGroundTruth) {
   const auto m = hw::arm_cluster();
   const auto ch =
       characterize(m, workload::make_sp(InputClass::kW), fast_options());
-  const double sigma = m.node.power.meter_offset_sigma_w;
+  const double sigma = m.node.power.meter_offset_sigma_w.value();
   for (std::size_t fi = 0; fi < m.node.dvfs.frequencies_hz.size(); ++fi) {
-    const double f = m.node.dvfs.frequencies_hz[fi];
-    EXPECT_NEAR(ch.power.core_active_w[fi],
-                m.node.power.core.active_at(f, m.node.dvfs), sigma / 2.0);
-    EXPECT_NEAR(ch.power.core_stall_w[fi],
-                m.node.power.core.stall_at(f, m.node.dvfs), sigma / 2.0);
+    const q::Hertz f = m.node.dvfs.frequencies_hz[fi];
+    EXPECT_NEAR(ch.power.core_active_w[fi].value(),
+                m.node.power.core.active_at(f, m.node.dvfs).value(),
+                sigma / 2.0);
+    EXPECT_NEAR(ch.power.core_stall_w[fi].value(),
+                m.node.power.core.stall_at(f, m.node.dvfs).value(),
+                sigma / 2.0);
   }
 }
 
@@ -99,7 +102,7 @@ TEST(Characterization, MemStallsGrowWithCores) {
   const auto m = hw::arm_cluster();
   const auto ch =
       characterize(m, workload::make_lb(InputClass::kW), fast_options());
-  const double f = m.node.dvfs.f_max();
+  const q::Hertz f = m.node.dvfs.f_max();
   const auto& one = ch.at(1, f);
   const auto& four = ch.at(4, f);
   EXPECT_GT(four.mem_stalls / four.instructions,
@@ -111,7 +114,7 @@ TEST(Characterization, MessageSoftwareExtractedFromNetPipe) {
   const auto ch =
       characterize(m, workload::make_bt(InputClass::kW), fast_options());
   const double true_sw = m.node.isa.message_software_cycles / 1.8e9;
-  EXPECT_NEAR(ch.msg_software_s_at_fmax, true_sw, 0.5 * true_sw);
+  EXPECT_NEAR(ch.msg_software_s_at_fmax.value(), true_sw, 0.5 * true_sw);
 }
 
 TEST(Characterization, CommProfileAndPatternRecorded) {
@@ -120,7 +123,7 @@ TEST(Characterization, CommProfileAndPatternRecorded) {
       characterize(m, workload::make_cp(InputClass::kW), fast_options());
   EXPECT_EQ(ch.pattern, workload::CommPattern::kAllToAll);
   EXPECT_GT(ch.comm.eta, 0.0);
-  EXPECT_GT(ch.comm.nu, 0.0);
+  EXPECT_GT(ch.comm.nu.value(), 0.0);
   EXPECT_EQ(ch.comm.n_probe, 2);
 }
 

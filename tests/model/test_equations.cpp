@@ -13,20 +13,24 @@ namespace {
 
 TEST(Eq2TCpu, HandComputedValue) {
   // 1.2e12 total cycles on 4 nodes x 2 cores at 1.5 GHz: 100 s.
-  EXPECT_NEAR(t_cpu_s(1.0e12, 0.2e12, 4, 2, 1.5e9), 100.0, 1e-9);
+  EXPECT_NEAR(t_cpu_s(1.0e12, 0.2e12, 4, 2, q::Hertz{1.5e9}).value(), 100.0,
+              1e-9);
 }
 
 TEST(Eq2TCpu, PerfectScalingInEachVariable) {
-  const double base = t_cpu_s(1e12, 0.0, 1, 1, 1e9);
-  EXPECT_NEAR(t_cpu_s(1e12, 0.0, 2, 1, 1e9), base / 2.0, 1e-12);
-  EXPECT_NEAR(t_cpu_s(1e12, 0.0, 1, 4, 1e9), base / 4.0, 1e-12);
-  EXPECT_NEAR(t_cpu_s(1e12, 0.0, 1, 1, 2e9), base / 2.0, 1e-12);
+  const q::Seconds base = t_cpu_s(1e12, 0.0, 1, 1, q::Hertz{1e9});
+  EXPECT_NEAR(t_cpu_s(1e12, 0.0, 2, 1, q::Hertz{1e9}).value(),
+              base.value() / 2.0, 1e-12);
+  EXPECT_NEAR(t_cpu_s(1e12, 0.0, 1, 4, q::Hertz{1e9}).value(),
+              base.value() / 4.0, 1e-12);
+  EXPECT_NEAR(t_cpu_s(1e12, 0.0, 1, 1, q::Hertz{2e9}).value(),
+              base.value() / 2.0, 1e-12);
 }
 
 TEST(Eq2TCpu, RejectsBadInputs) {
-  EXPECT_THROW(t_cpu_s(-1.0, 0.0, 1, 1, 1e9), std::invalid_argument);
-  EXPECT_THROW(t_cpu_s(1.0, 0.0, 0, 1, 1e9), std::invalid_argument);
-  EXPECT_THROW(t_cpu_s(1.0, 0.0, 1, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(t_cpu_s(-1.0, 0.0, 1, 1, q::Hertz{1e9}), std::invalid_argument);
+  EXPECT_THROW(t_cpu_s(1.0, 0.0, 0, 1, q::Hertz{1e9}), std::invalid_argument);
+  EXPECT_THROW(t_cpu_s(1.0, 0.0, 1, 1, q::Hertz{}), std::invalid_argument);
 }
 
 TEST(Eq4Sigma, IterationAndCellRatios) {
@@ -38,27 +42,41 @@ TEST(Eq4Sigma, IterationAndCellRatios) {
 }
 
 TEST(Eq7TMem, MatchesDivision) {
-  EXPECT_NEAR(t_mem_s(3.6e11, 2, 3, 2e9), 30.0, 1e-9);
-  EXPECT_THROW(t_mem_s(-1.0, 1, 1, 1e9), std::invalid_argument);
+  EXPECT_NEAR(t_mem_s(3.6e11, 2, 3, q::Hertz{2e9}).value(), 30.0, 1e-9);
+  EXPECT_THROW(t_mem_s(-1.0, 1, 1, q::Hertz{1e9}), std::invalid_argument);
 }
 
 TEST(Eq6Serve, TakesTheMaxOfCpuAndWireSides) {
   // CPU side dominates: (1 - 0.5) * 10 = 5 > 1 * 1e6/1e9 ~ 0.001.
-  EXPECT_NEAR(t_serve_net_it_s(0.5, 10.0, 1.0, 1e6, 1e9, 0.0), 5.0, 1e-9);
+  EXPECT_NEAR(t_serve_net_it_s(0.5, q::Seconds{10.0}, 1.0, q::Bytes{1e6},
+                               q::BytesPerSec{1e9}, q::Seconds{})
+                  .value(),
+              5.0, 1e-9);
   // Wire side dominates: eta*nu/B = 10 * 1e7 / 1e8 = 1 > 0.01.
-  EXPECT_NEAR(t_serve_net_it_s(0.999, 10.0, 10.0, 1e7, 1e8, 0.0), 1.0,
-              1e-9);
+  EXPECT_NEAR(t_serve_net_it_s(0.999, q::Seconds{10.0}, 10.0, q::Bytes{1e7},
+                               q::BytesPerSec{1e8}, q::Seconds{})
+                  .value(),
+              1.0, 1e-9);
 }
 
 TEST(Eq6Serve, AddsPerMessageSoftware) {
-  const double base = t_serve_net_it_s(1.0, 0.0, 4.0, 0.0, 1e9, 0.0);
-  const double with_sw = t_serve_net_it_s(1.0, 0.0, 4.0, 0.0, 1e9, 1e-3);
-  EXPECT_NEAR(with_sw - base, 5.0e-3, 1e-12);  // (eta + 1) * sw
+  const q::Seconds base = t_serve_net_it_s(
+      1.0, q::Seconds{}, 4.0, q::Bytes{}, q::BytesPerSec{1e9}, q::Seconds{});
+  const q::Seconds with_sw =
+      t_serve_net_it_s(1.0, q::Seconds{}, 4.0, q::Bytes{},
+                       q::BytesPerSec{1e9}, q::Seconds{1e-3});
+  EXPECT_NEAR((with_sw - base).value(), 5.0e-3, 1e-12);  // (eta + 1) * sw
 }
 
 TEST(Eq5Wait, SingleNodeOrNoMessagesIsZero) {
-  EXPECT_DOUBLE_EQ(t_wait_net_it_s(1, 5.0, 1.0, 1e-3, 1e-6), 0.0);
-  EXPECT_DOUBLE_EQ(t_wait_net_it_s(8, 0.0, 1.0, 1e-3, 1e-6), 0.0);
+  EXPECT_DOUBLE_EQ(t_wait_net_it_s(1, 5.0, q::Seconds{1.0}, q::Seconds{1e-3},
+                                   q::SecondsSq{1e-6})
+                       .value(),
+                   0.0);
+  EXPECT_DOUBLE_EQ(t_wait_net_it_s(8, 0.0, q::Seconds{1.0}, q::Seconds{1e-3},
+                                   q::SecondsSq{1e-6})
+                       .value(),
+                   0.0);
 }
 
 TEST(Eq5Wait, SolvesTheClosedSystemFixedPoint) {
@@ -66,26 +84,27 @@ TEST(Eq5Wait, SolvesTheClosedSystemFixedPoint) {
   // M/G/1 wait consistent with the solution.
   const int n = 8;
   const double eta = 12.0;
-  const double y = 0.91e-3;
-  const double y2 = y * y * 1.04;
-  const double serve = 11.3e-3;
-  const double wait = t_wait_net_it_s(n, eta, serve, y, y2);
-  EXPECT_GT(wait, 0.0);
-  const double t_comm = serve + wait;
-  const double lambda = n * eta / t_comm;
-  const double w_msg = sim::queueing::mg1_mean_wait(lambda, y, y2);
-  EXPECT_NEAR(eta * w_msg, wait, 1e-6 * wait + 1e-12);
+  const q::Seconds y{0.91e-3};
+  const q::SecondsSq y2 = y * y * 1.04;
+  const q::Seconds serve{11.3e-3};
+  const q::Seconds wait = t_wait_net_it_s(n, eta, serve, y, y2);
+  EXPECT_GT(wait.value(), 0.0);
+  const q::Seconds t_comm = serve + wait;
+  const q::Hertz lambda = n * eta / t_comm;
+  const q::Seconds w_msg = sim::queueing::mg1_mean_wait(lambda, y, y2);
+  EXPECT_NEAR((eta * w_msg).value(), wait.value(),
+              1e-6 * wait.value() + 1e-12);
   // Stability: the window exceeds the full-serialization floor.
   EXPECT_GT(t_comm, n * eta * y);
 }
 
 TEST(Eq5Wait, GrowsWithNodeCount) {
-  const double y = 1e-3;
-  const double y2 = y * y;
-  const double serve = 5e-3;
-  double prev = 0.0;
+  const q::Seconds y{1e-3};
+  const q::SecondsSq y2 = y * y;
+  const q::Seconds serve{5e-3};
+  q::Seconds prev{};
   for (int n = 2; n <= 64; n *= 2) {
-    const double w = t_wait_net_it_s(n, 6.0, serve, y, y2);
+    const q::Seconds w = t_wait_net_it_s(n, 6.0, serve, y, y2);
     EXPECT_GT(w, prev);
     prev = w;
   }
@@ -93,17 +112,23 @@ TEST(Eq5Wait, GrowsWithNodeCount) {
 
 TEST(Eq9To12Energy, HandComputedValues) {
   // Eq. 9: (5 W * 10 s + 2 W * 4 s) * 3 cores * 2 nodes = 348 J.
-  EXPECT_NEAR(e_cpu_j(5.0, 2.0, 10.0, 4.0, 2, 3), 348.0, 1e-9);
-  EXPECT_NEAR(e_mem_j(8.0, 4.0, 2), 64.0, 1e-12);
-  EXPECT_NEAR(e_net_j(3.0, 2.0, 4), 24.0, 1e-12);
-  EXPECT_NEAR(e_idle_j(55.0, 100.0, 8), 44000.0, 1e-9);
-  EXPECT_THROW(e_cpu_j(-1.0, 0.0, 1.0, 1.0, 1, 1), std::invalid_argument);
+  EXPECT_NEAR(e_cpu_j(q::Watts{5.0}, q::Watts{2.0}, q::Seconds{10.0},
+                      q::Seconds{4.0}, 2, 3)
+                  .value(),
+              348.0, 1e-9);
+  EXPECT_NEAR(e_mem_j(q::Watts{8.0}, q::Seconds{4.0}, 2).value(), 64.0, 1e-12);
+  EXPECT_NEAR(e_net_j(q::Watts{3.0}, q::Seconds{2.0}, 4).value(), 24.0, 1e-12);
+  EXPECT_NEAR(e_idle_j(q::Watts{55.0}, q::Seconds{100.0}, 8).value(), 44000.0,
+              1e-9);
+  EXPECT_THROW(e_cpu_j(q::Watts{-1.0}, q::Watts{}, q::Seconds{1.0},
+                       q::Seconds{1.0}, 1, 1),
+               std::invalid_argument);
 }
 
 TEST(Eq13Ucr, RatioAndGuards) {
-  EXPECT_DOUBLE_EQ(ucr(2.0, 8.0), 0.25);
-  EXPECT_DOUBLE_EQ(ucr(8.0, 8.0), 1.0);
-  EXPECT_THROW(ucr(1.0, 0.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(ucr(q::Seconds{2.0}, q::Seconds{8.0}), 0.25);
+  EXPECT_DOUBLE_EQ(ucr(q::Seconds{8.0}, q::Seconds{8.0}), 1.0);
+  EXPECT_THROW(ucr(q::Seconds{1.0}, q::Seconds{}), std::invalid_argument);
 }
 
 }  // namespace

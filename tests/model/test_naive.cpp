@@ -21,28 +21,28 @@ using workload::InputClass;
 TEST(Naive, ProducesFinitePositivePredictions) {
   const auto m = hw::xeon_cluster();
   const auto p = workload::make_sp(InputClass::kA);
-  const auto pred = naive_predict(m, p, {4, 8, 1.8e9});
-  EXPECT_GT(pred.time_s, 0.0);
-  EXPECT_GT(pred.energy_j, 0.0);
+  const auto pred = naive_predict(m, p, {4, 8, q::Hertz{1.8e9}});
+  EXPECT_GT(pred.time_s.value(), 0.0);
+  EXPECT_GT(pred.energy_j.value(), 0.0);
   EXPECT_GT(pred.ucr, 0.0);
   EXPECT_LE(pred.ucr, 1.0);
-  EXPECT_THROW(naive_predict(m, p, {1, 99, 1.8e9}), std::invalid_argument);
+  EXPECT_THROW(naive_predict(m, p, {1, 99, q::Hertz{1.8e9}}), std::invalid_argument);
 }
 
 TEST(Naive, SingleNodeHasNoNetworkTerm) {
   const auto m = hw::xeon_cluster();
   const auto p = workload::make_cp(InputClass::kA);
-  const auto pred = naive_predict(m, p, {1, 8, 1.8e9});
-  EXPECT_EQ(pred.t_s_net_s, 0.0);
-  EXPECT_EQ(pred.t_w_net_s, 0.0);
+  const auto pred = naive_predict(m, p, {1, 8, q::Hertz{1.8e9}});
+  EXPECT_EQ(pred.t_s_net_s.value(), 0.0);
+  EXPECT_EQ(pred.t_w_net_s.value(), 0.0);
 }
 
 TEST(Naive, NeverModelsQueueing) {
   // The defining omission: no waiting terms anywhere.
   const auto m = hw::arm_cluster();
   const auto p = workload::make_lb(InputClass::kA);
-  const auto pred = naive_predict(m, p, {8, 4, 1.4e9});
-  EXPECT_EQ(pred.t_w_net_s, 0.0);
+  const auto pred = naive_predict(m, p, {8, 4, q::Hertz{1.4e9}});
+  EXPECT_EQ(pred.t_w_net_s.value(), 0.0);
 }
 
 TEST(Naive, MeasurementDrivenModelIsMoreAccurate) {
@@ -60,13 +60,16 @@ TEST(Naive, MeasurementDrivenModelIsMoreAccurate) {
   util::Summary model_err, naive_err;
   trace::SimOptions sim_opt;
   for (const hw::ClusterConfig cfg :
-       {hw::ClusterConfig{1, 8, 1.8e9}, hw::ClusterConfig{4, 8, 1.8e9},
-        hw::ClusterConfig{8, 8, 1.8e9}, hw::ClusterConfig{1, 1, 1.2e9}}) {
+       {hw::ClusterConfig{1, 8, q::Hertz{1.8e9}},
+        hw::ClusterConfig{4, 8, q::Hertz{1.8e9}},
+        hw::ClusterConfig{8, 8, q::Hertz{1.8e9}},
+        hw::ClusterConfig{1, 1, q::Hertz{1.2e9}}}) {
     const auto meas = trace::simulate(m, program, cfg, sim_opt);
     model_err.add(util::absolute_percentage_error(
-        predict(ch, target, cfg).time_s, meas.time_s));
+        predict(ch, target, cfg).time_s.value(), meas.time_s.value()));
     naive_err.add(util::absolute_percentage_error(
-        naive_predict(m, program, cfg).time_s, meas.time_s));
+        naive_predict(m, program, cfg).time_s.value(),
+        meas.time_s.value()));
   }
   EXPECT_LT(model_err.mean() * 2.0, naive_err.mean())
       << "model " << model_err.mean() << "% vs naive " << naive_err.mean()

@@ -48,42 +48,43 @@ TEST(Predictor, TargetOfReadsPublicMetadata) {
 TEST(Predictor, TcpuScalesInverselyWithNodesCoresFrequency) {
   const auto& ch = xeon_sp_ch();
   const TargetInfo t = sp_target();
-  const Prediction base = predict(ch, t, {1, 4, 1.2e9});
-  const Prediction more_nodes = predict(ch, t, {4, 4, 1.2e9});
+  const Prediction base = predict(ch, t, {1, 4, q::Hertz{1.2e9}});
+  const Prediction more_nodes = predict(ch, t, {4, 4, q::Hertz{1.2e9}});
   EXPECT_NEAR(base.t_cpu_s / more_nodes.t_cpu_s, 4.0, 0.01);
-  const Prediction faster = predict(ch, t, {1, 4, 1.8e9});
+  const Prediction faster = predict(ch, t, {1, 4, q::Hertz{1.8e9}});
   // Same (c, f-indexed) baseline cell is not reused across f, so the
   // ratio is close to but not exactly 1.5 (counters differ slightly).
   EXPECT_NEAR(base.t_cpu_s / faster.t_cpu_s, 1.5, 0.1);
 }
 
 TEST(Predictor, SingleNodeHasNoNetworkTerms) {
-  const Prediction p = predict(xeon_sp_ch(), sp_target(), {1, 8, 1.8e9});
-  EXPECT_EQ(p.t_w_net_s, 0.0);
-  EXPECT_EQ(p.t_s_net_s, 0.0);
+  const Prediction p = predict(xeon_sp_ch(), sp_target(), {1, 8, q::Hertz{1.8e9}});
+  EXPECT_EQ(p.t_w_net_s.value(), 0.0);
+  EXPECT_EQ(p.t_s_net_s.value(), 0.0);
 }
 
 TEST(Predictor, MultiNodeHasNetworkTerms) {
-  const Prediction p = predict(xeon_sp_ch(), sp_target(), {8, 8, 1.8e9});
-  EXPECT_GT(p.t_s_net_s, 0.0);
-  EXPECT_GT(p.t_w_net_s, 0.0);
+  const Prediction p = predict(xeon_sp_ch(), sp_target(), {8, 8, q::Hertz{1.8e9}});
+  EXPECT_GT(p.t_s_net_s.value(), 0.0);
+  EXPECT_GT(p.t_w_net_s.value(), 0.0);
 }
 
 TEST(Predictor, TimeIsSumOfComponents) {
-  const Prediction p = predict(xeon_sp_ch(), sp_target(), {4, 4, 1.5e9});
-  EXPECT_NEAR(p.time_s, p.t_cpu_s + p.t_mem_s + p.t_w_net_s + p.t_s_net_s,
+  const Prediction p = predict(xeon_sp_ch(), sp_target(), {4, 4, q::Hertz{1.5e9}});
+  EXPECT_NEAR(p.time_s.value(),
+              (p.t_cpu_s + p.t_mem_s + p.t_w_net_s + p.t_s_net_s).value(),
               1e-9);
 }
 
 TEST(Predictor, EnergyIsSumOfParts) {
-  const Prediction p = predict(xeon_sp_ch(), sp_target(), {4, 4, 1.5e9});
-  EXPECT_NEAR(p.energy_j, p.energy_parts.total(), 1e-9);
-  EXPECT_GT(p.energy_parts.idle_j, 0.0);
-  EXPECT_GT(p.energy_parts.cpu_active_j, 0.0);
+  const Prediction p = predict(xeon_sp_ch(), sp_target(), {4, 4, q::Hertz{1.5e9}});
+  EXPECT_NEAR(p.energy_j.value(), p.energy_parts.total().value(), 1e-9);
+  EXPECT_GT(p.energy_parts.idle_j.value(), 0.0);
+  EXPECT_GT(p.energy_parts.cpu_active_j.value(), 0.0);
 }
 
 TEST(Predictor, UcrIsTcpuOverT) {
-  const Prediction p = predict(xeon_sp_ch(), sp_target(), {2, 8, 1.8e9});
+  const Prediction p = predict(xeon_sp_ch(), sp_target(), {2, 8, q::Hertz{1.8e9}});
   EXPECT_NEAR(p.ucr, p.t_cpu_s / p.time_s, 1e-12);
   EXPECT_GT(p.ucr, 0.0);
   EXPECT_LE(p.ucr, 1.0);
@@ -93,30 +94,30 @@ TEST(Predictor, UcrPeaksAtSingleCoreLowestFrequency) {
   // §V-B: the UCR upper bound of a program is at (1, 1, f_min).
   const auto& ch = xeon_sp_ch();
   const TargetInfo t = sp_target();
-  const double best = predict(ch, t, {1, 1, 1.2e9}).ucr;
+  const double best = predict(ch, t, {1, 1, q::Hertz{1.2e9}}).ucr;
   for (const ClusterConfig cfg :
-       {ClusterConfig{1, 8, 1.2e9}, ClusterConfig{1, 1, 1.8e9},
-        ClusterConfig{8, 8, 1.8e9}, ClusterConfig{4, 2, 1.5e9}}) {
+       {ClusterConfig{1, 8, q::Hertz{1.2e9}}, ClusterConfig{1, 1, q::Hertz{1.8e9}},
+        ClusterConfig{8, 8, q::Hertz{1.8e9}}, ClusterConfig{4, 2, q::Hertz{1.5e9}}}) {
     EXPECT_GE(best, predict(ch, t, cfg).ucr);
   }
 }
 
 TEST(Predictor, RejectsOutOfRangeConfigsAndTargets) {
   const auto& ch = xeon_sp_ch();
-  EXPECT_THROW(predict(ch, sp_target(), {1, 99, 1.2e9}),
+  EXPECT_THROW(predict(ch, sp_target(), {1, 99, q::Hertz{1.2e9}}),
                std::invalid_argument);
-  EXPECT_THROW(predict(ch, sp_target(), {1, 1, 9.9e9}),
+  EXPECT_THROW(predict(ch, sp_target(), {1, 1, q::Hertz{9.9e9}}),
                std::invalid_argument);
   TargetInfo bad = sp_target();
   bad.iterations = 0;
-  EXPECT_THROW(predict(ch, bad, {1, 1, 1.2e9}), std::invalid_argument);
+  EXPECT_THROW(predict(ch, bad, {1, 1, q::Hertz{1.2e9}}), std::invalid_argument);
 }
 
 TEST(Predictor, ModelSpaceConfigsBeyondPhysicalNodesWork) {
   // The model explores n = 256 even though only 8 nodes exist (Fig. 8).
-  const Prediction p = predict(xeon_sp_ch(), sp_target(), {256, 8, 1.8e9});
-  EXPECT_GT(p.time_s, 0.0);
-  EXPECT_GT(p.energy_j, 0.0);
+  const Prediction p = predict(xeon_sp_ch(), sp_target(), {256, 8, q::Hertz{1.8e9}});
+  EXPECT_GT(p.time_s.value(), 0.0);
+  EXPECT_GT(p.energy_j.value(), 0.0);
   EXPECT_LT(p.ucr, 0.3);  // heavily contention-bound, per the paper
 }
 
@@ -125,9 +126,9 @@ TEST(Predictor, InputScalingFollowsProblemSize) {
   // iteration ratio on a fixed configuration.
   const auto& ch = xeon_sp_ch();
   const Prediction a =
-      predict(ch, target_of(workload::make_sp(InputClass::kA)), {1, 4, 1.8e9});
+      predict(ch, target_of(workload::make_sp(InputClass::kA)), {1, 4, q::Hertz{1.8e9}});
   const Prediction b =
-      predict(ch, target_of(workload::make_sp(InputClass::kB)), {1, 4, 1.8e9});
+      predict(ch, target_of(workload::make_sp(InputClass::kB)), {1, 4, q::Hertz{1.8e9}});
   const double cells_a = 64.0 * 64.0 * 64.0 * 60.0;
   const double cells_b = 102.0 * 102.0 * 102.0 * 80.0;
   EXPECT_NEAR(b.t_cpu_s / a.t_cpu_s, cells_b / cells_a, 1e-6);
@@ -174,17 +175,18 @@ TEST_P(ModelAccuracyTest, TracksMeasurementWithinBounds) {
   util::Summary time_err, energy_err;
   trace::SimOptions sim_opt;
   sim_opt.chunks_per_iteration = 8;
-  const double f_hi = m.node.dvfs.f_max();
-  const double f_lo = m.node.dvfs.f_min();
+  const q::Hertz f_hi = m.node.dvfs.f_max();
+  const q::Hertz f_lo = m.node.dvfs.f_min();
   for (const ClusterConfig cfg :
        {ClusterConfig{1, 1, f_lo}, ClusterConfig{2, m.node.cores, f_hi},
         ClusterConfig{4, 2, f_hi}, ClusterConfig{8, m.node.cores, f_hi},
         ClusterConfig{8, 1, f_lo}}) {
     const trace::Measurement meas = trace::simulate(m, program, cfg, sim_opt);
     const Prediction pred = predict(ch, t, cfg);
-    time_err.add(util::absolute_percentage_error(pred.time_s, meas.time_s));
-    energy_err.add(util::absolute_percentage_error(pred.energy_j,
-                                                   meas.energy.total()));
+    time_err.add(util::absolute_percentage_error(pred.time_s.value(),
+                                                 meas.time_s.value()));
+    energy_err.add(util::absolute_percentage_error(
+        pred.energy_j.value(), meas.energy.total().value()));
   }
   EXPECT_LT(time_err.mean(), 15.0) << "program " << pc.program;
   EXPECT_LT(energy_err.mean(), 15.0) << "program " << pc.program;

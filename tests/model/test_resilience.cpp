@@ -18,31 +18,37 @@ hw::PowerSpec test_power() { return hw::xeon_cluster().node.power; }
 
 trace::EnergyBreakdown test_energy(double time_s) {
   trace::EnergyBreakdown e;
-  e.cpu_active_j = 100.0 * time_s;  // 100 W dynamic
-  e.cpu_stall_j = 20.0 * time_s;
-  e.idle_j = 50.0 * time_s;
+  e.cpu_active_j = q::Joules{100.0 * time_s};  // 100 W dynamic
+  e.cpu_stall_j = q::Joules{20.0 * time_s};
+  e.idle_j = q::Joules{50.0 * time_s};
   return e;
 }
 
 TEST(Resilience, YoungDalyIntervalMatchesClosedForm) {
   // tau* = sqrt(2 delta M), M = theta / n.
-  EXPECT_DOUBLE_EQ(young_daly_interval_s(1.0, 86400.0, 1),
-                   std::sqrt(2.0 * 86400.0));
-  EXPECT_DOUBLE_EQ(young_daly_interval_s(4.0, 86400.0, 16),
-                   std::sqrt(2.0 * 4.0 * 86400.0 / 16.0));
-  EXPECT_THROW(young_daly_interval_s(0.0, 86400.0, 1), std::invalid_argument);
-  EXPECT_THROW(young_daly_interval_s(1.0, 0.0, 1), std::invalid_argument);
-  EXPECT_THROW(young_daly_interval_s(1.0, 86400.0, 0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(
+      young_daly_interval_s(q::Seconds{1.0}, q::Seconds{86400.0}, 1).value(),
+      std::sqrt(2.0 * 86400.0));
+  EXPECT_DOUBLE_EQ(
+      young_daly_interval_s(q::Seconds{4.0}, q::Seconds{86400.0}, 16).value(),
+      std::sqrt(2.0 * 4.0 * 86400.0 / 16.0));
+  EXPECT_THROW(young_daly_interval_s(q::Seconds{}, q::Seconds{86400.0}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(young_daly_interval_s(q::Seconds{1.0}, q::Seconds{}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(young_daly_interval_s(q::Seconds{1.0}, q::Seconds{86400.0}, 0),
+               std::invalid_argument);
 }
 
 TEST(Resilience, DisabledSpecIsZeroOverhead) {
   ResilienceSpec off;  // node_mtbf_s == 0
   EXPECT_FALSE(off.enabled());
   const auto oh =
-      expected_fault_overhead(100.0, 4, test_energy(100.0), test_power(), off);
+      expected_fault_overhead(q::Seconds{100.0}, 4, test_energy(100.0),
+                              test_power(), off);
   ASSERT_TRUE(oh.has_value());
-  EXPECT_EQ(oh->t_fault_s, 0.0);
-  EXPECT_EQ(oh->e_fault_j, 0.0);
+  EXPECT_EQ(oh->t_fault_s.value(), 0.0);
+  EXPECT_EQ(oh->e_fault_j.value(), 0.0);
   EXPECT_EQ(oh->expected_failures, 0.0);
 }
 
@@ -55,15 +61,16 @@ TEST(Resilience, ExpectedTimeMatchesFirstOrderFormula) {
   const double T = 500.0;
   const int n = 4;
   const auto oh =
-      expected_fault_overhead(T, n, test_energy(T), test_power(), spec);
+      expected_fault_overhead(q::Seconds{T}, n, test_energy(T),
+                              test_power(), spec);
   ASSERT_TRUE(oh.has_value());
 
   const double M = 3600.0 / n;
   const double waste = 10.0 + (60.0 + 2.0) / 2.0;
   const double expected = T * (1.0 + 2.0 / 60.0) / (1.0 - waste / M);
-  EXPECT_DOUBLE_EQ(oh->interval_s, 60.0);
-  EXPECT_DOUBLE_EQ(oh->expected_time_s, expected);
-  EXPECT_DOUBLE_EQ(oh->t_fault_s, expected - T);
+  EXPECT_DOUBLE_EQ(oh->interval_s.value(), 60.0);
+  EXPECT_DOUBLE_EQ(oh->expected_time_s.value(), expected);
+  EXPECT_DOUBLE_EQ(oh->t_fault_s.value(), expected - T);
   EXPECT_DOUBLE_EQ(oh->expected_failures, expected / M);
 }
 
@@ -74,10 +81,11 @@ TEST(Resilience, OverheadGrowsWithFailureRate) {
     ResilienceSpec spec;
     spec.node_mtbf_s = mtbf;
     const auto oh =
-        expected_fault_overhead(T, 8, test_energy(T), test_power(), spec);
+        expected_fault_overhead(q::Seconds{T}, 8, test_energy(T),
+                                test_power(), spec);
     ASSERT_TRUE(oh.has_value()) << "mtbf=" << mtbf;
-    EXPECT_GT(oh->t_fault_s, prev) << "mtbf=" << mtbf;
-    prev = oh->t_fault_s;
+    EXPECT_GT(oh->t_fault_s.value(), prev) << "mtbf=" << mtbf;
+    prev = oh->t_fault_s.value();
   }
 }
 
@@ -86,7 +94,8 @@ TEST(Resilience, InfeasibleFailureRateReturnsNullopt) {
   spec.node_mtbf_s = 30.0;  // cluster MTBF 30/8 < restart + tau/2
   spec.restart_s = 5.0;
   const auto oh =
-      expected_fault_overhead(100.0, 8, test_energy(100.0), test_power(), spec);
+      expected_fault_overhead(q::Seconds{100.0}, 8, test_energy(100.0),
+                              test_power(), spec);
   EXPECT_FALSE(oh.has_value());
 }
 
@@ -96,9 +105,10 @@ TEST(Resilience, IntervalIsClampedToTheWriteCost) {
   spec.checkpoint_write_s = 5.0;
   spec.checkpoint_interval_s = 1.0;  // below the write cost
   const auto oh =
-      expected_fault_overhead(100.0, 2, test_energy(100.0), test_power(), spec);
+      expected_fault_overhead(q::Seconds{100.0}, 2, test_energy(100.0),
+                              test_power(), spec);
   ASSERT_TRUE(oh.has_value());
-  EXPECT_DOUBLE_EQ(oh->interval_s, 5.0);
+  EXPECT_DOUBLE_EQ(oh->interval_s.value(), 5.0);
 }
 
 TEST(Resilience, SpecValidationRejectsBadInputs) {
@@ -116,9 +126,9 @@ TEST(Resilience, SpecValidationRejectsBadInputs) {
 
 TEST(Resilience, ApplyResilienceFoldsOverheadIntoPrediction) {
   Prediction p;
-  p.config = {4, 8, 1.8e9};
-  p.time_s = 500.0;
-  p.t_cpu_s = 400.0;
+  p.config = {4, 8, q::Hertz{1.8e9}};
+  p.time_s = q::Seconds{500.0};
+  p.t_cpu_s = q::Seconds{400.0};
   p.energy_parts = test_energy(500.0);
   p.energy_j = p.energy_parts.total();
   p.ucr = p.t_cpu_s / p.time_s;
@@ -135,11 +145,11 @@ TEST(Resilience, ApplyResilienceFoldsOverheadIntoPrediction) {
   ASSERT_TRUE(folded.has_value());
   EXPECT_GT(folded->time_s, p.time_s);
   EXPECT_GT(folded->energy_j, p.energy_j);
-  EXPECT_GT(folded->energy_parts.fault_j, 0.0);
+  EXPECT_GT(folded->energy_parts.fault_j.value(), 0.0);
   EXPECT_LT(folded->ucr, p.ucr);  // same useful work over a longer run
   // Energy bookkeeping stays consistent: parts sum to the total.
-  EXPECT_NEAR(folded->energy_parts.total(), folded->energy_j,
-              1e-9 * folded->energy_j);
+  EXPECT_NEAR(folded->energy_parts.total().value(), folded->energy_j.value(),
+              1e-9 * folded->energy_j.value());
 }
 
 }  // namespace

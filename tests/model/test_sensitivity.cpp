@@ -35,14 +35,14 @@ TEST(Sensitivity, PerturbationScalesTheRightThing) {
   EXPECT_DOUBLE_EQ(up.baseline[0][0].work_cycles,
                    ch().baseline[0][0].work_cycles);  // untouched
   const auto net = perturbed(ch(), Input::kNetBandwidth, 0.5);
-  EXPECT_DOUBLE_EQ(net.network.achievable_bps,
-                   0.5 * ch().network.achievable_bps);
+  EXPECT_DOUBLE_EQ(net.network.achievable_bps.value(),
+                   0.5 * ch().network.achievable_bps.value());
   EXPECT_THROW(perturbed(ch(), Input::kIdlePower, 0.0),
                std::invalid_argument);
 }
 
 TEST(Sensitivity, ElasticitiesHavePhysicalSigns) {
-  const auto rep = sensitivity(ch(), target(), {8, 8, 1.8e9});
+  const auto rep = sensitivity(ch(), target(), {8, 8, q::Hertz{1.8e9}});
   for (const auto& s : rep.inputs) {
     switch (s.input) {
       case Input::kWorkCycles:
@@ -66,7 +66,7 @@ TEST(Sensitivity, ElasticitiesHavePhysicalSigns) {
 TEST(Sensitivity, ElasticitiesSumLikeATimeBudget) {
   // T is (approximately) first-order homogeneous in (w+b, m, nu/B
   // effects): the work/mem/net elasticities of time sum to ~1.
-  const auto rep = sensitivity(ch(), target(), {4, 8, 1.8e9});
+  const auto rep = sensitivity(ch(), target(), {4, 8, q::Hertz{1.8e9}});
   double sum = 0.0;
   for (const auto& s : rep.inputs) {
     if (s.input == Input::kWorkCycles || s.input == Input::kMemStalls) {
@@ -88,8 +88,8 @@ TEST(Sensitivity, DominantInputMatchesTheBottleneck) {
   };
   // Memory-stall sensitivity grows strongly with contention: eight
   // cores at f_max versus a single slow core.
-  const auto intra = sensitivity(ch(), target(), {1, 8, 1.8e9});
-  const auto solo = sensitivity(ch(), target(), {1, 1, 1.2e9});
+  const auto intra = sensitivity(ch(), target(), {1, 8, q::Hertz{1.8e9}});
+  const auto solo = sensitivity(ch(), target(), {1, 1, q::Hertz{1.2e9}});
   EXPECT_GT(elasticity_of(intra, Input::kMemStalls),
             3.0 * elasticity_of(solo, Input::kMemStalls));
   // A single slow core is compute bound: w_s dominates outright.
@@ -100,14 +100,14 @@ TEST(Sensitivity, DominantInputMatchesTheBottleneck) {
 }
 
 TEST(Sensitivity, RejectsBadDelta) {
-  EXPECT_THROW(sensitivity(ch(), target(), {1, 1, 1.2e9}, 0.0),
+  EXPECT_THROW(sensitivity(ch(), target(), {1, 1, q::Hertz{1.2e9}}, 0.0),
                std::invalid_argument);
-  EXPECT_THROW(sensitivity(ch(), target(), {1, 1, 1.2e9}, 0.6),
+  EXPECT_THROW(sensitivity(ch(), target(), {1, 1, q::Hertz{1.2e9}}, 0.6),
                std::invalid_argument);
 }
 
 TEST(PredictionInterval, BracketsTheNominal) {
-  const auto pi = prediction_interval(ch(), target(), {4, 4, 1.5e9}, 0.10);
+  const auto pi = prediction_interval(ch(), target(), {4, 4, q::Hertz{1.5e9}}, 0.10);
   EXPECT_LE(pi.time_lo_s, pi.nominal.time_s);
   EXPECT_GE(pi.time_hi_s, pi.nominal.time_s);
   EXPECT_LE(pi.energy_lo_j, pi.nominal.energy_j);
@@ -117,11 +117,11 @@ TEST(PredictionInterval, BracketsTheNominal) {
 }
 
 TEST(PredictionInterval, WiderUncertaintyWiderInterval) {
-  const auto narrow = prediction_interval(ch(), target(), {4, 4, 1.5e9}, 0.05);
-  const auto wide = prediction_interval(ch(), target(), {4, 4, 1.5e9}, 0.20);
+  const auto narrow = prediction_interval(ch(), target(), {4, 4, q::Hertz{1.5e9}}, 0.05);
+  const auto wide = prediction_interval(ch(), target(), {4, 4, q::Hertz{1.5e9}}, 0.20);
   EXPECT_GT(wide.time_hi_s - wide.time_lo_s,
             narrow.time_hi_s - narrow.time_lo_s);
-  EXPECT_THROW(prediction_interval(ch(), target(), {1, 1, 1.2e9}, 0.0),
+  EXPECT_THROW(prediction_interval(ch(), target(), {1, 1, q::Hertz{1.2e9}}, 0.0),
                std::invalid_argument);
 }
 

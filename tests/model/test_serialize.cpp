@@ -45,9 +45,11 @@ TEST(Serialize, RoundTripPreservesEveryModelInput) {
   EXPECT_DOUBLE_EQ(loaded.baseline_cells, a.baseline_cells);
   EXPECT_EQ(loaded.pattern, a.pattern);
   EXPECT_DOUBLE_EQ(loaded.comm.eta, a.comm.eta);
-  EXPECT_DOUBLE_EQ(loaded.comm.nu, a.comm.nu);
-  EXPECT_DOUBLE_EQ(loaded.network.achievable_bps, a.network.achievable_bps);
-  EXPECT_DOUBLE_EQ(loaded.msg_software_s_at_fmax, a.msg_software_s_at_fmax);
+  EXPECT_DOUBLE_EQ(loaded.comm.nu.value(), a.comm.nu.value());
+  EXPECT_DOUBLE_EQ(loaded.network.achievable_bps.value(),
+                   a.network.achievable_bps.value());
+  EXPECT_DOUBLE_EQ(loaded.msg_software_s_at_fmax.value(),
+                   a.msg_software_s_at_fmax.value());
   EXPECT_EQ(loaded.power.core_active_w, a.power.core_active_w);
   EXPECT_EQ(loaded.power.core_stall_w, a.power.core_stall_w);
   ASSERT_EQ(loaded.baseline.size(), a.baseline.size());
@@ -70,12 +72,13 @@ TEST(Serialize, LoadedCharacterizationPredictsIdentically) {
 
   const TargetInfo t = target_of(workload::make_cp(InputClass::kA));
   for (const hw::ClusterConfig cfg :
-       {hw::ClusterConfig{1, 1, 0.2e9}, hw::ClusterConfig{8, 4, 1.4e9},
-        hw::ClusterConfig{20, 3, 0.8e9}}) {
+       {hw::ClusterConfig{1, 1, q::Hertz{0.2e9}},
+        hw::ClusterConfig{8, 4, q::Hertz{1.4e9}},
+        hw::ClusterConfig{20, 3, q::Hertz{0.8e9}}}) {
     const Prediction p1 = predict(sample_ch(), t, cfg);
     const Prediction p2 = predict(loaded, t, cfg);
-    EXPECT_DOUBLE_EQ(p1.time_s, p2.time_s);
-    EXPECT_DOUBLE_EQ(p1.energy_j, p2.energy_j);
+    EXPECT_DOUBLE_EQ(p1.time_s.value(), p2.time_s.value());
+    EXPECT_DOUBLE_EQ(p1.energy_j.value(), p2.energy_j.value());
     EXPECT_DOUBLE_EQ(p1.ucr, p2.ucr);
   }
 }

@@ -46,8 +46,9 @@ TEST(WhatIf, DoubleMemoryBandwidthHalvesStalls) {
                        base_ch().baseline[c][f].work_cycles);
     }
   }
-  EXPECT_DOUBLE_EQ(doubled.machine.node.memory.bandwidth_bytes_per_s,
-                   2.0 * base_ch().machine.node.memory.bandwidth_bytes_per_s);
+  EXPECT_DOUBLE_EQ(
+      doubled.machine.node.memory.bandwidth_bytes_per_s.value(),
+      2.0 * base_ch().machine.node.memory.bandwidth_bytes_per_s.value());
 }
 
 TEST(WhatIf, OriginalIsNeverMutated) {
@@ -62,18 +63,18 @@ TEST(WhatIf, MemoryBandwidthImprovesTimeEnergyAndUcr) {
   // The paper's §V-B example: doubling memory bandwidth on Xeon
   // (1,8,1.8) improves SP's UCR, time and energy together.
   const TargetInfo t = target_of(workload::make_sp(InputClass::kA));
-  const hw::ClusterConfig cfg{1, 8, 1.8e9};
+  const hw::ClusterConfig cfg{1, 8, q::Hertz{1.8e9}};
   const Prediction before = predict(base_ch(), t, cfg);
   const Prediction after =
       predict(with_memory_bandwidth_scaled(base_ch(), 2.0), t, cfg);
-  EXPECT_LT(after.time_s, before.time_s);
-  EXPECT_LT(after.energy_j, before.energy_j);
+  EXPECT_LT(after.time_s.value(), before.time_s.value());
+  EXPECT_LT(after.energy_j.value(), before.energy_j.value());
   EXPECT_GT(after.ucr, before.ucr);
 }
 
 TEST(WhatIf, NetworkBandwidthHelpsCommBoundConfigs) {
   const TargetInfo t = target_of(workload::make_sp(InputClass::kA));
-  const hw::ClusterConfig cfg{8, 8, 1.8e9};
+  const hw::ClusterConfig cfg{8, 8, q::Hertz{1.8e9}};
   const Prediction before = predict(base_ch(), t, cfg);
   const Prediction after =
       predict(with_network_bandwidth_scaled(base_ch(), 2.0), t, cfg);
@@ -81,24 +82,24 @@ TEST(WhatIf, NetworkBandwidthHelpsCommBoundConfigs) {
             before.t_s_net_s + before.t_w_net_s);
   EXPECT_LT(after.time_s, before.time_s);
   // Single-node configs are unaffected.
-  const hw::ClusterConfig solo{1, 4, 1.8e9};
-  EXPECT_DOUBLE_EQ(predict(base_ch(), t, solo).time_s,
+  const hw::ClusterConfig solo{1, 4, q::Hertz{1.8e9}};
+  EXPECT_DOUBLE_EQ(predict(base_ch(), t, solo).time_s.value(),
                    predict(with_network_bandwidth_scaled(base_ch(), 2.0), t,
                            solo)
-                       .time_s);
+                       .time_s.value());
 }
 
 TEST(WhatIf, IdlePowerScalesIdleEnergyOnly) {
   const TargetInfo t = target_of(workload::make_sp(InputClass::kA));
-  const hw::ClusterConfig cfg{2, 4, 1.5e9};
+  const hw::ClusterConfig cfg{2, 4, q::Hertz{1.5e9}};
   const Prediction before = predict(base_ch(), t, cfg);
   const Prediction after =
       predict(with_idle_power_scaled(base_ch(), 0.5), t, cfg);
-  EXPECT_DOUBLE_EQ(after.time_s, before.time_s);
-  EXPECT_NEAR(after.energy_parts.idle_j, before.energy_parts.idle_j / 2.0,
-              1e-9);
-  EXPECT_DOUBLE_EQ(after.energy_parts.cpu_active_j,
-                   before.energy_parts.cpu_active_j);
+  EXPECT_DOUBLE_EQ(after.time_s.value(), before.time_s.value());
+  EXPECT_NEAR(after.energy_parts.idle_j.value(),
+              before.energy_parts.idle_j.value() / 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(after.energy_parts.cpu_active_j.value(),
+                   before.energy_parts.cpu_active_j.value());
 }
 
 }  // namespace

@@ -145,7 +145,7 @@ TEST(TraceSink, EngineRunProducesWellFormedLanes) {
   const auto machine = hw::xeon_cluster();
   const auto program =
       workload::program_by_name("SP", workload::InputClass::kS);
-  const hw::ClusterConfig cfg{2, 2, 1.5e9};
+  const hw::ClusterConfig cfg{2, 2, q::Hertz{1.5e9}};
   trace::simulate(machine, program, cfg, opt);
   ASSERT_FALSE(sink.empty());
 

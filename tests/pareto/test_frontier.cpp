@@ -13,8 +13,8 @@ namespace {
 
 ConfigPoint pt(double t, double e) {
   ConfigPoint p;
-  p.time_s = t;
-  p.energy_j = e;
+  p.time_s = q::Seconds{t};
+  p.energy_j = q::Joules{e};
   return p;
 }
 
@@ -40,9 +40,9 @@ TEST(Frontier, KnownSmallCase) {
   // (1,10) (2,5) (3,7) (4,1): (3,7) is dominated by (2,5).
   const auto f = pareto_frontier({pt(3, 7), pt(1, 10), pt(4, 1), pt(2, 5)});
   ASSERT_EQ(f.size(), 3u);
-  EXPECT_EQ(f[0].time_s, 1.0);
-  EXPECT_EQ(f[1].time_s, 2.0);
-  EXPECT_EQ(f[2].time_s, 4.0);
+  EXPECT_EQ(f[0].time_s.value(), 1.0);
+  EXPECT_EQ(f[1].time_s.value(), 2.0);
+  EXPECT_EQ(f[2].time_s.value(), 4.0);
 }
 
 TEST(Frontier, DuplicatePointsKeepOneRepresentative) {
@@ -87,8 +87,9 @@ TEST_P(FrontierPropertyTest, FrontierIsExactlyTheNonDominatedSet) {
   for (const auto& f : frontier) {
     for (const auto& p : pts) {
       EXPECT_FALSE(dominates(p, f))
-          << "frontier point (" << f.time_s << "," << f.energy_j
-          << ") dominated by (" << p.time_s << "," << p.energy_j << ")";
+          << "frontier point (" << f.time_s.value() << ","
+          << f.energy_j.value() << ") dominated by (" << p.time_s.value()
+          << "," << p.energy_j.value() << ")";
     }
   }
   for (const auto& p : pts) {
@@ -109,16 +110,16 @@ TEST(KneePoint, EmptyThrows) {
 
 TEST(KneePoint, TrivialFrontiers) {
   const std::vector<ConfigPoint> one{pt(1, 1)};
-  EXPECT_EQ(knee_point(one).time_s, 1.0);
+  EXPECT_EQ(knee_point(one).time_s.value(), 1.0);
   const std::vector<ConfigPoint> two{pt(1, 10), pt(5, 2)};
-  EXPECT_EQ(knee_point(two).time_s, 1.0);
+  EXPECT_EQ(knee_point(two).time_s.value(), 1.0);
 }
 
 TEST(KneePoint, FindsTheObviousElbow) {
   // An L-shaped frontier: the corner point is the knee.
   const std::vector<ConfigPoint> frontier{
       pt(1, 100), pt(2, 50), pt(3, 10), pt(30, 9), pt(60, 8)};
-  EXPECT_EQ(knee_point(frontier).time_s, 3.0);
+  EXPECT_EQ(knee_point(frontier).time_s.value(), 3.0);
 }
 
 TEST(KneePoint, StraightLineHasNoPreference) {
@@ -138,38 +139,43 @@ TEST(KneePoint, ScaleInvariant) {
   std::vector<ConfigPoint> a{pt(1, 100), pt(2, 50), pt(3, 10), pt(30, 9),
                              pt(60, 8)};
   std::vector<ConfigPoint> b;
-  for (const auto& p : a) b.push_back(pt(p.time_s * 1e3, p.energy_j * 1e-3));
-  EXPECT_DOUBLE_EQ(knee_point(b).time_s, knee_point(a).time_s * 1e3);
+  for (const auto& p : a) {
+    b.push_back(pt(p.time_s.value() * 1e3, p.energy_j.value() * 1e-3));
+  }
+  EXPECT_DOUBLE_EQ(knee_point(b).time_s.value(),
+                   knee_point(a).time_s.value() * 1e3);
 }
 
 TEST(Queries, DeadlinePicksMinimumEnergyAmongFeasible) {
   const std::vector<ConfigPoint> pts{pt(1, 10), pt(2, 5), pt(3, 2),
                                      pt(10, 1)};
-  const auto r = min_energy_within_deadline(pts, 3.0);
+  const auto r = min_energy_within_deadline(pts, q::Seconds{3.0});
   ASSERT_TRUE(r.has_value());
-  EXPECT_EQ(r->energy_j, 2.0);
-  EXPECT_EQ(r->time_s, 3.0);
+  EXPECT_EQ(r->energy_j.value(), 2.0);
+  EXPECT_EQ(r->time_s.value(), 3.0);
 }
 
 TEST(Queries, DeadlineInfeasibleReturnsNullopt) {
-  EXPECT_FALSE(min_energy_within_deadline({pt(5, 1)}, 3.0).has_value());
+  EXPECT_FALSE(min_energy_within_deadline({pt(5, 1)}, q::Seconds{3.0}).has_value());
 }
 
 TEST(Queries, BudgetPicksMinimumTimeAmongFeasible) {
   const std::vector<ConfigPoint> pts{pt(1, 10), pt(2, 5), pt(3, 2),
                                      pt(10, 1)};
-  const auto r = min_time_within_budget(pts, 5.0);
+  const auto r = min_time_within_budget(pts, q::Joules{5.0});
   ASSERT_TRUE(r.has_value());
-  EXPECT_EQ(r->time_s, 2.0);
+  EXPECT_EQ(r->time_s.value(), 2.0);
 }
 
 TEST(Queries, BudgetInfeasibleReturnsNullopt) {
-  EXPECT_FALSE(min_time_within_budget({pt(1, 10)}, 5.0).has_value());
+  EXPECT_FALSE(min_time_within_budget({pt(1, 10)}, q::Joules{5.0}).has_value());
 }
 
 TEST(Queries, NonPositiveConstraintsThrow) {
-  EXPECT_THROW(min_energy_within_deadline({}, 0.0), std::invalid_argument);
-  EXPECT_THROW(min_time_within_budget({}, -1.0), std::invalid_argument);
+  EXPECT_THROW(min_energy_within_deadline({}, q::Seconds{}),
+               std::invalid_argument);
+  EXPECT_THROW(min_time_within_budget({}, q::Joules{-1.0}),
+               std::invalid_argument);
 }
 
 /// Property: the deadline query always returns a point on the Pareto
@@ -185,7 +191,7 @@ TEST_P(QueryConsistencyTest, AnswersLieOnTheFrontier) {
   }
   const auto frontier = pareto_frontier(pts);
   for (double deadline : {5.0, 10.0, 20.0, 39.0}) {
-    const auto r = min_energy_within_deadline(pts, deadline);
+    const auto r = min_energy_within_deadline(pts, q::Seconds{deadline});
     if (!r) continue;
     bool on_front = false;
     for (const auto& f : frontier) {

@@ -11,8 +11,8 @@ namespace {
 
 ConfigPoint pt(double t, double e) {
   ConfigPoint p;
-  p.time_s = t;
-  p.energy_j = e;
+  p.time_s = q::Seconds{t};
+  p.energy_j = q::Joules{e};
   return p;
 }
 
@@ -51,40 +51,40 @@ TEST(Hetero, EmptyCandidateListThrows) {
 TEST(Hetero, BestForDeadlinePicksAcrossMachines) {
   const std::vector<MachineCandidate> ms{fast_costly(), slow_frugal()};
   // Tight deadline: only the fast machine qualifies.
-  auto r = best_for_deadline(ms, 2.0);
+  auto r = best_for_deadline(ms, q::Seconds{2.0});
   ASSERT_TRUE(r.has_value());
   EXPECT_EQ(r->machine, "fast");
-  EXPECT_EQ(r->point.energy_j, 15.0);
+  EXPECT_EQ(r->point.energy_j.value(), 15.0);
   // Relaxed deadline: the frugal machine wins on energy.
-  r = best_for_deadline(ms, 40.0);
+  r = best_for_deadline(ms, q::Seconds{40.0});
   ASSERT_TRUE(r.has_value());
   EXPECT_EQ(r->machine, "frugal");
-  EXPECT_EQ(r->point.energy_j, 3.0);
+  EXPECT_EQ(r->point.energy_j.value(), 3.0);
   // Impossible deadline.
-  EXPECT_FALSE(best_for_deadline(ms, 0.5).has_value());
-  EXPECT_THROW(best_for_deadline(ms, 0.0), std::invalid_argument);
+  EXPECT_FALSE(best_for_deadline(ms, q::Seconds{0.5}).has_value());
+  EXPECT_THROW(best_for_deadline(ms, q::Seconds{}), std::invalid_argument);
 }
 
 TEST(Hetero, BestForBudgetPicksAcrossMachines) {
   const std::vector<MachineCandidate> ms{fast_costly(), slow_frugal()};
   // Generous budget: the fast machine's quickest point qualifies.
-  auto r = best_for_budget(ms, 25.0);
+  auto r = best_for_budget(ms, q::Joules{25.0});
   ASSERT_TRUE(r.has_value());
   EXPECT_EQ(r->machine, "fast");
-  EXPECT_EQ(r->point.time_s, 1.0);
+  EXPECT_EQ(r->point.time_s.value(), 1.0);
   // Tight budget: only the frugal machine fits.
-  r = best_for_budget(ms, 5.0);
+  r = best_for_budget(ms, q::Joules{5.0});
   ASSERT_TRUE(r.has_value());
   EXPECT_EQ(r->machine, "frugal");
-  EXPECT_FALSE(best_for_budget(ms, 1.0).has_value());
+  EXPECT_FALSE(best_for_budget(ms, q::Joules{1.0}).has_value());
 }
 
 TEST(Hetero, CrossoverDeadlineSeparatesRegimes) {
   const auto cross = crossover_deadline(fast_costly(), slow_frugal());
   ASSERT_TRUE(cross.has_value());
   // Below the crossover the fast machine wins, above it the frugal one.
-  EXPECT_GT(*cross, 4.0);
-  EXPECT_LT(*cross, 8.5);
+  EXPECT_GT(cross->value(), 4.0);
+  EXPECT_LT(cross->value(), 8.5);
   const std::vector<MachineCandidate> ms{fast_costly(), slow_frugal()};
   EXPECT_EQ(best_for_deadline(ms, *cross * 0.5)->machine, "fast");
   EXPECT_EQ(best_for_deadline(ms, *cross * 2.0)->machine, "frugal");

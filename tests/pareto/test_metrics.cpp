@@ -12,11 +12,11 @@ namespace {
 
 model::Prediction make_pred(double cpu, double mem, double tw, double ts) {
   model::Prediction p;
-  p.t_cpu_s = cpu;
-  p.t_mem_s = mem;
-  p.t_w_net_s = tw;
-  p.t_s_net_s = ts;
-  p.time_s = cpu + mem + tw + ts;
+  p.t_cpu_s = q::Seconds{cpu};
+  p.t_mem_s = q::Seconds{mem};
+  p.t_w_net_s = q::Seconds{tw};
+  p.t_s_net_s = q::Seconds{ts};
+  p.time_s = q::Seconds{cpu + mem + tw + ts};
   p.ucr = p.t_cpu_s / p.time_s;
   return p;
 }
@@ -38,8 +38,8 @@ TEST(Ucr, ZeroTimeThrows) {
 
 TEST(Ucr, OfMeasurement) {
   trace::Measurement m;
-  m.time_s = 10.0;
-  m.t_cpu_s = 4.0;
+  m.time_s = q::Seconds{10.0};
+  m.t_cpu_s = q::Seconds{4.0};
   EXPECT_DOUBLE_EQ(ucr(m), 0.4);
 }
 

@@ -43,15 +43,18 @@ TEST(ErlangC, MoreServersWaitLess) {
 TEST(Mmc, ReducesToMm1) {
   const double lambda = 0.6;
   const double s = 1.0;
-  EXPECT_NEAR(mmc_mean_wait(1, lambda, s), mm1_mean_wait(lambda, s), 1e-12);
+  EXPECT_NEAR(mmc_mean_wait(1, q::Hertz{lambda}, q::Seconds{s}).value(),
+              mm1_mean_wait(q::Hertz{lambda}, q::Seconds{s}).value(), 1e-12);
 }
 
 TEST(Mmc, UnstableIsInfinite) {
-  EXPECT_TRUE(std::isinf(mmc_mean_wait(2, 3.0, 1.0)));
+  EXPECT_TRUE(std::isinf(
+      mmc_mean_wait(2, q::Hertz{3.0}, q::Seconds{1.0}).value()));
 }
 
 TEST(Mmc, ZeroArrivalsNoWait) {
-  EXPECT_DOUBLE_EQ(mmc_mean_wait(4, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(mmc_mean_wait(4, q::Hertz{0.0}, q::Seconds{1.0}).value(),
+                   0.0);
 }
 
 TEST(Mmc, PoolingBeatsPartitioning) {
@@ -60,8 +63,8 @@ TEST(Mmc, PoolingBeatsPartitioning) {
   // fabric behaves better than dedicated half-speed links.
   const double per_server_lambda = 0.8;
   const double s = 1.0;
-  EXPECT_LT(mmc_mean_wait(4, 4 * per_server_lambda, s),
-            mm1_mean_wait(per_server_lambda, s));
+  EXPECT_LT(mmc_mean_wait(4, q::Hertz{4 * per_server_lambda}, q::Seconds{s}),
+            mm1_mean_wait(q::Hertz{per_server_lambda}, q::Seconds{s}));
 }
 
 /// The event-driven multi-server Resource must converge to Erlang-C.
@@ -80,10 +83,14 @@ TEST_P(MmcConvergenceTest, MeanWaitMatchesTheory) {
   for (int i = 0; i < 60000; ++i) {
     t += rng.exponential(1.0 / lambda);
     const double service = rng.exponential(mean_service);
-    sim.schedule_at(t, [&r, service] { r.request(service, {}); });
+    sim.schedule_at(SimTime{t}, [&r, service] {
+      r.request(SimTime{service}, {});
+    });
   }
   sim.run();
-  const double expected = mmc_mean_wait(servers, lambda, mean_service);
+  const double expected =
+      mmc_mean_wait(servers, q::Hertz{lambda}, q::Seconds{mean_service})
+          .value();
   EXPECT_NEAR(r.wait_stats().mean(), expected, 0.12 * expected + 0.01)
       << "servers=" << servers;
 }

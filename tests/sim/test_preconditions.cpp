@@ -17,35 +17,35 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 TEST(SimulatorPreconditions, ScheduleRejectsNonFiniteDelay) {
   Simulator sim;
-  EXPECT_THROW(sim.schedule(kNaN, [] {}), std::invalid_argument);
-  EXPECT_THROW(sim.schedule(kInf, [] {}), std::invalid_argument);
-  EXPECT_THROW(sim.schedule(-kInf, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule(SimTime{kNaN}, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule(SimTime{kInf}, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule(SimTime{-kInf}, [] {}), std::invalid_argument);
   EXPECT_TRUE(sim.empty());  // nothing was enqueued
 }
 
 TEST(SimulatorPreconditions, ScheduleAtRejectsNonFiniteTime) {
   Simulator sim;
-  EXPECT_THROW(sim.schedule_at(kNaN, [] {}), std::invalid_argument);
-  EXPECT_THROW(sim.schedule_at(kInf, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_at(SimTime{kNaN}, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_at(SimTime{kInf}, [] {}), std::invalid_argument);
   EXPECT_TRUE(sim.empty());
 }
 
 TEST(SimulatorPreconditions, RunUntilRejectsNonFiniteBoundary) {
   Simulator sim;
-  sim.schedule(1.0, [] {});
-  EXPECT_THROW(sim.run_until(kNaN), std::invalid_argument);
-  EXPECT_THROW(sim.run_until(kInf), std::invalid_argument);
+  sim.schedule(SimTime{1.0}, [] {});
+  EXPECT_THROW(sim.run_until(SimTime{kNaN}), std::invalid_argument);
+  EXPECT_THROW(sim.run_until(SimTime{kInf}), std::invalid_argument);
   // The calendar is untouched by the rejected calls.
   EXPECT_EQ(sim.run(), 1u);
 }
 
 TEST(SimulatorPreconditions, RejectedCallsDoNotAdvanceTheClock) {
   Simulator sim;
-  sim.schedule(2.0, [] {});
+  sim.schedule(SimTime{2.0}, [] {});
   sim.run();
-  EXPECT_EQ(sim.now(), 2.0);
-  EXPECT_THROW(sim.schedule(kNaN, [] {}), std::invalid_argument);
-  EXPECT_EQ(sim.now(), 2.0);
+  EXPECT_EQ(sim.now(), SimTime{2.0});
+  EXPECT_THROW(sim.schedule(SimTime{kNaN}, [] {}), std::invalid_argument);
+  EXPECT_EQ(sim.now(), SimTime{2.0});
 }
 
 }  // namespace

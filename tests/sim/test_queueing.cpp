@@ -11,27 +11,31 @@ namespace hepex::sim::queueing {
 namespace {
 
 TEST(Queueing, OfferedLoad) {
-  EXPECT_DOUBLE_EQ(offered_load(2.0, 0.25), 0.5);
-  EXPECT_DOUBLE_EQ(offered_load(0.0, 1.0), 0.0);
-  EXPECT_THROW(offered_load(-1.0, 1.0), std::invalid_argument);
-  EXPECT_THROW(offered_load(1.0, -1.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(offered_load(q::Hertz{2.0}, q::Seconds{0.25}), 0.5);
+  EXPECT_DOUBLE_EQ(offered_load(q::Hertz{0.0}, q::Seconds{1.0}), 0.0);
+  EXPECT_THROW(offered_load(q::Hertz{-1.0}, q::Seconds{1.0}), std::invalid_argument);
+  EXPECT_THROW(offered_load(q::Hertz{1.0}, q::Seconds{-1.0}), std::invalid_argument);
 }
 
 TEST(Queueing, SecondMoments) {
-  EXPECT_DOUBLE_EQ(deterministic_second_moment(2.0), 4.0);
-  EXPECT_DOUBLE_EQ(exponential_second_moment(2.0), 8.0);
+  EXPECT_DOUBLE_EQ(deterministic_second_moment(q::Seconds{2.0}).value(),
+                   4.0);
+  EXPECT_DOUBLE_EQ(exponential_second_moment(q::Seconds{2.0}).value(),
+                   8.0);
 }
 
 TEST(Queueing, Mm1KnownValue) {
   // rho = 0.5, E[S] = 1: W = rho/(1-rho) * E[S] = 1.
-  EXPECT_NEAR(mm1_mean_wait(0.5, 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(mm1_mean_wait(q::Hertz{0.5}, q::Seconds{1.0}).value(), 1.0,
+              1e-12);
 }
 
 TEST(Queueing, Md1IsHalfOfMm1) {
   // Deterministic service halves the PK waiting time.
   const double lambda = 0.6;
   const double s = 1.0;
-  EXPECT_NEAR(md1_mean_wait(lambda, s), 0.5 * mm1_mean_wait(lambda, s),
+  EXPECT_NEAR(md1_mean_wait(q::Hertz{lambda}, q::Seconds{s}).value(),
+              0.5 * mm1_mean_wait(q::Hertz{lambda}, q::Seconds{s}).value(),
               1e-12);
 }
 
@@ -41,21 +45,30 @@ TEST(Queueing, Mg1MatchesManualPk) {
   const double es2 = 4.0;
   const double rho = lambda * es;
   const double expected = lambda * es2 / (2.0 * (1.0 - rho));
-  EXPECT_NEAR(mg1_mean_wait(lambda, es, es2), expected, 1e-12);
+  EXPECT_NEAR(mg1_mean_wait(q::Hertz{lambda}, q::Seconds{es},
+                            q::SecondsSq{es2})
+                  .value(),
+              expected, 1e-12);
 }
 
 TEST(Queueing, UnstableQueueIsInfinite) {
-  EXPECT_TRUE(std::isinf(mm1_mean_wait(1.0, 1.0)));
-  EXPECT_TRUE(std::isinf(mm1_mean_wait(2.0, 1.0)));
+  EXPECT_TRUE(std::isinf(
+      mm1_mean_wait(q::Hertz{1.0}, q::Seconds{1.0}).value()));
+  EXPECT_TRUE(std::isinf(
+      mm1_mean_wait(q::Hertz{2.0}, q::Seconds{1.0}).value()));
 }
 
 TEST(Queueing, ZeroArrivalsNoWait) {
-  EXPECT_DOUBLE_EQ(mm1_mean_wait(0.0, 1.0), 0.0);
-  EXPECT_DOUBLE_EQ(md1_mean_wait(0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(mm1_mean_wait(q::Hertz{0.0}, q::Seconds{1.0}).value(),
+                   0.0);
+  EXPECT_DOUBLE_EQ(md1_mean_wait(q::Hertz{0.0}, q::Seconds{1.0}).value(),
+                   0.0);
 }
 
 TEST(Queueing, NegativeSecondMomentThrows) {
-  EXPECT_THROW(mg1_mean_wait(0.5, 1.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(mg1_mean_wait(q::Hertz{0.5}, q::Seconds{1.0},
+                             q::SecondsSq{-1.0}),
+               std::invalid_argument);
 }
 
 /// Waiting time must grow monotonically (and convexly) with load.
@@ -64,8 +77,10 @@ class PkMonotoneTest : public ::testing::TestWithParam<double> {};
 TEST_P(PkMonotoneTest, WaitGrowsWithLoad) {
   const double rho = GetParam();
   const double s = 1.0;
-  EXPECT_LT(mm1_mean_wait(rho, s), mm1_mean_wait(rho + 0.05, s));
-  EXPECT_LT(md1_mean_wait(rho, s), md1_mean_wait(rho + 0.05, s));
+  EXPECT_LT(mm1_mean_wait(q::Hertz{rho}, q::Seconds{s}),
+            mm1_mean_wait(q::Hertz{rho + 0.05}, q::Seconds{s}));
+  EXPECT_LT(md1_mean_wait(q::Hertz{rho}, q::Seconds{s}),
+            md1_mean_wait(q::Hertz{rho + 0.05}, q::Seconds{s}));
 }
 
 INSTANTIATE_TEST_SUITE_P(RhoSweep, PkMonotoneTest,

@@ -24,30 +24,30 @@ TEST(Resource, RequiresAtLeastOneServer) {
 TEST(Resource, NegativeServiceTimeThrows) {
   Simulator sim;
   Resource r(sim, "x");
-  EXPECT_THROW(r.request(-1.0, {}), std::invalid_argument);
+  EXPECT_THROW(r.request(SimTime{-1.0}, {}), std::invalid_argument);
 }
 
 TEST(Resource, ServesImmediatelyWhenIdle) {
   Simulator sim;
   Resource r(sim, "mem");
-  double done_at = -1.0;
-  r.request(2.0, [&](double waited) {
+  SimTime done_at{-1.0};
+  r.request(SimTime{2.0}, [&](SimTime waited) {
     done_at = sim.now();
-    EXPECT_EQ(waited, 0.0);
+    EXPECT_EQ(waited, SimTime{});
   });
   sim.run();
-  EXPECT_EQ(done_at, 2.0);
+  EXPECT_EQ(done_at, SimTime{2.0});
   EXPECT_EQ(r.completed(), 1u);
-  EXPECT_EQ(r.busy_time(), 2.0);
+  EXPECT_EQ(r.busy_time(), SimTime{2.0});
 }
 
 TEST(Resource, FcfsOrderAndWaitTimes) {
   Simulator sim;
   Resource r(sim, "mem");
   std::vector<int> order;
-  std::vector<double> waits;
+  std::vector<SimTime> waits;
   for (int i = 0; i < 3; ++i) {
-    r.request(1.0, [&, i](double waited) {
+    r.request(SimTime{1.0}, [&, i](SimTime waited) {
       order.push_back(i);
       waits.push_back(waited);
     });
@@ -55,29 +55,30 @@ TEST(Resource, FcfsOrderAndWaitTimes) {
   sim.run();
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
   ASSERT_EQ(waits.size(), 3u);
-  EXPECT_DOUBLE_EQ(waits[0], 0.0);
-  EXPECT_DOUBLE_EQ(waits[1], 1.0);
-  EXPECT_DOUBLE_EQ(waits[2], 2.0);
+  EXPECT_DOUBLE_EQ(waits[0].value(), 0.0);
+  EXPECT_DOUBLE_EQ(waits[1].value(), 1.0);
+  EXPECT_DOUBLE_EQ(waits[2].value(), 2.0);
   EXPECT_DOUBLE_EQ(r.wait_stats().mean(), 1.0);
 }
 
 TEST(Resource, MultipleServersRunConcurrently) {
   Simulator sim;
   Resource r(sim, "net", 2);
-  std::vector<double> completions;
+  std::vector<SimTime> completions;
   for (int i = 0; i < 2; ++i) {
-    r.request(3.0, [&](double) { completions.push_back(sim.now()); });
+    r.request(SimTime{3.0},
+              [&](SimTime) { completions.push_back(sim.now()); });
   }
   sim.run();
   ASSERT_EQ(completions.size(), 2u);
-  EXPECT_DOUBLE_EQ(completions[0], 3.0);
-  EXPECT_DOUBLE_EQ(completions[1], 3.0);
+  EXPECT_DOUBLE_EQ(completions[0].value(), 3.0);
+  EXPECT_DOUBLE_EQ(completions[1].value(), 3.0);
 }
 
 TEST(Resource, QueueLengthTracksWaiters) {
   Simulator sim;
   Resource r(sim, "mem");
-  for (int i = 0; i < 4; ++i) r.request(1.0, {});
+  for (int i = 0; i < 4; ++i) r.request(SimTime{1.0}, {});
   EXPECT_EQ(r.in_service(), 1);
   EXPECT_EQ(r.queue_length(), 3u);
   sim.run();
@@ -89,9 +90,9 @@ TEST(Resource, QueueLengthTracksWaiters) {
 TEST(Resource, UtilizationIsBusyFraction) {
   Simulator sim;
   Resource r(sim, "mem");
-  r.request(1.0, {});
+  r.request(SimTime{1.0}, {});
   sim.run();                       // now == 1
-  sim.schedule(1.0, [] {});        // idle until 2
+  sim.schedule(SimTime{1.0}, [] {});  // idle until 2
   sim.run();
   EXPECT_NEAR(r.utilization(), 0.5, 1e-12);
 }
@@ -104,20 +105,20 @@ TEST(Resource, ObserverSeesFullJobLifecycle) {
     EXPECT_EQ(&res, &r);
     seen.push_back(obs);
   });
-  r.request(2.0, {});
-  r.request(1.0, {});  // queues behind the first: depth 1 at arrival
+  r.request(SimTime{2.0}, {});
+  r.request(SimTime{1.0}, {});  // queues behind the first: depth 1 at arrival
   sim.run();
   ASSERT_EQ(seen.size(), 2u);
-  EXPECT_DOUBLE_EQ(seen[0].arrival_s, 0.0);
-  EXPECT_DOUBLE_EQ(seen[0].start_s, 0.0);
-  EXPECT_DOUBLE_EQ(seen[0].finish_s, 2.0);
-  EXPECT_DOUBLE_EQ(seen[0].service_s, 2.0);
-  EXPECT_DOUBLE_EQ(seen[0].waited_s, 0.0);
+  EXPECT_DOUBLE_EQ(seen[0].arrival_s.value(), 0.0);
+  EXPECT_DOUBLE_EQ(seen[0].start_s.value(), 0.0);
+  EXPECT_DOUBLE_EQ(seen[0].finish_s.value(), 2.0);
+  EXPECT_DOUBLE_EQ(seen[0].service_s.value(), 2.0);
+  EXPECT_DOUBLE_EQ(seen[0].waited_s.value(), 0.0);
   EXPECT_EQ(seen[0].depth_at_arrival, 0u);
-  EXPECT_DOUBLE_EQ(seen[1].arrival_s, 0.0);
-  EXPECT_DOUBLE_EQ(seen[1].start_s, 2.0);
-  EXPECT_DOUBLE_EQ(seen[1].finish_s, 3.0);
-  EXPECT_DOUBLE_EQ(seen[1].waited_s, 2.0);
+  EXPECT_DOUBLE_EQ(seen[1].arrival_s.value(), 0.0);
+  EXPECT_DOUBLE_EQ(seen[1].start_s.value(), 2.0);
+  EXPECT_DOUBLE_EQ(seen[1].finish_s.value(), 3.0);
+  EXPECT_DOUBLE_EQ(seen[1].waited_s.value(), 2.0);
   EXPECT_EQ(seen[1].depth_at_arrival, 1u);
 }
 
@@ -128,7 +129,7 @@ TEST(Resource, ObserverFiresBeforeCompletionCallback) {
   r.set_observer([&](const Resource&, const Resource::JobObservation&) {
     order.push_back(0);
   });
-  r.request(1.0, [&](double) { order.push_back(1); });
+  r.request(SimTime{1.0}, [&](SimTime) { order.push_back(1); });
   sim.run();
   EXPECT_EQ(order, (std::vector<int>{0, 1}));
 }
@@ -137,7 +138,7 @@ TEST(Resource, ZeroServiceJobCompletes) {
   Simulator sim;
   Resource r(sim, "mem");
   bool done = false;
-  r.request(0.0, [&](double) { done = true; });
+  r.request(SimTime{0.0}, [&](SimTime) { done = true; });
   sim.run();
   EXPECT_TRUE(done);
 }
@@ -190,11 +191,15 @@ TEST_P(Mm1ConvergenceTest, MeanWaitMatchesTheory) {
   for (int i = 0; i < kJobs; ++i) {
     t += rng.exponential(1.0 / lambda);
     const double service = rng.exponential(mean_service);
-    sim.schedule_at(t, [&r, service] { r.request(service, {}); });
+    sim.schedule_at(SimTime{t}, [&r, service] {
+      r.request(SimTime{service}, {});
+    });
   }
   sim.run();
 
-  const double expected = queueing::mm1_mean_wait(lambda, mean_service);
+  const double expected =
+      queueing::mm1_mean_wait(q::Hertz{lambda}, q::Seconds{mean_service})
+          .value();
   // Queueing simulations converge slowly near saturation; scale tolerance.
   const double tol = 0.10 * expected + 0.03;
   EXPECT_NEAR(r.wait_stats().mean(), expected, tol)

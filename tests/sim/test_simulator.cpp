@@ -12,7 +12,7 @@ namespace {
 
 TEST(Simulator, StartsAtTimeZeroAndEmpty) {
   Simulator sim;
-  EXPECT_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.now(), SimTime{0.0});
   EXPECT_TRUE(sim.empty());
   EXPECT_EQ(sim.run(), 0u);
 }
@@ -20,19 +20,19 @@ TEST(Simulator, StartsAtTimeZeroAndEmpty) {
 TEST(Simulator, EventsFireInTimestampOrder) {
   Simulator sim;
   std::vector<int> order;
-  sim.schedule(3.0, [&] { order.push_back(3); });
-  sim.schedule(1.0, [&] { order.push_back(1); });
-  sim.schedule(2.0, [&] { order.push_back(2); });
+  sim.schedule(SimTime{3.0}, [&] { order.push_back(3); });
+  sim.schedule(SimTime{1.0}, [&] { order.push_back(1); });
+  sim.schedule(SimTime{2.0}, [&] { order.push_back(2); });
   EXPECT_EQ(sim.run(), 3u);
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
-  EXPECT_EQ(sim.now(), 3.0);
+  EXPECT_EQ(sim.now(), SimTime{3.0});
 }
 
 TEST(Simulator, EqualTimestampsAreFifo) {
   Simulator sim;
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
-    sim.schedule(1.0, [&order, i] { order.push_back(i); });
+    sim.schedule(SimTime{1.0}, [&order, i] { order.push_back(i); });
   }
   sim.run();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
@@ -44,44 +44,44 @@ TEST(Simulator, HandlersMayScheduleMoreEvents) {
   // A chain of events, each scheduling the next.
   std::function<void()> step = [&] {
     ++fired;
-    if (fired < 5) sim.schedule(1.0, step);
+    if (fired < 5) sim.schedule(SimTime{1.0}, step);
   };
-  sim.schedule(0.0, step);
+  sim.schedule(SimTime{0.0}, step);
   EXPECT_EQ(sim.run(), 5u);
   EXPECT_EQ(fired, 5);
-  EXPECT_EQ(sim.now(), 4.0);
+  EXPECT_EQ(sim.now(), SimTime{4.0});
 }
 
 TEST(Simulator, NegativeDelayThrows) {
   Simulator sim;
-  EXPECT_THROW(sim.schedule(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule(SimTime{-1.0}, [] {}), std::invalid_argument);
 }
 
 TEST(Simulator, ScheduleAtBeforeNowThrows) {
   Simulator sim;
-  sim.schedule(5.0, [] {});
+  sim.schedule(SimTime{5.0}, [] {});
   sim.run();
-  EXPECT_EQ(sim.now(), 5.0);
-  EXPECT_THROW(sim.schedule_at(4.0, [] {}), std::invalid_argument);
+  EXPECT_EQ(sim.now(), SimTime{5.0});
+  EXPECT_THROW(sim.schedule_at(SimTime{4.0}, [] {}), std::invalid_argument);
 }
 
 TEST(Simulator, ScheduleAtAbsoluteTime) {
   Simulator sim;
-  double seen = -1.0;
-  sim.schedule_at(7.5, [&] { seen = sim.now(); });
+  SimTime seen{-1.0};
+  sim.schedule_at(SimTime{7.5}, [&] { seen = sim.now(); });
   sim.run();
-  EXPECT_EQ(seen, 7.5);
+  EXPECT_EQ(seen, SimTime{7.5});
 }
 
 TEST(Simulator, RunUntilStopsAtBoundary) {
   Simulator sim;
   int fired = 0;
-  sim.schedule(1.0, [&] { ++fired; });
-  sim.schedule(2.0, [&] { ++fired; });
-  sim.schedule(10.0, [&] { ++fired; });
-  EXPECT_EQ(sim.run_until(5.0), 2u);
+  sim.schedule(SimTime{1.0}, [&] { ++fired; });
+  sim.schedule(SimTime{2.0}, [&] { ++fired; });
+  sim.schedule(SimTime{10.0}, [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(SimTime{5.0}), 2u);
   EXPECT_EQ(fired, 2);
-  EXPECT_EQ(sim.now(), 5.0);  // clock advances to the boundary
+  EXPECT_EQ(sim.now(), SimTime{5.0});  // clock advances to the boundary
   EXPECT_FALSE(sim.empty());
   sim.run();
   EXPECT_EQ(fired, 3);
@@ -90,8 +90,8 @@ TEST(Simulator, RunUntilStopsAtBoundary) {
 TEST(Simulator, RunUntilIncludesEventsAtBoundary) {
   Simulator sim;
   int fired = 0;
-  sim.schedule(5.0, [&] { ++fired; });
-  EXPECT_EQ(sim.run_until(5.0), 1u);
+  sim.schedule(SimTime{5.0}, [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(SimTime{5.0}), 1u);
   EXPECT_EQ(fired, 1);
 }
 
@@ -103,20 +103,20 @@ TEST(Simulator, RunUntilRunsBoundaryEventsScheduledMidCall) {
   // instant must not slip to the next drain.
   Simulator sim;
   std::vector<int> order;
-  sim.schedule(1.0, [&] {
+  sim.schedule(SimTime{1.0}, [&] {
     order.push_back(1);
-    sim.schedule_at(5.0, [&] { order.push_back(2); });  // exactly t_end
+    sim.schedule_at(SimTime{5.0}, [&] { order.push_back(2); });  // exactly t_end
   });
-  EXPECT_EQ(sim.run_until(5.0), 2u);
+  EXPECT_EQ(sim.run_until(SimTime{5.0}), 2u);
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
-  EXPECT_EQ(sim.now(), 5.0);
+  EXPECT_EQ(sim.now(), SimTime{5.0});
   EXPECT_TRUE(sim.empty());
 }
 
 TEST(Simulator, MaxEventsLimitsProcessing) {
   Simulator sim;
   int fired = 0;
-  for (int i = 0; i < 10; ++i) sim.schedule(i, [&] { ++fired; });
+  for (int i = 0; i < 10; ++i) sim.schedule(SimTime{static_cast<double>(i)}, [&] { ++fired; });
   EXPECT_EQ(sim.run(4), 4u);
   EXPECT_EQ(fired, 4);
   EXPECT_FALSE(sim.empty());
@@ -124,18 +124,18 @@ TEST(Simulator, MaxEventsLimitsProcessing) {
 
 TEST(Simulator, TotalScheduledCounts) {
   Simulator sim;
-  sim.schedule(1.0, [] {});
-  sim.schedule(2.0, [] {});
+  sim.schedule(SimTime{1.0}, [] {});
+  sim.schedule(SimTime{2.0}, [] {});
   EXPECT_EQ(sim.total_scheduled(), 2u);
 }
 
 TEST(Simulator, TotalProcessedAccumulatesAcrossRuns) {
   Simulator sim;
   EXPECT_EQ(sim.total_processed(), 0u);
-  for (int i = 0; i < 6; ++i) sim.schedule(i, [] {});
+  for (int i = 0; i < 6; ++i) sim.schedule(SimTime{static_cast<double>(i)}, [] {});
   EXPECT_EQ(sim.run(2), 2u);
   EXPECT_EQ(sim.total_processed(), 2u);
-  EXPECT_EQ(sim.run_until(3.0), 2u);
+  EXPECT_EQ(sim.run_until(SimTime{3.0}), 2u);
   EXPECT_EQ(sim.total_processed(), 4u);
   sim.run();
   EXPECT_EQ(sim.total_processed(), 6u);
@@ -149,9 +149,9 @@ TEST(Simulator, DefaultRunIsUnbounded) {
   int fired = 0;
   std::function<void()> step = [&] {
     ++fired;
-    if (fired < 1000) sim.schedule(0.5, step);
+    if (fired < 1000) sim.schedule(SimTime{0.5}, step);
   };
-  sim.schedule(0.0, step);
+  sim.schedule(SimTime{0.0}, step);
   EXPECT_EQ(sim.run(), 1000u);
   EXPECT_EQ(fired, 1000);
   EXPECT_TRUE(sim.empty());
@@ -159,11 +159,11 @@ TEST(Simulator, DefaultRunIsUnbounded) {
 
 TEST(Simulator, ZeroDelayFiresAtCurrentTime) {
   Simulator sim;
-  sim.schedule(2.0, [&] {
-    sim.schedule(0.0, [&] { EXPECT_EQ(sim.now(), 2.0); });
+  sim.schedule(SimTime{2.0}, [&] {
+    sim.schedule(SimTime{0.0}, [&] { EXPECT_EQ(sim.now(), SimTime{2.0}); });
   });
   sim.run();
-  EXPECT_EQ(sim.now(), 2.0);
+  EXPECT_EQ(sim.now(), SimTime{2.0});
 }
 
 }  // namespace

@@ -109,9 +109,9 @@ TEST_P(DeterminismTest, TracingDoesNotPerturbTheRun) {
 
 INSTANTIATE_TEST_SUITE_P(
     Configs, DeterminismTest,
-    ::testing::Values(Scenario{"SP", {1, 4, 1.8e9}},
-                      Scenario{"SP", {4, 4, 1.5e9}},
-                      Scenario{"LU", {2, 8, 1.2e9}}),
+    ::testing::Values(Scenario{"SP", {1, 4, q::Hertz{1.8e9}}},
+                      Scenario{"SP", {4, 4, q::Hertz{1.5e9}}},
+                      Scenario{"LU", {2, 8, q::Hertz{1.2e9}}}),
     [](const ::testing::TestParamInfo<Scenario>& info) {
       std::ostringstream name;
       name << info.param.program << "_n" << info.param.config.nodes << "_c"
@@ -123,7 +123,7 @@ TEST(Determinism, RepeatedTracedRunsEmitIdenticalTraces) {
   const auto machine = hw::xeon_cluster();
   const auto program =
       workload::program_by_name("SP", workload::InputClass::kS);
-  const hw::ClusterConfig cfg{2, 2, 1.5e9};
+  const hw::ClusterConfig cfg{2, 2, q::Hertz{1.5e9}};
 
   const auto traced_json = [&] {
     obs::TraceSink sink;
@@ -144,7 +144,7 @@ TEST(Determinism, DvfsPolicyRunsAreAlsoUnperturbed) {
   const auto machine = hw::xeon_cluster();
   const auto program =
       workload::program_by_name("SP", workload::InputClass::kS);
-  const hw::ClusterConfig cfg{4, 4, 1.8e9};
+  const hw::ClusterConfig cfg{4, 4, q::Hertz{1.8e9}};
 
   SimOptions bare;
   bare.chunks_per_iteration = 6;

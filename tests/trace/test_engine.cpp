@@ -34,7 +34,7 @@ workload::ProgramSpec tiny(const std::string& name) {
 TEST(Engine, DeterministicForEqualSeeds) {
   const auto m = hw::xeon_cluster();
   const auto p = tiny("SP");
-  const ClusterConfig cfg{4, 4, 1.5e9};
+  const ClusterConfig cfg{4, 4, q::Hertz{1.5e9}};
   const Measurement a = simulate(m, p, cfg, fast());
   const Measurement b = simulate(m, p, cfg, fast());
   EXPECT_EQ(a.time_s, b.time_s);
@@ -45,7 +45,7 @@ TEST(Engine, DeterministicForEqualSeeds) {
 TEST(Engine, DifferentSeedsJitterTheRun) {
   const auto m = hw::xeon_cluster();
   const auto p = tiny("SP");
-  const ClusterConfig cfg{2, 2, 1.5e9};
+  const ClusterConfig cfg{2, 2, q::Hertz{1.5e9}};
   SimOptions o1 = fast(), o2 = fast();
   o2.seed = o1.seed + 1;
   const Measurement a = simulate(m, p, cfg, o1);
@@ -60,22 +60,22 @@ TEST(Engine, ZeroJitterIsNoiseFree) {
   const auto p = tiny("BT");
   SimOptions o = fast();
   o.jitter_cv = 0.0;
-  const ClusterConfig cfg{1, 2, 0.8e9};
+  const ClusterConfig cfg{1, 2, q::Hertz{0.8e9}};
   const Measurement a = simulate(m, p, cfg, o);
   o.seed += 99;  // seed must not matter without noise sources... except
                  // message sizes; single node has no messages.
   const Measurement b = simulate(m, p, cfg, o);
-  EXPECT_DOUBLE_EQ(a.time_s, b.time_s);
+  EXPECT_DOUBLE_EQ(a.time_s.value(), b.time_s.value());
 }
 
 TEST(Engine, RejectsNonPhysicalConfigs) {
   const auto m = hw::xeon_cluster();
   const auto p = tiny("BT");
-  EXPECT_THROW(simulate(m, p, {16, 1, 1.2e9}, fast()),
+  EXPECT_THROW(simulate(m, p, {16, 1, q::Hertz{1.2e9}}, fast()),
                std::invalid_argument);  // only 8 physical nodes
-  EXPECT_THROW(simulate(m, p, {1, 12, 1.2e9}, fast()),
+  EXPECT_THROW(simulate(m, p, {1, 12, q::Hertz{1.2e9}}, fast()),
                std::invalid_argument);
-  EXPECT_THROW(simulate(m, p, {1, 1, 2.4e9}, fast()),
+  EXPECT_THROW(simulate(m, p, {1, 1, q::Hertz{2.4e9}}, fast()),
                std::invalid_argument);
 }
 
@@ -84,17 +84,17 @@ TEST(Engine, RejectsBadOptions) {
   auto p = tiny("BT");
   SimOptions o = fast();
   o.chunks_per_iteration = 0;
-  EXPECT_THROW(simulate(m, p, {1, 1, 1.2e9}, o), std::invalid_argument);
+  EXPECT_THROW(simulate(m, p, {1, 1, q::Hertz{1.2e9}}, o), std::invalid_argument);
   p.iterations = 0;
-  EXPECT_THROW(simulate(m, p, {1, 1, 1.2e9}, fast()), std::invalid_argument);
+  EXPECT_THROW(simulate(m, p, {1, 1, q::Hertz{1.2e9}}, fast()), std::invalid_argument);
 }
 
 TEST(Engine, SingleNodeHasNoMessages) {
   const auto m = hw::xeon_cluster();
-  const Measurement meas = simulate(m, tiny("CP"), {1, 4, 1.5e9}, fast());
+  const Measurement meas = simulate(m, tiny("CP"), {1, 4, q::Hertz{1.5e9}}, fast());
   EXPECT_EQ(meas.messages.messages, 0.0);
-  EXPECT_EQ(meas.net_busy_s, 0.0);
-  EXPECT_EQ(meas.energy.net_j, 0.0);
+  EXPECT_EQ(meas.net_busy_s.value(), 0.0);
+  EXPECT_EQ(meas.energy.net_j.value(), 0.0);
 }
 
 TEST(Engine, MultiNodeMessageCountMatchesPattern) {
@@ -102,17 +102,17 @@ TEST(Engine, MultiNodeMessageCountMatchesPattern) {
   const auto p = tiny("CP");  // all-to-all: (n-1)*rounds per process
   const int n = 4;
   const Measurement meas =
-      simulate(m, p, {n, 1, 1.8e9}, fast());
+      simulate(m, p, {n, 1, q::Hertz{1.8e9}}, fast());
   const auto shape = p.comm_shape(n);
   EXPECT_DOUBLE_EQ(meas.messages.messages,
                    static_cast<double>(shape.messages) * n * p.iterations);
-  EXPECT_NEAR(meas.messages.bytes_per_message(), shape.bytes_per_msg,
+  EXPECT_NEAR(meas.messages.bytes_per_message().value(), shape.bytes_per_msg,
               0.05 * shape.bytes_per_msg);
 }
 
 TEST(Engine, UtilizationIsAFraction) {
   const auto m = hw::arm_cluster();
-  const Measurement meas = simulate(m, tiny("LU"), {4, 4, 1.1e9}, fast());
+  const Measurement meas = simulate(m, tiny("LU"), {4, 4, q::Hertz{1.1e9}}, fast());
   EXPECT_GT(meas.cpu_utilization, 0.0);
   EXPECT_LE(meas.cpu_utilization, 1.05);  // rounding headroom
 }
@@ -120,7 +120,7 @@ TEST(Engine, UtilizationIsAFraction) {
 TEST(Engine, UcrIsInUnitInterval) {
   const auto m = hw::xeon_cluster();
   for (const char* name : {"BT", "LB"}) {
-    const Measurement meas = simulate(m, tiny(name), {2, 8, 1.8e9}, fast());
+    const Measurement meas = simulate(m, tiny(name), {2, 8, q::Hertz{1.8e9}}, fast());
     EXPECT_GT(meas.ucr(), 0.0);
     EXPECT_LE(meas.ucr(), 1.0);
   }
@@ -128,15 +128,16 @@ TEST(Engine, UcrIsInUnitInterval) {
 
 TEST(Engine, EnergyComponentsAreNonNegativeAndSum) {
   const auto m = hw::arm_cluster();
-  const Measurement meas = simulate(m, tiny("LB"), {4, 2, 0.8e9}, fast());
+  const Measurement meas = simulate(m, tiny("LB"), {4, 2, q::Hertz{0.8e9}}, fast());
   const auto& e = meas.energy;
-  EXPECT_GT(e.cpu_active_j, 0.0);
-  EXPECT_GE(e.cpu_stall_j, 0.0);
-  EXPECT_GE(e.mem_j, 0.0);
-  EXPECT_GE(e.net_j, 0.0);
-  EXPECT_GT(e.idle_j, 0.0);
-  EXPECT_NEAR(e.total(),
-              e.cpu_active_j + e.cpu_stall_j + e.mem_j + e.net_j + e.idle_j,
+  EXPECT_GT(e.cpu_active_j.value(), 0.0);
+  EXPECT_GE(e.cpu_stall_j.value(), 0.0);
+  EXPECT_GE(e.mem_j.value(), 0.0);
+  EXPECT_GE(e.net_j.value(), 0.0);
+  EXPECT_GT(e.idle_j.value(), 0.0);
+  EXPECT_NEAR(e.total().value(),
+              (e.cpu_active_j + e.cpu_stall_j + e.mem_j + e.net_j + e.idle_j)
+                  .value(),
               1e-9);
   // Idle power dominates on these platforms for small runs.
   EXPECT_GT(e.idle_j, 0.2 * e.total());
@@ -144,7 +145,7 @@ TEST(Engine, EnergyComponentsAreNonNegativeAndSum) {
 
 TEST(Engine, CountersScaleWithInputClass) {
   const auto m = hw::xeon_cluster();
-  const ClusterConfig cfg{1, 4, 1.8e9};
+  const ClusterConfig cfg{1, 4, q::Hertz{1.8e9}};
   const Measurement s = simulate(m, tiny("SP"), cfg, fast());
   const Measurement w =
       simulate(m, workload::program_by_name("SP", InputClass::kW), cfg,
@@ -160,8 +161,8 @@ TEST(Engine, SyncOverheadInflatesInstructionsAtScale) {
   // for the same program (§IV-C, error source 2).
   const auto m = hw::xeon_cluster();
   const auto p = tiny("LB");
-  const Measurement small = simulate(m, p, {1, 1, 1.8e9}, fast());
-  const Measurement big = simulate(m, p, {8, 8, 1.8e9}, fast());
+  const Measurement small = simulate(m, p, {1, 1, q::Hertz{1.8e9}}, fast());
+  const Measurement big = simulate(m, p, {8, 8, q::Hertz{1.8e9}}, fast());
   EXPECT_GT(big.counters.instructions, small.counters.instructions * 1.02);
 }
 
@@ -176,9 +177,9 @@ TEST_P(EngineScalingTest, MoreNodesReduceTime) {
   const auto& pc = GetParam();
   const auto m = pc.xeon ? hw::xeon_cluster() : hw::arm_cluster();
   const auto p = tiny(pc.program);
-  const double f = m.node.dvfs.f_max();
-  const double t1 = simulate(m, p, {1, 2, f}, fast()).time_s;
-  const double t4 = simulate(m, p, {4, 2, f}, fast()).time_s;
+  const q::Hertz f = m.node.dvfs.f_max();
+  const q::Seconds t1 = simulate(m, p, {1, 2, f}, fast()).time_s;
+  const q::Seconds t4 = simulate(m, p, {4, 2, f}, fast()).time_s;
   EXPECT_LT(t4, t1);
 }
 
@@ -186,8 +187,10 @@ TEST_P(EngineScalingTest, HigherFrequencyReducesTime) {
   const auto& pc = GetParam();
   const auto m = pc.xeon ? hw::xeon_cluster() : hw::arm_cluster();
   const auto p = tiny(pc.program);
-  const double t_lo = simulate(m, p, {2, 2, m.node.dvfs.f_min()}, fast()).time_s;
-  const double t_hi = simulate(m, p, {2, 2, m.node.dvfs.f_max()}, fast()).time_s;
+  const q::Seconds t_lo =
+      simulate(m, p, {2, 2, m.node.dvfs.f_min()}, fast()).time_s;
+  const q::Seconds t_hi =
+      simulate(m, p, {2, 2, m.node.dvfs.f_max()}, fast()).time_s;
   EXPECT_LT(t_hi, t_lo);
 }
 
@@ -195,9 +198,9 @@ TEST_P(EngineScalingTest, MoreCoresNeverSlowDownTiny) {
   const auto& pc = GetParam();
   const auto m = pc.xeon ? hw::xeon_cluster() : hw::arm_cluster();
   const auto p = tiny(pc.program);
-  const double f = m.node.dvfs.f_min();
-  const double t1 = simulate(m, p, {2, 1, f}, fast()).time_s;
-  const double tc = simulate(m, p, {2, m.node.cores, f}, fast()).time_s;
+  const q::Hertz f = m.node.dvfs.f_min();
+  const q::Seconds t1 = simulate(m, p, {2, 1, f}, fast()).time_s;
+  const q::Seconds tc = simulate(m, p, {2, m.node.cores, f}, fast()).time_s;
   EXPECT_LT(tc, t1 * 1.05);
 }
 

@@ -34,7 +34,7 @@ TEST_P(EngineGridTest, InvariantsHoldAcrossTheGrid) {
   for (int n : {1, 2, 4, 8}) {
     for (int c : {1, m.node.cores / 2, m.node.cores}) {
       if (c < 1) continue;
-      for (double f : {m.node.dvfs.f_min(), m.node.dvfs.f_max()}) {
+      for (q::Hertz f : {m.node.dvfs.f_min(), m.node.dvfs.f_max()}) {
         const hw::ClusterConfig cfg{n, c, f};
         const Measurement meas = simulate(m, p, cfg, opt);
         const std::string tag = gc.program + std::string(" (") +
@@ -42,8 +42,8 @@ TEST_P(EngineGridTest, InvariantsHoldAcrossTheGrid) {
                                 ")";
 
         // Time and energy are positive and finite.
-        ASSERT_GT(meas.time_s, 0.0) << tag;
-        ASSERT_GT(meas.energy.total(), 0.0) << tag;
+        ASSERT_GT(meas.time_s.value(), 0.0) << tag;
+        ASSERT_GT(meas.energy.total().value(), 0.0) << tag;
 
         // Counters: work cycles dominate non-memory stalls; instructions
         // are positive; busy time fits inside the node's capacity — the
@@ -63,9 +63,9 @@ TEST_P(EngineGridTest, InvariantsHoldAcrossTheGrid) {
         EXPECT_LE(meas.ucr(), 1.0) << tag;
 
         // Energy accounting: idle = P_idle * T * n exactly.
-        EXPECT_NEAR(meas.energy.idle_j,
-                    m.node.power.sys_idle_w * meas.time_s * n,
-                    1e-6 * meas.energy.idle_j)
+        EXPECT_NEAR(meas.energy.idle_j.value(),
+                    (m.node.power.sys_idle_w * meas.time_s * n).value(),
+                    1e-6 * meas.energy.idle_j.value())
             << tag;
 
         // Memory controllers can never be busy longer than n * T.
@@ -88,8 +88,8 @@ TEST_P(EngineGridTest, InvariantsHoldAcrossTheGrid) {
         EXPECT_EQ(meas.iteration_s.count(),
                   static_cast<std::size_t>(p.iterations))
             << tag;
-        EXPECT_NEAR(meas.iteration_s.sum(), meas.time_s,
-                    1e-6 * meas.time_s)
+        EXPECT_NEAR(meas.iteration_s.sum(), meas.time_s.value(),
+                    1e-6 * meas.time_s.value())
             << tag;
         EXPECT_GE(meas.drain_s.min(), 0.0) << tag;
         EXPECT_LE(meas.drain_s.max(), meas.iteration_s.max() * 1.001)

@@ -13,20 +13,21 @@ namespace {
 
 TEST(NetPipe, RequiresAnOperatingPoint) {
   const auto m = hw::arm_cluster();
-  EXPECT_THROW(netpipe_sweep(m, 3.0e9), std::invalid_argument);
-  EXPECT_THROW(netpipe_sweep(m, 1.4e9, 0.5), std::invalid_argument);
+  EXPECT_THROW(netpipe_sweep(m, q::Hertz{3.0e9}), std::invalid_argument);
+  EXPECT_THROW(netpipe_sweep(m, q::Hertz{1.4e9}, q::Bytes{0.5}),
+               std::invalid_argument);
 }
 
 TEST(NetPipe, SweepCoversPowerOfTwoSizes) {
   const auto m = hw::arm_cluster();
-  const auto nc = netpipe_sweep(m, 1.4e9, 1024.0);
+  const auto nc = netpipe_sweep(m, q::Hertz{1.4e9}, q::Bytes{1024.0});
   ASSERT_EQ(nc.points.size(), 11u);  // 1, 2, 4, ..., 1024
-  EXPECT_EQ(nc.points.front().message_bytes, 1.0);
-  EXPECT_EQ(nc.points.back().message_bytes, 1024.0);
+  EXPECT_EQ(nc.points.front().message_bytes.value(), 1.0);
+  EXPECT_EQ(nc.points.back().message_bytes.value(), 1024.0);
 }
 
 TEST(NetPipe, LatencyIsMonotoneInSize) {
-  const auto nc = netpipe_sweep(hw::xeon_cluster(), 1.8e9);
+  const auto nc = netpipe_sweep(hw::xeon_cluster(), q::Hertz{1.8e9});
   for (std::size_t i = 1; i < nc.points.size(); ++i) {
     EXPECT_GE(nc.points[i].latency_s, nc.points[i - 1].latency_s);
   }
@@ -35,37 +36,38 @@ TEST(NetPipe, LatencyIsMonotoneInSize) {
 TEST(NetPipe, ThroughputSaturatesNear90MbpsOnArm) {
   // Fig. 3's headline: the 100 Mbps link achieves only ~90 Mbps because
   // of protocol and software overheads.
-  const auto nc = netpipe_sweep(hw::arm_cluster(), 1.4e9);
-  const double peak_mbps = nc.achievable_bps / 1e6;
+  const auto nc = netpipe_sweep(hw::arm_cluster(), q::Hertz{1.4e9});
+  const double peak_mbps = nc.achievable_bps.value() / 1e6;
   EXPECT_GT(peak_mbps, 80.0);
   EXPECT_LT(peak_mbps, 96.0);
 }
 
 TEST(NetPipe, XeonAchievesAboutTenTimesArm) {
-  const double xeon =
-      netpipe_sweep(hw::xeon_cluster(), 1.8e9).achievable_bps;
-  const double arm = netpipe_sweep(hw::arm_cluster(), 1.4e9).achievable_bps;
+  const q::BitsPerSec xeon =
+      netpipe_sweep(hw::xeon_cluster(), q::Hertz{1.8e9}).achievable_bps;
+  const q::BitsPerSec arm =
+      netpipe_sweep(hw::arm_cluster(), q::Hertz{1.4e9}).achievable_bps;
   EXPECT_NEAR(xeon / arm, 10.0, 1.0);
 }
 
 TEST(NetPipe, SmallMessagesAreLatencyBound) {
-  const auto nc = netpipe_sweep(hw::arm_cluster(), 1.4e9);
+  const auto nc = netpipe_sweep(hw::arm_cluster(), q::Hertz{1.4e9});
   // 1-byte throughput is orders of magnitude below the peak.
   EXPECT_LT(nc.points.front().throughput_bps, 0.01 * nc.achievable_bps);
 }
 
 TEST(NetPipe, BaseLatencyDominatedBySoftware) {
   const auto m = hw::arm_cluster();
-  const auto nc = netpipe_sweep(m, 1.4e9);
+  const auto nc = netpipe_sweep(m, q::Hertz{1.4e9});
   const double sw2 = 2.0 * m.node.isa.message_software_cycles / 1.4e9;
-  EXPECT_GT(nc.base_latency_s, sw2 * 0.9);
-  EXPECT_LT(nc.base_latency_s, sw2 * 2.0);
+  EXPECT_GT(nc.base_latency_s.value(), sw2 * 0.9);
+  EXPECT_LT(nc.base_latency_s.value(), sw2 * 2.0);
 }
 
 TEST(NetPipe, LowerFrequencyRaisesSoftwareLatency) {
   const auto m = hw::arm_cluster();
-  const auto fast_sweep = netpipe_sweep(m, 1.4e9);
-  const auto slow_sweep = netpipe_sweep(m, 0.2e9);
+  const auto fast_sweep = netpipe_sweep(m, q::Hertz{1.4e9});
+  const auto slow_sweep = netpipe_sweep(m, q::Hertz{0.2e9});
   EXPECT_GT(slow_sweep.base_latency_s, fast_sweep.base_latency_s);
   // The asymptotic throughput is wire-bound, not CPU-bound; for very
   // large messages the two sweeps converge.

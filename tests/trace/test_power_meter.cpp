@@ -18,21 +18,21 @@ Measurement sample_run() {
   // the quantization error stays small.
   return simulate(hw::xeon_cluster(),
                   workload::program_by_name("BT", workload::InputClass::kW),
-                  {2, 2, 1.5e9});
+                  {2, 2, q::Hertz{1.5e9}});
 }
 
 TEST(PowerMeter, ExactReadingMatchesIntegration) {
   const Measurement m = sample_run();
   const MeterReading r = PowerMeter::read_exact(m);
-  EXPECT_DOUBLE_EQ(r.time_s, m.time_s);
-  EXPECT_DOUBLE_EQ(r.energy_j, m.energy.total());
+  EXPECT_DOUBLE_EQ(r.time_s.value(), m.time_s.value());
+  EXPECT_DOUBLE_EQ(r.energy_j.value(), m.energy.total().value());
 }
 
 TEST(PowerMeter, NoisyReadingIsCloseToExact) {
   const Measurement m = sample_run();
   PowerMeter meter(hw::xeon_cluster());
   const MeterReading r = meter.read(m);
-  EXPECT_DOUBLE_EQ(r.time_s, m.time_s);
+  EXPECT_DOUBLE_EQ(r.time_s.value(), m.time_s.value());
   // Calibration offset (2 W/node, 2 nodes) + 1 Hz quantization stay small
   // relative to a >100 W cluster.
   EXPECT_NEAR(r.energy_j / m.energy.total(), 1.0, 0.15);
@@ -42,20 +42,20 @@ TEST(PowerMeter, SameSeedSameReadings) {
   const Measurement m = sample_run();
   PowerMeter a(hw::xeon_cluster(), 99);
   PowerMeter b(hw::xeon_cluster(), 99);
-  EXPECT_DOUBLE_EQ(a.read(m).energy_j, b.read(m).energy_j);
+  EXPECT_DOUBLE_EQ(a.read(m).energy_j.value(), b.read(m).energy_j.value());
 }
 
 TEST(PowerMeter, ConsecutiveReadingsDrift) {
   const Measurement m = sample_run();
   PowerMeter meter(hw::xeon_cluster());
-  const double first = meter.read(m).energy_j;
-  const double second = meter.read(m).energy_j;
+  const q::Joules first = meter.read(m).energy_j;
+  const q::Joules second = meter.read(m).energy_j;
   EXPECT_NE(first, second);  // independent calibration draws per reading
 }
 
 TEST(PowerMeter, ZeroLengthRunThrows) {
   Measurement m;
-  m.time_s = 0.0;
+  m.time_s = q::Seconds{};
   PowerMeter meter(hw::xeon_cluster());
   EXPECT_THROW(meter.read(m), std::invalid_argument);
 }

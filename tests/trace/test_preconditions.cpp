@@ -22,10 +22,10 @@ TEST(SimulatePreconditions, RejectsNonFiniteJitterCv) {
       workload::program_by_name("SP", workload::InputClass::kS);
   SimOptions opt;
   opt.jitter_cv = kNaN;
-  EXPECT_THROW(simulate(machine, program, {1, 2, 1.8e9}, opt),
+  EXPECT_THROW(simulate(machine, program, {1, 2, q::Hertz{1.8e9}}, opt),
                std::invalid_argument);
   opt.jitter_cv = -0.1;
-  EXPECT_THROW(simulate(machine, program, {1, 2, 1.8e9}, opt),
+  EXPECT_THROW(simulate(machine, program, {1, 2, q::Hertz{1.8e9}}, opt),
                std::invalid_argument);
 }
 
@@ -33,20 +33,20 @@ TEST(SimulatePreconditions, RejectsMalformedProgram) {
   const auto machine = hw::xeon_cluster();
   auto program = workload::program_by_name("SP", workload::InputClass::kS);
   program.compute.instructions_per_iter = kNaN;
-  EXPECT_THROW(simulate(machine, program, {1, 2, 1.8e9}, {}),
+  EXPECT_THROW(simulate(machine, program, {1, 2, q::Hertz{1.8e9}}, {}),
                std::invalid_argument);
   program = workload::program_by_name("SP", workload::InputClass::kS);
   program.iterations = 0;
-  EXPECT_THROW(simulate(machine, program, {1, 2, 1.8e9}, {}),
+  EXPECT_THROW(simulate(machine, program, {1, 2, q::Hertz{1.8e9}}, {}),
                std::invalid_argument);
 }
 
 TEST(SimulatePreconditions, RejectsMalformedMachine) {
   auto machine = hw::xeon_cluster();
-  machine.node.memory.bandwidth_bytes_per_s = kNaN;
+  machine.node.memory.bandwidth_bytes_per_s = q::BytesPerSec{kNaN};
   const auto program =
       workload::program_by_name("SP", workload::InputClass::kS);
-  EXPECT_THROW(simulate(machine, program, {1, 2, 1.8e9}, {}),
+  EXPECT_THROW(simulate(machine, program, {1, 2, q::Hertz{1.8e9}}, {}),
                std::invalid_argument);
 }
 
@@ -55,7 +55,7 @@ TEST(SimulatePreconditions, RejectsUnsupportedConfig) {
   const auto program =
       workload::program_by_name("SP", workload::InputClass::kS);
   // 2.0 GHz is not a DVFS point of the Xeon preset.
-  EXPECT_THROW(simulate(machine, program, {1, 2, 2.0e9}, {}),
+  EXPECT_THROW(simulate(machine, program, {1, 2, q::Hertz{2.0e9}}, {}),
                std::invalid_argument);
 }
 

@@ -41,7 +41,7 @@ TEST_P(ProfilerShapeTest, EtaNuMatchTheDecomposition) {
   const CommProfile prof = profile_messages(m, p, 2);
   const workload::CommShape shape = p.comm_shape(2);
   EXPECT_DOUBLE_EQ(prof.eta, static_cast<double>(shape.messages));
-  EXPECT_NEAR(prof.nu, shape.bytes_per_msg, 0.1 * shape.bytes_per_msg);
+  EXPECT_NEAR(prof.nu.value(), shape.bytes_per_msg, 0.1 * shape.bytes_per_msg);
   // Dispersion close to the spec's cv.
   EXPECT_NEAR(prof.size_cv, p.comm.size_cv, 0.1);
 }

@@ -1,0 +1,235 @@
+// Tests for the hepex::q quantity types: dimension algebra, comparisons,
+// accumulation, explicit bit/byte conversions and the units:: factories
+// and literal suffixes. The compile-fail suite (tests/compile_fail/)
+// covers the mixes that must NOT build.
+
+#include "util/quantity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace hepex {
+namespace {
+
+using namespace hepex::units::literals;
+
+// --- zero-overhead pins (mirror the static_asserts at runtime) ---
+
+TEST(Quantity, IsExactlyADoubleToTheCodeGenerator) {
+  EXPECT_EQ(sizeof(q::Seconds), sizeof(double));
+  EXPECT_EQ(sizeof(q::Joules), sizeof(double));
+  EXPECT_EQ(sizeof(q::BitsPerSec), sizeof(double));
+  EXPECT_EQ(alignof(q::Watts), alignof(double));
+  static_assert(std::is_trivial_v<q::Hertz>);
+  static_assert(std::is_trivially_copyable_v<q::Bytes>);
+  static_assert(std::is_standard_layout_v<q::JouleSeconds>);
+}
+
+TEST(Quantity, DefaultConstructionIsZeroWhenValueInitialized) {
+  const q::Seconds t{};
+  EXPECT_EQ(t.value(), 0.0);
+}
+
+// --- same-dimension arithmetic ---
+
+TEST(Quantity, AddSubNegate) {
+  const q::Seconds a{1.5};
+  const q::Seconds b{0.25};
+  EXPECT_DOUBLE_EQ((a + b).value(), 1.75);
+  EXPECT_DOUBLE_EQ((a - b).value(), 1.25);
+  EXPECT_DOUBLE_EQ((-a).value(), -1.5);
+  EXPECT_DOUBLE_EQ((+a).value(), 1.5);
+}
+
+TEST(Quantity, CompoundAssignment) {
+  q::Joules e{10.0};
+  e += q::Joules{2.0};
+  EXPECT_DOUBLE_EQ(e.value(), 12.0);
+  e -= q::Joules{4.0};
+  EXPECT_DOUBLE_EQ(e.value(), 8.0);
+  e *= 0.5;
+  EXPECT_DOUBLE_EQ(e.value(), 4.0);
+  e /= 4.0;
+  EXPECT_DOUBLE_EQ(e.value(), 1.0);
+}
+
+TEST(Quantity, ScalarScaling) {
+  const q::Watts p{55.0};
+  EXPECT_DOUBLE_EQ((p * 2.0).value(), 110.0);
+  EXPECT_DOUBLE_EQ((2.0 * p).value(), 110.0);
+  EXPECT_DOUBLE_EQ((p / 5.0).value(), 11.0);
+}
+
+TEST(Quantity, AccumulationMatchesRawDoubleSum) {
+  // Energy integration is the hot loop in the simulator; the typed sum
+  // must be bit-identical to the raw-double sum it replaced.
+  std::vector<double> raw(100);
+  for (int i = 0; i < 100; ++i) raw[i] = 0.1 * i + 1e-3;
+  double expect = 0.0;
+  q::Joules total{};
+  for (const double r : raw) {
+    expect += r;
+    total += q::Joules{r};
+  }
+  EXPECT_EQ(total.value(), expect);  // bit-identical, not just close
+}
+
+// --- dimension algebra ---
+
+TEST(Quantity, PowerTimesTimeIsEnergy) {
+  const q::Joules e = q::Watts{100.0} * q::Seconds{3.0};
+  EXPECT_DOUBLE_EQ(e.value(), 300.0);
+  const q::Joules e2 = q::Seconds{3.0} * q::Watts{100.0};
+  EXPECT_DOUBLE_EQ(e2.value(), 300.0);
+}
+
+TEST(Quantity, EnergyOverTimeIsPower) {
+  const q::Watts p = q::Joules{300.0} / q::Seconds{3.0};
+  EXPECT_DOUBLE_EQ(p.value(), 100.0);
+}
+
+TEST(Quantity, BytesOverBandwidthIsTime) {
+  const q::Seconds t = q::Bytes{1e6} / q::BytesPerSec{1e9};
+  EXPECT_DOUBLE_EQ(t.value(), 1e-3);
+}
+
+TEST(Quantity, InverseOfTimeIsFrequency) {
+  const q::Hertz f = 1.0 / q::Seconds{0.5e-9};
+  EXPECT_DOUBLE_EQ(f.value(), 2e9);
+  // cycles / Hertz -> Seconds: the DVFS identity the model leans on.
+  const q::Seconds t = 1.8e9 / q::Hertz{1.8e9};
+  EXPECT_DOUBLE_EQ(t.value(), 1.0);
+}
+
+TEST(Quantity, SameDimensionRatioCollapsesToDouble) {
+  const double ratio = q::Seconds{3.0} / q::Seconds{2.0};
+  EXPECT_DOUBLE_EQ(ratio, 1.5);
+  const double cycles = q::Seconds{2.0} * q::Hertz{1.5e9};
+  EXPECT_DOUBLE_EQ(cycles, 3e9);
+}
+
+TEST(Quantity, EdpChain) {
+  const q::JouleSeconds edp = q::Joules{500.0} * q::Seconds{20.0};
+  EXPECT_DOUBLE_EQ(edp.value(), 1e4);
+  const q::JouleSecondsSq ed2p = edp * q::Seconds{20.0};
+  EXPECT_DOUBLE_EQ(ed2p.value(), 2e5);
+}
+
+// --- ordering and helpers ---
+
+TEST(Quantity, ComparisonWithinOneDimension) {
+  EXPECT_LT(q::Seconds{1.0}, q::Seconds{2.0});
+  EXPECT_GE(q::Watts{5.0}, q::Watts{5.0});
+  EXPECT_EQ(q::Bytes{64.0}, q::Bytes{64.0});
+  EXPECT_NE(q::Hertz{1.8e9}, q::Hertz{2.0e9});
+}
+
+TEST(Quantity, MinMaxAbs) {
+  EXPECT_EQ(q::min(q::Seconds{1.0}, q::Seconds{2.0}), q::Seconds{1.0});
+  EXPECT_EQ(q::max(q::Seconds{1.0}, q::Seconds{2.0}), q::Seconds{2.0});
+  EXPECT_EQ(q::abs(q::Joules{-3.0}), q::Joules{3.0});
+  EXPECT_EQ(q::abs(q::Joules{3.0}), q::Joules{3.0});
+}
+
+TEST(Quantity, SqrtHalvesTheDimension) {
+  // Young/Daly: interval = sqrt(2 * delta * MTBF), an s^2 -> s square root.
+  const q::SecondsSq var = q::Seconds{8.0} * q::Seconds{2.0};
+  const q::Seconds sd = q::sqrt(var);
+  EXPECT_DOUBLE_EQ(sd.value(), 4.0);
+}
+
+TEST(Quantity, IsFinite) {
+  EXPECT_TRUE(q::isfinite(q::Seconds{1.0}));
+  EXPECT_FALSE(q::isfinite(q::Seconds{std::nan("")}));
+  EXPECT_FALSE(
+      q::isfinite(q::Watts{std::numeric_limits<double>::infinity()}));
+}
+
+TEST(Quantity, SortsWithStdAlgorithms) {
+  std::vector<q::Seconds> v{q::Seconds{3.0}, q::Seconds{1.0}, q::Seconds{2.0}};
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v.front(), q::Seconds{1.0});
+  EXPECT_EQ(v.back(), q::Seconds{3.0});
+}
+
+// --- bits <-> bytes: the conversion class the migration exists to pin ---
+
+TEST(Quantity, BitsToBytesIsExactlyDivideByEight) {
+  // Regression pin (satellite: bits/bytes conversion). 8 is a power of
+  // two, so /8 is exact for every finite double; the typed conversion
+  // must be bit-identical to the raw x/8.0 it replaced.
+  const double rates[] = {100e6, 90.7e6, 1e9, 3.0, 0.125, 12345.678e3};
+  for (const double r : rates) {
+    EXPECT_EQ(q::to_bytes_per_sec(q::BitsPerSec{r}).value(), r / 8.0);
+    EXPECT_EQ(units::bits_to_bytes(q::BitsPerSec{r}).value(),
+              units::bits_to_bytes(r));
+  }
+}
+
+TEST(Quantity, BitByteRoundTripsExactly) {
+  const q::BitsPerSec r{94.3e6};
+  EXPECT_EQ(q::to_bits_per_sec(q::to_bytes_per_sec(r)), r);
+  const q::Bytes b{1472.0};
+  EXPECT_EQ(q::to_bytes(q::to_bits(b)), b);
+  EXPECT_DOUBLE_EQ(q::to_bits(q::Bytes{1.0}).value(), 8.0);
+}
+
+TEST(Quantity, WireTimeFromLinkRateNeedsExplicitConversion) {
+  // A 100 Mbps link moving 1 MB: 1e6 B / (100e6/8 B/s) = 0.08 s. Getting
+  // 0.01 s here would mean bits/bytes were conflated somewhere.
+  const q::BitsPerSec link{100 * units::Mbps};
+  const q::Seconds wire = q::Bytes{1e6} / units::bits_to_bytes(link);
+  EXPECT_DOUBLE_EQ(wire.value(), 0.08);
+}
+
+// --- units:: factories, scale constants, literals ---
+
+TEST(Units, FactoriesRoundTripScaleConstants) {
+  EXPECT_DOUBLE_EQ(units::hertz(1.8 * units::GHz).value(), 1.8e9);
+  EXPECT_DOUBLE_EQ(units::seconds(250 * units::ms).value(), 0.25);
+  EXPECT_DOUBLE_EQ(units::joules(5 * units::kJ).value(), 5000.0);
+  EXPECT_DOUBLE_EQ(units::watts(55 * units::W).value(), 55.0);
+  EXPECT_DOUBLE_EQ(units::bytes(64 * units::KiB).value(), 65536.0);
+  EXPECT_DOUBLE_EQ(units::bits_per_sec(100 * units::Mbps).value(), 1e8);
+  EXPECT_DOUBLE_EQ(units::bytes_per_sec(12 * units::GB).value(), 1.2e10);
+}
+
+TEST(Units, CyclesConversionsTypedAndRawAgree) {
+  const q::Hertz f{1.4e9};
+  EXPECT_EQ(units::cycles_to_seconds(7e9, f).value(),
+            units::cycles_to_seconds(7e9, f.value()));
+  EXPECT_EQ(units::seconds_to_cycles(q::Seconds{2.5}, f),
+            units::seconds_to_cycles(2.5, f.value()));
+  EXPECT_DOUBLE_EQ(units::cycles_to_seconds(1.4e9, f).value(), 1.0);
+}
+
+TEST(Units, LiteralSuffixes) {
+  EXPECT_EQ(1.8_GHz, q::Hertz{1.8e9});
+  EXPECT_EQ(200_MHz, q::Hertz{2e8});
+  EXPECT_EQ(250_ms, q::Seconds{0.25});
+  EXPECT_EQ(3_us, q::Seconds{3e-6});
+  EXPECT_EQ(65_ns, q::Seconds{6.5e-8});
+  EXPECT_EQ(5_kJ, q::Joules{5000.0});
+  EXPECT_EQ(55_W, q::Watts{55.0});
+  EXPECT_EQ(400_mW, q::Watts{0.4});
+  EXPECT_EQ(64_KiB, q::Bytes{65536.0});
+  EXPECT_EQ(8_GiB, q::Bytes{8.0 * 1024 * 1024 * 1024});
+  EXPECT_EQ(100_Mbps, q::BitsPerSec{1e8});
+  EXPECT_EQ(10_Gbps, q::BitsPerSec{1e10});
+}
+
+TEST(Units, LiteralsComposeWithAlgebra) {
+  EXPECT_DOUBLE_EQ((100_W * 60_s).value(), 6000.0);
+  EXPECT_DOUBLE_EQ(1_GHz * 1_ns, 1.0);          // cycles, dimensionless
+  EXPECT_DOUBLE_EQ((1_MiB / (1_MiB / 1_s)).value(), 1.0);
+}
+
+}  // namespace
+}  // namespace hepex

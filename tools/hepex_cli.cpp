@@ -41,6 +41,7 @@
 #include "obs/registry.hpp"
 #include "obs/trace_sink.hpp"
 #include "util/cli.hpp"
+#include "util/quantity.hpp"
 
 using namespace hepex;
 
@@ -73,16 +74,28 @@ hw::ClusterConfig config_from(const util::CliArgs& args,
   hw::ClusterConfig cfg;
   cfg.nodes = args.get_int_or("n", 1);
   cfg.cores = args.get_int_or("c", m.node.cores);
-  cfg.f_hz = args.get_double_or("f", m.node.dvfs.f_max() / 1e9) * 1e9;
+  // --f takes a unit suffix ("1.8GHz", "1800MHz"); a bare number is GHz.
+  const auto f = args.get("f");
+  cfg.f_hz = f ? util::parse_frequency(*f)
+               : q::Hertz{(m.node.dvfs.f_max().value() / 1e9) * 1e9};
   return cfg;
+}
+
+/// `--name` parsed as a duration with unit suffix; bare numbers are
+/// seconds, so `--mtbf 3600` and `--mtbf 1h` are the same plan.
+q::Seconds duration_or(const util::CliArgs& args, const std::string& name,
+                       double fallback_s) {
+  const auto v = args.get(name);
+  return v ? util::parse_duration(*v) : q::Seconds{fallback_s};
 }
 
 void print_points(const std::vector<pareto::ConfigPoint>& points) {
   util::Table t({"(n,c,f)", "time [s]", "energy [kJ]", "UCR"});
   for (const auto& p : points) {
     t.add_row({util::fmt_config(p.config.nodes, p.config.cores,
-                                p.config.f_hz / 1e9),
-               util::fmt(p.time_s, 2), util::fmt(p.energy_j / 1e3, 3),
+                                p.config.f_hz.value() / 1e9),
+               util::fmt(p.time_s.value(), 2),
+               util::fmt(p.energy_j.value() / 1e3, 3),
                util::fmt(p.ucr, 2)});
   }
   std::printf("%s", t.to_text().c_str());
@@ -101,35 +114,40 @@ int cmd_recommend(const util::CliArgs& args) {
   core::Advisor advisor(machine_by_name(args.get_or("machine", "xeon")),
                         program_from(args));
   if (args.has("deadline")) {
-    const double deadline = args.get_double_or("deadline", 0.0);
+    const q::Seconds deadline = duration_or(args, "deadline", 0.0);
     if (const auto rec = advisor.for_deadline(deadline)) {
       std::printf("deadline %.1f s -> %s: %.2f s, %.3f kJ, UCR %.2f "
                   "(slack %.1f s)\n",
-                  deadline,
+                  deadline.value(),
                   util::fmt_config(rec->point.config.nodes,
                                    rec->point.config.cores,
-                                   rec->point.config.f_hz / 1e9)
+                                   rec->point.config.f_hz.value() / 1e9)
                       .c_str(),
-                  rec->point.time_s, rec->point.energy_j / 1e3,
+                  rec->point.time_s.value(),
+                  rec->point.energy_j.value() / 1e3,
                   rec->point.ucr, rec->slack);
       return 0;
     }
-    std::printf("no configuration meets a %.1f s deadline\n", deadline);
+    std::printf("no configuration meets a %.1f s deadline\n",
+                deadline.value());
     return 1;
   }
   if (args.has("budget")) {
-    const double budget = args.get_double_or("budget", 0.0);
+    const auto braw = args.get("budget");
+    const q::Joules budget = braw ? util::parse_energy(*braw) : q::Joules{};
     if (const auto rec = advisor.for_budget(budget)) {
-      std::printf("budget %.0f J -> %s: %.2f s, %.3f kJ, UCR %.2f\n", budget,
+      std::printf("budget %.0f J -> %s: %.2f s, %.3f kJ, UCR %.2f\n",
+                  budget.value(),
                   util::fmt_config(rec->point.config.nodes,
                                    rec->point.config.cores,
-                                   rec->point.config.f_hz / 1e9)
+                                   rec->point.config.f_hz.value() / 1e9)
                       .c_str(),
-                  rec->point.time_s, rec->point.energy_j / 1e3,
+                  rec->point.time_s.value(),
+                  rec->point.energy_j.value() / 1e3,
                   rec->point.ucr);
       return 0;
     }
-    std::printf("no configuration fits a %.0f J budget\n", budget);
+    std::printf("no configuration fits a %.0f J budget\n", budget.value());
     return 1;
   }
   throw std::invalid_argument("hepex: recommend needs --deadline or --budget");
@@ -176,14 +194,17 @@ int cmd_simulate(const util::CliArgs& args) {
   }
 
   std::printf("measured %s on %s at %s:\n", p.name.c_str(), m.name.c_str(),
-              util::fmt_config(cfg.nodes, cfg.cores, cfg.f_hz / 1e9).c_str());
-  std::printf("  time   : %.2f s\n", meas.time_s);
+              util::fmt_config(cfg.nodes, cfg.cores,
+                               cfg.f_hz.value() / 1e9).c_str());
+  std::printf("  time   : %.2f s\n", meas.time_s.value());
   std::printf("  energy : %.3f kJ (cpu %.2f + mem %.2f + net %.2f + idle "
               "%.2f)\n",
-              meas.energy.total() / 1e3,
-              (meas.energy.cpu_active_j + meas.energy.cpu_stall_j) / 1e3,
-              meas.energy.mem_j / 1e3, meas.energy.net_j / 1e3,
-              meas.energy.idle_j / 1e3);
+              meas.energy.total().value() / 1e3,
+              (meas.energy.cpu_active_j + meas.energy.cpu_stall_j).value() /
+                  1e3,
+              meas.energy.mem_j.value() / 1e3,
+              meas.energy.net_j.value() / 1e3,
+              meas.energy.idle_j.value() / 1e3);
   std::printf("  UCR    : %.2f   utilization: %.2f\n", meas.ucr(),
               meas.cpu_utilization);
   return 0;
@@ -212,12 +233,12 @@ int cmd_netchar(const util::CliArgs& args) {
   const auto sweep = trace::netpipe_sweep(m, m.node.dvfs.f_max());
   util::Table t({"size [B]", "latency [us]", "throughput [Mbps]"});
   for (const auto& pt : sweep.points) {
-    t.add_row({util::fmt(pt.message_bytes, 0),
-               util::fmt(pt.latency_s * 1e6, 1),
-               util::fmt(pt.throughput_bps / 1e6, 2)});
+    t.add_row({util::fmt(pt.message_bytes.value(), 0),
+               util::fmt(pt.latency_s.value() * 1e6, 1),
+               util::fmt(pt.throughput_bps.value() / 1e6, 2)});
   }
   std::printf("%sachievable: %.1f Mbps\n", t.to_text().c_str(),
-              sweep.achievable_bps / 1e6);
+              sweep.achievable_bps.value() / 1e6);
   return 0;
 }
 
@@ -236,21 +257,24 @@ int cmd_whatif(const util::CliArgs& args) {
   core::Advisor advisor(m, program_from(args));
   const auto cfg = config_from(args, m);
   const auto before = advisor.predict(cfg);
-  std::printf("stock          : %.2f s, %.3f kJ, UCR %.2f\n", before.time_s,
-              before.energy_j / 1e3, before.ucr);
+  std::printf("stock          : %.2f s, %.3f kJ, UCR %.2f\n",
+              before.time_s.value(), before.energy_j.value() / 1e3,
+              before.ucr);
   if (args.has("membw")) {
     const double k = args.get_double_or("membw", 2.0);
     auto upgraded = advisor.with_memory_bandwidth(k);
     const auto after = upgraded.predict(cfg);
     std::printf("%.1fx memory bw : %.2f s, %.3f kJ, UCR %.2f\n", k,
-                after.time_s, after.energy_j / 1e3, after.ucr);
+                after.time_s.value(), after.energy_j.value() / 1e3,
+                after.ucr);
   }
   if (args.has("netbw")) {
     const double k = args.get_double_or("netbw", 2.0);
     auto upgraded = advisor.with_network_bandwidth(k);
     const auto after = upgraded.predict(cfg);
     std::printf("%.1fx network bw: %.2f s, %.3f kJ, UCR %.2f\n", k,
-                after.time_s, after.energy_j / 1e3, after.ucr);
+                after.time_s.value(), after.energy_j.value() / 1e3,
+                after.ucr);
   }
   return 0;
 }
@@ -282,11 +306,13 @@ int cmd_machines(const util::CliArgs& args) {
                            {"modern", hw::modern_x86_cluster()}};
   for (const auto& e : entries) {
     t.add_row({e.key, e.m.name, std::to_string(e.m.node.cores),
-               util::fmt(e.m.node.dvfs.f_min() / 1e9, 1) + "-" +
-                   util::fmt(e.m.node.dvfs.f_max() / 1e9, 1),
-               util::fmt(e.m.node.memory.bandwidth_bytes_per_s / 1e9, 1) +
+               util::fmt(e.m.node.dvfs.f_min().value() / 1e9, 1) + "-" +
+                   util::fmt(e.m.node.dvfs.f_max().value() / 1e9, 1),
+               util::fmt(
+                   e.m.node.memory.bandwidth_bytes_per_s.value() / 1e9, 1) +
                    " GB/s",
-               util::fmt(e.m.network.link_bits_per_s / 1e9, 1) + " Gbps"});
+               util::fmt(e.m.network.link_bits_per_s.value() / 1e9, 1) +
+                   " Gbps"});
   }
   std::printf("%s", t.to_text().c_str());
   std::printf("(xeon and arm are the paper's Table 3 clusters; modern is "
@@ -302,8 +328,10 @@ int cmd_sensitivity(const util::CliArgs& args) {
   const auto ch = model::characterize(m, p);
   const auto rep = model::sensitivity(ch, model::target_of(p), cfg);
   std::printf("%s at %s: T = %.1f s, E = %.2f kJ\n", p.name.c_str(),
-              util::fmt_config(cfg.nodes, cfg.cores, cfg.f_hz / 1e9).c_str(),
-              rep.nominal.time_s, rep.nominal.energy_j / 1e3);
+              util::fmt_config(cfg.nodes, cfg.cores, cfg.f_hz.value() / 1e9)
+                  .c_str(),
+              rep.nominal.time_s.value(),
+              rep.nominal.energy_j.value() / 1e3);
   util::Table t({"input", "dlnT/dln(x)", "dlnE/dln(x)"});
   for (const auto& s : rep.inputs) {
     t.add_row({model::to_string(s.input), util::fmt(s.time_elasticity, 3),
@@ -314,8 +342,8 @@ int cmd_sensitivity(const util::CliArgs& args) {
                                              0.10);
   std::printf("10%% input uncertainty: T in [%.1f, %.1f] s, E in "
               "[%.2f, %.2f] kJ\n",
-              pi.time_lo_s, pi.time_hi_s, pi.energy_lo_j / 1e3,
-              pi.energy_hi_j / 1e3);
+              pi.time_lo_s.value(), pi.time_hi_s.value(),
+              pi.energy_lo_j.value() / 1e3, pi.energy_hi_j.value() / 1e3);
   return 0;
 }
 
@@ -345,9 +373,11 @@ int cmd_predict(const util::CliArgs& args) {
   std::printf("%s at %s: %.2f s, %.3f kJ, UCR %.2f "
               "(cpu %.2f + mem %.2f + net %.2f s)\n",
               ch.program_name.c_str(),
-              util::fmt_config(cfg.nodes, cfg.cores, cfg.f_hz / 1e9).c_str(),
-              pred.time_s, pred.energy_j / 1e3, pred.ucr, pred.t_cpu_s,
-              pred.t_mem_s, pred.t_w_net_s + pred.t_s_net_s);
+              util::fmt_config(cfg.nodes, cfg.cores, cfg.f_hz.value() / 1e9)
+                  .c_str(),
+              pred.time_s.value(), pred.energy_j.value() / 1e3, pred.ucr,
+              pred.t_cpu_s.value(), pred.t_mem_s.value(),
+              (pred.t_w_net_s + pred.t_s_net_s).value());
   return 0;
 }
 
@@ -369,11 +399,11 @@ int cmd_faults(const util::CliArgs& args) {
     const auto cfg = config_from(args, m);
     fault::Plan plan;
     plan.seed = static_cast<std::uint64_t>(args.get_int_or("fault-seed", 1));
-    plan.random_failures.node_mtbf_s = args.get_double_or("mtbf", 0.0);
+    plan.random_failures.node_mtbf_s = duration_or(args, "mtbf", 0.0).value();
     if (args.has("crash-node")) {
       plan.crashes.push_back(
           fault::NodeCrash{args.get_int_or("crash-node", 0),
-                           args.get_double_or("crash-at", 0.0)});
+                           duration_or(args, "crash-at", 0.0).value()});
     }
     const std::string mode = args.get_or("mode", "restart");
     if (mode == "abort") {
@@ -383,12 +413,13 @@ int cmd_faults(const util::CliArgs& args) {
     } else {
       throw std::invalid_argument("hepex: --mode must be abort or restart");
     }
-    plan.recovery.checkpoint_write_s = args.get_double_or("ckpt-write", 1.0);
-    plan.recovery.restart_s = args.get_double_or("restart-cost", 5.0);
+    plan.recovery.checkpoint_write_s =
+        duration_or(args, "ckpt-write", 1.0).value();
+    plan.recovery.restart_s = duration_or(args, "restart-cost", 5.0).value();
     plan.recovery.checkpoint_interval_s =
-        args.get_double_or("ckpt-interval", 60.0);
+        duration_or(args, "ckpt-interval", 60.0).value();
     plan.recovery.barrier_timeout_s =
-        args.get_double_or("barrier-timeout", 30.0);
+        duration_or(args, "barrier-timeout", 30.0).value();
     plan.recovery.spare_nodes =
         args.has("spares") ? args.get_int_or("spares", 0)
                            : plan.recovery.spare_nodes;
@@ -402,16 +433,19 @@ int cmd_faults(const util::CliArgs& args) {
     const auto meas = trace::simulate(m, p, cfg, opt);
     std::printf("simulated %s on %s at %s under faults:\n", p.name.c_str(),
                 m.name.c_str(),
-                util::fmt_config(cfg.nodes, cfg.cores, cfg.f_hz / 1e9)
+                util::fmt_config(cfg.nodes, cfg.cores,
+                                 cfg.f_hz.value() / 1e9)
                     .c_str());
     std::printf("  outcome   : %s after %.2f s\n",
-                meas.completed() ? "completed" : "ABORTED", meas.time_s);
+                meas.completed() ? "completed" : "ABORTED",
+                meas.time_s.value());
     std::printf("  energy    : %.3f kJ (of which fault %.3f kJ)\n",
-                meas.energy.total() / 1e3, meas.energy.fault_j / 1e3);
+                meas.energy.total().value() / 1e3,
+                meas.energy.fault_j.value() / 1e3);
     std::printf("  T_fault   : %.2f s (checkpoints %.2f, rework %.2f, "
                 "downtime %.2f)\n",
-                meas.t_fault_s, meas.faults.checkpoint_s,
-                meas.faults.rework_s, meas.faults.downtime_s);
+                meas.t_fault_s.value(), meas.faults.checkpoint_s.value(),
+                meas.faults.rework_s.value(), meas.faults.downtime_s.value());
     std::printf("  events    : %d crashes, %d recoveries, %d checkpoints, "
                 "%d retransmits\n",
                 meas.faults.crashes, meas.faults.recoveries,
@@ -420,10 +454,10 @@ int cmd_faults(const util::CliArgs& args) {
   }
 
   model::ResilienceSpec spec;
-  spec.node_mtbf_s = args.get_double_or("mtbf", 0.0);
-  spec.checkpoint_write_s = args.get_double_or("ckpt-write", 1.0);
-  spec.restart_s = args.get_double_or("restart-cost", 5.0);
-  spec.checkpoint_interval_s = args.get_double_or("ckpt-interval", 0.0);
+  spec.node_mtbf_s = duration_or(args, "mtbf", 0.0).value();
+  spec.checkpoint_write_s = duration_or(args, "ckpt-write", 1.0).value();
+  spec.restart_s = duration_or(args, "restart-cost", 5.0).value();
+  spec.checkpoint_interval_s = duration_or(args, "ckpt-interval", 0.0).value();
   if (!spec.enabled()) {
     throw std::invalid_argument("hepex: faults needs --mtbf SECONDS");
   }
@@ -441,18 +475,18 @@ int cmd_faults(const util::CliArgs& args) {
 
   std::printf("fault-free optimum : %s: %.2f s, %.3f kJ\n",
               util::fmt_config(base->config.nodes, base->config.cores,
-                               base->config.f_hz / 1e9)
+                               base->config.f_hz.value() / 1e9)
                   .c_str(),
-              base->time_s, base->energy_j / 1e3);
+              base->time_s.value(), base->energy_j.value() / 1e3);
   std::printf("MTBF %.0f s/node    : %s: %.2f s, %.3f kJ expected\n",
               spec.node_mtbf_s,
               util::fmt_config(rec.config.nodes, rec.config.cores,
-                               rec.config.f_hz / 1e9)
+                               rec.config.f_hz.value() / 1e9)
                   .c_str(),
-              rec.time_s, rec.energy_j / 1e3);
+              rec.time_s.value(), rec.energy_j.value() / 1e3);
   if (oh) {
     std::printf("  checkpoint every %.1f s; ~%.2f failures expected\n",
-                oh->interval_s, oh->expected_failures);
+                oh->interval_s.value(), oh->expected_failures);
   }
   std::printf("resilient frontier:\n");
   print_points(advisor.resilient_frontier(spec));

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the hepex sources.
+
+The lint wall's local entry point, identical to what CI runs:
+
+    cmake -B build -S .                 # exports compile_commands.json
+    python3 tools/run_clang_tidy.py --build-dir build
+
+or, through CMake: `cmake --build build --target lint`.
+
+Checks and naming rules live in the repository's .clang-tidy. Exits
+non-zero when any file produces a diagnostic, so it gates. When
+clang-tidy is not installed the script reports that and exits 0 by
+default (use --require to make a missing binary fatal, as CI does) so
+developer machines without LLVM are not broken.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+
+def find_sources(source_dir: Path) -> list[Path]:
+    """All first-party C++ TUs the wall covers (src/ is the gate; tests,
+    bench, examples and tools follow the same config when compiled with
+    -DHEPEX_LINT=ON)."""
+    return sorted((source_dir / "src").rglob("*.cpp"))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--source-dir", type=Path, default=Path(__file__).resolve().parent.parent,
+                        help="repository root (default: this script's repo)")
+    parser.add_argument("--build-dir", type=Path, default=None,
+                        help="build tree containing compile_commands.json "
+                             "(default: <source-dir>/build)")
+    parser.add_argument("--clang-tidy", default="clang-tidy",
+                        help="clang-tidy binary to use")
+    parser.add_argument("--require", action="store_true",
+                        help="fail (exit 2) when clang-tidy is missing "
+                             "instead of skipping")
+    parser.add_argument("-j", "--jobs", type=int, default=1,
+                        help="reserved for parallel runs; currently serial")
+    args = parser.parse_args()
+
+    source_dir = args.source_dir.resolve()
+    build_dir = (args.build_dir or source_dir / "build").resolve()
+
+    exe = shutil.which(args.clang_tidy)
+    if exe is None:
+        msg = f"run_clang_tidy: '{args.clang_tidy}' not found on PATH"
+        if args.require:
+            print(msg, file=sys.stderr)
+            return 2
+        print(f"{msg}; skipping lint (pass --require to make this fatal)")
+        return 0
+
+    compdb = build_dir / "compile_commands.json"
+    if not compdb.is_file():
+        print(f"run_clang_tidy: {compdb} missing — configure the build tree "
+              f"first (cmake -B {build_dir} -S {source_dir})",
+              file=sys.stderr)
+        return 2
+    # Only lint TUs the build actually compiles, in case the tree was
+    # configured with pieces disabled.
+    with compdb.open() as f:
+        compiled = {Path(e["file"]).resolve() for e in json.load(f)}
+
+    sources = [p for p in find_sources(source_dir) if p.resolve() in compiled]
+    if not sources:
+        print("run_clang_tidy: no src/ TUs found in compile_commands.json",
+              file=sys.stderr)
+        return 2
+
+    failed: list[Path] = []
+    for src in sources:
+        rel = src.relative_to(source_dir)
+        proc = subprocess.run(
+            [exe, "-p", str(build_dir), "--quiet", str(src)],
+            capture_output=True, text=True)
+        if proc.returncode != 0 or "warning:" in proc.stdout \
+                or "error:" in proc.stdout:
+            failed.append(rel)
+            print(f"FAIL {rel}")
+            sys.stdout.write(proc.stdout)
+            sys.stderr.write(proc.stderr)
+        else:
+            print(f"ok   {rel}")
+
+    if failed:
+        print(f"\nrun_clang_tidy: {len(failed)}/{len(sources)} files "
+              f"with diagnostics", file=sys.stderr)
+        return 1
+    print(f"run_clang_tidy: {len(sources)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
