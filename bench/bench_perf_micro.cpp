@@ -1,11 +1,33 @@
-// Library microbenchmarks (google-benchmark): throughput of the
-// discrete-event engine, the model evaluation, frontier extraction and
-// the full characterization pass. Not a paper artefact — these guard the
-// library's own performance.
+// Library performance baseline. Two modes:
+//
+//  default        measure the hot paths with std::chrono and emit a
+//                 machine-readable BENCH_perf.json (schema
+//                 "hepex-bench-perf/1"): model-sweep wall time at several
+//                 job counts, serial-vs-parallel speedup, frontier
+//                 extraction time, simulator event throughput. Exits 1
+//                 if a parallel sweep is not bit-identical to the serial
+//                 one — CI runs this as the perf smoke test.
+//  --gbench       the original google-benchmark microbenchmark suite
+//                 (per-call timings with statistical repetition).
+//
+// Flags: --jobs N (parallel job count to measure against serial; default
+// 4), --json PATH (where to write the JSON; default BENCH_perf.json),
+// --profile, --gbench. Not a paper artefact — this guards the library's
+// own performance.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "common.hpp"
+#include "obs/registry.hpp"
+#include "par/thread_pool.hpp"
+#include "util/cli.hpp"
 
 using namespace hepex;
 
@@ -16,6 +38,8 @@ const model::Characterization& cached_ch() {
       bench::characterize_program(hw::xeon_cluster(), "SP");
   return ch;
 }
+
+// --- google-benchmark suite (--gbench) ------------------------------
 
 void BM_SimulateSmall(benchmark::State& state) {
   const auto machine = hw::xeon_cluster();
@@ -51,13 +75,14 @@ void BM_SweepModelSpace(benchmark::State& state) {
   const auto target =
       model::target_of(workload::make_sp(workload::InputClass::kA));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(pareto::sweep_model_space(ch, target));
+    benchmark::DoNotOptimize(
+        pareto::sweep_model_space(ch, target, static_cast<int>(state.range(0))));
   }
   state.counters["configs/s"] = benchmark::Counter(
       static_cast<double>(state.iterations()) * 216.0,
       benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_SweepModelSpace);
+BENCHMARK(BM_SweepModelSpace)->Arg(1)->Arg(0);
 
 void BM_ParetoFrontier(benchmark::State& state) {
   const auto& ch = cached_ch();
@@ -90,6 +115,173 @@ void BM_NetPipeSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_NetPipeSweep);
 
+// --- JSON baseline mode (default) -----------------------------------
+
+/// Best-of-`reps` wall time of `fn()`, in seconds. Best-of (not mean)
+/// rejects one-off scheduler noise, which matters on shared CI runners.
+template <typename F>
+double best_of(int reps, F&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+/// Two ConfigPoint vectors are identical down to the last bit.
+/// ConfigPoint is padding-free (2 ints + 4 doubles), so memcmp over the
+/// raw storage is exact.
+bool bit_identical(const std::vector<pareto::ConfigPoint>& a,
+                   const std::vector<pareto::ConfigPoint>& b) {
+  static_assert(sizeof(pareto::ConfigPoint) ==
+                    2 * sizeof(int) + 4 * sizeof(double),
+                "ConfigPoint gained padding; memcmp comparison is unsound");
+  if (a.size() != b.size()) return false;
+  if (a.empty()) return true;
+  return std::memcmp(a.data(), b.data(),
+                     a.size() * sizeof(pareto::ConfigPoint)) == 0;
+}
+
+int run_json_mode(int argc, char** argv) {
+  std::string json_path = "BENCH_perf.json";
+  int jobs = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = util::parse_jobs(argv[++i]);
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = util::parse_jobs(argv[i] + 7);
+    }
+  }
+  if (jobs == 0) jobs = par::hardware_jobs();
+
+  const auto& ch = cached_ch();
+  const auto target =
+      model::target_of(workload::make_sp(workload::InputClass::kA));
+  const auto space = hw::model_config_space(ch.machine);
+
+  std::printf("hepex perf baseline: %zu-config Xeon model space, "
+              "comparing --jobs 1 vs --jobs %d\n",
+              space.size(), jobs);
+
+  // Warm up (faults in the instruction cache, pool worker spawn) and
+  // keep the serial reference for the identity check.
+  const auto reference = pareto::sweep_model(ch, target, space, 1);
+  std::vector<pareto::ConfigPoint> parallel_result;
+
+  const int kReps = 20;
+  const double sweep_serial_s =
+      best_of(kReps, [&] { (void)pareto::sweep_model(ch, target, space, 1); });
+  const double sweep_parallel_s = best_of(kReps, [&] {
+    parallel_result = pareto::sweep_model(ch, target, space, jobs);
+  });
+  const double speedup =
+      sweep_parallel_s > 0.0 ? sweep_serial_s / sweep_parallel_s : 0.0;
+
+  const bool identical = bit_identical(reference, parallel_result);
+
+  const double frontier_s =
+      best_of(kReps, [&] { (void)pareto::pareto_frontier(reference); });
+
+  // Simulator event throughput: one seeded small run, events from the
+  // registry's ground-truth counter.
+  obs::Registry registry;
+  const auto machine = hw::xeon_cluster();
+  const auto program =
+      workload::program_by_name("SP", workload::InputClass::kS);
+  trace::SimOptions sim_opt;
+  sim_opt.metrics = &registry;
+  const hw::ClusterConfig sim_cfg{4, 4, q::Hertz{1.8e9}};
+  const double sim_s = best_of(
+      5, [&] { (void)trace::simulate(machine, program, sim_cfg, sim_opt); });
+  double events = 0.0;
+  if (const auto* c = registry.find_counter("sim.events_processed")) {
+    // The counter accumulated over every best_of repetition.
+    events = static_cast<double>(c->value()) / 5.0;
+  }
+  const double events_per_s = sim_s > 0.0 ? events / sim_s : 0.0;
+
+  bench::JsonWriter json;
+  json.add("schema", "hepex-bench-perf/1");
+  json.add("machine", ch.machine.name);
+  json.add("program", "SP");
+  json.add("configs", static_cast<int>(space.size()));
+  json.add("jobs", jobs);
+  json.add("hardware_jobs", par::hardware_jobs());
+  json.add("sweep_serial_s", sweep_serial_s);
+  json.add("sweep_parallel_s", sweep_parallel_s);
+  json.add("sweep_speedup", speedup);
+  json.add("sweep_bit_identical", identical ? 1 : 0);
+  json.add("frontier_s", frontier_s);
+  json.add("sim_events", events);
+  json.add("sim_wall_s", sim_s);
+  json.add("sim_events_per_s", events_per_s);
+
+  const std::string content = json.str();
+  std::ofstream os(json_path);
+  if (!os) {
+    std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  os << content;
+  os.close();
+  bench::maybe_write_artifact("BENCH_perf.json", content);
+
+  std::printf("  sweep    : %.3f ms serial, %.3f ms at --jobs %d "
+              "(%.2fx, %s)\n",
+              sweep_serial_s * 1e3, sweep_parallel_s * 1e3, jobs, speedup,
+              identical ? "bit-identical" : "MISMATCH");
+  std::printf("  frontier : %.3f ms\n", frontier_s * 1e3);
+  std::printf("  simulator: %.3g events in %.3f ms (%.3g events/s)\n",
+              events, sim_s * 1e3, events_per_s);
+  std::printf("  json     : %s\n", json_path.c_str());
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "error: parallel sweep diverged from the serial sweep — "
+                 "determinism contract broken\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::ProfileSession profile(argc, argv);
+  bool gbench = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--gbench") == 0) gbench = true;
+  }
+  if (gbench) {
+    // Hand google-benchmark an argv without the flags it doesn't know.
+    std::vector<char*> gb_argv;
+    for (int i = 0; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--gbench") == 0 ||
+          std::strcmp(argv[i], "--profile") == 0 ||
+          std::strncmp(argv[i], "--jobs", 6) == 0 ||
+          std::strncmp(argv[i], "--json", 6) == 0) {
+        // --jobs N / --json PATH consume the next token too.
+        if ((std::strcmp(argv[i], "--jobs") == 0 ||
+             std::strcmp(argv[i], "--json") == 0) &&
+            i + 1 < argc) {
+          ++i;
+        }
+        continue;
+      }
+      gb_argv.push_back(argv[i]);
+    }
+    int gb_argc = static_cast<int>(gb_argv.size());
+    benchmark::Initialize(&gb_argc, gb_argv.data());
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+  return run_json_mode(argc, argv);
+}

@@ -6,6 +6,8 @@
 #include <fstream>
 
 #include "obs/profiler.hpp"
+#include "par/thread_pool.hpp"
+#include "util/cli.hpp"
 
 namespace hepex::bench {
 
@@ -13,7 +15,15 @@ ProfileSession::ProfileSession(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--profile") == 0) {
       enabled_ = true;
-      break;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      par::set_default_jobs(util::parse_jobs(argv[i + 1]));
+      ++i;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      par::set_default_jobs(util::parse_jobs(argv[i] + 7));
     }
   }
   if (enabled_) obs::Profiler::instance().set_enabled(true);
@@ -58,6 +68,61 @@ void maybe_write_artifact(const std::string& filename,
   }
   os << content;
   std::printf("(artifact written: %s)\n", path.c_str());
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void JsonWriter::add(const std::string& key, double value) {
+  fields_.push_back("\"" + json_escape(key) + "\": " + json_number(value));
+}
+
+void JsonWriter::add(const std::string& key, int value) {
+  fields_.push_back("\"" + json_escape(key) + "\": " + std::to_string(value));
+}
+
+void JsonWriter::add(const std::string& key, const std::string& value) {
+  fields_.push_back("\"" + json_escape(key) + "\": \"" + json_escape(value) +
+                    "\"");
+}
+
+void JsonWriter::add(const std::string& key,
+                     const std::vector<double>& values) {
+  std::string arr = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) arr += ", ";
+    arr += json_number(values[i]);
+  }
+  arr += "]";
+  fields_.push_back("\"" + json_escape(key) + "\": " + arr);
+}
+
+std::string JsonWriter::str() const {
+  std::string out = "{\n";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    out += "  " + fields_[i];
+    if (i + 1 < fields_.size()) out += ",";
+    out += "\n";
+  }
+  out += "}\n";
+  return out;
 }
 
 std::string cell_time(double seconds) { return util::fmt(seconds, 1); }

@@ -3,6 +3,7 @@
 /// \brief Shared scaffolding for the reproduction benches.
 
 #include <string>
+#include <vector>
 
 #include "core/hepex.hpp"
 
@@ -11,7 +12,10 @@ namespace hepex::bench {
 /// Scans argv for `--profile`; when present, enables the obs::Profiler
 /// for the process and prints the scoped-timer report (where host time
 /// went: characterization, model evaluation, frontier extraction) to
-/// stderr at destruction. Construct first thing in a bench's main().
+/// stderr at destruction. Also scans for `--jobs N` / `--jobs=N` and
+/// installs it as the process-wide `par` default, so every bench gains
+/// the flag without per-binary plumbing. Construct first thing in a
+/// bench's main().
 class ProfileSession {
  public:
   ProfileSession(int argc, const char* const* argv);
@@ -24,6 +28,25 @@ class ProfileSession {
 
  private:
   bool enabled_ = false;
+};
+
+/// Minimal flat-object JSON emitter for machine-readable bench
+/// artifacts (BENCH_*.json). Values are numbers, strings or arrays of
+/// numbers; insertion order is preserved. Not a general JSON library —
+/// just enough for `{"schema": "...", "metric": 1.5, ...}` files that
+/// CI parses.
+class JsonWriter {
+ public:
+  void add(const std::string& key, double value);
+  void add(const std::string& key, int value);
+  void add(const std::string& key, const std::string& value);
+  void add(const std::string& key, const std::vector<double>& values);
+
+  /// The assembled object, pretty-printed one field per line.
+  std::string str() const;
+
+ private:
+  std::vector<std::string> fields_;  // pre-rendered "\"key\": value"
 };
 
 /// Print the standard bench banner: which paper artefact this binary

@@ -4,6 +4,7 @@
 
 #include "obs/log.hpp"
 #include "obs/profiler.hpp"
+#include "par/thread_pool.hpp"
 #include "util/error.hpp"
 
 namespace hepex::core {
@@ -33,23 +34,35 @@ const model::Characterization& Advisor::characterization() {
 }
 
 model::Prediction Advisor::predict(const hw::ClusterConfig& config) {
-  return model::predict(characterization(), model::target_of(program_),
-                        config);
+  return cache_.at(characterization(), model::target_of(program_), config);
 }
 
 const std::vector<pareto::ConfigPoint>& Advisor::explore() {
   if (!space_) {
     HEPEX_PROFILE_SCOPE("advisor.explore");
-    space_ = pareto::sweep_model_space(characterization(),
-                                       model::target_of(program_));
+    // Keep the full predictions: explore_resilient re-ranks them per
+    // failure-rate spec and must not pay for the model sweep again.
+    predictions_ = model::predict_many(
+        characterization(), model::target_of(program_),
+        hw::model_config_space(characterization().machine));
+    std::vector<pareto::ConfigPoint> pts;
+    pts.reserve(predictions_->size());
+    for (const auto& p : *predictions_) {
+      pts.push_back(pareto::ConfigPoint{p.config, p.time_s, p.energy_j,
+                                        p.ucr});
+    }
+    space_ = std::move(pts);
     HEPEX_LOG_DEBUG("advisor", "explored configuration space",
                     {{"points", space_->size()}});
   }
   return *space_;
 }
 
-std::vector<pareto::ConfigPoint> Advisor::frontier() {
-  return pareto::pareto_frontier(explore());
+const std::vector<pareto::ConfigPoint>& Advisor::frontier() {
+  if (!frontier_) {
+    frontier_ = pareto::pareto_frontier(explore());
+  }
+  return *frontier_;
 }
 
 pareto::ConfigPoint Advisor::knee() {
@@ -74,13 +87,20 @@ std::vector<pareto::ConfigPoint> Advisor::explore_resilient(
     const model::ResilienceSpec& spec) {
   spec.validate();
   HEPEX_PROFILE_SCOPE("advisor.explore_resilient");
+  explore();  // fills predictions_
+  // Adjust every cached prediction in parallel (each adjustment is an
+  // independent closed form), then filter serially in index order so the
+  // result matches the serial loop byte for byte.
+  const auto adjusted = par::parallel_map(
+      *predictions_, [&](const model::Prediction& p) {
+        return model::apply_resilience(p, machine_.node.power, spec);
+      });
   std::vector<pareto::ConfigPoint> out;
-  for (const auto& base : explore()) {
-    const auto adjusted = model::apply_resilience(
-        predict(base.config), machine_.node.power, spec);
-    if (!adjusted) continue;  // no forward progress at this failure rate
-    out.push_back(pareto::ConfigPoint{adjusted->config, adjusted->time_s,
-                                      adjusted->energy_j, adjusted->ucr});
+  out.reserve(adjusted.size());
+  for (const auto& a : adjusted) {
+    if (!a) continue;  // no forward progress at this failure rate
+    out.push_back(
+        pareto::ConfigPoint{a->config, a->time_s, a->energy_j, a->ucr});
   }
   HEPEX_LOG_DEBUG("advisor", "resilient space",
                   {{"feasible", out.size()},

@@ -43,6 +43,11 @@ struct Recommendation {
 
 /// Facade over characterization, prediction and Pareto analysis for one
 /// (machine, program) pair.
+///
+/// Not thread-safe: an Advisor memoizes lazily (characterization, space,
+/// frontier, prediction cache), so share one instance only from a single
+/// thread. Parallelism lives *inside* the sweeps (see src/par), which
+/// keep results bit-identical to serial evaluation.
 class Advisor {
  public:
   /// \param machine  target homogeneous cluster
@@ -55,14 +60,22 @@ class Advisor {
   /// The characterized model inputs (runs the measurement pass once).
   const model::Characterization& characterization();
 
-  /// Model prediction at one configuration.
+  /// Model prediction at one configuration. Memoized on (n, c, f): the
+  /// advisor's characterization is fixed, so repeated queries at the same
+  /// grid point skip the model's fixed-point solve.
   model::Prediction predict(const hw::ClusterConfig& config);
 
   /// Evaluate the machine's full model configuration space (cached).
+  /// The sweep runs on the configured `par` job count; results are
+  /// bit-identical to a serial sweep.
   const std::vector<pareto::ConfigPoint>& explore();
 
   /// Time-energy Pareto frontier over the full space, ascending time.
-  std::vector<pareto::ConfigPoint> frontier();
+  /// Cached alongside `explore()`'s space — both are derived from the
+  /// same characterization and are only ever filled (and would only ever
+  /// be invalidated) together. The reference stays valid for the
+  /// advisor's lifetime.
+  const std::vector<pareto::ConfigPoint>& frontier();
 
   /// The frontier's knee — the best time-energy trade-off when neither a
   /// deadline nor a budget is given.
@@ -77,7 +90,8 @@ class Advisor {
   /// The configuration space with the expected fault overhead of `spec`
   /// folded in (Young/Daly closed form, see model/resilience.hpp).
   /// Configurations that cannot make forward progress at the failure
-  /// rate are dropped. Each call re-ranks the cached fault-free space.
+  /// rate are dropped. Each call re-ranks the cached fault-free
+  /// predictions — the model is not re-evaluated.
   std::vector<pareto::ConfigPoint> explore_resilient(
       const model::ResilienceSpec& spec);
 
@@ -122,7 +136,13 @@ class Advisor {
   workload::ProgramSpec program_;
   model::CharacterizationOptions options_;
   std::optional<model::Characterization> ch_;
+  // space_, predictions_ (full Prediction per space_ point, same order)
+  // and frontier_ are derived from ch_ in explore()/frontier(); they are
+  // filled together and must only ever be invalidated together.
   std::optional<std::vector<pareto::ConfigPoint>> space_;
+  std::optional<std::vector<model::Prediction>> predictions_;
+  std::optional<std::vector<pareto::ConfigPoint>> frontier_;
+  model::PredictionCache cache_;  ///< memo for ad-hoc predict() queries
 };
 
 }  // namespace hepex::core

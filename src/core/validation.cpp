@@ -1,6 +1,9 @@
 #include "core/validation.hpp"
 
+#include <cstddef>
+
 #include "model/predictor.hpp"
+#include "par/thread_pool.hpp"
 #include "trace/execution_engine.hpp"
 #include "trace/power_meter.hpp"
 #include "util/error.hpp"
@@ -10,7 +13,8 @@ namespace hepex::core {
 ValidationReport validate(const hw::MachineSpec& machine,
                           const workload::ProgramSpec& program,
                           const std::vector<hw::ClusterConfig>& configs,
-                          const model::CharacterizationOptions& options) {
+                          const model::CharacterizationOptions& options,
+                          int jobs) {
   HEPEX_REQUIRE(!configs.empty(), "validation needs at least one config");
 
   const model::Characterization ch =
@@ -18,16 +22,33 @@ ValidationReport validate(const hw::MachineSpec& machine,
   const model::TargetInfo target = model::target_of(program);
   trace::PowerMeter meter(machine, options.meter_seed);
 
+  // Each configuration's "physical run" carries its own seed, so the
+  // simulations are fully independent and can run on pool workers. The
+  // meter, in contrast, is one stateful RNG stream shared across rows —
+  // it must consume measurements serially, in index order, for the
+  // report to be bit-identical to the serial sweep. Observability sinks
+  // in `options.sim` are single-consumer objects, so their presence
+  // forces the serial path.
+  const bool serial_sinks =
+      options.sim.trace != nullptr || options.sim.metrics != nullptr;
+  std::vector<trace::Measurement> runs(configs.size());
+  const auto run_one = [&](std::size_t i) {
+    trace::SimOptions sim_opt = options.sim;
+    sim_opt.seed = options.sim.seed + 0x9E37u * (i + 1);
+    runs[i] = trace::simulate(machine, program, configs[i], sim_opt);
+  };
+  if (serial_sinks) {
+    for (std::size_t i = 0; i < configs.size(); ++i) run_one(i);
+  } else {
+    par::parallel_for(configs.size(), run_one, jobs);
+  }
+
   ValidationReport report;
   report.rows.reserve(configs.size());
-  trace::SimOptions sim_opt = options.sim;
 
-  for (const auto& cfg : configs) {
-    // "Direct measurement": a fresh seed per configuration, as separate
-    // physical runs would have independent OS noise.
-    sim_opt.seed = options.sim.seed + 0x9E37u * (report.rows.size() + 1);
-    const trace::Measurement meas =
-        trace::simulate(machine, program, cfg, sim_opt);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const hw::ClusterConfig& cfg = configs[i];
+    const trace::Measurement& meas = runs[i];
     const trace::MeterReading reading = meter.read(meas);
     const model::Prediction pred = model::predict(ch, target, cfg);
 

@@ -42,10 +42,18 @@ struct ValidationReport {
 /// Validate `program` on `machine` over `configs`. The characterization
 /// is built once (from the baseline class in `options`); each config is
 /// then simulated and metered, and compared against the model.
+///
+/// The per-config simulations run on up to `jobs` threads
+/// (par::resolve_jobs semantics; 0 = configured default). Each run has
+/// its own derived seed, and metering/aggregation stay serial in config
+/// order, so the report is bit-identical at any job count. When
+/// `options.sim` carries a trace or metrics sink the sweep is forced
+/// serial — sinks are single-consumer.
 ValidationReport validate(const hw::MachineSpec& machine,
                           const workload::ProgramSpec& program,
                           const std::vector<hw::ClusterConfig>& configs,
-                          const model::CharacterizationOptions& options = {});
+                          const model::CharacterizationOptions& options = {},
+                          int jobs = 0);
 
 /// The paper's validation grid: n in {2,4,8} (plus optionally 1),
 /// c over all cores, f over all DVFS points — 96 Xeon / 80 ARM configs

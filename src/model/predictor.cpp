@@ -5,6 +5,7 @@
 
 #include "model/equations.hpp"
 #include "obs/profiler.hpp"
+#include "par/thread_pool.hpp"
 #include "util/error.hpp"
 
 namespace hepex::model {
@@ -124,6 +125,38 @@ Prediction predict(const Characterization& ch, const TargetInfo& target,
   e.idle_j = eq::e_idle_j(ch.power.sys_idle_w, out.time_s, cfg.nodes);
   out.energy_j = e.total();
   return out;
+}
+
+std::vector<Prediction> predict_many(const Characterization& ch,
+                                     const TargetInfo& target,
+                                     const std::vector<hw::ClusterConfig>& cfgs,
+                                     int jobs) {
+  // Each element is an independent pure evaluation; parallel_map writes
+  // result i from input i, so the vector is bit-identical to a serial
+  // in-order loop at any job count.
+  return par::parallel_map(
+      cfgs,
+      [&](const hw::ClusterConfig& cfg) { return predict(ch, target, cfg); },
+      jobs);
+}
+
+const Prediction& PredictionCache::at(const Characterization& ch,
+                                      const TargetInfo& target,
+                                      const hw::ClusterConfig& cfg) {
+  const Key key{cfg.nodes, cfg.cores, cfg.f_hz.value()};
+  auto it = memo_.find(key);
+  if (it != memo_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  return memo_.emplace(key, predict(ch, target, cfg)).first->second;
+}
+
+void PredictionCache::clear() {
+  memo_.clear();
+  hits_ = 0;
+  misses_ = 0;
 }
 
 }  // namespace hepex::model

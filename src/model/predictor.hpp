@@ -18,6 +18,11 @@
 /// time — the closed-system feedback that keeps the M/G/1 queue stable at
 /// any n.
 
+#include <cstddef>
+#include <map>
+#include <tuple>
+#include <vector>
+
 #include "hw/machine.hpp"
 #include "model/characterization.hpp"
 #include "trace/measurement.hpp"
@@ -67,5 +72,38 @@ CommScaling comm_scaling(workload::CommPattern pattern, int n, int n_probe);
 /// when the configuration is outside the machine's (model) capability.
 Prediction predict(const Characterization& ch, const TargetInfo& target,
                    const hw::ClusterConfig& config);
+
+/// Evaluate the model at every configuration, on up to `jobs` threads
+/// (par::resolve_jobs semantics; 0 = configured default). The result is
+/// bit-identical to calling `predict` serially in order: each element is
+/// computed independently — the evaluation for cfgs[i] is the same
+/// arithmetic regardless of thread count — and results land at index i.
+std::vector<Prediction> predict_many(const Characterization& ch,
+                                     const TargetInfo& target,
+                                     const std::vector<hw::ClusterConfig>& cfgs,
+                                     int jobs = 0);
+
+/// Memo table for `predict` over a *fixed* (Characterization, TargetInfo)
+/// pair, keyed on the configuration coordinates (n, c, f). Sweeps and the
+/// Advisor revisit the same grid points across calls; the model evaluation
+/// (a fixed-point network solve) dominates, so a hit skips it entirely.
+/// Not thread-safe — use one cache per thread, or fill it serially.
+class PredictionCache {
+ public:
+  /// Look up `cfg`, evaluating (and remembering) on a miss.
+  const Prediction& at(const Characterization& ch, const TargetInfo& target,
+                       const hw::ClusterConfig& cfg);
+
+  std::size_t size() const { return memo_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  void clear();
+
+ private:
+  using Key = std::tuple<int, int, double>;  // (nodes, cores, f_hz)
+  std::map<Key, Prediction> memo_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
 
 }  // namespace hepex::model

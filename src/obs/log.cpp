@@ -1,13 +1,20 @@
 #include "obs/log.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 #include <stdexcept>
 
 namespace hepex::obs {
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
-Log::Sink g_sink;  // empty -> stderr
+// The level gate is read from parallel-sweep worker threads (every
+// HEPEX_LOG_* macro consults it), so it is atomic; records themselves
+// are rendered thread-locally and emitted under a mutex so concurrent
+// ensemble replicas cannot interleave characters within a line.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_sink_mu;
+Log::Sink g_sink;  // empty -> stderr; guarded by g_sink_mu
 
 /// logfmt values need quoting when they contain spaces, quotes or '='.
 bool needs_quoting(std::string_view v) {
@@ -93,7 +100,10 @@ void Log::set_level(LogLevel level) { g_level = level; }
 
 LogLevel Log::level() { return g_level; }
 
-void Log::set_sink(Sink sink) { g_sink = std::move(sink); }
+void Log::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lk(g_sink_mu);
+  g_sink = std::move(sink);
+}
 
 void Log::emit(LogLevel level, std::string_view component,
                std::string_view message,
@@ -112,6 +122,7 @@ void Log::emit(LogLevel level, std::string_view component,
     line.push_back('=');
     line += f.value;
   }
+  std::lock_guard<std::mutex> lk(g_sink_mu);
   if (g_sink) {
     g_sink(line);
   } else {

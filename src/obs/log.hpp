@@ -63,8 +63,10 @@ struct LogField {
   std::string value;  ///< already rendered (strings are quoted if needed)
 };
 
-/// Process-wide logger front end. All members are static: HEPEX is
-/// single-threaded per process and log configuration is global by nature.
+/// Process-wide logger front end. All members are static: log
+/// configuration is global by nature. Thread-safe — the level gate is an
+/// atomic and records are emitted whole under an internal mutex, so
+/// statements firing from `par::ThreadPool` workers never interleave.
 class Log {
  public:
   using Sink = std::function<void(std::string_view line)>;

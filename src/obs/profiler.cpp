@@ -12,6 +12,7 @@ Profiler& Profiler::instance() {
 }
 
 void Profiler::record(const char* name, double seconds) {
+  std::lock_guard<std::mutex> lk(mu_);
   Cell& c = cells_[name];
   c.calls += 1;
   c.total_s += seconds;
@@ -20,6 +21,7 @@ void Profiler::record(const char* name, double seconds) {
 
 std::vector<Profiler::Entry> Profiler::entries() const {
   std::vector<Entry> out;
+  std::lock_guard<std::mutex> lk(mu_);
   out.reserve(cells_.size());
   for (const auto& [name, c] : cells_) {
     out.push_back(Entry{name, c.calls, c.total_s, c.max_s});
@@ -50,6 +52,9 @@ std::string Profiler::report() const {
   return t.to_text();
 }
 
-void Profiler::reset() { cells_.clear(); }
+void Profiler::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  cells_.clear();
+}
 
 }  // namespace hepex::obs

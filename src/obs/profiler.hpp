@@ -14,21 +14,26 @@
 /// and `bench::ProfileSession` do this), then print
 /// `Profiler::instance().report()`.
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace hepex::obs {
 
-/// Process-wide accumulator of named timer totals.
+/// Process-wide accumulator of named timer totals. Thread-safe: scopes
+/// fire from `par::ThreadPool` workers during parallel sweeps, so
+/// `record` folds samples under a mutex (only on the enabled path — the
+/// disabled fast path is a single relaxed atomic load).
 class Profiler {
  public:
   static Profiler& instance();
 
-  void set_enabled(bool on) { enabled_ = on; }
-  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// Fold one sample into the named timer.
   void record(const char* name, double seconds);
@@ -57,7 +62,8 @@ class Profiler {
     double max_s = 0.0;
   };
 
-  bool enabled_ = false;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
   std::map<std::string, Cell> cells_;
 };
 

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "obs/profiler.hpp"
+#include "par/thread_pool.hpp"
 #include "util/error.hpp"
 
 namespace hepex::pareto {
@@ -66,20 +67,24 @@ std::optional<ConfigPoint> min_time_within_budget(
 
 std::vector<ConfigPoint> sweep_model(const model::Characterization& ch,
                                      const model::TargetInfo& target,
-                                     const std::vector<hw::ClusterConfig>& cfgs) {
+                                     const std::vector<hw::ClusterConfig>& cfgs,
+                                     int jobs) {
   HEPEX_PROFILE_SCOPE("pareto.sweep_model");
-  std::vector<ConfigPoint> out;
-  out.reserve(cfgs.size());
-  for (const auto& cfg : cfgs) {
-    const model::Prediction p = model::predict(ch, target, cfg);
-    out.push_back(ConfigPoint{cfg, p.time_s, p.energy_j, p.ucr});
-  }
-  return out;
+  // parallel_map preserves index order and each evaluation is
+  // independent, so any job count reproduces the serial vector exactly.
+  return par::parallel_map(
+      cfgs,
+      [&](const hw::ClusterConfig& cfg) {
+        const model::Prediction p = model::predict(ch, target, cfg);
+        return ConfigPoint{cfg, p.time_s, p.energy_j, p.ucr};
+      },
+      jobs);
 }
 
 std::vector<ConfigPoint> sweep_model_space(const model::Characterization& ch,
-                                           const model::TargetInfo& target) {
-  return sweep_model(ch, target, hw::model_config_space(ch.machine));
+                                           const model::TargetInfo& target,
+                                           int jobs) {
+  return sweep_model(ch, target, hw::model_config_space(ch.machine), jobs);
 }
 
 ConfigPoint knee_point(const std::vector<ConfigPoint>& frontier) {

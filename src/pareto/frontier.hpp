@@ -44,14 +44,20 @@ std::optional<ConfigPoint> min_energy_within_deadline(
 std::optional<ConfigPoint> min_time_within_budget(
     const std::vector<ConfigPoint>& points, q::Joules budget_j);
 
-/// Evaluate the model over a set of configurations.
+/// Evaluate the model over a set of configurations, on up to `jobs`
+/// threads (par::resolve_jobs semantics; 0 = configured default, 1 =
+/// serial). The result is bit-identical at any job count: each point is
+/// an independent model evaluation landing at its input's index.
 std::vector<ConfigPoint> sweep_model(const model::Characterization& ch,
                                      const model::TargetInfo& target,
-                                     const std::vector<hw::ClusterConfig>& cfgs);
+                                     const std::vector<hw::ClusterConfig>& cfgs,
+                                     int jobs = 0);
 
 /// Evaluate the model over the machine's full model configuration space.
+/// Same determinism guarantee as `sweep_model`.
 std::vector<ConfigPoint> sweep_model_space(const model::Characterization& ch,
-                                           const model::TargetInfo& target);
+                                           const model::TargetInfo& target,
+                                           int jobs = 0);
 
 /// The frontier's knee: the point with maximum normalized distance from
 /// the straight line between the frontier's endpoints — the "best

@@ -1,0 +1,134 @@
+#pragma once
+/// \file event_fn.hpp
+/// \brief Small-buffer-optimized event action for the simulator calendar.
+///
+/// The discrete-event kernel schedules hundreds of thousands of closures
+/// per run; with `std::function` every capture beyond the two-word SBO
+/// paid a heap allocation *per scheduled event*. `EventFn` keeps a
+/// 96-byte inline buffer — sized for the engine's largest common capture
+/// (the resource-completion closure: six words of timing state plus a
+/// moved-in `std::function` continuation) — so the steady-state event
+/// path allocates nothing. Larger or potentially-throwing-on-move
+/// callables fall back to a single heap cell, preserving `std::function`
+/// semantics.
+///
+/// Move-only on purpose: event actions are scheduled once and fired once;
+/// copyability is what forces `std::function` to heap-allocate shared
+/// state it never needs here.
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hepex::sim {
+
+/// Move-only `void()` callable with inline storage.
+class EventFn {
+ public:
+  /// Inline capacity; covers the engine's event captures (see file doc).
+  static constexpr std::size_t kInlineBytes = 96;
+
+  EventFn() noexcept = default;
+
+  template <typename F,
+            std::enable_if_t<!std::is_same_v<std::decay_t<F>, EventFn> &&
+                                 std::is_invocable_r_v<void, std::decay_t<F>&>,
+                             int> = 0>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::ops;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &HeapOps<Fn>::ops;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  /// True when a callable is stored.
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// Invoke the stored callable (must not be empty).
+  void operator()() { ops_->invoke(buf_); }
+
+  /// Whether a callable of type F would be stored inline (exposed for the
+  /// allocation-behaviour tests).
+  template <typename F>
+  static constexpr bool stores_inline() {
+    return fits_inline<std::decay_t<F>>();
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    /// Move-construct dst from src, then destroy src.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* self) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineBytes &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  struct InlineOps {
+    static Fn* self(void* p) { return std::launder(reinterpret_cast<Fn*>(p)); }
+    static void invoke(void* p) { (*self(p))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      Fn* s = self(src);
+      ::new (dst) Fn(std::move(*s));
+      s->~Fn();
+    }
+    static void destroy(void* p) noexcept { self(p)->~Fn(); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static Fn*& slot(void* p) { return *std::launder(reinterpret_cast<Fn**>(p)); }
+    static void invoke(void* p) { (*slot(p))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) Fn*(slot(src));
+    }
+    static void destroy(void* p) noexcept { delete slot(p); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+  void move_from(EventFn& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(buf_, other.buf_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+static_assert(sizeof(EventFn) <= EventFn::kInlineBytes + 2 * sizeof(void*),
+              "EventFn grew beyond buffer + dispatch pointer");
+
+}  // namespace hepex::sim

@@ -9,12 +9,14 @@ namespace hepex::sim {
 void Simulator::schedule(SimTime delay, Action fn) {
   HEPEX_REQUIRE(q::isfinite(delay), "event delay must be finite");
   HEPEX_REQUIRE(delay >= SimTime{}, "cannot schedule events in the past");
+  HEPEX_REQUIRE(static_cast<bool>(fn), "event action must be callable");
   calendar_.push(Event{now_ + delay, seq_++, std::move(fn)});
 }
 
 void Simulator::schedule_at(SimTime t, Action fn) {
   HEPEX_REQUIRE(q::isfinite(t), "event time must be finite");
   HEPEX_REQUIRE(t >= now_, "cannot schedule events before the current time");
+  HEPEX_REQUIRE(static_cast<bool>(fn), "event action must be callable");
   calendar_.push(Event{t, seq_++, std::move(fn)});
 }
 

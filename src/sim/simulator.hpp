@@ -8,11 +8,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <limits>
 #include <queue>
 #include <vector>
 
+#include "sim/event_fn.hpp"
 #include "util/quantity.hpp"
 
 namespace hepex::sim {
@@ -24,7 +24,9 @@ using SimTime = q::Seconds;
 /// Discrete-event simulator: a virtual clock plus an event calendar.
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  /// Event actions are small-buffer-optimized (see event_fn.hpp): the
+  /// common engine captures schedule without a heap allocation.
+  using Action = EventFn;
 
   /// Current virtual time.
   SimTime now() const { return now_; }
@@ -53,6 +55,12 @@ class Simulator {
   /// True when no events remain.
   bool empty() const { return calendar_.empty(); }
 
+  /// Pre-size the calendar's backing vector for `pending` simultaneous
+  /// events, avoiding the early growth reallocations of a run whose
+  /// steady-state calendar depth is known (the execution engine calls
+  /// this with its per-node outstanding-event estimate).
+  void reserve(std::size_t pending) { calendar_.reserve(pending); }
+
   /// Number of events scheduled over the simulator's lifetime.
   std::uint64_t total_scheduled() const { return seq_; }
 
@@ -73,11 +81,15 @@ class Simulator {
       return a.seq > b.seq;
     }
   };
+  /// priority_queue with its protected backing vector made reservable.
+  struct Calendar : std::priority_queue<Event, std::vector<Event>, Later> {
+    void reserve(std::size_t n) { c.reserve(n); }
+  };
 
   SimTime now_{0.0};
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> calendar_;
+  Calendar calendar_;
 };
 
 }  // namespace hepex::sim

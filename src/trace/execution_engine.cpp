@@ -149,6 +149,13 @@ struct Run {
     sink = opt.trace;
     reg = opt.metrics;
     if (sink != nullptr || reg != nullptr) attach_observability();
+
+    // Steady-state calendar depth: every core can have one compute chunk
+    // outstanding, plus per-node memory/stack completions and a handful
+    // of in-flight wire transfers and watchdogs.
+    sim.reserve(static_cast<std::size_t>(cfg.nodes) *
+                    (static_cast<std::size_t>(cfg.cores) + 8) +
+                64);
   }
 
   const hw::Isa& isa() const { return machine.node.isa; }

@@ -177,6 +177,26 @@ q::Joules parse_energy(const std::string& text) {
   bad_suffix(text, "energy", "J, kJ or MJ; bare numbers are J");
 }
 
+int parse_jobs(const std::string& text) {
+  int jobs = 0;
+  std::size_t pos = 0;
+  try {
+    jobs = std::stoi(text, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("hepex: expected a job count, got '" + text +
+                                "'");
+  }
+  if (pos != text.size()) {
+    throw std::invalid_argument("hepex: bad job count '" + text +
+                                "' (use a plain integer; 0 = all cores)");
+  }
+  if (jobs < 0 || jobs > 512) {
+    throw std::invalid_argument("hepex: job count " + std::to_string(jobs) +
+                                " out of range [0, 512] (0 = all cores)");
+  }
+  return jobs;
+}
+
 void CliArgs::require_known(const std::vector<std::string>& known) const {
   for (const auto& [name, value] : flags_) {
     (void)value;

@@ -77,4 +77,10 @@ q::BitsPerSec parse_bandwidth(const std::string& text);
 /// "5000J", "5kJ", "1.2MJ". A bare number is joules.
 q::Joules parse_energy(const std::string& text);
 
+/// Parse a `--jobs` value: a plain non-negative integer, where 0 means
+/// "use hardware concurrency" (the `par` default) and anything above
+/// par::kMaxJobs (512) is rejected. Throws std::invalid_argument on
+/// non-integers, trailing characters, negatives and out-of-range values.
+int parse_jobs(const std::string& text);
+
 }  // namespace hepex::util

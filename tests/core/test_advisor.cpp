@@ -50,6 +50,51 @@ TEST(Advisor, FrontierIsNonEmptyAndNonDominated) {
   }
 }
 
+TEST(Advisor, ExploreAndFrontierAreCachedAcrossCalls) {
+  // explore()/frontier() return references into the Advisor's caches, so
+  // repeated calls must hand back the very same storage — the model is
+  // evaluated once, not per query.
+  Advisor a = make_advisor();
+  const auto* space1 = a.explore().data();
+  const auto* space2 = a.explore().data();
+  EXPECT_EQ(space1, space2);
+  const auto* front1 = a.frontier().data();
+  const auto* front2 = a.frontier().data();
+  EXPECT_EQ(front1, front2);
+  // frontier() after explore() must not rebuild the space either.
+  EXPECT_EQ(a.explore().data(), space1);
+}
+
+TEST(Advisor, KneeLiesOnTheCachedFrontier) {
+  Advisor a = make_advisor();
+  const auto knee1 = a.knee();
+  const auto knee2 = a.knee();  // repeat query, served from cache
+  EXPECT_EQ(knee1.config, knee2.config);
+  EXPECT_EQ(knee1.time_s.value(), knee2.time_s.value());
+  const auto& frontier = a.frontier();
+  const bool on_frontier =
+      std::any_of(frontier.begin(), frontier.end(),
+                  [&](const pareto::ConfigPoint& p) {
+                    return p.config == knee1.config;
+                  });
+  EXPECT_TRUE(on_frontier);
+}
+
+TEST(Advisor, PredictIsMemoizedConsistently) {
+  // predict() answers from a (nodes, cores, f) cache; a repeated query
+  // must be bitwise-stable and agree with the swept space.
+  Advisor a = make_advisor();
+  const auto& space = a.explore();
+  const auto& cfg = space[space.size() / 2].config;
+  const auto p1 = a.predict(cfg);
+  const auto p2 = a.predict(cfg);
+  EXPECT_EQ(p1.time_s.value(), p2.time_s.value());
+  EXPECT_EQ(p1.energy_j.value(), p2.energy_j.value());
+  EXPECT_EQ(p1.ucr, p2.ucr);
+  EXPECT_EQ(p1.time_s.value(), space[space.size() / 2].time_s.value());
+  EXPECT_EQ(p1.energy_j.value(), space[space.size() / 2].energy_j.value());
+}
+
 TEST(Advisor, DeadlineRecommendationIsFeasibleAndMinimal) {
   Advisor a = make_advisor();
   const auto frontier = a.frontier();

@@ -1,0 +1,169 @@
+// sim::EventFn — the small-buffer-optimized event action. Pins the
+// allocation contract (small captures inline, big ones on the heap),
+// move-only ownership, and correct destruction in every path.
+
+#include "sim/event_fn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <utility>
+
+using hepex::sim::EventFn;
+
+namespace {
+
+/// Counts ctor/dtor balance so leaks and double-destroys both surface.
+struct Tracker {
+  static int live;
+  static int destroyed;
+  static void reset() { live = 0; destroyed = 0; }
+  Tracker() { ++live; }
+  Tracker(const Tracker&) { ++live; }
+  Tracker(Tracker&&) noexcept { ++live; }
+  ~Tracker() {
+    --live;
+    ++destroyed;
+  }
+};
+int Tracker::live = 0;
+int Tracker::destroyed = 0;
+
+}  // namespace
+
+TEST(EventFn, SmallCapturesAreStoredInline) {
+  int a = 0, b = 0;
+  auto small = [&a, &b] { a = b; };
+  EXPECT_TRUE(EventFn::stores_inline<decltype(small)>());
+
+  std::array<double, 8> eight_words{};
+  auto medium = [eight_words] { (void)eight_words; };
+  EXPECT_TRUE(EventFn::stores_inline<decltype(medium)>());
+}
+
+TEST(EventFn, EngineShapedCaptureIsInline) {
+  // The resource-completion closure: this + six timing words + a moved
+  // std::function continuation. The whole point of the 96-byte buffer.
+  struct FakeResource {
+  }* self = nullptr;
+  double t1 = 0, t2 = 0, t3 = 0, t4 = 0, t5 = 0;
+  std::size_t size = 0;
+  std::function<void()> done;
+  auto completion = [self, t1, t2, t3, t4, t5, size,
+                     done = std::move(done)] {
+    (void)self;
+    (void)t1;
+    (void)t2;
+    (void)t3;
+    (void)t4;
+    (void)t5;
+    (void)size;
+    if (done) done();
+  };
+  EXPECT_TRUE(EventFn::stores_inline<decltype(completion)>());
+}
+
+TEST(EventFn, OversizedCapturesFallBackToHeap) {
+  std::array<double, 16> big{};
+  auto fat = [big] { (void)big; };
+  EXPECT_FALSE(EventFn::stores_inline<decltype(fat)>());
+
+  // Heap path still invokes correctly.
+  std::array<double, 16> payload{};
+  payload[7] = 42.0;
+  double got = 0.0;
+  EventFn fn([payload, &got] { got = payload[7]; });
+  fn();
+  EXPECT_EQ(got, 42.0);
+}
+
+TEST(EventFn, InvokesTheStoredCallable) {
+  int calls = 0;
+  EventFn fn([&calls] { ++calls; });
+  ASSERT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(EventFn, DefaultConstructedIsEmpty) {
+  EventFn fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(EventFn, MoveTransfersOwnership) {
+  int calls = 0;
+  EventFn a([&calls] { ++calls; });
+  EventFn b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+
+  EventFn c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(c));
+  c();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(EventFn, MoveAssignmentDestroysThePreviousCallable) {
+  Tracker::reset();
+  {
+    EventFn fn([t = Tracker{}] { (void)t; });
+    EXPECT_EQ(Tracker::live, 1);
+    fn = EventFn([x = 1] { (void)x; });
+    EXPECT_EQ(Tracker::live, 0);  // old capture destroyed on assignment
+  }
+}
+
+TEST(EventFn, DestructorDestroysInlineCapture) {
+  Tracker::reset();
+  {
+    EventFn fn([t = Tracker{}] { (void)t; });
+    EXPECT_EQ(Tracker::live, 1);
+  }
+  EXPECT_EQ(Tracker::live, 0);
+}
+
+TEST(EventFn, DestructorDestroysHeapCapture) {
+  Tracker::reset();
+  {
+    std::array<double, 16> pad{};
+    EventFn fn([t = Tracker{}, pad] {
+      (void)t;
+      (void)pad;
+    });
+    EXPECT_EQ(Tracker::live, 1);
+  }
+  EXPECT_EQ(Tracker::live, 0);
+}
+
+TEST(EventFn, MovedFromObjectDestructsSafely) {
+  Tracker::reset();
+  {
+    EventFn a([t = Tracker{}] { (void)t; });
+    EventFn b(std::move(a));
+    // `a` is empty now; both going out of scope must leave the
+    // ctor/dtor balance at zero (no leak, no double-destroy).
+  }
+  EXPECT_EQ(Tracker::live, 0);
+}
+
+TEST(EventFn, HoldsMoveOnlyCallables) {
+  auto owned = std::make_unique<int>(7);
+  int got = 0;
+  EventFn fn([p = std::move(owned), &got] { got = *p; });
+  fn();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(EventFn, FootprintStaysBounded) {
+  static_assert(sizeof(EventFn) <=
+                EventFn::kInlineBytes + 2 * sizeof(void*));
+  SUCCEED();
+}

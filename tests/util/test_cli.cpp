@@ -130,5 +130,26 @@ TEST(Cli, InlineAndSpacedSyntaxMix) {
   EXPECT_DOUBLE_EQ(a.get_double_or("f", 0.0), 1.8);
 }
 
+TEST(ParseJobs, AcceptsTheValidRange) {
+  EXPECT_EQ(parse_jobs("0"), 0);  // 0 = all cores
+  EXPECT_EQ(parse_jobs("1"), 1);
+  EXPECT_EQ(parse_jobs("16"), 16);
+  EXPECT_EQ(parse_jobs("512"), 512);  // par::kMaxJobs
+}
+
+TEST(ParseJobs, RejectsOutOfRangeCounts) {
+  EXPECT_THROW(parse_jobs("-1"), std::invalid_argument);
+  EXPECT_THROW(parse_jobs("513"), std::invalid_argument);
+  EXPECT_THROW(parse_jobs("99999999999999999999"), std::invalid_argument);
+}
+
+TEST(ParseJobs, RejectsNonIntegerText) {
+  EXPECT_THROW(parse_jobs(""), std::invalid_argument);
+  EXPECT_THROW(parse_jobs("abc"), std::invalid_argument);
+  EXPECT_THROW(parse_jobs("4.5"), std::invalid_argument);
+  EXPECT_THROW(parse_jobs("4x"), std::invalid_argument);
+  EXPECT_THROW(parse_jobs(" 4 "), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace hepex::util

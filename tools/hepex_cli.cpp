@@ -14,10 +14,14 @@
 //   hepex faults      --machine xeon --program SP --mtbf 86400
 //   hepex faults      --machine xeon --program SP --n 4 --c 8 --f 1.8
 //                     --mtbf 3600 [--crash-node 1 --crash-at 5] [--mode abort]
+//                     [--replicas 32]
 //
 // Observability flags (any command; see docs/observability.md):
 //   --log-level off|error|warn|info|debug|trace   structured logs on stderr
 //   --profile                                     host-time report on exit
+//   --jobs N              worker threads for sweeps/ensembles (0 = all
+//                         cores; results are identical at any N — see
+//                         docs/performance.md)
 // simulate additionally accepts:
 //   --trace=out.json      Chrome/Perfetto timeline of the simulated run
 //   --metrics=out.json    metrics-registry snapshot
@@ -40,6 +44,8 @@
 #include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace_sink.hpp"
+#include "par/thread_pool.hpp"
+#include "trace/ensemble.hpp"
 #include "util/cli.hpp"
 #include "util/quantity.hpp"
 
@@ -48,11 +54,12 @@ using namespace hepex;
 namespace {
 
 /// Reject flags this command does not understand. Observability flags
-/// are accepted everywhere.
+/// and --jobs are accepted everywhere.
 void require_flags(const util::CliArgs& args,
                    std::vector<std::string> known) {
   known.push_back("log-level");
   known.push_back("profile");
+  known.push_back("jobs");
   args.require_known(known);
 }
 
@@ -391,7 +398,7 @@ int cmd_faults(const util::CliArgs& args) {
   require_flags(args, {"machine", "program", "class", "mtbf", "ckpt-write",
                        "restart-cost", "ckpt-interval", "n", "c", "f", "mode",
                        "crash-node", "crash-at", "barrier-timeout", "spares",
-                       "fault-seed"});
+                       "fault-seed", "replicas"});
   const auto m = machine_by_name(args.get_or("machine", "xeon"));
   const auto p = program_from(args);
 
@@ -430,6 +437,33 @@ int cmd_faults(const util::CliArgs& args) {
 
     trace::SimOptions opt;
     opt.faults = &plan;
+
+    const int replicas = args.get_int_or("replicas", 1);
+    if (replicas > 1) {
+      // Monte-Carlo ensemble: replicas differ only in derived seeds, so
+      // the summary is reproducible run-to-run (and thread-count
+      // independent; see docs/performance.md).
+      const auto runs = trace::simulate_ensemble(
+          m, p, cfg, opt, static_cast<std::size_t>(replicas));
+      const auto s = trace::summarize_ensemble(runs);
+      std::printf("simulated %d replicas of %s on %s at %s under faults:\n",
+                  replicas, p.name.c_str(), m.name.c_str(),
+                  util::fmt_config(cfg.nodes, cfg.cores,
+                                   cfg.f_hz.value() / 1e9)
+                      .c_str());
+      std::printf("  outcome   : %zu completed, %zu aborted\n", s.completed,
+                  s.aborted);
+      std::printf("  time      : mean %.2f s  sd %.2f s  max %.2f s\n",
+                  s.time_s.mean(), s.time_s.stddev(), s.time_s.max());
+      std::printf("  energy    : mean %.3f kJ  sd %.3f kJ\n",
+                  s.energy_j.mean() / 1e3, s.energy_j.stddev() / 1e3);
+      std::printf("  T_fault   : mean %.2f s  max %.2f s\n",
+                  s.fault_time_s.mean(), s.fault_time_s.max());
+      std::printf("  events    : %d crashes, %d recoveries across replicas\n",
+                  s.crashes, s.recoveries);
+      return s.aborted == 0 ? 0 : 1;
+    }
+
     const auto meas = trace::simulate(m, p, cfg, opt);
     std::printf("simulated %s on %s at %s under faults:\n", p.name.c_str(),
                 m.name.c_str(),
@@ -503,7 +537,10 @@ int usage() {
       "--class S|W|A|B|C\n"
       "observability: --log-level LEVEL  --profile\n"
       "               simulate: --trace=FILE --metrics=FILE\n"
-      "see the README and docs/observability.md for per-command flags.\n");
+      "parallelism:   --jobs N (0 = all cores; identical results at any N)\n"
+      "               faults: --replicas R (Monte-Carlo ensemble)\n"
+      "see the README, docs/observability.md and docs/performance.md for\n"
+      "per-command flags.\n");
   return 2;
 }
 
@@ -536,6 +573,9 @@ int main(int argc, char** argv) {
     const auto args = util::CliArgs::parse(argc, argv);
     if (const auto level = args.get("log-level")) {
       obs::Log::set_level(obs::log_level_from_string(*level));
+    }
+    if (const auto jobs = args.get("jobs")) {
+      par::set_default_jobs(util::parse_jobs(*jobs));
     }
     if (args.has("profile")) {
       obs::Profiler::instance().set_enabled(true);
