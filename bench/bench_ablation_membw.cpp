@@ -19,9 +19,8 @@ int main(int argc, char** argv) {
       "-7 s, -590 J");
 
   // --- memory bandwidth sweep for SP on Xeon (1,8,1.8) ---
-  core::Advisor sp(hw::xeon_cluster(),
-                   workload::make_sp(workload::InputClass::kA),
-                   bench::standard_options());
+  core::Advisor sp =
+      bench::advisor_for("xeon", "SP");
   const hw::ClusterConfig cfg{1, 8, q::Hertz{1.8e9}};
   const auto base = sp.predict(cfg);
 
@@ -47,9 +46,8 @@ int main(int argc, char** argv) {
               (base.energy_j - doubled.energy_j).value());
 
   // --- network bandwidth sweep for CP on ARM (8,4,1.4) ---
-  core::Advisor cp(hw::arm_cluster(),
-                   workload::make_cp(workload::InputClass::kA),
-                   bench::standard_options());
+  core::Advisor cp =
+      bench::advisor_for("arm", "CP");
   const hw::ClusterConfig net_cfg{8, 4, q::Hertz{1.4e9}};
   const auto cp_base = cp.predict(net_cfg);
   util::Table nt({"Net BW factor", "Time [s]", "Energy [kJ]", "UCR"});

@@ -56,8 +56,8 @@ int main(int argc, char** argv) {
                  "T dvfs [s]", "dT [%]", "E fix [kJ]", "E dvfs [kJ]",
                  "saved [%]", "f_avg [GHz]"});
 
-  const auto xeon = hw::xeon_cluster();
-  const auto arm = hw::arm_cluster();
+  const auto xeon = bench::machine("xeon");
+  const auto arm = bench::machine("arm");
   // Balanced baseline: the policy must not hurt.
   run_case(xeon, "BT", 0.0, {8, 8, q::Hertz{1.8e9}}, t);
   // Increasing imbalance: increasing reclaimable slack.

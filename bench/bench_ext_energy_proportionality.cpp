@@ -22,9 +22,8 @@ int main(int argc, char** argv) {
       "idle power dominates both validation clusters; the frugal end of "
       "the frontier is defined by it");
 
-  core::Advisor advisor(hw::xeon_cluster(),
-                        workload::make_sp(workload::InputClass::kA),
-                        bench::standard_options());
+  core::Advisor advisor =
+      bench::advisor_for("xeon", "SP");
   const auto& ch = advisor.characterization();
   const auto target =
       model::target_of(workload::make_sp(workload::InputClass::kA));

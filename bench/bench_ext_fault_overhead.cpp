@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
       "than the fault-free optimum; closed-form expected energy matches "
       "simulated checkpoint/restart runs within 10%");
 
-  const auto machine = hw::xeon_cluster();
+  const auto machine = bench::machine("xeon");
   const auto program = workload::make_sp(workload::InputClass::kA);
   core::Advisor advisor(machine, program, bench::standard_options());
 

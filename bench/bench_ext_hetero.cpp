@@ -19,8 +19,8 @@ int main(int argc, char** argv) {
       "cluster wins relaxed deadlines; a crossover deadline separates "
       "the regimes");
 
-  const auto xeon = hw::xeon_cluster();
-  const auto arm = hw::arm_cluster();
+  const auto xeon = bench::machine("xeon");
+  const auto arm = bench::machine("arm");
 
   util::Table t({"Prog", "Xeon best E [kJ]", "ARM best E [kJ]",
                  "crossover deadline [s]", "tight-deadline winner",

@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
                  "naive T err mean/max [%]", "model E err mean/max [%]",
                  "naive E err mean/max [%]"});
 
-  for (const auto& machine : {hw::xeon_cluster(), hw::arm_cluster()}) {
+  for (const auto& machine : {bench::machine("xeon"), bench::machine("arm")}) {
     for (const char* name : {"BT", "SP", "LB"}) {
       const auto program =
           workload::program_by_name(name, workload::InputClass::kA);

@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
       "SecIV-C in the forward direction: error bars on predictions and "
       "the measurement that dominates each regime");
 
-  const auto machine = hw::xeon_cluster();
+  const auto machine = bench::machine("xeon");
   const auto ch = bench::characterize_program(machine, "SP");
   const auto target = model::target_of(
       workload::program_by_name("SP", workload::InputClass::kA));

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
       "BT has the highest UCR (~0.96 peak); UCR drops as n, c or f grow; "
       "high UCR does NOT imply low time or low energy");
 
-  const auto machine = hw::xeon_cluster();
+  const auto machine = bench::machine("xeon");
   std::vector<hw::ClusterConfig> cfgs;
   for (int n : {1, 4, 8}) {
     for (int c : {1, 4, 8}) {

@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
       "the small L2 exposes every reuse window; CP and LB UCR drop "
       "steeply with more processes and threads");
 
-  const auto machine = hw::arm_cluster();
+  const auto machine = bench::machine("arm");
   std::vector<hw::ClusterConfig> cfgs;
   for (int n : {1, 4, 8}) {
     for (int c : {1, 2, 4}) {

@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
       "max achievable throughput ~90 Mbps on a 100 Mbps Ethernet link due "
       "to MPI/OS overheads; latency flat for small messages");
 
-  const auto machine = hw::arm_cluster();
+  const auto machine = bench::machine("arm");
   const auto sweep =
       trace::netpipe_sweep(machine, machine.node.dvfs.f_max());
 
@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
               sweep.base_latency_s.value() * 1e6);
 
   // Also characterize the Xeon 1 Gbps link for reference.
-  const auto xeon = hw::xeon_cluster();
+  const auto xeon = bench::machine("xeon");
   const auto xs = trace::netpipe_sweep(xeon, xeon.node.dvfs.f_max());
   std::printf("Xeon 1 Gbps link for comparison: %.0f Mbps achievable, "
               "%.1f us base latency\n",

@@ -46,9 +46,9 @@ int main(int argc, char** argv) {
       "predictions follow measured trends across all (n,c); worst-case "
       "programs still under ~15% mean error");
 
-  run_panel(hw::xeon_cluster(), "BT", {1, 4, 8});
-  run_panel(hw::xeon_cluster(), "SP", {1, 4, 8});
-  run_panel(hw::arm_cluster(), "LB", {1, 2, 4});
-  run_panel(hw::arm_cluster(), "CP", {1, 2, 4});
+  run_panel(bench::machine("xeon"), "BT", {1, 4, 8});
+  run_panel(bench::machine("xeon"), "SP", {1, 4, 8});
+  run_panel(bench::machine("arm"), "LB", {1, 2, 4});
+  run_panel(bench::machine("arm"), "CP", {1, 2, 4});
   return 0;
 }

@@ -53,9 +53,9 @@ int main(int argc, char** argv) {
       "high core counts because synchronization inflates instructions "
       "(negative signed error)");
 
-  run_panel(hw::xeon_cluster(), "LB", {1, 4, 8});
-  run_panel(hw::xeon_cluster(), "BT", {1, 4, 8});
-  run_panel(hw::arm_cluster(), "LB", {1, 2, 4});
-  run_panel(hw::arm_cluster(), "CP", {1, 2, 4});
+  run_panel(bench::machine("xeon"), "LB", {1, 4, 8});
+  run_panel(bench::machine("xeon"), "BT", {1, 4, 8});
+  run_panel(bench::machine("arm"), "LB", {1, 2, 4});
+  run_panel(bench::machine("arm"), "CP", {1, 2, 4});
   return 0;
 }

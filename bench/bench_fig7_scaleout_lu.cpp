@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
       "model scaled from a 4x-smaller baseline still tracks both time and "
       "energy across 16 (n,c) configurations");
 
-  const auto machine = hw::xeon_cluster();
+  const auto machine = bench::machine("xeon");
   const auto program =
       workload::program_by_name("LU", workload::InputClass::kC);
 

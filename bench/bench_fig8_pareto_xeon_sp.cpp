@@ -16,9 +16,8 @@ int main(int argc, char** argv) {
       "LESS energy; UCR spans ~0.9 at (1,1,1.2) down to ~0.05 at "
       "(256,8,1.8); frontier configs do not all use max cores/frequency");
 
-  core::Advisor advisor(hw::xeon_cluster(),
-                        workload::make_sp(workload::InputClass::kA),
-                        bench::standard_options());
+  core::Advisor advisor =
+      bench::advisor_for("xeon", "SP");
 
   const auto& all = advisor.explore();
   std::printf("All configurations evaluated: %zu\n\n", all.size());

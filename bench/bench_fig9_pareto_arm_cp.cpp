@@ -16,9 +16,8 @@ int main(int argc, char** argv) {
       "mid-frontier points like (3,2,0.8) use neither all cores nor max "
       "frequency");
 
-  core::Advisor advisor(hw::arm_cluster(),
-                        workload::make_cp(workload::InputClass::kA),
-                        bench::standard_options());
+  core::Advisor advisor =
+      bench::advisor_for("arm", "CP");
 
   const auto& all = advisor.explore();
   std::printf("All configurations evaluated: %zu\n\n", all.size());

@@ -35,14 +35,14 @@ namespace {
 
 const model::Characterization& cached_ch() {
   static const model::Characterization ch =
-      bench::characterize_program(hw::xeon_cluster(), "SP");
+      bench::characterize_program(bench::machine("xeon"), "SP");
   return ch;
 }
 
 // --- google-benchmark suite (--gbench) ------------------------------
 
 void BM_SimulateSmall(benchmark::State& state) {
-  const auto machine = hw::xeon_cluster();
+  const auto machine = bench::machine("xeon");
   const auto program =
       workload::program_by_name("SP", workload::InputClass::kS);
   const hw::ClusterConfig cfg{static_cast<int>(state.range(0)), 4,
@@ -96,7 +96,7 @@ void BM_ParetoFrontier(benchmark::State& state) {
 BENCHMARK(BM_ParetoFrontier);
 
 void BM_Characterize(benchmark::State& state) {
-  const auto machine = hw::arm_cluster();
+  const auto machine = bench::machine("arm");
   const auto program = workload::make_bt(workload::InputClass::kA);
   model::CharacterizationOptions o;
   o.baseline_class = workload::InputClass::kS;
@@ -108,7 +108,7 @@ void BM_Characterize(benchmark::State& state) {
 BENCHMARK(BM_Characterize);
 
 void BM_NetPipeSweep(benchmark::State& state) {
-  const auto machine = hw::arm_cluster();
+  const auto machine = bench::machine("arm");
   for (auto _ : state) {
     benchmark::DoNotOptimize(trace::netpipe_sweep(machine, q::Hertz{1.4e9}));
   }
@@ -192,7 +192,7 @@ int run_json_mode(int argc, char** argv) {
   // Simulator event throughput: one seeded small run, events from the
   // registry's ground-truth counter.
   obs::Registry registry;
-  const auto machine = hw::xeon_cluster();
+  const auto machine = bench::machine("xeon");
   const auto program =
       workload::program_by_name("SP", workload::InputClass::kS);
   trace::SimOptions sim_opt;

@@ -30,8 +30,8 @@ int main(int argc, char** argv) {
       {"Computational Fluid Dynamics", "OpenLB (olb-0.8r0)", "LB"},
   };
 
-  const auto xeon = hw::xeon_cluster();
-  const auto arm = hw::arm_cluster();
+  const auto xeon = bench::machine("xeon");
+  const auto arm = bench::machine("arm");
   const auto xeon_grid = core::validation_grid(xeon, true);
   const auto arm_grid = core::validation_grid(arm, true);
   std::printf("Validation grids: %zu Xeon configurations, %zu ARM "

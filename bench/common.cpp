@@ -5,9 +5,11 @@
 #include <cstring>
 #include <fstream>
 
+#include "hw/presets.hpp"
 #include "obs/profiler.hpp"
 #include "par/thread_pool.hpp"
 #include "util/cli.hpp"
+#include "workload/programs.hpp"
 
 namespace hepex::bench {
 
@@ -49,6 +51,30 @@ model::CharacterizationOptions standard_options() {
   return o;
 }
 
+hw::MachineSpec machine(const std::string& key) {
+  return hw::machine_by_name(key);
+}
+
+cfg::Scenario scenario(const std::string& machine_key,
+                       const std::string& program_name,
+                       workload::InputClass cls) {
+  cfg::Scenario s = cfg::default_scenario();
+  s.platform_preset = machine_key;
+  s.machine = hw::machine_by_name(machine_key);
+  s.program_name = program_name;
+  s.input = cls;
+  s.program = workload::program_by_name(program_name, cls);
+  s.validate();
+  return s;
+}
+
+core::Advisor advisor_for(const std::string& machine_key,
+                          const std::string& program_name,
+                          workload::InputClass cls) {
+  return core::Advisor::from_scenario(scenario(machine_key, program_name, cls),
+                                      standard_options());
+}
+
 model::Characterization characterize_program(const hw::MachineSpec& machine,
                                              const std::string& program_name) {
   const auto program =
@@ -70,60 +96,26 @@ void maybe_write_artifact(const std::string& filename,
   std::printf("(artifact written: %s)\n", path.c_str());
 }
 
-namespace {
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
-
-std::string json_number(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
-
-}  // namespace
-
 void JsonWriter::add(const std::string& key, double value) {
-  fields_.push_back("\"" + json_escape(key) + "\": " + json_number(value));
+  doc_.set(key, util::json::Value(value));
 }
 
 void JsonWriter::add(const std::string& key, int value) {
-  fields_.push_back("\"" + json_escape(key) + "\": " + std::to_string(value));
+  doc_.set(key, util::json::Value(value));
 }
 
 void JsonWriter::add(const std::string& key, const std::string& value) {
-  fields_.push_back("\"" + json_escape(key) + "\": \"" + json_escape(value) +
-                    "\"");
+  doc_.set(key, util::json::Value(value));
 }
 
 void JsonWriter::add(const std::string& key,
                      const std::vector<double>& values) {
-  std::string arr = "[";
-  for (std::size_t i = 0; i < values.size(); ++i) {
-    if (i > 0) arr += ", ";
-    arr += json_number(values[i]);
-  }
-  arr += "]";
-  fields_.push_back("\"" + json_escape(key) + "\": " + arr);
+  util::json::Value arr = util::json::Value::array();
+  for (double v : values) arr.push_back(util::json::Value(v));
+  doc_.set(key, std::move(arr));
 }
 
-std::string JsonWriter::str() const {
-  std::string out = "{\n";
-  for (std::size_t i = 0; i < fields_.size(); ++i) {
-    out += "  " + fields_[i];
-    if (i + 1 < fields_.size()) out += ",";
-    out += "\n";
-  }
-  out += "}\n";
-  return out;
-}
+std::string JsonWriter::str() const { return util::json::dump(doc_); }
 
 std::string cell_time(double seconds) { return util::fmt(seconds, 1); }
 

@@ -5,7 +5,9 @@
 #include <string>
 #include <vector>
 
+#include "cfg/scenario.hpp"
 #include "core/hepex.hpp"
+#include "util/json.hpp"
 
 namespace hepex::bench {
 
@@ -30,13 +32,15 @@ class ProfileSession {
   bool enabled_ = false;
 };
 
-/// Minimal flat-object JSON emitter for machine-readable bench
-/// artifacts (BENCH_*.json). Values are numbers, strings or arrays of
-/// numbers; insertion order is preserved. Not a general JSON library —
-/// just enough for `{"schema": "...", "metric": 1.5, ...}` files that
-/// CI parses.
+/// Flat-object JSON emitter for machine-readable bench artifacts
+/// (BENCH_*.json): a thin convenience layer over `util::json` — the one
+/// JSON implementation in HEPEX. Values are numbers, strings or arrays
+/// of numbers; insertion order is preserved and numbers use shortest
+/// round-trip formatting.
 class JsonWriter {
  public:
+  JsonWriter() : doc_(util::json::Value::object()) {}
+
   void add(const std::string& key, double value);
   void add(const std::string& key, int value);
   void add(const std::string& key, const std::string& value);
@@ -46,7 +50,7 @@ class JsonWriter {
   std::string str() const;
 
  private:
-  std::vector<std::string> fields_;  // pre-rendered "\"key\": value"
+  util::json::Value doc_;
 };
 
 /// Print the standard bench banner: which paper artefact this binary
@@ -56,6 +60,25 @@ void banner(const std::string& artefact, const std::string& paper_claim);
 /// Characterization options used by all benches: class-W baseline, the
 /// default measurement fidelity.
 model::CharacterizationOptions standard_options();
+
+/// Resolve a platform preset from the registry ("xeon", "arm",
+/// "modern"). Benches reference platforms by registry key — the same
+/// names scenarios and the CLI use — instead of hard-coding preset
+/// functions.
+hw::MachineSpec machine(const std::string& key);
+
+/// The standard bench scenario: `program_name` at `cls` on the named
+/// platform preset. Every bench builds its runs from one of these, so a
+/// bench setup is expressible as (and reproducible from) a scenario file.
+cfg::Scenario scenario(const std::string& machine_key,
+                       const std::string& program_name,
+                       workload::InputClass cls = workload::InputClass::kA);
+
+/// An Advisor over `scenario(machine_key, program_name, cls)` with the
+/// standard bench options (class-W characterization baseline).
+core::Advisor advisor_for(const std::string& machine_key,
+                          const std::string& program_name,
+                          workload::InputClass cls = workload::InputClass::kA);
 
 /// Characterize `program_name` at class A on `machine` with the standard
 /// options (convenience used by most benches).

@@ -8,19 +8,30 @@
 
 #include <cstdio>
 
+#include "cfg/scenario.hpp"
 #include "core/hepex.hpp"
 
 using namespace hepex;
 
 namespace {
 
-void tune(const hw::MachineSpec& machine, const char* prog_name,
-          int total_cores) {
-  core::Advisor advisor(
-      machine, workload::program_by_name(prog_name, workload::InputClass::kA));
-  const q::Hertz f = machine.node.dvfs.f_max();
+/// Each tuning question is one declarative scenario: platform preset +
+/// program from the registries (a scenario file would work identically).
+cfg::Scenario make_scenario(const char* preset, const char* prog_name) {
+  cfg::Scenario s = cfg::default_scenario();
+  s.platform_preset = preset;
+  s.machine = hw::machine_by_name(preset);
+  s.program_name = prog_name;
+  s.program = workload::program_by_name(prog_name, s.input);
+  s.validate();
+  return s;
+}
+
+void tune(const cfg::Scenario& s, int total_cores) {
+  core::Advisor advisor = core::Advisor::from_scenario(s);
+  const q::Hertz f = s.machine.node.dvfs.f_max();
   std::printf("--- %s on %s with %d cores total (f=%.1f GHz) ---\n",
-              prog_name, machine.name.c_str(), total_cores,
+              s.program_name.c_str(), s.machine.name.c_str(), total_cores,
               f.value() / 1e9);
   util::Table t({"l x tau", "time [s]", "energy [kJ]", "UCR"});
   const auto splits = advisor.split_alternatives(total_cores, f);
@@ -49,8 +60,8 @@ int main() {
   // Memory-bound SP prefers spreading across nodes (less controller
   // contention); the all-to-all CP prefers fewer, fatter processes
   // (less switch traffic). Same core count, opposite answers.
-  tune(hw::xeon_cluster(), "SP", 16);
-  tune(hw::xeon_cluster(), "CP", 16);
-  tune(hw::arm_cluster(), "LB", 8);
+  tune(make_scenario("xeon", "SP"), 16);
+  tune(make_scenario("xeon", "CP"), 16);
+  tune(make_scenario("arm", "LB"), 8);
   return 0;
 }

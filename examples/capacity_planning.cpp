@@ -6,11 +6,23 @@
 
 #include <cstdio>
 
+#include "cfg/scenario.hpp"
 #include "core/hepex.hpp"
 
 using namespace hepex;
 
 namespace {
+
+/// Platform + program by registry key, as one declarative scenario.
+cfg::Scenario make_scenario(const char* preset, const char* prog_name) {
+  cfg::Scenario s = cfg::default_scenario();
+  s.platform_preset = preset;
+  s.machine = hw::machine_by_name(preset);
+  s.program_name = prog_name;
+  s.program = workload::program_by_name(prog_name, s.input);
+  s.validate();
+  return s;
+}
 
 void report_shares(const char* label, const model::Prediction& p) {
   const pareto::TimeShares s = pareto::time_shares(p);
@@ -27,8 +39,7 @@ int main() {
   std::printf("== Capacity planning with UCR and what-if analysis ==\n\n");
 
   // SP on the Xeon cluster is memory-contention bound at 8 cores.
-  core::Advisor sp(hw::xeon_cluster(),
-                   workload::make_sp(workload::InputClass::kA));
+  core::Advisor sp = core::Advisor::from_scenario(make_scenario("xeon", "SP"));
   const hw::ClusterConfig intra{1, 8, q::Hertz{1.8e9}};
   std::printf("Where does SP's time go at (1,8,1.8)?\n");
   report_shares("  stock machine", sp.predict(intra));
@@ -44,8 +55,7 @@ int main() {
   // CP on the ARM cluster is network bound at 8 nodes: the opposite fix
   // applies.
   std::printf("\nWhere does CP's time go at (8,4,1.4) on ARM?\n");
-  core::Advisor cp(hw::arm_cluster(),
-                   workload::make_cp(workload::InputClass::kA));
+  core::Advisor cp = core::Advisor::from_scenario(make_scenario("arm", "CP"));
   const hw::ClusterConfig inter{8, 4, q::Hertz{1.4e9}};
   report_shares("  stock machine", cp.predict(inter));
   report_shares("  2x memory bandwidth",

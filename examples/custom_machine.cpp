@@ -6,7 +6,9 @@
 
 #include <cstdio>
 
+#include "cfg/scenario.hpp"
 #include "core/hepex.hpp"
+#include "util/json.hpp"
 
 using namespace hepex;
 using namespace hepex::units;
@@ -126,5 +128,12 @@ int main() {
                util::fmt(p.ucr, 2)});
   }
   std::printf("%s", t.to_text().c_str());
+
+  // Any machine — including this fully inline one — serializes to the
+  // scenario platform schema (docs/scenarios.md), ready to paste into a
+  // scenario document's "platform" section and rerun via
+  // `hepex ... --scenario file.json`.
+  std::printf("\nPlatform JSON for scenario files:\n%s",
+              util::json::dump(cfg::machine_to_json(machine)).c_str());
   return 0;
 }

@@ -9,23 +9,29 @@
 #include <cstdio>
 #include <vector>
 
+#include "cfg/scenario.hpp"
 #include "core/hepex.hpp"
 
 using namespace hepex;
 
 int main() {
-  const auto machine = hw::xeon_cluster();
-
   // An imbalanced CP variant: rank 0 handles boundary work and carries
-  // 20% more load than its peers.
-  auto program = workload::make_cp(workload::InputClass::kA);
-  program.compute.node_imbalance = 0.20;
+  // 20% more load than its peers. As a scenario this is the registry CP
+  // program plus one field override — the same thing a scenario file's
+  // "workload" section expresses declaratively.
+  cfg::Scenario scenario = cfg::default_scenario();
+  scenario.program_name = "CP";
+  scenario.program = workload::program_by_name("CP", scenario.input);
+  scenario.program.compute.node_imbalance = 0.20;
+  scenario.validate();
+  const hw::MachineSpec& machine = scenario.machine;
+  const workload::ProgramSpec& program = scenario.program;
 
   // Static step: the model picks the cheapest configuration for a tight
   // deadline (2% above the fastest possible run) — the regime where the
   // machine runs hot and imbalance slack is worth reclaiming. Only the
   // physically installed nodes qualify, since we execute the choice.
-  core::Advisor advisor(machine, program);
+  core::Advisor advisor = core::Advisor::from_scenario(scenario);
   std::vector<pareto::ConfigPoint> physical;
   for (const auto& p : advisor.explore()) {
     if (p.config.nodes <= machine.nodes_available) physical.push_back(p);

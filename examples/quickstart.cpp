@@ -9,16 +9,19 @@
 
 #include <cstdio>
 
+#include "cfg/scenario.hpp"
 #include "core/hepex.hpp"
 
 using namespace hepex;
 using namespace hepex::units::literals;
 
 int main() {
-  // 1. Pick a machine and a program. Presets reproduce the paper's
-  //    Table 3 clusters and its five validation programs.
-  core::Advisor advisor(hw::xeon_cluster(),
-                        workload::make_sp(workload::InputClass::kA));
+  // 1. Describe the run as a Scenario — the declarative document every
+  //    HEPEX entry point accepts. The default scenario is SP (class A)
+  //    on the Xeon cluster; a file loaded with cfg::load_scenario_file
+  //    (see examples/scenarios/) works exactly the same way.
+  const cfg::Scenario scenario = cfg::default_scenario();
+  core::Advisor advisor = core::Advisor::from_scenario(scenario);
 
   // 2. The time-energy Pareto frontier over all 216 configurations.
   std::printf("Pareto frontier for SP (class A) on the Xeon cluster:\n");

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cfg/scenario.hpp"
 #include "obs/log.hpp"
 #include "obs/profiler.hpp"
 #include "par/thread_pool.hpp"
@@ -14,6 +15,14 @@ Advisor::Advisor(hw::MachineSpec machine, workload::ProgramSpec program,
     : machine_(std::move(machine)),
       program_(std::move(program)),
       options_(options) {}
+
+Advisor Advisor::from_scenario(const cfg::Scenario& scenario,
+                               model::CharacterizationOptions options) {
+  options.sim.chunks_per_iteration = scenario.sim.chunks_per_iteration;
+  options.sim.jitter_cv = scenario.sim.jitter_cv;
+  options.sim.seed = scenario.sim.seed;
+  return Advisor(scenario.machine, scenario.program, options);
+}
 
 Advisor::Advisor(hw::MachineSpec machine, workload::ProgramSpec program,
                  model::CharacterizationOptions options,

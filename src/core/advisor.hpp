@@ -29,6 +29,10 @@
 #include "util/quantity.hpp"
 #include "workload/program.hpp"
 
+namespace hepex::cfg {
+struct Scenario;
+}  // namespace hepex::cfg
+
 namespace hepex::core {
 
 /// A recommended execution configuration with its predicted cost.
@@ -56,6 +60,13 @@ class Advisor {
   /// \param options  characterization controls (baseline class, seeds)
   Advisor(hw::MachineSpec machine, workload::ProgramSpec program,
           model::CharacterizationOptions options = {});
+
+  /// An advisor for a scenario's resolved machine and program. The
+  /// scenario's sim settings seed the characterization's baseline runs,
+  /// so two scenarios that differ only in presentation (flags vs file)
+  /// produce bit-identical advice.
+  static Advisor from_scenario(const cfg::Scenario& scenario,
+                               model::CharacterizationOptions options = {});
 
   /// The characterized model inputs (runs the measurement pass once).
   const model::Characterization& characterization();

@@ -1,8 +1,46 @@
 #include "hw/presets.hpp"
 
+#include "util/error.hpp"
 #include "util/units.hpp"
 
 namespace hepex::hw {
+
+namespace {
+
+struct PresetEntry {
+  const char* name;
+  MachineSpec (*factory)();
+};
+
+/// The machine registry: one row per preset, in presentation order.
+/// Adding a machine here makes it reachable from `cfg::Scenario`
+/// platform references, `hepex --machine`, and `hepex machines` at once.
+constexpr PresetEntry kPresets[] = {
+    {"xeon", xeon_cluster},
+    {"arm", arm_cluster},
+    {"modern", modern_x86_cluster},
+};
+
+}  // namespace
+
+std::vector<std::string> machine_names() {
+  std::vector<std::string> names;
+  names.reserve(std::size(kPresets));
+  for (const auto& e : kPresets) names.emplace_back(e.name);
+  return names;
+}
+
+MachineSpec machine_by_name(const std::string& name) {
+  for (const auto& e : kPresets) {
+    if (name == e.name) return e.factory();
+  }
+  std::string known;
+  for (const auto& e : kPresets) {
+    if (!known.empty()) known += ", ";
+    known += e.name;
+  }
+  fail_require("unknown machine '" + name + "' (use " + known + ")");
+}
 
 using namespace hepex::units;
 using namespace hepex::units::literals;

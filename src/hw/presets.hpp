@@ -19,9 +19,21 @@
 /// ~0.4 W per ARM node, total node power in the tens of watts vs a few
 /// watts respectively).
 
+#include <string>
+#include <vector>
+
 #include "hw/machine.hpp"
 
 namespace hepex::hw {
+
+/// Registry keys of the built-in machine presets, in presentation order
+/// ("xeon", "arm", "modern"). A `cfg::Scenario` references platforms by
+/// these names; `hepex machines` lists them.
+std::vector<std::string> machine_names();
+
+/// Look up a preset by registry key. Throws std::invalid_argument naming
+/// the known keys for unknown names.
+MachineSpec machine_by_name(const std::string& name);
 
 /// 8-node dual-socket Intel Xeon E5-2603 cluster, 1 Gbps Ethernet.
 /// Model configuration space: n in {1,2,4,...,256}, c in 1..8,

@@ -15,7 +15,7 @@ std::size_t Characterization::frequency_index(q::Hertz f_hz) const {
   for (std::size_t i = 0; i < fs.size(); ++i) {
     if (q::abs(fs[i] - f_hz) < q::Hertz{1e3}) return i;
   }
-  throw std::invalid_argument("hepex: frequency is not an operating point");
+  fail_require("frequency is not an operating point");
 }
 
 const BaselinePoint& Characterization::at(int c, q::Hertz f_hz) const {

@@ -1,23 +1,24 @@
 #include "model/serialize.hpp"
 
-#include <cstdio>
+#include <cmath>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <vector>
 
+#include "cfg/scenario.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 
 namespace hepex::model {
 namespace {
 
-constexpr const char* kHeader = "hepex-characterization v1";
+namespace jn = util::json;
 
-std::string num(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
+/// Current (JSON) schema tag and the legacy v1 text header.
+constexpr const char* kSchemaV2 = "hepex-characterization/2";
+constexpr const char* kHeaderV1 = "hepex-characterization v1";
+constexpr const char* kSource = "characterization";
 
 std::string trim(const std::string& s) {
   const auto b = s.find_first_not_of(" \t\r\n");
@@ -34,143 +35,210 @@ std::vector<double> parse_doubles(const std::string& s) {
   return out;
 }
 
-std::string isa_family_name(hw::IsaFamily f) {
-  return f == hw::IsaFamily::kX86_64 ? "x86_64" : "armv7a";
-}
-
 hw::IsaFamily isa_family_from(const std::string& s) {
   if (s == "x86_64") return hw::IsaFamily::kX86_64;
   if (s == "armv7a") return hw::IsaFamily::kArmV7A;
-  throw std::invalid_argument("hepex: unknown ISA family '" + s + "'");
+  hepex::fail_require("unknown ISA family '" + s + "'");
 }
 
-}  // namespace
+// --- v2 (JSON) readers ----------------------------------------------------
 
-void save_characterization(const Characterization& ch, std::ostream& os) {
-  os << kHeader << "\n";
-  auto kv = [&](const std::string& key, const std::string& value) {
-    os << key << " = " << value << "\n";
-  };
-  auto kvd = [&](const std::string& key, double value) {
-    kv(key, num(value));
-  };
+[[noreturn]] void fail_at(const std::string& path, const std::string& why) {
+  throw std::invalid_argument(std::string(kSource) + ": " + path + ": " +
+                              why);
+}
 
-  const auto& m = ch.machine;
-  kv("machine.name", m.name);
-  kv("machine.nodes_available", std::to_string(m.nodes_available));
-  {
-    std::ostringstream nn;
-    for (int n : m.model_node_counts) nn << n << ' ';
-    kv("machine.model_node_counts", trim(nn.str()));
+const jn::Value& require(const jn::Value& obj, const std::string& path,
+                         const std::string& key) {
+  const jn::Value* v = obj.find(key);
+  if (v == nullptr) {
+    fail_at(path.empty() ? key : path + "." + key, "missing required key");
   }
-  kv("node.cores", std::to_string(m.node.cores));
+  return *v;
+}
 
-  kv("isa.family", isa_family_name(m.node.isa.family));
-  kv("isa.name", m.node.isa.name);
-  kvd("isa.work_cpi", m.node.isa.work_cpi);
-  kvd("isa.pipeline_stall_per_work_cycle",
-      m.node.isa.pipeline_stall_per_work_cycle);
-  kvd("isa.memory_overlap", m.node.isa.memory_overlap);
-  kvd("isa.memory_level_parallelism", m.node.isa.memory_level_parallelism);
-  kvd("isa.message_software_cycles", m.node.isa.message_software_cycles);
+double get_number(const jn::Value& obj, const std::string& path,
+                  const std::string& key) {
+  const jn::Value& v = require(obj, path, key);
+  if (!v.is_number()) {
+    fail_at(path + "." + key,
+            "expected a number, got " + jn::dump_compact(v));
+  }
+  return v.as_number();
+}
 
-  {
-    std::ostringstream fs;
-    for (q::Hertz f : m.node.dvfs.frequencies_hz) {
-      fs << num(f.value()) << ' ';
+int get_int(const jn::Value& obj, const std::string& path,
+            const std::string& key) {
+  const double d = get_number(obj, path, key);
+  if (std::floor(d) != d) {
+    fail_at(path + "." + key, "expected an integer");
+  }
+  return static_cast<int>(d);
+}
+
+std::string get_string(const jn::Value& obj, const std::string& path,
+                       const std::string& key) {
+  const jn::Value& v = require(obj, path, key);
+  if (!v.is_string()) {
+    fail_at(path + "." + key,
+            "expected a string, got " + jn::dump_compact(v));
+  }
+  return v.as_string();
+}
+
+const jn::Value& get_object(const jn::Value& obj, const std::string& path,
+                            const std::string& key) {
+  const jn::Value& v = require(obj, path, key);
+  if (!v.is_object()) {
+    fail_at(path.empty() ? key : path + "." + key,
+            "expected an object, got " + jn::dump_compact(v));
+  }
+  return v;
+}
+
+const jn::Array& get_array(const jn::Value& obj, const std::string& path,
+                           const std::string& key) {
+  const jn::Value& v = require(obj, path, key);
+  if (!v.is_array()) {
+    fail_at(path.empty() ? key : path + "." + key,
+            "expected an array, got " + jn::dump_compact(v));
+  }
+  return v.as_array();
+}
+
+std::vector<q::Watts> get_watt_array(const jn::Value& obj,
+                                     const std::string& path,
+                                     const std::string& key) {
+  std::vector<q::Watts> out;
+  for (const jn::Value& e : get_array(obj, path, key)) {
+    if (!e.is_number()) {
+      fail_at(path + "." + key, "expected an array of numbers");
     }
-    kv("dvfs.frequencies_hz", trim(fs.str()));
+    out.push_back(q::Watts{e.as_number()});
   }
-  kvd("dvfs.v_min", m.node.dvfs.v_min);
-  kvd("dvfs.v_max", m.node.dvfs.v_max);
+  return out;
+}
 
-  kvd("cache.l1_per_core_bytes", m.node.cache.l1_per_core_bytes);
-  kvd("cache.l2_shared_bytes", m.node.cache.l2_shared_bytes);
-  kvd("cache.l3_shared_bytes", m.node.cache.l3_shared_bytes);
-  kvd("cache.cold_miss_fraction", m.node.cache.cold_miss_fraction);
-  kvd("cache.knee", m.node.cache.knee);
-
-  kvd("memory.bandwidth_bytes_per_s", m.node.memory.bandwidth_bytes_per_s.value());
-  kvd("memory.latency_s", m.node.memory.latency_s.value());
-  kvd("memory.capacity_bytes", m.node.memory.capacity_bytes.value());
-  kvd("memory.line_bytes", m.node.memory.line_bytes.value());
-
-  kvd("network.link_bits_per_s", m.network.link_bits_per_s.value());
-  kvd("network.switch_latency_s", m.network.switch_latency_s.value());
-  kvd("network.header_bytes_per_frame", m.network.header_bytes_per_frame.value());
-  kvd("network.payload_bytes_per_frame", m.network.payload_bytes_per_frame.value());
-
-  kvd("power.core.active_coeff", m.node.power.core.active_coeff);
-  kvd("power.core.stall_fraction", m.node.power.core.stall_fraction);
-  kvd("power.mem_active_w", m.node.power.mem_active_w.value());
-  kvd("power.net_active_w", m.node.power.net_active_w.value());
-  kvd("power.sys_idle_w", m.node.power.sys_idle_w.value());
-  kvd("power.meter_offset_sigma_w", m.node.power.meter_offset_sigma_w.value());
-
-  kv("program", ch.program_name);
-  kv("baseline.class", workload::to_string(ch.baseline_class));
-  kv("baseline.iterations", std::to_string(ch.baseline_iterations));
-  kvd("baseline.cells", ch.baseline_cells);
-
-  kv("comm.n_probe", std::to_string(ch.comm.n_probe));
-  kvd("comm.eta", ch.comm.eta);
-  kvd("comm.nu", ch.comm.nu.value());
-  kvd("comm.size_cv", ch.comm.size_cv);
-  kv("comm.pattern", workload::to_string(ch.pattern));
-
-  kvd("netchar.achievable_bps", ch.network.achievable_bps.value());
-  kvd("netchar.base_latency_s", ch.network.base_latency_s.value());
-  kvd("msg_software_s_at_fmax", ch.msg_software_s_at_fmax.value());
-
-  kvd("charpower.sys_idle_w", ch.power.sys_idle_w.value());
-  kvd("charpower.mem_active_w", ch.power.mem_active_w.value());
-  kvd("charpower.net_active_w", ch.power.net_active_w.value());
+Characterization load_v2(const std::string& text) {
+  const jn::Value doc = jn::parse(text, kSource);
+  if (!doc.is_object()) fail_at("(document)", "expected an object");
   {
-    std::ostringstream a, s;
-    for (q::Watts v : ch.power.core_active_w) a << num(v.value()) << ' ';
-    for (q::Watts v : ch.power.core_stall_w) s << num(v.value()) << ' ';
-    kv("charpower.core_active_w", trim(a.str()));
-    kv("charpower.core_stall_w", trim(s.str()));
-  }
-
-  // Baseline counter table: one row per (c, frequency index).
-  os << "baseline-table\n";
-  os << "# c f_index work_cycles nonmem_stalls mem_stalls utilization "
-        "instructions\n";
-  for (std::size_t c = 0; c < ch.baseline.size(); ++c) {
-    for (std::size_t fi = 0; fi < ch.baseline[c].size(); ++fi) {
-      const auto& pt = ch.baseline[c][fi];
-      os << (c + 1) << ' ' << fi << ' ' << num(pt.work_cycles) << ' '
-         << num(pt.nonmem_stalls) << ' ' << num(pt.mem_stalls) << ' '
-         << num(pt.utilization) << ' ' << num(pt.instructions) << "\n";
+    const std::string schema = get_string(doc, "", "schema");
+    if (schema != kSchemaV2) {
+      fail_at("schema", std::string("expected \"") + kSchemaV2 +
+                            "\", got \"" + schema + "\"");
     }
   }
-  os << "end\n";
+
+  Characterization ch;
+  ch.machine = cfg::machine_from_json(get_object(doc, "", "machine"),
+                                      hw::MachineSpec{}, "machine", kSource);
+  if (ch.machine.node.dvfs.frequencies_hz.empty()) {
+    fail_at("machine.node.dvfs.frequencies", "empty DVFS frequency list");
+  }
+  ch.program_name = get_string(doc, "", "program");
+
+  {
+    const jn::Value& b = get_object(doc, "", "baseline");
+    ch.baseline_class =
+        workload::input_class_from_string(get_string(b, "baseline", "class"));
+    ch.baseline_iterations = get_int(b, "baseline", "iterations");
+    ch.baseline_cells = get_number(b, "baseline", "cells");
+  }
+  {
+    const jn::Value& c = get_object(doc, "", "comm");
+    ch.comm.n_probe = get_int(c, "comm", "n_probe");
+    ch.comm.eta = get_number(c, "comm", "eta");
+    ch.comm.nu = q::Bytes{get_number(c, "comm", "nu")};
+    ch.comm.size_cv = get_number(c, "comm", "size_cv");
+    const std::string p = get_string(c, "comm", "pattern");
+    try {
+      ch.pattern = workload::comm_pattern_from_string(p);
+    } catch (const std::invalid_argument&) {
+      fail_at("comm.pattern", "unknown comm pattern '" + p + "'");
+    }
+  }
+  {
+    const jn::Value& n = get_object(doc, "", "network");
+    ch.network.achievable_bps =
+        q::BitsPerSec{get_number(n, "network", "achievable_bps")};
+    ch.network.base_latency_s =
+        q::Seconds{get_number(n, "network", "base_latency_s")};
+    ch.msg_software_s_at_fmax =
+        q::Seconds{get_number(n, "network", "msg_software_s_at_fmax")};
+  }
+  {
+    const jn::Value& p = get_object(doc, "", "power");
+    ch.power.sys_idle_w = q::Watts{get_number(p, "power", "sys_idle_w")};
+    ch.power.mem_active_w = q::Watts{get_number(p, "power", "mem_active_w")};
+    ch.power.net_active_w = q::Watts{get_number(p, "power", "net_active_w")};
+    ch.power.core_active_w = get_watt_array(p, "power", "core_active_w");
+    ch.power.core_stall_w = get_watt_array(p, "power", "core_stall_w");
+  }
+  const std::size_t n_freqs = ch.machine.node.dvfs.frequencies_hz.size();
+  if (ch.power.core_active_w.size() != n_freqs ||
+      ch.power.core_stall_w.size() != n_freqs) {
+    fail_at("power", "power vectors do not match the DVFS frequency count");
+  }
+
+  // Baseline counter table: rows of [c, f_index, work_cycles,
+  // nonmem_stalls, mem_stalls, utilization, instructions].
+  ch.baseline.assign(static_cast<std::size_t>(ch.machine.node.cores),
+                     std::vector<BaselinePoint>(n_freqs));
+  std::size_t filled = 0;
+  std::size_t i = 0;
+  for (const jn::Value& row : get_array(doc, "", "baseline_table")) {
+    const std::string path = "baseline_table[" + std::to_string(i) + "]";
+    if (!row.is_array() || row.as_array().size() != 7) {
+      fail_at(path, "expected a row of 7 numbers");
+    }
+    double raw[7];
+    for (std::size_t k = 0; k < 7; ++k) {
+      const jn::Value& cell = row.as_array()[k];
+      if (!cell.is_number()) fail_at(path, "expected a row of 7 numbers");
+      raw[k] = cell.as_number();
+    }
+    const int c = static_cast<int>(raw[0]);
+    const int fi = static_cast<int>(raw[1]);
+    if (c < 1 || c > ch.machine.node.cores || fi < 0 ||
+        static_cast<std::size_t>(fi) >= n_freqs) {
+      fail_at(path, "(c=" + std::to_string(c) + ", fi=" + std::to_string(fi) +
+                        ") out of range");
+    }
+    BaselinePoint pt;
+    pt.work_cycles = raw[2];
+    pt.nonmem_stalls = raw[3];
+    pt.mem_stalls = raw[4];
+    pt.utilization = raw[5];
+    pt.instructions = raw[6];
+    ch.baseline[static_cast<std::size_t>(c - 1)]
+               [static_cast<std::size_t>(fi)] = pt;
+    ++filled;
+    ++i;
+  }
+  if (filled !=
+      static_cast<std::size_t>(ch.machine.node.cores) * n_freqs) {
+    fail_at("baseline_table",
+            "incomplete: " + std::to_string(filled) + " rows for " +
+                std::to_string(ch.machine.node.cores) + " cores x " +
+                std::to_string(n_freqs) + " frequencies");
+  }
+  return ch;
 }
 
-void save_characterization_file(const Characterization& ch,
-                                const std::string& path) {
-  std::ofstream os(path);
-  if (!os) {
-    throw std::runtime_error("hepex: cannot open '" + path + "' for writing");
-  }
-  save_characterization(ch, os);
-  if (!os) {
-    throw std::runtime_error("hepex: write to '" + path + "' failed");
-  }
-}
+// --- v1 (legacy key=value text) loader ------------------------------------
 
-Characterization load_characterization(std::istream& is) {
+Characterization load_v1(std::istream& is) {
   std::string line;
   int lineno = 0;
-  auto fail = [&](const std::string& why) {
-    throw std::invalid_argument("hepex: characterization parse error at line " +
-                                std::to_string(lineno) + ": " + why);
+  auto fail = [&](const std::string& why) -> void {
+    fail_require("characterization parse error at line " +
+                 std::to_string(lineno) + ": " + why);
   };
 
-  if (!std::getline(is, line) || trim(line) != kHeader) {
+  if (!std::getline(is, line) || trim(line) != kHeaderV1) {
     lineno = 1;
-    fail("missing header '" + std::string(kHeader) + "'");
+    fail("missing header '" + std::string(kHeaderV1) + "'");
   }
   lineno = 1;
 
@@ -222,6 +290,7 @@ Characterization load_characterization(std::istream& is) {
   auto& m = ch.machine;
   m.name = get("machine.name");
   m.nodes_available = geti("machine.nodes_available");
+  m.model_node_counts.clear();
   for (double v : parse_doubles(get("machine.model_node_counts"))) {
     m.model_node_counts.push_back(static_cast<int>(v));
   }
@@ -279,12 +348,11 @@ Characterization load_characterization(std::istream& is) {
   ch.comm.size_cv = getd("comm.size_cv");
   {
     const std::string p = get("comm.pattern");
-    using workload::CommPattern;
-    if (p == "halo-3d") ch.pattern = CommPattern::kHalo3D;
-    else if (p == "wavefront") ch.pattern = CommPattern::kWavefront;
-    else if (p == "all-to-all") ch.pattern = CommPattern::kAllToAll;
-    else if (p == "ring") ch.pattern = CommPattern::kRing;
-    else fail("unknown comm pattern '" + p + "'");
+    try {
+      ch.pattern = workload::comm_pattern_from_string(p);
+    } catch (const std::invalid_argument&) {
+      fail("unknown comm pattern '" + p + "'");
+    }
   }
 
   ch.network.achievable_bps = q::BitsPerSec{getd("netchar.achievable_bps")};
@@ -325,6 +393,98 @@ Characterization load_characterization(std::istream& is) {
     fail("baseline table incomplete: " + std::to_string(filled) + " rows");
   }
   return ch;
+}
+
+}  // namespace
+
+void save_characterization(const Characterization& ch, std::ostream& os) {
+  jn::Value doc = jn::Value::object();
+  doc.set("schema", jn::Value(kSchemaV2));
+  doc.set("machine", cfg::machine_to_json(ch.machine));
+  doc.set("program", jn::Value(ch.program_name));
+
+  {
+    jn::Value b = jn::Value::object();
+    b.set("class", jn::Value(workload::to_string(ch.baseline_class)));
+    b.set("iterations", jn::Value(ch.baseline_iterations));
+    b.set("cells", jn::Value(ch.baseline_cells));
+    doc.set("baseline", std::move(b));
+  }
+  {
+    jn::Value c = jn::Value::object();
+    c.set("n_probe", jn::Value(ch.comm.n_probe));
+    c.set("eta", jn::Value(ch.comm.eta));
+    c.set("nu", jn::Value(ch.comm.nu.value()));
+    c.set("size_cv", jn::Value(ch.comm.size_cv));
+    c.set("pattern", jn::Value(workload::to_string(ch.pattern)));
+    doc.set("comm", std::move(c));
+  }
+  {
+    jn::Value n = jn::Value::object();
+    n.set("achievable_bps", jn::Value(ch.network.achievable_bps.value()));
+    n.set("base_latency_s", jn::Value(ch.network.base_latency_s.value()));
+    n.set("msg_software_s_at_fmax",
+          jn::Value(ch.msg_software_s_at_fmax.value()));
+    doc.set("network", std::move(n));
+  }
+  {
+    jn::Value p = jn::Value::object();
+    p.set("sys_idle_w", jn::Value(ch.power.sys_idle_w.value()));
+    p.set("mem_active_w", jn::Value(ch.power.mem_active_w.value()));
+    p.set("net_active_w", jn::Value(ch.power.net_active_w.value()));
+    jn::Value active = jn::Value::array();
+    for (q::Watts w : ch.power.core_active_w) active.push_back(w.value());
+    jn::Value stall = jn::Value::array();
+    for (q::Watts w : ch.power.core_stall_w) stall.push_back(w.value());
+    p.set("core_active_w", std::move(active));
+    p.set("core_stall_w", std::move(stall));
+    doc.set("power", std::move(p));
+  }
+  {
+    jn::Value table = jn::Value::array();
+    for (std::size_t c = 0; c < ch.baseline.size(); ++c) {
+      for (std::size_t fi = 0; fi < ch.baseline[c].size(); ++fi) {
+        const BaselinePoint& pt = ch.baseline[c][fi];
+        jn::Value row = jn::Value::array();
+        row.push_back(static_cast<int>(c + 1));
+        row.push_back(static_cast<int>(fi));
+        row.push_back(pt.work_cycles);
+        row.push_back(pt.nonmem_stalls);
+        row.push_back(pt.mem_stalls);
+        row.push_back(pt.utilization);
+        row.push_back(pt.instructions);
+        table.push_back(std::move(row));
+      }
+    }
+    doc.set("baseline_table", std::move(table));
+  }
+  os << jn::dump(doc);
+}
+
+void save_characterization_file(const Characterization& ch,
+                                const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("hepex: cannot open '" + path + "' for writing");
+  }
+  save_characterization(ch, os);
+  if (!os) {
+    throw std::runtime_error("hepex: write to '" + path + "' failed");
+  }
+}
+
+Characterization load_characterization(std::istream& is) {
+  // Sniff the format: JSON (v2) documents open with '{'; the legacy v1
+  // text format opens with its header line.
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  const std::string text = ss.str();
+  const auto first = text.find_first_not_of(" \t\r\n");
+  if (first != std::string::npos && text[first] == '{') {
+    return load_v2(text);
+  }
+  std::istringstream v1(text);
+  return load_v1(v1);
 }
 
 Characterization load_characterization_file(const std::string& path) {

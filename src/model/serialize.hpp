@@ -8,11 +8,13 @@
 /// the result to a plain-text file and reload it in later sessions —
 /// model evaluation then needs no cluster access at all.
 ///
-/// The format is a line-oriented `key = value` / table layout designed to
-/// be diff-able and hand-editable (so a user can, e.g., paste counters
-/// measured with perf on real hardware). Round-tripping is exact for all
-/// quantities the model consumes; the embedded machine description covers
-/// the fields prediction needs.
+/// The current format is JSON (`"schema": "hepex-characterization/2"`)
+/// written through `util::json`: diff-able, hand-editable (so a user can,
+/// e.g., paste counters measured with perf on real hardware) and exact —
+/// numbers use shortest-round-trip formatting, so save→load→save is
+/// byte-identical. The embedded machine description reuses the scenario
+/// platform schema (`cfg::machine_to_json`), so it exists exactly once.
+/// Files in the legacy v1 `key = value` text layout still load.
 
 #include <iosfwd>
 #include <string>
@@ -21,15 +23,17 @@
 
 namespace hepex::model {
 
-/// Serialize to the HEPEX characterization text format.
+/// Serialize to the HEPEX characterization format (JSON, schema v2).
 void save_characterization(const Characterization& ch, std::ostream& os);
 
 /// Convenience: write to `path`; throws std::runtime_error on I/O error.
 void save_characterization_file(const Characterization& ch,
                                 const std::string& path);
 
-/// Parse a characterization previously written by save_characterization.
-/// Throws std::invalid_argument on malformed input (with a line number).
+/// Parse a characterization previously written by save_characterization —
+/// either the JSON v2 schema or the legacy v1 text format (detected from
+/// the first non-space byte). Throws std::invalid_argument on malformed
+/// input, with a field path (v2) or line number (v1).
 Characterization load_characterization(std::istream& is);
 
 /// Convenience: read from `path`; throws std::runtime_error when the file

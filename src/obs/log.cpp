@@ -1,4 +1,5 @@
 #include "obs/log.hpp"
+#include "util/error.hpp"
 
 #include <atomic>
 #include <cstdio>
@@ -74,9 +75,8 @@ LogLevel log_level_from_string(const std::string& name) {
                      LogLevel::kInfo, LogLevel::kDebug, LogLevel::kTrace}) {
     if (name == to_string(l)) return l;
   }
-  throw std::invalid_argument(
-      "unknown log level '" + name +
-      "' (use off, error, warn, info, debug or trace)");
+  fail_require("unknown log level '" + name +
+               "' (use off, error, warn, info, debug or trace)");
 }
 
 LogField::LogField(std::string_view k, std::string_view v)

@@ -1,57 +1,19 @@
 #include "obs/registry.hpp"
+#include "util/error.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <stdexcept>
 
+#include "util/json.hpp"
+
 namespace hepex::obs {
-namespace {
-
-/// Shortest representation that round-trips a double through text.
-std::string json_number(double v) {
-  char buf[64];
-  for (int precision : {15, 16, 17}) {
-    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
-    double back = 0.0;
-    std::sscanf(buf, "%lf", &back);
-    if (back == v) break;
-  }
-  return buf;
-}
-
-std::string json_string(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  out.push_back('"');
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char esc[8];
-          std::snprintf(esc, sizeof(esc), "\\u%04x", c);
-          out += esc;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  out.push_back('"');
-  return out;
-}
-
-}  // namespace
 
 Histogram::Histogram(std::vector<double> upper_bounds)
     : bounds_(std::move(upper_bounds)),
       counts_(bounds_.size() + 1, 0) {
   if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
       std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
-    throw std::invalid_argument(
-        "histogram bucket bounds must be strictly ascending");
+    fail_require("histogram bucket bounds must be strictly ascending");
   }
 }
 
@@ -100,51 +62,51 @@ void Registry::clear() {
 }
 
 std::string Registry::to_json() const {
-  std::string out = "{\n  \"counters\": {";
-  bool first = true;
+  namespace jn = util::json;
+  jn::Value doc = jn::Value::object();
+
+  jn::Value counters = jn::Value::object();
   for (const auto& [name, c] : counters_) {
-    out += first ? "\n" : ",\n";
-    out += "    " + json_string(name) + ": " + std::to_string(c.value());
-    first = false;
+    counters.set(name, jn::Value(static_cast<double>(c.value())));
   }
-  out += first ? "},\n" : "\n  },\n";
+  doc.set("counters", std::move(counters));
 
-  out += "  \"gauges\": {";
-  first = true;
+  jn::Value gauges = jn::Value::object();
   for (const auto& [name, g] : gauges_) {
-    out += first ? "\n" : ",\n";
-    out += "    " + json_string(name) + ": " + json_number(g.value());
-    first = false;
+    gauges.set(name, jn::Value(g.value()));
   }
-  out += first ? "},\n" : "\n  },\n";
+  doc.set("gauges", std::move(gauges));
 
-  out += "  \"histograms\": {";
-  first = true;
+  jn::Value histograms = jn::Value::object();
   for (const auto& [name, h] : histograms_) {
-    out += first ? "\n" : ",\n";
-    out += "    " + json_string(name) + ": {\"count\": " +
-           std::to_string(h.count()) + ", \"sum\": " + json_number(h.sum());
+    jn::Value hj = jn::Value::object();
+    hj.set("count", jn::Value(static_cast<double>(h.count())));
+    hj.set("sum", jn::Value(h.sum()));
     if (h.count() > 0) {
-      out += ", \"min\": " + json_number(h.min()) +
-             ", \"max\": " + json_number(h.max());
+      hj.set("min", jn::Value(h.min()));
+      hj.set("max", jn::Value(h.max()));
     } else {
-      out += ", \"min\": null, \"max\": null";
+      hj.set("min", jn::Value());
+      hj.set("max", jn::Value());
     }
-    out += ", \"buckets\": [";
+    jn::Value buckets = jn::Value::array();
     const auto& counts = h.bucket_counts();
     for (std::size_t i = 0; i < counts.size(); ++i) {
-      if (i > 0) out += ", ";
-      out += "{\"le\": ";
-      out += i < h.bounds().size() ? json_number(h.bounds()[i])
-                                   : std::string("\"+Inf\"");
-      out += ", \"count\": " + std::to_string(counts[i]) + "}";
+      jn::Value b = jn::Value::object();
+      if (i < h.bounds().size()) {
+        b.set("le", jn::Value(h.bounds()[i]));
+      } else {
+        b.set("le", jn::Value("+Inf"));
+      }
+      b.set("count", jn::Value(static_cast<double>(counts[i])));
+      buckets.push_back(std::move(b));
     }
-    out += "]}";
-    first = false;
+    hj.set("buckets", std::move(buckets));
+    histograms.set(name, std::move(hj));
   }
-  out += first ? "}\n" : "\n  }\n";
-  out += "}\n";
-  return out;
+  doc.set("histograms", std::move(histograms));
+
+  return jn::dump(doc);
 }
 
 }  // namespace hepex::obs

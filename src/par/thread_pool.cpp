@@ -1,4 +1,5 @@
 #include "par/thread_pool.hpp"
+#include "util/error.hpp"
 
 #include <algorithm>
 #include <stdexcept>
@@ -27,9 +28,8 @@ int hardware_jobs() {
 
 int resolve_jobs(int jobs) {
   if (jobs < 0 || jobs > kMaxJobs) {
-    throw std::invalid_argument("hepex: jobs must be in [0, " +
-                                std::to_string(kMaxJobs) + "], got " +
-                                std::to_string(jobs));
+    fail_require("jobs must be in [0, " + std::to_string(kMaxJobs) +
+                 "], got " + std::to_string(jobs));
   }
   if (jobs == 0) {
     const int d = g_default_jobs.load(std::memory_order_relaxed);
@@ -40,9 +40,9 @@ int resolve_jobs(int jobs) {
 
 void set_default_jobs(int jobs) {
   if (jobs < 0 || jobs > kMaxJobs) {
-    throw std::invalid_argument("hepex: default jobs must be in [0, " +
-                                std::to_string(kMaxJobs) + "], got " +
-                                std::to_string(jobs));
+    fail_require("default jobs must be in [0, " +
+                 std::to_string(kMaxJobs) + "], got " +
+                 std::to_string(jobs));
   }
   g_default_jobs.store(jobs, std::memory_order_relaxed);
 }

@@ -1,0 +1,25 @@
+#include "trace/scenario.hpp"
+
+namespace hepex::trace {
+
+SimOptions sim_options_from_scenario(const cfg::Scenario& s) {
+  SimOptions options;
+  options.chunks_per_iteration = s.sim.chunks_per_iteration;
+  options.jitter_cv = s.sim.jitter_cv;
+  options.seed = s.sim.seed;
+  options.faults = s.faults ? &*s.faults : nullptr;
+  return options;
+}
+
+Measurement simulate(const cfg::Scenario& s) {
+  return simulate(s.machine, s.program, s.single_config(),
+                  sim_options_from_scenario(s));
+}
+
+std::vector<Measurement> simulate_ensemble(const cfg::Scenario& s) {
+  return simulate_ensemble(s.machine, s.program, s.single_config(),
+                           sim_options_from_scenario(s),
+                           static_cast<std::size_t>(s.sim.replicas), s.jobs);
+}
+
+}  // namespace hepex::trace

@@ -12,6 +12,10 @@ CliArgs CliArgs::parse(int argc, const char* const* argv) {
   if (i < argc && std::string(argv[i]).rfind("--", 0) != 0) {
     out.command_ = argv[i];
     ++i;
+    if (i < argc && std::string(argv[i]).rfind("--", 0) != 0) {
+      out.subcommand_ = argv[i];
+      ++i;
+    }
   }
   for (; i < argc; ++i) {
     const std::string tok = argv[i];
@@ -67,11 +71,11 @@ double CliArgs::get_double_or(const std::string& name,
     HEPEX_REQUIRE(pos == v->size(), "trailing characters in number");
     return d;
   } catch (const std::invalid_argument&) {
-    throw std::invalid_argument("hepex: flag --" + name +
-                                " expects a number, got '" + *v + "'");
+    fail_require("flag --" + name + " expects a number, got '" + *v +
+                 "'");
   } catch (const std::out_of_range&) {
-    throw std::invalid_argument("hepex: flag --" + name +
-                                " value out of range: '" + *v + "'");
+    fail_require("flag --" + name + " value out of range: '" + *v +
+                 "'");
   }
 }
 
@@ -84,11 +88,11 @@ int CliArgs::get_int_or(const std::string& name, int fallback) const {
     HEPEX_REQUIRE(pos == v->size(), "trailing characters in integer");
     return d;
   } catch (const std::invalid_argument&) {
-    throw std::invalid_argument("hepex: flag --" + name +
-                                " expects an integer, got '" + *v + "'");
+    fail_require("flag --" + name + " expects an integer, got '" + *v +
+                 "'");
   } catch (const std::out_of_range&) {
-    throw std::invalid_argument("hepex: flag --" + name +
-                                " value out of range: '" + *v + "'");
+    fail_require("flag --" + name + " value out of range: '" + *v +
+                 "'");
   }
 }
 
@@ -104,8 +108,8 @@ double split_magnitude(const std::string& text, const char* what,
   try {
     mag = std::stod(text, &pos);
   } catch (const std::exception&) {
-    throw std::invalid_argument(std::string("hepex: expected a ") + what +
-                                ", got '" + text + "'");
+    fail_require(std::string("expected a ") + what + ", got '" + text +
+                 "'");
   }
   while (pos < text.size() && text[pos] == ' ') ++pos;
   std::size_t end = text.size();
@@ -116,8 +120,8 @@ double split_magnitude(const std::string& text, const char* what,
 
 [[noreturn]] void bad_suffix(const std::string& text, const char* what,
                              const char* expected) {
-  throw std::invalid_argument(std::string("hepex: bad ") + what + " '" +
-                              text + "' (use " + expected + ")");
+  fail_require(std::string("bad ") + what + " '" + text + "' (use " +
+               expected + ")");
 }
 
 }  // namespace
@@ -177,22 +181,40 @@ q::Joules parse_energy(const std::string& text) {
   bad_suffix(text, "energy", "J, kJ or MJ; bare numbers are J");
 }
 
+q::Watts parse_power(const std::string& text) {
+  std::string sfx;
+  const double mag = split_magnitude(text, "power", &sfx);
+  if (sfx.empty() || sfx == "W") return q::Watts{mag};
+  if (sfx == "mW") return q::Watts{mag * 1e-3};
+  if (sfx == "kW") return q::Watts{mag * 1e3};
+  bad_suffix(text, "power", "mW, W or kW; bare numbers are W");
+}
+
+q::BytesPerSec parse_byte_rate(const std::string& text) {
+  std::string sfx;
+  const double mag = split_magnitude(text, "byte rate", &sfx);
+  if (sfx.empty() || sfx == "B/s") return q::BytesPerSec{mag};
+  if (sfx == "kB/s") return q::BytesPerSec{mag * 1e3};
+  if (sfx == "MB/s") return q::BytesPerSec{mag * 1e6};
+  if (sfx == "GB/s") return q::BytesPerSec{mag * 1e9};
+  bad_suffix(text, "byte rate", "B/s, kB/s, MB/s or GB/s; bare is bytes/s");
+}
+
 int parse_jobs(const std::string& text) {
   int jobs = 0;
   std::size_t pos = 0;
   try {
     jobs = std::stoi(text, &pos);
   } catch (const std::exception&) {
-    throw std::invalid_argument("hepex: expected a job count, got '" + text +
-                                "'");
+    fail_require("expected a job count, got '" + text + "'");
   }
   if (pos != text.size()) {
-    throw std::invalid_argument("hepex: bad job count '" + text +
-                                "' (use a plain integer; 0 = all cores)");
+    fail_require("bad job count '" + text +
+                 "' (use a plain integer; 0 = all cores)");
   }
   if (jobs < 0 || jobs > 512) {
-    throw std::invalid_argument("hepex: job count " + std::to_string(jobs) +
-                                " out of range [0, 512] (0 = all cores)");
+    fail_require("job count " + std::to_string(jobs) +
+                 " out of range [0, 512] (0 = all cores)");
   }
   return jobs;
 }
@@ -201,7 +223,7 @@ void CliArgs::require_known(const std::vector<std::string>& known) const {
   for (const auto& [name, value] : flags_) {
     (void)value;
     if (std::find(known.begin(), known.end(), name) == known.end()) {
-      throw std::invalid_argument("hepex: unknown flag --" + name);
+      fail_require("unknown flag --" + name);
     }
   }
 }

@@ -2,9 +2,9 @@
 /// \file cli.hpp
 /// \brief Tiny command-line argument parser for the HEPEX tools.
 ///
-/// Grammar: `tool <command> [--flag value]... [--flag=value]...
-/// [--switch]...`. Values never start with "--"; unknown flags are the
-/// caller's job to reject via `require_known`.
+/// Grammar: `tool <command> [<subcommand>] [--flag value]...
+/// [--flag=value]... [--switch]...`. Values never start with "--";
+/// unknown flags are the caller's job to reject via `require_known`.
 
 #include <map>
 #include <optional>
@@ -23,8 +23,12 @@ class CliArgs {
   /// an empty value.
   static CliArgs parse(int argc, const char* const* argv);
 
-  /// The first positional token (the sub-command); empty when absent.
+  /// The first positional token (the command); empty when absent.
   const std::string& command() const { return command_; }
+
+  /// The second positional token (e.g. `validate` in `hepex scenario
+  /// validate`); empty when absent.
+  const std::string& subcommand() const { return subcommand_; }
 
   /// True when `--name` appeared (with or without value).
   bool has(const std::string& name) const;
@@ -48,6 +52,7 @@ class CliArgs {
 
  private:
   std::string command_;
+  std::string subcommand_;
   std::map<std::string, std::string> flags_;  // valueless flags map to ""
 };
 
@@ -76,6 +81,14 @@ q::BitsPerSec parse_bandwidth(const std::string& text);
 
 /// "5000J", "5kJ", "1.2MJ". A bare number is joules.
 q::Joules parse_energy(const std::string& text);
+
+/// "55W", "250mW", "1.2kW". A bare number is watts.
+q::Watts parse_power(const std::string& text);
+
+/// "12GB/s", "1.3GB/s", "64kB/s" — byte rates (memory bandwidth), kept
+/// distinct from the bit-rate `parse_bandwidth` so the x8 stays typed.
+/// A bare number is bytes/s.
+q::BytesPerSec parse_byte_rate(const std::string& text);
 
 /// Parse a `--jobs` value: a plain non-negative integer, where 0 means
 /// "use hardware concurrency" (the `par` default) and anything above

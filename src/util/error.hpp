@@ -6,11 +6,33 @@
 /// preconditions"), every public entry point validates its arguments and
 /// throws `std::invalid_argument` with a message naming the violated
 /// condition. Internal logic errors throw `std::logic_error`.
+///
+/// Error taxonomy (enforced across the tree, surfaced as exit codes by
+/// the CLI):
+///  - caller/config/user-input failures -> `HEPEX_REQUIRE` or
+///    `hepex::fail_require` (std::invalid_argument, CLI exit code 2);
+///  - internal invariant violations     -> `HEPEX_ASSERT` or
+///    `hepex::fail_assert` (std::logic_error, CLI exit code 1);
+///  - environment failures (unreadable/unwritable files) ->
+///    std::runtime_error (CLI exit code 1).
 
 #include <stdexcept>
 #include <string>
 
 namespace hepex {
+
+/// Throw the user-input failure `std::invalid_argument` with a fully
+/// composed message. Use for dynamic messages (parse errors with
+/// positions, lookups listing the known names) where the macro's
+/// condition echo adds nothing.
+[[noreturn]] inline void fail_require(const std::string& msg) {
+  throw std::invalid_argument("hepex: " + msg);
+}
+
+/// Throw the internal-invariant failure `std::logic_error`.
+[[noreturn]] inline void fail_assert(const std::string& msg) {
+  throw std::logic_error("hepex bug: " + msg);
+}
 
 /// Throw `std::invalid_argument` when a caller-supplied precondition fails.
 #define HEPEX_REQUIRE(cond, msg)                                    \

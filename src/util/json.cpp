@@ -1,0 +1,445 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/error.hpp"
+
+namespace hepex::util::json {
+
+namespace {
+
+[[noreturn]] void kind_error(const char* wanted, Kind got) {
+  fail_assert(std::string("JSON value is ") + kind_name(got) + ", not " +
+              wanted);
+}
+
+}  // namespace
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kNull: return "null";
+    case Kind::kBool: return "bool";
+    case Kind::kNumber: return "number";
+    case Kind::kString: return "string";
+    case Kind::kArray: return "array";
+    case Kind::kObject: return "object";
+  }
+  return "unknown";
+}
+
+bool Value::as_bool() const {
+  if (kind_ != Kind::kBool) kind_error("bool", kind_);
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (kind_ != Kind::kNumber) kind_error("number", kind_);
+  return number_;
+}
+
+const std::string& Value::as_string() const {
+  if (kind_ != Kind::kString) kind_error("string", kind_);
+  return string_;
+}
+
+const Array& Value::as_array() const {
+  if (kind_ != Kind::kArray) kind_error("array", kind_);
+  return array_;
+}
+
+Array& Value::as_array() {
+  if (kind_ != Kind::kArray) kind_error("array", kind_);
+  return array_;
+}
+
+const Members& Value::members() const {
+  if (kind_ != Kind::kObject) kind_error("object", kind_);
+  return members_;
+}
+
+Members& Value::members() {
+  if (kind_ != Kind::kObject) kind_error("object", kind_);
+  return members_;
+}
+
+const Value* Value::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Value::set(const std::string& key, Value v) {
+  if (kind_ != Kind::kObject) kind_error("object", kind_);
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  members_.emplace_back(key, std::move(v));
+}
+
+void Value::push_back(Value v) {
+  if (kind_ != Kind::kArray) kind_error("array", kind_);
+  array_.push_back(std::move(v));
+}
+
+bool Value::operator==(const Value& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kNull: return true;
+    case Kind::kBool: return bool_ == other.bool_;
+    case Kind::kNumber: return number_ == other.number_;
+    case Kind::kString: return string_ == other.string_;
+    case Kind::kArray: return array_ == other.array_;
+    case Kind::kObject: return members_ == other.members_;
+  }
+  return false;
+}
+
+std::string number_to_string(double v) {
+  HEPEX_ASSERT(std::isfinite(v), "JSON cannot represent a non-finite number");
+  char buf[64];
+  for (int precision : {15, 16, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+std::string quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof(esc), "\\u%04x", c);
+          out += esc;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+// --- parser ---------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, const std::string& source)
+      : text_(text), source_(source) {}
+
+  Value run() {
+    skip_ws();
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    std::size_t line = 1;
+    std::size_t col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw std::invalid_argument(source_ + ": line " + std::to_string(line) +
+                                ", column " + std::to_string(col) + ": " +
+                                why);
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "'" +
+           (pos_ < text_.size()
+                ? std::string(", got '") + text_[pos_] + "'"
+                : std::string(", got end of input")));
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Value parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value(parse_string());
+      case 't':
+        if (consume_literal("true")) return Value(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Value(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Value();
+        fail("invalid literal");
+      case '\0': fail("unexpected end of input");
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value obj = Value::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("expected a quoted object key");
+      std::string key = parse_string();
+      if (obj.find(key) != nullptr) fail("duplicate key \"" + key + "\"");
+      skip_ws();
+      expect(':');
+      skip_ws();
+      obj.members().emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value arr = Value::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      skip_ws();
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        fail("raw control character in string (use \\u escapes)");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape sequence");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail("invalid hex digit in \\u escape");
+          }
+          // HEPEX artifacts only escape control bytes; encode the code
+          // point as UTF-8 for generality.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail(std::string("invalid escape '\\") + e + "'");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (peek() < '0' || peek() > '9') {
+      pos_ = start;
+      fail("invalid value");
+    }
+    while (peek() >= '0' && peek() <= '9') ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      if (peek() < '0' || peek() > '9') fail("digit expected after '.'");
+      while (peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (peek() < '0' || peek() > '9') fail("digit expected in exponent");
+      while (peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    const double v = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(v)) fail("number out of double range");
+    return Value(v);
+  }
+
+  const std::string& text_;
+  const std::string& source_;
+  std::size_t pos_ = 0;
+};
+
+void dump_into(const Value& v, std::string& out, int depth, bool pretty) {
+  const std::string pad = pretty ? std::string(2 * (depth + 1), ' ') : "";
+  const std::string close_pad = pretty ? std::string(2 * depth, ' ') : "";
+  const char* nl = pretty ? "\n" : "";
+  const char* colon = pretty ? ": " : ":";
+  switch (v.kind()) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += v.as_bool() ? "true" : "false"; break;
+    case Kind::kNumber: out += number_to_string(v.as_number()); break;
+    case Kind::kString: out += quote(v.as_string()); break;
+    case Kind::kArray: {
+      const auto& a = v.as_array();
+      if (a.empty()) {
+        out += "[]";
+        break;
+      }
+      // Scalar-only arrays stay on one line (frequency lists, node
+      // counts); nested structures get one element per line.
+      bool scalar = true;
+      for (const auto& e : a) {
+        if (e.is_array() || e.is_object()) {
+          scalar = false;
+          break;
+        }
+      }
+      if (scalar || !pretty) {
+        out += "[";
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          if (i > 0) out += pretty ? ", " : ",";
+          dump_into(a[i], out, depth, pretty);
+        }
+        out += "]";
+      } else {
+        out += "[";
+        out += nl;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          out += pad;
+          dump_into(a[i], out, depth + 1, pretty);
+          if (i + 1 < a.size()) out += ",";
+          out += nl;
+        }
+        out += close_pad;
+        out += "]";
+      }
+      break;
+    }
+    case Kind::kObject: {
+      const auto& m = v.members();
+      if (m.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{";
+      out += nl;
+      for (std::size_t i = 0; i < m.size(); ++i) {
+        out += pad;
+        out += quote(m[i].first);
+        out += colon;
+        dump_into(m[i].second, out, depth + 1, pretty);
+        if (i + 1 < m.size()) out += ",";
+        out += nl;
+      }
+      out += close_pad;
+      out += "}";
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Value parse(const std::string& text, const std::string& source) {
+  return Parser(text, source).run();
+}
+
+std::string dump(const Value& v) {
+  std::string out;
+  dump_into(v, out, 0, true);
+  out += "\n";
+  return out;
+}
+
+std::string dump_compact(const Value& v) {
+  std::string out;
+  dump_into(v, out, 0, false);
+  return out;
+}
+
+}  // namespace hepex::util::json

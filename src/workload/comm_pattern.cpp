@@ -17,6 +17,15 @@ std::string to_string(CommPattern p) {
   return {};
 }
 
+CommPattern comm_pattern_from_string(const std::string& s) {
+  if (s == "halo-3d") return CommPattern::kHalo3D;
+  if (s == "wavefront") return CommPattern::kWavefront;
+  if (s == "all-to-all") return CommPattern::kAllToAll;
+  if (s == "ring") return CommPattern::kRing;
+  fail_require("unknown comm pattern '" + s +
+               "' (use halo-3d, wavefront, all-to-all or ring)");
+}
+
 CommShape CommSpec::shape(int n) const {
   HEPEX_REQUIRE(n >= 1, "need at least one process");
   if (n == 1) return CommShape{0, 0.0};

@@ -27,6 +27,10 @@ enum class CommPattern { kHalo3D, kWavefront, kAllToAll, kRing };
 /// Pattern name for reports.
 std::string to_string(CommPattern p);
 
+/// Parse a pattern name ("halo-3d", "wavefront", "all-to-all", "ring");
+/// throws std::invalid_argument naming the known patterns otherwise.
+CommPattern comm_pattern_from_string(const std::string& s);
+
 /// Per-iteration communication demands of one logical process.
 struct CommShape {
   int messages = 0;          ///< η: messages sent per process per iteration

@@ -46,7 +46,7 @@ InputClass input_class_from_string(const std::string& s) {
   if (s == "A") return InputClass::kA;
   if (s == "B") return InputClass::kB;
   if (s == "C") return InputClass::kC;
-  throw std::invalid_argument("hepex: unknown input class '" + s + "'");
+  fail_require("unknown input class '" + s + "'");
 }
 
 }  // namespace hepex::workload

@@ -286,16 +286,40 @@ std::vector<ProgramSpec> extended_programs(InputClass cls) {
   return v;
 }
 
+namespace {
+
+struct ProgramEntry {
+  const char* name;
+  ProgramSpec (*factory)(InputClass);
+};
+
+/// The program registry, in the paper's table order plus extensions.
+/// One row here makes a program reachable from `cfg::Scenario` workload
+/// references and `hepex --program` at once.
+constexpr ProgramEntry kPrograms[] = {
+    {"LU", make_lu}, {"SP", make_sp}, {"BT", make_bt}, {"CP", make_cp},
+    {"LB", make_lb}, {"MG", make_mg}, {"FT", make_ft}, {"CG", make_cg},
+};
+
+}  // namespace
+
+std::vector<std::string> program_names() {
+  std::vector<std::string> names;
+  names.reserve(std::size(kPrograms));
+  for (const auto& e : kPrograms) names.emplace_back(e.name);
+  return names;
+}
+
 ProgramSpec program_by_name(const std::string& name, InputClass cls) {
-  if (name == "BT") return make_bt(cls);
-  if (name == "LU") return make_lu(cls);
-  if (name == "SP") return make_sp(cls);
-  if (name == "CP") return make_cp(cls);
-  if (name == "LB") return make_lb(cls);
-  if (name == "MG") return make_mg(cls);
-  if (name == "FT") return make_ft(cls);
-  if (name == "CG") return make_cg(cls);
-  throw std::invalid_argument("hepex: unknown program '" + name + "'");
+  for (const auto& e : kPrograms) {
+    if (name == e.name) return e.factory(cls);
+  }
+  std::string known;
+  for (const auto& e : kPrograms) {
+    if (!known.empty()) known += ", ";
+    known += e.name;
+  }
+  fail_require("unknown program '" + name + "' (use " + known + ")");
 }
 
 }  // namespace hepex::workload

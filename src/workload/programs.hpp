@@ -58,9 +58,13 @@ ProgramSpec make_cg(InputClass cls = InputClass::kA);
 /// The full extended suite: the paper's five plus MG, FT, CG.
 std::vector<ProgramSpec> extended_programs(InputClass cls = InputClass::kA);
 
-/// Look up a program by name ("BT", "LU", "SP", "CP", "LB", and the
-/// extensions "MG", "FT", "CG"); throws std::invalid_argument for
-/// unknown names.
+/// Registry keys of the built-in programs in the paper's table order
+/// plus the extensions ("LU", "SP", "BT", "CP", "LB", "MG", "FT", "CG").
+/// A `cfg::Scenario` references workloads by these names.
+std::vector<std::string> program_names();
+
+/// Look up a program by registry key; throws std::invalid_argument
+/// naming the known keys for unknown names.
 ProgramSpec program_by_name(const std::string& name,
                             InputClass cls = InputClass::kA);
 

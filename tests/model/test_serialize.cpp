@@ -5,11 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <functional>
 #include <sstream>
 #include <stdexcept>
 
 #include "hw/presets.hpp"
 #include "model/predictor.hpp"
+#include "util/json.hpp"
 #include "workload/programs.hpp"
 
 namespace hepex::model {
@@ -104,51 +106,160 @@ TEST(Serialize, MissingHeaderRejected) {
   EXPECT_THROW(load_characterization(ss), std::invalid_argument);
 }
 
-TEST(Serialize, MissingKeyRejected) {
+/// The canonical test of the v2 writer: a saved characterization reloads
+/// and re-saves to the exact same bytes.
+TEST(Serialize, SaveLoadSaveIsByteIdentical) {
+  std::stringstream first;
+  save_characterization(sample_ch(), first);
+  std::stringstream in(first.str());
+  const Characterization loaded = load_characterization(in);
+  std::stringstream second;
+  save_characterization(loaded, second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+/// Helper: save the sample, apply `mutate` to the JSON document, reload.
+Characterization reload_mutated(
+    const std::function<void(util::json::Value&)>& mutate) {
   std::stringstream out;
   save_characterization(sample_ch(), out);
-  std::string text = out.str();
-  // Drop the program line.
-  const auto pos = text.find("program = ");
-  ASSERT_NE(pos, std::string::npos);
-  text.erase(pos, text.find('\n', pos) - pos + 1);
-  std::stringstream in(text);
-  EXPECT_THROW(load_characterization(in), std::invalid_argument);
+  util::json::Value doc = util::json::parse(out.str());
+  mutate(doc);
+  std::stringstream in(util::json::dump(doc));
+  return load_characterization(in);
+}
+
+/// Mutable object-member lookup (Value::find is const-only).
+util::json::Value& member(util::json::Value& doc, const std::string& key) {
+  for (auto& [k, v] : doc.members()) {
+    if (k == key) return v;
+  }
+  throw std::logic_error("test document is missing key " + key);
+}
+
+TEST(Serialize, MissingKeyRejected) {
+  try {
+    reload_mutated([](util::json::Value& doc) {
+      auto& m = doc.members();
+      for (auto it = m.begin(); it != m.end(); ++it) {
+        if (it->first == "program") {
+          m.erase(it);
+          break;
+        }
+      }
+    });
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("program"), std::string::npos);
+  }
+}
+
+TEST(Serialize, SchemaMismatchRejected) {
+  try {
+    reload_mutated([](util::json::Value& doc) {
+      doc.set("schema", util::json::Value("hepex-characterization/9"));
+    });
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("characterization: schema:"),
+              std::string::npos);
+  }
 }
 
 TEST(Serialize, MalformedTableRowRejected) {
-  std::stringstream out;
-  save_characterization(sample_ch(), out);
-  std::string text = out.str();
-  const auto pos = text.find("baseline-table\n");
-  ASSERT_NE(pos, std::string::npos);
-  text.insert(pos + std::string("baseline-table\n").size(),
-              "1 zero bad row\n");
-  std::stringstream in(text);
-  EXPECT_THROW(load_characterization(in), std::invalid_argument);
+  EXPECT_THROW(reload_mutated([](util::json::Value& doc) {
+                 util::json::Value bad = util::json::Value::array();
+                 bad.push_back(util::json::Value(1));
+                 auto& table = member(doc, "baseline_table").as_array();
+                 table.insert(table.begin(), std::move(bad));
+               }),
+               std::invalid_argument);
 }
 
 TEST(Serialize, IncompleteTableRejected) {
-  std::stringstream out;
-  save_characterization(sample_ch(), out);
-  std::string text = out.str();
-  // Remove the last data row (the line before "end").
-  const auto end_pos = text.rfind("end\n");
-  ASSERT_NE(end_pos, std::string::npos);
-  const auto prev_nl = text.rfind('\n', end_pos - 2);
-  text.erase(prev_nl + 1, end_pos - prev_nl - 1);
-  std::stringstream in(text);
-  EXPECT_THROW(load_characterization(in), std::invalid_argument);
+  EXPECT_THROW(reload_mutated([](util::json::Value& doc) {
+                 member(doc, "baseline_table").as_array().pop_back();
+               }),
+               std::invalid_argument);
 }
 
-TEST(Serialize, CommentsAndBlankLinesIgnored) {
-  std::stringstream out;
-  save_characterization(sample_ch(), out);
-  std::string text = out.str();
-  const auto pos = text.find('\n') + 1;
-  text.insert(pos, "# a comment\n\n   \n");
-  std::stringstream in(text);
-  EXPECT_NO_THROW(load_characterization(in));
+TEST(Serialize, LegacyV1TextFormatStillLoads) {
+  // A minimal but complete v1 document (the pre-JSON key=value layout):
+  // one core, two DVFS points, comments and blank lines in the mix.
+  const std::string v1 =
+      "hepex-characterization v1\n"
+      "# a comment\n"
+      "\n"
+      "machine.name = legacy\n"
+      "machine.nodes_available = 2\n"
+      "machine.model_node_counts = 1 2\n"
+      "node.cores = 1\n"
+      "isa.family = armv7a\n"
+      "isa.name = old-core\n"
+      "isa.work_cpi = 1.5\n"
+      "isa.pipeline_stall_per_work_cycle = 0.3\n"
+      "isa.memory_overlap = 0.2\n"
+      "isa.memory_level_parallelism = 2\n"
+      "isa.message_software_cycles = 60000\n"
+      "dvfs.frequencies_hz = 500000000 1000000000\n"
+      "dvfs.v_min = 0.9\n"
+      "dvfs.v_max = 1.1\n"
+      "cache.l1_per_core_bytes = 32768\n"
+      "cache.l2_shared_bytes = 1048576\n"
+      "cache.l3_shared_bytes = 0\n"
+      "cache.cold_miss_fraction = 0.02\n"
+      "cache.knee = 2\n"
+      "memory.bandwidth_bytes_per_s = 1.3e9\n"
+      "memory.latency_s = 9e-8\n"
+      "memory.capacity_bytes = 1e9\n"
+      "memory.line_bytes = 32\n"
+      "network.link_bits_per_s = 1e8\n"
+      "network.switch_latency_s = 3e-5\n"
+      "network.header_bytes_per_frame = 78\n"
+      "network.payload_bytes_per_frame = 1448\n"
+      "power.core.active_coeff = 2e-9\n"
+      "power.core.stall_fraction = 0.5\n"
+      "power.mem_active_w = 1\n"
+      "power.net_active_w = 0.5\n"
+      "power.sys_idle_w = 3\n"
+      "power.meter_offset_sigma_w = 0.4\n"
+      "program = CP\n"
+      "baseline.class = W\n"
+      "baseline.iterations = 4\n"
+      "baseline.cells = 1000\n"
+      "comm.n_probe = 2\n"
+      "comm.eta = 6\n"
+      "comm.nu = 4096\n"
+      "comm.size_cv = 0.2\n"
+      "comm.pattern = all-to-all\n"
+      "netchar.achievable_bps = 9e7\n"
+      "netchar.base_latency_s = 1e-4\n"
+      "msg_software_s_at_fmax = 6e-5\n"
+      "charpower.sys_idle_w = 3.1\n"
+      "charpower.mem_active_w = 1.05\n"
+      "charpower.net_active_w = 0.52\n"
+      "charpower.core_active_w = 0.5 1.2\n"
+      "charpower.core_stall_w = 0.3 0.7\n"
+      "baseline-table\n"
+      "# c f_index work nonmem mem util instr\n"
+      "1 0 1e9 1e8 2e8 0.8 5e8\n"
+      "1 1 1e9 1e8 3e8 0.7 5e8\n"
+      "end\n";
+  std::stringstream in(v1);
+  const Characterization ch = load_characterization(in);
+  EXPECT_EQ(ch.machine.name, "legacy");
+  EXPECT_EQ(ch.program_name, "CP");
+  EXPECT_EQ(ch.pattern, workload::CommPattern::kAllToAll);
+  EXPECT_DOUBLE_EQ(ch.baseline[0][1].mem_stalls, 3e8);
+
+  // And it re-saves as v2: save -> load -> save is byte-identical.
+  std::stringstream v2a;
+  save_characterization(ch, v2a);
+  std::stringstream v2in(v2a.str());
+  const Characterization again = load_characterization(v2in);
+  std::stringstream v2b;
+  save_characterization(again, v2b);
+  EXPECT_EQ(v2a.str(), v2b.str());
 }
 
 }  // namespace

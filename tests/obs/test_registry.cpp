@@ -118,6 +118,46 @@ TEST(Registry, JsonSnapshotRoundTrip) {
   EXPECT_DOUBLE_EQ(buckets[2].at("count").number, 1.0);
 }
 
+/// Byte-level golden pin: the snapshot format is consumed by external
+/// tooling (`--metrics` files, CI artifacts), so its exact shape —
+/// insertion-ordered keys, 2-space indent, shortest round-trip numbers,
+/// trailing newline — is a contract, not an implementation detail.
+TEST(Registry, JsonSnapshotBytesArePinned) {
+  obs::Registry reg;
+  reg.counter("events").add(3);
+  reg.gauge("util").set(0.5);
+  auto& h = reg.histogram("wait_s", {0.1});
+  h.observe(0.05);
+  h.observe(2.0);
+  EXPECT_EQ(reg.to_json(),
+            "{\n"
+            "  \"counters\": {\n"
+            "    \"events\": 3\n"
+            "  },\n"
+            "  \"gauges\": {\n"
+            "    \"util\": 0.5\n"
+            "  },\n"
+            "  \"histograms\": {\n"
+            "    \"wait_s\": {\n"
+            "      \"count\": 2,\n"
+            "      \"sum\": 2.05,\n"
+            "      \"min\": 0.05,\n"
+            "      \"max\": 2,\n"
+            "      \"buckets\": [\n"
+            "        {\n"
+            "          \"le\": 0.1,\n"
+            "          \"count\": 1\n"
+            "        },\n"
+            "        {\n"
+            "          \"le\": \"+Inf\",\n"
+            "          \"count\": 1\n"
+            "        }\n"
+            "      ]\n"
+            "    }\n"
+            "  }\n"
+            "}\n");
+}
+
 TEST(Registry, EmptySnapshotIsValidJson) {
   obs::Registry reg;
   const auto doc = testjson::parse(reg.to_json());

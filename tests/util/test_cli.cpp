@@ -59,8 +59,21 @@ TEST(Cli, BadNumbersThrow) {
   EXPECT_THROW(a.get_int_or("n", 0), std::invalid_argument);
 }
 
+TEST(Cli, SubcommandParsed) {
+  const auto a = parse({"scenario", "validate", "--scenario", "s.json"});
+  EXPECT_EQ(a.command(), "scenario");
+  EXPECT_EQ(a.subcommand(), "validate");
+  EXPECT_EQ(a.get_or("scenario", ""), "s.json");
+}
+
+TEST(Cli, NoSubcommandIsEmpty) {
+  EXPECT_TRUE(parse({"run"}).subcommand().empty());
+  EXPECT_TRUE(parse({"run", "--n", "4"}).subcommand().empty());
+}
+
 TEST(Cli, UnexpectedPositionalThrows) {
-  EXPECT_THROW(parse({"run", "extra"}), std::invalid_argument);
+  // Two positionals (command + subcommand) are the grammar's limit.
+  EXPECT_THROW(parse({"run", "sub", "extra"}), std::invalid_argument);
 }
 
 TEST(Cli, RequireKnownAcceptsAndRejects) {

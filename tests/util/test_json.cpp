@@ -1,0 +1,125 @@
+// Tests for the dependency-free JSON reader/writer — the determinism
+// contract every HEPEX artifact (scenarios, characterizations, metrics
+// snapshots, bench JSON) is built on.
+
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace hepex::util::json {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_TRUE(parse("true").as_bool());
+  EXPECT_FALSE(parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse("-2.5e3").as_number(), -2500.0);
+  EXPECT_EQ(parse("\"hi\\n\\\"there\\\"\"").as_string(), "hi\n\"there\"");
+}
+
+TEST(Json, ParsesNestedContainers) {
+  const Value v = parse(R"({"a": [1, {"b": true}], "c": "x"})");
+  ASSERT_TRUE(v.is_object());
+  const Value* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->as_array().size(), 2u);
+  EXPECT_DOUBLE_EQ(a->as_array()[0].as_number(), 1.0);
+  EXPECT_TRUE(a->as_array()[1].find("b")->as_bool());
+  EXPECT_EQ(v.find("c")->as_string(), "x");
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+  Value v = Value::object();
+  v.set("zebra", Value(1));
+  v.set("apple", Value(2));
+  v.set("mango", Value(3));
+  EXPECT_EQ(dump_compact(v), R"({"zebra":1,"apple":2,"mango":3})");
+  // Overwrite keeps the first-insertion position.
+  v.set("zebra", Value(9));
+  EXPECT_EQ(dump_compact(v), R"({"zebra":9,"apple":2,"mango":3})");
+}
+
+TEST(Json, DumpParseDumpIsAFixedPoint) {
+  const std::string docs[] = {
+      R"({"a":1,"b":[1,2,3],"c":{"d":null,"e":false},"f":"s"})",
+      R"([0.1,1e300,-4.9406564584124654e-324,12345678901234567])",
+      R"({"empty_obj":{},"empty_arr":[],"s":"\"\n\t"})",
+  };
+  for (const std::string& doc : docs) {
+    const std::string once = dump(parse(doc));
+    EXPECT_EQ(dump(parse(once)), once) << doc;
+  }
+}
+
+TEST(Json, NumbersRoundTripBitExactly) {
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0 / 3.0,
+                           0.1,
+                           6.02214076e23,
+                           std::numeric_limits<double>::denorm_min(),
+                           std::numeric_limits<double>::max(),
+                           -123456.789,
+                           2.5e-10};
+  for (const double v : values) {
+    const double back = parse(number_to_string(v)).as_number();
+    EXPECT_EQ(std::signbit(back), std::signbit(v));
+    EXPECT_EQ(back, v) << number_to_string(v);
+  }
+}
+
+TEST(Json, IntegralNumbersPrintWithoutPoint) {
+  EXPECT_EQ(number_to_string(42.0), "42");
+  EXPECT_EQ(number_to_string(-7.0), "-7");
+  EXPECT_EQ(number_to_string(1e6), "1000000");
+}
+
+TEST(Json, PrettyDumpShapeIsStable) {
+  // Scalar-only arrays stay on one line; objects indent by two spaces and
+  // the document ends with a newline. The bench JSON artifact and the
+  // registry snapshot shape both rely on this.
+  Value v = Value::object();
+  v.set("xs", parse("[1, 2, 3]"));
+  v.set("o", parse(R"({"k": "v"})"));
+  EXPECT_EQ(dump(v),
+            "{\n  \"xs\": [1, 2, 3],\n  \"o\": {\n    \"k\": \"v\"\n  }\n}\n");
+}
+
+TEST(Json, ParseErrorsCarrySourceLineAndColumn) {
+  try {
+    parse("{\n  \"a\": tru\n}", "doc.json");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("doc.json: line 2"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(parse("[1, 2,]"), std::invalid_argument);
+  EXPECT_THROW(parse("{} trailing"), std::invalid_argument);
+  EXPECT_THROW(parse(""), std::invalid_argument);
+}
+
+TEST(Json, KindMismatchIsALogicError) {
+  EXPECT_THROW(parse("1").as_string(), std::logic_error);
+  EXPECT_THROW(parse("\"s\"").as_number(), std::logic_error);
+  EXPECT_THROW((void)parse("[]").members(), std::logic_error);
+}
+
+TEST(Json, QuoteEscapes) {
+  EXPECT_EQ(quote("a\"b\\c\nd\te"), "\"a\\\"b\\\\c\\nd\\te\"");
+  EXPECT_EQ(quote(std::string("\x01", 1)), "\"\\u0001\"");
+}
+
+TEST(Json, EqualityIsStructural) {
+  EXPECT_EQ(parse(R"({"a": [1, 2]})"), parse(R"({ "a" : [ 1, 2 ] })"));
+  EXPECT_FALSE(parse(R"({"a": 1})") == parse(R"({"a": 2})"));
+}
+
+}  // namespace
+}  // namespace hepex::util::json

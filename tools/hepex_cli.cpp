@@ -1,6 +1,13 @@
 // hepex — command-line front end to the HEPEX library.
 //
+// Every command accepts `--scenario file.json` — a declarative Scenario
+// document (docs/scenarios.md) that names the platform, workload, sweep
+// space, fault plan, simulator options and observability outputs in one
+// artifact. The remaining flags are overrides layered on top; precedence
+// is CLI flag > scenario field > registry default.
+//
 // Usage:
+//   hepex advise      --scenario s.json  (or --machine xeon --program SP)
 //   hepex frontier    --machine xeon|arm --program SP [--class A]
 //   hepex recommend   --machine xeon --program SP --deadline 60
 //   hepex recommend   --machine xeon --program SP --budget 5000
@@ -9,12 +16,14 @@
 //   hepex netchar     --machine arm
 //   hepex report      --machine xeon --program SP
 //   hepex whatif      --machine xeon --program SP --membw 2 --n 1 --c 8 --f 1.8
-//   hepex characterize --machine xeon --program SP --out ch.txt
-//   hepex predict     --from ch.txt --n 8 --c 8 --f 1.8 [--class A] [--iters 60]
+//   hepex characterize --machine xeon --program SP --out ch.json
+//   hepex predict     --from ch.json --n 8 --c 8 --f 1.8 [--class A] [--iters 60]
 //   hepex faults      --machine xeon --program SP --mtbf 86400
 //   hepex faults      --machine xeon --program SP --n 4 --c 8 --f 1.8
 //                     --mtbf 3600 [--crash-node 1 --crash-at 5] [--mode abort]
 //                     [--replicas 32]
+//   hepex scenario validate --scenario s.json
+//   hepex scenario print [--scenario s.json] [--machine arm ...] [--out s.json]
 //
 // Observability flags (any command; see docs/observability.md):
 //   --log-level off|error|warn|info|debug|trace   structured logs on stderr
@@ -28,7 +37,7 @@
 // Running `hepex --trace=out.json` with no command simulates the
 // quickstart workload (SP on the Xeon cluster) and traces it.
 //
-// Exit codes: 0 success, 1 runtime failure, 2 usage error.
+// Exit codes: 0 success, 1 runtime failure, 2 usage/configuration error.
 
 #include <cstdio>
 #include <exception>
@@ -36,9 +45,11 @@
 #include <string>
 #include <vector>
 
+#include "cfg/scenario.hpp"
 #include "core/hepex.hpp"
 #include "core/report.hpp"
 #include "fault/plan.hpp"
+#include "hw/presets.hpp"
 #include "model/resilience.hpp"
 #include "obs/log.hpp"
 #include "obs/profiler.hpp"
@@ -46,46 +57,90 @@
 #include "obs/trace_sink.hpp"
 #include "par/thread_pool.hpp"
 #include "trace/ensemble.hpp"
+#include "trace/scenario.hpp"
 #include "util/cli.hpp"
+#include "util/error.hpp"
 #include "util/quantity.hpp"
+#include "workload/programs.hpp"
 
 using namespace hepex;
 
 namespace {
 
-/// Reject flags this command does not understand. Observability flags
-/// and --jobs are accepted everywhere.
+/// Reject flags this command does not understand. Observability flags,
+/// --jobs and --scenario are accepted everywhere.
 void require_flags(const util::CliArgs& args,
                    std::vector<std::string> known) {
   known.push_back("log-level");
   known.push_back("profile");
   known.push_back("jobs");
+  known.push_back("scenario");
   args.require_known(known);
 }
 
-hw::MachineSpec machine_by_name(const std::string& name) {
-  if (name == "xeon") return hw::xeon_cluster();
-  if (name == "arm") return hw::arm_cluster();
-  if (name == "modern") return hw::modern_x86_cluster();
-  throw std::invalid_argument("hepex: unknown machine '" + name +
-                              "' (use xeon, arm or modern)");
-}
+/// Build the run's Scenario: `--scenario FILE` when given, the default
+/// scenario otherwise, with the remaining flags layered on top
+/// (precedence: CLI flag > scenario field > registry default). Also
+/// applies the scenario's obs/jobs settings for flags the user did not
+/// pass on the command line.
+cfg::Scenario scenario_from(const util::CliArgs& args) {
+  cfg::Scenario s;
+  if (const auto path = args.get("scenario")) {
+    s = cfg::load_scenario_file(*path);
+  } else {
+    s = cfg::default_scenario();
+  }
+  if (const auto m = args.get("machine")) {
+    s.platform_preset = *m;
+    s.machine = hw::machine_by_name(*m);
+  }
+  if (args.has("program") || args.has("class")) {
+    s.program_name = args.get_or("program", s.program_name);
+    if (const auto cls = args.get("class")) {
+      s.input = workload::input_class_from_string(*cls);
+    }
+    s.program = workload::program_by_name(s.program_name, s.input);
+  }
+  if (args.has("n") || args.has("c") || args.has("f")) {
+    hw::ClusterConfig run = s.config ? *s.config : s.single_config();
+    run.nodes = args.get_int_or("n", run.nodes);
+    run.cores = args.get_int_or("c", run.cores);
+    // --f takes a unit suffix ("1.8GHz", "1800MHz"); a bare number is GHz.
+    if (const auto f = args.get("f")) run.f_hz = util::parse_frequency(*f);
+    s.config = run;
+  }
+  if (const auto jobs = args.get("jobs")) s.jobs = util::parse_jobs(*jobs);
+  if (const auto lvl = args.get("log-level")) s.obs.log_level = *lvl;
+  if (const auto t = args.get("trace")) s.obs.trace_path = *t;
+  if (const auto mp = args.get("metrics")) s.obs.metrics_path = *mp;
+  if (args.has("profile")) s.obs.profile = true;
+  if (args.has("replicas")) {
+    s.sim.replicas = args.get_int_or("replicas", s.sim.replicas);
+  }
+  s.validate();
 
-workload::ProgramSpec program_from(const util::CliArgs& args) {
-  const auto cls = workload::input_class_from_string(args.get_or("class", "A"));
-  return workload::program_by_name(args.get_or("program", "SP"), cls);
+  // Scenario-supplied process settings (the matching flags were applied
+  // in main(); only fill in what the command line left unset).
+  if (!args.has("jobs") && s.jobs != 0) par::set_default_jobs(s.jobs);
+  if (!args.has("log-level") && !s.obs.log_level.empty()) {
+    obs::Log::set_level(obs::log_level_from_string(s.obs.log_level));
+  }
+  if (!args.has("profile") && s.obs.profile) {
+    obs::Profiler::instance().set_enabled(true);
+  }
+  return s;
 }
 
 hw::ClusterConfig config_from(const util::CliArgs& args,
                               const hw::MachineSpec& m) {
-  hw::ClusterConfig cfg;
-  cfg.nodes = args.get_int_or("n", 1);
-  cfg.cores = args.get_int_or("c", m.node.cores);
+  hw::ClusterConfig run;
+  run.nodes = args.get_int_or("n", 1);
+  run.cores = args.get_int_or("c", m.node.cores);
   // --f takes a unit suffix ("1.8GHz", "1800MHz"); a bare number is GHz.
   const auto f = args.get("f");
-  cfg.f_hz = f ? util::parse_frequency(*f)
+  run.f_hz = f ? util::parse_frequency(*f)
                : q::Hertz{(m.node.dvfs.f_max().value() / 1e9) * 1e9};
-  return cfg;
+  return run;
 }
 
 /// `--name` parsed as a duration with unit suffix; bare numbers are
@@ -108,18 +163,87 @@ void print_points(const std::vector<pareto::ConfigPoint>& points) {
   std::printf("%s", t.to_text().c_str());
 }
 
+int cmd_advise(const util::CliArgs& args) {
+  require_flags(args, {"machine", "program", "class", "deadline", "budget"});
+  const cfg::Scenario s = scenario_from(args);
+  core::Advisor advisor = core::Advisor::from_scenario(s);
+  std::printf("advice for %s (class %s) on %s:\n", s.program.name.c_str(),
+              workload::to_string(s.input).c_str(), s.machine.name.c_str());
+  const auto frontier = advisor.frontier();
+  print_points(frontier);
+  if (!frontier.empty()) {
+    const pareto::ConfigPoint* best = &frontier.front();
+    for (const auto& p : frontier) {
+      if (p.energy_j < best->energy_j) best = &p;
+    }
+    std::printf("minimum energy: %s (%.2f s, %.3f kJ)\n",
+                util::fmt_config(best->config.nodes, best->config.cores,
+                                 best->config.f_hz.value() / 1e9)
+                    .c_str(),
+                best->time_s.value(), best->energy_j.value() / 1e3);
+  }
+  if (args.has("deadline")) {
+    const q::Seconds deadline = duration_or(args, "deadline", 0.0);
+    if (const auto rec = advisor.for_deadline(deadline)) {
+      std::printf("deadline %.1f s: %s (%.2f s, %.3f kJ)\n",
+                  deadline.value(),
+                  util::fmt_config(rec->point.config.nodes,
+                                   rec->point.config.cores,
+                                   rec->point.config.f_hz.value() / 1e9)
+                      .c_str(),
+                  rec->point.time_s.value(),
+                  rec->point.energy_j.value() / 1e3);
+    } else {
+      std::printf("deadline %.1f s: no configuration meets it\n",
+                  deadline.value());
+    }
+  }
+  return 0;
+}
+
+int cmd_scenario(const util::CliArgs& args) {
+  require_flags(args, {"machine", "program", "class", "n", "c", "f",
+                       "replicas", "out"});
+  const std::string& sub = args.subcommand();
+  if (sub == "validate") {
+    const auto path = args.get("scenario");
+    if (!path) {
+      fail_require("scenario validate needs --scenario FILE");
+    }
+    const cfg::Scenario s = cfg::load_scenario_file(*path);
+    std::printf("%s: OK — %s (class %s) on %s; %zu sweep configs%s%s\n",
+                path->c_str(), s.program_name.c_str(),
+                workload::to_string(s.input).c_str(), s.machine.name.c_str(),
+                s.sweep_configs().size(),
+                s.config ? "; single config set" : "",
+                s.faults ? "; fault plan" : "");
+    return 0;
+  }
+  if (sub == "print") {
+    const cfg::Scenario s = scenario_from(args);
+    if (const auto out = args.get("out")) {
+      cfg::save_scenario_file(s, *out);
+      std::printf("scenario written: %s\n", out->c_str());
+    } else {
+      std::printf("%s", cfg::save_scenario(s).c_str());
+    }
+    return 0;
+  }
+  fail_require("scenario needs a subcommand: validate | print");
+}
+
 int cmd_frontier(const util::CliArgs& args) {
   require_flags(args, {"machine", "program", "class"});
-  core::Advisor advisor(machine_by_name(args.get_or("machine", "xeon")),
-                        program_from(args));
+  const cfg::Scenario s = scenario_from(args);
+  core::Advisor advisor = core::Advisor::from_scenario(s);
   print_points(advisor.frontier());
   return 0;
 }
 
 int cmd_recommend(const util::CliArgs& args) {
   require_flags(args, {"machine", "program", "class", "deadline", "budget"});
-  core::Advisor advisor(machine_by_name(args.get_or("machine", "xeon")),
-                        program_from(args));
+  const cfg::Scenario s = scenario_from(args);
+  core::Advisor advisor = core::Advisor::from_scenario(s);
   if (args.has("deadline")) {
     const q::Seconds deadline = duration_or(args, "deadline", 0.0);
     if (const auto rec = advisor.for_deadline(deadline)) {
@@ -157,52 +281,50 @@ int cmd_recommend(const util::CliArgs& args) {
     std::printf("no configuration fits a %.0f J budget\n", budget.value());
     return 1;
   }
-  throw std::invalid_argument("hepex: recommend needs --deadline or --budget");
+  fail_require("recommend needs --deadline or --budget");
 }
 
 int cmd_simulate(const util::CliArgs& args) {
   require_flags(args, {"machine", "program", "class", "n", "c", "f", "trace",
                        "metrics"});
-  const auto m = machine_by_name(args.get_or("machine", "xeon"));
-  const auto p = program_from(args);
-  const auto cfg = config_from(args, m);
+  const cfg::Scenario s = scenario_from(args);
+  const hw::ClusterConfig run = s.single_config();
 
   obs::TraceSink sink;
   obs::Registry registry;
-  const auto trace_path = args.get("trace");
-  const auto metrics_path = args.get("metrics");
-  trace::SimOptions opt;
-  if (trace_path) opt.trace = &sink;
-  if (metrics_path) opt.metrics = &registry;
+  trace::SimOptions opt = trace::sim_options_from_scenario(s);
+  if (!s.obs.trace_path.empty()) opt.trace = &sink;
+  if (!s.obs.metrics_path.empty()) opt.metrics = &registry;
 
-  const auto meas = trace::simulate(m, p, cfg, opt);
+  const auto meas = trace::simulate(s.machine, s.program, run, opt);
 
-  if (trace_path) {
-    if (!sink.write_file(*trace_path)) {
+  if (!s.obs.trace_path.empty()) {
+    if (!sink.write_file(s.obs.trace_path)) {
       std::fprintf(stderr, "error: cannot write trace to %s\n",
-                   trace_path->c_str());
+                   s.obs.trace_path.c_str());
       return 2;
     }
     std::printf("trace written: %s (%zu events; open in ui.perfetto.dev "
                 "or chrome://tracing)\n",
-                trace_path->c_str(), sink.size());
+                s.obs.trace_path.c_str(), sink.size());
   }
-  if (metrics_path) {
-    std::FILE* f = std::fopen(metrics_path->c_str(), "w");
+  if (!s.obs.metrics_path.empty()) {
+    std::FILE* f = std::fopen(s.obs.metrics_path.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "error: cannot write metrics to %s\n",
-                   metrics_path->c_str());
+                   s.obs.metrics_path.c_str());
       return 2;
     }
     const std::string json = registry.to_json();
     std::fwrite(json.data(), 1, json.size(), f);
     std::fclose(f);
-    std::printf("metrics written: %s\n", metrics_path->c_str());
+    std::printf("metrics written: %s\n", s.obs.metrics_path.c_str());
   }
 
-  std::printf("measured %s on %s at %s:\n", p.name.c_str(), m.name.c_str(),
-              util::fmt_config(cfg.nodes, cfg.cores,
-                               cfg.f_hz.value() / 1e9).c_str());
+  std::printf("measured %s on %s at %s:\n", s.program.name.c_str(),
+              s.machine.name.c_str(),
+              util::fmt_config(run.nodes, run.cores,
+                               run.f_hz.value() / 1e9).c_str());
   std::printf("  time   : %.2f s\n", meas.time_s.value());
   std::printf("  energy : %.3f kJ (cpu %.2f + mem %.2f + net %.2f + idle "
               "%.2f)\n",
@@ -219,12 +341,20 @@ int cmd_simulate(const util::CliArgs& args) {
 
 int cmd_validate(const util::CliArgs& args) {
   require_flags(args, {"machine", "program", "class"});
-  const auto m = machine_by_name(args.get_or("machine", "xeon"));
-  const auto p = program_from(args);
-  const auto grid = core::validation_grid(m, true);
-  const auto report = core::validate(m, p, grid);
-  std::printf("%s on %s over %zu configurations:\n", p.name.c_str(),
-              m.name.c_str(), report.rows.size());
+  const cfg::Scenario s = scenario_from(args);
+  core::ValidationReport report;
+  std::size_t n_configs = 0;
+  if (args.has("scenario")) {
+    // Scenario-driven: validate over the scenario's sweep space.
+    report = core::validate(s);
+    n_configs = s.sweep_configs().size();
+  } else {
+    const auto grid = core::validation_grid(s.machine, true);
+    n_configs = grid.size();
+    report = core::validate(s.machine, s.program, grid);
+  }
+  std::printf("%s on %s over %zu configurations:\n", s.program.name.c_str(),
+              s.machine.name.c_str(), n_configs);
   std::printf("  time error  : mean %.1f%%  sd %.1f%%  max %.1f%%\n",
               report.time_error.mean(), report.time_error.stddev(),
               report.time_error.max());
@@ -236,7 +366,14 @@ int cmd_validate(const util::CliArgs& args) {
 
 int cmd_netchar(const util::CliArgs& args) {
   require_flags(args, {"machine"});
-  const auto m = machine_by_name(args.get_or("machine", "arm"));
+  // netchar historically defaults to the ARM cluster (the network-bound
+  // platform); an explicit --machine or --scenario overrides that.
+  hw::MachineSpec m;
+  if (args.has("machine") || args.has("scenario")) {
+    m = scenario_from(args).machine;
+  } else {
+    m = hw::machine_by_name("arm");
+  }
   const auto sweep = trace::netpipe_sweep(m, m.node.dvfs.f_max());
   util::Table t({"size [B]", "latency [us]", "throughput [Mbps]"});
   for (const auto& pt : sweep.points) {
@@ -251,8 +388,8 @@ int cmd_netchar(const util::CliArgs& args) {
 
 int cmd_report(const util::CliArgs& args) {
   require_flags(args, {"machine", "program", "class"});
-  core::Advisor advisor(machine_by_name(args.get_or("machine", "xeon")),
-                        program_from(args));
+  const cfg::Scenario s = scenario_from(args);
+  core::Advisor advisor = core::Advisor::from_scenario(s);
   std::printf("%s", core::markdown_report(advisor).c_str());
   return 0;
 }
@@ -260,17 +397,17 @@ int cmd_report(const util::CliArgs& args) {
 int cmd_whatif(const util::CliArgs& args) {
   require_flags(args, {"machine", "program", "class", "membw", "netbw", "n",
                        "c", "f"});
-  const auto m = machine_by_name(args.get_or("machine", "xeon"));
-  core::Advisor advisor(m, program_from(args));
-  const auto cfg = config_from(args, m);
-  const auto before = advisor.predict(cfg);
+  const cfg::Scenario s = scenario_from(args);
+  core::Advisor advisor = core::Advisor::from_scenario(s);
+  const auto run = s.single_config();
+  const auto before = advisor.predict(run);
   std::printf("stock          : %.2f s, %.3f kJ, UCR %.2f\n",
               before.time_s.value(), before.energy_j.value() / 1e3,
               before.ucr);
   if (args.has("membw")) {
     const double k = args.get_double_or("membw", 2.0);
     auto upgraded = advisor.with_memory_bandwidth(k);
-    const auto after = upgraded.predict(cfg);
+    const auto after = upgraded.predict(run);
     std::printf("%.1fx memory bw : %.2f s, %.3f kJ, UCR %.2f\n", k,
                 after.time_s.value(), after.energy_j.value() / 1e3,
                 after.ucr);
@@ -278,7 +415,7 @@ int cmd_whatif(const util::CliArgs& args) {
   if (args.has("netbw")) {
     const double k = args.get_double_or("netbw", 2.0);
     auto upgraded = advisor.with_network_bandwidth(k);
-    const auto after = upgraded.predict(cfg);
+    const auto after = upgraded.predict(run);
     std::printf("%.1fx network bw: %.2f s, %.3f kJ, UCR %.2f\n", k,
                 after.time_s.value(), after.energy_j.value() / 1e3,
                 after.ucr);
@@ -289,8 +426,8 @@ int cmd_whatif(const util::CliArgs& args) {
 int cmd_programs(const util::CliArgs& args) {
   require_flags(args, {});
   util::Table t({"name", "suite", "language", "pattern", "domain"});
-  for (const auto& p :
-       workload::extended_programs(workload::InputClass::kA)) {
+  for (const auto& name : workload::program_names()) {
+    const auto p = workload::program_by_name(name, workload::InputClass::kA);
     t.add_row({p.name, p.suite, p.language,
                workload::to_string(p.comm.pattern), p.domain});
   }
@@ -304,21 +441,15 @@ int cmd_machines(const util::CliArgs& args) {
   require_flags(args, {});
   util::Table t({"key", "name", "cores/node", "f range [GHz]", "memory BW",
                  "network"});
-  struct Entry {
-    const char* key;
-    hw::MachineSpec m;
-  };
-  const Entry entries[] = {{"xeon", hw::xeon_cluster()},
-                           {"arm", hw::arm_cluster()},
-                           {"modern", hw::modern_x86_cluster()}};
-  for (const auto& e : entries) {
-    t.add_row({e.key, e.m.name, std::to_string(e.m.node.cores),
-               util::fmt(e.m.node.dvfs.f_min().value() / 1e9, 1) + "-" +
-                   util::fmt(e.m.node.dvfs.f_max().value() / 1e9, 1),
+  for (const auto& key : hw::machine_names()) {
+    const auto m = hw::machine_by_name(key);
+    t.add_row({key, m.name, std::to_string(m.node.cores),
+               util::fmt(m.node.dvfs.f_min().value() / 1e9, 1) + "-" +
+                   util::fmt(m.node.dvfs.f_max().value() / 1e9, 1),
                util::fmt(
-                   e.m.node.memory.bandwidth_bytes_per_s.value() / 1e9, 1) +
+                   m.node.memory.bandwidth_bytes_per_s.value() / 1e9, 1) +
                    " GB/s",
-               util::fmt(e.m.network.link_bits_per_s.value() / 1e9, 1) +
+               util::fmt(m.network.link_bits_per_s.value() / 1e9, 1) +
                    " Gbps"});
   }
   std::printf("%s", t.to_text().c_str());
@@ -329,24 +460,23 @@ int cmd_machines(const util::CliArgs& args) {
 
 int cmd_sensitivity(const util::CliArgs& args) {
   require_flags(args, {"machine", "program", "class", "n", "c", "f"});
-  const auto m = machine_by_name(args.get_or("machine", "xeon"));
-  const auto p = program_from(args);
-  const auto cfg = config_from(args, m);
-  const auto ch = model::characterize(m, p);
-  const auto rep = model::sensitivity(ch, model::target_of(p), cfg);
-  std::printf("%s at %s: T = %.1f s, E = %.2f kJ\n", p.name.c_str(),
-              util::fmt_config(cfg.nodes, cfg.cores, cfg.f_hz.value() / 1e9)
+  const cfg::Scenario s = scenario_from(args);
+  const auto run = s.single_config();
+  const auto ch = model::characterize(s.machine, s.program);
+  const auto rep = model::sensitivity(ch, model::target_of(s.program), run);
+  std::printf("%s at %s: T = %.1f s, E = %.2f kJ\n", s.program.name.c_str(),
+              util::fmt_config(run.nodes, run.cores, run.f_hz.value() / 1e9)
                   .c_str(),
               rep.nominal.time_s.value(),
               rep.nominal.energy_j.value() / 1e3);
   util::Table t({"input", "dlnT/dln(x)", "dlnE/dln(x)"});
-  for (const auto& s : rep.inputs) {
-    t.add_row({model::to_string(s.input), util::fmt(s.time_elasticity, 3),
-               util::fmt(s.energy_elasticity, 3)});
+  for (const auto& sens : rep.inputs) {
+    t.add_row({model::to_string(sens.input), util::fmt(sens.time_elasticity, 3),
+               util::fmt(sens.energy_elasticity, 3)});
   }
   std::printf("%s", t.to_text().c_str());
-  const auto pi = model::prediction_interval(ch, model::target_of(p), cfg,
-                                             0.10);
+  const auto pi = model::prediction_interval(ch, model::target_of(s.program),
+                                             run, 0.10);
   std::printf("10%% input uncertainty: T in [%.1f, %.1f] s, E in "
               "[%.2f, %.2f] kJ\n",
               pi.time_lo_s.value(), pi.time_hi_s.value(),
@@ -356,31 +486,40 @@ int cmd_sensitivity(const util::CliArgs& args) {
 
 int cmd_characterize(const util::CliArgs& args) {
   require_flags(args, {"machine", "program", "class", "out"});
-  const auto m = machine_by_name(args.get_or("machine", "xeon"));
-  const auto p = program_from(args);
-  const auto ch = model::characterize(m, p);
+  const cfg::Scenario s = scenario_from(args);
+  const auto ch = model::characterize(s.machine, s.program);
   const std::string out = args.get_or("out", "characterization.txt");
   model::save_characterization_file(ch, out);
-  std::printf("characterized %s on %s -> %s\n", p.name.c_str(),
-              m.name.c_str(), out.c_str());
+  std::printf("characterized %s on %s -> %s\n", s.program.name.c_str(),
+              s.machine.name.c_str(), out.c_str());
   return 0;
 }
 
 int cmd_predict(const util::CliArgs& args) {
   require_flags(args, {"from", "n", "c", "f", "class", "iters"});
   const auto path = args.get("from");
-  if (!path) throw std::invalid_argument("hepex: predict needs --from FILE");
+  if (!path) fail_require("predict needs --from FILE");
   const auto ch = model::load_characterization_file(*path);
-  const auto cfg = config_from(args, ch.machine);
+  hw::ClusterConfig run;
   model::TargetInfo target;
-  target.input = workload::input_class_from_string(args.get_or("class", "A"));
+  if (args.has("scenario")) {
+    // The scenario supplies (n, c, f) and the input class; flags still
+    // override. The machine itself always comes from the file.
+    const cfg::Scenario s = scenario_from(args);
+    run = s.single_config();
+    target.input = s.input;
+  } else {
+    run = config_from(args, ch.machine);
+    target.input =
+        workload::input_class_from_string(args.get_or("class", "A"));
+  }
   target.iterations =
       args.get_int_or("iters", workload::iteration_count(target.input));
-  const auto pred = model::predict(ch, target, cfg);
+  const auto pred = model::predict(ch, target, run);
   std::printf("%s at %s: %.2f s, %.3f kJ, UCR %.2f "
               "(cpu %.2f + mem %.2f + net %.2f s)\n",
               ch.program_name.c_str(),
-              util::fmt_config(cfg.nodes, cfg.cores, cfg.f_hz.value() / 1e9)
+              util::fmt_config(run.nodes, run.cores, run.f_hz.value() / 1e9)
                   .c_str(),
               pred.time_s.value(), pred.energy_j.value() / 1e3, pred.ucr,
               pred.t_cpu_s.value(), pred.t_mem_s.value(),
@@ -390,85 +529,102 @@ int cmd_predict(const util::CliArgs& args) {
 
 /// `hepex faults` — resilience-aware advice (docs/faults.md).
 ///
-/// Advice mode (no --n): compare the fault-free frontier to the frontier
-/// under a per-node MTBF and recommend the minimum-expected-energy
-/// configuration. Simulate mode (--n given): run one configuration under
-/// a fault plan and report the measured T_fault / E_fault.
+/// Advice mode (no configuration): compare the fault-free frontier to the
+/// frontier under a per-node MTBF and recommend the minimum-expected-energy
+/// configuration. Simulate mode (a (n,c,f) from --n or the scenario): run
+/// one configuration under a fault plan — the scenario's plan when given,
+/// with fault flags layered on top — and report the measured
+/// T_fault / E_fault.
 int cmd_faults(const util::CliArgs& args) {
   require_flags(args, {"machine", "program", "class", "mtbf", "ckpt-write",
                        "restart-cost", "ckpt-interval", "n", "c", "f", "mode",
                        "crash-node", "crash-at", "barrier-timeout", "spares",
                        "fault-seed", "replicas"});
-  const auto m = machine_by_name(args.get_or("machine", "xeon"));
-  const auto p = program_from(args);
+  const cfg::Scenario s = scenario_from(args);
 
-  if (args.has("n")) {
-    const auto cfg = config_from(args, m);
-    fault::Plan plan;
-    plan.seed = static_cast<std::uint64_t>(args.get_int_or("fault-seed", 1));
-    plan.random_failures.node_mtbf_s = duration_or(args, "mtbf", 0.0).value();
+  if (s.config.has_value()) {
+    const auto run = *s.config;
+    fault::Plan plan = s.faults ? *s.faults : fault::Plan{};
+    if (args.has("fault-seed")) {
+      plan.seed = static_cast<std::uint64_t>(args.get_int_or("fault-seed", 1));
+    } else if (!s.faults) {
+      plan.seed = 1;
+    }
+    if (args.has("mtbf")) {
+      plan.random_failures.node_mtbf_s = duration_or(args, "mtbf", 0.0).value();
+    }
     if (args.has("crash-node")) {
       plan.crashes.push_back(
           fault::NodeCrash{args.get_int_or("crash-node", 0),
                            duration_or(args, "crash-at", 0.0).value()});
     }
-    const std::string mode = args.get_or("mode", "restart");
-    if (mode == "abort") {
-      plan.recovery.mode = fault::RecoveryMode::kAbort;
-    } else if (mode == "restart") {
-      plan.recovery.mode = fault::RecoveryMode::kCheckpointRestart;
-    } else {
-      throw std::invalid_argument("hepex: --mode must be abort or restart");
+    if (const auto mode = args.get("mode")) {
+      if (*mode == "abort") {
+        plan.recovery.mode = fault::RecoveryMode::kAbort;
+      } else if (*mode == "restart") {
+        plan.recovery.mode = fault::RecoveryMode::kCheckpointRestart;
+      } else {
+        fail_require("--mode must be abort or restart");
+      }
     }
-    plan.recovery.checkpoint_write_s =
-        duration_or(args, "ckpt-write", 1.0).value();
-    plan.recovery.restart_s = duration_or(args, "restart-cost", 5.0).value();
-    plan.recovery.checkpoint_interval_s =
-        duration_or(args, "ckpt-interval", 60.0).value();
-    plan.recovery.barrier_timeout_s =
-        duration_or(args, "barrier-timeout", 30.0).value();
-    plan.recovery.spare_nodes =
-        args.has("spares") ? args.get_int_or("spares", 0)
-                           : plan.recovery.spare_nodes;
+    if (args.has("ckpt-write")) {
+      plan.recovery.checkpoint_write_s =
+          duration_or(args, "ckpt-write", 1.0).value();
+    }
+    if (args.has("restart-cost")) {
+      plan.recovery.restart_s = duration_or(args, "restart-cost", 5.0).value();
+    }
+    if (args.has("ckpt-interval")) {
+      plan.recovery.checkpoint_interval_s =
+          duration_or(args, "ckpt-interval", 60.0).value();
+    }
+    if (args.has("barrier-timeout")) {
+      plan.recovery.barrier_timeout_s =
+          duration_or(args, "barrier-timeout", 30.0).value();
+    }
+    if (args.has("spares")) {
+      plan.recovery.spare_nodes = args.get_int_or("spares", 0);
+    }
     if (plan.empty()) {
-      throw std::invalid_argument(
-          "hepex: faults simulate mode needs --mtbf or --crash-node");
+      fail_require(
+          "faults simulate mode needs --mtbf, --crash-node or a "
+          "scenario fault plan");
     }
 
-    trace::SimOptions opt;
+    trace::SimOptions opt = trace::sim_options_from_scenario(s);
     opt.faults = &plan;
 
-    const int replicas = args.get_int_or("replicas", 1);
+    const int replicas = s.sim.replicas;
     if (replicas > 1) {
       // Monte-Carlo ensemble: replicas differ only in derived seeds, so
       // the summary is reproducible run-to-run (and thread-count
       // independent; see docs/performance.md).
       const auto runs = trace::simulate_ensemble(
-          m, p, cfg, opt, static_cast<std::size_t>(replicas));
-      const auto s = trace::summarize_ensemble(runs);
+          s.machine, s.program, run, opt, static_cast<std::size_t>(replicas));
+      const auto sum = trace::summarize_ensemble(runs);
       std::printf("simulated %d replicas of %s on %s at %s under faults:\n",
-                  replicas, p.name.c_str(), m.name.c_str(),
-                  util::fmt_config(cfg.nodes, cfg.cores,
-                                   cfg.f_hz.value() / 1e9)
+                  replicas, s.program.name.c_str(), s.machine.name.c_str(),
+                  util::fmt_config(run.nodes, run.cores,
+                                   run.f_hz.value() / 1e9)
                       .c_str());
-      std::printf("  outcome   : %zu completed, %zu aborted\n", s.completed,
-                  s.aborted);
+      std::printf("  outcome   : %zu completed, %zu aborted\n",
+                  sum.completed, sum.aborted);
       std::printf("  time      : mean %.2f s  sd %.2f s  max %.2f s\n",
-                  s.time_s.mean(), s.time_s.stddev(), s.time_s.max());
+                  sum.time_s.mean(), sum.time_s.stddev(), sum.time_s.max());
       std::printf("  energy    : mean %.3f kJ  sd %.3f kJ\n",
-                  s.energy_j.mean() / 1e3, s.energy_j.stddev() / 1e3);
+                  sum.energy_j.mean() / 1e3, sum.energy_j.stddev() / 1e3);
       std::printf("  T_fault   : mean %.2f s  max %.2f s\n",
-                  s.fault_time_s.mean(), s.fault_time_s.max());
+                  sum.fault_time_s.mean(), sum.fault_time_s.max());
       std::printf("  events    : %d crashes, %d recoveries across replicas\n",
-                  s.crashes, s.recoveries);
-      return s.aborted == 0 ? 0 : 1;
+                  sum.crashes, sum.recoveries);
+      return sum.aborted == 0 ? 0 : 1;
     }
 
-    const auto meas = trace::simulate(m, p, cfg, opt);
-    std::printf("simulated %s on %s at %s under faults:\n", p.name.c_str(),
-                m.name.c_str(),
-                util::fmt_config(cfg.nodes, cfg.cores,
-                                 cfg.f_hz.value() / 1e9)
+    const auto meas = trace::simulate(s.machine, s.program, run, opt);
+    std::printf("simulated %s on %s at %s under faults:\n",
+                s.program.name.c_str(), s.machine.name.c_str(),
+                util::fmt_config(run.nodes, run.cores,
+                                 run.f_hz.value() / 1e9)
                     .c_str());
     std::printf("  outcome   : %s after %.2f s\n",
                 meas.completed() ? "completed" : "ABORTED",
@@ -493,10 +649,10 @@ int cmd_faults(const util::CliArgs& args) {
   spec.restart_s = duration_or(args, "restart-cost", 5.0).value();
   spec.checkpoint_interval_s = duration_or(args, "ckpt-interval", 0.0).value();
   if (!spec.enabled()) {
-    throw std::invalid_argument("hepex: faults needs --mtbf SECONDS");
+    fail_require("faults needs --mtbf SECONDS");
   }
 
-  core::Advisor advisor(m, p);
+  core::Advisor advisor = core::Advisor::from_scenario(s);
   const auto& space = advisor.explore();
   const pareto::ConfigPoint* base = &space.front();
   for (const auto& pt : space) {
@@ -505,7 +661,8 @@ int cmd_faults(const util::CliArgs& args) {
   const auto rec = advisor.recommend_resilient(spec);
   const auto pred = advisor.predict(rec.config);
   const auto oh = model::expected_fault_overhead(
-      pred.time_s, rec.config.nodes, pred.energy_parts, m.node.power, spec);
+      pred.time_s, rec.config.nodes, pred.energy_parts, s.machine.node.power,
+      spec);
 
   std::printf("fault-free optimum : %s: %.2f s, %.3f kJ\n",
               util::fmt_config(base->config.nodes, base->config.cores,
@@ -530,26 +687,36 @@ int cmd_faults(const util::CliArgs& args) {
 int usage() {
   std::printf(
       "hepex — energy-efficient execution of hybrid parallel programs\n"
-      "commands: frontier | recommend | simulate | validate | netchar |\n"
-      "          report | whatif | characterize | predict | sensitivity |\n"
-      "          faults | programs | machines\n"
-      "common flags: --machine xeon|arm  --program BT|LU|SP|CP|LB  "
+      "commands: advise | frontier | recommend | simulate | validate |\n"
+      "          netchar | report | whatif | characterize | predict |\n"
+      "          sensitivity | faults | programs | machines |\n"
+      "          scenario validate|print\n"
+      "scenarios: --scenario FILE on any command loads a declarative run\n"
+      "           description (docs/scenarios.md); remaining flags are\n"
+      "           overrides layered on top.\n"
+      "common flags: --machine xeon|arm|modern  --program BT|LU|SP|CP|LB  "
       "--class S|W|A|B|C\n"
       "observability: --log-level LEVEL  --profile\n"
       "               simulate: --trace=FILE --metrics=FILE\n"
       "parallelism:   --jobs N (0 = all cores; identical results at any N)\n"
       "               faults: --replicas R (Monte-Carlo ensemble)\n"
-      "see the README, docs/observability.md and docs/performance.md for\n"
-      "per-command flags.\n");
+      "see the README, docs/scenarios.md, docs/observability.md and\n"
+      "docs/performance.md for per-command flags.\n");
   return 2;
 }
 
 int dispatch(const util::CliArgs& args) {
   const std::string& cmd = args.command();
+  if (cmd != "scenario" && !args.subcommand().empty()) {
+    fail_require("unexpected positional argument '" + args.subcommand() +
+                 "'");
+  }
   if (cmd.empty() && (args.has("trace") || args.has("metrics"))) {
     // Bare `hepex --trace=out.json`: trace the quickstart workload.
     return cmd_simulate(args);
   }
+  if (cmd == "advise") return cmd_advise(args);
+  if (cmd == "scenario") return cmd_scenario(args);
   if (cmd == "frontier") return cmd_frontier(args);
   if (cmd == "recommend") return cmd_recommend(args);
   if (cmd == "simulate") return cmd_simulate(args);
