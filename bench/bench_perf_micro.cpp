@@ -26,7 +26,9 @@
 
 #include "common.hpp"
 #include "obs/registry.hpp"
+#include "obs/span_agg.hpp"
 #include "par/thread_pool.hpp"
+#include "trace/run_report.hpp"
 #include "util/cli.hpp"
 
 using namespace hepex;
@@ -145,7 +147,7 @@ bool bit_identical(const std::vector<pareto::ConfigPoint>& a,
                      a.size() * sizeof(pareto::ConfigPoint)) == 0;
 }
 
-int run_json_mode(int argc, char** argv) {
+int run_json_mode(int argc, char** argv, const std::string& report_path) {
   std::string json_path = "BENCH_perf.json";
   int jobs = 4;
   for (int i = 1; i < argc; ++i) {
@@ -242,6 +244,33 @@ int run_json_mode(int argc, char** argv) {
               events, sim_s * 1e3, events_per_s);
   std::printf("  json     : %s\n", json_path.c_str());
 
+  // `--report PATH`: also emit the schema-versioned RunReport artifact
+  // for the throughput run, so `hepex report diff/check` can consume the
+  // bench output directly (same document the CLI's --report produces).
+  if (!report_path.empty()) {
+    cfg::Scenario rs = bench::scenario("xeon", "SP", workload::InputClass::kS);
+    rs.name = "perf-micro";
+    rs.config = sim_cfg;
+    obs::Registry rep_registry;
+    obs::SpanAggregator rep_spans;
+    trace::SimOptions rep_opt;
+    rep_opt.metrics = &rep_registry;
+    rep_opt.spans = &rep_spans;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto meas =
+        trace::simulate(rs.machine, rs.program, rs.single_config(), rep_opt);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    trace::RunReportOptions ro;
+    ro.command = "bench";
+    ro.metrics = &rep_registry;
+    ro.spans = &rep_spans;
+    ro.host_wall_s = wall_s;
+    trace::build_run_report(rs, meas, ro).save_file(report_path);
+    std::printf("  report   : %s\n", report_path.c_str());
+  }
+
   if (!identical) {
     std::fprintf(stderr,
                  "error: parallel sweep diverged from the serial sweep — "
@@ -266,10 +295,12 @@ int main(int argc, char** argv) {
       if (std::strcmp(argv[i], "--gbench") == 0 ||
           std::strcmp(argv[i], "--profile") == 0 ||
           std::strncmp(argv[i], "--jobs", 6) == 0 ||
-          std::strncmp(argv[i], "--json", 6) == 0) {
-        // --jobs N / --json PATH consume the next token too.
+          std::strncmp(argv[i], "--json", 6) == 0 ||
+          std::strncmp(argv[i], "--report", 8) == 0) {
+        // --jobs N / --json PATH / --report PATH consume the next token.
         if ((std::strcmp(argv[i], "--jobs") == 0 ||
-             std::strcmp(argv[i], "--json") == 0) &&
+             std::strcmp(argv[i], "--json") == 0 ||
+             std::strcmp(argv[i], "--report") == 0) &&
             i + 1 < argc) {
           ++i;
         }
@@ -283,5 +314,5 @@ int main(int argc, char** argv) {
     benchmark::Shutdown();
     return 0;
   }
-  return run_json_mode(argc, argv);
+  return run_json_mode(argc, argv, profile.report_path());
 }

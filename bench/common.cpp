@@ -26,6 +26,15 @@ ProfileSession::ProfileSession(int argc, const char* const* argv) {
     }
     if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
       par::set_default_jobs(util::parse_jobs(argv[i] + 7));
+      continue;
+    }
+    if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
+      report_path_ = argv[i + 1];
+      ++i;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--report=", 9) == 0) {
+      report_path_ = argv[i] + 9;
     }
   }
   if (enabled_) obs::Profiler::instance().set_enabled(true);

@@ -16,7 +16,9 @@ namespace hepex::bench {
 /// went: characterization, model evaluation, frontier extraction) to
 /// stderr at destruction. Also scans for `--jobs N` / `--jobs=N` and
 /// installs it as the process-wide `par` default, so every bench gains
-/// the flag without per-binary plumbing. Construct first thing in a
+/// the flag without per-binary plumbing, and for `--report PATH` /
+/// `--report=PATH`, exposed via `report_path()` for benches that emit a
+/// RunReport artifact (bench_perf_micro). Construct first thing in a
 /// bench's main().
 class ProfileSession {
  public:
@@ -28,8 +30,12 @@ class ProfileSession {
 
   bool enabled() const { return enabled_; }
 
+  /// Value of `--report PATH`; empty when the flag was not given.
+  const std::string& report_path() const { return report_path_; }
+
  private:
   bool enabled_ = false;
+  std::string report_path_;
 };
 
 /// Flat-object JSON emitter for machine-readable bench artifacts

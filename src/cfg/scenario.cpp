@@ -1319,6 +1319,9 @@ Scenario load_scenario(const std::string& text, const std::string& source) {
     if (const auto* m = oo.get("metrics")) {
       s.obs.metrics_path = read_string(*m, "obs.metrics", source);
     }
+    if (const auto* r = oo.get("report")) {
+      s.obs.report_path = read_string(*r, "obs.report", source);
+    }
     if (const auto* p = oo.get("profile")) {
       s.obs.profile = read_bool(*p, "obs.profile", source);
     }
@@ -1438,6 +1441,9 @@ std::string save_scenario(const Scenario& s) {
     }
     if (!s.obs.metrics_path.empty()) {
       obs.set("metrics", jn::Value(s.obs.metrics_path));
+    }
+    if (!s.obs.report_path.empty()) {
+      obs.set("report", jn::Value(s.obs.report_path));
     }
     if (s.obs.profile) obs.set("profile", jn::Value(true));
     set_if_nonempty(doc, "obs", std::move(obs));

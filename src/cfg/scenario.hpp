@@ -71,6 +71,7 @@ struct ObsSettings {
   std::string log_level;     ///< "off|error|warn|info|debug|trace"; "" = keep
   std::string trace_path;    ///< Chrome/Perfetto timeline output file
   std::string metrics_path;  ///< metrics-registry snapshot output file
+  std::string report_path;   ///< RunReport artifact output file
   bool profile = false;      ///< host-time profiler report on exit
 };
 

@@ -30,8 +30,9 @@ ValidationReport validate(const hw::MachineSpec& machine,
   // report to be bit-identical to the serial sweep. Observability sinks
   // in `options.sim` are single-consumer objects, so their presence
   // forces the serial path.
-  const bool serial_sinks =
-      options.sim.trace != nullptr || options.sim.metrics != nullptr;
+  const bool serial_sinks = options.sim.trace != nullptr ||
+                            options.sim.metrics != nullptr ||
+                            options.sim.spans != nullptr;
   std::vector<trace::Measurement> runs(configs.size());
   const auto run_one = [&](std::size_t i) {
     trace::SimOptions sim_opt = options.sim;

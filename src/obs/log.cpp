@@ -17,14 +17,22 @@ std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_sink_mu;
 Log::Sink g_sink;  // empty -> stderr; guarded by g_sink_mu
 
-/// logfmt values need quoting when they contain spaces, quotes or '='.
+/// Bytes that break logfmt's `k=v` token grammar when left bare: the
+/// pair separator (space), the key/value separator ('='), quoting
+/// machinery ('"', '\\') and every control byte (0x00..0x1f, 0x7f —
+/// notably '\r', which line-based consumers treat as a record break).
+bool breaks_logfmt(char c) {
+  const auto u = static_cast<unsigned char>(c);
+  return c == ' ' || c == '"' || c == '=' || c == '\\' || u < 0x20 ||
+         u == 0x7f;
+}
+
+/// logfmt values need quoting when empty or containing any byte that
+/// would split or corrupt the `k=v` token.
 bool needs_quoting(std::string_view v) {
   if (v.empty()) return true;
   for (char c : v) {
-    if (c == ' ' || c == '"' || c == '=' || c == '\\' || c == '\n' ||
-        c == '\t') {
-      return true;
-    }
+    if (breaks_logfmt(c)) return true;
   }
   return false;
 }
@@ -38,8 +46,20 @@ std::string quote(std::string_view v) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
       case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
-      default: out.push_back(c);
+      default: {
+        const auto u = static_cast<unsigned char>(c);
+        if (u < 0x20 || u == 0x7f) {
+          // Remaining control bytes as \xHH so a quoted value can never
+          // smuggle a raw record separator past a line-based parser.
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\x%02x", u);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+      }
     }
   }
   out.push_back('"');
@@ -48,6 +68,18 @@ std::string quote(std::string_view v) {
 
 std::string render_string(std::string_view v) {
   return needs_quoting(v) ? quote(v) : std::string(v);
+}
+
+/// Keys are emitted bare (logfmt has no quoted-key form), so any byte
+/// that would split the token is replaced with '_'. Empty keys become
+/// "_" for the same reason.
+std::string sanitize_key(std::string_view k) {
+  if (k.empty()) return "_";
+  std::string out(k);
+  for (char& c : out) {
+    if (breaks_logfmt(c)) c = '_';
+  }
+  return out;
 }
 
 std::string render_double(double v) {
@@ -80,21 +112,21 @@ LogLevel log_level_from_string(const std::string& name) {
 }
 
 LogField::LogField(std::string_view k, std::string_view v)
-    : key(k), value(render_string(v)) {}
+    : key(sanitize_key(k)), value(render_string(v)) {}
 LogField::LogField(std::string_view k, const char* v)
     : LogField(k, std::string_view(v)) {}
 LogField::LogField(std::string_view k, const std::string& v)
     : LogField(k, std::string_view(v)) {}
 LogField::LogField(std::string_view k, double v)
-    : key(k), value(render_double(v)) {}
+    : key(sanitize_key(k)), value(render_double(v)) {}
 LogField::LogField(std::string_view k, int v)
-    : key(k), value(std::to_string(v)) {}
+    : key(sanitize_key(k)), value(std::to_string(v)) {}
 LogField::LogField(std::string_view k, std::int64_t v)
-    : key(k), value(std::to_string(v)) {}
+    : key(sanitize_key(k)), value(std::to_string(v)) {}
 LogField::LogField(std::string_view k, std::uint64_t v)
-    : key(k), value(std::to_string(v)) {}
+    : key(sanitize_key(k)), value(std::to_string(v)) {}
 LogField::LogField(std::string_view k, bool v)
-    : key(k), value(v ? "true" : "false") {}
+    : key(sanitize_key(k)), value(v ? "true" : "false") {}
 
 void Log::set_level(LogLevel level) { g_level = level; }
 

@@ -27,15 +27,22 @@ void Histogram::observe(double x) {
 }
 
 Counter& Registry::counter(const std::string& name) {
-  return counters_[name];
+  const auto [it, inserted] = counters_.try_emplace(name);
+  if (inserted) counter_order_.push_back(name);
+  return it->second;
 }
 
-Gauge& Registry::gauge(const std::string& name) { return gauges_[name]; }
+Gauge& Registry::gauge(const std::string& name) {
+  const auto [it, inserted] = gauges_.try_emplace(name);
+  if (inserted) gauge_order_.push_back(name);
+  return it->second;
+}
 
 Histogram& Registry::histogram(const std::string& name,
                                std::vector<double> upper_bounds) {
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return it->second;
+  histogram_order_.push_back(name);
   return histograms_.emplace(name, Histogram(std::move(upper_bounds)))
       .first->second;
 }
@@ -59,26 +66,35 @@ void Registry::clear() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  counter_order_.clear();
+  gauge_order_.clear();
+  histogram_order_.clear();
 }
 
 std::string Registry::to_json() const {
+  return util::json::dump(to_json_value());
+}
+
+util::json::Value Registry::to_json_value() const {
   namespace jn = util::json;
   jn::Value doc = jn::Value::object();
 
   jn::Value counters = jn::Value::object();
-  for (const auto& [name, c] : counters_) {
-    counters.set(name, jn::Value(static_cast<double>(c.value())));
+  for (const auto& name : counter_order_) {
+    counters.set(name,
+                 jn::Value(static_cast<double>(counters_.at(name).value())));
   }
   doc.set("counters", std::move(counters));
 
   jn::Value gauges = jn::Value::object();
-  for (const auto& [name, g] : gauges_) {
-    gauges.set(name, jn::Value(g.value()));
+  for (const auto& name : gauge_order_) {
+    gauges.set(name, jn::Value(gauges_.at(name).value()));
   }
   doc.set("gauges", std::move(gauges));
 
   jn::Value histograms = jn::Value::object();
-  for (const auto& [name, h] : histograms_) {
+  for (const auto& name : histogram_order_) {
+    const Histogram& h = histograms_.at(name);
     jn::Value hj = jn::Value::object();
     hj.set("count", jn::Value(static_cast<double>(h.count())));
     hj.set("sum", jn::Value(h.sum()));
@@ -106,7 +122,7 @@ std::string Registry::to_json() const {
   }
   doc.set("histograms", std::move(histograms));
 
-  return jn::dump(doc);
+  return doc;
 }
 
 }  // namespace hepex::obs

@@ -18,11 +18,20 @@
 ///
 /// Instrument references returned by the registry are stable for the
 /// registry's lifetime, so hot paths can look up once and bump a pointer.
+///
+/// Snapshot ordering is part of the contract: `to_json` emits each kind's
+/// instruments in *registration order* (first `counter(name)` call wins a
+/// slot), so the bytes are a deterministic function of the program's
+/// instrumentation path, never of the container behind the lookup.
 
 #include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
+
+namespace hepex::util::json {
+class Value;
+}  // namespace hepex::util::json
 
 namespace hepex::obs {
 
@@ -120,12 +129,24 @@ class Registry {
   ///   }
   /// }
   /// ```
+  /// Keys appear in registration order within each kind — the snapshot
+  /// bytes are pinned by tests and consumed by `--metrics` files and
+  /// RunReport artifacts.
   std::string to_json() const;
 
+  /// The same snapshot as a `util::json` value, for embedding into larger
+  /// artifacts (obs::RunReport) without a dump/parse round trip.
+  util::json::Value to_json_value() const;
+
  private:
+  // std::map keeps instrument references stable across growth; the order
+  // vectors record first-registration order for deterministic snapshots.
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;
+  std::vector<std::string> counter_order_;
+  std::vector<std::string> gauge_order_;
+  std::vector<std::string> histogram_order_;
 };
 
 }  // namespace hepex::obs

@@ -1,0 +1,108 @@
+#pragma once
+/// \file span_agg.hpp
+/// \brief Streaming span aggregation: fixed-memory per-category statistics.
+///
+/// `TraceSink` keeps every span — perfect for a Perfetto timeline of one
+/// small run, infeasible for a 1000-node campaign. `SpanAggregator` is
+/// the streaming companion: the execution engine feeds it the *same*
+/// spans it would trace, and the aggregator folds each into per-category
+/// (and per-node) statistics of constant size: count, total, min, max and
+/// a log-bucketed duration histogram. Memory is O(categories × nodes),
+/// independent of run length.
+///
+/// The zero-perturbation contract of `hepex::obs` applies: recording a
+/// span never schedules events, consumes randomness or reads host time,
+/// so a simulation's Measurement is bit-identical with or without an
+/// aggregator attached (pinned by tests/trace/test_determinism.cpp).
+///
+/// Not thread-safe — like `TraceSink`, one aggregator observes one run.
+/// Ensemble replicas each get their own instance, merged afterwards in
+/// replica order (`merge` is deterministic: plain sums and bucket adds).
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hepex::util::json {
+class Value;
+}  // namespace hepex::util::json
+
+namespace hepex::obs {
+
+/// Folds spans into per-category statistics with log-spaced buckets.
+class SpanAggregator {
+ public:
+  /// Bucket i covers durations in [2^(kMinPow2+i), 2^(kMinPow2+i+1)),
+  /// with the first and last buckets absorbing under/overflow. The range
+  /// 2^-40 s (~1 ps) .. 2^23 s (~97 days) brackets everything a
+  /// simulated HPC run can produce.
+  static constexpr int kMinPow2 = -40;
+  static constexpr int kBuckets = 64;
+
+  /// Statistics of one category (or one node within a category).
+  struct Stats {
+    std::uint64_t count = 0;
+    double total_s = 0.0;
+    double min_s = 0.0;  ///< smallest observed duration; 0 when empty
+    double max_s = 0.0;  ///< largest observed duration; 0 when empty
+    std::array<std::uint64_t, kBuckets> buckets{};
+
+    void fold(double dur_s);
+    void merge(const Stats& other);
+    double mean_s() const {
+      return count > 0 ? total_s / static_cast<double>(count) : 0.0;
+    }
+  };
+
+  /// The bucket index a duration falls into (exact binary exponent via
+  /// frexp — no FP log, so bucketing is portable and deterministic).
+  /// Durations <= 0 land in bucket 0.
+  static int bucket_of(double dur_s);
+
+  /// Fold one span. `node` attributes the span to a per-node row;
+  /// pass kClusterNode for cluster-wide spans (iterations, recoveries)
+  /// that belong to no single node.
+  static constexpr int kClusterNode = -1;
+  void record(std::string_view category, int node, double dur_s);
+
+  /// Fold another aggregator's statistics into this one (ensemble
+  /// merging). Categories unseen here adopt the other's order after the
+  /// existing ones; per-node vectors grow to the larger node count.
+  void merge(const SpanAggregator& other);
+
+  /// Category-total statistics; nullptr when the category never fired.
+  const Stats* find(std::string_view category) const;
+  /// Per-node statistics; nullptr when the category or node is absent.
+  const Stats* find_node(std::string_view category, int node) const;
+
+  /// Categories in first-record order (deterministic: the engine's event
+  /// order is a pure function of the seed).
+  const std::vector<std::string>& categories() const { return order_; }
+  bool empty() const { return order_.empty(); }
+
+  /// Snapshot: one object per category, in first-record order:
+  /// ```json
+  /// {"compute": {"count": N, "total_s": T, "min_s": m, "max_s": M,
+  ///              "buckets": [{"pow2": -17, "count": 3}, ...],
+  ///              "per_node": [{"node": 0, "count": ..., ...}, ...]},
+  ///  ...}
+  /// ```
+  /// Empty buckets are omitted; `per_node` is omitted for categories
+  /// recorded only against kClusterNode.
+  util::json::Value to_json_value() const;
+  std::string to_json() const;
+
+ private:
+  struct Category {
+    Stats total;
+    std::vector<Stats> per_node;  // indexed by node; grown on demand
+  };
+
+  std::map<std::string, Category, std::less<>> categories_;
+  std::vector<std::string> order_;  // first-record order
+};
+
+}  // namespace hepex::obs

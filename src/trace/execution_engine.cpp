@@ -12,6 +12,7 @@
 #include "hw/dvfs_policy.hpp"
 #include "obs/log.hpp"
 #include "obs/registry.hpp"
+#include "obs/span_agg.hpp"
 #include "obs/trace_sink.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
@@ -106,6 +107,9 @@ struct Run {
   q::Seconds net_busy_s{};
   q::Joules e_cpu_active_j{};
   q::Joules e_cpu_stall_j{};
+  // Node-resolved shares of the totals above (always kept; plain
+  // accumulations, so they cannot perturb the run).
+  std::vector<NodeUsage> node_usage;
   util::Summary slack_fraction;
   util::Summary iteration_s;
   util::Summary drain_s;
@@ -115,6 +119,7 @@ struct Run {
   // Observability hooks (all null on the default, zero-overhead path).
   obs::TraceSink* sink = nullptr;
   obs::Registry* reg = nullptr;
+  obs::SpanAggregator* agg = nullptr;
   obs::Histogram* h_mem_depth = nullptr;
   obs::Histogram* h_mem_wait = nullptr;
   obs::Histogram* h_barrier_wait = nullptr;
@@ -145,10 +150,14 @@ struct Run {
     iter_act_s.assign(nodes, q::Seconds{});
     iter_stall_s.assign(nodes, q::Seconds{});
     iter_comm_s.assign(nodes, q::Seconds{});
+    node_usage.assign(nodes, NodeUsage{});
     policy = opt.dvfs_policy.get();
     sink = opt.trace;
     reg = opt.metrics;
-    if (sink != nullptr || reg != nullptr) attach_observability();
+    agg = opt.spans;
+    if (sink != nullptr || reg != nullptr || agg != nullptr) {
+      attach_observability();
+    }
 
     // Steady-state calendar depth: every core can have one compute chunk
     // outstanding, plus per-node memory/stack completions and a handful
@@ -285,6 +294,10 @@ struct Run {
       sink->complete(cluster_pid(), kIterationLane, "recovery", "fault",
                      detect.value(), (downtime + rework).value());
     }
+    if (agg != nullptr) {
+      agg->record("fault", obs::SpanAggregator::kClusterNode,
+                  (downtime + rework).value());
+    }
     HEPEX_LOG_WARN("engine", "checkpoint restart",
                    {{"t", detect.value()},
                     {"iter", iteration},
@@ -318,6 +331,9 @@ struct Run {
     if (sink != nullptr) {
       sink->complete(cluster_pid(), kIterationLane, "checkpoint", "fault",
                      sim.now().value(), w.value());
+    }
+    if (agg != nullptr) {
+      agg->record("fault", obs::SpanAggregator::kClusterNode, w.value());
     }
     sim.schedule(w, [this, e = epoch] {
       if (aborted || e != epoch) return;
@@ -401,6 +417,9 @@ struct Run {
               sink->complete(i, kMemLane, "dram service", "mem",
                              jo.start_s.value(), jo.service_s.value());
             }
+            if (agg != nullptr) {
+              agg->record("mem.service", i, jo.service_s.value());
+            }
             if (h_mem_depth != nullptr) {
               h_mem_depth->observe(
                   static_cast<double>(jo.depth_at_arrival));
@@ -409,20 +428,31 @@ struct Run {
               h_mem_wait->observe(jo.waited_s.value());
             }
           });
-      if (sink != nullptr) {
+      if (sink != nullptr || agg != nullptr) {
         stack[static_cast<std::size_t>(i)]->set_observer(
             [this, i](const sim::Resource&,
                       const sim::Resource::JobObservation& jo) {
-              sink->complete(i, kStackLane, "msg stack", "net",
-                             jo.start_s.value(), jo.service_s.value());
+              if (sink != nullptr) {
+                sink->complete(i, kStackLane, "msg stack", "net",
+                               jo.start_s.value(), jo.service_s.value());
+              }
+              if (agg != nullptr) {
+                agg->record("network.stack", i, jo.service_s.value());
+              }
             });
       }
     }
-    if (sink != nullptr) {
+    if (sink != nullptr || agg != nullptr) {
       net->set_observer([this](const sim::Resource&,
                                const sim::Resource::JobObservation& jo) {
-        sink->complete(cluster_pid(), kSwitchLane, "wire", "net",
-                       jo.start_s.value(), jo.service_s.value());
+        if (sink != nullptr) {
+          sink->complete(cluster_pid(), kSwitchLane, "wire", "net",
+                         jo.start_s.value(), jo.service_s.value());
+        }
+        if (agg != nullptr) {
+          agg->record("network.wire", obs::SpanAggregator::kClusterNode,
+                      jo.service_s.value());
+        }
       });
     }
   }
@@ -511,6 +541,7 @@ struct Run {
       const q::Seconds full = (w + b) / f;
       active_full_s += full;
       iter_act_s[static_cast<std::size_t>(t.process)] += full;
+      node_usage[static_cast<std::size_t>(t.process)].compute_s += full;
       sim.schedule(sim::SimTime{}, [this, i, e = epoch] {
         if (aborted || e != epoch) return;
         thread_step(i);
@@ -540,6 +571,7 @@ struct Run {
     t.credit_s = q::Seconds{};
     stall_net_s -= used;
     iter_stall_s[static_cast<std::size_t>(t.process)] -= used;
+    node_usage[static_cast<std::size_t>(t.process)].stall_s -= used;
     counters.mem_stall_cycles -= used * f_of(t.process);
     q::Seconds eff_compute = t.compute_chunk_s - used;
     if (inj != nullptr) {
@@ -552,6 +584,7 @@ struct Run {
         fstats.straggler_s += extra;
         e_fault_j += extra * machine.node.power.core.active_at(
                                  f_of(t.process), machine.node.dvfs);
+        if (agg != nullptr) agg->record("fault", t.process, extra.value());
       }
     }
 
@@ -563,6 +596,9 @@ struct Run {
       if (sink != nullptr && eff_compute > q::Seconds{}) {
         sink->complete_end(th.process, lane_of(tid), "compute", "cpu",
                            sim.now().value(), eff_compute.value());
+      }
+      if (agg != nullptr && eff_compute > q::Seconds{}) {
+        agg->record("compute", th.process, eff_compute.value());
       }
       if (th.mem_service_chunk_s <= q::Seconds{}) {
         thread_step(tid);
@@ -577,6 +613,8 @@ struct Run {
             const q::Seconds stall = waited + service;
             stall_net_s += stall;
             iter_stall_s[static_cast<std::size_t>(th2.process)] += stall;
+            node_usage[static_cast<std::size_t>(th2.process)].stall_s +=
+                stall;
             counters.mem_stall_cycles += stall * f_of(th2.process);
             th2.credit_s = isa().memory_overlap * service;
             touch(th2.process);
@@ -585,6 +623,9 @@ struct Run {
               // shows: queueing delay plus DRAM service.
               sink->complete_end(th2.process, lane_of(tid), "mem stall",
                                  "mem", sim.now().value(), stall.value());
+            }
+            if (agg != nullptr) {
+              agg->record("memory", th2.process, stall.value());
             }
             thread_step(tid);
           });
@@ -621,6 +662,7 @@ struct Run {
     const q::Seconds sw_s = isa().message_software_cycles / f_of(process);
     comm_sw_s += sw_s;
     iter_comm_s[static_cast<std::size_t>(process)] += sw_s;
+    node_usage[static_cast<std::size_t>(process)].comm_s += sw_s;
     counters.comm_software_cycles += isa().message_software_cycles;
 
     const double size = std::max(
@@ -694,6 +736,7 @@ struct Run {
     const q::Seconds sw_s = isa().message_software_cycles / f_of(dest);
     comm_sw_s += sw_s;
     iter_comm_s[static_cast<std::size_t>(dest)] += sw_s;
+    node_usage[static_cast<std::size_t>(dest)].comm_s += sw_s;
     counters.comm_software_cycles += isa().message_software_cycles;
     stack[static_cast<std::size_t>(dest)]->request(
         sw_s, [this, e = epoch](sim::SimTime) {
@@ -748,13 +791,23 @@ struct Run {
                      "iter " + std::to_string(iteration), "phase",
                      iteration_start_s.value(), iter_len.value());
     }
+    if (agg != nullptr) {
+      agg->record("iteration", obs::SpanAggregator::kClusterNode,
+                  iter_len.value());
+    }
 
     for (int node = 0; node < cfg.nodes; ++node) {
       const auto ni = static_cast<std::size_t>(node);
       const q::Hertz f = f_node[ni];
-      e_cpu_active_j +=
+      // One product, added to the cluster total and the node's row: the
+      // cluster sums stay bit-identical to the pre-attribution fold.
+      const q::Joules e_act =
           pw.core.active_at(f, dvfs) * (iter_act_s[ni] + iter_comm_s[ni]);
-      e_cpu_stall_j += pw.core.stall_at(f, dvfs) * iter_stall_s[ni];
+      const q::Joules e_stall = pw.core.stall_at(f, dvfs) * iter_stall_s[ni];
+      e_cpu_active_j += e_act;
+      e_cpu_stall_j += e_stall;
+      node_usage[ni].cpu_active_j += e_act;
+      node_usage[ni].cpu_stall_j += e_stall;
       iter_act_s[ni] = iter_stall_s[ni] = iter_comm_s[ni] = q::Seconds{};
 
       hw::SlackObservation obs;
@@ -774,10 +827,12 @@ struct Run {
 
       const q::Seconds wait = barrier_at - node_busy_until[ni];
       if (wait > q::Seconds{}) {
+        node_usage[ni].barrier_s += wait;
         if (sink != nullptr) {
           sink->complete(node, kBarrierLane, "barrier wait", "sync",
                          node_busy_until[ni].value(), wait.value());
         }
+        if (agg != nullptr) agg->record("barrier", node, wait.value());
         if (h_barrier_wait != nullptr) h_barrier_wait->observe(wait.value());
       }
 
@@ -829,6 +884,17 @@ struct Run {
     out.energy.net_j = pw.net_active_w * out.net_busy_s;
     out.energy.idle_j = pw.sys_idle_w * out.time_s * cfg.nodes;
     out.energy.fault_j = e_fault_j;
+
+    // Node-resolved rows: fill the finalize-time components (controller
+    // busy time and the per-node idle floor) and hand the vector over.
+    for (int node = 0; node < cfg.nodes; ++node) {
+      const auto ni = static_cast<std::size_t>(node);
+      NodeUsage& nu = node_usage[ni];
+      nu.mem_busy_s = mem[ni]->busy_time();
+      nu.mem_j = pw.mem_active_w * nu.mem_busy_s;
+      nu.idle_j = pw.sys_idle_w * out.time_s;
+    }
+    out.per_node = node_usage;
     out.t_fault_s = t_fault_s;
     out.faults = fstats;
     out.outcome = aborted ? RunOutcome::kAborted : RunOutcome::kCompleted;

@@ -27,6 +27,7 @@
 
 namespace hepex::obs {
 class Registry;
+class SpanAggregator;
 class TraceSink;
 }  // namespace hepex::obs
 
@@ -62,6 +63,12 @@ struct SimOptions {
   /// and barrier-wait histograms, switch/memory utilization, message
   /// totals. Same zero-perturbation guarantee as `trace`.
   obs::Registry* metrics = nullptr;
+  /// Optional streaming span aggregator (non-owning, may be null). The
+  /// engine folds the same durations it would trace into fixed-memory
+  /// per-category/per-node statistics (compute, memory, mem.service,
+  /// network.stack, network.wire, barrier, iteration, fault). Same
+  /// zero-perturbation guarantee as `trace`.
+  obs::SpanAggregator* spans = nullptr;
 
   /// Optional fault-injection plan (non-owning, may be null). When set
   /// and non-empty, the engine runs in degraded mode: scheduled/random

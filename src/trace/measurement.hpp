@@ -9,6 +9,8 @@
 /// the simulator's internal ground truth — that separation keeps the
 /// validation non-circular.
 
+#include <vector>
+
 #include "hw/machine.hpp"
 #include "util/quantity.hpp"
 #include "util/statistics.hpp"
@@ -80,6 +82,24 @@ struct FaultStats {
   q::Seconds downtime_s{};       ///< restart downtime
 };
 
+/// Per-node usage of one run: the node-resolved share of the cluster
+/// totals above. Seconds are per-node wall time in each activity; energy
+/// covers the node-attributable components (cores, DRAM controller and
+/// the node's share of the idle floor). Network wire energy and
+/// fault-machinery energy are cluster-level by construction and stay in
+/// `EnergyBreakdown` only. Always populated (one row per node).
+struct NodeUsage {
+  q::Seconds compute_s{};    ///< core-busy compute wall time (all cores)
+  q::Seconds stall_s{};      ///< memory-stall wall time (all cores)
+  q::Seconds comm_s{};       ///< MPI/TCP stack software wall time
+  q::Seconds barrier_s{};    ///< barrier-wait wall time
+  q::Seconds mem_busy_s{};   ///< DRAM controller busy time
+  q::Joules cpu_active_j{};  ///< this node's share of cpu_active_j
+  q::Joules cpu_stall_j{};   ///< this node's share of cpu_stall_j
+  q::Joules mem_j{};         ///< this node's share of mem_j
+  q::Joules idle_j{};        ///< P_sys,idle * T (one node's floor)
+};
+
 /// One complete simulated execution.
 struct Measurement {
   hw::ClusterConfig config;
@@ -110,6 +130,9 @@ struct Measurement {
   /// checkpoint writes, restart downtime and rework after recoveries.
   /// Included in `time_s`; zero on fault-free runs.
   q::Seconds t_fault_s{};
+  /// Per-node usage rows (size == config.nodes; see NodeUsage).
+  std::vector<NodeUsage> per_node;
+
   /// Fault/recovery event counts and durations (all zero without a plan).
   FaultStats faults;
   /// Whether the run completed or was aborted by the recovery policy.

@@ -15,6 +15,13 @@ CliArgs CliArgs::parse(int argc, const char* const* argv) {
     if (i < argc && std::string(argv[i]).rfind("--", 0) != 0) {
       out.subcommand_ = argv[i];
       ++i;
+      // Further leading non-flag tokens are positional operands (file
+      // paths for `report show A` / `report diff A B`). Whether a
+      // command accepts any is the dispatcher's decision.
+      while (i < argc && std::string(argv[i]).rfind("--", 0) != 0) {
+        out.positionals_.emplace_back(argv[i]);
+        ++i;
+      }
     }
   }
   for (; i < argc; ++i) {

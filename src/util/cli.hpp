@@ -2,9 +2,11 @@
 /// \file cli.hpp
 /// \brief Tiny command-line argument parser for the HEPEX tools.
 ///
-/// Grammar: `tool <command> [<subcommand>] [--flag value]...
+/// Grammar: `tool <command> [<subcommand>] [<operand>...] [--flag value]...
 /// [--flag=value]... [--switch]...`. Values never start with "--";
-/// unknown flags are the caller's job to reject via `require_known`.
+/// unknown flags are the caller's job to reject via `require_known`, and
+/// positional operands after the subcommand are the caller's to accept
+/// or reject via `positionals()`.
 
 #include <map>
 #include <optional>
@@ -30,6 +32,11 @@ class CliArgs {
   /// validate`); empty when absent.
   const std::string& subcommand() const { return subcommand_; }
 
+  /// Positional operands after the subcommand and before the first flag
+  /// (e.g. the file paths in `hepex report diff a.json b.json`). Empty
+  /// for commands that take none; the dispatcher rejects extras.
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
   /// True when `--name` appeared (with or without value).
   bool has(const std::string& name) const;
 
@@ -53,6 +60,7 @@ class CliArgs {
  private:
   std::string command_;
   std::string subcommand_;
+  std::vector<std::string> positionals_;
   std::map<std::string, std::string> flags_;  // valueless flags map to ""
 };
 

@@ -1,0 +1,41 @@
+#pragma once
+/// \file hash.hpp
+/// \brief FNV-1a 64-bit content hashing for artifact fingerprints.
+///
+/// HEPEX artifacts reference each other by content, not by path: a
+/// RunReport records the fingerprint of the canonical scenario bytes it
+/// was produced from, so `report diff`/`report check` can tell "same
+/// scenario, different outcome" from "you are comparing different runs".
+/// FNV-1a is not cryptographic — it is a stable, dependency-free content
+/// identity with a fixed reference implementation, which is all a
+/// provenance fingerprint needs.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hepex::util {
+
+/// FNV-1a 64-bit over the exact bytes of `data`.
+constexpr std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV offset basis
+  for (const char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;  // FNV prime
+  }
+  return h;
+}
+
+/// The fingerprint as the fixed-width spelling artifacts embed:
+/// "fnv1a64:" + 16 lowercase hex digits.
+inline std::string fingerprint(std::string_view data) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  const std::uint64_t h = fnv1a64(data);
+  std::string out = "fnv1a64:";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out.push_back(kHex[(h >> shift) & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace hepex::util

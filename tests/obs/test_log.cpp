@@ -102,6 +102,44 @@ TEST(Log, FieldsNotEvaluatedWhenGated) {
   EXPECT_TRUE(cap.lines().empty());
 }
 
+TEST(Log, ControlBytesNeverReachTheSinkRaw) {
+  // A quoted value must not be able to smuggle a raw record separator
+  // past a line-based consumer: \n, \r and \t get mnemonic escapes, the
+  // remaining control bytes (and DEL) become \xHH.
+  LogCapture cap;
+  obs::Log::set_level(obs::LogLevel::kInfo);
+  HEPEX_LOG_INFO("t", "m",
+                 {{"crlf", std::string("a\r\nb")},
+                  {"tab", std::string("a\tb")},
+                  {"ctrl", std::string("a\x01") + "b"},
+                  {"del", std::string("a\x7f") + "b"}});
+  ASSERT_EQ(cap.lines().size(), 1u);
+  EXPECT_EQ(cap.lines()[0],
+            "level=info comp=t msg=\"m\" crlf=\"a\\r\\nb\" tab=\"a\\tb\" "
+            "ctrl=\"a\\x01b\" del=\"a\\x7fb\"");
+}
+
+TEST(Log, EmptyValuesAreQuoted) {
+  // Bare `k=` is ambiguous in logfmt (valueless vs empty); an empty
+  // value always renders as k="".
+  LogCapture cap;
+  obs::Log::set_level(obs::LogLevel::kInfo);
+  HEPEX_LOG_INFO("t", "m", {{"empty", std::string()}});
+  ASSERT_EQ(cap.lines().size(), 1u);
+  EXPECT_EQ(cap.lines()[0], "level=info comp=t msg=\"m\" empty=\"\"");
+}
+
+TEST(Log, KeysAreSanitizedToOneToken) {
+  // logfmt has no quoted-key form, so bytes that would split the `k=v`
+  // token are replaced with '_' and an empty key becomes "_".
+  LogCapture cap;
+  obs::Log::set_level(obs::LogLevel::kInfo);
+  HEPEX_LOG_INFO("t", "m",
+                 {{"bad key=1\n", std::string("v")}, {"", std::string("w")}});
+  ASSERT_EQ(cap.lines().size(), 1u);
+  EXPECT_EQ(cap.lines()[0], "level=info comp=t msg=\"m\" bad_key_1_=v _=w");
+}
+
 TEST(Log, SetLevelIsObservable) {
   obs::Log::set_level(obs::LogLevel::kTrace);
   EXPECT_EQ(obs::Log::level(), obs::LogLevel::kTrace);

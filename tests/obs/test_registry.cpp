@@ -158,6 +158,29 @@ TEST(Registry, JsonSnapshotBytesArePinned) {
             "}\n");
 }
 
+TEST(Registry, SnapshotPreservesInsertionOrderNotAlphabetical) {
+  // Registration order is the report order: a metric registered first
+  // appears first even when it sorts last. Pinned at the byte level so a
+  // switch to a sorted map cannot slip through.
+  obs::Registry reg;
+  reg.counter("zz.last_alphabetically").add(1);
+  reg.counter("aa.first_alphabetically").add(2);
+  reg.gauge("z_gauge").set(1.0);
+  reg.gauge("a_gauge").set(2.0);
+  EXPECT_EQ(reg.to_json(),
+            "{\n"
+            "  \"counters\": {\n"
+            "    \"zz.last_alphabetically\": 1,\n"
+            "    \"aa.first_alphabetically\": 2\n"
+            "  },\n"
+            "  \"gauges\": {\n"
+            "    \"z_gauge\": 1,\n"
+            "    \"a_gauge\": 2\n"
+            "  },\n"
+            "  \"histograms\": {}\n"
+            "}\n");
+}
+
 TEST(Registry, EmptySnapshotIsValidJson) {
   obs::Registry reg;
   const auto doc = testjson::parse(reg.to_json());

@@ -11,6 +11,7 @@
 
 #include "hw/presets.hpp"
 #include "obs/registry.hpp"
+#include "obs/span_agg.hpp"
 #include "obs/trace_sink.hpp"
 #include "trace/execution_engine.hpp"
 #include "workload/programs.hpp"
@@ -54,6 +55,19 @@ void expect_identical(const Measurement& a, const Measurement& b) {
   EXPECT_EQ(a.iteration_s.max(), b.iteration_s.max());
   EXPECT_EQ(a.drain_s.count(), b.drain_s.count());
   EXPECT_EQ(a.drain_s.sum(), b.drain_s.sum());
+
+  ASSERT_EQ(a.per_node.size(), b.per_node.size());
+  for (std::size_t i = 0; i < a.per_node.size(); ++i) {
+    EXPECT_EQ(a.per_node[i].compute_s, b.per_node[i].compute_s);
+    EXPECT_EQ(a.per_node[i].stall_s, b.per_node[i].stall_s);
+    EXPECT_EQ(a.per_node[i].comm_s, b.per_node[i].comm_s);
+    EXPECT_EQ(a.per_node[i].barrier_s, b.per_node[i].barrier_s);
+    EXPECT_EQ(a.per_node[i].mem_busy_s, b.per_node[i].mem_busy_s);
+    EXPECT_EQ(a.per_node[i].cpu_active_j, b.per_node[i].cpu_active_j);
+    EXPECT_EQ(a.per_node[i].cpu_stall_j, b.per_node[i].cpu_stall_j);
+    EXPECT_EQ(a.per_node[i].mem_j, b.per_node[i].mem_j);
+    EXPECT_EQ(a.per_node[i].idle_j, b.per_node[i].idle_j);
+  }
 }
 
 struct Scenario {
@@ -94,13 +108,26 @@ TEST_P(DeterminismTest, TracingDoesNotPerturbTheRun) {
     expect_identical(plain, metered);
   }
 
-  // Both at once.
+  // Span aggregator only.
+  {
+    obs::SpanAggregator agg;
+    SimOptions opt = bare;
+    opt.spans = &agg;
+    const Measurement spanned =
+        simulate(machine, program, GetParam().config, opt);
+    EXPECT_FALSE(agg.empty());
+    expect_identical(plain, spanned);
+  }
+
+  // All three at once (the --report configuration: metrics + spans).
   {
     obs::TraceSink sink;
     obs::Registry reg;
+    obs::SpanAggregator agg;
     SimOptions opt = bare;
     opt.trace = &sink;
     opt.metrics = &reg;
+    opt.spans = &agg;
     const Measurement both =
         simulate(machine, program, GetParam().config, opt);
     expect_identical(plain, both);
@@ -136,6 +163,25 @@ TEST(Determinism, RepeatedTracedRunsEmitIdenticalTraces) {
     return os.str();
   };
   EXPECT_EQ(traced_json(), traced_json());
+}
+
+TEST(Determinism, RepeatedRunsEmitIdenticalSpanSnapshots) {
+  // The aggregator's snapshot (category order, counts, buckets) is a
+  // pure function of the seed, so repeated runs pin byte-for-byte.
+  const auto machine = hw::xeon_cluster();
+  const auto program =
+      workload::program_by_name("SP", workload::InputClass::kS);
+  const hw::ClusterConfig cfg{2, 2, q::Hertz{1.5e9}};
+
+  const auto spans_json = [&] {
+    obs::SpanAggregator agg;
+    SimOptions opt;
+    opt.chunks_per_iteration = 6;
+    opt.spans = &agg;
+    simulate(machine, program, cfg, opt);
+    return agg.to_json();
+  };
+  EXPECT_EQ(spans_json(), spans_json());
 }
 
 TEST(Determinism, DvfsPolicyRunsAreAlsoUnperturbed) {

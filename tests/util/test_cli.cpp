@@ -71,9 +71,28 @@ TEST(Cli, NoSubcommandIsEmpty) {
   EXPECT_TRUE(parse({"run", "--n", "4"}).subcommand().empty());
 }
 
-TEST(Cli, UnexpectedPositionalThrows) {
-  // Two positionals (command + subcommand) are the grammar's limit.
-  EXPECT_THROW(parse({"run", "sub", "extra"}), std::invalid_argument);
+TEST(Cli, PositionalOperandsAfterSubcommand) {
+  // `report diff a.json b.json` style: tokens after the subcommand and
+  // before the first flag are operands, exposed via positionals().
+  const auto a = parse({"report", "diff", "a.json", "b.json", "--jobs", "2"});
+  EXPECT_EQ(a.command(), "report");
+  EXPECT_EQ(a.subcommand(), "diff");
+  ASSERT_EQ(a.positionals().size(), 2u);
+  EXPECT_EQ(a.positionals()[0], "a.json");
+  EXPECT_EQ(a.positionals()[1], "b.json");
+  EXPECT_EQ(a.get_int_or("jobs", 0), 2);
+}
+
+TEST(Cli, NoOperandsIsEmptyVector) {
+  EXPECT_TRUE(parse({"run", "sub"}).positionals().empty());
+  EXPECT_TRUE(parse({"run", "sub", "--n", "4"}).positionals().empty());
+}
+
+TEST(Cli, PositionalAfterFlagStillThrows) {
+  // Operands are only legal before the first flag; a stray token in the
+  // flag region remains a parse error.
+  EXPECT_THROW(parse({"run", "sub", "--verbose", "extra", "more"}),
+               std::invalid_argument);
 }
 
 TEST(Cli, RequireKnownAcceptsAndRejects) {

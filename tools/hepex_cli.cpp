@@ -39,6 +39,7 @@
 //
 // Exit codes: 0 success, 1 runtime failure, 2 usage/configuration error.
 
+#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <stdexcept>
@@ -54,13 +55,18 @@
 #include "obs/log.hpp"
 #include "obs/profiler.hpp"
 #include "obs/registry.hpp"
+#include "obs/run_report.hpp"
+#include "obs/span_agg.hpp"
 #include "obs/trace_sink.hpp"
 #include "par/thread_pool.hpp"
 #include "trace/ensemble.hpp"
+#include "trace/run_report.hpp"
 #include "trace/scenario.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/quantity.hpp"
+#include "util/table.hpp"
 #include "workload/programs.hpp"
 
 using namespace hepex;
@@ -113,6 +119,7 @@ cfg::Scenario scenario_from(const util::CliArgs& args) {
   if (const auto lvl = args.get("log-level")) s.obs.log_level = *lvl;
   if (const auto t = args.get("trace")) s.obs.trace_path = *t;
   if (const auto mp = args.get("metrics")) s.obs.metrics_path = *mp;
+  if (const auto rp = args.get("report")) s.obs.report_path = *rp;
   if (args.has("profile")) s.obs.profile = true;
   if (args.has("replicas")) {
     s.sim.replicas = args.get_int_or("replicas", s.sim.replicas);
@@ -151,6 +158,18 @@ q::Seconds duration_or(const util::CliArgs& args, const std::string& name,
   return v ? util::parse_duration(*v) : q::Seconds{fallback_s};
 }
 
+/// Host wall seconds since `t0` (the one host-time read RunReports make).
+double wall_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Write `report` to the scenario's `obs.report` path and say so.
+void write_report(const obs::RunReport& report, const std::string& path) {
+  report.save_file(path);
+  std::printf("report written: %s\n", path.c_str());
+}
+
 void print_points(const std::vector<pareto::ConfigPoint>& points) {
   util::Table t({"(n,c,f)", "time [s]", "energy [kJ]", "UCR"});
   for (const auto& p : points) {
@@ -164,8 +183,10 @@ void print_points(const std::vector<pareto::ConfigPoint>& points) {
 }
 
 int cmd_advise(const util::CliArgs& args) {
-  require_flags(args, {"machine", "program", "class", "deadline", "budget"});
+  require_flags(args, {"machine", "program", "class", "deadline", "budget",
+                       "report"});
   const cfg::Scenario s = scenario_from(args);
+  const auto t0 = std::chrono::steady_clock::now();
   core::Advisor advisor = core::Advisor::from_scenario(s);
   std::printf("advice for %s (class %s) on %s:\n", s.program.name.c_str(),
               workload::to_string(s.input).c_str(), s.machine.name.c_str());
@@ -181,6 +202,28 @@ int cmd_advise(const util::CliArgs& args) {
                                  best->config.f_hz.value() / 1e9)
                     .c_str(),
                 best->time_s.value(), best->energy_j.value() / 1e3);
+  }
+  if (!s.obs.report_path.empty()) {
+    trace::RunReportOptions ro;
+    ro.command = "advise";
+    ro.host_wall_s = wall_since(t0);
+    auto summary = util::json::Value::object();
+    summary.set("frontier_points",
+                util::json::Value(static_cast<int>(frontier.size())));
+    auto points = util::json::Value::array();
+    for (const auto& p : frontier) {
+      auto pt = util::json::Value::object();
+      pt.set("n", util::json::Value(p.config.nodes));
+      pt.set("c", util::json::Value(p.config.cores));
+      pt.set("f_ghz", util::json::Value(p.config.f_hz.value() / 1e9));
+      pt.set("time_s", util::json::Value(p.time_s.value()));
+      pt.set("energy_j", util::json::Value(p.energy_j.value()));
+      pt.set("ucr", util::json::Value(p.ucr));
+      points.push_back(std::move(pt));
+    }
+    summary.set("frontier", std::move(points));
+    ro.summary = std::move(summary);
+    write_report(trace::build_run_report(s, ro), s.obs.report_path);
   }
   if (args.has("deadline")) {
     const q::Seconds deadline = duration_or(args, "deadline", 0.0);
@@ -286,17 +329,33 @@ int cmd_recommend(const util::CliArgs& args) {
 
 int cmd_simulate(const util::CliArgs& args) {
   require_flags(args, {"machine", "program", "class", "n", "c", "f", "trace",
-                       "metrics"});
+                       "metrics", "report"});
   const cfg::Scenario s = scenario_from(args);
   const hw::ClusterConfig run = s.single_config();
 
   obs::TraceSink sink;
   obs::Registry registry;
+  obs::SpanAggregator spans;
   trace::SimOptions opt = trace::sim_options_from_scenario(s);
+  const bool want_report = !s.obs.report_path.empty();
   if (!s.obs.trace_path.empty()) opt.trace = &sink;
-  if (!s.obs.metrics_path.empty()) opt.metrics = &registry;
+  // A report always embeds the metrics snapshot and span statistics, so
+  // asking for one attaches both (still zero-perturbation).
+  if (!s.obs.metrics_path.empty() || want_report) opt.metrics = &registry;
+  if (want_report) opt.spans = &spans;
 
+  const auto t0 = std::chrono::steady_clock::now();
   const auto meas = trace::simulate(s.machine, s.program, run, opt);
+  const double wall_s = wall_since(t0);
+
+  if (want_report) {
+    trace::RunReportOptions ro;
+    ro.command = "simulate";
+    ro.metrics = &registry;
+    ro.spans = &spans;
+    ro.host_wall_s = wall_s;
+    write_report(trace::build_run_report(s, meas, ro), s.obs.report_path);
+  }
 
   if (!s.obs.trace_path.empty()) {
     if (!sink.write_file(s.obs.trace_path)) {
@@ -340,8 +399,9 @@ int cmd_simulate(const util::CliArgs& args) {
 }
 
 int cmd_validate(const util::CliArgs& args) {
-  require_flags(args, {"machine", "program", "class"});
+  require_flags(args, {"machine", "program", "class", "report"});
   const cfg::Scenario s = scenario_from(args);
+  const auto t0 = std::chrono::steady_clock::now();
   core::ValidationReport report;
   std::size_t n_configs = 0;
   if (args.has("scenario")) {
@@ -361,6 +421,23 @@ int cmd_validate(const util::CliArgs& args) {
   std::printf("  energy error: mean %.1f%%  sd %.1f%%  max %.1f%%\n",
               report.energy_error.mean(), report.energy_error.stddev(),
               report.energy_error.max());
+  if (!s.obs.report_path.empty()) {
+    trace::RunReportOptions ro;
+    ro.command = "validate";
+    ro.host_wall_s = wall_since(t0);
+    auto summary = util::json::Value::object();
+    summary.set("configs", util::json::Value(static_cast<int>(n_configs)));
+    summary.set("time_error_mean_pct",
+                util::json::Value(report.time_error.mean()));
+    summary.set("time_error_max_pct",
+                util::json::Value(report.time_error.max()));
+    summary.set("energy_error_mean_pct",
+                util::json::Value(report.energy_error.mean()));
+    summary.set("energy_error_max_pct",
+                util::json::Value(report.energy_error.max()));
+    ro.summary = std::move(summary);
+    write_report(trace::build_run_report(s, ro), s.obs.report_path);
+  }
   return 0;
 }
 
@@ -386,7 +463,169 @@ int cmd_netchar(const util::CliArgs& args) {
   return 0;
 }
 
+/// `hepex report show FILE` — human-readable rendering of a RunReport.
+int report_show(const util::CliArgs& args) {
+  require_flags(args, {});
+  if (args.positionals().size() != 1) {
+    fail_require("report show needs exactly one FILE operand");
+  }
+  const std::string& path = args.positionals()[0];
+  const obs::RunReport r = obs::RunReport::load_file(path);
+
+  std::printf("%s: %s%s%s\n", path.c_str(), r.command.c_str(),
+              r.name.empty() ? "" : " — ", r.name.c_str());
+  std::printf("  scenario : %s (class %s) on %s  [%s]\n", r.program.c_str(),
+              r.input_class.c_str(), r.machine.c_str(),
+              r.scenario_fingerprint.c_str());
+  if (r.nodes > 0) {
+    std::printf("  config   : %s  seed %llu%s\n",
+                util::fmt_config(r.nodes, r.cores, r.f_ghz).c_str(),
+                static_cast<unsigned long long>(r.seed),
+                r.replicas > 1
+                    ? ("  replicas " + std::to_string(r.replicas)).c_str()
+                    : "");
+  }
+  if (r.has_results) {
+    std::printf("  results  : %.2f s, %.3f kJ, UCR %.2f, util %.2f (%s)\n",
+                r.time_s, r.energy_j / 1e3, r.ucr, r.cpu_utilization,
+                r.outcome.c_str());
+    std::printf("  events   : %.0f processed, %.1f per virtual second\n",
+                r.events_processed, r.events_per_virtual_s);
+  }
+  if (!r.attribution.empty()) {
+    util::Table t({"category", "energy [J]", "share", "time [s]"});
+    const double total = r.attribution_energy_total();
+    for (const auto& c : r.attribution) {
+      t.add_row({c.name, util::fmt(c.energy_j, 1),
+                 util::fmt(total > 0.0 ? 100.0 * c.energy_j / total : 0.0, 1) +
+                     "%",
+                 util::fmt(c.time_s, 2)});
+    }
+    std::printf("%s", t.to_text().c_str());
+  }
+  if (r.has_host) {
+    std::printf("  host     : %.3f s wall, %.0f events/s\n", r.host_wall_s,
+                r.host_events_per_s);
+  }
+  return 0;
+}
+
+/// `hepex report diff A B` — per-leaf deltas between two reports. Exits
+/// 0 when the documents are identical, 1 when they differ (diff(1)
+/// semantics).
+int report_diff(const util::CliArgs& args) {
+  require_flags(args, {});
+  if (args.positionals().size() != 2) {
+    fail_require("report diff needs exactly two FILE operands");
+  }
+  const obs::RunReport a = obs::RunReport::load_file(args.positionals()[0]);
+  const obs::RunReport b = obs::RunReport::load_file(args.positionals()[1]);
+  const auto deltas = obs::diff_reports(a, b);
+  if (deltas.empty()) {
+    std::printf("reports are identical\n");
+    return 0;
+  }
+  for (const auto& d : deltas) {
+    if (d.only_a) {
+      std::printf("- %-40s  only in %s\n", d.path.c_str(),
+                  args.positionals()[0].c_str());
+    } else if (d.only_b) {
+      std::printf("+ %-40s  only in %s\n", d.path.c_str(),
+                  args.positionals()[1].c_str());
+    } else if (d.numeric) {
+      std::printf("~ %-40s  %s -> %s  (%+.3f%%)\n", d.path.c_str(),
+                  util::json::number_to_string(d.a).c_str(),
+                  util::json::number_to_string(d.b).c_str(),
+                  d.b >= d.a ? 100.0 * d.rel : -100.0 * d.rel);
+    } else {
+      std::printf("~ %-40s  %s -> %s\n", d.path.c_str(), d.text_a.c_str(),
+                  d.text_b.c_str());
+    }
+  }
+  std::printf("%zu field(s) differ\n", deltas.size());
+  return 1;
+}
+
+/// `hepex report check BASELINE [--against CANDIDATE]` — regression
+/// gate. With --against, compares two report files. Without, re-runs the
+/// scenario embedded in BASELINE (best-of-3 host timing) and checks the
+/// fresh results against it. Exit 0 pass, 1 regression.
+int report_check(const util::CliArgs& args) {
+  require_flags(args, {"against", "tolerance", "rtol", "skip-host"});
+  if (args.positionals().size() != 1) {
+    fail_require("report check needs exactly one BASELINE operand");
+  }
+  const std::string& base_path = args.positionals()[0];
+  const obs::RunReport baseline = obs::RunReport::load_file(base_path);
+
+  obs::RunReport candidate;
+  if (const auto against = args.get("against")) {
+    candidate = obs::RunReport::load_file(*against);
+  } else {
+    // Rerun mode: the baseline must be self-contained.
+    if (!baseline.scenario.is_object()) {
+      fail_require("baseline " + base_path +
+                   " does not embed its scenario; pass --against FILE");
+    }
+    const cfg::Scenario s = cfg::load_scenario(
+        util::json::dump(baseline.scenario), base_path + ": scenario");
+    obs::Registry registry;
+    obs::SpanAggregator spans;
+    trace::SimOptions opt = trace::sim_options_from_scenario(s);
+    opt.metrics = &registry;
+    opt.spans = &spans;
+    // Virtual-time results are identical across repeats; take the best
+    // host wall of three so the throughput gate resists scheduler noise.
+    trace::Measurement meas;
+    double best_wall_s = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      registry.clear();
+      spans = obs::SpanAggregator{};
+      const auto t0 = std::chrono::steady_clock::now();
+      meas = trace::simulate(s.machine, s.program, s.single_config(), opt);
+      const double wall_s = wall_since(t0);
+      if (rep == 0 || wall_s < best_wall_s) best_wall_s = wall_s;
+    }
+    trace::RunReportOptions ro;
+    ro.command = baseline.command.empty() ? "simulate" : baseline.command;
+    ro.metrics = &registry;
+    ro.spans = &spans;
+    ro.host_wall_s = best_wall_s;
+    candidate = trace::build_run_report(s, meas, ro);
+  }
+
+  obs::CheckOptions copts;
+  copts.rtol = args.get_double_or("rtol", copts.rtol);
+  copts.throughput_tolerance =
+      args.get_double_or("tolerance", copts.throughput_tolerance);
+  copts.check_host = !args.has("skip-host");
+
+  const obs::CheckResult res = obs::check_reports(baseline, candidate, copts);
+  if (!res.note.empty()) std::printf("%s\n", res.note.c_str());
+  util::Table t({"metric", "baseline", "candidate", "rel", "limit", ""});
+  for (const auto& item : res.items) {
+    t.add_row({item.metric, util::fmt(item.baseline, 6),
+               util::fmt(item.candidate, 6),
+               util::fmt(100.0 * item.rel, 4) + "%",
+               util::fmt(100.0 * item.limit, 4) + "%" +
+                   (item.one_sided ? " (one-sided)" : ""),
+               item.pass ? "ok" : "FAIL"});
+  }
+  std::printf("%s", t.to_text().c_str());
+  std::printf("check %s: %zu metric(s) compared\n",
+              res.pass ? "PASSED" : "FAILED", res.items.size());
+  return res.pass ? 0 : 1;
+}
+
 int cmd_report(const util::CliArgs& args) {
+  const std::string& sub = args.subcommand();
+  if (sub == "show") return report_show(args);
+  if (sub == "diff") return report_diff(args);
+  if (sub == "check") return report_check(args);
+  if (!sub.empty()) {
+    fail_require("report subcommands: show FILE | diff A B | "
+                 "check BASELINE [--against FILE]");
+  }
   require_flags(args, {"machine", "program", "class"});
   const cfg::Scenario s = scenario_from(args);
   core::Advisor advisor = core::Advisor::from_scenario(s);
@@ -539,7 +778,7 @@ int cmd_faults(const util::CliArgs& args) {
   require_flags(args, {"machine", "program", "class", "mtbf", "ckpt-write",
                        "restart-cost", "ckpt-interval", "n", "c", "f", "mode",
                        "crash-node", "crash-at", "barrier-timeout", "spares",
-                       "fault-seed", "replicas"});
+                       "fault-seed", "replicas", "report"});
   const cfg::Scenario s = scenario_from(args);
 
   if (s.config.has_value()) {
@@ -593,15 +832,37 @@ int cmd_faults(const util::CliArgs& args) {
 
     trace::SimOptions opt = trace::sim_options_from_scenario(s);
     opt.faults = &plan;
+    const bool want_report = !s.obs.report_path.empty();
 
     const int replicas = s.sim.replicas;
     if (replicas > 1) {
       // Monte-Carlo ensemble: replicas differ only in derived seeds, so
       // the summary is reproducible run-to-run (and thread-count
       // independent; see docs/performance.md).
+      const auto t0 = std::chrono::steady_clock::now();
       const auto runs = trace::simulate_ensemble(
           s.machine, s.program, run, opt, static_cast<std::size_t>(replicas));
       const auto sum = trace::summarize_ensemble(runs);
+      if (want_report) {
+        trace::RunReportOptions ro;
+        ro.command = "faults";
+        ro.host_wall_s = wall_since(t0);
+        auto summary = util::json::Value::object();
+        summary.set("replicas", util::json::Value(replicas));
+        summary.set("completed",
+                    util::json::Value(static_cast<int>(sum.completed)));
+        summary.set("aborted",
+                    util::json::Value(static_cast<int>(sum.aborted)));
+        summary.set("time_mean_s", util::json::Value(sum.time_s.mean()));
+        summary.set("time_max_s", util::json::Value(sum.time_s.max()));
+        summary.set("energy_mean_j", util::json::Value(sum.energy_j.mean()));
+        summary.set("fault_time_mean_s",
+                    util::json::Value(sum.fault_time_s.mean()));
+        summary.set("crashes", util::json::Value(sum.crashes));
+        summary.set("recoveries", util::json::Value(sum.recoveries));
+        ro.summary = std::move(summary);
+        write_report(trace::build_run_report(s, ro), s.obs.report_path);
+      }
       std::printf("simulated %d replicas of %s on %s at %s under faults:\n",
                   replicas, s.program.name.c_str(), s.machine.name.c_str(),
                   util::fmt_config(run.nodes, run.cores,
@@ -620,7 +881,22 @@ int cmd_faults(const util::CliArgs& args) {
       return sum.aborted == 0 ? 0 : 1;
     }
 
+    obs::Registry registry;
+    obs::SpanAggregator spans;
+    if (want_report) {
+      opt.metrics = &registry;
+      opt.spans = &spans;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
     const auto meas = trace::simulate(s.machine, s.program, run, opt);
+    if (want_report) {
+      trace::RunReportOptions ro;
+      ro.command = "faults";
+      ro.metrics = &registry;
+      ro.spans = &spans;
+      ro.host_wall_s = wall_since(t0);
+      write_report(trace::build_run_report(s, meas, ro), s.obs.report_path);
+    }
     std::printf("simulated %s on %s at %s under faults:\n",
                 s.program.name.c_str(), s.machine.name.c_str(),
                 util::fmt_config(run.nodes, run.cores,
@@ -690,7 +966,7 @@ int usage() {
       "commands: advise | frontier | recommend | simulate | validate |\n"
       "          netchar | report | whatif | characterize | predict |\n"
       "          sensitivity | faults | programs | machines |\n"
-      "          scenario validate|print\n"
+      "          scenario validate|print | report show|diff|check\n"
       "scenarios: --scenario FILE on any command loads a declarative run\n"
       "           description (docs/scenarios.md); remaining flags are\n"
       "           overrides layered on top.\n"
@@ -698,6 +974,12 @@ int usage() {
       "--class S|W|A|B|C\n"
       "observability: --log-level LEVEL  --profile\n"
       "               simulate: --trace=FILE --metrics=FILE\n"
+      "               simulate|validate|advise|faults: --report=FILE\n"
+      "                 (schema-versioned RunReport provenance artifact)\n"
+      "reports:       report show FILE — render a RunReport\n"
+      "               report diff A B — per-field deltas (exit 1 on change)\n"
+      "               report check BASELINE [--against FILE] [--tolerance T]\n"
+      "                 [--rtol R] [--skip-host] — regression gate (exit 1)\n"
       "parallelism:   --jobs N (0 = all cores; identical results at any N)\n"
       "               faults: --replicas R (Monte-Carlo ensemble)\n"
       "see the README, docs/scenarios.md, docs/observability.md and\n"
@@ -707,8 +989,14 @@ int usage() {
 
 int dispatch(const util::CliArgs& args) {
   const std::string& cmd = args.command();
-  if (cmd != "scenario" && !args.subcommand().empty()) {
+  // Only `scenario` and `report` have subcommand grammars, and only
+  // `report` takes file operands; stray tokens elsewhere are errors.
+  if (cmd != "scenario" && cmd != "report" && !args.subcommand().empty()) {
     fail_require("unexpected positional argument '" + args.subcommand() +
+                 "'");
+  }
+  if (cmd != "report" && !args.positionals().empty()) {
+    fail_require("unexpected positional argument '" + args.positionals()[0] +
                  "'");
   }
   if (cmd.empty() && (args.has("trace") || args.has("metrics"))) {
