@@ -138,6 +138,17 @@ class Advisor {
   const hw::MachineSpec& machine() const { return machine_; }
   const workload::ProgramSpec& program() const { return program_; }
 
+  /// The ad-hoc `predict()` memo — read-only, for cache-effectiveness
+  /// stats (hepexd reports aggregate hit/miss/eviction counts).
+  const model::PredictionCache& prediction_cache() const { return cache_; }
+
+  /// Bound the `predict()` memo (0 = unbounded; LRU eviction past the
+  /// bound). A long-lived service sets this so per-advisor memory stays
+  /// flat under adversarial query patterns.
+  void set_prediction_cache_capacity(std::size_t capacity) {
+    cache_.set_capacity(capacity);
+  }
+
  private:
   Advisor(hw::MachineSpec machine, workload::ProgramSpec program,
           model::CharacterizationOptions options,

@@ -147,16 +147,39 @@ const Prediction& PredictionCache::at(const Characterization& ch,
   auto it = memo_.find(key);
   if (it != memo_.end()) {
     ++hits_;
-    return it->second;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.prediction;
   }
   ++misses_;
-  return memo_.emplace(key, predict(ch, target, cfg)).first->second;
+  // Evaluate before touching the containers: predict() may throw, and a
+  // failed lookup must leave the cache unchanged.
+  Prediction pred = predict(ch, target, cfg);
+  lru_.push_front(key);
+  auto ins = memo_.emplace(key, Entry{std::move(pred), lru_.begin()}).first;
+  evict_to_capacity();
+  return ins->second.prediction;
+}
+
+void PredictionCache::set_capacity(std::size_t capacity) {
+  capacity_ = capacity;
+  evict_to_capacity();
+}
+
+void PredictionCache::evict_to_capacity() {
+  if (capacity_ == 0) return;
+  while (memo_.size() > capacity_) {
+    memo_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
 }
 
 void PredictionCache::clear() {
   memo_.clear();
+  lru_.clear();
   hits_ = 0;
   misses_ = 0;
+  evictions_ = 0;
 }
 
 }  // namespace hepex::model

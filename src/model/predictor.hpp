@@ -19,6 +19,8 @@
 /// any n.
 
 #include <cstddef>
+#include <cstdint>
+#include <list>
 #include <map>
 #include <tuple>
 #include <vector>
@@ -88,22 +90,45 @@ std::vector<Prediction> predict_many(const Characterization& ch,
 /// Advisor revisit the same grid points across calls; the model evaluation
 /// (a fixed-point network solve) dominates, so a hit skips it entirely.
 /// Not thread-safe — use one cache per thread, or fill it serially.
+///
+/// Optionally bounded: `set_capacity(k)` keeps at most the `k` most
+/// recently used entries, evicting least-recently-used on overflow — the
+/// shape a long-lived service needs (hepexd keeps one cache per cached
+/// advisor; an unbounded memo on adversarial traffic is a memory leak).
+/// Capacity 0 (the default) means unbounded, the historical behavior.
 class PredictionCache {
  public:
-  /// Look up `cfg`, evaluating (and remembering) on a miss.
+  /// Look up `cfg`, evaluating (and remembering) on a miss. The returned
+  /// reference stays valid until the next non-const call (with a capacity
+  /// set, any later `at` may evict it).
   const Prediction& at(const Characterization& ch, const TargetInfo& target,
                        const hw::ClusterConfig& cfg);
+
+  /// Bound the cache to `capacity` entries (0 = unbounded). Shrinks
+  /// immediately when the current contents exceed the new bound.
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const { return capacity_; }
 
   std::size_t size() const { return memo_.size(); }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
   void clear();
 
  private:
   using Key = std::tuple<int, int, double>;  // (nodes, cores, f_hz)
-  std::map<Key, Prediction> memo_;
+  struct Entry {
+    Prediction prediction;
+    std::list<Key>::iterator lru_it;  ///< position in lru_ (front = hottest)
+  };
+  void evict_to_capacity();
+
+  std::map<Key, Entry> memo_;
+  std::list<Key> lru_;  ///< most-recently-used first
+  std::size_t capacity_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace hepex::model

@@ -1,0 +1,23 @@
+#include "par/cancel.hpp"
+
+namespace hepex::par {
+
+namespace {
+thread_local const CancelToken* t_active_token = nullptr;
+}  // namespace
+
+const CancelToken* current_cancel_token() noexcept { return t_active_token; }
+
+void check_cancel() {
+  const CancelToken* tok = t_active_token;
+  if (tok != nullptr && tok->cancelled()) throw Cancelled{};
+}
+
+CancelScope::CancelScope(const CancelToken* token) noexcept
+    : prev_(t_active_token) {
+  t_active_token = token;
+}
+
+CancelScope::~CancelScope() { t_active_token = prev_; }
+
+}  // namespace hepex::par

@@ -38,6 +38,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "par/cancel.hpp"
+
 namespace hepex::par {
 
 /// Upper bound for any jobs value (also enforced by util::parse_jobs).
@@ -121,18 +123,43 @@ class ThreadPool {
 /// Apply `fn(i)` for every i in [0, n) using `jobs` chunks (0 = default,
 /// 1 = inline). Deterministic: identical per-element computation at any
 /// job count.
+///
+/// Cooperative cancellation (par/cancel.hpp): when the calling thread has
+/// an active CancelToken, the region re-installs it on every worker and
+/// checks it at chunk entry and between elements; a cancelled token makes
+/// the region throw par::Cancelled after draining. Without a token the
+/// loop is byte-for-byte the historical one.
 template <typename F>
 void parallel_for(std::size_t n, F&& fn, int jobs = 0) {
   if (n == 0) return;
   const int resolved = resolve_jobs(jobs);
   const int chunks =
       static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(resolved), n));
+  const CancelToken* tok = current_cancel_token();
   if (chunks <= 1 || ThreadPool::in_worker()) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    if (tok == nullptr) {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (tok->cancelled()) throw Cancelled{};
+      fn(i);
+    }
     return;
   }
-  const ThreadPool::RangeFn body = [&fn](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) fn(i);
+  const ThreadPool::RangeFn body = [&fn, tok](std::size_t begin,
+                                              std::size_t end) {
+    if (tok == nullptr) {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+      return;
+    }
+    // Workers have their own thread-local scope: re-install the caller's
+    // token so nested inline regions and check_cancel() observe it.
+    CancelScope scope(tok);
+    for (std::size_t i = begin; i < end; ++i) {
+      if (tok->cancelled()) throw Cancelled{};
+      fn(i);
+    }
   };
   ThreadPool::global().for_range(n, chunks, body);
 }

@@ -1,0 +1,119 @@
+#pragma once
+/// \file admission.hpp
+/// \brief Bounded request queue — hepexd's admission-control point.
+///
+/// Load shedding happens here, and only here: `try_push` never blocks and
+/// never grows the queue past its bound; when the queue is full the caller
+/// gets `false` back immediately and turns it into a `shed` error on the
+/// wire (the 429 analogue). That keeps overload failure fast and explicit
+/// instead of queueing until memory or client patience runs out.
+///
+/// `pop` blocks (executor side) until an item arrives or the queue is
+/// closed. `close` wakes every waiter and makes further pushes fail —
+/// the graceful-shutdown handshake: the server stops admitting, executors
+/// drain what was already admitted, then `pop` returns nullopt and they
+/// exit.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace hepex::svc {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `capacity` must be >= 1; the queue holds at most that many items.
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Admit one item. Returns false — without blocking — when the queue
+  /// is full (shed) or closed (shutting down); `*why_closed` (when
+  /// non-null) distinguishes the two.
+  bool try_push(T item, bool* why_closed = nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (why_closed != nullptr) *why_closed = closed_;
+      if (closed_ || items_.size() >= capacity_) {
+        if (!closed_) ++shed_;
+        return false;
+      }
+      items_.push_back(std::move(item));
+      ++admitted_;
+      if (items_.size() > high_water_) high_water_ = items_.size();
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Take the oldest item; blocks until one is available or the queue is
+  /// closed *and* empty (drain semantics: close() does not discard
+  /// already-admitted work).
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Refuse new items and wake all blocked poppers once the backlog
+  /// drains. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Total items that were turned away because the queue was full.
+  std::uint64_t shed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return shed_;
+  }
+
+  /// Total items ever admitted.
+  std::uint64_t admitted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return admitted_;
+  }
+
+  /// Deepest backlog observed (queue-pressure signal for stats/bench).
+  std::size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  std::uint64_t shed_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace hepex::svc

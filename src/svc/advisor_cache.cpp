@@ -1,0 +1,134 @@
+#include "svc/advisor_cache.hpp"
+
+#include <utility>
+
+#include "cfg/scenario.hpp"
+#include "util/hash.hpp"
+
+namespace hepex::svc {
+
+std::string advisor_fingerprint(const cfg::Scenario& scenario) {
+  // Reduce to the fields `Advisor::from_scenario` actually consumes:
+  // machine, program, and the characterization-seeding sim knobs. Every
+  // presentation-only field resets to its default so it cannot split the
+  // cache.
+  cfg::Scenario key = scenario;
+  key.name.clear();
+  key.sweep = cfg::SweepSpec{};
+  key.config.reset();
+  key.faults.reset();
+  key.obs = cfg::ObsSettings{};
+  key.jobs = 0;
+  key.sim.replicas = 1;
+  return util::fingerprint(cfg::save_scenario(key));
+}
+
+AdvisorCache::Lease::~Lease() {
+  if (entry_ != nullptr && lock_.owns_lock()) {
+    // Still holding the entry lock: the advisor is quiescent, so the
+    // counter reads cannot race with a model evaluation.
+    const model::PredictionCache& pc = entry_->advisor.prediction_cache();
+    entry_->snap_hits.store(pc.hits(), std::memory_order_relaxed);
+    entry_->snap_misses.store(pc.misses(), std::memory_order_relaxed);
+    entry_->snap_evictions.store(pc.evictions(), std::memory_order_relaxed);
+    entry_->snap_size.store(pc.size(), std::memory_order_relaxed);
+  }
+}
+
+AdvisorCache::AdvisorCache(std::size_t capacity, std::size_t prediction_cap)
+    : capacity_(capacity < 1 ? 1 : capacity),
+      prediction_cap_(prediction_cap) {}
+
+AdvisorCache::Lease AdvisorCache::lease(const cfg::Scenario& scenario) {
+  const std::string fp = advisor_fingerprint(scenario);
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(fp);
+    if (it != entries_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, lru_pos_.at(fp));
+      entry = it->second;
+    } else {
+      ++misses_;
+      // Advisor construction only stores the specs — characterization is
+      // lazy and runs under the entry lock, outside this cache mutex.
+      entry = std::make_shared<Entry>(core::Advisor::from_scenario(scenario),
+                                      fp);
+      entry->advisor.set_prediction_cache_capacity(prediction_cap_);
+      entries_.emplace(fp, entry);
+      lru_.push_front(fp);
+      lru_pos_[fp] = lru_.begin();
+      while (entries_.size() > capacity_) {
+        const std::string victim = lru_.back();
+        auto vit = entries_.find(victim);
+        // A leased victim survives through its shared_ptr; its last
+        // snapshot is what the aggregate keeps.
+        retired_pred_hits_ +=
+            vit->second->snap_hits.load(std::memory_order_relaxed);
+        retired_pred_misses_ +=
+            vit->second->snap_misses.load(std::memory_order_relaxed);
+        retired_pred_evictions_ +=
+            vit->second->snap_evictions.load(std::memory_order_relaxed);
+        entries_.erase(vit);
+        lru_pos_.erase(victim);
+        lru_.pop_back();
+        ++evictions_;
+      }
+    }
+  }
+  // Acquire the per-entry lock outside the cache mutex so a long
+  // characterization on one fingerprint never blocks lookups of others.
+  std::unique_lock<std::mutex> entry_lock(entry->mu);
+  return Lease(std::move(entry), std::move(entry_lock));
+}
+
+std::size_t AdvisorCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::uint64_t AdvisorCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t AdvisorCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::uint64_t AdvisorCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+util::json::Value AdvisorCache::stats_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t pred_hits = retired_pred_hits_;
+  std::uint64_t pred_misses = retired_pred_misses_;
+  std::uint64_t pred_evictions = retired_pred_evictions_;
+  std::uint64_t pred_entries = 0;
+  for (const auto& [fp, entry] : entries_) {
+    (void)fp;
+    pred_hits += entry->snap_hits.load(std::memory_order_relaxed);
+    pred_misses += entry->snap_misses.load(std::memory_order_relaxed);
+    pred_evictions += entry->snap_evictions.load(std::memory_order_relaxed);
+    pred_entries += entry->snap_size.load(std::memory_order_relaxed);
+  }
+  util::json::Value pc = util::json::Value::object();
+  pc.set("hits", static_cast<double>(pred_hits));
+  pc.set("misses", static_cast<double>(pred_misses));
+  pc.set("evictions", static_cast<double>(pred_evictions));
+  pc.set("entries", static_cast<double>(pred_entries));
+  util::json::Value out = util::json::Value::object();
+  out.set("entries", static_cast<double>(entries_.size()));
+  out.set("capacity", static_cast<double>(capacity_));
+  out.set("hits", static_cast<double>(hits_));
+  out.set("misses", static_cast<double>(misses_));
+  out.set("evictions", static_cast<double>(evictions_));
+  out.set("prediction_cache", std::move(pc));
+  return out;
+}
+
+}  // namespace hepex::svc

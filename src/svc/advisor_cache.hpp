@@ -1,0 +1,126 @@
+#pragma once
+/// \file advisor_cache.hpp
+/// \brief Cross-request `core::Advisor` cache for hepexd.
+///
+/// An Advisor's first query runs the whole measurement-driven
+/// characterization; everything after is cheap model evaluation. A
+/// long-lived service amortizes that across requests by keying advisors
+/// on a *semantic* fingerprint of the scenario: the canonical bytes of a
+/// scenario copy with every field that does not feed the advisor's state
+/// (name, sweep, single-run config, fault plan, obs outputs, jobs,
+/// ensemble replicas) reset to defaults. Two requests that differ only in
+/// presentation share one advisor — the same "bit-identical advice"
+/// guarantee `Advisor::from_scenario` documents, now across connections.
+///
+/// Advisors are not thread-safe, so the cache hands out a `Lease`: a
+/// shared_ptr to the entry plus a held per-entry lock. Same-fingerprint
+/// requests serialize (correct, and cheap once characterized); distinct
+/// fingerprints run concurrently. Eviction is LRU over entry count;
+/// an evicted-but-leased advisor stays alive through the shared_ptr and
+/// dies when its last lease drops.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/advisor.hpp"
+#include "util/json.hpp"
+
+namespace hepex::cfg {
+struct Scenario;
+}  // namespace hepex::cfg
+
+namespace hepex::svc {
+
+/// The semantic cache key: fingerprint of the canonical bytes of the
+/// scenario reduced to advisor-relevant fields (exposed for tests).
+std::string advisor_fingerprint(const cfg::Scenario& scenario);
+
+class AdvisorCache {
+ public:
+  /// \param capacity       max cached advisors (>= 1)
+  /// \param prediction_cap per-advisor PredictionCache bound (0 = unbounded)
+  explicit AdvisorCache(std::size_t capacity,
+                        std::size_t prediction_cap = 4096);
+
+  AdvisorCache(const AdvisorCache&) = delete;
+  AdvisorCache& operator=(const AdvisorCache&) = delete;
+
+  /// Exclusive use of one cached advisor. Movable; on destruction it
+  /// snapshots the advisor's PredictionCache counters (so `stats_json`
+  /// never touches an advisor another thread may hold) and releases the
+  /// entry lock.
+  class Lease {
+   public:
+    Lease(Lease&&) = default;
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease();
+
+    core::Advisor& advisor() { return entry_->advisor; }
+    const std::string& fingerprint() const { return entry_->fingerprint; }
+
+   private:
+    friend class AdvisorCache;
+    struct Entry {
+      explicit Entry(core::Advisor a, std::string fp)
+          : advisor(std::move(a)), fingerprint(std::move(fp)) {}
+      std::mutex mu;  ///< serializes same-fingerprint requests
+      core::Advisor advisor;
+      std::string fingerprint;
+      // Counter snapshots, written under `mu` at lease release, read
+      // lock-free by stats_json().
+      std::atomic<std::uint64_t> snap_hits{0};
+      std::atomic<std::uint64_t> snap_misses{0};
+      std::atomic<std::uint64_t> snap_evictions{0};
+      std::atomic<std::uint64_t> snap_size{0};
+    };
+    Lease(std::shared_ptr<Entry> entry, std::unique_lock<std::mutex> lock)
+        : entry_(std::move(entry)), lock_(std::move(lock)) {}
+    std::shared_ptr<Entry> entry_;
+    std::unique_lock<std::mutex> lock_;
+  };
+
+  /// Fetch (or build) the advisor for `scenario` and lock it for the
+  /// caller. Blocks while another request holds the same advisor.
+  /// Construction errors (invalid scenario for characterization)
+  /// propagate and cache nothing.
+  Lease lease(const cfg::Scenario& scenario);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t evictions() const;
+
+  /// Stats document for the `stats` method and the shutdown flush:
+  /// entry counts plus the aggregated per-advisor PredictionCache
+  /// counters (the model-evaluation savings the cache exists for).
+  util::json::Value stats_json() const;
+
+ private:
+  using Entry = Lease::Entry;
+
+  const std::size_t capacity_;
+  const std::size_t prediction_cap_;
+  mutable std::mutex mu_;  ///< guards the maps + counters (not entries)
+  std::map<std::string, std::shared_ptr<Entry>> entries_;
+  std::list<std::string> lru_;  ///< most-recently-used first
+  std::map<std::string, std::list<std::string>::iterator> lru_pos_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  // PredictionCache counters of evicted advisors, folded in at eviction
+  // so stats_json() stays a whole-lifetime aggregate.
+  std::uint64_t retired_pred_hits_ = 0;
+  std::uint64_t retired_pred_misses_ = 0;
+  std::uint64_t retired_pred_evictions_ = 0;
+};
+
+}  // namespace hepex::svc

@@ -1,0 +1,159 @@
+#include "svc/chaos.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace hepex::svc {
+
+namespace {
+
+using util::json::Value;
+
+[[noreturn]] void fail_field(const std::string& source,
+                             const std::string& field,
+                             const std::string& why) {
+  fail_require(source + ": " + field + ": " + why);
+}
+
+double get_prob(const Value& doc, const std::string& source,
+                const std::string& field, double fallback) {
+  const Value* v = doc.find(field);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) fail_field(source, field, "expected a number");
+  const double p = v->as_number();
+  if (!(p >= 0.0 && p <= 1.0)) {
+    fail_field(source, field, "probability must be in [0, 1]");
+  }
+  return p;
+}
+
+int get_int(const Value& doc, const std::string& source,
+            const std::string& field, int fallback, int lo) {
+  const Value* v = doc.find(field);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) fail_field(source, field, "expected a number");
+  const double d = v->as_number();
+  const int i = static_cast<int>(d);
+  if (static_cast<double>(i) != d) {
+    fail_field(source, field, "expected an integer");
+  }
+  if (i < lo) {
+    fail_field(source, field, "must be >= " + std::to_string(lo));
+  }
+  return i;
+}
+
+}  // namespace
+
+void ChaosPlan::validate() const {
+  auto check_prob = [](double p, const char* name) {
+    if (!(p >= 0.0 && p <= 1.0)) {
+      fail_require(std::string("chaos plan: ") + name +
+                   " must be in [0, 1]");
+    }
+  };
+  check_prob(slow_loris_prob, "slow_loris_prob");
+  check_prob(disconnect_prob, "disconnect_prob");
+  check_prob(malformed_prob, "malformed_prob");
+  check_prob(oversize_prob, "oversize_prob");
+  // One cumulative draw picks each request's behavior, so the branch
+  // probabilities must leave room (possibly zero) for clean traffic.
+  const double sum =
+      slow_loris_prob + disconnect_prob + malformed_prob + oversize_prob;
+  if (sum > 1.0) {
+    fail_require("chaos plan: behavior probabilities sum to " +
+                 std::to_string(sum) + ", must be <= 1");
+  }
+  if (slow_loris_stall_ms < 1) {
+    fail_require("chaos plan: slow_loris_stall_ms must be >= 1");
+  }
+  if (burst_every < 0) fail_require("chaos plan: burst_every must be >= 0");
+  if (burst_size < 1) fail_require("chaos plan: burst_size must be >= 1");
+}
+
+ChaosPlan load_chaos_plan(const std::string& text,
+                          const std::string& source) {
+  const Value doc = util::json::parse(text, source);
+  if (!doc.is_object()) {
+    fail_require(source + ": expected an object");
+  }
+  static const char* kKnown[] = {
+      "schema",          "seed",          "slow_loris_prob",
+      "slow_loris_stall_ms", "disconnect_prob", "malformed_prob",
+      "oversize_prob",   "burst_every",   "burst_size",
+  };
+  for (const auto& [key, value] : doc.members()) {
+    (void)value;
+    bool ok = false;
+    for (const char* k : kKnown) {
+      if (key == k) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) fail_require(source + ": unknown field \"" + key + "\"");
+  }
+  const Value* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    fail_field(source, "schema", "missing or not a string");
+  }
+  if (schema->as_string() != kChaosSchema) {
+    fail_field(source, "schema",
+               "expected \"" + std::string(kChaosSchema) + "\", got \"" +
+                   schema->as_string() + "\"");
+  }
+
+  ChaosPlan plan;
+  if (const Value* seed = doc.find("seed"); seed != nullptr) {
+    if (!seed->is_number() || seed->as_number() < 0 ||
+        seed->as_number() !=
+            static_cast<double>(static_cast<std::uint64_t>(seed->as_number()))) {
+      fail_field(source, "seed", "expected a non-negative integer");
+    }
+    plan.seed = static_cast<std::uint64_t>(seed->as_number());
+  }
+  plan.slow_loris_prob =
+      get_prob(doc, source, "slow_loris_prob", plan.slow_loris_prob);
+  plan.slow_loris_stall_ms =
+      get_int(doc, source, "slow_loris_stall_ms", plan.slow_loris_stall_ms, 1);
+  plan.disconnect_prob =
+      get_prob(doc, source, "disconnect_prob", plan.disconnect_prob);
+  plan.malformed_prob =
+      get_prob(doc, source, "malformed_prob", plan.malformed_prob);
+  plan.oversize_prob =
+      get_prob(doc, source, "oversize_prob", plan.oversize_prob);
+  plan.burst_every = get_int(doc, source, "burst_every", plan.burst_every, 0);
+  plan.burst_size = get_int(doc, source, "burst_size", plan.burst_size, 1);
+  plan.validate();
+  return plan;
+}
+
+ChaosPlan load_chaos_plan_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("hepex: cannot open '" + path + "' for reading");
+  }
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return load_chaos_plan(ss.str(), path);
+}
+
+std::string save_chaos_plan(const ChaosPlan& plan) {
+  Value doc = Value::object();
+  doc.set("schema", kChaosSchema);
+  doc.set("seed", static_cast<double>(plan.seed));
+  doc.set("slow_loris_prob", plan.slow_loris_prob);
+  doc.set("slow_loris_stall_ms", plan.slow_loris_stall_ms);
+  doc.set("disconnect_prob", plan.disconnect_prob);
+  doc.set("malformed_prob", plan.malformed_prob);
+  doc.set("oversize_prob", plan.oversize_prob);
+  doc.set("burst_every", plan.burst_every);
+  doc.set("burst_size", plan.burst_size);
+  return util::json::dump(doc);
+}
+
+}  // namespace hepex::svc

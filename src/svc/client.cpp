@@ -1,0 +1,43 @@
+#include "svc/client.hpp"
+
+#include <stdexcept>
+
+namespace hepex::svc {
+
+Client Client::connect_unix_socket(const std::string& path) {
+  return Client(connect_unix(path));
+}
+
+Client Client::connect_tcp_socket(int port) {
+  return Client(connect_tcp("127.0.0.1", port));
+}
+
+Response Client::call(const Request& req, int timeout_ms) {
+  const std::string payload = make_request(req);
+  const IoStatus ws = write_frame(sock_.fd(), payload, timeout_ms);
+  if (ws != IoStatus::kOk) {
+    throw std::runtime_error(std::string("hepex: request write failed: ") +
+                             to_string(ws));
+  }
+  FrameResult res =
+      read_frame(sock_.fd(), kAbsoluteMaxFrameBytes, timeout_ms);
+  if (res.status != IoStatus::kOk) {
+    throw std::runtime_error(std::string("hepex: response read failed: ") +
+                             to_string(res.status) +
+                             (res.message.empty() ? "" : " (" + res.message +
+                                                            ")"));
+  }
+  return parse_response(res.payload);
+}
+
+IoStatus Client::send_bytes(std::string_view bytes, int timeout_ms) {
+  // No header: chaos modes hand us pre-built (and possibly deliberately
+  // broken) wire bytes.
+  return write_raw(sock_.fd(), bytes, timeout_ms);
+}
+
+FrameResult Client::read_reply(std::size_t max_payload, int timeout_ms) {
+  return read_frame(sock_.fd(), max_payload, timeout_ms);
+}
+
+}  // namespace hepex::svc

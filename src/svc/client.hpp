@@ -1,0 +1,46 @@
+#pragma once
+/// \file client.hpp
+/// \brief Blocking hepexd client (used by the load generator and tests).
+///
+/// One `Client` owns one connection and speaks one request/response pair
+/// at a time — the same discipline the server's connection loop assumes.
+/// `call` is the well-behaved path; `send_bytes`/`read_reply` expose the
+/// raw transport so the chaos modes can ship deliberately broken frames
+/// (trickled, truncated, oversized) and still observe how the server
+/// answers.
+
+#include <string>
+#include <string_view>
+
+#include "svc/framing.hpp"
+#include "svc/protocol.hpp"
+
+namespace hepex::svc {
+
+class Client {
+ public:
+  /// Connect to a Unix-domain socket. Throws std::runtime_error.
+  static Client connect_unix_socket(const std::string& path);
+  /// Connect to TCP 127.0.0.1:`port`. Throws std::runtime_error.
+  static Client connect_tcp_socket(int port);
+
+  /// Send one request and wait for its response. Framing failures
+  /// (timeout, peer gone) surface as std::runtime_error; a server-side
+  /// error is a *successful* call with `ok == false`.
+  Response call(const Request& req, int timeout_ms = 30'000);
+
+  /// Raw transport access for chaos modes. `send_bytes` writes exactly
+  /// the given bytes (framed or deliberately not); `read_reply` reads one
+  /// frame back.
+  IoStatus send_bytes(std::string_view bytes, int timeout_ms);
+  FrameResult read_reply(std::size_t max_payload, int timeout_ms);
+
+  int fd() const { return sock_.fd(); }
+  void close() { sock_.close(); }
+
+ private:
+  explicit Client(Socket sock) : sock_(std::move(sock)) {}
+  Socket sock_;
+};
+
+}  // namespace hepex::svc

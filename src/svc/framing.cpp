@@ -1,0 +1,314 @@
+#include "svc/framing.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+namespace hepex::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Poll slice: the granularity at which reads/writes notice the abort
+/// flag. Short enough for prompt drain, long enough to stay off the CPU.
+constexpr int kPollSliceMs = 50;
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw std::runtime_error("hepex: " + what + ": " + std::strerror(errno));
+}
+
+int remaining_ms(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  return left < 0 ? 0 : static_cast<int>(left);
+}
+
+/// Wait until `fd` is ready for `events`. Returns kOk when ready,
+/// kTimeout / kAborted / kError otherwise.
+IoStatus wait_ready(int fd, short events, Clock::time_point deadline,
+                    bool forever, const std::atomic<bool>* abort) {
+  for (;;) {
+    if (abort != nullptr && *abort) return IoStatus::kAborted;
+    int slice = kPollSliceMs;
+    if (!forever) {
+      const int left = remaining_ms(deadline);
+      if (left == 0) return IoStatus::kTimeout;
+      slice = left < kPollSliceMs ? left : kPollSliceMs;
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, slice);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return IoStatus::kError;
+    }
+    if (rc > 0) return IoStatus::kOk;
+  }
+}
+
+/// Transfer exactly `len` bytes (reading when `reading`, else writing)
+/// under the shared deadline. kEof only when reading hits EOF at
+/// offset 0 and `eof_ok_at_start` is set.
+IoStatus transfer_all(int fd, char* rbuf, const char* wbuf, std::size_t len,
+                      Clock::time_point deadline, bool forever,
+                      const std::atomic<bool>* abort, bool reading,
+                      bool eof_ok_at_start, std::size_t* moved) {
+  std::size_t done = 0;
+  while (done < len) {
+    const IoStatus ready = wait_ready(fd, reading ? POLLIN : POLLOUT,
+                                      deadline, forever, abort);
+    if (ready != IoStatus::kOk) {
+      if (moved != nullptr) *moved = done;
+      return ready;
+    }
+    ssize_t n;
+    if (reading) {
+      n = ::recv(fd, rbuf + done, len - done, 0);
+    } else {
+      n = ::send(fd, wbuf + done, len - done, MSG_NOSIGNAL);
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      if (moved != nullptr) *moved = done;
+      return IoStatus::kError;
+    }
+    if (n == 0) {
+      if (moved != nullptr) *moved = done;
+      if (reading && done == 0 && eof_ok_at_start) return IoStatus::kEof;
+      return reading ? IoStatus::kProtocol : IoStatus::kError;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (moved != nullptr) *moved = done;
+  return IoStatus::kOk;
+}
+
+}  // namespace
+
+const char* to_string(IoStatus s) {
+  switch (s) {
+    case IoStatus::kOk: return "ok";
+    case IoStatus::kEof: return "eof";
+    case IoStatus::kTimeout: return "timeout";
+    case IoStatus::kAborted: return "aborted";
+    case IoStatus::kOversized: return "oversized";
+    case IoStatus::kProtocol: return "protocol";
+    case IoStatus::kError: return "error";
+  }
+  return "unknown";
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket listen_unix(const std::string& path) {
+  struct sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("hepex: unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  Socket s(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!s.valid()) sys_fail("socket(AF_UNIX)");
+  ::unlink(path.c_str());  // stale socket file from a crashed daemon
+  if (::bind(s.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    sys_fail("bind(" + path + ")");
+  }
+  if (::listen(s.fd(), SOMAXCONN) != 0) sys_fail("listen(" + path + ")");
+  return s;
+}
+
+Socket listen_tcp(int port, int* chosen_port) {
+  Socket s(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!s.valid()) sys_fail("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(s.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    sys_fail("bind(127.0.0.1:" + std::to_string(port) + ")");
+  }
+  if (::listen(s.fd(), SOMAXCONN) != 0) sys_fail("listen");
+  if (chosen_port != nullptr) {
+    socklen_t len = sizeof(addr);
+    if (::getsockname(s.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+                      &len) != 0) {
+      sys_fail("getsockname");
+    }
+    *chosen_port = ntohs(addr.sin_port);
+  }
+  return s;
+}
+
+Socket accept_connection(const Socket& listener, int timeout_ms,
+                         const std::atomic<bool>* abort) {
+  const bool forever = timeout_ms < 0;
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(forever ? 0 : timeout_ms);
+  const IoStatus ready =
+      wait_ready(listener.fd(), POLLIN, deadline, forever, abort);
+  if (ready != IoStatus::kOk) return Socket{};
+  const int fd = ::accept4(listener.fd(), nullptr, nullptr, SOCK_CLOEXEC);
+  if (fd < 0) return Socket{};
+  return Socket(fd);
+}
+
+Socket connect_unix(const std::string& path) {
+  struct sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("hepex: unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  Socket s(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!s.valid()) sys_fail("socket(AF_UNIX)");
+  if (::connect(s.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    sys_fail("connect(" + path + ")");
+  }
+  return s;
+}
+
+Socket connect_tcp(const std::string& host, int port) {
+  Socket s(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!s.valid()) sys_fail("socket(AF_INET)");
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("hepex: not an IPv4 address: " + host);
+  }
+  if (::connect(s.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    sys_fail("connect(" + host + ":" + std::to_string(port) + ")");
+  }
+  return s;
+}
+
+std::string encode_frame(std::string_view payload) {
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.push_back(static_cast<char>((len >> 24) & 0xff));
+  out.push_back(static_cast<char>((len >> 16) & 0xff));
+  out.push_back(static_cast<char>((len >> 8) & 0xff));
+  out.push_back(static_cast<char>(len & 0xff));
+  out.append(payload);
+  return out;
+}
+
+FrameResult read_frame(int fd, std::size_t max_payload, int timeout_ms,
+                       const std::atomic<bool>* abort) {
+  FrameResult res;
+  const bool forever = timeout_ms < 0;
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(forever ? 0 : timeout_ms);
+
+  unsigned char header[kFrameHeaderBytes];
+  std::size_t got = 0;
+  res.status = transfer_all(fd, reinterpret_cast<char*>(header), nullptr,
+                            kFrameHeaderBytes, deadline, forever, abort,
+                            /*reading=*/true, /*eof_ok_at_start=*/true, &got);
+  if (res.status == IoStatus::kProtocol) {
+    res.message = "connection closed mid-header (" + std::to_string(got) +
+                  " of 4 length bytes)";
+    return res;
+  }
+  if (res.status != IoStatus::kOk) {
+    if (res.status == IoStatus::kTimeout) res.message = "header read timed out";
+    return res;
+  }
+
+  const std::uint32_t len = (static_cast<std::uint32_t>(header[0]) << 24) |
+                            (static_cast<std::uint32_t>(header[1]) << 16) |
+                            (static_cast<std::uint32_t>(header[2]) << 8) |
+                            static_cast<std::uint32_t>(header[3]);
+  if (len == 0) {
+    res.status = IoStatus::kProtocol;
+    res.message = "zero-length frame";
+    return res;
+  }
+  const std::size_t cap =
+      max_payload < kAbsoluteMaxFrameBytes ? max_payload
+                                           : kAbsoluteMaxFrameBytes;
+  if (len > cap) {
+    res.status = IoStatus::kOversized;
+    res.message = "declared frame length " + std::to_string(len) +
+                  " exceeds the " + std::to_string(cap) + "-byte cap";
+    return res;
+  }
+
+  res.payload.resize(len);
+  res.status = transfer_all(fd, res.payload.data(), nullptr, len, deadline,
+                            forever, abort, /*reading=*/true,
+                            /*eof_ok_at_start=*/false, &got);
+  if (res.status != IoStatus::kOk) {
+    res.payload.clear();
+    if (res.status == IoStatus::kProtocol) {
+      res.message = "connection closed mid-frame (" + std::to_string(got) +
+                    " of " + std::to_string(len) + " payload bytes)";
+    } else if (res.status == IoStatus::kTimeout) {
+      res.message = "payload read timed out after " + std::to_string(got) +
+                    " of " + std::to_string(len) + " bytes";
+    }
+  }
+  return res;
+}
+
+IoStatus write_frame(int fd, std::string_view payload, int timeout_ms,
+                     const std::atomic<bool>* abort) {
+  if (payload.size() > kAbsoluteMaxFrameBytes) return IoStatus::kOversized;
+  const bool forever = timeout_ms < 0;
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(forever ? 0 : timeout_ms);
+  const std::string framed = encode_frame(payload);
+  return transfer_all(fd, nullptr, framed.data(), framed.size(), deadline,
+                      forever, abort, /*reading=*/false,
+                      /*eof_ok_at_start=*/false, nullptr);
+}
+
+IoStatus write_raw(int fd, std::string_view bytes, int timeout_ms,
+                   const std::atomic<bool>* abort) {
+  const bool forever = timeout_ms < 0;
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(forever ? 0 : timeout_ms);
+  return transfer_all(fd, nullptr, bytes.data(), bytes.size(), deadline,
+                      forever, abort, /*reading=*/false,
+                      /*eof_ok_at_start=*/false, nullptr);
+}
+
+}  // namespace hepex::svc

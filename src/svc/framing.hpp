@@ -1,0 +1,114 @@
+#pragma once
+/// \file framing.hpp
+/// \brief Socket transport + length-prefixed framing for `hepexd`.
+///
+/// Dependency-free (POSIX sockets only, like util/json is RFC-only). One
+/// frame is a 4-byte big-endian payload length followed by exactly that
+/// many bytes of UTF-8 JSON. The length prefix is the first line of
+/// defense against untrusted peers: an oversized or zero length is
+/// rejected *before* a single payload byte is read or parsed, and every
+/// read/write carries a hard wall-clock deadline so a slow-loris client
+/// can stall only its own connection, never a worker.
+///
+/// I/O outcomes are values, not exceptions — the server's connection loop
+/// branches on them (EOF is normal, timeout is a slow client, oversized
+/// is a protocol violation); exceptions are reserved for setup failures
+/// (bind/listen/connect), which are environment errors.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hepex::svc {
+
+/// Frame length prefix: 4 bytes, big-endian, payload bytes only.
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+
+/// Hard ceiling on any frame this transport will ever carry (guards the
+/// 32-bit length arithmetic; per-server request caps are far lower).
+inline constexpr std::size_t kAbsoluteMaxFrameBytes = 1u << 30;  // 1 GiB
+
+/// Outcome of one read/write attempt.
+enum class IoStatus {
+  kOk,         ///< full frame transferred
+  kEof,        ///< peer closed cleanly at a frame boundary
+  kTimeout,    ///< wall-clock deadline expired mid-transfer (slow peer)
+  kAborted,    ///< the caller's abort flag was raised (server drain)
+  kOversized,  ///< declared length exceeds the cap (protocol violation)
+  kProtocol,   ///< malformed header (zero length) or mid-frame EOF
+  kError,      ///< socket error (ECONNRESET, EPIPE, ...)
+};
+
+/// Human-readable status name for logs and error payloads.
+const char* to_string(IoStatus s);
+
+/// Result of reading one frame.
+struct FrameResult {
+  IoStatus status = IoStatus::kError;
+  std::string payload;  ///< filled only when status == kOk
+  std::string message;  ///< diagnostic detail for non-kOk statuses
+};
+
+/// Owning socket fd (move-only RAII).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listen on a Unix-domain socket at `path` (unlinks a stale file first).
+/// Throws std::runtime_error on failure.
+Socket listen_unix(const std::string& path);
+
+/// Listen on TCP 127.0.0.1:`port` (0 = ephemeral). The chosen port is
+/// written to `*chosen_port` when non-null. Throws std::runtime_error.
+Socket listen_tcp(int port, int* chosen_port = nullptr);
+
+/// Accept one connection; blocks up to `timeout_ms` (-1 = forever) or
+/// until `*abort` turns true (checked every poll slice). Returns an
+/// invalid Socket on timeout/abort/error.
+Socket accept_connection(const Socket& listener, int timeout_ms,
+                         const std::atomic<bool>* abort = nullptr);
+
+/// Client-side connects. Throw std::runtime_error on failure.
+Socket connect_unix(const std::string& path);
+Socket connect_tcp(const std::string& host, int port);
+
+/// Serialize a payload into header+bytes (the loadgen's chaos modes build
+/// deliberately broken variants of this by hand).
+std::string encode_frame(std::string_view payload);
+
+/// Read one frame from `fd`. `max_payload` caps the *declared* length —
+/// an oversized header fails fast with kOversized before any payload
+/// byte is read. `timeout_ms` is a wall-clock budget for the whole frame
+/// (header + payload), so trickled bytes cannot extend it. `abort`, when
+/// non-null, is polled between slices and turns the read into kAborted.
+FrameResult read_frame(int fd, std::size_t max_payload, int timeout_ms,
+                       const std::atomic<bool>* abort = nullptr);
+
+/// Write `payload` as one frame under the same wall-clock budget.
+/// Returns kOk, kTimeout, kAborted or kError (peer gone mid-write).
+IoStatus write_frame(int fd, std::string_view payload, int timeout_ms,
+                     const std::atomic<bool>* abort = nullptr);
+
+/// Write exactly `bytes` with no header — the escape hatch the chaos
+/// client uses to ship hand-built (deliberately broken) wire bytes.
+IoStatus write_raw(int fd, std::string_view bytes, int timeout_ms,
+                   const std::atomic<bool>* abort = nullptr);
+
+}  // namespace hepex::svc

@@ -1,0 +1,89 @@
+#pragma once
+/// \file protocol.hpp
+/// \brief The `hepexd` wire schema: request envelope, response envelope,
+///        error taxonomy (docs/service.md).
+///
+/// One frame carries one JSON document. Requests are schema-versioned
+/// (`hepex-svc-request/1`) envelopes around the existing declarative
+/// `cfg::Scenario`; responses (`hepex-svc-response/1`) carry either a
+/// `result` (for runs: a RunReport document, the same artifact the CLI
+/// writes with `--report`) or a structured `error`.
+///
+/// Every admitted request ends in exactly one of
+///   {result, shed, timeout, protocol-error/bad-request} — the error
+/// codes below are that taxonomy. `retry` tells a well-behaved client
+/// whether backing off and resending can succeed (`shed`, `timeout`,
+/// `shutting_down`) or the request itself is broken (`bad_request`,
+/// `protocol`).
+
+#include <string>
+
+#include "util/json.hpp"
+
+namespace hepex::svc {
+
+inline constexpr const char* kRequestSchema = "hepex-svc-request/1";
+inline constexpr const char* kResponseSchema = "hepex-svc-response/1";
+
+/// Structured error codes (the service's whole failure vocabulary).
+enum class ErrorCode {
+  kBadRequest,    ///< parseable frame, invalid envelope/scenario
+  kProtocol,      ///< framing violation (oversized, mid-frame close, ...)
+  kShed,          ///< admission queue full — 429-style, retry later
+  kTimeout,       ///< request deadline expired before completion
+  kShuttingDown,  ///< daemon is draining; no new work accepted
+  kInternal,      ///< unexpected server-side failure
+};
+
+const char* to_string(ErrorCode code);
+/// Parse an error-code string; throws std::invalid_argument on unknowns.
+ErrorCode error_code_from_string(const std::string& s);
+/// Whether a well-behaved client may retry the identical request.
+bool is_retryable(ErrorCode code);
+
+/// A parsed request envelope. The scenario document stays as JSON here;
+/// the server resolves it to a `cfg::Scenario` (with its own validation
+/// errors) only after admission checks pass.
+struct Request {
+  std::string id;      ///< client-chosen echo token (<= 128 bytes)
+  std::string method;  ///< "ping" | "stats" | "advise" | "simulate" | "validate"
+  int timeout_ms = 0;  ///< 0 = server default; capped by the server
+  util::json::Value scenario;  ///< hepex-scenario/1 document; null for
+                               ///< ping/stats
+};
+
+/// True for methods that execute a scenario (and hence need admission).
+bool method_runs_scenario(const std::string& method);
+/// True for any method this protocol version knows.
+bool method_known(const std::string& method);
+
+/// Parse + validate a request payload. Enforces the schema tag, rejects
+/// unknown keys, and type-checks every field, with `request.<path>`
+/// error positions. Throws std::invalid_argument.
+Request parse_request(const std::string& payload,
+                      const util::json::ParseLimits& limits = {});
+
+/// Canonical request payload (client side).
+std::string make_request(const Request& req);
+
+/// Canonical response payloads (server side). Compact, single line.
+std::string make_result_response(const std::string& id,
+                                 util::json::Value result);
+std::string make_error_response(const std::string& id, ErrorCode code,
+                                const std::string& message);
+
+/// A parsed response envelope (client side).
+struct Response {
+  std::string id;
+  bool ok = false;
+  util::json::Value result;              ///< null unless ok
+  ErrorCode code = ErrorCode::kInternal; ///< meaningful unless ok
+  std::string message;
+  bool retry = false;
+};
+
+/// Parse + validate a response payload. Throws std::invalid_argument.
+Response parse_response(const std::string& payload,
+                        const util::json::ParseLimits& limits = {});
+
+}  // namespace hepex::svc

@@ -11,6 +11,7 @@
 #include "fault/plan.hpp"
 #include "hw/dvfs_policy.hpp"
 #include "obs/log.hpp"
+#include "par/cancel.hpp"
 #include "obs/registry.hpp"
 #include "obs/span_agg.hpp"
 #include "obs/trace_sink.hpp"
@@ -460,6 +461,10 @@ struct Run {
   // ---- per-iteration setup ------------------------------------------------
 
   void begin_iteration() {
+    // Cooperative deadline checkpoint (par/cancel.hpp): a cancelled run
+    // abandons at the next iteration boundary — one relaxed atomic load
+    // per iteration, invisible to results when no token is installed.
+    par::check_cancel();
     if (inj != nullptr) apply_thermal_caps();
     const auto& comp = program.compute;
     const double cpi = isa().work_cpi * comp.cpi_factor;

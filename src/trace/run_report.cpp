@@ -28,7 +28,12 @@ void fill_common(obs::RunReport& r, const cfg::Scenario& s,
   canon.obs.metrics_path.clear();
   canon.obs.report_path.clear();
   const std::string canonical = cfg::save_scenario(canon);
-  r.scenario_fingerprint = util::fingerprint(canonical);
+  // Pool width is excluded from the identity too: results are identical
+  // at any --jobs N, and a baseline captured at one width must be able
+  // to gate a rerun pinned to another. The embedded scenario still
+  // records the width actually used.
+  canon.jobs = 0;
+  r.scenario_fingerprint = util::fingerprint(cfg::save_scenario(canon));
   r.scenario = util::json::parse(canonical, "scenario");
   r.platform_preset = s.platform_preset;
   r.machine = s.machine.name;

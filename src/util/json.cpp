@@ -142,10 +142,16 @@ namespace {
 
 class Parser {
  public:
-  Parser(const std::string& text, const std::string& source)
-      : text_(text), source_(source) {}
+  Parser(const std::string& text, const std::string& source,
+         const ParseLimits& limits)
+      : text_(text), source_(source), limits_(limits) {}
 
   Value run() {
+    if (text_.size() > limits_.max_bytes) {
+      fail("document is " + std::to_string(text_.size()) +
+           " bytes, exceeds the " + std::to_string(limits_.max_bytes) +
+           "-byte limit");
+    }
     skip_ws();
     Value v = parse_value();
     skip_ws();
@@ -217,12 +223,23 @@ class Parser {
     }
   }
 
+  /// Container-entry depth guard: the parser recurses per nesting level,
+  /// so adversarial depth is both a stack-exhaustion and a CPU vector.
+  void enter_container() {
+    if (++depth_ > limits_.max_depth) {
+      fail("nesting depth exceeds the limit of " +
+           std::to_string(limits_.max_depth));
+    }
+  }
+
   Value parse_object() {
+    enter_container();
     expect('{');
     Value obj = Value::object();
     skip_ws();
     if (peek() == '}') {
       ++pos_;
+      --depth_;
       return obj;
     }
     while (true) {
@@ -240,16 +257,19 @@ class Parser {
         continue;
       }
       expect('}');
+      --depth_;
       return obj;
     }
   }
 
   Value parse_array() {
+    enter_container();
     expect('[');
     Value arr = Value::array();
     skip_ws();
     if (peek() == ']') {
       ++pos_;
+      --depth_;
       return arr;
     }
     while (true) {
@@ -261,6 +281,7 @@ class Parser {
         continue;
       }
       expect(']');
+      --depth_;
       return arr;
     }
   }
@@ -351,7 +372,9 @@ class Parser {
 
   const std::string& text_;
   const std::string& source_;
+  ParseLimits limits_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 void dump_into(const Value& v, std::string& out, int depth, bool pretty) {
@@ -425,8 +448,9 @@ void dump_into(const Value& v, std::string& out, int depth, bool pretty) {
 
 }  // namespace
 
-Value parse(const std::string& text, const std::string& source) {
-  return Parser(text, source).run();
+Value parse(const std::string& text, const std::string& source,
+            const ParseLimits& limits) {
+  return Parser(text, source, limits).run();
 }
 
 std::string dump(const Value& v) {

@@ -90,10 +90,27 @@ class Value {
 /// Human-readable kind name ("number", "object", ...) for error messages.
 const char* kind_name(Kind k);
 
+/// Hard input limits the parser enforces — the first line of defense
+/// when the bytes come from an untrusted peer (the `hepexd` socket).
+/// The defaults are far above anything a legitimate HEPEX artifact
+/// reaches, so ordinary callers never see them; the service passes a
+/// much tighter budget (svc::framing caps the frame first, then parses
+/// with limits matched to the frame cap).
+struct ParseLimits {
+  /// Maximum container nesting (objects + arrays). The parser is
+  /// recursive; this bounds its stack as well as adversarial depth.
+  std::size_t max_depth = 128;
+  /// Maximum document size in bytes, checked before parsing starts.
+  std::size_t max_bytes = 64u << 20;  // 64 MiB
+};
+
 /// Parse strict JSON. Throws std::invalid_argument with
 /// `"<source>: line L, column C: <why>"` on malformed input (`source`
-/// defaults to "json"). Trailing non-whitespace is an error.
-Value parse(const std::string& text, const std::string& source = "json");
+/// defaults to "json") — including a document that exceeds `limits`
+/// (total size, container nesting depth). Trailing non-whitespace is an
+/// error.
+Value parse(const std::string& text, const std::string& source = "json",
+            const ParseLimits& limits = {});
 
 /// Serialize with two-space indentation and a trailing newline.
 /// Deterministic: dump(parse(dump(v))) == dump(v) for any finite value.

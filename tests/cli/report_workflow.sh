@@ -66,6 +66,13 @@ fi
   echo "FAIL: report check in rerun mode failed" >&2
   exit 1
 }
+# Rerun mode honors --jobs: the pinned width must still pass the gate
+# (virtual-time results are identical at any pool width) and must not be
+# rejected as an unknown flag.
+"$hepex" report check "$tmp/a.json" --skip-host --jobs 2 > /dev/null || {
+  echo "FAIL: report check rerun mode rejected or failed under --jobs 2" >&2
+  exit 1
+}
 
 # 5. A doctored baseline (results poked) must make check exit nonzero.
 sed 's/"energy_j": \([0-9]\)/"energy_j": 9\1/' "$tmp/a.json" \

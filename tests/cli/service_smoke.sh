@@ -1,0 +1,104 @@
+#!/usr/bin/env sh
+# End-to-end pin of the hepexd lifecycle (docs/service.md): the daemon
+# comes up on a Unix socket, survives a chaos-plan load (malformed
+# frames, mid-frame disconnects, oversized headers, a request burst)
+# with zero hard failures, writes a BENCH_service.json with latency
+# percentiles, and drains cleanly on SIGTERM — exit 0, coherent final
+# stats, socket file removed. Usage:
+#
+#   service_smoke.sh <hepexd-binary> <loadgen-binary> <chaos-plan.json>
+set -eu
+
+hepexd=$1
+loadgen=$2
+chaos=$3
+tmp=${TMPDIR:-/tmp}/hepex_svc_$$
+mkdir -p "$tmp"
+sock="$tmp/hepexd.sock"
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+# 1. Start the daemon; a small queue makes the burst mode actually shed.
+"$hepexd" --unix "$sock" --executors 2 --queue 4 \
+  --stats "$tmp/stats.json" > "$tmp/daemon.log" 2>&1 &
+daemon_pid=$!
+
+# Wait for the listening line (bounded).
+i=0
+until grep -q "hepexd listening on" "$tmp/daemon.log" 2>/dev/null; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "FAIL: hepexd never reported listening" >&2
+    cat "$tmp/daemon.log" >&2
+    exit 1
+  fi
+  kill -0 "$daemon_pid" 2>/dev/null || {
+    echo "FAIL: hepexd exited before listening" >&2
+    cat "$tmp/daemon.log" >&2
+    exit 1
+  }
+  sleep 0.1
+done
+
+# 2. Chaos load: the loadgen exits nonzero on any hard failure (daemon
+#    crash, missing reply on a clean request, malformed input accepted).
+"$loadgen" --unix "$sock" --requests 60 --clients 4 \
+  --chaos "$chaos" --out "$tmp/BENCH_service.json" \
+  > "$tmp/loadgen.log" 2>&1 || {
+  echo "FAIL: load generator reported hard failures" >&2
+  cat "$tmp/loadgen.log" >&2
+  cat "$tmp/daemon.log" >&2
+  exit 1
+}
+
+# 3. The bench artifact has the promised shape.
+for key in '"schema": "hepex-bench-service/1"' '"p99_ms"' \
+  '"throughput_rps"' '"outcomes"'; do
+  grep -q "$key" "$tmp/BENCH_service.json" || {
+    echo "FAIL: BENCH_service.json is missing $key" >&2
+    cat "$tmp/BENCH_service.json" >&2
+    exit 1
+  }
+done
+
+# 4. The daemon is still alive after the abuse, then drains on SIGTERM.
+kill -0 "$daemon_pid" || {
+  echo "FAIL: hepexd died during the chaos load" >&2
+  cat "$tmp/daemon.log" >&2
+  exit 1
+}
+kill -TERM "$daemon_pid"
+rc=0
+wait "$daemon_pid" || rc=$?
+daemon_pid=""
+[ "$rc" -eq 0 ] || {
+  echo "FAIL: hepexd exited $rc on SIGTERM (want 0)" >&2
+  cat "$tmp/daemon.log" >&2
+  exit 1
+}
+grep -q "hepexd drained cleanly" "$tmp/daemon.log" || {
+  echo "FAIL: daemon log is missing the clean-drain marker" >&2
+  cat "$tmp/daemon.log" >&2
+  exit 1
+}
+[ ! -e "$sock" ] || {
+  echo "FAIL: socket file survived shutdown" >&2
+  exit 1
+}
+
+# 5. Final stats flushed via --stats are schema-tagged and coherent.
+grep -q '"schema": "hepex-svc-stats/1"' "$tmp/stats.json" || {
+  echo "FAIL: final stats missing schema tag" >&2
+  cat "$tmp/stats.json" >&2
+  exit 1
+}
+grep -q '"requests_ok"' "$tmp/stats.json" || {
+  echo "FAIL: final stats missing counters" >&2
+  exit 1
+}
+
+echo "service smoke OK"

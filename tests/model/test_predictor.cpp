@@ -206,5 +206,91 @@ INSTANTIATE_TEST_SUITE_P(
              (info.param.xeon ? "_Xeon" : "_ARM");
     });
 
+// --- PredictionCache: memoization + LRU bound (hepexd's per-advisor
+// cross-request cache) ----------------------------------------------------
+
+TEST(PredictionCache, MemoizesAndCounts) {
+  const auto& ch = xeon_sp_ch();
+  const TargetInfo t = sp_target();
+  PredictionCache cache;
+  const ClusterConfig a{2, 4, q::Hertz{1.8e9}};
+  const Prediction first = cache.at(ch, t, a);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  const Prediction again = cache.at(ch, t, a);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_DOUBLE_EQ(first.time_s.value(), again.time_s.value());
+  EXPECT_DOUBLE_EQ(first.energy_j.value(), again.energy_j.value());
+  // The cached value is bit-identical to a fresh evaluation.
+  const Prediction fresh = predict(ch, t, a);
+  EXPECT_DOUBLE_EQ(again.time_s.value(), fresh.time_s.value());
+}
+
+TEST(PredictionCache, UnboundedByDefault) {
+  const auto& ch = xeon_sp_ch();
+  const TargetInfo t = sp_target();
+  PredictionCache cache;
+  EXPECT_EQ(cache.capacity(), 0u);
+  for (int n = 1; n <= 16; ++n) {
+    (void)cache.at(ch, t, {n, 4, q::Hertz{1.8e9}});
+  }
+  EXPECT_EQ(cache.size(), 16u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(PredictionCache, EvictsLeastRecentlyUsedAtCapacity) {
+  const auto& ch = xeon_sp_ch();
+  const TargetInfo t = sp_target();
+  PredictionCache cache;
+  cache.set_capacity(2);
+  const ClusterConfig a{1, 4, q::Hertz{1.8e9}};
+  const ClusterConfig b{2, 4, q::Hertz{1.8e9}};
+  const ClusterConfig c{4, 4, q::Hertz{1.8e9}};
+  (void)cache.at(ch, t, a);  // miss: {a}
+  (void)cache.at(ch, t, b);  // miss: {a, b}
+  (void)cache.at(ch, t, a);  // hit, a becomes hottest
+  (void)cache.at(ch, t, c);  // miss, evicts b (coldest): {a, c}
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  const auto hits_before = cache.hits();
+  (void)cache.at(ch, t, a);  // still resident
+  EXPECT_EQ(cache.hits(), hits_before + 1);
+  (void)cache.at(ch, t, b);  // was evicted: a fresh miss
+  EXPECT_EQ(cache.misses(), 4u);
+}
+
+TEST(PredictionCache, ShrinkingCapacityEvictsImmediately) {
+  const auto& ch = xeon_sp_ch();
+  const TargetInfo t = sp_target();
+  PredictionCache cache;
+  for (int n = 1; n <= 8; ++n) {
+    (void)cache.at(ch, t, {n, 4, q::Hertz{1.8e9}});
+  }
+  EXPECT_EQ(cache.size(), 8u);
+  cache.set_capacity(3);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 5u);
+  // The three hottest (most recently inserted) survive.
+  const auto hits_before = cache.hits();
+  (void)cache.at(ch, t, {8, 4, q::Hertz{1.8e9}});
+  (void)cache.at(ch, t, {7, 4, q::Hertz{1.8e9}});
+  (void)cache.at(ch, t, {6, 4, q::Hertz{1.8e9}});
+  EXPECT_EQ(cache.hits(), hits_before + 3);
+}
+
+TEST(PredictionCache, ClearResetsContentsAndCounters) {
+  const auto& ch = xeon_sp_ch();
+  const TargetInfo t = sp_target();
+  PredictionCache cache;
+  (void)cache.at(ch, t, {2, 4, q::Hertz{1.8e9}});
+  (void)cache.at(ch, t, {2, 4, q::Hertz{1.8e9}});
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  (void)cache.at(ch, t, {2, 4, q::Hertz{1.8e9}});
+  EXPECT_EQ(cache.misses(), 1u);  // re-evaluated after clear
+}
+
 }  // namespace
 }  // namespace hepex::model

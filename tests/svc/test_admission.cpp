@@ -1,0 +1,127 @@
+// BoundedQueue — hepexd's admission valve. Full means shed (count it,
+// never block a connection thread); close means drain (admitted work is
+// still popped, nothing is silently dropped).
+
+#include "svc/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace hepex::svc {
+namespace {
+
+TEST(BoundedQueue, PushPopFifo) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_TRUE(q.try_push(3));
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.pop().value(), 3);
+  EXPECT_EQ(q.admitted(), 3u);
+  EXPECT_EQ(q.shed(), 0u);
+}
+
+TEST(BoundedQueue, FullQueueShedsAndCounts) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  bool closed = true;
+  EXPECT_FALSE(q.try_push(3, &closed));
+  EXPECT_FALSE(closed);  // rejected for capacity, not shutdown
+  EXPECT_EQ(q.shed(), 1u);
+  EXPECT_EQ(q.admitted(), 2u);
+  // Draining one slot readmits.
+  (void)q.pop();
+  EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(BoundedQueue, CapacityFloorIsOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_FALSE(q.try_push(2));
+}
+
+TEST(BoundedQueue, HighWaterTracksPeakDepth) {
+  BoundedQueue<int> q(8);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_TRUE(q.try_push(3));
+  (void)q.pop();
+  (void)q.pop();
+  EXPECT_TRUE(q.try_push(4));
+  EXPECT_EQ(q.high_water(), 3u);
+}
+
+TEST(BoundedQueue, CloseRefusesNewButDrainsAdmitted) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  bool closed = false;
+  EXPECT_FALSE(q.try_push(3, &closed));
+  EXPECT_TRUE(closed);  // rejected for shutdown, not counted as shed
+  EXPECT_EQ(q.shed(), 0u);
+  // Admitted work survives the close — drain semantics.
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.pop().has_value());  // empty + closed = done
+  q.close();                          // idempotent
+}
+
+TEST(BoundedQueue, PopBlocksUntilPushOrClose) {
+  BoundedQueue<int> q(2);
+  std::optional<int> got;
+  std::thread consumer([&] { got = q.pop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(q.try_push(7));
+  consumer.join();
+  EXPECT_EQ(got.value(), 7);
+
+  std::optional<int> after_close = std::optional<int>(1);
+  std::thread waiter([&] { after_close = q.pop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  waiter.join();
+  EXPECT_FALSE(after_close.has_value());
+}
+
+TEST(BoundedQueue, ConcurrentProducersConsumersConserveItems) {
+  BoundedQueue<int> q(16);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  std::atomic<int> consumed{0};
+  std::atomic<int> pushed{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < 3; ++c) {
+    threads.emplace_back([&] {
+      while (q.pop().has_value()) consumed.fetch_add(1);
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (q.try_push(i)) pushed.fetch_add(1);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[3 + p].join();
+  q.close();
+  for (int c = 0; c < 3; ++c) threads[c].join();
+  // Everything admitted is consumed (drain), everything else was shed.
+  EXPECT_EQ(consumed.load(), pushed.load());
+  EXPECT_EQ(q.admitted(), static_cast<std::size_t>(pushed.load()));
+  EXPECT_EQ(q.shed() + q.admitted(),
+            static_cast<std::size_t>(kProducers * kPerProducer));
+}
+
+}  // namespace
+}  // namespace hepex::svc

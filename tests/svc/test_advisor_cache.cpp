@@ -1,0 +1,162 @@
+// AdvisorCache — hepexd's cross-request memory. The key claims: the
+// fingerprint is *semantic* (presentation fields don't split the cache),
+// leases serialize same-fingerprint users and exclude stats readers,
+// eviction is LRU and keeps whole-lifetime aggregates.
+
+#include "svc/advisor_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "cfg/scenario.hpp"
+#include "hw/presets.hpp"
+#include "util/json.hpp"
+#include "workload/programs.hpp"
+
+namespace hepex::svc {
+namespace {
+
+cfg::Scenario base_scenario() {
+  cfg::Scenario s = cfg::default_scenario();
+  // Class A: the smallest class strictly above the default class-W
+  // characterization baseline (the baseline must be smaller than the
+  // target).
+  s.input = workload::InputClass::kA;
+  s.program = workload::program_by_name(s.program_name, s.input);
+  return s;
+}
+
+cfg::Scenario program_scenario(const std::string& name) {
+  cfg::Scenario s = base_scenario();
+  s.program_name = name;
+  s.program = workload::program_by_name(name, s.input);
+  return s;
+}
+
+TEST(AdvisorFingerprint, IgnoresPresentationFields) {
+  const cfg::Scenario plain = base_scenario();
+  const std::string fp = advisor_fingerprint(plain);
+
+  cfg::Scenario dressed = plain;
+  dressed.name = "some label";
+  dressed.jobs = 7;
+  dressed.obs.trace_path = "/tmp/trace.json";
+  dressed.obs.profile = true;
+  dressed.config = hw::ClusterConfig{4, 8, q::Hertz{1.8e9}};
+  dressed.sim.replicas = 5;
+  EXPECT_EQ(advisor_fingerprint(dressed), fp);
+}
+
+TEST(AdvisorFingerprint, SplitsOnModelRelevantFields) {
+  const std::string fp = advisor_fingerprint(base_scenario());
+  EXPECT_NE(advisor_fingerprint(program_scenario("LU")), fp);
+
+  cfg::Scenario slower_sim = base_scenario();
+  slower_sim.sim.chunks_per_iteration += 4;  // feeds characterization
+  EXPECT_NE(advisor_fingerprint(slower_sim), fp);
+
+  cfg::Scenario other_seed = base_scenario();
+  other_seed.sim.seed += 1;
+  EXPECT_NE(advisor_fingerprint(other_seed), fp);
+}
+
+TEST(AdvisorCache, SameFingerprintHitsSameAdvisor) {
+  AdvisorCache cache(4);
+  core::Advisor* first = nullptr;
+  {
+    auto lease = cache.lease(base_scenario());
+    first = &lease.advisor();
+  }
+  EXPECT_EQ(cache.misses(), 1u);
+  {
+    cfg::Scenario renamed = base_scenario();
+    renamed.name = "same thing, different label";
+    auto lease = cache.lease(renamed);
+    EXPECT_EQ(&lease.advisor(), first);
+  }
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(AdvisorCache, EvictsLeastRecentlyUsed) {
+  AdvisorCache cache(2);
+  const cfg::Scenario a = base_scenario();
+  const cfg::Scenario b = program_scenario("LU");
+  const cfg::Scenario c = program_scenario("BT");
+  { auto l = cache.lease(a); }  // {a}
+  { auto l = cache.lease(b); }  // {a, b}
+  { auto l = cache.lease(a); }  // a hottest
+  { auto l = cache.lease(c); }  // evicts b
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  { auto l = cache.lease(a); }  // still resident
+  EXPECT_EQ(cache.hits(), 2u);
+  { auto l = cache.lease(b); }  // rebuilt
+  EXPECT_EQ(cache.misses(), 4u);
+}
+
+TEST(AdvisorCache, SameFingerprintLeasesSerialize) {
+  AdvisorCache cache(4);
+  std::atomic<bool> second_acquired{false};
+  auto held = cache.lease(base_scenario());
+  std::thread contender([&] {
+    auto l = cache.lease(base_scenario());
+    second_acquired.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_FALSE(second_acquired.load());  // blocked on the held lease
+  { auto moved = std::move(held); }      // release
+  contender.join();
+  EXPECT_TRUE(second_acquired.load());
+}
+
+TEST(AdvisorCache, DistinctFingerprintsLeaseConcurrently) {
+  AdvisorCache cache(4);
+  auto held = cache.lease(base_scenario());
+  std::atomic<bool> acquired{false};
+  std::thread other([&] {
+    auto l = cache.lease(program_scenario("LU"));
+    acquired.store(true);
+  });
+  // Must complete while `held` is still alive.
+  for (int i = 0; i < 500 && !acquired.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(acquired.load());
+  other.join();
+}
+
+TEST(AdvisorCache, StatsAggregatePredictionCounters) {
+  AdvisorCache cache(2, /*prediction_cap=*/64);
+  {
+    auto lease = cache.lease(base_scenario());
+    // Touch the model twice: one prediction miss, one hit.
+    const auto cfgs = base_scenario().sweep_configs();
+    ASSERT_FALSE(cfgs.empty());
+    (void)lease.advisor().predict(cfgs.front());
+    (void)lease.advisor().predict(cfgs.front());
+  }
+  const util::json::Value stats = cache.stats_json();
+  ASSERT_TRUE(stats.is_object());
+  EXPECT_EQ(stats.find("entries")->as_number(), 1.0);
+  EXPECT_EQ(stats.find("capacity")->as_number(), 2.0);
+  EXPECT_EQ(stats.find("misses")->as_number(), 1.0);
+  const util::json::Value* pred = stats.find("prediction_cache");
+  ASSERT_NE(pred, nullptr);
+  EXPECT_GE(pred->find("hits")->as_number(), 1.0);
+  EXPECT_GE(pred->find("misses")->as_number(), 1.0);
+
+  // Eviction folds the retired advisor's counters into the aggregate.
+  { auto l = cache.lease(program_scenario("LU")); }
+  { auto l = cache.lease(program_scenario("BT")); }  // evicts base
+  const util::json::Value after = cache.stats_json();
+  EXPECT_GE(after.find("prediction_cache")->find("hits")->as_number(), 1.0);
+  EXPECT_EQ(after.find("evictions")->as_number(), 1.0);
+}
+
+}  // namespace
+}  // namespace hepex::svc

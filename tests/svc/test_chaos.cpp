@@ -1,0 +1,102 @@
+// ChaosPlan — seeded, declarative self-abuse. Plans are plain data with
+// the same contract as every other hepex artifact: schema-tagged,
+// unknown keys rejected, field-pinned errors, byte-stable round-trips.
+
+#include "svc/chaos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace hepex::svc {
+namespace {
+
+std::string expect_invalid(const std::string& text) {
+  try {
+    (void)load_chaos_plan(text, "chaos");
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "plan accepted: " << text;
+  return "";
+}
+
+TEST(Chaos, DefaultsValidateAndRoundTrip) {
+  ChaosPlan plan;
+  EXPECT_NO_THROW(plan.validate());
+  const std::string text = save_chaos_plan(plan);
+  const ChaosPlan back = load_chaos_plan(text);
+  EXPECT_EQ(save_chaos_plan(back), text);  // byte-stable fixed point
+  EXPECT_EQ(back.seed, 42u);
+  EXPECT_DOUBLE_EQ(back.slow_loris_prob, 0.0);
+}
+
+TEST(Chaos, FullPlanRoundTripsEveryField) {
+  ChaosPlan plan;
+  plan.seed = 7;
+  plan.slow_loris_prob = 0.05;
+  plan.slow_loris_stall_ms = 120;
+  plan.disconnect_prob = 0.1;
+  plan.malformed_prob = 0.15;
+  plan.oversize_prob = 0.2;
+  plan.burst_every = 5;
+  plan.burst_size = 12;
+  const ChaosPlan back = load_chaos_plan(save_chaos_plan(plan));
+  EXPECT_EQ(back.seed, 7u);
+  EXPECT_DOUBLE_EQ(back.slow_loris_prob, 0.05);
+  EXPECT_EQ(back.slow_loris_stall_ms, 120);
+  EXPECT_DOUBLE_EQ(back.disconnect_prob, 0.1);
+  EXPECT_DOUBLE_EQ(back.malformed_prob, 0.15);
+  EXPECT_DOUBLE_EQ(back.oversize_prob, 0.2);
+  EXPECT_EQ(back.burst_every, 5);
+  EXPECT_EQ(back.burst_size, 12);
+}
+
+TEST(Chaos, SchemaTagIsEnforced) {
+  EXPECT_NE(expect_invalid(R"({"seed": 1})").find("schema"),
+            std::string::npos);
+  EXPECT_NE(
+      expect_invalid(R"({"schema": "hepex-chaos-plan/2"})").find("schema"),
+      std::string::npos);
+}
+
+TEST(Chaos, UnknownKeysAreRejected) {
+  EXPECT_NE(expect_invalid(
+                R"({"schema": "hepex-chaos-plan/1", "slow_lorris_prob": 0.1})")
+                .find("slow_lorris_prob"),
+            std::string::npos);
+}
+
+TEST(Chaos, OutOfRangeFieldsArePinnedByName) {
+  EXPECT_NE(expect_invalid(
+                R"({"schema": "hepex-chaos-plan/1", "disconnect_prob": 1.5})")
+                .find("disconnect_prob"),
+            std::string::npos);
+  EXPECT_NE(expect_invalid(
+                R"({"schema": "hepex-chaos-plan/1", "malformed_prob": -0.1})")
+                .find("malformed_prob"),
+            std::string::npos);
+  EXPECT_NE(expect_invalid(
+                R"({"schema": "hepex-chaos-plan/1", "burst_every": -1})")
+                .find("burst_every"),
+            std::string::npos);
+}
+
+TEST(Chaos, ProbabilitiesMayNotSumPastOne) {
+  // Each request draws one behavior; the branch probabilities must leave
+  // room for clean traffic to share the stream.
+  ChaosPlan plan;
+  plan.slow_loris_prob = 0.5;
+  plan.disconnect_prob = 0.3;
+  plan.malformed_prob = 0.3;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(Chaos, MissingFileIsARuntimeError) {
+  EXPECT_THROW((void)load_chaos_plan_file("/nonexistent/chaos.json"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hepex::svc

@@ -1,0 +1,175 @@
+// Length-prefixed framing — the transport's defense layer. Every
+// abusive wire pattern the chaos plan generates must map to its IoStatus:
+// oversized headers die before any payload read, zero-length and
+// mid-frame EOF are protocol violations, slow peers hit the wall-clock
+// deadline, and the abort flag turns waits into kAborted.
+
+#include "svc/framing.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace hepex::svc {
+namespace {
+
+/// A connected AF_UNIX stream pair with RAII ends.
+struct Pair {
+  Socket a, b;
+  Pair() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = Socket(fds[0]);
+    b = Socket(fds[1]);
+  }
+};
+
+TEST(Framing, RoundTripsAPayload) {
+  Pair p;
+  const std::string payload = R"({"hello": "world"})";
+  EXPECT_EQ(write_frame(p.a.fd(), payload, 1000), IoStatus::kOk);
+  const FrameResult r = read_frame(p.b.fd(), 1 << 20, 1000);
+  EXPECT_EQ(r.status, IoStatus::kOk);
+  EXPECT_EQ(r.payload, payload);
+}
+
+TEST(Framing, EncodeFrameIsBigEndianHeaderPlusBytes) {
+  const std::string f = encode_frame("abc");
+  ASSERT_EQ(f.size(), kFrameHeaderBytes + 3);
+  EXPECT_EQ(static_cast<unsigned char>(f[0]), 0u);
+  EXPECT_EQ(static_cast<unsigned char>(f[1]), 0u);
+  EXPECT_EQ(static_cast<unsigned char>(f[2]), 0u);
+  EXPECT_EQ(static_cast<unsigned char>(f[3]), 3u);
+  EXPECT_EQ(f.substr(4), "abc");
+}
+
+TEST(Framing, CleanCloseAtBoundaryIsEof) {
+  Pair p;
+  p.a.close();
+  const FrameResult r = read_frame(p.b.fd(), 1 << 20, 1000);
+  EXPECT_EQ(r.status, IoStatus::kEof);
+}
+
+TEST(Framing, MidFrameCloseIsAProtocolViolation) {
+  Pair p;
+  // Header promising 100 bytes, then only 10, then close.
+  const std::string partial = encode_frame(std::string(100, 'x')).substr(0, 14);
+  EXPECT_EQ(write_raw(p.a.fd(), partial, 1000), IoStatus::kOk);
+  p.a.close();
+  const FrameResult r = read_frame(p.b.fd(), 1 << 20, 1000);
+  EXPECT_EQ(r.status, IoStatus::kProtocol);
+}
+
+TEST(Framing, ZeroLengthFrameIsAProtocolViolation) {
+  Pair p;
+  const char header[4] = {0, 0, 0, 0};
+  EXPECT_EQ(write_raw(p.a.fd(), std::string_view(header, 4), 1000),
+            IoStatus::kOk);
+  const FrameResult r = read_frame(p.b.fd(), 1 << 20, 1000);
+  EXPECT_EQ(r.status, IoStatus::kProtocol);
+}
+
+TEST(Framing, OversizedHeaderDiesWithoutReadingThePayload) {
+  Pair p;
+  // Header declares 512 MiB; not a single payload byte is ever sent.
+  const std::uint32_t declared = 512u << 20;
+  char header[4] = {static_cast<char>(declared >> 24),
+                    static_cast<char>((declared >> 16) & 0xff),
+                    static_cast<char>((declared >> 8) & 0xff),
+                    static_cast<char>(declared & 0xff)};
+  EXPECT_EQ(write_raw(p.a.fd(), std::string_view(header, 4), 1000),
+            IoStatus::kOk);
+  const FrameResult r = read_frame(p.b.fd(), /*max_payload=*/1 << 20, 1000);
+  EXPECT_EQ(r.status, IoStatus::kOversized);
+  EXPECT_NE(r.message.find("536870912"), std::string::npos) << r.message;
+}
+
+TEST(Framing, SlowPeerHitsTheWallClockDeadline) {
+  Pair p;
+  // Only the header arrives; the payload never does. The read must give
+  // up at ~its budget, not hang.
+  const std::string frame = encode_frame("0123456789");
+  EXPECT_EQ(write_raw(p.a.fd(), frame.substr(0, 6), 1000), IoStatus::kOk);
+  const auto t0 = std::chrono::steady_clock::now();
+  const FrameResult r = read_frame(p.b.fd(), 1 << 20, /*timeout_ms=*/150);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  EXPECT_EQ(r.status, IoStatus::kTimeout);
+  EXPECT_GE(ms, 100);
+  EXPECT_LT(ms, 5000);
+}
+
+TEST(Framing, AbortFlagCancelsAnIdleRead) {
+  Pair p;
+  std::atomic<bool> abort{false};
+  std::thread flipper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    abort.store(true);
+  });
+  // Long timeout: only the abort flag can end this read early.
+  const FrameResult r =
+      read_frame(p.b.fd(), 1 << 20, /*timeout_ms=*/30'000, &abort);
+  flipper.join();
+  EXPECT_EQ(r.status, IoStatus::kAborted);
+}
+
+TEST(Framing, BackToBackFramesStaySeparated) {
+  Pair p;
+  EXPECT_EQ(write_frame(p.a.fd(), "first", 1000), IoStatus::kOk);
+  EXPECT_EQ(write_frame(p.a.fd(), "second", 1000), IoStatus::kOk);
+  EXPECT_EQ(read_frame(p.b.fd(), 1 << 20, 1000).payload, "first");
+  EXPECT_EQ(read_frame(p.b.fd(), 1 << 20, 1000).payload, "second");
+}
+
+TEST(Framing, TcpListenConnectAcceptRoundTrip) {
+  int port = 0;
+  Socket listener = listen_tcp(0, &port);
+  ASSERT_TRUE(listener.valid());
+  ASSERT_GT(port, 0);
+  Socket client = connect_tcp("127.0.0.1", port);
+  Socket server = accept_connection(listener, 1000);
+  ASSERT_TRUE(server.valid());
+  EXPECT_EQ(write_frame(client.fd(), "over tcp", 1000), IoStatus::kOk);
+  EXPECT_EQ(read_frame(server.fd(), 1 << 20, 1000).payload, "over tcp");
+}
+
+TEST(Framing, AcceptHonorsTimeoutAndAbort) {
+  int port = 0;
+  Socket listener = listen_tcp(0, &port);
+  const auto t0 = std::chrono::steady_clock::now();
+  Socket none = accept_connection(listener, /*timeout_ms=*/120);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  EXPECT_FALSE(none.valid());
+  EXPECT_GE(ms, 100);
+
+  std::atomic<bool> abort{false};
+  std::thread flipper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    abort.store(true);
+  });
+  Socket aborted = accept_connection(listener, /*timeout_ms=*/30'000, &abort);
+  flipper.join();
+  EXPECT_FALSE(aborted.valid());
+}
+
+TEST(Framing, StatusNamesAreStable) {
+  EXPECT_STREQ(to_string(IoStatus::kOk), "ok");
+  EXPECT_STREQ(to_string(IoStatus::kEof), "eof");
+  EXPECT_STREQ(to_string(IoStatus::kTimeout), "timeout");
+  EXPECT_STREQ(to_string(IoStatus::kAborted), "aborted");
+  EXPECT_STREQ(to_string(IoStatus::kOversized), "oversized");
+  EXPECT_STREQ(to_string(IoStatus::kProtocol), "protocol");
+  EXPECT_STREQ(to_string(IoStatus::kError), "error");
+}
+
+}  // namespace
+}  // namespace hepex::svc

@@ -121,5 +121,70 @@ TEST(Json, EqualityIsStructural) {
   EXPECT_FALSE(parse(R"({"a": 1})") == parse(R"({"a": 2})"));
 }
 
+// --- adversarial-input limits (hepexd's first parsing defense) ----------
+
+namespace {
+std::string nested_arrays(std::size_t depth) {
+  return std::string(depth, '[') + std::string(depth, ']');
+}
+}  // namespace
+
+TEST(JsonLimits, DepthAtTheBoundIsAccepted) {
+  ParseLimits limits;
+  limits.max_depth = 8;
+  EXPECT_NO_THROW(parse(nested_arrays(8), "doc", limits));
+  // Mixed containers count every nesting level.
+  EXPECT_NO_THROW(parse(R"({"a": [{"b": [1]}]})", "doc", limits));
+}
+
+TEST(JsonLimits, DepthOverTheBoundIsRejectedWithPosition) {
+  ParseLimits limits;
+  limits.max_depth = 8;
+  try {
+    parse(nested_arrays(9), "doc", limits);
+    FAIL() << "depth-9 document accepted under max_depth=8";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    // Position pins the offending open bracket: column 9 of line 1.
+    EXPECT_NE(what.find("doc: line 1, column 9"), std::string::npos) << what;
+    EXPECT_NE(what.find("nesting depth exceeds the limit of 8"),
+              std::string::npos)
+        << what;
+  }
+}
+
+TEST(JsonLimits, DefaultDepthLimitStopsABomb) {
+  // A 100k-deep bomb must be rejected (not crash the recursive parser).
+  EXPECT_THROW(parse(nested_arrays(100'000)), std::invalid_argument);
+  // ...while the default still admits any sane document.
+  EXPECT_NO_THROW(parse(nested_arrays(128)));
+}
+
+TEST(JsonLimits, SizeOverTheBoundIsRejectedBeforeParsing) {
+  ParseLimits limits;
+  limits.max_bytes = 64;
+  const std::string big = "\"" + std::string(100, 'x') + "\"";
+  try {
+    parse(big, "frame", limits);
+    FAIL() << "102-byte document accepted under max_bytes=64";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_EQ(what.find("frame:"), 0u) << what;
+    EXPECT_NE(what.find("102 bytes"), std::string::npos) << what;
+    EXPECT_NE(what.find("exceeds the"), std::string::npos) << what;
+  }
+  EXPECT_NO_THROW(parse("\"" + std::string(62, 'x') + "\"", "frame", limits));
+}
+
+TEST(JsonLimits, SourceLabelPrefixesEveryError) {
+  try {
+    parse("[1, oops]", "request.scenario");
+    FAIL() << "malformed document accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string(e.what()).find("request.scenario: line 1"), 0u)
+        << e.what();
+  }
+}
+
 }  // namespace
 }  // namespace hepex::util::json

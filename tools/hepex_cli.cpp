@@ -567,8 +567,18 @@ int report_check(const util::CliArgs& args) {
       fail_require("baseline " + base_path +
                    " does not embed its scenario; pass --against FILE");
     }
-    const cfg::Scenario s = cfg::load_scenario(
+    cfg::Scenario s = cfg::load_scenario(
         util::json::dump(baseline.scenario), base_path + ": scenario");
+    // Jobs precedence matches scenario_from: an explicit --jobs beats the
+    // width recorded in the baseline (CI runners with fewer cores than
+    // the capture host must be able to pin the pool), and the override is
+    // re-embedded so the candidate report records the width actually
+    // used. main() already applied --jobs to the process pool.
+    if (const auto jobs = args.get("jobs")) {
+      s.jobs = util::parse_jobs(*jobs);
+    } else if (s.jobs != 0) {
+      par::set_default_jobs(s.jobs);
+    }
     obs::Registry registry;
     obs::SpanAggregator spans;
     trace::SimOptions opt = trace::sim_options_from_scenario(s);

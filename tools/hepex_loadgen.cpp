@@ -1,0 +1,517 @@
+/// \file hepex_loadgen.cpp
+/// \brief hepexd load generator + chaos driver (docs/service.md).
+///
+/// Drives a running hepexd with `--clients` concurrent connections for
+/// `--requests` total requests, optionally abusing it per a seeded
+/// `svc::ChaosPlan` (--chaos FILE): slow-loris trickles, mid-frame
+/// disconnects, fuzzed payloads, oversized headers and response-deferred
+/// bursts. Every abusive request must die as its structured error and
+/// every well-formed request must still complete; anything else is a
+/// *hard failure* (nonzero exit).
+///
+/// Results — latency percentiles over clean requests, throughput, and
+/// per-outcome counts — go to `--out` as a `hepex-bench-service/1`
+/// document (the committed BENCH_service.json baseline and the CI
+/// artifact share this schema).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/chaos.hpp"
+#include "svc/client.hpp"
+#include "svc/framing.hpp"
+#include "svc/protocol.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/statistics.hpp"
+
+namespace {
+
+namespace svc = hepex::svc;
+namespace json = hepex::util::json;
+using Clock = std::chrono::steady_clock;
+
+struct Target {
+  std::string unix_path;  ///< preferred when non-empty
+  int port = 0;
+};
+
+svc::Client connect_target(const Target& t) {
+  return t.unix_path.empty() ? svc::Client::connect_tcp_socket(t.port)
+                             : svc::Client::connect_unix_socket(t.unix_path);
+}
+
+/// The small deterministic scenario every clean request carries: SP on
+/// the Xeon preset, a single fast configuration. Simulate runs class S;
+/// advise and validate both characterize, so their target class must
+/// sit strictly above the class-W characterization baseline — they
+/// carry class A (the advisor cache makes every advise after the first
+/// a frontier lookup).
+json::Value make_scenario(const std::string& method) {
+  json::Value platform = json::Value::object();
+  platform.set("preset", "xeon");
+  json::Value workload = json::Value::object();
+  workload.set("program", "SP");
+  workload.set("class", method == "simulate" ? "S" : "A");
+  json::Value s = json::Value::object();
+  s.set("schema", "hepex-scenario/1");
+  s.set("platform", std::move(platform));
+  s.set("workload", std::move(workload));
+  if (method == "validate") {
+    // Validation simulates "physical" baseline runs, so the sweep must
+    // stay within the preset's physically available nodes.
+    json::Value nodes = json::Value::array();
+    for (const int n : {1, 2, 4, 8}) nodes.push_back(json::Value(n));
+    json::Value sweep = json::Value::object();
+    sweep.set("nodes", std::move(nodes));
+    s.set("sweep", std::move(sweep));
+  } else {
+    json::Value config = json::Value::object();
+    config.set("n", 2);
+    config.set("c", 2);
+    config.set("f", "1800000000Hz");
+    s.set("config", std::move(config));
+  }
+  return s;
+}
+
+/// Shared tallies across client threads.
+struct Tally {
+  std::mutex mu;
+  std::vector<double> latencies_ms;  ///< clean, successful requests only
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t timeout = 0;
+  std::uint64_t bad_request = 0;
+  std::uint64_t protocol = 0;
+  std::uint64_t shutting_down = 0;
+  std::uint64_t internal = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t chaos_slow_loris = 0;
+  std::uint64_t chaos_disconnect = 0;
+  std::uint64_t chaos_malformed = 0;
+  std::uint64_t chaos_oversize = 0;
+  std::uint64_t bursts = 0;
+  std::vector<std::string> hard_failures;
+
+  void fail(const std::string& why) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (hard_failures.size() < 32) hard_failures.push_back(why);
+  }
+  void count_code(svc::ErrorCode code) {
+    std::lock_guard<std::mutex> lock(mu);
+    switch (code) {
+      case svc::ErrorCode::kShed: ++shed; break;
+      case svc::ErrorCode::kTimeout: ++timeout; break;
+      case svc::ErrorCode::kBadRequest: ++bad_request; break;
+      case svc::ErrorCode::kProtocol: ++protocol; break;
+      case svc::ErrorCode::kShuttingDown: ++shutting_down; break;
+      case svc::ErrorCode::kInternal: ++internal; break;
+    }
+  }
+};
+
+/// One fuzzed request payload, drawn from the seeded stream. Every
+/// variant must earn `bad_request` (the frame itself is well-formed).
+std::string fuzz_payload(hepex::util::Rng& rng, const std::string& clean) {
+  switch (static_cast<int>(rng.uniform01() * 5)) {
+    case 0: return clean.substr(0, clean.size() / 2);  // truncated JSON
+    case 1: return "{\"schema\":\"hepex-svc-request/9\",\"id\":\"x\","
+                   "\"method\":\"ping\"}";             // wrong schema tag
+    case 2: return "{\"schema\":\"hepex-svc-request/1\",\"id\":\"x\","
+                   "\"method\":\"ping\",\"surprise\":1}";  // unknown key
+    case 3: return "{\"schema\":\"hepex-svc-request/1\",\"id\":42,"
+                   "\"method\":\"ping\"}";             // type confusion
+    default: {
+      // Nesting bomb: depth beyond the parser's limit.
+      std::string deep = "{\"schema\":\"hepex-svc-request/1\",\"id\":\"x\","
+                         "\"method\":\"advise\",\"scenario\":";
+      for (int i = 0; i < 200; ++i) deep += "{\"a\":";
+      deep += "1";
+      for (int i = 0; i < 200; ++i) deep += "}";
+      deep += "}";
+      return deep;
+    }
+  }
+}
+
+void client_loop(int client_idx, int requests, const Target& target,
+                 const svc::ChaosPlan& chaos, const std::string& method,
+                 int timeout_ms, Tally& tally) {
+  hepex::util::Rng rng(chaos.seed + 0x9E37u * static_cast<unsigned>(client_idx));
+  const json::Value scenario = make_scenario(method);
+  svc::Client client = connect_target(target);
+  int serial = 0;
+
+  auto reconnect = [&] {
+    client = connect_target(target);
+    std::lock_guard<std::mutex> lock(tally.mu);
+    ++tally.reconnects;
+  };
+
+  auto next_request = [&](const std::string& m) {
+    svc::Request req;
+    char idbuf[32];
+    std::snprintf(idbuf, sizeof(idbuf), "c%d-%d", client_idx, serial++);
+    req.id = idbuf;
+    req.method = m;
+    req.timeout_ms = timeout_ms;
+    if (svc::method_runs_scenario(m)) req.scenario = scenario;
+    return req;
+  };
+
+  for (int i = 0; i < requests; ++i) {
+    {
+      std::lock_guard<std::mutex> lock(tally.mu);
+      ++tally.sent;
+    }
+    const double draw = rng.uniform01();
+    try {
+      if (draw < chaos.oversize_prob) {
+        // Header declaring 512 MiB; no payload follows. The server must
+        // reject on the header alone and hang up.
+        {
+          std::lock_guard<std::mutex> lock(tally.mu);
+          ++tally.chaos_oversize;
+        }
+        const std::uint32_t len = 512u << 20;
+        char header[4] = {static_cast<char>(len >> 24),
+                          static_cast<char>((len >> 16) & 0xff),
+                          static_cast<char>((len >> 8) & 0xff),
+                          static_cast<char>(len & 0xff)};
+        client.send_bytes(std::string_view(header, 4), timeout_ms);
+        svc::FrameResult reply = client.read_reply(1u << 20, timeout_ms);
+        if (reply.status == svc::IoStatus::kOk) {
+          const svc::Response res = svc::parse_response(reply.payload);
+          if (res.ok) tally.fail("oversized frame was accepted");
+        }
+        reconnect();
+      } else if (draw < chaos.oversize_prob + chaos.disconnect_prob) {
+        // Header plus a strict prefix of the payload, then hang up.
+        {
+          std::lock_guard<std::mutex> lock(tally.mu);
+          ++tally.chaos_disconnect;
+        }
+        const std::string payload = svc::make_request(next_request(method));
+        const std::string framed = svc::encode_frame(payload);
+        client.send_bytes(
+            std::string_view(framed.data(), framed.size() / 2), timeout_ms);
+        client.close();
+        reconnect();
+      } else if (draw < chaos.oversize_prob + chaos.disconnect_prob +
+                            chaos.slow_loris_prob) {
+        // Trickle the frame in 8-byte chunks with stalls: the server's
+        // whole-frame deadline must kill it (error reply or close).
+        {
+          std::lock_guard<std::mutex> lock(tally.mu);
+          ++tally.chaos_slow_loris;
+        }
+        const std::string payload = svc::make_request(next_request("ping"));
+        const std::string framed = svc::encode_frame(payload);
+        bool peer_gone = false;
+        for (std::size_t off = 0; off < framed.size(); off += 8) {
+          const std::size_t n = std::min<std::size_t>(8, framed.size() - off);
+          if (client.send_bytes(std::string_view(framed.data() + off, n),
+                                timeout_ms) != svc::IoStatus::kOk) {
+            peer_gone = true;  // server gave up on us — the defense worked
+            break;
+          }
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(chaos.slow_loris_stall_ms));
+        }
+        if (!peer_gone) {
+          svc::FrameResult reply = client.read_reply(1u << 20, timeout_ms);
+          if (reply.status == svc::IoStatus::kOk) {
+            const svc::Response res = svc::parse_response(reply.payload);
+            if (!res.ok) tally.count_code(res.code);
+            // A fast-enough trickle may legitimately finish in budget;
+            // an ok reply here is not a failure.
+          }
+        }
+        reconnect();
+      } else if (draw < chaos.oversize_prob + chaos.disconnect_prob +
+                            chaos.slow_loris_prob + chaos.malformed_prob) {
+        // Well-framed garbage: must come back bad_request, and the
+        // connection must survive.
+        {
+          std::lock_guard<std::mutex> lock(tally.mu);
+          ++tally.chaos_malformed;
+        }
+        const std::string clean = svc::make_request(next_request(method));
+        const std::string bad = fuzz_payload(rng, clean);
+        if (svc::write_frame(client.fd(), bad, timeout_ms) !=
+            svc::IoStatus::kOk) {
+          reconnect();
+          continue;
+        }
+        svc::FrameResult reply = client.read_reply(1u << 20, timeout_ms);
+        if (reply.status != svc::IoStatus::kOk) {
+          tally.fail("malformed payload killed the connection (" +
+                     std::string(svc::to_string(reply.status)) + ")");
+          reconnect();
+          continue;
+        }
+        const svc::Response res = svc::parse_response(reply.payload);
+        if (res.ok) {
+          tally.fail("malformed payload was accepted");
+        } else {
+          tally.count_code(res.code);
+          if (res.code != svc::ErrorCode::kBadRequest) {
+            tally.fail("malformed payload earned " +
+                       std::string(svc::to_string(res.code)) +
+                       ", expected bad_request");
+          }
+        }
+      } else if (chaos.burst_every > 0 && i > 0 &&
+                 i % chaos.burst_every == 0) {
+        // Burst: fire burst_size requests without reading between them,
+        // then collect every reply. Shed responses are the *point*.
+        {
+          std::lock_guard<std::mutex> lock(tally.mu);
+          ++tally.bursts;
+        }
+        std::vector<std::string> ids;
+        bool write_failed = false;
+        for (int b = 0; b < chaos.burst_size; ++b) {
+          const svc::Request req = next_request(method);
+          ids.push_back(req.id);
+          if (svc::write_frame(client.fd(), svc::make_request(req),
+                               timeout_ms) != svc::IoStatus::kOk) {
+            write_failed = true;
+            break;
+          }
+        }
+        if (ids.size() > 1) {
+          // The loop iteration counted one send; add the rest.
+          std::lock_guard<std::mutex> lock(tally.mu);
+          tally.sent += ids.size() - 1;
+        }
+        for (std::size_t b = 0; b < ids.size() && !write_failed; ++b) {
+          svc::FrameResult reply = client.read_reply(1u << 20, timeout_ms);
+          if (reply.status != svc::IoStatus::kOk) {
+            tally.fail("burst reply " + std::to_string(b) + " lost (" +
+                       std::string(svc::to_string(reply.status)) + ")");
+            write_failed = true;
+            break;
+          }
+          const svc::Response res = svc::parse_response(reply.payload);
+          if (res.ok) {
+            std::lock_guard<std::mutex> lock(tally.mu);
+            ++tally.ok;
+          } else {
+            tally.count_code(res.code);
+            if (!svc::is_retryable(res.code)) {
+              tally.fail("burst request earned non-retryable " +
+                         std::string(svc::to_string(res.code)));
+            }
+          }
+        }
+        if (write_failed) reconnect();
+      } else {
+        // Clean request: the latency sample.
+        const svc::Request req = next_request(method);
+        const auto t0 = Clock::now();
+        const svc::Response res = client.call(req, timeout_ms);
+        const double ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                .count();
+        if (res.id != req.id) {
+          tally.fail("response id mismatch: sent " + req.id + ", got " +
+                     res.id);
+        }
+        if (res.ok) {
+          std::lock_guard<std::mutex> lock(tally.mu);
+          ++tally.ok;
+          tally.latencies_ms.push_back(ms);
+        } else {
+          tally.count_code(res.code);
+          if (!svc::is_retryable(res.code)) {
+            tally.fail("clean " + req.method + " earned " +
+                       std::string(svc::to_string(res.code)) + ": " +
+                       res.message);
+          }
+        }
+      }
+    } catch (const std::exception& e) {
+      // Transport death outside a chaos mode is a hard failure; inside
+      // one it can be the server correctly hanging up mid-exchange.
+      tally.fail(std::string("transport error: ") + e.what());
+      try {
+        reconnect();
+      } catch (const std::exception&) {
+        return;  // daemon unreachable — the failure is already recorded
+      }
+    }
+  }
+}
+
+int usage() {
+  std::printf(
+      "hepex_loadgen — drive and abuse a running hepexd\n"
+      "target:   --unix PATH | --port N (required)\n"
+      "load:     --requests N (total, default 200)  --clients C (default 4)\n"
+      "          --method advise|simulate|validate (default simulate)\n"
+      "          --timeout-ms N (per request, default 30000)\n"
+      "chaos:    --chaos FILE (hepex-chaos-plan/1; default: no chaos)\n"
+      "output:   --out FILE (hepex-bench-service/1 results)\n"
+      "exit: nonzero when any hard failure occurred (crash, hang, wrong\n"
+      "error class, lost reply) or the daemon stopped answering pings.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using hepex::util::CliArgs;
+  try {
+    const CliArgs args = CliArgs::parse(argc, argv);
+    if (args.has("help") || !args.command().empty()) return usage();
+    args.require_known({"unix", "port", "requests", "clients", "method",
+                        "timeout-ms", "chaos", "out", "help"});
+
+    Target target;
+    target.unix_path = args.get_or("unix", "");
+    target.port = args.get_int_or("port", 0);
+    if (target.unix_path.empty() && target.port == 0) {
+      hepex::fail_require("loadgen needs --unix PATH or --port N");
+    }
+    const int requests = args.get_int_or("requests", 200);
+    const int clients = args.get_int_or("clients", 4);
+    const std::string method = args.get_or("method", "simulate");
+    const int timeout_ms = args.get_int_or("timeout-ms", 30'000);
+    if (requests < 1 || clients < 1) {
+      hepex::fail_require("--requests and --clients must be >= 1");
+    }
+    if (!svc::method_runs_scenario(method)) {
+      hepex::fail_require("--method must be advise, simulate or validate");
+    }
+    svc::ChaosPlan chaos;  // all probabilities 0 = clean load
+    if (const auto path = args.get("chaos")) {
+      chaos = svc::load_chaos_plan_file(*path);
+    }
+
+    // Pre-flight: the daemon must answer a ping before we measure.
+    {
+      svc::Client probe = connect_target(target);
+      svc::Request ping;
+      ping.id = "preflight";
+      ping.method = "ping";
+      const svc::Response res = probe.call(ping, timeout_ms);
+      if (!res.ok) {
+        std::fprintf(stderr, "error: preflight ping failed: %s\n",
+                     res.message.c_str());
+        return 1;
+      }
+    }
+
+    Tally tally;
+    const int per_client = (requests + clients - 1) / clients;
+    const auto t0 = Clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        client_loop(c, per_client, target, chaos, method, timeout_ms, tally);
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double wall_s =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+
+    // Post-flight: the daemon must still be healthy after the abuse.
+    bool postflight_ok = false;
+    try {
+      svc::Client probe = connect_target(target);
+      svc::Request ping;
+      ping.id = "postflight";
+      ping.method = "ping";
+      postflight_ok = probe.call(ping, timeout_ms).ok;
+    } catch (const std::exception& e) {
+      tally.fail(std::string("postflight ping failed: ") + e.what());
+    }
+    if (!postflight_ok) tally.fail("daemon unhealthy after the run");
+
+    json::Value outcomes = json::Value::object();
+    outcomes.set("sent", static_cast<double>(tally.sent));
+    outcomes.set("ok", static_cast<double>(tally.ok));
+    outcomes.set("shed", static_cast<double>(tally.shed));
+    outcomes.set("timeout", static_cast<double>(tally.timeout));
+    outcomes.set("bad_request", static_cast<double>(tally.bad_request));
+    outcomes.set("protocol", static_cast<double>(tally.protocol));
+    outcomes.set("shutting_down", static_cast<double>(tally.shutting_down));
+    outcomes.set("internal", static_cast<double>(tally.internal));
+    outcomes.set("reconnects", static_cast<double>(tally.reconnects));
+
+    json::Value chaos_counts = json::Value::object();
+    chaos_counts.set("slow_loris", static_cast<double>(tally.chaos_slow_loris));
+    chaos_counts.set("disconnect", static_cast<double>(tally.chaos_disconnect));
+    chaos_counts.set("malformed", static_cast<double>(tally.chaos_malformed));
+    chaos_counts.set("oversize", static_cast<double>(tally.chaos_oversize));
+    chaos_counts.set("bursts", static_cast<double>(tally.bursts));
+
+    json::Value latency = json::Value::object();
+    if (!tally.latencies_ms.empty()) {
+      auto xs = tally.latencies_ms;
+      double mean = 0.0, mx = 0.0;
+      for (double x : xs) {
+        mean += x;
+        if (x > mx) mx = x;
+      }
+      mean /= static_cast<double>(xs.size());
+      latency.set("samples", static_cast<double>(xs.size()));
+      latency.set("p50_ms", hepex::util::percentile(xs, 50.0));
+      latency.set("p95_ms", hepex::util::percentile(xs, 95.0));
+      latency.set("p99_ms", hepex::util::percentile(xs, 99.0));
+      latency.set("mean_ms", mean);
+      latency.set("max_ms", mx);
+    } else {
+      latency.set("samples", 0);
+    }
+
+    json::Value failures = json::Value::array();
+    for (const auto& f : tally.hard_failures) failures.push_back(f);
+
+    json::Value out = json::Value::object();
+    out.set("schema", "hepex-bench-service/1");
+    out.set("method", method);
+    out.set("clients", clients);
+    out.set("requests_per_client", per_client);
+    out.set("chaos", json::parse(svc::save_chaos_plan(chaos)));
+    out.set("outcomes", std::move(outcomes));
+    out.set("chaos_counts", std::move(chaos_counts));
+    out.set("latency", std::move(latency));
+    out.set("wall_s", wall_s);
+    out.set("throughput_rps",
+            wall_s > 0 ? static_cast<double>(tally.sent) / wall_s : 0.0);
+    out.set("hard_failures", std::move(failures));
+
+    const std::string doc = json::dump(out);
+    std::printf("%s", doc.c_str());
+    if (const auto path = args.get("out")) {
+      std::ofstream os(*path);
+      if (!os) {
+        std::fprintf(stderr, "error: cannot write %s\n", path->c_str());
+        return 1;
+      }
+      os << doc;
+      std::fprintf(stderr, "results written: %s\n", path->c_str());
+    }
+    return tally.hard_failures.empty() ? 0 : 1;
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,149 @@
+/// \file hepexd_main.cpp
+/// \brief hepexd — the long-lived HEPEX advisory daemon (docs/service.md).
+///
+/// Serves advise/simulate/validate over `hepex-svc-request/1` frames on a
+/// Unix-domain or loopback-TCP socket. The process is a thin shell around
+/// `svc::Server`; everything here is lifecycle:
+///
+///   - prints a machine-readable `hepexd listening on ...` line once the
+///     socket is bound (scripts wait for it);
+///   - SIGTERM/SIGINT trigger a *graceful* drain via the self-pipe trick
+///     (the handler only writes one byte): stop accepting, finish
+///     in-flight requests, flush final stats, exit 0;
+///   - final stats (including cross-request advisor/prediction cache
+///     effectiveness) go to stdout and optionally `--stats FILE`.
+
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "svc/server.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+// Self-pipe: the signal handler's only action is one async-signal-safe
+// write; all shutdown logic runs on the main thread.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void on_shutdown_signal(int /*signo*/) {
+  const char byte = 1;
+  // Best-effort: if the pipe is full a previous signal is already queued.
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+int usage() {
+  std::printf(
+      "hepexd — long-lived HEPEX advisory daemon (docs/service.md)\n"
+      "transport:  --unix PATH | --port N (0 = ephemeral; default)\n"
+      "capacity:   --executors N (default 2)  --queue N (default 16)\n"
+      "            --max-request-bytes N (default 1 MiB)\n"
+      "deadlines:  --default-timeout-ms N (default 30000)\n"
+      "            --max-timeout-ms N (default 120000)\n"
+      "            --read-timeout-ms N (default 60000; -1 = forever)\n"
+      "caches:     --advisors N (default 8)  --predictions N (default 4096)\n"
+      "other:      --jobs N (par pool width; 0 = all cores)\n"
+      "            --stats FILE (write final stats JSON on shutdown)\n"
+      "SIGTERM/SIGINT drain in-flight requests and exit 0.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using hepex::util::CliArgs;
+  try {
+    const CliArgs args = CliArgs::parse(argc, argv);
+    if (args.has("help") || !args.command().empty()) return usage();
+    args.require_known({"unix", "port", "executors", "queue",
+                        "max-request-bytes", "default-timeout-ms",
+                        "max-timeout-ms", "read-timeout-ms", "advisors",
+                        "predictions", "jobs", "stats", "help"});
+
+    hepex::svc::ServerConfig config;
+    config.unix_path = args.get_or("unix", "");
+    config.tcp_port = args.get_int_or("port", 0);
+    config.executors = args.get_int_or("executors", config.executors);
+    config.queue_capacity = static_cast<std::size_t>(
+        args.get_int_or("queue", static_cast<int>(config.queue_capacity)));
+    config.max_request_bytes = static_cast<std::size_t>(args.get_int_or(
+        "max-request-bytes", static_cast<int>(config.max_request_bytes)));
+    config.default_timeout_ms =
+        args.get_int_or("default-timeout-ms", config.default_timeout_ms);
+    config.max_timeout_ms =
+        args.get_int_or("max-timeout-ms", config.max_timeout_ms);
+    config.read_timeout_ms =
+        args.get_int_or("read-timeout-ms", config.read_timeout_ms);
+    config.advisor_cache_capacity = static_cast<std::size_t>(args.get_int_or(
+        "advisors", static_cast<int>(config.advisor_cache_capacity)));
+    config.prediction_cache_capacity =
+        static_cast<std::size_t>(args.get_int_or(
+            "predictions",
+            static_cast<int>(config.prediction_cache_capacity)));
+    config.jobs = args.get_int_or("jobs", 0);
+
+    if (::pipe(g_signal_pipe) != 0) {
+      std::fprintf(stderr, "error: pipe: %s\n", std::strerror(errno));
+      return 1;
+    }
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = on_shutdown_signal;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::signal(SIGPIPE, SIG_IGN);  // peer death surfaces as EPIPE, not a kill
+
+    hepex::svc::Server server(std::move(config));
+    server.start();
+    if (!server.config().unix_path.empty()) {
+      std::printf("hepexd listening on unix:%s\n",
+                  server.config().unix_path.c_str());
+    } else {
+      std::printf("hepexd listening on 127.0.0.1:%d\n", server.port());
+    }
+    std::fflush(stdout);
+
+    // Block until a shutdown signal lands (EINTR loops back).
+    for (;;) {
+      struct pollfd pfd;
+      pfd.fd = g_signal_pipe[0];
+      pfd.events = POLLIN;
+      pfd.revents = 0;
+      const int rc = ::poll(&pfd, 1, -1);
+      if (rc > 0) break;
+      if (rc < 0 && errno != EINTR) break;
+    }
+
+    std::printf("hepexd draining...\n");
+    std::fflush(stdout);
+    server.stop();
+
+    const std::string stats = hepex::util::json::dump(server.stats_json());
+    std::printf("hepexd final stats:\n%s", stats.c_str());
+    if (const auto path = args.get("stats")) {
+      std::ofstream os(*path);
+      if (!os) {
+        std::fprintf(stderr, "error: cannot write stats to %s\n",
+                     path->c_str());
+        return 1;
+      }
+      os << stats;
+    }
+    std::printf("hepexd drained cleanly\n");
+    return 0;
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
